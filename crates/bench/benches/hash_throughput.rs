@@ -1,0 +1,39 @@
+//! Hash-function throughput: the unit cost behind every `C_g` and tree
+//! figure in the paper (MD5 vs SHA-1 vs SHA-256 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ugc_hash::{HashFunction, Md5, Sha1, Sha256};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_throughput");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("md5", size), &data, |b, d| {
+            b.iter(|| black_box(Md5::digest(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| black_box(Sha1::digest(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| black_box(Sha256::digest(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_digest(c: &mut Criterion) {
+    // The Merkle inner-node operation: two digests in, one out.
+    let left = [0x11u8; 32];
+    let right = [0x22u8; 32];
+    c.bench_function("merkle_node_sha256", |b| {
+        b.iter(|| black_box(Sha256::digest_pair(&left, &right)))
+    });
+    c.bench_function("merkle_node_md5", |b| {
+        b.iter(|| black_box(Md5::digest_pair(&left[..16], &right[..16])))
+    });
+}
+
+criterion_group!(benches, bench_hashes, bench_pair_digest);
+criterion_main!(benches);

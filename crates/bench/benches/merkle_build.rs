@@ -1,0 +1,46 @@
+//! Merkle-tree construction cost vs domain size — the participant's
+//! commitment overhead (Step 1 of CBS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ugc_hash::{Md5, Sha256};
+use ugc_merkle::{MerkleTree, StreamingBuilder};
+
+fn leaves(n: u64) -> Vec<[u8; 16]> {
+    (0..n)
+        .map(|x| {
+            let mut leaf = [0u8; 16];
+            leaf[..8].copy_from_slice(&x.to_le_bytes());
+            leaf
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_build");
+    group.sample_size(20);
+    for bits in [10u32, 14, 18] {
+        let n = 1u64 << bits;
+        let data = leaves(n);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("sha256", n), &data, |b, d| {
+            b.iter(|| black_box(MerkleTree::<Sha256>::build(d).unwrap().root()))
+        });
+        group.bench_with_input(BenchmarkId::new("md5", n), &data, |b, d| {
+            b.iter(|| black_box(MerkleTree::<Md5>::build(d).unwrap().root()))
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_sha256", n), &data, |b, d| {
+            b.iter(|| {
+                let mut builder: StreamingBuilder<Sha256> = StreamingBuilder::new();
+                for leaf in d {
+                    builder.push(leaf).unwrap();
+                }
+                black_box(builder.finalize().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Proof generation and verification — the per-sample cost of Steps 3–4
+//! of CBS (`O(log n)` for both sides).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugc_hash::Sha256;
+use ugc_merkle::MerkleTree;
+
+fn bench_proofs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_proofs");
+    for bits in [10u32, 16, 20] {
+        let n = 1u64 << bits;
+        let tree: MerkleTree<Sha256> = MerkleTree::from_leaf_fn(n, 16, |x| {
+            let mut leaf = vec![0u8; 16];
+            leaf[..8].copy_from_slice(&x.to_le_bytes());
+            leaf
+        })
+        .unwrap();
+        let root = tree.root();
+        let index = n / 3;
+        let leaf = tree.leaf(index).unwrap().to_vec();
+        let proof = tree.prove(index).unwrap();
+        group.bench_with_input(BenchmarkId::new("prove", n), &tree, |b, t| {
+            b.iter(|| black_box(t.prove(index).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("verify", n), &proof, |b, p| {
+            b.iter(|| {
+                assert!(black_box(p.verify(&root, &leaf)));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proofs);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Eq. (4) sample derivation cost vs the hardness `k` of `g = H^k` — the
+//! knob Eq. (5) turns to price out the retry attack. Cost must be linear
+//! in `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ugc_core::sampling::derive_samples;
+use ugc_grid::CostLedger;
+use ugc_hash::{IteratedHash, Md5};
+
+fn bench_derivation(c: &mut Criterion) {
+    let root = [0xABu8; 16];
+    let ledger = CostLedger::new();
+    let mut group = c.benchmark_group("ni_sample_derivation");
+    for k in [1u64, 10, 100, 1000] {
+        let g = IteratedHash::<Md5>::new(k);
+        group.bench_with_input(BenchmarkId::new("m50_k", k), &g, |b, g| {
+            b.iter(|| black_box(derive_samples(g, &root, 50, 1 << 20, &ledger)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! End-to-end rounds: naive sampling vs CBS vs NI-CBS on the same
+//! workload — the protocol-level cost comparison behind the paper's
+//! headline claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
+use ugc_core::scheme::naive::{run_naive, NaiveConfig};
+use ugc_core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
+use ugc_core::ParticipantStorage;
+use ugc_grid::HonestWorker;
+use ugc_hash::Sha256;
+use ugc_task::workloads::PasswordSearch;
+use ugc_task::Domain;
+
+const N: u64 = 1 << 12;
+const M: usize = 32;
+
+fn bench_schemes(c: &mut Criterion) {
+    let task = PasswordSearch::with_hidden_password(1, 7);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, N);
+    let mut group = c.benchmark_group("scheme_e2e");
+    group.sample_size(10);
+
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            black_box(
+                run_naive(
+                    &task,
+                    &screener,
+                    domain,
+                    &HonestWorker,
+                    &NaiveConfig {
+                        task_id: 1,
+                        samples: M,
+                        seed: 2,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("cbs_full", |b| {
+        b.iter(|| {
+            black_box(
+                run_cbs::<Sha256, _, _, _>(
+                    &task,
+                    &screener,
+                    domain,
+                    &HonestWorker,
+                    ParticipantStorage::Full,
+                    &CbsConfig {
+                        task_id: 1,
+                        samples: M,
+                        seed: 2,
+                        report_audit: 0,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("cbs_partial_l6", |b| {
+        b.iter(|| {
+            black_box(
+                run_cbs::<Sha256, _, _, _>(
+                    &task,
+                    &screener,
+                    domain,
+                    &HonestWorker,
+                    ParticipantStorage::Partial { subtree_height: 6 },
+                    &CbsConfig {
+                        task_id: 1,
+                        samples: M,
+                        seed: 2,
+                        report_audit: 0,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("ni_cbs", |b| {
+        b.iter(|| {
+            black_box(
+                run_ni_cbs::<Sha256, _, _, _>(
+                    &task,
+                    &screener,
+                    domain,
+                    &HonestWorker,
+                    ParticipantStorage::Full,
+                    &NiCbsConfig {
+                        task_id: 1,
+                        samples: M,
+                        g_iterations: 1,
+                        report_audit: 0,
+                        audit_seed: 0,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

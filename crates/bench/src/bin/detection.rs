@@ -1,0 +1,90 @@
+//! Validates **Eq. (2) / Theorem 3**: `Pr[cheat succeeds] = (r+(1−r)q)^m`.
+//!
+//! Two layers of evidence:
+//!
+//! 1. a dense grid over `(r, q, m)` using the fast sampling-event
+//!    simulator (hundreds of thousands of trials per cell);
+//! 2. spot checks running the **complete CBS protocol** — Merkle build,
+//!    commitment, challenge, authentication paths, verification — a few
+//!    hundred rounds per cell, to show the protocol realises the formula,
+//!    not just the abstract event.
+//!
+//! Run: `cargo run --release -p ugc-bench --bin detection`
+
+use ugc_core::analysis::cheat_success_probability;
+use ugc_sim::{
+    estimate_cheat_success_fast, estimate_cheat_success_protocol_parallel, DetectionExperiment,
+    Table,
+};
+
+fn main() {
+    println!("Eq. (2) — cheat-success probability (r + (1 − r)q)^m\n");
+
+    println!("Fast grid (sampling event only, 100k trials/cell):");
+    let mut grid = Table::new(["r", "q", "m", "theory", "measured", "99% CI", "ok"]);
+    let mut all_ok = true;
+    for &r in &[0.2, 0.5, 0.8, 0.9] {
+        for &q in &[0.0, 0.5] {
+            for &m in &[5usize, 15, 30] {
+                let exp = DetectionExperiment {
+                    domain_size: 0,
+                    samples: m,
+                    honesty_ratio: r,
+                    guess_quality: q,
+                    trials: 100_000,
+                    seed: (r * 100.0) as u64 ^ ((q * 10.0) as u64) << 8 ^ (m as u64) << 16,
+                };
+                let est = estimate_cheat_success_fast(&exp);
+                let theory = cheat_success_probability(r, q, m as u64);
+                let ok = est.contains(theory);
+                all_ok &= ok;
+                grid.push([
+                    format!("{r:.1}"),
+                    format!("{q:.1}"),
+                    m.to_string(),
+                    format!("{theory:.4}"),
+                    format!("{:.4}", est.rate),
+                    format!("[{:.4},{:.4}]", est.ci_low, est.ci_high),
+                    if ok { "✓" } else { "✗" }.into(),
+                ]);
+            }
+        }
+    }
+    print!("{grid}");
+
+    println!("\nFull-protocol spot checks (complete CBS rounds, 400 trials/cell):");
+    let mut spot = Table::new(["r", "q", "m", "n", "theory", "measured", "99% CI", "ok"]);
+    for &(r, q, m) in &[(0.5, 0.0, 3usize), (0.5, 0.5, 5), (0.8, 0.0, 6)] {
+        let exp = DetectionExperiment {
+            domain_size: 128,
+            samples: m,
+            honesty_ratio: r,
+            guess_quality: q,
+            trials: 400,
+            seed: 0xdeec + m as u64,
+        };
+        let est = estimate_cheat_success_protocol_parallel(&exp, 4);
+        let theory = cheat_success_probability(r, q, m as u64);
+        let ok = est.contains(theory);
+        all_ok &= ok;
+        spot.push([
+            format!("{r:.1}"),
+            format!("{q:.1}"),
+            m.to_string(),
+            "128".into(),
+            format!("{theory:.4}"),
+            format!("{:.4}", est.rate),
+            format!("[{:.4},{:.4}]", est.ci_low, est.ci_high),
+            if ok { "✓" } else { "✗" }.into(),
+        ]);
+    }
+    print!("{spot}");
+    println!(
+        "\nOverall: {}",
+        if all_ok {
+            "REPRODUCED — Theorem 3 holds for the implemented protocol"
+        } else {
+            "MISMATCH — see rows flagged ✗"
+        }
+    );
+}

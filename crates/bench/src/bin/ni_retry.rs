@@ -1,0 +1,166 @@
+//! Regenerates the **Section 4.2 analysis**: the NI-CBS retry attack and
+//! the Eq. (5) hardening that prices it out.
+//!
+//! Part 1 measures the attack: a semi-honest cheater re-rolls one
+//! uncommitted leaf (incremental `O(log n)` tree updates) until the
+//! self-derived samples all land in its honest subset. Expected attempts:
+//! `r^{-m}`.
+//!
+//! Part 2 prices the defence: Eq. (5) demands
+//! `(1/r^m)·m·C_g ≥ n·C_f`; we compute the minimal `g = MD5^k` hardness
+//! and verify the measured attack cost crosses the task cost there.
+//!
+//! Note an implementation finding recorded in EXPERIMENTS.md: a practical
+//! attacker can *early-exit* sample derivation at the first escaping
+//! sample, paying ≈`1/(1−r)` chain elements per attempt instead of the
+//! paper's `m`; Eq. (5)'s margin shrinks accordingly but the exponential
+//! `r^{-m}` attempt count — the real defence — is unchanged.
+//!
+//! Run: `cargo run --release -p ugc-bench --bin ni_retry`
+
+use ugc_core::analysis::{min_g_cost_for_uncheatability, ni_attack_cost, ni_expected_attempts};
+use ugc_core::scheme::ni_cbs::{retry_attack, RetryAttackConfig, RetryAttackOutcome};
+use ugc_grid::{CheatSelection, SemiHonestCheater};
+use ugc_hash::Md5;
+use ugc_sim::{Summary, Table};
+use ugc_task::workloads::PasswordSearch;
+use ugc_task::{Domain, ZeroGuesser};
+
+const N: u64 = 1 << 12;
+const RUNS: u64 = 40;
+
+fn main() {
+    println!("Section 4.2 — the NI-CBS retry attack (n = 2^12, {RUNS} runs/cell)\n");
+
+    let task = PasswordSearch::with_hidden_password(3, 9);
+    let mut table = Table::new([
+        "r",
+        "m",
+        "E[attempts] r^-m",
+        "measured mean",
+        "measured sd",
+        "g-hashes/run",
+        "tree-hashes/run",
+    ]);
+    for &(r, m) in &[(0.5f64, 4usize), (0.5, 8), (0.7, 8), (0.9, 8), (0.9, 16)] {
+        let mut attempts = Vec::new();
+        let mut g_hashes = Vec::new();
+        let mut tree_hashes = Vec::new();
+        for seed in 0..RUNS {
+            let cheater = SemiHonestCheater::new(
+                r,
+                CheatSelection::Prefix,
+                ZeroGuesser::new(seed ^ 0x5eed),
+                seed,
+            );
+            let outcome: RetryAttackOutcome = retry_attack::<Md5, _, _>(
+                &task,
+                Domain::new(0, N),
+                &cheater,
+                &RetryAttackConfig {
+                    samples: m,
+                    g_iterations: 1,
+                    max_attempts: 50_000_000,
+                },
+            )
+            .expect("attack runs");
+            assert!(outcome.succeeded, "attack must succeed with this budget");
+            attempts.push(outcome.attempts as f64);
+            g_hashes.push(outcome.g_unit_hashes as f64);
+            tree_hashes.push(outcome.tree_hashes as f64);
+        }
+        let s = Summary::of(&attempts);
+        table.push([
+            format!("{r:.1}"),
+            m.to_string(),
+            format!("{:.0}", ni_expected_attempts(r, m as u64)),
+            format!("{:.0}", s.mean),
+            format!("{:.0}", s.std_dev()),
+            format!("{:.0}", Summary::of(&g_hashes).mean),
+            format!("{:.0}", Summary::of(&tree_hashes).mean),
+        ]);
+    }
+    print!("{table}");
+
+    println!("\nEq. (5) — minimal hardened-g cost C_g (unit hashes) so that");
+    println!("expected attack cost (1/r^m)·m·C_g exceeds the task cost n·C_f:\n");
+    let mut eq5 = Table::new([
+        "n",
+        "r",
+        "m",
+        "C_g(min) = n·C_f·r^m/m",
+        "attack cost @C_g(min)",
+        "task cost n·C_f",
+    ]);
+    for &(bits, r, m) in &[
+        (20u32, 0.9f64, 20u64),
+        (20, 0.9, 50),
+        (30, 0.9, 50),
+        (30, 0.99, 50),
+        (40, 0.9, 50),
+    ] {
+        let n = 1u64 << bits;
+        let c_f = 1u64;
+        let c_g = min_g_cost_for_uncheatability(r, m, n, c_f).ceil() as u64;
+        let c_g = c_g.max(1);
+        eq5.push([
+            format!("2^{bits}"),
+            format!("{r}"),
+            m.to_string(),
+            c_g.to_string(),
+            format!("{:.2e}", ni_attack_cost(r, m, c_g)),
+            format!("{:.2e}", n as f64 * c_f as f64),
+        ]);
+    }
+    print!("{eq5}");
+
+    println!("\nMeasured crossover (n = 2^12, r = 0.5, m = 8, C_f = 1):");
+    println!(
+        "(marginal attack cost: g-chain hashes + incremental tree updates,\n\
+         excluding the commitment build an honest participant also pays)\n"
+    );
+    let mut cross = Table::new([
+        "g hardness k",
+        "marginal attack hashes",
+        "vs task cost",
+        "Eq.5 predicts uneconomical",
+    ]);
+    for k in [1u64, 8, 64, 512] {
+        let mut total = 0u64;
+        for seed in 0..8u64 {
+            let cheater = SemiHonestCheater::new(
+                0.5,
+                CheatSelection::Prefix,
+                ZeroGuesser::new(seed ^ 0xc0),
+                seed,
+            );
+            let outcome = retry_attack::<Md5, _, _>(
+                &task,
+                Domain::new(0, N),
+                &cheater,
+                &RetryAttackConfig {
+                    samples: 8,
+                    g_iterations: k,
+                    max_attempts: 10_000_000,
+                },
+            )
+            .expect("attack runs");
+            total += outcome.marginal_cost();
+        }
+        let mean = total as f64 / 8.0;
+        cross.push([
+            k.to_string(),
+            format!("{mean:.0}"),
+            format!("{:.2}× task", mean / N as f64),
+            ni_attack_cost(0.5, 8, k).ge(&(N as f64)).to_string(),
+        ]);
+    }
+    print!("{cross}");
+    println!(
+        "\nShape reproduced: attempts grow as r^-m; hardening g multiplies the\n\
+         attack's hash bill linearly in k until it dwarfs honestly computing the task.\n\
+         Note the early-exit effect on the margin (see EXPERIMENTS.md): the attacker\n\
+         pays ≈1/(1−r) chain elements per attempt, not m, so the measured bill sits\n\
+         below the paper's m·C_g accounting by that factor."
+    );
+}

@@ -1,0 +1,348 @@
+//! Every closed form in the paper's analysis, as checked functions.
+//!
+//! These are the formulas the Monte-Carlo experiments validate and the
+//! figure-regeneration binaries plot:
+//!
+//! * Eq. (2): [`cheat_success_probability`] — Theorem 3.
+//! * Eq. (3): [`required_sample_size`] — the Fig. 2 curves.
+//! * Section 3.3: [`rco`], [`rco_from_levels`] — the storage trade-off.
+//! * Section 4.2: [`ni_expected_attempts`], [`ni_attack_cost`],
+//!   [`min_g_cost_for_uncheatability`] — the Eq. (5) economics.
+//! * Communication closed forms: [`cbs_traffic_bytes`],
+//!   [`naive_traffic_bytes`] — the `O(m log n)` vs `O(n)` comparison,
+//!   extrapolatable to the paper's `n = 2⁶⁴` "16 million terabytes"
+//!   example.
+
+/// Eq. (2): the probability that a participant with honesty ratio `r` and
+/// guess quality `q` survives `m` uniform samples:
+/// `Pr = (r + (1 − r)·q)^m`.
+///
+/// # Panics
+///
+/// Panics unless `r` and `q` are probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_core::analysis::cheat_success_probability;
+///
+/// // Half-honest, no guessing luck, 14 samples — just under 1e-4:
+/// let p = cheat_success_probability(0.5, 0.0, 14);
+/// assert!(p < 1e-4 && p > 1e-5);
+/// // Full honesty always survives:
+/// assert_eq!(cheat_success_probability(1.0, 0.0, 50), 1.0);
+/// ```
+#[must_use]
+pub fn cheat_success_probability(r: f64, q: f64, m: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&r), "r must be a probability");
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    (r + (1.0 - r) * q).powi(m as i32)
+}
+
+/// Probability that the supervisor catches the cheater: `1 −` Eq. (2).
+#[must_use]
+pub fn detection_probability(r: f64, q: f64, m: u64) -> f64 {
+    1.0 - cheat_success_probability(r, q, m)
+}
+
+/// Eq. (3): the smallest sample count `m` with
+/// `(r + (1 − r)q)^m ≤ ε`, i.e. `m ≥ log ε / log(r + (1 − r)q)`.
+///
+/// Returns `None` when no finite `m` works (`r + (1 − r)q = 1`, e.g. a
+/// fully honest participant, or `ε ≥ 1` making `m = 0` sufficient —
+/// `Some(0)` is returned for the latter).
+///
+/// # Panics
+///
+/// Panics unless `r`, `q` are probabilities and `0 < ε`.
+///
+/// # Examples
+///
+/// The two Fig. 2 anchor points quoted in the paper's text:
+///
+/// ```
+/// use ugc_core::analysis::required_sample_size;
+///
+/// // r = 0.5, q = 0.5, ε = 1e-4 → 33 samples.
+/// assert_eq!(required_sample_size(1e-4, 0.5, 0.5), Some(33));
+/// // r = 0.5, q ≈ 0 → 14 samples.
+/// assert_eq!(required_sample_size(1e-4, 0.5, 0.0), Some(14));
+/// ```
+#[must_use]
+pub fn required_sample_size(epsilon: f64, r: f64, q: f64) -> Option<u64> {
+    assert!((0.0..=1.0).contains(&r), "r must be a probability");
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
+    if epsilon >= 1.0 {
+        return Some(0);
+    }
+    let base = r + (1.0 - r) * q;
+    if base >= 1.0 {
+        return None;
+    }
+    if base <= 0.0 {
+        return Some(1);
+    }
+    // m = ⌈log ε / log base⌉, with a guard for floating-point edge cases.
+    let mut m = (epsilon.ln() / base.ln()).ceil() as u64;
+    while m > 0 && base.powi((m - 1) as i32) <= epsilon {
+        m -= 1;
+    }
+    while base.powi(m as i32) > epsilon {
+        m += 1;
+    }
+    Some(m)
+}
+
+/// Section 3.3: relative computation overhead `rco = 2m/S`, where `S` is
+/// the paper's storage figure `2^(H−ℓ+1)` in tree nodes.
+///
+/// # Panics
+///
+/// Panics if `storage_units == 0`.
+///
+/// # Examples
+///
+/// The paper's anchor: `m = 64` samples with 4G (`2³²`) storage units give
+/// `rco = 2⁻²⁵`:
+///
+/// ```
+/// use ugc_core::analysis::rco;
+///
+/// assert_eq!(rco(64, 1u64 << 32), 2f64.powi(-25));
+/// ```
+#[must_use]
+pub fn rco(m: u64, storage_units: u64) -> f64 {
+    assert!(storage_units > 0, "storage must be positive");
+    2.0 * m as f64 / storage_units as f64
+}
+
+/// Section 3.3 in height form: `rco = m·2^ℓ / 2^H`.
+///
+/// # Panics
+///
+/// Panics unless `ell ≤ height < 64`.
+#[must_use]
+pub fn rco_from_levels(m: u64, height: u32, ell: u32) -> f64 {
+    assert!(ell <= height, "subtree height exceeds tree height");
+    assert!(height < 64, "height out of range");
+    m as f64 * 2f64.powi(ell as i32) / 2f64.powi(height as i32)
+}
+
+/// Section 4.2: expected retry-attack attempts `1 / r^m` until all `m`
+/// self-derived samples land in the honest subset.
+///
+/// # Panics
+///
+/// Panics unless `0 < r ≤ 1`.
+#[must_use]
+pub fn ni_expected_attempts(r: f64, m: u64) -> f64 {
+    assert!(r > 0.0 && r <= 1.0, "r must be in (0,1]");
+    r.powi(m as i32).recip()
+}
+
+/// Section 4.2: expected attack cost `(1/r^m)·m·C_g`, in unit hashes, as
+/// the paper accounts it (all `m` chain elements per attempt).
+#[must_use]
+pub fn ni_attack_cost(r: f64, m: u64, c_g: u64) -> f64 {
+    ni_expected_attempts(r, m) * m as f64 * c_g as f64
+}
+
+/// Eq. (5) solved for `C_g`: the minimum per-evaluation cost of `g` such
+/// that cheating is uneconomical, `C_g ≥ n·C_f·r^m / m`.
+///
+/// # Panics
+///
+/// Panics unless `0 < r ≤ 1` and `m > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_core::analysis::min_g_cost_for_uncheatability;
+///
+/// // n = 2^20 unit-cost evaluations, r = 0.9, m = 50:
+/// let c_g = min_g_cost_for_uncheatability(0.9, 50, 1 << 20, 1);
+/// // 0.9^50 ≈ 5.15e-3, so C_g ≈ 2^20 × 5.15e-3 / 50 ≈ 108.
+/// assert!((100.0..120.0).contains(&c_g));
+/// ```
+#[must_use]
+pub fn min_g_cost_for_uncheatability(r: f64, m: u64, n: u64, c_f: u64) -> f64 {
+    assert!(r > 0.0 && r <= 1.0, "r must be in (0,1]");
+    assert!(m > 0, "m must be positive");
+    n as f64 * c_f as f64 * r.powi(m as i32) / m as f64
+}
+
+/// Whether Eq. (5) holds: `(1/r^m)·m·C_g ≥ n·C_f`.
+#[must_use]
+pub fn eq5_holds(r: f64, m: u64, c_g: u64, n: u64, c_f: u64) -> bool {
+    ni_attack_cost(r, m, c_g) >= n as f64 * c_f as f64
+}
+
+/// Closed-form participant→supervisor payload for the naive schemes:
+/// `n × leaf_width` result bytes.
+#[must_use]
+pub fn naive_traffic_bytes(n: u64, leaf_width: u64) -> u64 {
+    n.saturating_mul(leaf_width)
+}
+
+/// Closed-form participant→supervisor payload for CBS: the commitment plus
+/// `m` proofs of `f(x)`, the sibling leaf, and `H − 1` digests each.
+///
+/// `height` is `⌈log₂ n⌉` (via [`ugc_merkle::tree_height`]).
+#[must_use]
+pub fn cbs_traffic_bytes(m: u64, height: u32, leaf_width: u64, digest_len: u64) -> u64 {
+    let per_proof = 2 * leaf_width + u64::from(height.saturating_sub(1)) * digest_len;
+    digest_len + m.saturating_mul(per_proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_monotone_in_m() {
+        let p10 = cheat_success_probability(0.7, 0.1, 10);
+        let p20 = cheat_success_probability(0.7, 0.1, 20);
+        assert!(p20 < p10);
+    }
+
+    #[test]
+    fn eq2_extremes() {
+        assert_eq!(cheat_success_probability(1.0, 0.0, 100), 1.0);
+        assert_eq!(cheat_success_probability(0.0, 1.0, 100), 1.0);
+        assert_eq!(cheat_success_probability(0.0, 0.0, 1), 0.0);
+        assert_eq!(cheat_success_probability(0.5, 0.0, 1), 0.5);
+    }
+
+    #[test]
+    fn eq2_zero_samples_always_survive() {
+        assert_eq!(cheat_success_probability(0.1, 0.0, 0), 1.0);
+    }
+
+    #[test]
+    fn detection_complements_eq2() {
+        for &(r, q, m) in &[(0.5, 0.0, 10u64), (0.9, 0.5, 33), (0.2, 0.1, 5)] {
+            let sum = cheat_success_probability(r, q, m) + detection_probability(r, q, m);
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eq3_paper_anchor_points() {
+        // The two numbers quoted in Section 3.2 of the paper.
+        assert_eq!(required_sample_size(1e-4, 0.5, 0.5), Some(33));
+        assert_eq!(required_sample_size(1e-4, 0.5, 0.0), Some(14));
+    }
+
+    #[test]
+    fn eq3_result_is_minimal() {
+        for &(r, q) in &[(0.1, 0.0), (0.5, 0.5), (0.9, 0.0), (0.8, 0.3)] {
+            let m = required_sample_size(1e-4, r, q).unwrap();
+            assert!(cheat_success_probability(r, q, m) <= 1e-4);
+            if m > 0 {
+                assert!(cheat_success_probability(r, q, m - 1) > 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn eq3_grows_with_honesty_ratio() {
+        // A nearly-honest cheater is harder to catch (Fig. 2 shape).
+        let low = required_sample_size(1e-4, 0.1, 0.0).unwrap();
+        let high = required_sample_size(1e-4, 0.9, 0.0).unwrap();
+        assert!(high > low);
+        // And q = 0.5 needs more samples than q = 0 everywhere.
+        for r10 in 1..10u32 {
+            let r = f64::from(r10) / 10.0;
+            assert!(
+                required_sample_size(1e-4, r, 0.5).unwrap()
+                    >= required_sample_size(1e-4, r, 0.0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn eq3_honest_unreachable() {
+        assert_eq!(required_sample_size(1e-4, 1.0, 0.0), None);
+        assert_eq!(required_sample_size(1e-4, 0.5, 1.0), None);
+    }
+
+    #[test]
+    fn eq3_trivial_epsilon() {
+        assert_eq!(required_sample_size(1.0, 0.5, 0.0), Some(0));
+    }
+
+    #[test]
+    fn eq3_zero_base() {
+        assert_eq!(required_sample_size(1e-4, 0.0, 0.0), Some(1));
+    }
+
+    #[test]
+    fn rco_paper_anchor() {
+        assert_eq!(rco(64, 1u64 << 32), 2f64.powi(-25));
+    }
+
+    #[test]
+    fn rco_level_form_agrees() {
+        // S = 2^(H−ℓ+1) makes the two forms identical.
+        for &(m, h, ell) in &[(16u64, 20u32, 5u32), (64, 12, 3), (50, 30, 10)] {
+            let s = 1u64 << (h - ell + 1);
+            assert!((rco(m, s) - rco_from_levels(m, h, ell)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rco_independent_of_domain_size() {
+        // "regardless of how large a task is" — rco depends only on m and S.
+        assert_eq!(rco(64, 1 << 20), rco(64, 1 << 20));
+        assert!((rco_from_levels(64, 40, 21) - rco(64, 1 << 20)).abs() < 1e-18);
+        assert!((rco_from_levels(64, 30, 11) - rco(64, 1 << 20)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ni_attempts_grow_exponentially() {
+        assert_eq!(ni_expected_attempts(0.5, 10), 1024.0);
+        assert_eq!(ni_expected_attempts(1.0, 10), 1.0);
+        assert!(ni_expected_attempts(0.5, 20) > ni_expected_attempts(0.5, 10));
+    }
+
+    #[test]
+    fn eq5_crossover() {
+        let (r, m, n, c_f) = (0.5, 10, 1u64 << 20, 1);
+        let threshold = min_g_cost_for_uncheatability(r, m, n, c_f);
+        // Just above the threshold Eq. (5) holds; just below it fails.
+        assert!(eq5_holds(r, m, threshold.ceil() as u64 + 1, n, c_f));
+        assert!(!eq5_holds(r, m, (threshold / 2.0) as u64, n, c_f));
+    }
+
+    #[test]
+    fn traffic_closed_forms() {
+        // Paper's motivating example: a 2^64 domain with 16-byte results
+        // needs ~16 million terabytes for the naive upload…
+        let naive = naive_traffic_bytes(u64::MAX, 16);
+        assert_eq!(naive, u64::MAX); // saturates: more bytes than u64 can count
+        // …while CBS with m = 50 stays in the tens of kilobytes.
+        let cbs = cbs_traffic_bytes(50, 64, 16, 16);
+        assert!(cbs < 100_000, "CBS traffic {cbs} bytes");
+    }
+
+    #[test]
+    fn cbs_traffic_is_logarithmic() {
+        let small = cbs_traffic_bytes(50, 10, 8, 32);
+        let big = cbs_traffic_bytes(50, 40, 8, 32);
+        // 4× the height (n from 2^10 to 2^40) must cost ≈4×, not 2^30×.
+        assert!(big < 5 * small);
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be a probability")]
+    fn eq2_rejects_bad_r() {
+        let _ = cheat_success_probability(1.5, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "storage must be positive")]
+    fn rco_rejects_zero_storage() {
+        let _ = rco(1, 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! Fleet orchestration: verify many participants over a partitioned domain.
+//!
+//! The paper's model (Section 2.1) has the supervisor partition `X` into
+//! per-participant sub-domains. This module runs one verification round
+//! against every participant — in parallel, one thread pair per
+//! participant — and aggregates verdicts, screened reports and costs into
+//! a fleet-level summary. It is the entry point a downstream project
+//! (a SETI@home, a screening grid) would actually call.
+
+use crate::scheme::cbs::{run_cbs, CbsConfig};
+use crate::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
+use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
+use ugc_grid::WorkerBehaviour;
+use ugc_hash::HashFunction;
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Which commitment-based scheme the fleet round uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetScheme {
+    /// Interactive CBS (Section 3).
+    Cbs {
+        /// Samples per participant.
+        samples: usize,
+        /// Report-audit size (0 disables).
+        report_audit: usize,
+    },
+    /// Non-interactive CBS (Section 4).
+    NiCbs {
+        /// Samples per participant.
+        samples: usize,
+        /// Hardness `k` of the sample generator `g = H^k`.
+        g_iterations: u64,
+        /// Report-audit size (0 disables).
+        report_audit: usize,
+    },
+}
+
+/// Configuration of a fleet verification round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// The scheme and its parameters.
+    pub scheme: FleetScheme,
+    /// Participant tree storage mode.
+    pub storage: ParticipantStorage,
+    /// Base seed; participant `i` gets a derived seed.
+    pub seed: u64,
+}
+
+/// One participant's slice of the fleet round.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    /// Index of the participant within the fleet.
+    pub participant: usize,
+    /// The sub-domain it was assigned.
+    pub share: Domain,
+    /// The full outcome of its verification round.
+    pub outcome: RoundOutcome,
+}
+
+/// Aggregated result of a fleet round.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Per-participant outcomes, in assignment order.
+    pub members: Vec<FleetMember>,
+    /// Screened reports from *accepted* participants only, in input order.
+    pub reports: Vec<ScreenReport>,
+}
+
+impl FleetSummary {
+    /// Participants whose work was accepted.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.outcome.accepted)
+            .count()
+    }
+
+    /// Participants caught cheating (or otherwise rejected).
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.members.len() - self.accepted()
+    }
+
+    /// The sub-domains that must be reassigned (their results cannot be
+    /// trusted).
+    #[must_use]
+    pub fn shares_to_reassign(&self) -> Vec<Domain> {
+        self.members
+            .iter()
+            .filter(|m| !m.outcome.accepted)
+            .map(|m| m.share)
+            .collect()
+    }
+
+    /// Total bytes received by the supervisor across the fleet.
+    #[must_use]
+    pub fn supervisor_bytes_received(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.outcome.supervisor_link.bytes_received)
+            .sum()
+    }
+
+    /// The verdict for participant `i`.
+    #[must_use]
+    pub fn verdict_of(&self, i: usize) -> Option<&Verdict> {
+        self.members.get(i).map(|m| &m.outcome.verdict)
+    }
+}
+
+/// Runs one verification round against every behaviour in `fleet`, each on
+/// its own share of `domain` (shares differ in size by at most one input).
+///
+/// Rounds run concurrently — one supervisor/participant thread pair per
+/// fleet member — and deterministically per `config.seed`.
+///
+/// # Errors
+///
+/// The first protocol error encountered (cheating is *not* an error; it
+/// shows up as a rejected member).
+pub fn run_fleet<H, T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    fleet: &[B],
+    config: &FleetConfig,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    if fleet.is_empty() {
+        return Err(SchemeError::InvalidConfig {
+            reason: "fleet must contain at least one participant",
+        });
+    }
+    let shares: Vec<Domain> = domain
+        .split(fleet.len() as u64)
+        .map_err(|_| SchemeError::InvalidConfig {
+            reason: "domain cannot be partitioned over the fleet",
+        })?
+        .into_iter()
+        .collect();
+    if shares.len() != fleet.len() {
+        return Err(SchemeError::InvalidConfig {
+            reason: "more participants than domain inputs",
+        });
+    }
+
+    let results: Vec<Result<RoundOutcome, SchemeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .iter()
+            .zip(&shares)
+            .enumerate()
+            .map(|(i, (behaviour, share))| {
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64);
+                let cfg = *config;
+                scope.spawn(move || match cfg.scheme {
+                    FleetScheme::Cbs {
+                        samples,
+                        report_audit,
+                    } => run_cbs::<H, _, _, _>(
+                        task,
+                        screener,
+                        *share,
+                        behaviour,
+                        cfg.storage,
+                        &CbsConfig {
+                            task_id: i as u64,
+                            samples,
+                            seed,
+                            report_audit,
+                        },
+                    ),
+                    FleetScheme::NiCbs {
+                        samples,
+                        g_iterations,
+                        report_audit,
+                    } => run_ni_cbs::<H, _, _, _>(
+                        task,
+                        screener,
+                        *share,
+                        behaviour,
+                        cfg.storage,
+                        &NiCbsConfig {
+                            task_id: i as u64,
+                            samples,
+                            g_iterations,
+                            report_audit,
+                            audit_seed: seed,
+                        },
+                    ),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet round panicked"))
+            .collect()
+    });
+
+    let mut members = Vec::with_capacity(results.len());
+    for (i, (result, share)) in results.into_iter().zip(shares).enumerate() {
+        members.push(FleetMember {
+            participant: i,
+            share,
+            outcome: result?,
+        });
+    }
+    let mut reports: Vec<ScreenReport> = members
+        .iter()
+        .filter(|m| m.outcome.accepted)
+        .flat_map(|m| m.outcome.reports.iter().cloned())
+        .collect();
+    reports.sort_by_key(|r| r.input);
+    Ok(FleetSummary { members, reports })
+}
+
+/// Outcome of a multi-round campaign (see [`run_campaign`]).
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// One fleet summary per verification round, in order.
+    pub rounds: Vec<FleetSummary>,
+    /// All screened reports from accepted work across rounds, deduplicated
+    /// and sorted by input.
+    pub reports: Vec<ScreenReport>,
+    /// Whether every sub-domain ended up verified within the round budget.
+    pub complete: bool,
+}
+
+impl CampaignSummary {
+    /// Total `f` evaluations burned across all participants and rounds —
+    /// the "wasted cycles" metric that makes cheating expensive for the
+    /// *grid*, not just risky for the cheater.
+    #[must_use]
+    pub fn total_participant_f_evals(&self) -> u64 {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.members)
+            .map(|m| m.outcome.participant_costs.f_evals)
+            .sum()
+    }
+}
+
+/// Runs a verification campaign to completion: every share rejected in a
+/// round is reassigned — to the *trusted* pool (`fallback`) — in the next
+/// round, until everything is verified or `max_rounds` is exhausted.
+///
+/// This is the operational loop the paper implies: detection is only
+/// useful because the supervisor can discard and re-run tainted shares.
+///
+/// # Errors
+///
+/// Propagates protocol errors; also rejects an empty fleet (via
+/// [`run_fleet`]) or `max_rounds == 0`.
+pub fn run_campaign<H, T, S, B, F>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    fleet: &[B],
+    fallback: &F,
+    config: &FleetConfig,
+    max_rounds: usize,
+) -> Result<CampaignSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+    F: WorkerBehaviour,
+{
+    if max_rounds == 0 {
+        return Err(SchemeError::InvalidConfig {
+            reason: "campaign needs at least one round",
+        });
+    }
+    let mut rounds = Vec::new();
+    let mut reports: Vec<ScreenReport> = Vec::new();
+
+    // Round 1: the whole fleet over the whole domain.
+    let first = run_fleet::<H, T, S, B>(task, screener, domain, fleet, config)?;
+    let mut pending = first.shares_to_reassign();
+    reports.extend(first.reports.iter().cloned());
+    rounds.push(first);
+
+    // Later rounds: tainted shares go to the fallback worker, one share
+    // per fleet slot (re-splitting is unnecessary — shares are already
+    // participant-sized).
+    let mut round = 1;
+    while !pending.is_empty() && round < max_rounds {
+        round += 1;
+        let mut next_pending = Vec::new();
+        for share in pending {
+            let cfg = FleetConfig {
+                seed: config
+                    .seed
+                    .wrapping_add(round as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ..*config
+            };
+            let summary = run_fleet::<H, T, S, F>(
+                task,
+                screener,
+                share,
+                core::slice::from_ref(fallback),
+                &cfg,
+            )?;
+            reports.extend(summary.reports.iter().cloned());
+            next_pending.extend(summary.shares_to_reassign());
+            rounds.push(summary);
+        }
+        pending = next_pending;
+    }
+
+    reports.sort_by_key(|r| r.input);
+    reports.dedup();
+    Ok(CampaignSummary {
+        complete: pending.is_empty(),
+        rounds,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_grid::{CheatSelection, HonestWorker, SemiHonestCheater};
+    use ugc_hash::Sha256;
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::ZeroGuesser;
+
+    fn config(scheme: FleetScheme) -> FleetConfig {
+        FleetConfig {
+            scheme,
+            storage: ParticipantStorage::Full,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn honest_fleet_accepted_and_reports_merged() {
+        let task = PasswordSearch::with_hidden_password(3, 700);
+        let screener = task.match_screener();
+        let fleet = vec![HonestWorker; 4];
+        let summary = run_fleet::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 1024),
+            &fleet,
+            &config(FleetScheme::Cbs {
+                samples: 12,
+                report_audit: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(summary.accepted(), 4);
+        assert_eq!(summary.rejected(), 0);
+        assert_eq!(summary.reports.len(), 1);
+        assert_eq!(summary.reports[0].input, 700);
+        assert!(summary.shares_to_reassign().is_empty());
+    }
+
+    #[test]
+    fn mixed_fleet_isolates_the_cheater() {
+        let task = PasswordSearch::with_hidden_password(3, 1);
+        let screener = task.match_screener();
+        let honest = HonestWorker;
+        let cheater =
+            SemiHonestCheater::new(0.3, CheatSelection::Scattered, ZeroGuesser::new(1), 5);
+        let fleet: Vec<&dyn WorkerBehaviour> = vec![&honest, &cheater, &honest];
+        let summary = run_fleet::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 300),
+            &fleet,
+            &config(FleetScheme::Cbs {
+                samples: 20,
+                report_audit: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(summary.accepted(), 2);
+        assert_eq!(summary.rejected(), 1);
+        assert!(!summary.members[1].outcome.accepted);
+        // The cheater's share (middle third) must be reassigned.
+        assert_eq!(summary.shares_to_reassign(), vec![Domain::new(100, 100)]);
+    }
+
+    #[test]
+    fn ni_fleet_works() {
+        let task = PasswordSearch::with_hidden_password(5, 2);
+        let screener = task.match_screener();
+        let fleet = vec![HonestWorker; 3];
+        let summary = run_fleet::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 96),
+            &fleet,
+            &config(FleetScheme::NiCbs {
+                samples: 8,
+                g_iterations: 2,
+                report_audit: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(summary.accepted(), 3);
+        // Every member paid its own g-derivation.
+        for m in &summary.members {
+            assert_eq!(m.outcome.participant_costs.g_evals, 16);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let task = PasswordSearch::with_hidden_password(1, 1);
+        let screener = task.match_screener();
+        let fleet: Vec<HonestWorker> = Vec::new();
+        let err = run_fleet::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 16),
+            &fleet,
+            &config(FleetScheme::Cbs {
+                samples: 4,
+                report_audit: 0,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemeError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn oversubscribed_fleet_rejected() {
+        let task = PasswordSearch::with_hidden_password(1, 1);
+        let screener = task.match_screener();
+        let fleet = vec![HonestWorker; 10];
+        let err = run_fleet::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 4),
+            &fleet,
+            &config(FleetScheme::Cbs {
+                samples: 1,
+                report_audit: 0,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemeError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn campaign_recovers_cheated_shares() {
+        // The password hides in the cheater's share; round 1 rejects it,
+        // round 2 recovers it via the trusted fallback.
+        let task = PasswordSearch::with_hidden_password(3, 150);
+        let screener = task.match_screener();
+        let honest = HonestWorker;
+        let cheater =
+            SemiHonestCheater::new(0.2, CheatSelection::Scattered, ZeroGuesser::new(1), 5);
+        // 3 shares of 100: the password (input 150) is in share 1 — the cheater's.
+        let fleet: Vec<&dyn WorkerBehaviour> = vec![&honest, &cheater, &honest];
+        let summary = run_campaign::<Sha256, _, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 300),
+            &fleet,
+            &HonestWorker,
+            &FleetConfig {
+                scheme: FleetScheme::Cbs {
+                    samples: 25,
+                    report_audit: 0,
+                },
+                storage: ParticipantStorage::Full,
+                seed: 8,
+            },
+            4,
+        )
+        .unwrap();
+        assert!(summary.complete);
+        assert_eq!(summary.rounds.len(), 2);
+        assert!(!summary.rounds[0].members[1].outcome.accepted);
+        assert_eq!(summary.reports.len(), 1);
+        assert_eq!(summary.reports[0].input, 150);
+        // The grid burned extra cycles re-running the tainted share.
+        assert!(summary.total_participant_f_evals() > 300);
+    }
+
+    #[test]
+    fn campaign_all_honest_finishes_in_one_round() {
+        let task = PasswordSearch::with_hidden_password(3, 10);
+        let screener = task.match_screener();
+        let fleet = vec![HonestWorker; 2];
+        let summary = run_campaign::<Sha256, _, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &fleet,
+            &HonestWorker,
+            &FleetConfig {
+                scheme: FleetScheme::NiCbs {
+                    samples: 10,
+                    g_iterations: 1,
+                    report_audit: 0,
+                },
+                storage: ParticipantStorage::Full,
+                seed: 2,
+            },
+            3,
+        )
+        .unwrap();
+        assert!(summary.complete);
+        assert_eq!(summary.rounds.len(), 1);
+    }
+
+    #[test]
+    fn campaign_reports_incompleteness_when_budget_exhausted() {
+        // Fallback is itself a cheater: the campaign can never finish.
+        let task = PasswordSearch::with_hidden_password(3, 10);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.1, CheatSelection::Scattered, ZeroGuesser::new(2), 7);
+        let fleet: Vec<&dyn WorkerBehaviour> = vec![&cheater];
+        let summary = run_campaign::<Sha256, _, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 100),
+            &fleet,
+            &cheater,
+            &FleetConfig {
+                scheme: FleetScheme::Cbs {
+                    samples: 20,
+                    report_audit: 0,
+                },
+                storage: ParticipantStorage::Full,
+                seed: 4,
+            },
+            3,
+        )
+        .unwrap();
+        assert!(!summary.complete);
+        assert_eq!(summary.rounds.len(), 3);
+    }
+
+    #[test]
+    fn campaign_zero_rounds_rejected() {
+        let task = PasswordSearch::with_hidden_password(1, 1);
+        let screener = task.match_screener();
+        let fleet = vec![HonestWorker];
+        let err = run_campaign::<Sha256, _, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 16),
+            &fleet,
+            &HonestWorker,
+            &FleetConfig {
+                scheme: FleetScheme::Cbs {
+                    samples: 2,
+                    report_audit: 0,
+                },
+                storage: ParticipantStorage::Full,
+                seed: 1,
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemeError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let task = PasswordSearch::with_hidden_password(3, 1);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.9, CheatSelection::Scattered, ZeroGuesser::new(1), 5);
+        let fleet = vec![&cheater, &cheater];
+        let run = |seed| {
+            let summary = run_fleet::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                Domain::new(0, 200),
+                &fleet,
+                &FleetConfig {
+                    scheme: FleetScheme::Cbs {
+                        samples: 6,
+                        report_audit: 0,
+                    },
+                    storage: ParticipantStorage::Full,
+                    seed,
+                },
+            )
+            .unwrap();
+            summary
+                .members
+                .iter()
+                .map(|m| m.outcome.accepted)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

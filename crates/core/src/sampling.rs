@@ -1,0 +1,232 @@
+//! Sample-index selection.
+//!
+//! Interactive CBS (Step 2): the supervisor draws `m` uniform indices
+//! *after* receiving the commitment — [`draw_samples`].
+//!
+//! Non-interactive CBS (Section 4.1, Eq. 4): the participant derives the
+//! indices from the committed root itself through a one-way hash chain —
+//! [`derive_samples`] — so they are fixed the moment the commitment exists,
+//! yet unpredictable beforehand.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugc_grid::CostLedger;
+use ugc_hash::{HashChain, HashFunction, IteratedHash};
+
+/// Draws `m` uniform sample indices in `[0, n)`, with replacement, from a
+/// seeded cryptographic-quality generator (the supervisor's die).
+///
+/// The paper draws with replacement ("randomly generates m numbers in
+/// domain [1, n]"); Theorem 3's independence argument relies on it.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_core::sampling::draw_samples;
+///
+/// let s = draw_samples(42, 10, 100);
+/// assert_eq!(s.len(), 10);
+/// assert!(s.iter().all(|&i| i < 100));
+/// assert_eq!(s, draw_samples(42, 10, 100)); // deterministic per seed
+/// ```
+#[must_use]
+pub fn draw_samples(seed: u64, m: usize, n: u64) -> Vec<u64> {
+    assert!(n > 0, "domain must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// Eq. (4): derives `m` sample indices from the committed root via the
+/// hash chain `i_k = (g^k(Φ(R)) mod n) + 1`.
+///
+/// This implementation is 0-indexed: it returns `g^k(Φ(R)) mod n ∈ [0, n)`
+/// (the paper's `+1` merely shifts to 1-indexing). Digests become integers
+/// by reading their first 8 bytes little-endian
+/// ([`HashFunction::digest_to_u64`]).
+///
+/// Each chain element costs `k_g` unit hashes where `k_g` is the iteration
+/// count of `g`; the total `m·k_g` is charged to `ledger` as `g`
+/// evaluations — both the participant (derivation) and the supervisor
+/// (re-derivation) pay it.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_core::sampling::derive_samples;
+/// use ugc_grid::CostLedger;
+/// use ugc_hash::{IteratedHash, Sha256};
+///
+/// let g = IteratedHash::<Sha256>::new(3);
+/// let ledger = CostLedger::new();
+/// let samples = derive_samples(&g, b"some root digest", 5, 1000, &ledger);
+/// assert_eq!(samples.len(), 5);
+/// assert!(samples.iter().all(|&i| i < 1000));
+/// assert_eq!(ledger.report().g_evals, 15); // m × k unit hashes
+/// ```
+#[must_use]
+pub fn derive_samples<H: HashFunction>(
+    g: &IteratedHash<H>,
+    root: &[u8],
+    m: usize,
+    n: u64,
+    ledger: &CostLedger,
+) -> Vec<u64> {
+    assert!(n > 0, "domain must be non-empty");
+    let chain = HashChain::new(*g, root);
+    let samples: Vec<u64> = chain
+        .take(m)
+        .map(|digest| H::digest_to_u64(&digest) % n)
+        .collect();
+    ledger.charge_g(HashChain::cost_of(g, m as u64));
+    samples
+}
+
+/// Convenience: derives samples and reports whether they all fall inside a
+/// predicate set (the retry attacker's per-attempt test, with early exit —
+/// the attacker stops deriving at the first escaping sample).
+///
+/// Returns `(all_inside, chain_elements_consumed)`.
+pub(crate) fn derive_until_outside<H: HashFunction, P: FnMut(u64) -> bool>(
+    g: &IteratedHash<H>,
+    root: &[u8],
+    m: usize,
+    n: u64,
+    ledger: &CostLedger,
+    mut inside: P,
+) -> (bool, u64) {
+    let chain = HashChain::new(*g, root);
+    let mut consumed = 0u64;
+    for digest in chain.take(m) {
+        consumed += 1;
+        let index = H::digest_to_u64(&digest) % n;
+        if !inside(index) {
+            ledger.charge_g(consumed * g.iterations());
+            return (false, consumed);
+        }
+    }
+    ledger.charge_g(consumed * g.iterations());
+    (true, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_hash::{Md5, Sha256};
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        assert_eq!(draw_samples(1, 20, 50), draw_samples(1, 20, 50));
+        assert_ne!(draw_samples(1, 20, 50), draw_samples(2, 20, 50));
+    }
+
+    #[test]
+    fn draw_in_range() {
+        for &n in &[1u64, 2, 7, 1 << 30] {
+            assert!(draw_samples(9, 100, n).iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn draw_roughly_uniform() {
+        let samples = draw_samples(7, 40_000, 4);
+        let mut counts = [0u32; 4];
+        for s in samples {
+            counts[s as usize] += 1;
+        }
+        for c in counts {
+            // Each bucket expects 10000 ± 4σ (σ ≈ 87).
+            assert!((9600..=10400).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn draw_rejects_empty_domain() {
+        let _ = draw_samples(0, 1, 0);
+    }
+
+    #[test]
+    fn derive_is_deterministic_in_root() {
+        let g = IteratedHash::<Sha256>::new(1);
+        let ledger = CostLedger::new();
+        let a = derive_samples(&g, b"rootA", 8, 100, &ledger);
+        let b = derive_samples(&g, b"rootA", 8, 100, &ledger);
+        let c = derive_samples(&g, b"rootB", 8, 100, &ledger);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derive_matches_manual_chain() {
+        let g = IteratedHash::<Md5>::new(2);
+        let ledger = CostLedger::new();
+        let samples = derive_samples(&g, b"seed", 3, 97, &ledger);
+        let g1 = g.apply(b"seed");
+        let g2 = g.apply(g1.as_ref());
+        let g3 = g.apply(g2.as_ref());
+        assert_eq!(
+            samples,
+            vec![
+                Md5::digest_to_u64(&g1) % 97,
+                Md5::digest_to_u64(&g2) % 97,
+                Md5::digest_to_u64(&g3) % 97,
+            ]
+        );
+    }
+
+    #[test]
+    fn derive_charges_g_cost() {
+        let g = IteratedHash::<Md5>::new(100);
+        let ledger = CostLedger::new();
+        let _ = derive_samples(&g, b"x", 7, 10, &ledger);
+        assert_eq!(ledger.report().g_evals, 700);
+    }
+
+    #[test]
+    fn derive_roughly_uniform() {
+        let g = IteratedHash::<Sha256>::new(1);
+        let ledger = CostLedger::new();
+        // Many independent roots, one sample each, 4 buckets.
+        let mut counts = [0u32; 4];
+        for i in 0..8000u64 {
+            let s = derive_samples(&g, &i.to_le_bytes(), 1, 4, &ledger);
+            counts[s[0] as usize] += 1;
+        }
+        for c in counts {
+            assert!((1800..=2200).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn early_exit_consumes_fewer_elements() {
+        let g = IteratedHash::<Sha256>::new(1);
+        let ledger = CostLedger::new();
+        // Nothing is "inside": must stop after the first chain element.
+        let (ok, consumed) = derive_until_outside(&g, b"r", 16, 100, &ledger, |_| false);
+        assert!(!ok);
+        assert_eq!(consumed, 1);
+        // Everything inside: consumes all m.
+        let (ok, consumed) = derive_until_outside(&g, b"r", 16, 100, &ledger, |_| true);
+        assert!(ok);
+        assert_eq!(consumed, 16);
+    }
+
+    #[test]
+    fn early_exit_agrees_with_full_derivation() {
+        let g = IteratedHash::<Sha256>::new(1);
+        let ledger = CostLedger::new();
+        let samples = derive_samples(&g, b"root", 8, 50, &ledger);
+        let inside = |i: u64| i < 25;
+        let expected = samples.iter().all(|&i| inside(i));
+        let (ok, _) = derive_until_outside(&g, b"root", 8, 50, &ledger, inside);
+        assert_eq!(ok, expected);
+    }
+}

@@ -1,0 +1,682 @@
+//! The interactive Commitment-Based Sampling scheme (Section 3).
+//!
+//! Protocol (Fig. 1 and Section 3.1 of the paper):
+//!
+//! ```text
+//! supervisor                        participant
+//!     │  Assign(D) ──────────────────▶ │ evaluate f (or cheat) on D
+//!     │                                │ build Merkle tree, Φ(L_i)=f(x_i)
+//!     │ ◀───────────────── Commit Φ(R) │
+//!     │  Challenge(i_1…i_m) ─────────▶ │ find paths, gather siblings
+//!     │ ◀──────────── Proofs + Reports │
+//!     │  verify f(x_i), reconstruct R′ │
+//!     │  Verdict ────────────────────▶ │
+//! ```
+//!
+//! The participant may keep the full tree (`O(n)` storage) or only its top
+//! levels (Section 3.3, [`ParticipantStorage::Partial`]), in which case
+//! proving a sample recomputes the `2^ℓ` leaves of the covering subtree —
+//! costs this module charges to the participant's ledger from actual call
+//! counts.
+
+use crate::sampling::draw_samples;
+use crate::scheme::{
+    check_task, materialize, proof_to_wire, recv_matching, verify_sample, Materialized,
+};
+use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
+use ugc_grid::{
+    duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour,
+};
+use ugc_hash::HashFunction;
+use ugc_merkle::{MerkleTree, PartialMerkleTree};
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Interactive CBS parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbsConfig {
+    /// Task identifier carried on every message.
+    pub task_id: u64,
+    /// Number of samples `m`.
+    pub samples: usize,
+    /// Supervisor sampling seed (a fresh random value in production; a
+    /// fixed value in reproducible experiments).
+    pub seed: u64,
+    /// How many screened reports to audit by recomputation (0 disables;
+    /// an extension over the paper — catches the malicious model).
+    pub report_audit: usize,
+}
+
+/// What the participant learned from its side of the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParticipantRun {
+    /// The verdict the supervisor announced.
+    pub accepted: bool,
+    /// Number of screened reports submitted.
+    pub reports_sent: usize,
+}
+
+/// The participant's tree, full or partial, behind one proving interface.
+pub(crate) enum ParticipantTree<H: HashFunction> {
+    Full(MerkleTree<H>),
+    Partial(PartialMerkleTree<H>),
+}
+
+impl<H: HashFunction> ParticipantTree<H> {
+    /// Builds the tree from materialised leaves, charging hash operations.
+    ///
+    /// In partial mode the leaves are *dropped* after commitment — that is
+    /// the point of Section 3.3 — so proofs later recompute them through
+    /// the behaviour (charging `f` again, exactly as the paper accounts).
+    pub(crate) fn build(
+        leaves: &[Vec<u8>],
+        storage: ParticipantStorage,
+        ledger: &CostLedger,
+    ) -> Result<Self, SchemeError> {
+        match storage {
+            ParticipantStorage::Full => {
+                let tree = MerkleTree::build(leaves)?;
+                ledger.charge_hash(tree.hash_ops());
+                Ok(ParticipantTree::Full(tree))
+            }
+            ParticipantStorage::Partial { subtree_height } => {
+                let width = leaves.first().map_or(0, Vec::len);
+                let tree = PartialMerkleTree::build(leaves.len() as u64, width, subtree_height, |i| {
+                    leaves[i as usize].clone()
+                })?;
+                ledger.charge_hash(tree.build_stats().hash_ops);
+                Ok(ParticipantTree::Partial(tree))
+            }
+        }
+    }
+
+    pub(crate) fn root(&self) -> H::Digest {
+        match self {
+            ParticipantTree::Full(t) => t.root(),
+            ParticipantTree::Partial(t) => t.root(),
+        }
+    }
+
+    /// Proves `index`, returning the wire proof with the claimed leaf value.
+    ///
+    /// Partial mode rebuilds the covering subtree by re-running the
+    /// behaviour for its `2^ℓ` leaves, charging the participant's ledger
+    /// for the recomputed `f` evaluations and hashes.
+    pub(crate) fn prove(
+        &self,
+        index: u64,
+        task: &dyn ComputeTask,
+        domain: Domain,
+        behaviour: &dyn WorkerBehaviour,
+        ledger: &CostLedger,
+    ) -> Result<SampleProof, SchemeError> {
+        match self {
+            ParticipantTree::Full(tree) => {
+                let proof = tree.prove(index)?;
+                let leaf_value = tree.leaf(index)?.to_vec();
+                Ok(proof_to_wire(&proof, leaf_value))
+            }
+            ParticipantTree::Partial(tree) => {
+                let mut sampled_value: Option<Vec<u8>> = None;
+                let (proof, stats) = tree.prove_with(index, |i| {
+                    let value = behaviour.leaf_value(task, domain, i, ledger);
+                    if i == index {
+                        sampled_value = Some(value.clone());
+                    }
+                    value
+                })?;
+                ledger.charge_hash(stats.hash_ops);
+                let leaf_value = sampled_value.expect("provider visited the sampled leaf");
+                Ok(proof_to_wire(&proof, leaf_value))
+            }
+        }
+    }
+}
+
+/// Runs the participant side of interactive CBS over `endpoint`.
+///
+/// Blocks until the round completes (Assign → Commit → Challenge → Proofs
+/// → Verdict). All computation costs are charged to `ledger`.
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or Merkle errors.
+pub fn participant_cbs<H, T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    storage: ParticipantStorage,
+    ledger: &CostLedger,
+) -> Result<ParticipantRun, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    // Step 0: receive the assignment.
+    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
+        Message::Assign(a) => Ok(a),
+        other => Err(other),
+    })?;
+    let domain = assignment.domain;
+    let task_id = assignment.task_id;
+
+    // Step 1: evaluate (honestly or not), build the tree, commit Φ(R).
+    let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
+    let tree = ParticipantTree::<H>::build(&leaves, storage, ledger)?;
+    if matches!(storage, ParticipantStorage::Partial { .. }) {
+        // Section 3.3: the full leaf set is not retained.
+        drop(leaves);
+    }
+    endpoint.send(&Message::Commit {
+        task_id,
+        root: tree.root().as_ref().to_vec(),
+    })?;
+
+    // Step 2: receive the samples.
+    let samples = recv_matching(endpoint, "Challenge", |msg| match msg {
+        Message::Challenge { task_id: tid, samples } => Ok((tid, samples)),
+        other => Err(other),
+    })
+    .and_then(|(tid, samples)| {
+        check_task(task_id, tid)?;
+        Ok(samples)
+    })?;
+
+    // Step 3: prove honesty on every sample; ship proofs and reports.
+    let mut proofs = Vec::with_capacity(samples.len());
+    for &index in &samples {
+        proofs.push(tree.prove(index, task, domain, behaviour, ledger)?);
+    }
+    endpoint.send(&Message::Proofs { task_id, proofs })?;
+    let reports_sent = reports.len();
+    endpoint.send(&Message::Reports {
+        task_id,
+        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
+    })?;
+
+    // Step 4 happens at the supervisor; await the verdict.
+    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
+        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        other => Err(other),
+    })
+    .and_then(|(tid, accepted)| {
+        check_task(task_id, tid)?;
+        Ok(accepted)
+    })?;
+    Ok(ParticipantRun {
+        accepted,
+        reports_sent,
+    })
+}
+
+/// Runs the supervisor side of interactive CBS over `endpoint`.
+///
+/// Returns the verdict and the screened reports received (reports are kept
+/// even on rejection, for inspection; a production supervisor would
+/// discard them).
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or invalid configuration
+/// (`samples == 0`).
+pub fn supervisor_cbs<H, T, S>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    config: &CbsConfig,
+    ledger: &CostLedger,
+) -> Result<(Verdict, Vec<ScreenReport>), SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
+    if config.samples == 0 {
+        return Err(SchemeError::InvalidConfig {
+            reason: "samples must be positive",
+        });
+    }
+    let task_id = config.task_id;
+    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
+
+    // Step 1→2: commitment first, then reveal the samples.
+    let root_bytes = recv_matching(endpoint, "Commit", |msg| match msg {
+        Message::Commit { task_id: tid, root } => Ok((tid, root)),
+        other => Err(other),
+    })
+    .and_then(|(tid, root)| {
+        check_task(task_id, tid)?;
+        Ok(root)
+    })?;
+    let root = H::digest_from_bytes(&root_bytes).ok_or(SchemeError::MalformedPayload {
+        what: "commitment root",
+    })?;
+    let samples = draw_samples(config.seed, config.samples, domain.len());
+    endpoint.send(&Message::Challenge {
+        task_id,
+        samples: samples.clone(),
+    })?;
+
+    // Step 3: collect the proofs and reports.
+    let proofs = recv_matching(endpoint, "Proofs", |msg| match msg {
+        Message::Proofs { task_id: tid, proofs } => Ok((tid, proofs)),
+        other => Err(other),
+    })
+    .and_then(|(tid, proofs)| {
+        check_task(task_id, tid)?;
+        Ok(proofs)
+    })?;
+    let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
+        Message::Reports { task_id: tid, reports } => Ok((tid, reports)),
+        other => Err(other),
+    })
+    .and_then(|(tid, reports)| {
+        check_task(task_id, tid)?;
+        Ok(reports)
+    })?;
+
+    // Step 4: verify.
+    let verdict = verify_round::<H>(
+        task,
+        screener,
+        domain,
+        &root,
+        &samples,
+        &proofs,
+        &wire_reports,
+        config.report_audit,
+        config.seed,
+        ledger,
+    )?;
+    endpoint.send(&Message::Verdict {
+        task_id,
+        accepted: verdict.is_accepted(),
+    })?;
+    let reports = wire_reports
+        .into_iter()
+        .map(|(input, payload)| ScreenReport { input, payload })
+        .collect();
+    Ok((verdict, reports))
+}
+
+/// The supervisor's Step 4 as a standalone building block: checks that
+/// `proofs` answer exactly `samples` against the commitment `root`, that
+/// every claimed `f(x)` is correct, that every reconstruction matches the
+/// root, and (optionally) audits the screened `reports`.
+///
+/// Exposed so custom supervisors — e.g. one behind a
+/// [`Broker`](ugc_grid::Broker) driving many participants over shared
+/// endpoints — can reuse the verification logic outside
+/// [`supervisor_cbs`]/[`supervisor_ni_cbs`](crate::scheme::ni_cbs::supervisor_ni_cbs).
+///
+/// # Errors
+///
+/// [`SchemeError::ProofCountMismatch`] or malformed-proof errors; cheating
+/// is reported through the `Ok` verdict, not as an error.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_round<H: HashFunction>(
+    task: &dyn ComputeTask,
+    screener: &dyn Screener,
+    domain: Domain,
+    root: &H::Digest,
+    samples: &[u64],
+    proofs: &[SampleProof],
+    reports: &[(u64, Vec<u8>)],
+    report_audit: usize,
+    seed: u64,
+    ledger: &CostLedger,
+) -> Result<Verdict, SchemeError> {
+    if proofs.len() != samples.len() {
+        return Err(SchemeError::ProofCountMismatch {
+            expected: samples.len(),
+            got: proofs.len(),
+        });
+    }
+    for (expected_index, wire) in samples.iter().zip(proofs) {
+        if wire.index != *expected_index {
+            return Ok(Verdict::WrongResult {
+                sample: *expected_index,
+            });
+        }
+        if let Err(verdict) = verify_sample::<H>(task, domain, root, wire, ledger)? {
+            return Ok(verdict);
+        }
+    }
+    if let Some(verdict) = crate::scheme::audit_reports(
+        task,
+        screener,
+        domain,
+        reports,
+        report_audit,
+        seed,
+        ledger,
+    ) {
+        return Ok(verdict);
+    }
+    Ok(Verdict::Accepted)
+}
+
+/// Runs a complete interactive CBS round in-process: supervisor on the
+/// calling thread, participant on a scoped thread, duplex link between
+/// them. Returns full cost and traffic accounting.
+///
+/// # Errors
+///
+/// Propagates the supervisor's error if both sides fail (the participant's
+/// failure is almost always a consequence).
+pub fn run_cbs<H, T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    behaviour: &B,
+    storage: ParticipantStorage,
+    config: &CbsConfig,
+) -> Result<RoundOutcome, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let (sup_ep, part_ep) = duplex();
+    let sup_ledger = CostLedger::new();
+    let part_ledger = CostLedger::new();
+
+    let (sup_result, part_result, link) = std::thread::scope(|scope| {
+        // The participant owns its endpoint so that an early exit (error or
+        // completion) drops it and unblocks a supervisor mid-recv.
+        let thread_ledger = part_ledger.clone();
+        let part_handle = scope.spawn(move || {
+            participant_cbs::<H, T, S, B>(
+                &part_ep,
+                task,
+                screener,
+                behaviour,
+                storage,
+                &thread_ledger,
+            )
+        });
+        let sup = supervisor_cbs::<H, T, S>(&sup_ep, task, screener, domain, config, &sup_ledger);
+        let link = sup_ep.stats();
+        // Drop the supervisor endpoint before joining: if the supervisor
+        // bailed early the participant is still blocked on recv and must
+        // observe the disconnect, or this join would deadlock.
+        drop(sup_ep);
+        let part = part_handle.join().expect("participant thread panicked");
+        (sup, part, link)
+    });
+
+    let (verdict, reports) = sup_result?;
+    let _ = part_result?; // participant errors surface only if supervisor succeeded
+    Ok(RoundOutcome::new(
+        verdict,
+        sup_ledger.report(),
+        part_ledger.report(),
+        link,
+        reports,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_grid::{CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater};
+    use ugc_hash::{Md5, Sha256};
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::ZeroGuesser;
+
+    fn config(m: usize, seed: u64) -> CbsConfig {
+        CbsConfig {
+            task_id: 7,
+            samples: m,
+            seed,
+            report_audit: 0,
+        }
+    }
+
+    #[test]
+    fn honest_participant_always_accepted() {
+        // Theorem 1 (soundness), end to end, across seeds and domain sizes.
+        for (n, seed) in [(16u64, 1u64), (100, 2), (257, 3)] {
+            let task = PasswordSearch::with_hidden_password(9, 3);
+            let screener = task.match_screener();
+            let outcome = run_cbs::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                Domain::new(0, n),
+                &HonestWorker,
+                ParticipantStorage::Full,
+                &config(10, seed),
+            )
+            .unwrap();
+            assert!(outcome.accepted, "honest rejected at n={n} seed={seed}");
+            assert_eq!(outcome.verdict, Verdict::Accepted);
+        }
+    }
+
+    #[test]
+    fn honest_reports_reach_supervisor() {
+        let task = PasswordSearch::with_hidden_password(9, 37);
+        let screener = task.match_screener();
+        let outcome = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config(5, 1),
+        )
+        .unwrap();
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(outcome.reports[0].input, 37);
+    }
+
+    #[test]
+    fn gross_cheater_caught() {
+        let task = PasswordSearch::with_hidden_password(9, 3);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.1, CheatSelection::Scattered, ZeroGuesser::new(5), 11);
+        let outcome = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 256),
+            &cheater,
+            ParticipantStorage::Full,
+            &config(20, 42),
+        )
+        .unwrap();
+        assert!(!outcome.accepted);
+        assert!(matches!(outcome.verdict, Verdict::WrongResult { .. }));
+    }
+
+    #[test]
+    fn partial_storage_equivalent_verdicts() {
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let screener = task.match_screener();
+        for storage in [
+            ParticipantStorage::Full,
+            ParticipantStorage::Partial { subtree_height: 2 },
+            ParticipantStorage::Partial { subtree_height: 5 },
+        ] {
+            let outcome = run_cbs::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                Domain::new(0, 128),
+                &HonestWorker,
+                storage,
+                &config(8, 9),
+            )
+            .unwrap();
+            assert!(outcome.accepted, "storage {storage:?}");
+        }
+    }
+
+    #[test]
+    fn partial_storage_charges_rebuild_f_evals() {
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let screener = task.match_screener();
+        let full = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 128),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config(8, 9),
+        )
+        .unwrap();
+        let partial = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 128),
+            &HonestWorker,
+            ParticipantStorage::Partial { subtree_height: 4 },
+            &config(8, 9),
+        )
+        .unwrap();
+        // Partial mode pays extra f evaluations: up to m × 2^ℓ beyond the
+        // base n (fewer when samples share subtrees).
+        assert_eq!(full.participant_costs.f_evals, 128);
+        assert!(partial.participant_costs.f_evals > 128);
+        assert!(partial.participant_costs.f_evals <= 128 + 8 * 16);
+    }
+
+    #[test]
+    fn cheater_with_partial_storage_still_caught() {
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.2, CheatSelection::Scattered, ZeroGuesser::new(5), 3);
+        let outcome = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 128),
+            &cheater,
+            ParticipantStorage::Partial { subtree_height: 3 },
+            &config(16, 4),
+        )
+        .unwrap();
+        assert!(!outcome.accepted);
+    }
+
+    #[test]
+    fn md5_variant_works() {
+        let task = PasswordSearch::with_hidden_password(2, 4);
+        let screener = task.match_screener();
+        let outcome = run_cbs::<Md5, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config(6, 5),
+        )
+        .unwrap();
+        assert!(outcome.accepted);
+    }
+
+    #[test]
+    fn malicious_worker_survives_without_audit_caught_with() {
+        // The malicious model does all the work, so pure CBS accepts it…
+        let task = PasswordSearch::with_hidden_password(3, 10);
+        let screener = ugc_task::AcceptAllScreener;
+        let malicious = MaliciousWorker::new(1.0, 8);
+        let no_audit = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &malicious,
+            ParticipantStorage::Full,
+            &config(10, 6),
+        )
+        .unwrap();
+        assert!(no_audit.accepted, "CBS alone cannot see report corruption");
+        // …but the report audit extension catches the corrupted payloads.
+        let mut audited_config = config(10, 6);
+        audited_config.report_audit = 4;
+        let audited = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &malicious,
+            ParticipantStorage::Full,
+            &audited_config,
+        )
+        .unwrap();
+        assert!(!audited.accepted);
+        assert!(matches!(audited.verdict, Verdict::ReportMismatch { .. }));
+    }
+
+    #[test]
+    fn communication_is_logarithmic_not_linear() {
+        let task = PasswordSearch::with_hidden_password(4, 1);
+        let screener = task.match_screener();
+        let mut received = Vec::new();
+        for bits in [8u32, 10, 12] {
+            let outcome = run_cbs::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                Domain::new(0, 1 << bits),
+                &HonestWorker,
+                ParticipantStorage::Full,
+                &config(10, 2),
+            )
+            .unwrap();
+            received.push(outcome.supervisor_link.bytes_received);
+        }
+        // 16× the domain should grow traffic by ~(height ratio), not 16×.
+        let growth = received[2] as f64 / received[0] as f64;
+        assert!(
+            growth < 2.0,
+            "CBS traffic grew {growth:.2}× for a 16× domain"
+        );
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let task = PasswordSearch::with_hidden_password(1, 1);
+        let screener = task.match_screener();
+        let err = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 16),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config(0, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemeError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn supervisor_verification_cost_scales_with_m() {
+        let task = PasswordSearch::with_hidden_password(1, 1);
+        let screener = task.match_screener();
+        let small = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 256),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config(5, 3),
+        )
+        .unwrap();
+        let large = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 256),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config(50, 3),
+        )
+        .unwrap();
+        assert_eq!(small.supervisor_costs.verify_ops, 5);
+        assert_eq!(large.supervisor_costs.verify_ops, 50);
+        assert_eq!(large.supervisor_costs.f_evals, 50 * task.unit_cost());
+        // The supervisor never evaluates f on the whole domain.
+        assert!(large.supervisor_costs.f_evals < 256);
+    }
+}

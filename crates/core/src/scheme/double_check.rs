@@ -1,0 +1,323 @@
+//! The straw-man scheme of Section 1: assign every task twice and compare.
+//!
+//! Detection is certain whenever at least one replica is honest and the
+//! cheating replicas disagree with it — but *half of all grid cycles are
+//! wasted on redundancy*, and the supervisor still absorbs two `O(n)`
+//! uploads. This is the baseline that motivates everything else.
+
+use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::{RoundOutcome, SchemeError, Verdict};
+use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, WorkerBehaviour};
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Double-check parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoubleCheckConfig {
+    /// Task identifier carried on every message.
+    pub task_id: u64,
+}
+
+/// Runs the replica (participant) side: evaluate and upload everything.
+///
+/// # Errors
+///
+/// Transport failures or malformed peer messages.
+pub fn participant_double_check<T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    ledger: &CostLedger,
+) -> Result<bool, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
+        Message::Assign(a) => Ok(a),
+        other => Err(other),
+    })?;
+    let domain = assignment.domain;
+    let task_id = assignment.task_id;
+    let Materialized { leaves, .. } = materialize(task, screener, domain, behaviour, ledger);
+    let width = task.output_width();
+    let mut data = Vec::with_capacity(leaves.len() * width);
+    for leaf in &leaves {
+        data.extend_from_slice(leaf);
+    }
+    endpoint.send(&Message::AllResults {
+        task_id,
+        leaf_width: width as u32,
+        data,
+    })?;
+    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
+        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        other => Err(other),
+    })
+    .and_then(|(tid, accepted)| {
+        check_task(task_id, tid)?;
+        Ok(accepted)
+    })?;
+    Ok(accepted)
+}
+
+/// Runs the supervisor against two replicas: assign the same domain to
+/// both, compare their uploads byte-for-byte, screen the agreed results.
+///
+/// # Errors
+///
+/// Transport failures or malformed peer messages.
+pub fn supervisor_double_check<T, S>(
+    endpoint_a: &Endpoint,
+    endpoint_b: &Endpoint,
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    config: &DoubleCheckConfig,
+    ledger: &CostLedger,
+) -> Result<(Verdict, Vec<ScreenReport>), SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+{
+    let task_id = config.task_id;
+    let assignment = Message::Assign(Assignment { task_id, domain });
+    endpoint_a.send(&assignment)?;
+    endpoint_b.send(&assignment)?;
+
+    let recv_upload = |endpoint: &Endpoint| -> Result<Vec<u8>, SchemeError> {
+        recv_matching(endpoint, "AllResults", |msg| match msg {
+            Message::AllResults { task_id: tid, leaf_width, data } => Ok((tid, leaf_width, data)),
+            other => Err(other),
+        })
+        .and_then(|(tid, width, data)| {
+            check_task(task_id, tid)?;
+            if width as usize != task.output_width()
+                || data.len() as u64 != domain.len() * width as u64
+            {
+                return Err(SchemeError::MalformedPayload {
+                    what: "flat results layout",
+                });
+            }
+            Ok(data)
+        })
+    };
+    let data_a = recv_upload(endpoint_a)?;
+    let data_b = recv_upload(endpoint_b)?;
+
+    let width = task.output_width();
+    let verdict = match (0..domain.len()).find(|&i| {
+        let lo = (i as usize) * width;
+        data_a[lo..lo + width] != data_b[lo..lo + width]
+    }) {
+        Some(index) => Verdict::ReplicaDisagreement { index },
+        None => Verdict::Accepted,
+    };
+
+    let mut reports = Vec::new();
+    if verdict.is_accepted() {
+        for i in 0..domain.len() {
+            let x = domain.input(i).expect("index within domain");
+            let lo = (i as usize) * width;
+            if let Some(report) = screener.screen(x, &data_a[lo..lo + width]) {
+                reports.push(report);
+            }
+        }
+    }
+    let verdict_msg = Message::Verdict {
+        task_id,
+        accepted: verdict.is_accepted(),
+    };
+    endpoint_a.send(&verdict_msg)?;
+    endpoint_b.send(&verdict_msg)?;
+    // The comparison itself is linear but cheap; we charge one verify op
+    // per compared record for the cost tables.
+    ledger.charge_verify(domain.len());
+    Ok((verdict, reports))
+}
+
+/// Runs a complete double-check round: two replicas on scoped threads.
+///
+/// The returned outcome's `participant_costs` is the **sum over both
+/// replicas** — the paper's point is precisely that this doubles the spent
+/// cycles.
+///
+/// # Errors
+///
+/// Propagates the supervisor's error if multiple sides fail.
+pub fn run_double_check<T, S, BA, BB>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    replica_a: &BA,
+    replica_b: &BB,
+    config: &DoubleCheckConfig,
+) -> Result<RoundOutcome, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    BA: WorkerBehaviour,
+    BB: WorkerBehaviour,
+{
+    let (sup_a, part_a) = duplex();
+    let (sup_b, part_b) = duplex();
+    let sup_ledger = CostLedger::new();
+    let part_ledger = CostLedger::new(); // shared: we want the total burn
+
+    let (sup_result, a_result, b_result, link) = std::thread::scope(|scope| {
+        // Each replica owns its endpoint so an early exit unblocks the
+        // supervisor mid-recv.
+        let ledger_a = part_ledger.clone();
+        let ledger_b = part_ledger.clone();
+        let handle_a = scope.spawn(move || {
+            participant_double_check(&part_a, task, screener, replica_a, &ledger_a)
+        });
+        let handle_b = scope.spawn(move || {
+            participant_double_check(&part_b, task, screener, replica_b, &ledger_b)
+        });
+        let sup = supervisor_double_check(
+            &sup_a,
+            &sup_b,
+            task,
+            screener,
+            domain,
+            config,
+            &sup_ledger,
+        );
+        let mut link = sup_a.stats();
+        let b_stats = sup_b.stats();
+        link.bytes_sent += b_stats.bytes_sent;
+        link.bytes_received += b_stats.bytes_received;
+        link.messages_sent += b_stats.messages_sent;
+        link.messages_received += b_stats.messages_received;
+        // Unblock waiting replicas if the supervisor bailed early.
+        drop(sup_a);
+        drop(sup_b);
+        (
+            sup,
+            handle_a.join().expect("replica A panicked"),
+            handle_b.join().expect("replica B panicked"),
+            link,
+        )
+    });
+
+    let (verdict, reports) = sup_result?;
+    let _ = a_result?;
+    let _ = b_result?;
+    Ok(RoundOutcome::new(
+        verdict,
+        sup_ledger.report(),
+        part_ledger.report(),
+        link,
+        reports,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_grid::{CheatSelection, HonestWorker, SemiHonestCheater};
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::ZeroGuesser;
+
+    const CONFIG: DoubleCheckConfig = DoubleCheckConfig { task_id: 4 };
+
+    #[test]
+    fn two_honest_replicas_agree() {
+        let task = PasswordSearch::with_hidden_password(1, 20);
+        let screener = task.match_screener();
+        let outcome = run_double_check(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            &HonestWorker,
+            &CONFIG,
+        )
+        .unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.reports.len(), 1);
+        // Both replicas burned the full task: 2n evaluations.
+        assert_eq!(outcome.participant_costs.f_evals, 128);
+    }
+
+    #[test]
+    fn cheating_replica_detected_with_certainty() {
+        let task = PasswordSearch::with_hidden_password(1, 20);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.9, CheatSelection::Scattered, ZeroGuesser::new(2), 3);
+        let outcome = run_double_check(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            &cheater,
+            &CONFIG,
+        )
+        .unwrap();
+        assert!(!outcome.accepted);
+        assert!(matches!(outcome.verdict, Verdict::ReplicaDisagreement { .. }));
+    }
+
+    #[test]
+    fn colluding_identical_cheaters_evade() {
+        // The known blind spot: identical deterministic cheaters agree.
+        let task = PasswordSearch::with_hidden_password(1, 20);
+        let screener = task.match_screener();
+        let cheater_a =
+            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(7), 1);
+        let cheater_b =
+            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(7), 1);
+        let outcome = run_double_check(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &cheater_a,
+            &cheater_b,
+            &CONFIG,
+        )
+        .unwrap();
+        assert!(
+            outcome.accepted,
+            "colluding replicas slip through double-check"
+        );
+    }
+
+    #[test]
+    fn traffic_is_double_the_naive_upload() {
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let screener = task.match_screener();
+        let outcome = run_double_check(
+            &task,
+            &screener,
+            Domain::new(0, 256),
+            &HonestWorker,
+            &HonestWorker,
+            &CONFIG,
+        )
+        .unwrap();
+        // Two uploads of n × 16 bytes dominate the inbound traffic.
+        assert!(outcome.supervisor_link.bytes_received as f64 > 2.0 * 256.0 * 16.0);
+    }
+
+    #[test]
+    fn disagreement_reports_first_divergent_index() {
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let screener = task.match_screener();
+        // Cheater honest on prefix 32 of 64: first divergence at 32.
+        let cheater =
+            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(5), 9);
+        let outcome = run_double_check(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            &cheater,
+            &CONFIG,
+        )
+        .unwrap();
+        assert_eq!(outcome.verdict, Verdict::ReplicaDisagreement { index: 32 });
+    }
+}

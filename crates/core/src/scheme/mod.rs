@@ -1,0 +1,345 @@
+//! The verification schemes: the paper's CBS/NI-CBS and all baselines.
+//!
+//! Each scheme exposes three layers:
+//!
+//! 1. `supervisor_*` / `participant_*` — one side of the protocol over an
+//!    [`Endpoint`](ugc_grid::Endpoint), usable across threads or through a
+//!    [`Broker`](ugc_grid::Broker);
+//! 2. `run_*` — a convenience that wires a duplex link, runs the
+//!    participant on a scoped thread, and returns a
+//!    [`RoundOutcome`](crate::RoundOutcome) with full cost and traffic
+//!    accounting;
+//! 3. attack entry points (e.g. [`ni_cbs::retry_attack`]) where the paper
+//!    analyses one.
+
+pub mod cbs;
+pub mod double_check;
+pub mod naive;
+pub mod ni_cbs;
+pub mod ringer;
+
+use crate::error::message_kind;
+use crate::{SchemeError, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugc_grid::{CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour};
+use ugc_hash::HashFunction;
+use ugc_merkle::MerkleProof;
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Committed leaf values plus the screened reports they induce.
+pub(crate) struct Materialized {
+    pub leaves: Vec<Vec<u8>>,
+    pub reports: Vec<ScreenReport>,
+}
+
+/// Evaluates the behaviour over the whole domain once, screening each
+/// committed value — the single pass a real participant performs.
+pub(crate) fn materialize(
+    task: &dyn ComputeTask,
+    screener: &dyn Screener,
+    domain: Domain,
+    behaviour: &dyn WorkerBehaviour,
+    ledger: &CostLedger,
+) -> Materialized {
+    let n = domain.len();
+    let mut leaves = Vec::with_capacity(n as usize);
+    let mut reports = Vec::new();
+    for i in 0..n {
+        let value = behaviour.leaf_value(task, domain, i, ledger);
+        if let Some(report) = behaviour.report_for(screener, domain, i, &value) {
+            reports.push(report);
+        }
+        leaves.push(value);
+    }
+    Materialized { leaves, reports }
+}
+
+/// Converts a local Merkle proof plus its claimed leaf value to wire form.
+pub(crate) fn proof_to_wire<H: HashFunction>(
+    proof: &MerkleProof<H>,
+    leaf_value: Vec<u8>,
+) -> SampleProof {
+    SampleProof {
+        index: proof.leaf_index(),
+        leaf_value,
+        leaf_sibling: proof.leaf_sibling().to_vec(),
+        digest_siblings: proof
+            .digest_siblings()
+            .iter()
+            .map(|d| d.as_ref().to_vec())
+            .collect(),
+    }
+}
+
+/// Parses a wire proof back into a typed Merkle proof.
+pub(crate) fn wire_to_proof<H: HashFunction>(
+    wire: &SampleProof,
+) -> Result<MerkleProof<H>, SchemeError> {
+    let digests = wire
+        .digest_siblings
+        .iter()
+        .map(|bytes| H::digest_from_bytes(bytes))
+        .collect::<Option<Vec<_>>>()
+        .ok_or(SchemeError::MalformedPayload {
+            what: "proof digest sibling",
+        })?;
+    Ok(MerkleProof::from_parts(
+        wire.index,
+        wire.leaf_sibling.clone(),
+        digests,
+    ))
+}
+
+/// Step 4 of the CBS scheme for one sample: check the claimed `f(x)` and
+/// reconstruct the committed root. `Ok(())` means the sample passed;
+/// `Err(verdict)` carries the failure classification.
+pub(crate) fn verify_sample<H: HashFunction>(
+    task: &dyn ComputeTask,
+    domain: Domain,
+    committed_root: &H::Digest,
+    wire: &SampleProof,
+    ledger: &CostLedger,
+) -> Result<Result<(), Verdict>, SchemeError> {
+    let sample = wire.index;
+    let x = match domain.input(sample) {
+        Ok(x) => x,
+        Err(_) => return Ok(Err(Verdict::WrongResult { sample })),
+    };
+    // Step 4.1: is the claimed f(x) correct?
+    ledger.charge_verify(1);
+    if !task.cheap_verification() {
+        // Verification recomputes f at full cost.
+        ledger.charge_f(task.unit_cost());
+    }
+    if !task.verify(x, &wire.leaf_value) {
+        return Ok(Err(Verdict::WrongResult { sample }));
+    }
+    // Step 4.2: does Λ(f(x), λ₁…λ_H) reproduce the commitment?
+    let proof = wire_to_proof::<H>(wire)?;
+    ledger.charge_hash(proof.verification_hash_ops());
+    if !proof.verify(committed_root, &wire.leaf_value) {
+        return Ok(Err(Verdict::CommitmentMismatch { sample }));
+    }
+    Ok(Ok(()))
+}
+
+/// Audits up to `audit` screened reports by recomputing `f` on the
+/// reported inputs: payloads must match the true result and genuinely pass
+/// the screener. Catches the malicious model's corrupted reports.
+///
+/// This is an extension beyond the paper's Section 3 (which focuses on the
+/// semi-honest model); see DESIGN.md.
+pub(crate) fn audit_reports(
+    task: &dyn ComputeTask,
+    screener: &dyn Screener,
+    domain: Domain,
+    reports: &[(u64, Vec<u8>)],
+    audit: usize,
+    seed: u64,
+    ledger: &CostLedger,
+) -> Option<Verdict> {
+    if audit == 0 || reports.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6175_6469_74);
+    for _ in 0..audit.min(reports.len()) {
+        let (input, payload) = &reports[rng.random_range(0..reports.len())];
+        if !domain.contains(*input) {
+            return Some(Verdict::ReportMismatch { input: *input });
+        }
+        ledger.charge_f(task.unit_cost());
+        let truth = task.compute(*input);
+        match screener.screen(*input, &truth) {
+            Some(expected) if &expected.payload == payload => {}
+            _ => return Some(Verdict::ReportMismatch { input: *input }),
+        }
+    }
+    None
+}
+
+/// Receives a message and fails with a uniform error if it is not produced
+/// by `expected`.
+pub(crate) fn recv_matching<T>(
+    endpoint: &Endpoint,
+    expected: &'static str,
+    matcher: impl FnOnce(Message) -> Result<T, Message>,
+) -> Result<T, SchemeError> {
+    let msg = endpoint.recv()?;
+    matcher(msg).map_err(|other| SchemeError::UnexpectedMessage {
+        expected,
+        got: message_kind(&other),
+    })
+}
+
+/// Checks a task-id echo.
+pub(crate) fn check_task(expected: u64, got: u64) -> Result<(), SchemeError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(SchemeError::TaskMismatch { expected, got })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_grid::HonestWorker;
+    use ugc_hash::Sha256;
+    use ugc_merkle::MerkleTree;
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::AcceptAllScreener;
+
+    fn setup() -> (PasswordSearch, Domain, Vec<Vec<u8>>, MerkleTree<Sha256>) {
+        let task = PasswordSearch::with_hidden_password(3, 5);
+        let domain = Domain::new(0, 16);
+        let leaves: Vec<Vec<u8>> = (0..16).map(|x| task.compute(x)).collect();
+        let tree = MerkleTree::build(&leaves).unwrap();
+        (task, domain, leaves, tree)
+    }
+
+    #[test]
+    fn materialize_screens_and_counts() {
+        let (task, domain, leaves, _) = setup();
+        let ledger = CostLedger::new();
+        let m = materialize(&task, &AcceptAllScreener, domain, &HonestWorker, &ledger);
+        assert_eq!(m.leaves, leaves);
+        assert_eq!(m.reports.len(), 16);
+        assert_eq!(ledger.report().f_evals, 16);
+    }
+
+    #[test]
+    fn proof_wire_roundtrip() {
+        let (_, _, leaves, tree) = setup();
+        let proof = tree.prove(7).unwrap();
+        let wire = proof_to_wire(&proof, leaves[7].clone());
+        let back = wire_to_proof::<Sha256>(&wire).unwrap();
+        assert_eq!(back, proof);
+        assert!(back.verify(&tree.root(), &wire.leaf_value));
+    }
+
+    #[test]
+    fn wire_to_proof_rejects_bad_digest_len() {
+        let wire = SampleProof {
+            index: 0,
+            leaf_value: vec![0; 16],
+            leaf_sibling: vec![0; 16],
+            digest_siblings: vec![vec![0; 31]],
+        };
+        assert_eq!(
+            wire_to_proof::<Sha256>(&wire).unwrap_err(),
+            SchemeError::MalformedPayload {
+                what: "proof digest sibling"
+            }
+        );
+    }
+
+    #[test]
+    fn verify_sample_accepts_honest() {
+        let (task, domain, leaves, tree) = setup();
+        let ledger = CostLedger::new();
+        let proof = tree.prove(4).unwrap();
+        let wire = proof_to_wire(&proof, leaves[4].clone());
+        let root = tree.root();
+        assert_eq!(
+            verify_sample::<Sha256>(&task, domain, &root, &wire, &ledger).unwrap(),
+            Ok(())
+        );
+        // Verification recomputed f once and hashed the path.
+        assert_eq!(ledger.report().f_evals, task.unit_cost());
+        assert_eq!(ledger.report().hash_ops, 4);
+    }
+
+    #[test]
+    fn verify_sample_rejects_wrong_result() {
+        let (task, domain, leaves, tree) = setup();
+        let ledger = CostLedger::new();
+        let proof = tree.prove(4).unwrap();
+        let wire = proof_to_wire(&proof, leaves[5].clone()); // wrong value
+        let root = tree.root();
+        assert_eq!(
+            verify_sample::<Sha256>(&task, domain, &root, &wire, &ledger).unwrap(),
+            Err(Verdict::WrongResult { sample: 4 })
+        );
+    }
+
+    #[test]
+    fn verify_sample_rejects_commitment_mismatch() {
+        // The participant recomputed the true f(x) after the challenge, but
+        // its tree committed to garbage: correct value, wrong path.
+        let (task, domain, _, _) = setup();
+        let garbage: Vec<Vec<u8>> = (0..16u64).map(|x| vec![x as u8; 16]).collect();
+        let garbage_tree: MerkleTree<Sha256> = MerkleTree::build(&garbage).unwrap();
+        let ledger = CostLedger::new();
+        let proof = garbage_tree.prove(4).unwrap();
+        let wire = proof_to_wire(&proof, task.compute(4)); // truthful f(x)…
+        let root = garbage_tree.root(); // …but the commitment disagrees
+        assert_eq!(
+            verify_sample::<Sha256>(&task, domain, &root, &wire, &ledger).unwrap(),
+            Err(Verdict::CommitmentMismatch { sample: 4 })
+        );
+    }
+
+    #[test]
+    fn verify_sample_rejects_out_of_domain_index() {
+        let (task, domain, leaves, tree) = setup();
+        let ledger = CostLedger::new();
+        let proof = tree.prove(4).unwrap();
+        let mut wire = proof_to_wire(&proof, leaves[4].clone());
+        wire.index = 99;
+        let root = tree.root();
+        assert_eq!(
+            verify_sample::<Sha256>(&task, domain, &root, &wire, &ledger).unwrap(),
+            Err(Verdict::WrongResult { sample: 99 })
+        );
+    }
+
+    #[test]
+    fn audit_accepts_truthful_reports() {
+        let (task, domain, leaves, _) = setup();
+        let ledger = CostLedger::new();
+        let reports: Vec<(u64, Vec<u8>)> =
+            (0..16u64).map(|x| (x, leaves[x as usize].clone())).collect();
+        assert_eq!(
+            audit_reports(&task, &AcceptAllScreener, domain, &reports, 8, 1, &ledger),
+            None
+        );
+        assert!(ledger.report().f_evals > 0);
+    }
+
+    #[test]
+    fn audit_catches_corrupted_payload() {
+        let (task, domain, leaves, _) = setup();
+        let ledger = CostLedger::new();
+        let mut reports: Vec<(u64, Vec<u8>)> =
+            (0..16u64).map(|x| (x, leaves[x as usize].clone())).collect();
+        for (_, payload) in reports.iter_mut() {
+            payload[0] ^= 0xFF;
+        }
+        let verdict = audit_reports(&task, &AcceptAllScreener, domain, &reports, 4, 1, &ledger);
+        assert!(matches!(verdict, Some(Verdict::ReportMismatch { .. })));
+    }
+
+    #[test]
+    fn audit_catches_out_of_domain_report() {
+        let (task, domain, _, _) = setup();
+        let ledger = CostLedger::new();
+        let reports = vec![(999u64, vec![0u8; 16])];
+        assert_eq!(
+            audit_reports(&task, &AcceptAllScreener, domain, &reports, 1, 1, &ledger),
+            Some(Verdict::ReportMismatch { input: 999 })
+        );
+    }
+
+    #[test]
+    fn audit_zero_is_noop() {
+        let (task, domain, _, _) = setup();
+        let ledger = CostLedger::new();
+        let reports = vec![(999u64, vec![0u8; 16])];
+        assert_eq!(
+            audit_reports(&task, &AcceptAllScreener, domain, &reports, 0, 1, &ledger),
+            None
+        );
+        assert_eq!(ledger.report().f_evals, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The naive sampling scheme (Section 1): upload everything, spot-check.
+//!
+//! The participant returns **all** `n` results (`O(n)` communication —
+//! the cost CBS eliminates); the supervisor re-computes `m` random samples
+//! and compares. Detection probability is identical to CBS
+//! (`1 − (r + (1−r)q)^m`); only the costs differ, which is exactly what
+//! the communication experiments measure.
+
+use crate::sampling::draw_samples;
+use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::{RoundOutcome, SchemeError, Verdict};
+use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, WorkerBehaviour};
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Naive-sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveConfig {
+    /// Task identifier carried on every message.
+    pub task_id: u64,
+    /// Number of spot-checked samples `m`.
+    pub samples: usize,
+    /// Supervisor sampling seed.
+    pub seed: u64,
+}
+
+/// Runs the participant side: evaluate and upload every result.
+///
+/// # Errors
+///
+/// Transport failures or malformed peer messages.
+pub fn participant_naive<T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    ledger: &CostLedger,
+) -> Result<bool, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
+        Message::Assign(a) => Ok(a),
+        other => Err(other),
+    })?;
+    let domain = assignment.domain;
+    let task_id = assignment.task_id;
+
+    // The participant still screens locally (the supervisor will anyway),
+    // but naive sampling's defining trait is the flat upload.
+    let Materialized { leaves, .. } = materialize(task, screener, domain, behaviour, ledger);
+    let width = task.output_width();
+    let mut data = Vec::with_capacity(leaves.len() * width);
+    for leaf in &leaves {
+        data.extend_from_slice(leaf);
+    }
+    endpoint.send(&Message::AllResults {
+        task_id,
+        leaf_width: width as u32,
+        data,
+    })?;
+
+    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
+        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        other => Err(other),
+    })
+    .and_then(|(tid, accepted)| {
+        check_task(task_id, tid)?;
+        Ok(accepted)
+    })?;
+    Ok(accepted)
+}
+
+/// Runs the supervisor side: receive the flat upload, spot-check `m`
+/// samples by recomputation, screen the (verified) results itself.
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or invalid configuration.
+pub fn supervisor_naive<T, S>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    config: &NaiveConfig,
+    ledger: &CostLedger,
+) -> Result<(Verdict, Vec<ScreenReport>), SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+{
+    if config.samples == 0 {
+        return Err(SchemeError::InvalidConfig {
+            reason: "samples must be positive",
+        });
+    }
+    let task_id = config.task_id;
+    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
+
+    let (width, data) = recv_matching(endpoint, "AllResults", |msg| match msg {
+        Message::AllResults { task_id: tid, leaf_width, data } => Ok((tid, leaf_width, data)),
+        other => Err(other),
+    })
+    .and_then(|(tid, width, data)| {
+        check_task(task_id, tid)?;
+        Ok((width as usize, data))
+    })?;
+    if width != task.output_width() || data.len() as u64 != domain.len() * width as u64 {
+        return Err(SchemeError::MalformedPayload {
+            what: "flat results layout",
+        });
+    }
+    let leaf = |i: u64| &data[(i as usize) * width..(i as usize + 1) * width];
+
+    // Spot-check m samples by recomputation.
+    let samples = draw_samples(config.seed, config.samples, domain.len());
+    let mut verdict = Verdict::Accepted;
+    for &i in &samples {
+        let x = domain.input(i).expect("sample within domain");
+        ledger.charge_verify(1);
+        if !task.cheap_verification() {
+            ledger.charge_f(task.unit_cost());
+        }
+        if !task.verify(x, leaf(i)) {
+            verdict = Verdict::WrongResult { sample: i };
+            break;
+        }
+    }
+    // With every result in hand, the supervisor screens locally.
+    let mut reports = Vec::new();
+    if verdict.is_accepted() {
+        for i in 0..domain.len() {
+            let x = domain.input(i).expect("index within domain");
+            if let Some(report) = screener.screen(x, leaf(i)) {
+                reports.push(report);
+            }
+        }
+    }
+    endpoint.send(&Message::Verdict {
+        task_id,
+        accepted: verdict.is_accepted(),
+    })?;
+    Ok((verdict, reports))
+}
+
+/// Runs a complete naive-sampling round in-process.
+///
+/// # Errors
+///
+/// Propagates the supervisor's error if both sides fail.
+pub fn run_naive<T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    behaviour: &B,
+    config: &NaiveConfig,
+) -> Result<RoundOutcome, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let (sup_ep, part_ep) = duplex();
+    let sup_ledger = CostLedger::new();
+    let part_ledger = CostLedger::new();
+
+    let (sup_result, part_result, link) = std::thread::scope(|scope| {
+        // The participant owns its endpoint so that an early exit (error or
+        // completion) drops it and unblocks a supervisor mid-recv.
+        let thread_ledger = part_ledger.clone();
+        let part_handle = scope
+            .spawn(move || participant_naive(&part_ep, task, screener, behaviour, &thread_ledger));
+        let sup = supervisor_naive(&sup_ep, task, screener, domain, config, &sup_ledger);
+        let link = sup_ep.stats();
+        // Unblock a waiting participant if the supervisor bailed early.
+        drop(sup_ep);
+        let part = part_handle.join().expect("participant thread panicked");
+        (sup, part, link)
+    });
+
+    let (verdict, reports) = sup_result?;
+    let _ = part_result?;
+    Ok(RoundOutcome::new(
+        verdict,
+        sup_ledger.report(),
+        part_ledger.report(),
+        link,
+        reports,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_grid::{CheatSelection, HonestWorker, SemiHonestCheater};
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::ZeroGuesser;
+
+    fn config(m: usize, seed: u64) -> NaiveConfig {
+        NaiveConfig {
+            task_id: 2,
+            samples: m,
+            seed,
+        }
+    }
+
+    #[test]
+    fn honest_accepted_with_reports() {
+        let task = PasswordSearch::with_hidden_password(3, 40);
+        let screener = task.match_screener();
+        let outcome = run_naive(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            &config(8, 1),
+        )
+        .unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(outcome.reports[0].input, 40);
+    }
+
+    #[test]
+    fn cheater_caught_like_cbs() {
+        let task = PasswordSearch::with_hidden_password(3, 40);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.2, CheatSelection::Scattered, ZeroGuesser::new(7), 5);
+        let outcome = run_naive(
+            &task,
+            &screener,
+            Domain::new(0, 128),
+            &cheater,
+            &config(16, 3),
+        )
+        .unwrap();
+        assert!(!outcome.accepted);
+        assert!(matches!(outcome.verdict, Verdict::WrongResult { .. }));
+    }
+
+    #[test]
+    fn upload_is_linear_in_n() {
+        let task = PasswordSearch::with_hidden_password(3, 1);
+        let screener = task.match_screener();
+        let mut bytes = Vec::new();
+        for bits in [6u32, 8] {
+            let outcome = run_naive(
+                &task,
+                &screener,
+                Domain::new(0, 1 << bits),
+                &HonestWorker,
+                &config(4, 1),
+            )
+            .unwrap();
+            bytes.push(outcome.supervisor_link.bytes_received);
+        }
+        // 4× the domain → ≈4× the upload (the flat data dominates).
+        let growth = bytes[1] as f64 / bytes[0] as f64;
+        assert!(
+            (3.0..5.0).contains(&growth),
+            "naive upload growth {growth:.2}× for 4× domain"
+        );
+    }
+
+    #[test]
+    fn layout_mismatch_is_protocol_error() {
+        let task = PasswordSearch::with_hidden_password(3, 1);
+        let domain = Domain::new(0, 16);
+        let (sup_ep, part_ep) = duplex();
+        let ledger = CostLedger::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _ = part_ep.recv();
+                part_ep
+                    .send(&Message::AllResults {
+                        task_id: 2,
+                        leaf_width: 16,
+                        data: vec![0; 5], // wrong length
+                    })
+                    .unwrap();
+            });
+            let screener = task.match_screener();
+            let err = supervisor_naive(&sup_ep, &task, &screener, domain, &config(4, 1), &ledger)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SchemeError::MalformedPayload {
+                    what: "flat results layout"
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn supervisor_work_is_m_not_n() {
+        let task = PasswordSearch::with_hidden_password(3, 1);
+        let screener = task.match_screener();
+        let outcome = run_naive(
+            &task,
+            &screener,
+            Domain::new(0, 1 << 10),
+            &HonestWorker,
+            &config(8, 2),
+        )
+        .unwrap();
+        assert_eq!(outcome.supervisor_costs.f_evals, 8 * task.unit_cost());
+        assert_eq!(outcome.supervisor_costs.verify_ops, 8);
+    }
+}

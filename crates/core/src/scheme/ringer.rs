@@ -1,0 +1,386 @@
+//! The ringer scheme of Golle and Mironov (the paper's Section 1.1
+//! baseline).
+//!
+//! The supervisor pre-computes `f` on `d` secret inputs and sends the
+//! *results* to the participant, who must report which inputs produce
+//! them. Because `f` is one-way, the participant cannot find the ringers
+//! without actually evaluating `f` across its domain; a cheater with
+//! honesty ratio `r` misses each ringer independently with probability
+//! `1 − r`, so detection is `1 − r^d`.
+//!
+//! Limitations the paper highlights (and this module demonstrates in
+//! tests): it only works for one-way `f`, and the supervisor pays `d`
+//! full evaluations per participant up front.
+
+use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::{RoundOutcome, SchemeError, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, WorkerBehaviour};
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Ringer-scheme parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingerConfig {
+    /// Task identifier carried on every message.
+    pub task_id: u64,
+    /// Number of ringers `d` planted in the domain.
+    pub ringers: usize,
+    /// Seed for secret ringer placement.
+    pub seed: u64,
+}
+
+/// Runs the participant side: evaluate the domain, report any result that
+/// matches a ringer, plus the screened results.
+///
+/// # Errors
+///
+/// Transport failures or malformed peer messages.
+pub fn participant_ringer<T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    ledger: &CostLedger,
+) -> Result<bool, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
+        Message::Assign(a) => Ok(a),
+        other => Err(other),
+    })?;
+    let domain = assignment.domain;
+    let task_id = assignment.task_id;
+    let ringers = recv_matching(endpoint, "RingerChallenge", |msg| match msg {
+        Message::RingerChallenge { task_id: tid, ringers } => Ok((tid, ringers)),
+        other => Err(other),
+    })
+    .and_then(|(tid, ringers)| {
+        check_task(task_id, tid)?;
+        Ok(ringers)
+    })?;
+    let ringer_set: BTreeSet<&[u8]> = ringers.iter().map(Vec::as_slice).collect();
+
+    let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
+    let mut found = Vec::new();
+    for (i, leaf) in leaves.iter().enumerate() {
+        if ringer_set.contains(leaf.as_slice()) {
+            found.push(domain.input(i as u64).expect("index within domain"));
+        }
+    }
+    endpoint.send(&Message::RingerFound {
+        task_id,
+        inputs: found,
+    })?;
+    endpoint.send(&Message::Reports {
+        task_id,
+        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
+    })?;
+
+    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
+        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        other => Err(other),
+    })
+    .and_then(|(tid, accepted)| {
+        check_task(task_id, tid)?;
+        Ok(accepted)
+    })?;
+    Ok(accepted)
+}
+
+/// Runs the supervisor side: plant `d` secret ringers, check they all come
+/// back.
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or invalid configuration
+/// (more ringers than domain inputs, or zero ringers).
+pub fn supervisor_ringer<T, S>(
+    endpoint: &Endpoint,
+    task: &T,
+    _screener: &S,
+    domain: Domain,
+    config: &RingerConfig,
+    ledger: &CostLedger,
+) -> Result<(Verdict, Vec<ScreenReport>), SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+{
+    if config.ringers == 0 {
+        return Err(SchemeError::InvalidConfig {
+            reason: "need at least one ringer",
+        });
+    }
+    if config.ringers as u64 > domain.len() {
+        return Err(SchemeError::InvalidConfig {
+            reason: "more ringers than domain inputs",
+        });
+    }
+    let task_id = config.task_id;
+
+    // Plant d distinct secret inputs and pre-compute their results.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7269_6e67);
+    let mut secret_inputs = BTreeSet::new();
+    while secret_inputs.len() < config.ringers {
+        let i = rng.random_range(0..domain.len());
+        secret_inputs.insert(domain.input(i).expect("sample within domain"));
+    }
+    let mut ringer_values: Vec<Vec<u8>> = secret_inputs
+        .iter()
+        .map(|&x| {
+            ledger.charge_f(task.unit_cost());
+            task.compute(x)
+        })
+        .collect();
+    // Sort the values so their order leaks nothing about input order.
+    ringer_values.sort();
+
+    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
+    endpoint.send(&Message::RingerChallenge {
+        task_id,
+        ringers: ringer_values,
+    })?;
+
+    let found = recv_matching(endpoint, "RingerFound", |msg| match msg {
+        Message::RingerFound { task_id: tid, inputs } => Ok((tid, inputs)),
+        other => Err(other),
+    })
+    .and_then(|(tid, inputs)| {
+        check_task(task_id, tid)?;
+        Ok(inputs)
+    })?;
+    let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
+        Message::Reports { task_id: tid, reports } => Ok((tid, reports)),
+        other => Err(other),
+    })
+    .and_then(|(tid, reports)| {
+        check_task(task_id, tid)?;
+        Ok(reports)
+    })?;
+
+    let found_set: BTreeSet<u64> = found.into_iter().collect();
+    ledger.charge_verify(config.ringers as u64);
+    let verdict = if found_set.is_superset(&secret_inputs) {
+        // Extra claims are tolerated only if they are true preimages of a
+        // planted value, which by construction they are not (values are
+        // unique per input for our tasks); reject any overclaim.
+        if found_set.len() == secret_inputs.len() {
+            Verdict::Accepted
+        } else {
+            Verdict::RingerMissed
+        }
+    } else {
+        Verdict::RingerMissed
+    };
+
+    endpoint.send(&Message::Verdict {
+        task_id,
+        accepted: verdict.is_accepted(),
+    })?;
+    let reports = wire_reports
+        .into_iter()
+        .map(|(input, payload)| ScreenReport { input, payload })
+        .collect();
+    Ok((verdict, reports))
+}
+
+/// Runs a complete ringer round in-process.
+///
+/// # Errors
+///
+/// Propagates the supervisor's error if both sides fail.
+pub fn run_ringer<T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    behaviour: &B,
+    config: &RingerConfig,
+) -> Result<RoundOutcome, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let (sup_ep, part_ep) = duplex();
+    let sup_ledger = CostLedger::new();
+    let part_ledger = CostLedger::new();
+
+    let (sup_result, part_result, link) = std::thread::scope(|scope| {
+        // The participant owns its endpoint so that an early exit (error or
+        // completion) drops it and unblocks a supervisor mid-recv.
+        let thread_ledger = part_ledger.clone();
+        let part_handle = scope
+            .spawn(move || participant_ringer(&part_ep, task, screener, behaviour, &thread_ledger));
+        let sup = supervisor_ringer(&sup_ep, task, screener, domain, config, &sup_ledger);
+        let link = sup_ep.stats();
+        // Unblock a waiting participant if the supervisor bailed early.
+        drop(sup_ep);
+        let part = part_handle.join().expect("participant thread panicked");
+        (sup, part, link)
+    });
+
+    let (verdict, reports) = sup_result?;
+    let _ = part_result?;
+    Ok(RoundOutcome::new(
+        verdict,
+        sup_ledger.report(),
+        part_ledger.report(),
+        link,
+        reports,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_grid::{CheatSelection, HonestWorker, SemiHonestCheater};
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::ZeroGuesser;
+
+    fn config(d: usize, seed: u64) -> RingerConfig {
+        RingerConfig {
+            task_id: 5,
+            ringers: d,
+            seed,
+        }
+    }
+
+    #[test]
+    fn honest_participant_finds_all_ringers() {
+        let task = PasswordSearch::with_hidden_password(1, 10);
+        let screener = task.match_screener();
+        for seed in 0..5 {
+            let outcome = run_ringer(
+                &task,
+                &screener,
+                Domain::new(0, 128),
+                &HonestWorker,
+                &config(6, seed),
+            )
+            .unwrap();
+            assert!(outcome.accepted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lazy_cheater_misses_ringers() {
+        let task = PasswordSearch::with_hidden_password(1, 10);
+        let screener = task.match_screener();
+        let cheater =
+            SemiHonestCheater::new(0.3, CheatSelection::Scattered, ZeroGuesser::new(4), 6);
+        // With r = 0.3 and d = 8 the evasion probability is 0.3^8 ≈ 6.6e-5.
+        let outcome = run_ringer(
+            &task,
+            &screener,
+            Domain::new(0, 256),
+            &cheater,
+            &config(8, 3),
+        )
+        .unwrap();
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.verdict, Verdict::RingerMissed);
+    }
+
+    #[test]
+    fn supervisor_pays_d_evaluations_upfront() {
+        let task = PasswordSearch::with_hidden_password(1, 10);
+        let screener = task.match_screener();
+        let outcome = run_ringer(
+            &task,
+            &screener,
+            Domain::new(0, 128),
+            &HonestWorker,
+            &config(7, 1),
+        )
+        .unwrap();
+        assert_eq!(outcome.supervisor_costs.f_evals, 7 * task.unit_cost());
+    }
+
+    #[test]
+    fn traffic_is_constant_in_n() {
+        let task = PasswordSearch::with_hidden_password(1, 10);
+        let screener = task.match_screener();
+        let small = run_ringer(
+            &task,
+            &screener,
+            Domain::new(0, 64),
+            &HonestWorker,
+            &config(4, 1),
+        )
+        .unwrap();
+        let large = run_ringer(
+            &task,
+            &screener,
+            Domain::new(0, 4096),
+            &HonestWorker,
+            &config(4, 1),
+        )
+        .unwrap();
+        // Only screened reports vary; the protocol itself is O(d).
+        let diff = large.supervisor_link.bytes_received as i64
+            - small.supervisor_link.bytes_received as i64;
+        assert!(
+            diff.unsigned_abs() < 256,
+            "ringer traffic varied by {diff} bytes across a 64× domain"
+        );
+    }
+
+    #[test]
+    fn too_many_ringers_rejected() {
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let screener = task.match_screener();
+        let err = run_ringer(
+            &task,
+            &screener,
+            Domain::new(0, 4),
+            &HonestWorker,
+            &config(5, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemeError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn overclaiming_participant_rejected() {
+        // A participant that spams extra "found" inputs must not pass.
+        let task = PasswordSearch::with_hidden_password(1, 2);
+        let domain = Domain::new(0, 32);
+        let (sup_ep, part_ep) = duplex();
+        let ledger = CostLedger::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _ = part_ep.recv(); // Assign
+                let _ = part_ep.recv(); // RingerChallenge
+                part_ep
+                    .send(&Message::RingerFound {
+                        task_id: 5,
+                        inputs: (0..32).collect(), // claim everything
+                    })
+                    .unwrap();
+                part_ep
+                    .send(&Message::Reports {
+                        task_id: 5,
+                        reports: vec![],
+                    })
+                    .unwrap();
+                let _ = part_ep.recv();
+            });
+            let screener = task.match_screener();
+            let (verdict, _) = supervisor_ringer(
+                &sup_ep,
+                &task,
+                &screener,
+                domain,
+                &config(3, 2),
+                &ledger,
+            )
+            .unwrap();
+            assert_eq!(verdict, Verdict::RingerMissed);
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! A GRACE-style Grid Resource Broker (GRB).
+//!
+//! Section 4 of the paper motivates the non-interactive CBS scheme with the
+//! GRACE architecture (Buyya 2002): the supervisor hands bulk work to a
+//! broker and never talks to participants directly, so the commit →
+//! challenge round-trip of interactive CBS is unavailable. This broker
+//! relays assignments outward and results inward, and its relay counters
+//! demonstrate that NI-CBS needs exactly one participant → supervisor
+//! delivery per task.
+
+use crate::{Endpoint, GridError, Message};
+
+/// Relay statistics for a broker run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Messages relayed supervisor → participant.
+    pub outward: u64,
+    /// Messages relayed participant → supervisor.
+    pub inward: u64,
+}
+
+/// A store-and-forward broker between one supervisor and many participants.
+///
+/// The broker pins each task to the participant it dispatched it to and
+/// routes replies by task id; the supervisor never learns which participant
+/// served which task (the paper's "GRB hides the participants" property).
+#[derive(Debug)]
+pub struct Broker {
+    supervisor: Endpoint,
+    participants: Vec<Endpoint>,
+    /// task_id → participant index.
+    routes: Vec<(u64, usize)>,
+    next: usize,
+    stats: RelayStats,
+}
+
+impl Broker {
+    /// Creates a broker with its supervisor-side link and participant links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no participants are supplied.
+    #[must_use]
+    pub fn new(supervisor: Endpoint, participants: Vec<Endpoint>) -> Self {
+        assert!(!participants.is_empty(), "broker needs at least one participant");
+        Broker {
+            supervisor,
+            participants,
+            routes: Vec::new(),
+            next: 0,
+            stats: RelayStats::default(),
+        }
+    }
+
+    /// Number of connected participants.
+    #[must_use]
+    pub fn participant_count(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Relay statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> RelayStats {
+        self.stats
+    }
+
+    fn route_of(&self, task_id: u64) -> Option<usize> {
+        self.routes
+            .iter()
+            .rev()
+            .find(|(id, _)| *id == task_id)
+            .map(|(_, idx)| *idx)
+    }
+
+    /// Receives `count` messages from the supervisor and dispatches each to
+    /// a participant: assignments round-robin, other messages (verdicts,
+    /// challenges) by the task's recorded route.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`GridError::Empty`] if a non-assignment
+    /// message references an unknown task.
+    pub fn relay_outward(&mut self, count: usize) -> Result<(), GridError> {
+        for _ in 0..count {
+            let msg = self.supervisor.recv()?;
+            let idx = match &msg {
+                Message::Assign(a) => {
+                    let idx = self.next;
+                    self.next = (self.next + 1) % self.participants.len();
+                    self.routes.push((a.task_id, idx));
+                    idx
+                }
+                other => self.route_of(other.task_id()).ok_or(GridError::Empty)?,
+            };
+            self.participants[idx].send(&msg)?;
+            self.stats.outward += 1;
+        }
+        Ok(())
+    }
+
+    /// Relays the next message from participant `idx` up to the supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from either side.
+    pub fn relay_inward_from(&mut self, idx: usize) -> Result<Message, GridError> {
+        let msg = self.participants[idx].recv()?;
+        self.supervisor.send(&msg)?;
+        self.stats.inward += 1;
+        Ok(msg)
+    }
+
+    /// Relays one inbound message for task `task_id` (from whichever
+    /// participant owns it).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Empty`] if the task has no recorded route, otherwise
+    /// transport errors.
+    pub fn relay_inward_for(&mut self, task_id: u64) -> Result<Message, GridError> {
+        let idx = self.route_of(task_id).ok_or(GridError::Empty)?;
+        self.relay_inward_from(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{duplex, Assignment};
+    use ugc_task::Domain;
+
+    /// Builds a supervisor endpoint, a broker, and participant endpoints.
+    fn rig(n: usize) -> (Endpoint, Broker, Vec<Endpoint>) {
+        let (sup, broker_up) = duplex();
+        let mut broker_down = Vec::new();
+        let mut parts = Vec::new();
+        for _ in 0..n {
+            let (b, p) = duplex();
+            broker_down.push(b);
+            parts.push(p);
+        }
+        (sup, Broker::new(broker_up, broker_down), parts)
+    }
+
+    fn assign(task_id: u64) -> Message {
+        Message::Assign(Assignment {
+            task_id,
+            domain: Domain::new(0, 8),
+        })
+    }
+
+    #[test]
+    fn assignments_round_robin() {
+        let (sup, mut broker, parts) = rig(3);
+        for id in 0..6u64 {
+            sup.send(&assign(id)).unwrap();
+        }
+        broker.relay_outward(6).unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            let first = p.recv().unwrap();
+            let second = p.recv().unwrap();
+            assert_eq!(first.task_id(), i as u64);
+            assert_eq!(second.task_id(), (i + 3) as u64);
+        }
+        assert_eq!(broker.stats().outward, 6);
+    }
+
+    #[test]
+    fn replies_route_back_by_task() {
+        let (sup, mut broker, parts) = rig(2);
+        sup.send(&assign(10)).unwrap();
+        sup.send(&assign(11)).unwrap();
+        broker.relay_outward(2).unwrap();
+        for p in &parts {
+            let Message::Assign(a) = p.recv().unwrap() else {
+                panic!("expected assignment")
+            };
+            p.send(&Message::Commit {
+                task_id: a.task_id,
+                root: vec![a.task_id as u8; 16],
+            })
+            .unwrap();
+        }
+        // Task 11 went to participant 1; relay its reply first.
+        let relayed = broker.relay_inward_for(11).unwrap();
+        assert_eq!(relayed.task_id(), 11);
+        let got = sup.recv().unwrap();
+        assert_eq!(got.task_id(), 11);
+        let relayed = broker.relay_inward_for(10).unwrap();
+        assert_eq!(relayed.task_id(), 10);
+        assert_eq!(broker.stats().inward, 2);
+    }
+
+    #[test]
+    fn verdicts_follow_recorded_route() {
+        let (sup, mut broker, parts) = rig(2);
+        sup.send(&assign(7)).unwrap();
+        broker.relay_outward(1).unwrap();
+        let _ = parts[0].recv().unwrap();
+        sup.send(&Message::Verdict {
+            task_id: 7,
+            accepted: true,
+        })
+        .unwrap();
+        broker.relay_outward(1).unwrap();
+        assert!(matches!(
+            parts[0].recv().unwrap(),
+            Message::Verdict { task_id: 7, .. }
+        ));
+        // Participant 1 must have received nothing.
+        assert!(parts[1].try_recv().is_err());
+    }
+
+    #[test]
+    fn unknown_task_route_fails() {
+        let (sup, mut broker, _parts) = rig(1);
+        sup.send(&Message::Verdict {
+            task_id: 99,
+            accepted: false,
+        })
+        .unwrap();
+        assert_eq!(broker.relay_outward(1).unwrap_err(), GridError::Empty);
+        assert_eq!(broker.relay_inward_for(99).unwrap_err(), GridError::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn empty_broker_rejected() {
+        let (_sup, up) = duplex();
+        let _ = Broker::new(up, Vec::new());
+    }
+}

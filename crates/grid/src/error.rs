@@ -1,0 +1,77 @@
+//! Error type shared by the transport and codec layers.
+
+use core::fmt;
+
+/// Errors from the grid substrate (wire format and transport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The decoder ran out of bytes mid-message.
+    UnexpectedEof {
+        /// What was being decoded when the input ended.
+        context: &'static str,
+    },
+    /// An unknown message tag was encountered.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A length field exceeded sane bounds (corrupt or hostile frame).
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+    },
+    /// The peer endpoint was dropped.
+    Disconnected,
+    /// No message is currently available (non-blocking receive).
+    Empty,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GridError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of frame while decoding {context}")
+            }
+            GridError::UnknownTag { tag } => write!(f, "unknown message tag {tag:#04x}"),
+            GridError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+            GridError::LengthOverflow { declared } => {
+                write!(f, "declared length {declared} exceeds frame bounds")
+            }
+            GridError::Disconnected => write!(f, "peer endpoint disconnected"),
+            GridError::Empty => write!(f, "no message available"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GridError::UnknownTag { tag: 0xFF }.to_string(),
+            "unknown message tag 0xff"
+        );
+        assert_eq!(
+            GridError::TrailingBytes { remaining: 3 }.to_string(),
+            "3 trailing bytes after message"
+        );
+        assert_eq!(GridError::Disconnected.to_string(), "peer endpoint disconnected");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<GridError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Grid-computing simulator for the Uncheatable Grid Computing reproduction.
+//!
+//! The paper's claims are about *protocol costs* — who sends how many bytes
+//! (`O(n)` for naive sampling vs `O(m log n)` for CBS) and who performs how
+//! much computation — and about *detection probabilities* against defined
+//! cheating behaviours. This crate provides the substrate those experiments
+//! run on:
+//!
+//! * [`Message`] and the [`codec`] — a compact, hand-rolled wire format, so
+//!   measured byte counts are the protocol's own, not a serializer's.
+//! * [`Endpoint`] / [`duplex`] — in-memory links that count every byte and
+//!   message in both directions (the evaluation's network substitute; see
+//!   DESIGN.md for why this preserves the paper's measured quantities).
+//! * [`CostLedger`] — per-actor accounting of `f` evaluations, hash
+//!   operations, sample-generator (`g`) evaluations and traffic.
+//! * [`WorkerBehaviour`] and friends — the honest participant, the
+//!   semi-honest cheater with honesty ratio `r` and guess quality `q`
+//!   (Section 2.2), and the malicious result-corrupter.
+//! * [`Broker`] — a GRACE-style Grid Resource Broker that hides
+//!   participants from the supervisor (the Section 4 motivation for the
+//!   non-interactive scheme).
+//!
+//! # Examples
+//!
+//! ```
+//! use ugc_grid::{duplex, Message};
+//!
+//! let (sup, part) = duplex();
+//! sup.send(&Message::Challenge { task_id: 1, samples: vec![3, 5, 8] })?;
+//! let msg = part.recv()?;
+//! assert!(matches!(msg, Message::Challenge { task_id: 1, .. }));
+//! assert_eq!(sup.stats().messages_sent, 1);
+//! assert!(sup.stats().bytes_sent > 0);
+//! # Ok::<(), ugc_grid::GridError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behaviour;
+mod broker;
+pub mod codec;
+mod error;
+mod ledger;
+mod message;
+mod transport;
+
+pub use behaviour::{
+    CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
+};
+pub use broker::Broker;
+pub use error::GridError;
+pub use ledger::{CostLedger, CostReport};
+pub use message::{Assignment, Message, SampleProof};
+pub use transport::{duplex, Endpoint, LinkStats, FRAME_HEADER_BYTES};

@@ -1,0 +1,554 @@
+//! Protocol messages exchanged between supervisor, broker and participants.
+//!
+//! One message enum covers every scheme in the evaluation so that byte
+//! counts are directly comparable:
+//!
+//! | Scheme | Messages used |
+//! |--------|---------------|
+//! | double-check / naive sampling | [`Assign`](Message::Assign), [`AllResults`](Message::AllResults), [`Verdict`](Message::Verdict) |
+//! | CBS (§3.1) | [`Assign`](Message::Assign), [`Commit`](Message::Commit), [`Challenge`](Message::Challenge), [`Proofs`](Message::Proofs), [`Reports`](Message::Reports), [`Verdict`](Message::Verdict) |
+//! | NI-CBS (§4) | [`Assign`](Message::Assign), [`CommitAndProofs`](Message::CommitAndProofs), [`Reports`](Message::Reports), [`Verdict`](Message::Verdict) |
+//! | ringer (Golle–Mironov, §1.1) | [`RingerChallenge`](Message::RingerChallenge), [`RingerFound`](Message::RingerFound), … |
+
+use crate::codec::{
+    get_bytes, get_u32, get_u64, get_u64_list, put_bytes, put_u32, put_u64, put_u64_list,
+};
+use crate::GridError;
+use ugc_task::Domain;
+
+/// A task assignment: evaluate `f` on every input of `domain`.
+///
+/// The compute function itself ships out of band (participants install the
+/// project binary once); assignments are therefore `O(1)` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Supervisor-chosen identifier for this task.
+    pub task_id: u64,
+    /// The sub-domain this participant must evaluate.
+    pub domain: Domain,
+}
+
+/// One sample's proof of honesty: the claimed `f(x_i)` plus the Merkle
+/// authentication path (Step 3 of the CBS scheme).
+///
+/// Digest siblings are raw bytes so the wire format is independent of the
+/// hash algorithm in use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleProof {
+    /// Leaf index of the sample within the assigned domain.
+    pub index: u64,
+    /// The claimed result `f(x_i)`.
+    pub leaf_value: Vec<u8>,
+    /// The sibling leaf's raw value (`λ_1`).
+    pub leaf_sibling: Vec<u8>,
+    /// The digest siblings `λ_2 … λ_H`, bottom-up.
+    pub digest_siblings: Vec<Vec<u8>>,
+}
+
+impl SampleProof {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.index);
+        put_bytes(buf, &self.leaf_value);
+        put_bytes(buf, &self.leaf_sibling);
+        put_u64(buf, self.digest_siblings.len() as u64);
+        for d in &self.digest_siblings {
+            put_bytes(buf, d);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, GridError> {
+        let index = get_u64(buf, "proof.index")?;
+        let leaf_value = get_bytes(buf, "proof.leaf_value")?;
+        let leaf_sibling = get_bytes(buf, "proof.leaf_sibling")?;
+        let count = get_u64(buf, "proof.sibling_count")?;
+        if count > 64 {
+            return Err(GridError::LengthOverflow { declared: count });
+        }
+        let mut digest_siblings = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            digest_siblings.push(get_bytes(buf, "proof.digest_sibling")?);
+        }
+        Ok(SampleProof {
+            index,
+            leaf_value,
+            leaf_sibling,
+            digest_siblings,
+        })
+    }
+}
+
+/// A protocol message. See the module docs for which schemes use which.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Supervisor → participant: evaluate `f` over a domain.
+    Assign(Assignment),
+    /// Participant → supervisor: the Merkle-root commitment `Φ(R)`
+    /// (Step 1 of CBS).
+    Commit {
+        /// Task this commitment belongs to.
+        task_id: u64,
+        /// The root digest `Φ(R)`.
+        root: Vec<u8>,
+    },
+    /// Supervisor → participant: the sample indices (Step 2 of CBS).
+    Challenge {
+        /// Task being challenged.
+        task_id: u64,
+        /// Sampled leaf indices `i_1 … i_m`.
+        samples: Vec<u64>,
+    },
+    /// Participant → supervisor: proofs of honesty for each sample
+    /// (Step 3 of CBS).
+    Proofs {
+        /// Task being proven.
+        task_id: u64,
+        /// One proof per sampled index, in challenge order.
+        proofs: Vec<SampleProof>,
+    },
+    /// Participant → supervisor: NI-CBS single-shot commitment plus the
+    /// self-derived sample proofs (Section 4.1).
+    CommitAndProofs {
+        /// Task being proven.
+        task_id: u64,
+        /// The root digest `Φ(R)`.
+        root: Vec<u8>,
+        /// Proofs for the samples derived from `Φ(R)` via Eq. (4).
+        proofs: Vec<SampleProof>,
+    },
+    /// Participant → supervisor: every result, flattened — the naive
+    /// schemes' `O(n)` upload.
+    AllResults {
+        /// Task these results belong to.
+        task_id: u64,
+        /// Width of each result record in bytes.
+        leaf_width: u32,
+        /// `n × leaf_width` bytes of results, in index order.
+        data: Vec<u8>,
+    },
+    /// Participant → supervisor: the screened "results of interest".
+    Reports {
+        /// Task these reports belong to.
+        task_id: u64,
+        /// `(input, payload)` pairs that passed the screener.
+        reports: Vec<(u64, Vec<u8>)>,
+    },
+    /// Supervisor → participant: precomputed ringer results whose inputs
+    /// are secret (Golle–Mironov baseline).
+    RingerChallenge {
+        /// Task the ringers are planted in.
+        task_id: u64,
+        /// The precomputed `f(x)` values to find.
+        ringers: Vec<Vec<u8>>,
+    },
+    /// Participant → supervisor: the inputs found to produce the ringers.
+    RingerFound {
+        /// Task the ringers were planted in.
+        task_id: u64,
+        /// Claimed preimage inputs, one per discovered ringer.
+        inputs: Vec<u64>,
+    },
+    /// Supervisor → participant: accept/reject decision.
+    Verdict {
+        /// Task being judged.
+        task_id: u64,
+        /// Whether the participant's work was accepted.
+        accepted: bool,
+    },
+}
+
+const TAG_ASSIGN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_CHALLENGE: u8 = 3;
+const TAG_PROOFS: u8 = 4;
+const TAG_COMMIT_AND_PROOFS: u8 = 5;
+const TAG_ALL_RESULTS: u8 = 6;
+const TAG_REPORTS: u8 = 7;
+const TAG_RINGER_CHALLENGE: u8 = 8;
+const TAG_RINGER_FOUND: u8 = 9;
+const TAG_VERDICT: u8 = 10;
+
+impl Message {
+    /// Encodes the message to its wire form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Assign(a) => {
+                buf.push(TAG_ASSIGN);
+                put_u64(&mut buf, a.task_id);
+                put_u64(&mut buf, a.domain.start());
+                put_u64(&mut buf, a.domain.len());
+            }
+            Message::Commit { task_id, root } => {
+                buf.push(TAG_COMMIT);
+                put_u64(&mut buf, *task_id);
+                put_bytes(&mut buf, root);
+            }
+            Message::Challenge { task_id, samples } => {
+                buf.push(TAG_CHALLENGE);
+                put_u64(&mut buf, *task_id);
+                put_u64_list(&mut buf, samples);
+            }
+            Message::Proofs { task_id, proofs } => {
+                buf.push(TAG_PROOFS);
+                put_u64(&mut buf, *task_id);
+                put_u64(&mut buf, proofs.len() as u64);
+                for p in proofs {
+                    p.encode(&mut buf);
+                }
+            }
+            Message::CommitAndProofs {
+                task_id,
+                root,
+                proofs,
+            } => {
+                buf.push(TAG_COMMIT_AND_PROOFS);
+                put_u64(&mut buf, *task_id);
+                put_bytes(&mut buf, root);
+                put_u64(&mut buf, proofs.len() as u64);
+                for p in proofs {
+                    p.encode(&mut buf);
+                }
+            }
+            Message::AllResults {
+                task_id,
+                leaf_width,
+                data,
+            } => {
+                buf.push(TAG_ALL_RESULTS);
+                put_u64(&mut buf, *task_id);
+                put_u32(&mut buf, *leaf_width);
+                put_bytes(&mut buf, data);
+            }
+            Message::Reports { task_id, reports } => {
+                buf.push(TAG_REPORTS);
+                put_u64(&mut buf, *task_id);
+                put_u64(&mut buf, reports.len() as u64);
+                for (input, payload) in reports {
+                    put_u64(&mut buf, *input);
+                    put_bytes(&mut buf, payload);
+                }
+            }
+            Message::RingerChallenge { task_id, ringers } => {
+                buf.push(TAG_RINGER_CHALLENGE);
+                put_u64(&mut buf, *task_id);
+                put_u64(&mut buf, ringers.len() as u64);
+                for r in ringers {
+                    put_bytes(&mut buf, r);
+                }
+            }
+            Message::RingerFound { task_id, inputs } => {
+                buf.push(TAG_RINGER_FOUND);
+                put_u64(&mut buf, *task_id);
+                put_u64_list(&mut buf, inputs);
+            }
+            Message::Verdict { task_id, accepted } => {
+                buf.push(TAG_VERDICT);
+                put_u64(&mut buf, *task_id);
+                buf.push(u8::from(*accepted));
+            }
+        }
+        buf
+    }
+
+    /// Decodes a message from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GridError`] codec variant on malformed input; the entire frame
+    /// must be consumed.
+    pub fn decode(frame: &[u8]) -> Result<Self, GridError> {
+        let mut buf = frame;
+        let tag = *buf.first().ok_or(GridError::UnexpectedEof { context: "tag" })?;
+        buf = &buf[1..];
+        let msg = match tag {
+            TAG_ASSIGN => {
+                let task_id = get_u64(&mut buf, "assign.task_id")?;
+                let start = get_u64(&mut buf, "assign.start")?;
+                let len = get_u64(&mut buf, "assign.len")?;
+                let domain = Domain::try_new(start, len)
+                    .map_err(|_| GridError::LengthOverflow { declared: len })?;
+                Message::Assign(Assignment { task_id, domain })
+            }
+            TAG_COMMIT => Message::Commit {
+                task_id: get_u64(&mut buf, "commit.task_id")?,
+                root: get_bytes(&mut buf, "commit.root")?,
+            },
+            TAG_CHALLENGE => Message::Challenge {
+                task_id: get_u64(&mut buf, "challenge.task_id")?,
+                samples: get_u64_list(&mut buf, "challenge.samples")?,
+            },
+            TAG_PROOFS => {
+                let task_id = get_u64(&mut buf, "proofs.task_id")?;
+                let count = get_u64(&mut buf, "proofs.count")?;
+                if count > 1 << 20 {
+                    return Err(GridError::LengthOverflow { declared: count });
+                }
+                let mut proofs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    proofs.push(SampleProof::decode(&mut buf)?);
+                }
+                Message::Proofs { task_id, proofs }
+            }
+            TAG_COMMIT_AND_PROOFS => {
+                let task_id = get_u64(&mut buf, "cap.task_id")?;
+                let root = get_bytes(&mut buf, "cap.root")?;
+                let count = get_u64(&mut buf, "cap.count")?;
+                if count > 1 << 20 {
+                    return Err(GridError::LengthOverflow { declared: count });
+                }
+                let mut proofs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    proofs.push(SampleProof::decode(&mut buf)?);
+                }
+                Message::CommitAndProofs {
+                    task_id,
+                    root,
+                    proofs,
+                }
+            }
+            TAG_ALL_RESULTS => Message::AllResults {
+                task_id: get_u64(&mut buf, "all.task_id")?,
+                leaf_width: get_u32(&mut buf, "all.leaf_width")?,
+                data: get_bytes(&mut buf, "all.data")?,
+            },
+            TAG_REPORTS => {
+                let task_id = get_u64(&mut buf, "reports.task_id")?;
+                let count = get_u64(&mut buf, "reports.count")?;
+                if count > 1 << 24 {
+                    return Err(GridError::LengthOverflow { declared: count });
+                }
+                let mut reports = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let input = get_u64(&mut buf, "reports.input")?;
+                    let payload = get_bytes(&mut buf, "reports.payload")?;
+                    reports.push((input, payload));
+                }
+                Message::Reports { task_id, reports }
+            }
+            TAG_RINGER_CHALLENGE => {
+                let task_id = get_u64(&mut buf, "ringer.task_id")?;
+                let count = get_u64(&mut buf, "ringer.count")?;
+                if count > 1 << 20 {
+                    return Err(GridError::LengthOverflow { declared: count });
+                }
+                let mut ringers = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    ringers.push(get_bytes(&mut buf, "ringer.value")?);
+                }
+                Message::RingerChallenge { task_id, ringers }
+            }
+            TAG_RINGER_FOUND => Message::RingerFound {
+                task_id: get_u64(&mut buf, "found.task_id")?,
+                inputs: get_u64_list(&mut buf, "found.inputs")?,
+            },
+            TAG_VERDICT => {
+                let task_id = get_u64(&mut buf, "verdict.task_id")?;
+                let flag = *buf
+                    .first()
+                    .ok_or(GridError::UnexpectedEof { context: "verdict.flag" })?;
+                buf = &buf[1..];
+                Message::Verdict {
+                    task_id,
+                    accepted: flag != 0,
+                }
+            }
+            other => return Err(GridError::UnknownTag { tag: other }),
+        };
+        if !buf.is_empty() {
+            return Err(GridError::TrailingBytes {
+                remaining: buf.len(),
+            });
+        }
+        Ok(msg)
+    }
+
+    /// Encoded size in bytes (what the transport will charge).
+    #[must_use]
+    pub fn wire_len(&self) -> u64 {
+        self.encode().len() as u64
+    }
+
+    /// The task this message concerns.
+    #[must_use]
+    pub fn task_id(&self) -> u64 {
+        match self {
+            Message::Assign(a) => a.task_id,
+            Message::Commit { task_id, .. }
+            | Message::Challenge { task_id, .. }
+            | Message::Proofs { task_id, .. }
+            | Message::CommitAndProofs { task_id, .. }
+            | Message::AllResults { task_id, .. }
+            | Message::Reports { task_id, .. }
+            | Message::RingerChallenge { task_id, .. }
+            | Message::RingerFound { task_id, .. }
+            | Message::Verdict { task_id, .. } => *task_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_proof() -> SampleProof {
+        SampleProof {
+            index: 5,
+            leaf_value: vec![1, 2, 3, 4],
+            leaf_sibling: vec![5, 6, 7, 8],
+            digest_siblings: vec![vec![9; 32], vec![10; 32]],
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Assign(Assignment {
+                task_id: 1,
+                domain: Domain::new(100, 50),
+            }),
+            Message::Commit {
+                task_id: 2,
+                root: vec![7; 32],
+            },
+            Message::Challenge {
+                task_id: 3,
+                samples: vec![1, 2, 3],
+            },
+            Message::Proofs {
+                task_id: 4,
+                proofs: vec![sample_proof(), sample_proof()],
+            },
+            Message::CommitAndProofs {
+                task_id: 5,
+                root: vec![8; 16],
+                proofs: vec![sample_proof()],
+            },
+            Message::AllResults {
+                task_id: 6,
+                leaf_width: 8,
+                data: vec![0; 64],
+            },
+            Message::Reports {
+                task_id: 7,
+                reports: vec![(3, vec![1, 2]), (9, vec![])],
+            },
+            Message::RingerChallenge {
+                task_id: 8,
+                ringers: vec![vec![1; 16], vec![2; 16]],
+            },
+            Message::RingerFound {
+                task_id: 9,
+                inputs: vec![42, 43],
+            },
+            Message::Verdict {
+                task_id: 10,
+                accepted: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        for msg in all_messages() {
+            let encoded = msg.encode();
+            let decoded = Message::decode(&encoded).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn task_id_accessor_covers_all_variants() {
+        for (expected, msg) in all_messages().into_iter().enumerate() {
+            assert_eq!(msg.task_id(), expected as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(
+            Message::decode(&[0xEE]),
+            Err(GridError::UnknownTag { tag: 0xEE })
+        );
+    }
+
+    #[test]
+    fn empty_frame_rejected() {
+        assert!(matches!(
+            Message::decode(&[]),
+            Err(GridError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut encoded = Message::Verdict {
+            task_id: 1,
+            accepted: false,
+        }
+        .encode();
+        encoded.push(0);
+        assert_eq!(
+            Message::decode(&encoded),
+            Err(GridError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_fails_cleanly() {
+        for msg in all_messages() {
+            let encoded = msg.encode();
+            for cut in 0..encoded.len() {
+                let err = Message::decode(&encoded[..cut]);
+                assert!(err.is_err(), "truncation at {cut} decoded successfully");
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_flag_nonzero_is_true() {
+        let mut encoded = Message::Verdict {
+            task_id: 1,
+            accepted: true,
+        }
+        .encode();
+        *encoded.last_mut().unwrap() = 7;
+        assert_eq!(
+            Message::decode(&encoded).unwrap(),
+            Message::Verdict {
+                task_id: 1,
+                accepted: true
+            }
+        );
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        for msg in all_messages() {
+            assert_eq!(msg.wire_len(), msg.encode().len() as u64);
+        }
+    }
+
+    #[test]
+    fn challenge_size_scales_with_samples() {
+        let small = Message::Challenge {
+            task_id: 1,
+            samples: vec![0; 10],
+        };
+        let big = Message::Challenge {
+            task_id: 1,
+            samples: vec![0; 100],
+        };
+        assert_eq!(big.wire_len() - small.wire_len(), 90 * 8);
+    }
+
+    #[test]
+    fn hostile_proof_count_rejected() {
+        let mut buf = vec![TAG_PROOFS];
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, u64::MAX);
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(GridError::LengthOverflow { .. })
+        ));
+    }
+}

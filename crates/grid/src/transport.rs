@@ -1,0 +1,265 @@
+//! In-memory, byte-accounted message transport.
+//!
+//! Every frame that crosses a link is encoded to its wire form and its
+//! length (plus a fixed 4-byte frame header, as a TCP-style length prefix
+//! would add) is charged to both endpoints' counters. Experiments read
+//! those counters; nothing is estimated.
+
+use crate::{GridError, Message};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-endpoint traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Bytes sent from this endpoint (encoded frames + frame headers).
+    pub bytes_sent: u64,
+    /// Bytes received by this endpoint.
+    pub bytes_received: u64,
+    /// Messages sent from this endpoint.
+    pub messages_sent: u64,
+    /// Messages received by this endpoint.
+    pub messages_received: u64,
+}
+
+/// Frame-header overhead charged per message (a 4-byte length prefix).
+pub const FRAME_HEADER_BYTES: u64 = 4;
+
+#[derive(Debug, Default)]
+struct Counters {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+/// One side of a bidirectional, byte-counted link.
+///
+/// Create pairs with [`duplex`]. Endpoints are `Send`, so the two sides can
+/// live on different threads; channels are unbounded, so single-threaded
+/// request/response protocols cannot deadlock.
+#[derive(Debug)]
+pub struct Endpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    outbound: Arc<Counters>,
+    inbound: Arc<Counters>,
+}
+
+/// Creates a connected pair of endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_grid::{duplex, Message};
+///
+/// let (a, b) = duplex();
+/// a.send(&Message::Verdict { task_id: 1, accepted: true })?;
+/// assert!(matches!(b.recv()?, Message::Verdict { .. }));
+/// # Ok::<(), ugc_grid::GridError>(())
+/// ```
+#[must_use]
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    let a = Endpoint {
+        tx: tx_ab,
+        rx: rx_ba,
+        outbound: Arc::new(Counters::default()),
+        inbound: Arc::new(Counters::default()),
+    };
+    let b = Endpoint {
+        tx: tx_ba,
+        rx: rx_ab,
+        outbound: Arc::new(Counters::default()),
+        inbound: Arc::new(Counters::default()),
+    };
+    (a, b)
+}
+
+impl Endpoint {
+    /// Sends a message, charging its wire size to this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Disconnected`] if the peer has been dropped.
+    pub fn send(&self, msg: &Message) -> Result<(), GridError> {
+        let frame = msg.encode();
+        let charged = frame.len() as u64 + FRAME_HEADER_BYTES;
+        self.tx.send(frame).map_err(|_| GridError::Disconnected)?;
+        self.outbound.bytes.fetch_add(charged, Ordering::Relaxed);
+        self.outbound.messages.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Receives the next message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::Disconnected`] if the peer has been dropped with no
+    ///   queued messages.
+    /// * Codec errors if the frame is malformed.
+    pub fn recv(&self) -> Result<Message, GridError> {
+        let frame = self.rx.recv().map_err(|_| GridError::Disconnected)?;
+        self.account_inbound(&frame);
+        Message::decode(&frame)
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::Empty`] if no message is queued.
+    /// * [`GridError::Disconnected`] if the peer is gone.
+    /// * Codec errors if the frame is malformed.
+    pub fn try_recv(&self) -> Result<Message, GridError> {
+        let frame = match self.rx.try_recv() {
+            Ok(frame) => frame,
+            Err(TryRecvError::Empty) => return Err(GridError::Empty),
+            Err(TryRecvError::Disconnected) => return Err(GridError::Disconnected),
+        };
+        self.account_inbound(&frame);
+        Message::decode(&frame)
+    }
+
+    fn account_inbound(&self, frame: &[u8]) {
+        self.inbound
+            .bytes
+            .fetch_add(frame.len() as u64 + FRAME_HEADER_BYTES, Ordering::Relaxed);
+        self.inbound.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Traffic counters for this endpoint.
+    #[must_use]
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            bytes_sent: self.outbound.bytes.load(Ordering::Relaxed),
+            bytes_received: self.inbound.bytes.load(Ordering::Relaxed),
+            messages_sent: self.outbound.messages.load(Ordering::Relaxed),
+            messages_received: self.inbound.messages.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+    use ugc_task::Domain;
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let (a, b) = duplex();
+        let msg = Message::Commit {
+            task_id: 9,
+            root: vec![1; 32],
+        };
+        a.send(&msg).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got, msg);
+        let expected = msg.wire_len() + FRAME_HEADER_BYTES;
+        assert_eq!(a.stats().bytes_sent, expected);
+        assert_eq!(a.stats().messages_sent, 1);
+        assert_eq!(b.stats().bytes_received, expected);
+        assert_eq!(b.stats().messages_received, 1);
+        assert_eq!(b.stats().bytes_sent, 0);
+    }
+
+    #[test]
+    fn bidirectional_counts_are_separate() {
+        let (a, b) = duplex();
+        let m1 = Message::Verdict {
+            task_id: 1,
+            accepted: true,
+        };
+        let m2 = Message::Challenge {
+            task_id: 1,
+            samples: vec![1, 2, 3, 4],
+        };
+        a.send(&m1).unwrap();
+        b.send(&m2).unwrap();
+        let _ = a.recv().unwrap();
+        let _ = b.recv().unwrap();
+        assert_eq!(a.stats().bytes_sent, m1.wire_len() + FRAME_HEADER_BYTES);
+        assert_eq!(a.stats().bytes_received, m2.wire_len() + FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let (a, _b) = duplex();
+        assert_eq!(a.try_recv().unwrap_err(), GridError::Empty);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, b) = duplex();
+        drop(b);
+        assert_eq!(
+            a.send(&Message::Verdict {
+                task_id: 1,
+                accepted: false
+            })
+            .unwrap_err(),
+            GridError::Disconnected
+        );
+        assert_eq!(a.recv().unwrap_err(), GridError::Disconnected);
+    }
+
+    #[test]
+    fn queued_messages_survive_peer_drop() {
+        let (a, b) = duplex();
+        a.send(&Message::Verdict {
+            task_id: 3,
+            accepted: true,
+        })
+        .unwrap();
+        drop(a);
+        assert!(matches!(b.recv().unwrap(), Message::Verdict { .. }));
+        assert_eq!(b.recv().unwrap_err(), GridError::Disconnected);
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let (sup, part) = duplex();
+        let handle = std::thread::spawn(move || {
+            // Participant: echo assignments back as commits.
+            while let Ok(msg) = part.recv() {
+                if let Message::Assign(a) = msg {
+                    part.send(&Message::Commit {
+                        task_id: a.task_id,
+                        root: vec![0xAB; 32],
+                    })
+                    .unwrap();
+                }
+            }
+            part.stats()
+        });
+        for id in 0..5u64 {
+            sup.send(&Message::Assign(Assignment {
+                task_id: id,
+                domain: Domain::new(0, 16),
+            }))
+            .unwrap();
+            let reply = sup.recv().unwrap();
+            assert_eq!(reply.task_id(), id);
+        }
+        drop(sup);
+        let part_stats = handle.join().unwrap();
+        assert_eq!(part_stats.messages_sent, 5);
+        assert_eq!(part_stats.messages_received, 5);
+    }
+
+    #[test]
+    fn message_order_preserved() {
+        let (a, b) = duplex();
+        for i in 0..10u64 {
+            a.send(&Message::Verdict {
+                task_id: i,
+                accepted: true,
+            })
+            .unwrap();
+        }
+        for i in 0..10u64 {
+            assert_eq!(b.recv().unwrap().task_id(), i);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the cheating behaviours (the Section 2.2
+//! models must realise their parameters exactly, or every downstream
+//! detection experiment is biased).
+
+use proptest::prelude::*;
+use ugc_grid::{CheatSelection, CostLedger, HonestWorker, SemiHonestCheater, WorkerBehaviour};
+use ugc_task::workloads::PasswordSearch;
+use ugc_task::{ComputeTask, Domain, ZeroGuesser};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prefix_selection_is_exactly_floor_rn(r in 0.0f64..=1.0, n in 1u64..5000) {
+        let cheater = SemiHonestCheater::new(r, CheatSelection::Prefix, ZeroGuesser::new(0), 0);
+        let honest = (0..n).filter(|&i| cheater.is_honest_index(n, i)).count() as u64;
+        prop_assert_eq!(honest, (r * n as f64).floor() as u64);
+    }
+
+    #[test]
+    fn scattered_selection_is_deterministic(r in 0.0f64..=1.0, seed in any::<u64>()) {
+        let a = SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(1), seed);
+        let b = SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(1), seed);
+        for i in 0..200u64 {
+            prop_assert_eq!(a.is_honest_index(200, i), b.is_honest_index(200, i));
+        }
+    }
+
+    #[test]
+    fn committed_leaves_are_stable(r in 0.1f64..0.9, seed in any::<u64>()) {
+        // The same cheater must commit identical leaves when asked twice —
+        // otherwise its own Merkle proofs would not verify.
+        let task = PasswordSearch::with_hidden_password(3, 4);
+        let cheater = SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(7), seed);
+        let domain = Domain::new(0, 64);
+        let ledger = CostLedger::new();
+        for i in 0..64 {
+            prop_assert_eq!(
+                cheater.leaf_value(&task, domain, i, &ledger),
+                cheater.leaf_value(&task, domain, i, &ledger)
+            );
+        }
+    }
+
+    #[test]
+    fn cheater_cost_equals_honest_subset(r in 0.0f64..=1.0, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(3, 4);
+        let cheater = SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(7), seed);
+        let domain = Domain::new(0, 256);
+        let ledger = CostLedger::new();
+        let honest_count = (0..256)
+            .filter(|&i| cheater.is_honest_index(256, i))
+            .count() as u64;
+        for i in 0..256 {
+            let _ = cheater.leaf_value(&task, domain, i, &ledger);
+        }
+        prop_assert_eq!(ledger.report().f_evals, honest_count * task.unit_cost());
+    }
+
+    #[test]
+    fn honest_worker_matches_task_everywhere(n in 1u64..128, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, 0);
+        let domain = Domain::new(0, n);
+        let ledger = CostLedger::new();
+        for i in 0..n {
+            prop_assert_eq!(
+                HonestWorker.leaf_value(&task, domain, i, &ledger),
+                task.compute(i)
+            );
+        }
+    }
+}
+
+#[test]
+fn scattered_ratio_converges_statistically() {
+    for (r, seed) in [(0.25f64, 1u64), (0.5, 2), (0.75, 3)] {
+        let cheater = SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(4), seed);
+        let n = 40_000u64;
+        let honest = (0..n).filter(|&i| cheater.is_honest_index(n, i)).count() as f64;
+        let rate = honest / n as f64;
+        assert!((rate - r).abs() < 0.01, "r={r}: measured {rate}");
+    }
+}

@@ -1,0 +1,376 @@
+//! From-scratch cryptographic hash primitives for uncheatable grid computing.
+//!
+//! The commitment-based sampling (CBS) scheme of Du et al. (ICDCS 2004) builds
+//! Merkle trees over computation results using "a one-way hash function such as
+//! MD5 or SHA" (Eq. 1 of the paper), and its non-interactive variant derives
+//! sample indices from an *iterated* one-way function `g = H^k` whose cost can
+//! be tuned (Section 4.2). This crate provides exactly those primitives,
+//! implemented from the specifications (RFC 1321, FIPS 180-4) with no external
+//! dependencies:
+//!
+//! * [`Md5`], [`Sha1`], [`Sha256`] — streaming hashers validated against the
+//!   official test vectors.
+//! * [`HashFunction`] — the compile-time interface the Merkle tree and the
+//!   CBS protocol are generic over.
+//! * [`Algorithm`] / [`DigestBytes`] — a runtime-selectable facade used by
+//!   experiment harnesses that sweep over hash functions.
+//! * [`IteratedHash`] and [`HashChain`] — the hardened `g = H^k` construction
+//!   from Section 4.2 of the paper.
+//! * [`hex`] — dependency-free hex encoding/decoding for vectors and display.
+//!
+//! # Examples
+//!
+//! ```
+//! use ugc_hash::{HashFunction, Sha256, hex};
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     hex::encode(digest.as_ref()),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hex;
+mod iterated;
+mod md5;
+mod sha1;
+mod sha256;
+
+pub use iterated::{HashChain, IteratedHash};
+pub use md5::Md5;
+pub use sha1::Sha1;
+pub use sha256::Sha256;
+
+use core::fmt;
+
+/// A cryptographic hash function usable for Merkle commitments.
+///
+/// Implementations are *stateless at the type level*: hashing is exposed as
+/// associated functions so that protocol code can be generic over the
+/// algorithm without carrying values around. Streaming is available through
+/// the paired [`HashFunction::State`] type.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_hash::{HashFunction, Md5};
+///
+/// // One-shot.
+/// let d1 = Md5::digest(b"hello world");
+/// // Streaming, in two chunks.
+/// let mut st = Md5::new_state();
+/// Md5::update(&mut st, b"hello ");
+/// Md5::update(&mut st, b"world");
+/// let d2 = Md5::finalize(st);
+/// assert_eq!(d1, d2);
+/// ```
+pub trait HashFunction: Clone + Send + Sync + 'static {
+    /// Fixed-size digest produced by this algorithm.
+    type Digest: Copy
+        + Clone
+        + Eq
+        + PartialEq
+        + Ord
+        + PartialOrd
+        + core::hash::Hash
+        + AsRef<[u8]>
+        + fmt::Debug
+        + Send
+        + Sync
+        + 'static;
+
+    /// Streaming hasher state.
+    type State: Clone + Send + Sync;
+
+    /// Digest length in bytes.
+    const DIGEST_LEN: usize;
+
+    /// Internal block length in bytes (64 for MD5/SHA-1/SHA-256).
+    const BLOCK_LEN: usize;
+
+    /// Human-readable algorithm name (e.g. `"SHA-256"`).
+    const NAME: &'static str;
+
+    /// Creates a fresh streaming state.
+    fn new_state() -> Self::State;
+
+    /// Reconstructs a digest from raw bytes (e.g. received off the wire).
+    ///
+    /// Returns `None` unless `bytes` is exactly [`DIGEST_LEN`](Self::DIGEST_LEN)
+    /// bytes long.
+    fn digest_from_bytes(bytes: &[u8]) -> Option<Self::Digest>;
+
+    /// Absorbs `data` into the streaming state.
+    fn update(state: &mut Self::State, data: &[u8]);
+
+    /// Consumes the state and produces the digest.
+    fn finalize(state: Self::State) -> Self::Digest;
+
+    /// Hashes a single byte string.
+    fn digest(data: &[u8]) -> Self::Digest {
+        let mut st = Self::new_state();
+        Self::update(&mut st, data);
+        Self::finalize(st)
+    }
+
+    /// Hashes the concatenation `a || b` without materialising it.
+    ///
+    /// This is the Merkle-tree inner-node operation
+    /// `Φ(V) = hash(Φ(V_left) || Φ(V_right))` from Eq. (1) of the paper.
+    fn digest_pair(a: &[u8], b: &[u8]) -> Self::Digest {
+        let mut st = Self::new_state();
+        Self::update(&mut st, a);
+        Self::update(&mut st, b);
+        Self::finalize(st)
+    }
+
+    /// Converts a digest into a `u64` by reading its first 8 bytes
+    /// little-endian.
+    ///
+    /// The NI-CBS sample derivation (Eq. 4 of the paper) interprets hash
+    /// outputs as integers modulo the domain size; this is the canonical
+    /// integer interpretation used throughout this reproduction.
+    fn digest_to_u64(digest: &Self::Digest) -> u64 {
+        let bytes = digest.as_ref();
+        let mut buf = [0u8; 8];
+        let take = bytes.len().min(8);
+        buf[..take].copy_from_slice(&bytes[..take]);
+        u64::from_le_bytes(buf)
+    }
+}
+
+/// Runtime-selectable hash algorithm.
+///
+/// Protocol code is generic over [`HashFunction`]; experiment harnesses that
+/// sweep over algorithms use this enum instead.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_hash::Algorithm;
+///
+/// let d = Algorithm::Md5.digest(b"abc");
+/// assert_eq!(d.len(), 16);
+/// assert_eq!(Algorithm::Sha256.digest_len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Algorithm {
+    /// MD5 (RFC 1321), 128-bit digest. The paper's running example.
+    Md5,
+    /// SHA-1 (FIPS 180-4), 160-bit digest.
+    Sha1,
+    /// SHA-256 (FIPS 180-4), 256-bit digest. The modern default.
+    Sha256,
+}
+
+impl Algorithm {
+    /// All supported algorithms, for sweeps.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Md5, Algorithm::Sha1, Algorithm::Sha256];
+
+    /// Digest length in bytes.
+    #[must_use]
+    pub fn digest_len(self) -> usize {
+        match self {
+            Algorithm::Md5 => Md5::DIGEST_LEN,
+            Algorithm::Sha1 => Sha1::DIGEST_LEN,
+            Algorithm::Sha256 => Sha256::DIGEST_LEN,
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Md5 => Md5::NAME,
+            Algorithm::Sha1 => Sha1::NAME,
+            Algorithm::Sha256 => Sha256::NAME,
+        }
+    }
+
+    /// Hashes `data` with the selected algorithm.
+    #[must_use]
+    pub fn digest(self, data: &[u8]) -> DigestBytes {
+        match self {
+            Algorithm::Md5 => DigestBytes::from_slice(Md5::digest(data).as_ref()),
+            Algorithm::Sha1 => DigestBytes::from_slice(Sha1::digest(data).as_ref()),
+            Algorithm::Sha256 => DigestBytes::from_slice(Sha256::digest(data).as_ref()),
+        }
+    }
+
+    /// Hashes the concatenation `a || b` with the selected algorithm.
+    #[must_use]
+    pub fn digest_pair(self, a: &[u8], b: &[u8]) -> DigestBytes {
+        match self {
+            Algorithm::Md5 => DigestBytes::from_slice(Md5::digest_pair(a, b).as_ref()),
+            Algorithm::Sha1 => DigestBytes::from_slice(Sha1::digest_pair(a, b).as_ref()),
+            Algorithm::Sha256 => DigestBytes::from_slice(Sha256::digest_pair(a, b).as_ref()),
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maximum digest length supported by [`DigestBytes`] (SHA-256).
+pub const MAX_DIGEST_LEN: usize = 32;
+
+/// An inline, variable-length digest value (up to [`MAX_DIGEST_LEN`] bytes).
+///
+/// Used by the runtime-selectable [`Algorithm`] facade; avoids heap
+/// allocation in hash-heavy experiment loops.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_hash::{Algorithm, DigestBytes};
+///
+/// let d: DigestBytes = Algorithm::Sha1.digest(b"x");
+/// assert_eq!(d.len(), 20);
+/// assert_eq!(d, DigestBytes::from_slice(d.as_ref()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DigestBytes {
+    len: u8,
+    buf: [u8; MAX_DIGEST_LEN],
+}
+
+impl DigestBytes {
+    /// Wraps a raw digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than [`MAX_DIGEST_LEN`].
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= MAX_DIGEST_LEN,
+            "digest of {} bytes exceeds MAX_DIGEST_LEN",
+            bytes.len()
+        );
+        let mut buf = [0u8; MAX_DIGEST_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        DigestBytes {
+            len: bytes.len() as u8,
+            buf,
+        }
+    }
+
+    /// Digest length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the digest is empty (zero-length).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hex rendering of the digest.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        hex::encode(self.as_ref())
+    }
+}
+
+impl AsRef<[u8]> for DigestBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[..self.len()]
+    }
+}
+
+impl fmt::Display for DigestBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_digest_lengths() {
+        assert_eq!(Algorithm::Md5.digest_len(), 16);
+        assert_eq!(Algorithm::Sha1.digest_len(), 20);
+        assert_eq!(Algorithm::Sha256.digest_len(), 32);
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["MD5", "SHA-1", "SHA-256"]);
+    }
+
+    #[test]
+    fn algorithm_display_matches_name() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.to_string(), alg.name());
+        }
+    }
+
+    #[test]
+    fn digest_bytes_roundtrip() {
+        let d = Algorithm::Sha256.digest(b"roundtrip");
+        let d2 = DigestBytes::from_slice(d.as_ref());
+        assert_eq!(d, d2);
+        assert_eq!(d.len(), 32);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn digest_bytes_display_is_hex() {
+        let d = Algorithm::Md5.digest(b"");
+        assert_eq!(d.to_string(), "d41d8cd98f00b204e9800998ecf8427e");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DIGEST_LEN")]
+    fn digest_bytes_rejects_oversize() {
+        let _ = DigestBytes::from_slice(&[0u8; 33]);
+    }
+
+    #[test]
+    fn digest_pair_matches_concatenation() {
+        for alg in Algorithm::ALL {
+            let concat: Vec<u8> = [b"left".as_ref(), b"right".as_ref()].concat();
+            assert_eq!(alg.digest_pair(b"left", b"right"), alg.digest(&concat));
+        }
+    }
+
+    #[test]
+    fn digest_to_u64_reads_first_bytes_le() {
+        let d = Sha256::digest(b"int");
+        let v = Sha256::digest_to_u64(&d);
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&d.as_ref()[..8]);
+        assert_eq!(v, u64::from_le_bytes(buf));
+    }
+
+    #[test]
+    fn empty_digest_bytes() {
+        let d = DigestBytes::from_slice(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.to_hex(), "");
+    }
+
+    #[test]
+    fn digest_from_bytes_roundtrip() {
+        let d = Sha256::digest(b"wire");
+        assert_eq!(Sha256::digest_from_bytes(d.as_ref()), Some(d));
+        assert_eq!(Sha256::digest_from_bytes(&d.as_ref()[..31]), None);
+        let d = Md5::digest(b"wire");
+        assert_eq!(Md5::digest_from_bytes(d.as_ref()), Some(d));
+        let d = Sha1::digest(b"wire");
+        assert_eq!(Sha1::digest_from_bytes(d.as_ref()), Some(d));
+        assert_eq!(Sha1::digest_from_bytes(&[]), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! MD5 message digest (RFC 1321), implemented from the specification.
+//!
+//! MD5 is cryptographically broken for collision resistance, but it is the
+//! hash the paper names for both the Merkle tree and the hardened sample
+//! generator `g = (MD5)^k`, and its low cost makes it the right choice for
+//! cost-model experiments. Do not use it for new security designs.
+
+use crate::HashFunction;
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee, //
+    0xf57c_0faf, 0x4787_c62a, 0xa830_4613, 0xfd46_9501, //
+    0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be, //
+    0x6b90_1122, 0xfd98_7193, 0xa679_438e, 0x49b4_0821, //
+    0xf61e_2562, 0xc040_b340, 0x265e_5a51, 0xe9b6_c7aa, //
+    0xd62f_105d, 0x0244_1453, 0xd8a1_e681, 0xe7d3_fbc8, //
+    0x21e1_cde6, 0xc337_07d6, 0xf4d5_0d87, 0x455a_14ed, //
+    0xa9e3_e905, 0xfcef_a3f8, 0x676f_02d9, 0x8d2a_4c8a, //
+    0xfffa_3942, 0x8771_f681, 0x6d9d_6122, 0xfde5_380c, //
+    0xa4be_ea44, 0x4bde_cfa9, 0xf6bb_4b60, 0xbebf_bc70, //
+    0x289b_7ec6, 0xeaa1_27fa, 0xd4ef_3085, 0x0488_1d05, //
+    0xd9d4_d039, 0xe6db_99e5, 0x1fa2_7cf8, 0xc4ac_5665, //
+    0xf429_2244, 0x432a_ff97, 0xab94_23a7, 0xfc93_a039, //
+    0x655b_59c3, 0x8f0c_cc92, 0xffef_f47d, 0x8584_5dd1, //
+    0x6fa8_7e4f, 0xfe2c_e6e0, 0xa301_4314, 0x4e08_11a1, //
+    0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb, 0xeb86_d391,
+];
+
+/// Streaming MD5 state.
+#[derive(Debug, Clone)]
+pub struct Md5State {
+    h: [u32; 4],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5State {
+    fn default() -> Self {
+        Md5State {
+            h: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+}
+
+impl Md5State {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.h;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+    }
+
+    fn absorb(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn complete(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80 then zeros until length ≡ 56 (mod 64), then
+        // the 64-bit little-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = 1 + ((55u64.wrapping_sub(self.len)) % 64) as usize;
+        self.absorb(&pad[..pad_len]);
+        self.absorb(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 16];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// The MD5 hash function (RFC 1321).
+///
+/// # Examples
+///
+/// ```
+/// use ugc_hash::{HashFunction, Md5, hex};
+///
+/// assert_eq!(
+///     hex::encode(Md5::digest(b"abc").as_ref()),
+///     "900150983cd24fb0d6963f7d28e17f72",
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Md5;
+
+impl HashFunction for Md5 {
+    type Digest = [u8; 16];
+    type State = Md5State;
+
+    const DIGEST_LEN: usize = 16;
+    const BLOCK_LEN: usize = 64;
+    const NAME: &'static str = "MD5";
+
+    fn new_state() -> Md5State {
+        Md5State::default()
+    }
+
+    fn digest_from_bytes(bytes: &[u8]) -> Option<[u8; 16]> {
+        bytes.try_into().ok()
+    }
+
+    fn update(state: &mut Md5State, data: &[u8]) {
+        state.absorb(data);
+    }
+
+    fn finalize(state: Md5State) -> [u8; 16] {
+        state.complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn md5_hex(input: &[u8]) -> String {
+        hex::encode(Md5::digest(input).as_ref())
+    }
+
+    /// The full RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(md5_hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(md5_hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(md5_hex(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            md5_hex(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            md5_hex(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            md5_hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        for chunk in [1usize, 3, 63, 64, 65, 127, 1000] {
+            let mut st = Md5::new_state();
+            for piece in data.chunks(chunk) {
+                Md5::update(&mut st, piece);
+            }
+            assert_eq!(Md5::finalize(st), Md5::digest(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths straddling the 56-byte padding boundary and block edges.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 121, 128] {
+            let data = vec![0xABu8; len];
+            let mut st = Md5::new_state();
+            Md5::update(&mut st, &data[..len / 2]);
+            Md5::update(&mut st, &data[len / 2..]);
+            assert_eq!(Md5::finalize(st), Md5::digest(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(md5_hex(&data), "7707d6ae4e027c70eea2a935c2296f21");
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(Md5::digest(b"x"), Md5::digest(b"y"));
+        assert_ne!(Md5::digest(b"ab"), Md5::digest(b"ba"));
+    }
+
+    #[test]
+    fn digest_pair_is_concatenation() {
+        assert_eq!(Md5::digest_pair(b"foo", b"bar"), Md5::digest(b"foobar"));
+    }
+}

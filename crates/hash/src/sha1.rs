@@ -1,0 +1,211 @@
+//! SHA-1 (FIPS 180-4), implemented from the specification.
+//!
+//! Included because the paper names "MD5 or SHA" as the Merkle-tree hash;
+//! SHA-1 sits between MD5 and SHA-256 in the cost model. Like MD5 it is
+//! broken for collision resistance and kept here for fidelity and
+//! benchmarking, not for new designs.
+
+use crate::HashFunction;
+
+/// Streaming SHA-1 state.
+#[derive(Debug, Clone)]
+pub struct Sha1State {
+    h: [u32; 5],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1State {
+    fn default() -> Self {
+        Sha1State {
+            h: [
+                0x6745_2301,
+                0xefcd_ab89,
+                0x98ba_dcfe,
+                0x1032_5476,
+                0xc3d2_e1f0,
+            ],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+}
+
+impl Sha1State {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a82_7999),
+                1 => (b ^ c ^ d, 0x6ed9_eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+
+    fn absorb(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn complete(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = 1 + ((55u64.wrapping_sub(self.len)) % 64) as usize;
+        self.absorb(&pad[..pad_len]);
+        self.absorb(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// The SHA-1 hash function (FIPS 180-4).
+///
+/// # Examples
+///
+/// ```
+/// use ugc_hash::{HashFunction, Sha1, hex};
+///
+/// assert_eq!(
+///     hex::encode(Sha1::digest(b"abc").as_ref()),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d",
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Sha1;
+
+impl HashFunction for Sha1 {
+    type Digest = [u8; 20];
+    type State = Sha1State;
+
+    const DIGEST_LEN: usize = 20;
+    const BLOCK_LEN: usize = 64;
+    const NAME: &'static str = "SHA-1";
+
+    fn new_state() -> Sha1State {
+        Sha1State::default()
+    }
+
+    fn digest_from_bytes(bytes: &[u8]) -> Option<[u8; 20]> {
+        bytes.try_into().ok()
+    }
+
+    fn update(state: &mut Sha1State, data: &[u8]) {
+        state.absorb(data);
+    }
+
+    fn finalize(state: Sha1State) -> [u8; 20] {
+        state.complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn sha1_hex(input: &[u8]) -> String {
+        hex::encode(Sha1::digest(input).as_ref())
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(sha1_hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(sha1_hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            sha1_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(sha1_hex(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(777).collect();
+        for chunk in [1usize, 7, 64, 100] {
+            let mut st = Sha1::new_state();
+            for piece in data.chunks(chunk) {
+                Sha1::update(&mut st, piece);
+            }
+            assert_eq!(Sha1::finalize(st), Sha1::digest(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        for len in [55usize, 56, 57, 63, 64, 65, 128] {
+            let data = vec![0x5Au8; len];
+            let mut st = Sha1::new_state();
+            Sha1::update(&mut st, &data[..len / 3]);
+            Sha1::update(&mut st, &data[len / 3..]);
+            assert_eq!(Sha1::finalize(st), Sha1::digest(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn digest_pair_is_concatenation() {
+        assert_eq!(Sha1::digest_pair(b"grid", b"work"), Sha1::digest(b"gridwork"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the hash primitives.
+//!
+//! Invariants (DESIGN.md §5): incremental update equals one-shot digest for
+//! any chunking, hex roundtrips, digests are length-stable, and the pair
+//! digest equals hashing the concatenation.
+
+use proptest::prelude::*;
+use ugc_hash::{hex, Algorithm, HashChain, HashFunction, IteratedHash, Md5, Sha1, Sha256};
+
+fn chunked_digest<H: HashFunction>(data: &[u8], cuts: &[usize]) -> H::Digest {
+    let mut st = H::new_state();
+    let mut rest = data;
+    for &cut in cuts {
+        let take = cut.min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        H::update(&mut st, head);
+        rest = tail;
+    }
+    H::update(&mut st, rest);
+    H::finalize(st)
+}
+
+proptest! {
+    #[test]
+    fn md5_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..512),
+                               cuts in proptest::collection::vec(0usize..200, 0..8)) {
+        prop_assert_eq!(chunked_digest::<Md5>(&data, &cuts), Md5::digest(&data));
+    }
+
+    #[test]
+    fn sha1_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                cuts in proptest::collection::vec(0usize..200, 0..8)) {
+        prop_assert_eq!(chunked_digest::<Sha1>(&data, &cuts), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn sha256_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                  cuts in proptest::collection::vec(0usize..200, 0..8)) {
+        prop_assert_eq!(chunked_digest::<Sha256>(&data, &cuts), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = hex::encode(&bytes);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), bytes);
+    }
+
+    #[test]
+    fn hex_encode_length(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::encode(&bytes).len(), bytes.len() * 2);
+    }
+
+    #[test]
+    fn digest_lengths_stable(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        for alg in Algorithm::ALL {
+            prop_assert_eq!(alg.digest(&data).len(), alg.digest_len());
+        }
+    }
+
+    #[test]
+    fn pair_digest_equals_concat(a in proptest::collection::vec(any::<u8>(), 0..128),
+                                 b in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let concat: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(Sha256::digest_pair(&a, &b), Sha256::digest(&concat));
+        prop_assert_eq!(Md5::digest_pair(&a, &b), Md5::digest(&concat));
+    }
+
+    #[test]
+    fn iterated_hash_composes(data in proptest::collection::vec(any::<u8>(), 0..64),
+                              k in 1u64..16) {
+        let g = IteratedHash::<Sha256>::new(k);
+        let mut manual = Sha256::digest(&data);
+        for _ in 1..k {
+            manual = Sha256::digest(manual.as_ref());
+        }
+        prop_assert_eq!(g.apply(&data), manual);
+    }
+
+    #[test]
+    fn chain_prefix_consistent(seed in proptest::collection::vec(any::<u8>(), 1..64),
+                               k in 1u64..8, m in 1usize..16) {
+        // Taking m elements then re-deriving must agree element-wise.
+        let g = IteratedHash::<Md5>::new(k);
+        let first: Vec<_> = HashChain::new(g, &seed).take(m).collect();
+        let second: Vec<_> = HashChain::new(g, &seed).take(m).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn digest_to_u64_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let d = Sha256::digest(&data);
+        prop_assert_eq!(Sha256::digest_to_u64(&d), Sha256::digest_to_u64(&d));
+    }
+}

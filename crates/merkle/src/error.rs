@@ -1,0 +1,110 @@
+//! Error type for Merkle-tree construction and proof generation.
+
+use core::fmt;
+
+/// Errors produced by Merkle-tree operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MerkleError {
+    /// A tree was requested over zero leaves.
+    EmptyTree,
+    /// A leaf had a different width than the first leaf.
+    MixedLeafWidth {
+        /// Width of the first leaf, which fixes the tree's leaf width.
+        expected: usize,
+        /// Width of the offending leaf.
+        found: usize,
+        /// Index of the offending leaf.
+        index: u64,
+    },
+    /// Leaves must carry at least one byte of computation result.
+    ZeroLeafWidth,
+    /// A leaf index was outside `[0, leaf_count)`.
+    IndexOutOfRange {
+        /// The requested index.
+        index: u64,
+        /// Number of (real) leaves in the tree.
+        leaf_count: u64,
+    },
+    /// The requested stored-subtree height `ℓ` is outside `[1, H]`.
+    SubtreeHeightOutOfRange {
+        /// The requested subtree height.
+        subtree_height: u32,
+        /// The tree height `H`.
+        tree_height: u32,
+    },
+    /// A rebuilt subtree root did not match the stored digest — the leaf
+    /// provider returned different results than at commitment time.
+    ProviderMismatch {
+        /// Index of the subtree whose root mismatched.
+        subtree_index: u64,
+    },
+}
+
+impl fmt::Display for MerkleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MerkleError::EmptyTree => write!(f, "cannot build a Merkle tree over zero leaves"),
+            MerkleError::MixedLeafWidth {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "leaf {index} is {found} bytes but the tree's leaf width is {expected}"
+            ),
+            MerkleError::ZeroLeafWidth => write!(f, "leaf width must be at least one byte"),
+            MerkleError::IndexOutOfRange { index, leaf_count } => {
+                write!(f, "leaf index {index} out of range for {leaf_count} leaves")
+            }
+            MerkleError::SubtreeHeightOutOfRange {
+                subtree_height,
+                tree_height,
+            } => write!(
+                f,
+                "subtree height {subtree_height} outside [1, {tree_height}]"
+            ),
+            MerkleError::ProviderMismatch { subtree_index } => write!(
+                f,
+                "rebuilt subtree {subtree_index} does not match the committed digest"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MerkleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MerkleError::EmptyTree.to_string(),
+            "cannot build a Merkle tree over zero leaves"
+        );
+        assert_eq!(
+            MerkleError::MixedLeafWidth {
+                expected: 8,
+                found: 4,
+                index: 3
+            }
+            .to_string(),
+            "leaf 3 is 4 bytes but the tree's leaf width is 8"
+        );
+        assert_eq!(
+            MerkleError::IndexOutOfRange {
+                index: 9,
+                leaf_count: 8
+            }
+            .to_string(),
+            "leaf index 9 out of range for 8 leaves"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MerkleError>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Merkle commitment trees for uncheatable grid computing.
+//!
+//! This crate implements the commitment structure at the centre of the
+//! Commitment-Based Sampling (CBS) scheme of Du, Jia, Mangal and Murugesan
+//! (*Uncheatable Grid Computing*, ICDCS 2004):
+//!
+//! * [`MerkleTree`] — the full tree of Section 3.1. Leaves hold the raw
+//!   computation results `Φ(L_i) = f(x_i)`; every internal node holds
+//!   `Φ(V) = hash(Φ(V_left) || Φ(V_right))` (Eq. 1). The root is the
+//!   participant's commitment.
+//! * [`MerkleProof`] — the per-sample *proof of honesty*: `f(x_i)` plus the
+//!   `Φ` values of the siblings along the leaf-to-root path
+//!   (`λ_1 … λ_H`). [`MerkleProof::verify`] is the supervisor's
+//!   reconstruction `Λ(f(x), λ_1, …, λ_H) = Φ(R′)` compared against the
+//!   commitment.
+//! * [`StreamingBuilder`] — computes the root with an `O(log n)` frontier,
+//!   so a participant never needs the whole tree in memory just to commit.
+//! * [`PartialMerkleTree`] — the storage-usage improvement of Section 3.3:
+//!   store only the top `H − ℓ` levels and rebuild the height-`ℓ` subtree
+//!   containing a sample on demand, trading `O(2^ℓ)` recomputation for a
+//!   `2^ℓ`-fold storage reduction.
+//!
+//! # Tree shape
+//!
+//! The paper assumes a complete binary tree. This implementation pads the
+//! leaf count to the next power of two (minimum 2) with all-zero leaves.
+//! Padding leaves are never sampled by the CBS protocol — sample indices are
+//! drawn from the real domain `[0, n)` — so padding affects only the root
+//! value, not the security argument.
+//!
+//! # Examples
+//!
+//! The Fig. 1 walk-through of the paper: eight leaves, sample `x_3`
+//! (0-indexed leaf 2), siblings `L4, A, D, F`:
+//!
+//! ```
+//! use ugc_merkle::MerkleTree;
+//! use ugc_hash::Sha256;
+//!
+//! let results: Vec<[u8; 8]> = (0u64..8).map(|x| (x * x).to_le_bytes()).collect();
+//! let tree: MerkleTree<Sha256> = MerkleTree::build(&results)?;
+//! let commitment = tree.root();
+//!
+//! let proof = tree.prove(2)?;
+//! assert!(proof.verify(&commitment, &results[2]));
+//! assert!(!proof.verify(&commitment, &0u64.to_le_bytes())); // wrong f(x)
+//! # Ok::<(), ugc_merkle::MerkleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod partial;
+mod persist;
+mod proof;
+mod streaming;
+mod tree;
+
+pub use error::MerkleError;
+pub use partial::{PartialMerkleTree, RebuildStats};
+pub use persist::PersistError;
+pub use proof::MerkleProof;
+pub use streaming::StreamingBuilder;
+pub use tree::MerkleTree;
+
+/// Rounds `n` up to the padded leaf count used by every tree in this crate:
+/// the next power of two, and at least 2.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ugc_merkle::padded_leaf_count(1), 2);
+/// assert_eq!(ugc_merkle::padded_leaf_count(5), 8);
+/// assert_eq!(ugc_merkle::padded_leaf_count(8), 8);
+/// ```
+#[must_use]
+pub fn padded_leaf_count(n: u64) -> u64 {
+    n.max(2).next_power_of_two()
+}
+
+/// Height `H = log₂(padded leaf count)` of the tree over `n` leaves.
+///
+/// A proof for any leaf carries exactly `H` sibling values (`λ_1 … λ_H` in
+/// the paper): one raw leaf plus `H − 1` digests.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ugc_merkle::tree_height(2), 1);
+/// assert_eq!(ugc_merkle::tree_height(1024), 10);
+/// assert_eq!(ugc_merkle::tree_height(1025), 11);
+/// ```
+#[must_use]
+pub fn tree_height(n: u64) -> u32 {
+    padded_leaf_count(n).trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rounds_up() {
+        assert_eq!(padded_leaf_count(0), 2);
+        assert_eq!(padded_leaf_count(1), 2);
+        assert_eq!(padded_leaf_count(2), 2);
+        assert_eq!(padded_leaf_count(3), 4);
+        assert_eq!(padded_leaf_count(1 << 20), 1 << 20);
+        assert_eq!(padded_leaf_count((1 << 20) + 1), 1 << 21);
+    }
+
+    #[test]
+    fn heights() {
+        assert_eq!(tree_height(1), 1);
+        assert_eq!(tree_height(8), 3);
+        assert_eq!(tree_height(9), 4);
+    }
+}

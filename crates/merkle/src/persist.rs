@@ -1,0 +1,283 @@
+//! Tree persistence: serialise a committed tree to bytes and back.
+//!
+//! The paper's participants are home PCs donating idle cycles; between
+//! sending the commitment and receiving the challenge they may reboot.
+//! A participant that loses its tree must recompute the whole task to
+//! answer the challenge — so the tree needs to survive on disk. The
+//! format is self-describing and versioned; loading validates structure
+//! and (optionally) the full hash integrity.
+
+use crate::MerkleTree;
+use ugc_hash::HashFunction;
+
+/// Format magic: `UGCM` + version 1.
+const MAGIC: [u8; 5] = *b"UGCM\x01";
+
+/// Errors when loading a persisted tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// The byte length does not match the header's claimed geometry.
+    LengthMismatch {
+        /// Bytes expected from the header fields.
+        expected: u64,
+        /// Bytes actually provided.
+        found: u64,
+    },
+    /// The stored digest length does not match hash function `H`.
+    DigestLenMismatch {
+        /// Digest length recorded in the header.
+        stored: u32,
+        /// Digest length of the hash the caller requested.
+        expected: u32,
+    },
+    /// A recomputed node digest disagreed with the stored one
+    /// (corrupted file), reported by [`MerkleTree::verify_integrity`].
+    Corrupt {
+        /// Heap index of the first corrupt node.
+        node: u64,
+    },
+    /// The header geometry is internally inconsistent.
+    BadGeometry,
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            PersistError::BadHeader => write!(f, "missing or unsupported tree header"),
+            PersistError::LengthMismatch { expected, found } => {
+                write!(f, "tree blob is {found} bytes, header implies {expected}")
+            }
+            PersistError::DigestLenMismatch { stored, expected } => {
+                write!(f, "tree stored {stored}-byte digests, hash needs {expected}")
+            }
+            PersistError::Corrupt { node } => write!(f, "node {node} fails integrity check"),
+            PersistError::BadGeometry => write!(f, "inconsistent tree geometry in header"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl<H: HashFunction> MerkleTree<H> {
+    /// Serialises the tree (leaves + digests) to a self-describing blob.
+    ///
+    /// Layout: magic ‖ leaf_count u64 ‖ leaf_width u32 ‖ digest_len u32 ‖
+    /// leaf bytes (padded count × width) ‖ node digests (padded count × len,
+    /// heap slots 0..padded, slot 0 unused but stored for alignment).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let padded = self.padded_leaf_count();
+        let width = self.leaf_width();
+        let digest_len = H::DIGEST_LEN;
+        let mut out = Vec::with_capacity(
+            MAGIC.len() + 16 + (padded as usize) * width + (padded as usize) * digest_len,
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.leaf_count().to_le_bytes());
+        out.extend_from_slice(&(width as u32).to_le_bytes());
+        out.extend_from_slice(&(digest_len as u32).to_le_bytes());
+        for i in 0..padded {
+            out.extend_from_slice(self.padded_leaf_slice(i));
+        }
+        for i in 0..padded {
+            out.extend_from_slice(self.node_digest(i.max(1)).as_ref());
+        }
+        out
+    }
+
+    /// Reloads a tree serialised by [`to_bytes`](Self::to_bytes).
+    ///
+    /// Structural checks only (`O(1)` beyond the copy); call
+    /// [`verify_integrity`](Self::verify_integrity) to re-hash everything.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] structural variant.
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, PersistError> {
+        if blob.len() < MAGIC.len() + 16 || blob[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::BadHeader);
+        }
+        let mut cursor = MAGIC.len();
+        let leaf_count = u64::from_le_bytes(blob[cursor..cursor + 8].try_into().unwrap());
+        cursor += 8;
+        let width = u32::from_le_bytes(blob[cursor..cursor + 4].try_into().unwrap()) as usize;
+        cursor += 4;
+        let digest_len = u32::from_le_bytes(blob[cursor..cursor + 4].try_into().unwrap());
+        cursor += 4;
+        if digest_len as usize != H::DIGEST_LEN {
+            return Err(PersistError::DigestLenMismatch {
+                stored: digest_len,
+                expected: H::DIGEST_LEN as u32,
+            });
+        }
+        if leaf_count == 0 || width == 0 || leaf_count > (1 << 40) {
+            return Err(PersistError::BadGeometry);
+        }
+        let padded = crate::padded_leaf_count(leaf_count);
+        let leaves_len = (padded as usize) * width;
+        let nodes_len = (padded as usize) * H::DIGEST_LEN;
+        let expected = (cursor + leaves_len + nodes_len) as u64;
+        if blob.len() as u64 != expected {
+            return Err(PersistError::LengthMismatch {
+                expected,
+                found: blob.len() as u64,
+            });
+        }
+        let leaves = blob[cursor..cursor + leaves_len].to_vec();
+        cursor += leaves_len;
+        let mut nodes = Vec::with_capacity(padded as usize);
+        for i in 0..padded as usize {
+            let start = cursor + i * H::DIGEST_LEN;
+            let digest = H::digest_from_bytes(&blob[start..start + H::DIGEST_LEN])
+                .expect("slice length checked");
+            nodes.push(digest);
+        }
+        Ok(MerkleTree::from_raw_parts(leaves, nodes, leaf_count, width))
+    }
+
+    /// Recomputes every internal digest and compares with the stored ones.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] naming the first disagreeing heap node.
+    pub fn verify_integrity(&self) -> Result<(), PersistError> {
+        let padded = self.padded_leaf_count();
+        for t in 0..padded / 2 {
+            let expected = H::digest_pair(
+                self.padded_leaf_slice(2 * t),
+                self.padded_leaf_slice(2 * t + 1),
+            );
+            if expected != self.node_digest(padded / 2 + t) {
+                return Err(PersistError::Corrupt {
+                    node: padded / 2 + t,
+                });
+            }
+        }
+        for i in (1..padded / 2).rev() {
+            let expected = H::digest_pair(
+                self.node_digest(2 * i).as_ref(),
+                self.node_digest(2 * i + 1).as_ref(),
+            );
+            if expected != self.node_digest(i) {
+                return Err(PersistError::Corrupt { node: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_hash::{Md5, Sha256};
+
+    fn tree(n: u64) -> MerkleTree<Sha256> {
+        MerkleTree::from_leaf_fn(n, 8, |x| (x * 3).to_le_bytes().to_vec()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for n in [1u64, 2, 5, 16, 100] {
+            let original = tree(n);
+            let blob = original.to_bytes();
+            let loaded: MerkleTree<Sha256> = MerkleTree::from_bytes(&blob).unwrap();
+            assert_eq!(loaded.root(), original.root(), "n={n}");
+            assert_eq!(loaded.leaf_count(), original.leaf_count());
+            assert_eq!(loaded.leaf_width(), original.leaf_width());
+            for i in 0..n {
+                assert_eq!(loaded.leaf(i).unwrap(), original.leaf(i).unwrap());
+                assert_eq!(loaded.prove(i).unwrap(), original.prove(i).unwrap());
+            }
+            loaded.verify_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn proofs_from_reloaded_tree_verify_against_old_commitment() {
+        // The restart scenario: commit, reboot, reload, answer.
+        let original = tree(64);
+        let commitment = original.root();
+        let blob = original.to_bytes();
+        drop(original);
+        let reloaded: MerkleTree<Sha256> = MerkleTree::from_bytes(&blob).unwrap();
+        let proof = reloaded.prove(17).unwrap();
+        assert!(proof.verify(&commitment, &(17u64 * 3).to_le_bytes()));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = tree(4).to_bytes();
+        blob[0] ^= 0xFF;
+        assert_eq!(
+            MerkleTree::<Sha256>::from_bytes(&blob).unwrap_err(),
+            PersistError::BadHeader
+        );
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let blob = tree(4).to_bytes();
+        let err = MerkleTree::<Sha256>::from_bytes(&blob[..blob.len() - 1]).unwrap_err();
+        assert!(matches!(err, PersistError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_hash_function_rejected() {
+        let blob = tree(4).to_bytes();
+        let err = MerkleTree::<Md5>::from_bytes(&blob).unwrap_err();
+        assert_eq!(
+            err,
+            PersistError::DigestLenMismatch {
+                stored: 32,
+                expected: 16
+            }
+        );
+    }
+
+    #[test]
+    fn corrupted_leaf_detected_by_integrity_check() {
+        let mut blob = tree(8).to_bytes();
+        // Flip a byte inside the leaf region (after the 21-byte header).
+        blob[30] ^= 1;
+        let loaded: MerkleTree<Sha256> = MerkleTree::from_bytes(&blob).unwrap();
+        assert!(matches!(
+            loaded.verify_integrity(),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_digest_detected_by_integrity_check() {
+        let t = tree(8);
+        let mut blob = t.to_bytes();
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        let loaded: MerkleTree<Sha256> = MerkleTree::from_bytes(&blob).unwrap();
+        assert!(matches!(
+            loaded.verify_integrity(),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_blob_rejected() {
+        assert_eq!(
+            MerkleTree::<Sha256>::from_bytes(&[]).unwrap_err(),
+            PersistError::BadHeader
+        );
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PersistError::Corrupt { node: 5 }.to_string(),
+            "node 5 fails integrity check"
+        );
+        assert_eq!(
+            PersistError::BadHeader.to_string(),
+            "missing or unsupported tree header"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Root computation with an `O(log n)` frontier.
+//!
+//! A participant that only needs to *commit* (Step 1 of the CBS scheme)
+//! never has to hold the whole tree: it can stream results through this
+//! builder, keeping one pending node per level. Combined with the
+//! partial-storage tree of Section 3.3 this is what makes tasks with
+//! `|D| ≫ 2^30` feasible.
+
+use crate::{padded_leaf_count, MerkleError};
+use ugc_hash::{HashFunction, Sha256};
+
+/// Incremental Merkle-root builder with logarithmic memory.
+///
+/// Feed leaves in index order with [`push`](Self::push), then call
+/// [`finalize`](Self::finalize). The resulting root is identical to
+/// [`MerkleTree::build`](crate::MerkleTree::build) over the same leaves.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_merkle::{MerkleTree, StreamingBuilder};
+/// use ugc_hash::Sha256;
+///
+/// let leaves: Vec<[u8; 8]> = (0u64..5).map(|x| x.to_le_bytes()).collect();
+/// let mut builder: StreamingBuilder<Sha256> = StreamingBuilder::new();
+/// for leaf in &leaves {
+///     builder.push(leaf)?;
+/// }
+/// let root = builder.finalize()?;
+/// let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves)?;
+/// assert_eq!(root, tree.root());
+/// # Ok::<(), ugc_merkle::MerkleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingBuilder<H: HashFunction = Sha256> {
+    /// Completed subtree digests: `(height, digest)`, heights strictly
+    /// decreasing from the bottom of the vec to the top.
+    frontier: Vec<(u32, H::Digest)>,
+    /// A leaf waiting for its right-hand neighbour.
+    pending_leaf: Option<Vec<u8>>,
+    leaf_width: Option<usize>,
+    count: u64,
+    hash_ops: u64,
+}
+
+impl<H: HashFunction> Default for StreamingBuilder<H> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<H: HashFunction> StreamingBuilder<H> {
+    /// Creates an empty builder. The first pushed leaf fixes the leaf width.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamingBuilder {
+            frontier: Vec::new(),
+            pending_leaf: None,
+            leaf_width: None,
+            count: 0,
+            hash_ops: 0,
+        }
+    }
+
+    /// Number of leaves pushed so far.
+    #[must_use]
+    pub fn leaf_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Hash invocations performed so far.
+    #[must_use]
+    pub fn hash_ops(&self) -> u64 {
+        self.hash_ops
+    }
+
+    /// Appends the next leaf (`f(x_i)` for the next `i`).
+    ///
+    /// # Errors
+    ///
+    /// * [`MerkleError::ZeroLeafWidth`] on an empty leaf.
+    /// * [`MerkleError::MixedLeafWidth`] if the width differs from the
+    ///   first leaf's.
+    pub fn push(&mut self, leaf: &[u8]) -> Result<(), MerkleError> {
+        if leaf.is_empty() {
+            return Err(MerkleError::ZeroLeafWidth);
+        }
+        match self.leaf_width {
+            None => self.leaf_width = Some(leaf.len()),
+            Some(w) if w != leaf.len() => {
+                return Err(MerkleError::MixedLeafWidth {
+                    expected: w,
+                    found: leaf.len(),
+                    index: self.count,
+                });
+            }
+            Some(_) => {}
+        }
+        self.count += 1;
+        match self.pending_leaf.take() {
+            None => {
+                self.pending_leaf = Some(leaf.to_vec());
+            }
+            Some(left) => {
+                let digest = H::digest_pair(&left, leaf);
+                self.hash_ops += 1;
+                self.merge_up(1, digest);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a completed subtree digest, merging equal heights upward.
+    fn merge_up(&mut self, mut height: u32, mut digest: H::Digest) {
+        while let Some(&(top_height, top_digest)) = self.frontier.last() {
+            if top_height != height {
+                break;
+            }
+            self.frontier.pop();
+            digest = H::digest_pair(top_digest.as_ref(), digest.as_ref());
+            self.hash_ops += 1;
+            height += 1;
+        }
+        self.frontier.push((height, digest));
+    }
+
+    /// Pads to the power-of-two shape and returns the root `Φ(R)`.
+    ///
+    /// # Errors
+    ///
+    /// [`MerkleError::EmptyTree`] if no leaves were pushed.
+    pub fn finalize(self) -> Result<H::Digest, MerkleError> {
+        self.finalize_counted().map(|(root, _)| root)
+    }
+
+    /// Like [`finalize`](Self::finalize), additionally reporting the total
+    /// number of hash invocations spent building the tree — the
+    /// participant's commitment cost.
+    ///
+    /// # Errors
+    ///
+    /// [`MerkleError::EmptyTree`] if no leaves were pushed.
+    pub fn finalize_counted(mut self) -> Result<(H::Digest, u64), MerkleError> {
+        if self.count == 0 {
+            return Err(MerkleError::EmptyTree);
+        }
+        let width = self.leaf_width.expect("width fixed by first push");
+        let target = padded_leaf_count(self.count);
+        let zeros = vec![0u8; width];
+        for _ in self.count..target {
+            // Push is infallible here: width matches and count only grows.
+            self.push(&zeros).expect("padding leaf has the fixed width");
+        }
+        debug_assert!(self.pending_leaf.is_none());
+        debug_assert_eq!(self.frontier.len(), 1);
+        let root = self.frontier.pop().expect("exactly one root remains").1;
+        Ok((root, self.hash_ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MerkleTree;
+    use ugc_hash::{Md5, Sha256};
+
+    fn leaves(n: u64) -> Vec<[u8; 8]> {
+        (0..n).map(|x| x.wrapping_mul(7).to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn matches_batch_build_for_many_sizes() {
+        for n in [1u64, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100, 255] {
+            let ls = leaves(n);
+            let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+            for l in &ls {
+                b.push(l).unwrap();
+            }
+            let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+            assert_eq!(b.finalize().unwrap(), tree.root(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_batch_build_md5() {
+        let ls = leaves(37);
+        let mut b: StreamingBuilder<Md5> = StreamingBuilder::new();
+        for l in &ls {
+            b.push(l).unwrap();
+        }
+        let tree: MerkleTree<Md5> = MerkleTree::build(&ls).unwrap();
+        assert_eq!(b.finalize().unwrap(), tree.root());
+    }
+
+    #[test]
+    fn empty_fails() {
+        let b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+        assert_eq!(b.finalize().unwrap_err(), MerkleError::EmptyTree);
+    }
+
+    #[test]
+    fn zero_width_leaf_rejected() {
+        let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+        assert_eq!(b.push(&[]).unwrap_err(), MerkleError::ZeroLeafWidth);
+    }
+
+    #[test]
+    fn mixed_width_rejected() {
+        let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+        b.push(&[1, 2, 3]).unwrap();
+        assert_eq!(
+            b.push(&[1, 2]).unwrap_err(),
+            MerkleError::MixedLeafWidth {
+                expected: 3,
+                found: 2,
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn frontier_stays_logarithmic() {
+        let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+        for l in leaves(1000) {
+            b.push(&l).unwrap();
+            assert!(b.frontier.len() <= 11, "frontier grew to {}", b.frontier.len());
+        }
+    }
+
+    #[test]
+    fn hash_ops_match_batch() {
+        let ls = leaves(100);
+        let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+        for l in &ls {
+            b.push(l).unwrap();
+        }
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let before_padding = b.hash_ops();
+        let (_, total_ops) = b.finalize_counted().unwrap();
+        // The batch build hashes padded-1 nodes; streaming performs the
+        // same work, some of it during finalize-padding.
+        assert!(before_padding <= tree.hash_ops());
+        assert_eq!(total_ops, tree.hash_ops());
+    }
+
+    #[test]
+    fn leaf_count_tracks_pushes() {
+        let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+        for (i, l) in leaves(10).iter().enumerate() {
+            assert_eq!(b.leaf_count(), i as u64);
+            b.push(l).unwrap();
+        }
+        assert_eq!(b.leaf_count(), 10);
+    }
+}

@@ -1,0 +1,575 @@
+//! The full Merkle tree of Section 3.1 of the paper.
+
+use crate::{padded_leaf_count, MerkleError, MerkleProof};
+use ugc_hash::{HashFunction, Sha256};
+
+/// A complete binary Merkle tree whose leaves are raw computation results.
+///
+/// Following Eq. (1) of the paper:
+///
+/// ```text
+/// Φ(L_i) = f(x_i)                                  (leaves: raw results)
+/// Φ(V)   = hash(Φ(V_left) || Φ(V_right))           (internal nodes)
+/// ```
+///
+/// The leaf count is padded to a power of two (≥ 2) with all-zero leaves;
+/// see the crate docs for why this is sound. All leaves must have the same
+/// width, as `f` maps into a fixed-size result type.
+///
+/// The tree stores the padded leaf data plus one digest per internal node,
+/// i.e. `O(|D|)` space — the cost Section 3.3 of the paper then optimises
+/// with [`PartialMerkleTree`](crate::PartialMerkleTree).
+///
+/// # Examples
+///
+/// ```
+/// use ugc_merkle::MerkleTree;
+/// use ugc_hash::Md5;
+///
+/// let leaves: Vec<[u8; 4]> = (0u32..6).map(|x| x.to_be_bytes()).collect();
+/// let tree: MerkleTree<Md5> = MerkleTree::build(&leaves)?;
+/// assert_eq!(tree.leaf_count(), 6);
+/// assert_eq!(tree.padded_leaf_count(), 8);
+/// assert_eq!(tree.height(), 3);
+/// let proof = tree.prove(5)?;
+/// assert!(proof.verify(&tree.root(), &leaves[5]));
+/// # Ok::<(), ugc_merkle::MerkleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree<H: HashFunction = Sha256> {
+    /// Padded leaf data, `padded * leaf_width` bytes, row-major.
+    leaves: Vec<u8>,
+    /// Internal-node digests in binary-heap order; index 0 unused, root at 1,
+    /// node `i` has children `2i` and `2i+1`. Length `padded`.
+    nodes: Vec<H::Digest>,
+    leaf_count: u64,
+    padded: u64,
+    leaf_width: usize,
+    hash_ops: u64,
+}
+
+impl<H: HashFunction> MerkleTree<H> {
+    /// Builds a tree over `leaves`, each leaf being one `f(x_i)` result.
+    ///
+    /// # Errors
+    ///
+    /// * [`MerkleError::EmptyTree`] if `leaves` is empty.
+    /// * [`MerkleError::ZeroLeafWidth`] if leaves are zero-length.
+    /// * [`MerkleError::MixedLeafWidth`] if leaves differ in width.
+    pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> Result<Self, MerkleError> {
+        let first = leaves.first().ok_or(MerkleError::EmptyTree)?;
+        let width = first.as_ref().len();
+        if width == 0 {
+            return Err(MerkleError::ZeroLeafWidth);
+        }
+        for (i, leaf) in leaves.iter().enumerate() {
+            if leaf.as_ref().len() != width {
+                return Err(MerkleError::MixedLeafWidth {
+                    expected: width,
+                    found: leaf.as_ref().len(),
+                    index: i as u64,
+                });
+            }
+        }
+        Self::from_leaf_fn(leaves.len() as u64, width, |i| {
+            leaves[i as usize].as_ref().to_vec()
+        })
+    }
+
+    /// Builds a tree by evaluating `leaf_fn(i)` for `i ∈ [0, n)`.
+    ///
+    /// `leaf_fn` must return exactly `leaf_width` bytes per call; this is the
+    /// participant-side entry point where `leaf_fn` computes (or fakes —
+    /// see the cheating behaviours in `ugc-grid`) the result `f(x_i)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MerkleError::EmptyTree`] if `n == 0`.
+    /// * [`MerkleError::ZeroLeafWidth`] if `leaf_width == 0`.
+    /// * [`MerkleError::MixedLeafWidth`] if `leaf_fn` returns a wrong-width
+    ///   result.
+    pub fn from_leaf_fn<F>(n: u64, leaf_width: usize, mut leaf_fn: F) -> Result<Self, MerkleError>
+    where
+        F: FnMut(u64) -> Vec<u8>,
+    {
+        if n == 0 {
+            return Err(MerkleError::EmptyTree);
+        }
+        if leaf_width == 0 {
+            return Err(MerkleError::ZeroLeafWidth);
+        }
+        let padded = padded_leaf_count(n);
+        let mut leaves = vec![0u8; (padded as usize) * leaf_width];
+        for i in 0..n {
+            let value = leaf_fn(i);
+            if value.len() != leaf_width {
+                return Err(MerkleError::MixedLeafWidth {
+                    expected: leaf_width,
+                    found: value.len(),
+                    index: i,
+                });
+            }
+            let off = (i as usize) * leaf_width;
+            leaves[off..off + leaf_width].copy_from_slice(&value);
+        }
+        let mut tree = MerkleTree {
+            leaves,
+            nodes: Vec::new(),
+            leaf_count: n,
+            padded,
+            leaf_width,
+            hash_ops: 0,
+        };
+        tree.hash_all();
+        Ok(tree)
+    }
+
+    /// Recomputes every internal digest from the leaf data.
+    fn hash_all(&mut self) {
+        let padded = self.padded as usize;
+        // Heap slot 0 is a placeholder; fill with the digest of nothing.
+        let mut nodes: Vec<H::Digest> = vec![H::digest(&[]); padded];
+        let mut ops = 0u64;
+        // Bottom internal level hashes raw leaf pairs.
+        for t in 0..padded / 2 {
+            let a = self.leaf_slice(2 * t);
+            let b = self.leaf_slice(2 * t + 1);
+            nodes[padded / 2 + t] = H::digest_pair(a, b);
+            ops += 1;
+        }
+        // Upper levels hash digest pairs.
+        for i in (1..padded / 2).rev() {
+            nodes[i] = H::digest_pair(nodes[2 * i].as_ref(), nodes[2 * i + 1].as_ref());
+            ops += 1;
+        }
+        self.nodes = nodes;
+        self.hash_ops = ops;
+    }
+
+    fn leaf_slice(&self, padded_index: usize) -> &[u8] {
+        let off = padded_index * self.leaf_width;
+        &self.leaves[off..off + self.leaf_width]
+    }
+
+    /// Leaf bytes by padded index (padding leaves included); used by the
+    /// persistence layer.
+    pub(crate) fn padded_leaf_slice(&self, padded_index: u64) -> &[u8] {
+        self.leaf_slice(padded_index as usize)
+    }
+
+    /// Reassembles a tree from persisted raw storage. The caller (the
+    /// persistence layer) guarantees geometric consistency.
+    pub(crate) fn from_raw_parts(
+        leaves: Vec<u8>,
+        nodes: Vec<H::Digest>,
+        leaf_count: u64,
+        leaf_width: usize,
+    ) -> Self {
+        let padded = crate::padded_leaf_count(leaf_count);
+        debug_assert_eq!(leaves.len() as u64, padded * leaf_width as u64);
+        debug_assert_eq!(nodes.len() as u64, padded);
+        MerkleTree {
+            leaves,
+            nodes,
+            leaf_count,
+            padded,
+            leaf_width,
+            hash_ops: 0,
+        }
+    }
+
+    /// The committed root `Φ(R)`.
+    ///
+    /// For the degenerate two-leaf tree the root is the single internal
+    /// node; in general it is heap node 1.
+    #[must_use]
+    pub fn root(&self) -> H::Digest {
+        self.nodes[1]
+    }
+
+    /// Number of real (unpadded) leaves, `n = |D|`.
+    #[must_use]
+    pub fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    /// Leaf count after power-of-two padding.
+    #[must_use]
+    pub fn padded_leaf_count(&self) -> u64 {
+        self.padded
+    }
+
+    /// Tree height `H`; every proof carries `H` sibling values.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.padded.trailing_zeros()
+    }
+
+    /// Width of each leaf in bytes.
+    #[must_use]
+    pub fn leaf_width(&self) -> usize {
+        self.leaf_width
+    }
+
+    /// Number of hash invocations performed to build the tree
+    /// (`padded − 1`).
+    #[must_use]
+    pub fn hash_ops(&self) -> u64 {
+        self.hash_ops
+    }
+
+    /// The raw result bytes stored in leaf `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`MerkleError::IndexOutOfRange`] if `index ≥ leaf_count`.
+    pub fn leaf(&self, index: u64) -> Result<&[u8], MerkleError> {
+        if index >= self.leaf_count {
+            return Err(MerkleError::IndexOutOfRange {
+                index,
+                leaf_count: self.leaf_count,
+            });
+        }
+        Ok(self.leaf_slice(index as usize))
+    }
+
+    /// Internal digest at heap position `heap_index` (root = 1).
+    ///
+    /// Exposed for the partial-tree equivalence tests; not part of the
+    /// protocol surface.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn node_digest(&self, heap_index: u64) -> H::Digest {
+        self.nodes[heap_index as usize]
+    }
+
+    /// Replaces the value of leaf `index` and recomputes the digests along
+    /// its path to the root, returning the number of hash invocations
+    /// spent (`H`, the tree height).
+    ///
+    /// This is the primitive behind the Section 4.2 *retry attack*: a
+    /// cheater re-rolls one uncommitted leaf and pays only `O(log n)`
+    /// hashes per attempt to refresh its commitment.
+    ///
+    /// # Errors
+    ///
+    /// * [`MerkleError::IndexOutOfRange`] if `index ≥ leaf_count`.
+    /// * [`MerkleError::MixedLeafWidth`] if `value` has the wrong width.
+    pub fn update_leaf(&mut self, index: u64, value: &[u8]) -> Result<u64, MerkleError> {
+        if index >= self.leaf_count {
+            return Err(MerkleError::IndexOutOfRange {
+                index,
+                leaf_count: self.leaf_count,
+            });
+        }
+        if value.len() != self.leaf_width {
+            return Err(MerkleError::MixedLeafWidth {
+                expected: self.leaf_width,
+                found: value.len(),
+                index,
+            });
+        }
+        let off = (index as usize) * self.leaf_width;
+        self.leaves[off..off + self.leaf_width].copy_from_slice(value);
+        // Re-hash the leaf pair, then the digest path up to the root.
+        let mut ops = 0u64;
+        let pair = index & !1;
+        let mut node = (self.padded + index) >> 1;
+        self.nodes[node as usize] = H::digest_pair(
+            self.leaf_slice(pair as usize),
+            self.leaf_slice((pair + 1) as usize),
+        );
+        ops += 1;
+        while node > 1 {
+            node >>= 1;
+            self.nodes[node as usize] = H::digest_pair(
+                self.nodes[(2 * node) as usize].as_ref(),
+                self.nodes[(2 * node + 1) as usize].as_ref(),
+            );
+            ops += 1;
+        }
+        self.hash_ops += ops;
+        Ok(ops)
+    }
+
+    /// Generates the proof of honesty for leaf `index` (Step 3 of the CBS
+    /// scheme): the sibling leaf value plus the digest siblings along the
+    /// path to the root.
+    ///
+    /// # Errors
+    ///
+    /// [`MerkleError::IndexOutOfRange`] if `index ≥ leaf_count`.
+    pub fn prove(&self, index: u64) -> Result<MerkleProof<H>, MerkleError> {
+        if index >= self.leaf_count {
+            return Err(MerkleError::IndexOutOfRange {
+                index,
+                leaf_count: self.leaf_count,
+            });
+        }
+        let leaf_sibling = self.leaf_slice((index ^ 1) as usize).to_vec();
+        let mut digest_siblings = Vec::with_capacity(self.height() as usize - 1);
+        // Heap position of the leaf's parent.
+        let mut node = (self.padded + index) >> 1;
+        while node > 1 {
+            digest_siblings.push(self.nodes[(node ^ 1) as usize]);
+            node >>= 1;
+        }
+        Ok(MerkleProof::from_parts(index, leaf_sibling, digest_siblings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_hash::{Md5, Sha256};
+
+    fn leaves(n: u64) -> Vec<[u8; 8]> {
+        (0..n).map(|x| (x.wrapping_mul(0x9e37_79b9)).to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        let empty: Vec<[u8; 8]> = Vec::new();
+        assert_eq!(
+            MerkleTree::<Sha256>::build(&empty).unwrap_err(),
+            MerkleError::EmptyTree
+        );
+    }
+
+    #[test]
+    fn build_rejects_zero_width() {
+        let zero: Vec<Vec<u8>> = vec![vec![], vec![]];
+        assert_eq!(
+            MerkleTree::<Sha256>::build(&zero).unwrap_err(),
+            MerkleError::ZeroLeafWidth
+        );
+    }
+
+    #[test]
+    fn build_rejects_mixed_width() {
+        let mixed: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(
+            MerkleTree::<Sha256>::build(&mixed).unwrap_err(),
+            MerkleError::MixedLeafWidth {
+                expected: 2,
+                found: 1,
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves(1)).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.padded_leaf_count(), 2);
+        assert_eq!(tree.height(), 1);
+        // Root = H(leaf0 || zero-pad).
+        let expected = Sha256::digest_pair(&0u64.to_le_bytes(), &[0u8; 8]);
+        assert_eq!(tree.root(), expected);
+    }
+
+    #[test]
+    fn two_leaf_root_matches_manual_eq1() {
+        let ls = leaves(2);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        assert_eq!(tree.root(), Sha256::digest_pair(&ls[0], &ls[1]));
+    }
+
+    #[test]
+    fn four_leaf_root_matches_manual_eq1() {
+        let ls = leaves(4);
+        let tree: MerkleTree<Md5> = MerkleTree::build(&ls).unwrap();
+        let b = Md5::digest_pair(&ls[0], &ls[1]);
+        let c = Md5::digest_pair(&ls[2], &ls[3]);
+        assert_eq!(tree.root(), Md5::digest_pair(b.as_ref(), c.as_ref()));
+    }
+
+    #[test]
+    fn padding_is_zero_leaves() {
+        // 3 real leaves pad to 4 with one zero leaf.
+        let ls = leaves(3);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let mut padded = ls.iter().map(|l| l.to_vec()).collect::<Vec<_>>();
+        padded.push(vec![0u8; 8]);
+        let manual: MerkleTree<Sha256> = MerkleTree::build(&padded).unwrap();
+        assert_eq!(tree.root(), manual.root());
+    }
+
+    #[test]
+    fn from_leaf_fn_matches_build() {
+        let ls = leaves(10);
+        let a: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let b: MerkleTree<Sha256> =
+            MerkleTree::from_leaf_fn(10, 8, |i| ls[i as usize].to_vec()).unwrap();
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn from_leaf_fn_rejects_wrong_width() {
+        let err = MerkleTree::<Sha256>::from_leaf_fn(4, 8, |i| {
+            if i == 2 {
+                vec![0u8; 7]
+            } else {
+                vec![0u8; 8]
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MerkleError::MixedLeafWidth {
+                expected: 8,
+                found: 7,
+                index: 2
+            }
+        );
+    }
+
+    #[test]
+    fn hash_ops_is_padded_minus_one() {
+        for n in [1u64, 2, 3, 8, 9, 100] {
+            let tree: MerkleTree<Sha256> =
+                MerkleTree::from_leaf_fn(n, 8, |i| i.to_le_bytes().to_vec()).unwrap();
+            assert_eq!(tree.hash_ops(), tree.padded_leaf_count() - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn leaf_accessor_roundtrip() {
+        let ls = leaves(7);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        for (i, l) in ls.iter().enumerate() {
+            assert_eq!(tree.leaf(i as u64).unwrap(), l.as_slice());
+        }
+        assert!(tree.leaf(7).is_err());
+    }
+
+    #[test]
+    fn all_proofs_verify() {
+        for n in [1u64, 2, 3, 5, 8, 16, 33] {
+            let ls = leaves(n);
+            let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+            let root = tree.root();
+            for i in 0..n {
+                let proof = tree.prove(i).unwrap();
+                assert!(
+                    proof.verify(&root, &ls[i as usize]),
+                    "n={n} leaf={i} proof failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf_value() {
+        let ls = leaves(8);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&tree.root(), &[0xFFu8; 8]));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let ls = leaves(8);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let other: MerkleTree<Sha256> = MerkleTree::build(&leaves(9)[1..]).unwrap();
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&other.root(), &ls[3]));
+    }
+
+    #[test]
+    fn prove_out_of_range() {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves(4)).unwrap();
+        assert_eq!(
+            tree.prove(4).unwrap_err(),
+            MerkleError::IndexOutOfRange {
+                index: 4,
+                leaf_count: 4
+            }
+        );
+    }
+
+    #[test]
+    fn changing_any_leaf_changes_root() {
+        let base = leaves(16);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&base).unwrap();
+        for i in 0..16usize {
+            let mut mutated = base.clone();
+            mutated[i][0] ^= 1;
+            let other: MerkleTree<Sha256> = MerkleTree::build(&mutated).unwrap();
+            assert_ne!(tree.root(), other.root(), "leaf {i} mutation not detected");
+        }
+    }
+
+    #[test]
+    fn update_leaf_matches_rebuild() {
+        let mut ls = leaves(16);
+        let mut tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        for i in [0u64, 3, 7, 15] {
+            let new_value = (i + 1000).to_le_bytes();
+            let ops = tree.update_leaf(i, &new_value).unwrap();
+            assert_eq!(ops, u64::from(tree.height()));
+            ls[i as usize] = new_value;
+            let rebuilt: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+            assert_eq!(tree.root(), rebuilt.root(), "after updating leaf {i}");
+        }
+    }
+
+    #[test]
+    fn update_leaf_then_prove() {
+        let ls = leaves(8);
+        let mut tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        tree.update_leaf(5, &[9u8; 8]).unwrap();
+        let proof = tree.prove(5).unwrap();
+        assert!(proof.verify(&tree.root(), &[9u8; 8]));
+        let proof0 = tree.prove(0).unwrap();
+        assert!(proof0.verify(&tree.root(), &ls[0]));
+    }
+
+    #[test]
+    fn update_leaf_validates_arguments() {
+        let mut tree: MerkleTree<Sha256> = MerkleTree::build(&leaves(4)).unwrap();
+        assert!(matches!(
+            tree.update_leaf(4, &[0u8; 8]),
+            Err(MerkleError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            tree.update_leaf(0, &[0u8; 7]),
+            Err(MerkleError::MixedLeafWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn update_leaf_restores_original_root() {
+        let ls = leaves(8);
+        let mut tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let original = tree.root();
+        tree.update_leaf(2, &[1u8; 8]).unwrap();
+        assert_ne!(tree.root(), original);
+        tree.update_leaf(2, &ls[2]).unwrap();
+        assert_eq!(tree.root(), original);
+    }
+
+    #[test]
+    fn fig1_walkthrough() {
+        // Fig. 1 of the paper: 8 leaves, sample x_3 (leaf index 2 when
+        // 0-indexed). The proof must contain Φ(L4) (the leaf sibling) and
+        // the digests Φ(A), Φ(D)... — here we verify the reconstruction
+        // footnote: Φ(B) = hash(f(x3)||Φ(L4)), Φ(C) = hash(Φ(A)||Φ(B)),
+        // Φ(E) = hash(Φ(C)||Φ(D)), Φ(R) = hash(Φ(E)||Φ(F)).
+        let ls = leaves(8);
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        let proof = tree.prove(2).unwrap();
+        assert_eq!(proof.leaf_sibling(), &ls[3]); // Φ(L4)
+        let phi_a = Sha256::digest_pair(&ls[0], &ls[1]);
+        let phi_b = Sha256::digest_pair(&ls[2], &ls[3]);
+        let phi_c = Sha256::digest_pair(phi_a.as_ref(), phi_b.as_ref());
+        let phi_d = Sha256::digest_pair(&ls[4], &ls[5]);
+        let phi_e = Sha256::digest_pair(&ls[6], &ls[7]);
+        let phi_f = Sha256::digest_pair(phi_d.as_ref(), phi_e.as_ref());
+        assert_eq!(proof.digest_siblings(), &[phi_a, phi_f]);
+        let root = Sha256::digest_pair(phi_c.as_ref(), phi_f.as_ref());
+        assert_eq!(tree.root(), root);
+        assert!(proof.verify(&root, &ls[2]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the Merkle-tree invariants in DESIGN.md §5.
+
+use proptest::prelude::*;
+use ugc_hash::{Md5, Sha256};
+use ugc_merkle::{MerkleProof, MerkleTree, PartialMerkleTree, StreamingBuilder};
+
+fn arb_leaves() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    (1usize..64, 1usize..24).prop_flat_map(|(n, width)| {
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), width..=width), n..=n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_leaf_proof_verifies(leaves in arb_leaves()) {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let root = tree.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i as u64).unwrap();
+            prop_assert!(proof.verify(&root, leaf));
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_leaf_value_fails(leaves in arb_leaves(),
+                                    which in any::<proptest::sample::Index>(),
+                                    byte in any::<proptest::sample::Index>(),
+                                    bit in 0u8..8) {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let i = which.index(leaves.len());
+        let proof = tree.prove(i as u64).unwrap();
+        let mut forged = leaves[i].clone();
+        let b = byte.index(forged.len());
+        forged[b] ^= 1 << bit;
+        prop_assert!(!proof.verify(&tree.root(), &forged));
+    }
+
+    #[test]
+    fn bit_flip_in_root_fails(leaves in arb_leaves(),
+                              which in any::<proptest::sample::Index>(),
+                              byte in 0usize..32, bit in 0u8..8) {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let i = which.index(leaves.len());
+        let proof = tree.prove(i as u64).unwrap();
+        let mut root = tree.root();
+        root[byte] ^= 1 << bit;
+        prop_assert!(!proof.verify(&root, &leaves[i]));
+    }
+
+    #[test]
+    fn streaming_root_equals_batch_root(leaves in arb_leaves()) {
+        let tree: MerkleTree<Md5> = MerkleTree::build(&leaves).unwrap();
+        let mut builder: StreamingBuilder<Md5> = StreamingBuilder::new();
+        for leaf in &leaves {
+            builder.push(leaf).unwrap();
+        }
+        prop_assert_eq!(builder.finalize().unwrap(), tree.root());
+    }
+
+    #[test]
+    fn partial_tree_equivalent_for_any_level(leaves in arb_leaves(), ell_seed in any::<u32>()) {
+        let n = leaves.len() as u64;
+        let width = leaves[0].len();
+        let provider = |i: u64| leaves[i as usize].clone();
+        let full: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let height = full.height();
+        let ell = 1 + ell_seed % height;
+        let partial: PartialMerkleTree<Sha256> =
+            PartialMerkleTree::build(n, width, ell, provider).unwrap();
+        prop_assert_eq!(partial.root(), full.root());
+        for i in 0..n {
+            let (p_proof, _) = partial.prove_with(i, provider).unwrap();
+            prop_assert_eq!(p_proof, full.prove(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn proof_roundtrips_through_parts(leaves in arb_leaves(),
+                                      which in any::<proptest::sample::Index>()) {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let i = which.index(leaves.len());
+        let proof = tree.prove(i as u64).unwrap();
+        let rebuilt: MerkleProof<Sha256> = MerkleProof::from_parts(
+            proof.leaf_index(),
+            proof.leaf_sibling().to_vec(),
+            proof.digest_siblings().to_vec(),
+        );
+        prop_assert!(rebuilt.verify(&tree.root(), &leaves[i]));
+    }
+
+    #[test]
+    fn proof_size_is_logarithmic(leaves in arb_leaves()) {
+        let tree: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let proof = tree.prove(0).unwrap();
+        let width = leaves[0].len() as u64;
+        let h = u64::from(tree.height());
+        prop_assert_eq!(proof.payload_bytes(), width + (h - 1) * 32);
+    }
+}

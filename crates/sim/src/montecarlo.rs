@@ -1,0 +1,361 @@
+//! Monte-Carlo estimation of cheat-success probabilities.
+
+use crate::stats::wilson_interval;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
+use ugc_core::ParticipantStorage;
+use ugc_grid::{CheatSelection, SemiHonestCheater};
+use ugc_hash::Sha256;
+use ugc_task::workloads::PasswordSearch;
+use ugc_task::{Domain, LuckyGuesser};
+
+/// One cell of the detection-probability sweep (a point on the Fig. 2 /
+/// Eq. 2 grids).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionExperiment {
+    /// Domain size `n` (matters only for the protocol path).
+    pub domain_size: u64,
+    /// Sample count `m`.
+    pub samples: usize,
+    /// Honesty ratio `r`.
+    pub honesty_ratio: f64,
+    /// Guess quality `q` (probability a guessed leaf is correct).
+    pub guess_quality: f64,
+    /// Number of independent trials.
+    pub trials: u32,
+    /// Base seed; trial `t` derives its own seed from it.
+    pub seed: u64,
+}
+
+/// A binomial rate estimate with a 99% Wilson interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateEstimate {
+    /// Number of trials in which the cheater survived.
+    pub successes: u32,
+    /// Total trials.
+    pub trials: u32,
+    /// Point estimate `successes / trials`.
+    pub rate: f64,
+    /// Lower 99% Wilson bound.
+    pub ci_low: f64,
+    /// Upper 99% Wilson bound.
+    pub ci_high: f64,
+}
+
+impl RateEstimate {
+    fn from_counts(successes: u32, trials: u32) -> Self {
+        let (mut ci_low, mut ci_high) =
+            wilson_interval(u64::from(successes), u64::from(trials), 2.576);
+        // Exact bounds at the extremes: the Wilson endpoints collapse to
+        // 0/1 analytically there, but floating point can leave an
+        // ulp-sized residue that would exclude tiny true probabilities.
+        if successes == 0 {
+            ci_low = 0.0;
+        }
+        if successes == trials {
+            ci_high = 1.0;
+        }
+        RateEstimate {
+            successes,
+            trials,
+            rate: f64::from(successes) / f64::from(trials),
+            ci_low,
+            ci_high,
+        }
+    }
+
+    /// Whether the interval contains a theoretical value.
+    #[must_use]
+    pub fn contains(&self, p: f64) -> bool {
+        self.ci_low <= p && p <= self.ci_high
+    }
+}
+
+/// Fast path: simulates only the Theorem 3 event per trial — each of the
+/// `m` uniform samples survives iff it lands in `D′` (probability `r`) or
+/// the guess was lucky (probability `q`). Use for dense grids.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the probabilities are out of range.
+#[must_use]
+pub fn estimate_cheat_success_fast(exp: &DetectionExperiment) -> RateEstimate {
+    assert!(exp.trials > 0, "need at least one trial");
+    assert!((0.0..=1.0).contains(&exp.honesty_ratio), "r out of range");
+    assert!((0.0..=1.0).contains(&exp.guess_quality), "q out of range");
+    let mut rng = StdRng::seed_from_u64(exp.seed);
+    let mut survived = 0u32;
+    for _ in 0..exp.trials {
+        let mut ok = true;
+        for _ in 0..exp.samples {
+            let honest = rng.random::<f64>() < exp.honesty_ratio;
+            if !honest && rng.random::<f64>() >= exp.guess_quality {
+                ok = false;
+                break;
+            }
+        }
+        survived += u32::from(ok);
+    }
+    RateEstimate::from_counts(survived, exp.trials)
+}
+
+/// Full-protocol path: every trial runs a complete interactive CBS round
+/// (tree build, commitment, challenge, proofs, verification) against a
+/// scattered semi-honest cheater whose guesser realises `q` exactly.
+///
+/// Orders of magnitude slower than the fast path; use it to validate that
+/// the protocol's detection matches Theorem 3, then sweep with the fast
+/// path.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or probabilities are out of range (as the fast
+/// path), or if a protocol round fails outright (transport bugs — never
+/// expected in-process).
+#[must_use]
+pub fn estimate_cheat_success_protocol(exp: &DetectionExperiment) -> RateEstimate {
+    assert!(exp.trials > 0, "need at least one trial");
+    let mut survived = 0u32;
+    for t in 0..exp.trials {
+        let trial_seed = exp
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(t));
+        let task = PasswordSearch::with_hidden_password(trial_seed, 0);
+        let guesser = LuckyGuesser::new(task.clone(), exp.guess_quality, trial_seed ^ 0xaa);
+        let cheater = SemiHonestCheater::new(
+            exp.honesty_ratio,
+            CheatSelection::Scattered,
+            guesser,
+            trial_seed ^ 0xbb,
+        );
+        let screener = task.match_screener();
+        let config = CbsConfig {
+            task_id: u64::from(t),
+            samples: exp.samples,
+            seed: trial_seed ^ 0xcc,
+            report_audit: 0,
+        };
+        let outcome = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, exp.domain_size),
+            &cheater,
+            ParticipantStorage::Full,
+            &config,
+        )
+        .expect("in-process CBS round must not fail");
+        survived += u32::from(outcome.accepted);
+    }
+    RateEstimate::from_counts(survived, exp.trials)
+}
+
+/// Parallel variant of [`estimate_cheat_success_protocol`]: splits the
+/// trials over `threads` workers. Deterministic — trial `t` derives the
+/// same seed regardless of which worker runs it.
+///
+/// # Panics
+///
+/// As the serial variant; additionally if `threads == 0`.
+#[must_use]
+pub fn estimate_cheat_success_protocol_parallel(
+    exp: &DetectionExperiment,
+    threads: usize,
+) -> RateEstimate {
+    assert!(threads > 0, "need at least one thread");
+    assert!(exp.trials > 0, "need at least one trial");
+    let survived = crossbeam::thread::scope(|scope| {
+        let per = exp.trials.div_ceil(threads as u32);
+        let handles: Vec<_> = (0..threads as u32)
+            .map(|w| {
+                let exp = *exp;
+                scope.spawn(move |_| {
+                    let lo = w * per;
+                    let hi = (lo + per).min(exp.trials);
+                    (lo..hi)
+                        .map(|t| u32::from(run_protocol_trial(&exp, t)))
+                        .sum::<u32>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+    .expect("monte-carlo scope");
+    RateEstimate::from_counts(survived, exp.trials)
+}
+
+/// One full CBS round for trial `t`; `true` iff the cheater survived.
+fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
+    let trial_seed = exp
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(t));
+    let task = PasswordSearch::with_hidden_password(trial_seed, 0);
+    let guesser = LuckyGuesser::new(task.clone(), exp.guess_quality, trial_seed ^ 0xaa);
+    let cheater = SemiHonestCheater::new(
+        exp.honesty_ratio,
+        CheatSelection::Scattered,
+        guesser,
+        trial_seed ^ 0xbb,
+    );
+    let screener = task.match_screener();
+    let config = CbsConfig {
+        task_id: u64::from(t),
+        samples: exp.samples,
+        seed: trial_seed ^ 0xcc,
+        report_audit: 0,
+    };
+    run_cbs::<Sha256, _, _, _>(
+        &task,
+        &screener,
+        Domain::new(0, exp.domain_size),
+        &cheater,
+        ParticipantStorage::Full,
+        &config,
+    )
+    .expect("in-process CBS round must not fail")
+    .accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_core::analysis::cheat_success_probability;
+
+    #[test]
+    fn fast_path_matches_eq2_across_grid() {
+        for &(r, q, m) in &[
+            (0.5, 0.0, 5usize),
+            (0.5, 0.5, 8),
+            (0.8, 0.0, 10),
+            (0.9, 0.5, 20),
+            (0.2, 0.0, 3),
+        ] {
+            let exp = DetectionExperiment {
+                domain_size: 0, // unused on the fast path
+                samples: m,
+                honesty_ratio: r,
+                guess_quality: q,
+                trials: 20_000,
+                seed: 7,
+            };
+            let est = estimate_cheat_success_fast(&exp);
+            let theory = cheat_success_probability(r, q, m as u64);
+            assert!(
+                est.contains(theory),
+                "r={r} q={q} m={m}: est [{:.4},{:.4}] excludes {:.4}",
+                est.ci_low,
+                est.ci_high,
+                theory
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_extremes() {
+        let mut exp = DetectionExperiment {
+            domain_size: 0,
+            samples: 10,
+            honesty_ratio: 1.0,
+            guess_quality: 0.0,
+            trials: 500,
+            seed: 1,
+        };
+        assert_eq!(estimate_cheat_success_fast(&exp).rate, 1.0);
+        exp.honesty_ratio = 0.0;
+        assert_eq!(estimate_cheat_success_fast(&exp).rate, 0.0);
+    }
+
+    #[test]
+    fn fast_path_deterministic_per_seed() {
+        let exp = DetectionExperiment {
+            domain_size: 0,
+            samples: 6,
+            honesty_ratio: 0.6,
+            guess_quality: 0.1,
+            trials: 5_000,
+            seed: 33,
+        };
+        assert_eq!(
+            estimate_cheat_success_fast(&exp).successes,
+            estimate_cheat_success_fast(&exp).successes
+        );
+    }
+
+    #[test]
+    fn protocol_path_agrees_with_theory() {
+        // Small but real: 300 full CBS rounds at r=0.5, q=0, m=3 → expect
+        // survival ≈ 0.125.
+        let exp = DetectionExperiment {
+            domain_size: 64,
+            samples: 3,
+            honesty_ratio: 0.5,
+            guess_quality: 0.0,
+            trials: 300,
+            seed: 11,
+        };
+        let est = estimate_cheat_success_protocol(&exp);
+        let theory = cheat_success_probability(0.5, 0.0, 3);
+        assert!(
+            est.contains(theory),
+            "protocol estimate [{:.3},{:.3}] excludes theory {:.3}",
+            est.ci_low,
+            est.ci_high,
+            theory
+        );
+    }
+
+    #[test]
+    fn protocol_path_with_lucky_guessers() {
+        // q = 1: every guess is right, so the cheater always survives.
+        let exp = DetectionExperiment {
+            domain_size: 32,
+            samples: 5,
+            honesty_ratio: 0.3,
+            guess_quality: 1.0,
+            trials: 30,
+            seed: 5,
+        };
+        let est = estimate_cheat_success_protocol(&exp);
+        assert_eq!(est.rate, 1.0);
+    }
+
+    #[test]
+    fn rate_estimate_interval_sane() {
+        let est = RateEstimate::from_counts(0, 100);
+        assert_eq!(est.rate, 0.0);
+        assert!(est.ci_high > 0.0);
+        assert!(est.contains(0.0));
+        assert!(!est.contains(0.5));
+    }
+
+    #[test]
+    fn zero_successes_interval_contains_tiny_probabilities() {
+        // Regression: an ulp of Wilson rounding once excluded 1e-21.
+        let est = RateEstimate::from_counts(0, 100_000);
+        assert!(est.contains(1e-21));
+        let est = RateEstimate::from_counts(100_000, 100_000);
+        assert!(est.contains(1.0 - 1e-12));
+    }
+
+    #[test]
+    fn parallel_protocol_estimate_equals_serial() {
+        let exp = DetectionExperiment {
+            domain_size: 32,
+            samples: 3,
+            honesty_ratio: 0.5,
+            guess_quality: 0.0,
+            trials: 64,
+            seed: 21,
+        };
+        let serial = estimate_cheat_success_protocol(&exp);
+        for threads in [1usize, 2, 3, 8] {
+            let parallel = estimate_cheat_success_protocol_parallel(&exp, threads);
+            assert_eq!(
+                parallel.successes, serial.successes,
+                "threads={threads} diverged"
+            );
+        }
+    }
+}

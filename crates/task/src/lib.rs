@@ -1,0 +1,203 @@
+//! The computation model of uncheatable grid computing.
+//!
+//! Section 2.1 of Du et al. (ICDCS 2004) defines a grid computation by a
+//! function `f : X → T` over a finite domain, a *screener* `S` that filters
+//! the outputs worth reporting, and a partition of `X` into per-participant
+//! sub-domains. This crate provides those pieces:
+//!
+//! * [`ComputeTask`] — the function `f`, producing fixed-width encoded
+//!   results that become Merkle leaves (`Φ(L_i) = f(x_i)`).
+//! * [`Screener`] — the screener `S(x, f(x))`, whose run-time is assumed
+//!   negligible next to `f`.
+//! * [`Domain`] — a contiguous index range `D = {x_1 … x_n}` with
+//!   partitioning for task distribution.
+//! * [`Guesser`] — the cheap substitute function `f̌` of the semi-honest
+//!   cheating model, with a tunable probability `q` of guessing the correct
+//!   result (the `q` of Theorem 3).
+//! * [`workloads`] — four laptop-scale stand-ins for the applications the
+//!   paper motivates: password search (§3's brute-force example), prime
+//!   search (GIMPS), SETI-style chirp detection (SETI@home) and synthetic
+//!   drug-docking (IBM smallpox grid). Each is deterministic in
+//!   `(seed, x)` so commitments are reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use ugc_task::{ComputeTask, Domain, Screener};
+//! use ugc_task::workloads::PasswordSearch;
+//!
+//! let domain = Domain::new(0, 1 << 10);
+//! let task = PasswordSearch::with_hidden_password(42, 777); // password is input 777
+//! let screener = task.match_screener();
+//! let hits: Vec<u64> = domain
+//!     .inputs()
+//!     .filter(|&x| screener.screen(x, &task.compute(x)).is_some())
+//!     .collect();
+//! assert_eq!(hits, vec![777]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute;
+mod domain;
+mod guess;
+mod rng;
+mod screener;
+pub mod workloads;
+
+pub use compute::{CountingTask, SharedCounter, TaskRef};
+pub use domain::{Domain, DomainError, Partition};
+pub use guess::{Guesser, LuckyGuesser, ZeroGuesser};
+pub use rng::SplitMix64;
+pub use screener::{AcceptAllScreener, MatchScreener, ScreenReport, Screener, ThresholdScreener};
+
+/// The function `f : X → T` evaluated by participants.
+///
+/// Outputs are encoded to a fixed width so they can serve directly as
+/// Merkle-tree leaves (the paper's `Φ(L_i) = f(x_i)`). Implementations must
+/// be deterministic: the same `x` always yields the same bytes, otherwise
+/// commitments would be unverifiable.
+///
+/// The supervisor may be able to check a claimed result *cheaper* than
+/// recomputing (the paper's factoring example); such tasks override
+/// [`verify`](Self::verify) and advertise it via
+/// [`cheap_verification`](Self::cheap_verification).
+pub trait ComputeTask: Send + Sync {
+    /// Short human-readable task name for reports.
+    fn name(&self) -> &str;
+
+    /// Width in bytes of every encoded output (the Merkle leaf width).
+    fn output_width(&self) -> usize;
+
+    /// Evaluates `f(x)` and encodes it to exactly
+    /// [`output_width`](Self::output_width) bytes.
+    fn compute(&self, x: u64) -> Vec<u8>;
+
+    /// Checks whether `claimed` equals `f(x)`.
+    ///
+    /// The default recomputes `f`; tasks with asymmetric verification
+    /// override this.
+    fn verify(&self, x: u64, claimed: &[u8]) -> bool {
+        claimed == self.compute(x).as_slice()
+    }
+
+    /// Whether [`verify`](Self::verify) is substantially cheaper than
+    /// [`compute`](Self::compute).
+    fn cheap_verification(&self) -> bool {
+        false
+    }
+
+    /// Abstract cost `C_f` of one evaluation, in arbitrary work units.
+    ///
+    /// Used by the Eq. (5) economics of the hardened NI-CBS scheme, where
+    /// the attack cost `(1/r^m)·m·C_g` is compared against `n·C_f`.
+    fn unit_cost(&self) -> u64 {
+        1
+    }
+}
+
+impl<T: ComputeTask + ?Sized> ComputeTask for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn output_width(&self) -> usize {
+        (**self).output_width()
+    }
+    fn compute(&self, x: u64) -> Vec<u8> {
+        (**self).compute(x)
+    }
+    fn verify(&self, x: u64, claimed: &[u8]) -> bool {
+        (**self).verify(x, claimed)
+    }
+    fn cheap_verification(&self) -> bool {
+        (**self).cheap_verification()
+    }
+    fn unit_cost(&self) -> u64 {
+        (**self).unit_cost()
+    }
+}
+
+impl<T: ComputeTask + ?Sized> ComputeTask for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn output_width(&self) -> usize {
+        (**self).output_width()
+    }
+    fn compute(&self, x: u64) -> Vec<u8> {
+        (**self).compute(x)
+    }
+    fn verify(&self, x: u64, claimed: &[u8]) -> bool {
+        (**self).verify(x, claimed)
+    }
+    fn cheap_verification(&self) -> bool {
+        (**self).cheap_verification()
+    }
+    fn unit_cost(&self) -> u64 {
+        (**self).unit_cost()
+    }
+}
+
+impl<T: ComputeTask + ?Sized> ComputeTask for std::sync::Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn output_width(&self) -> usize {
+        (**self).output_width()
+    }
+    fn compute(&self, x: u64) -> Vec<u8> {
+        (**self).compute(x)
+    }
+    fn verify(&self, x: u64, claimed: &[u8]) -> bool {
+        (**self).verify(x, claimed)
+    }
+    fn cheap_verification(&self) -> bool {
+        (**self).cheap_verification()
+    }
+    fn unit_cost(&self) -> u64 {
+        (**self).unit_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl ComputeTask for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn output_width(&self) -> usize {
+            8
+        }
+        fn compute(&self, x: u64) -> Vec<u8> {
+            (x * 2).to_le_bytes().to_vec()
+        }
+    }
+
+    #[test]
+    fn default_verify_recomputes() {
+        let t = Doubler;
+        assert!(t.verify(21, &42u64.to_le_bytes()));
+        assert!(!t.verify(21, &43u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn default_cost_and_verification_flags() {
+        let t = Doubler;
+        assert_eq!(t.unit_cost(), 1);
+        assert!(!t.cheap_verification());
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let t = Doubler;
+        let by_ref: &dyn ComputeTask = &t;
+        assert_eq!(by_ref.name(), "doubler");
+        let arc: std::sync::Arc<dyn ComputeTask> = std::sync::Arc::new(Doubler);
+        assert_eq!(arc.compute(5), 10u64.to_le_bytes().to_vec());
+        assert_eq!(arc.output_width(), 8);
+    }
+}

@@ -1,0 +1,346 @@
+//! Integer factoring: the paper's example of *asymmetric verification*.
+//!
+//! "To verify whether f(xi) is correct does not necessarily mean that the
+//! supervisor has to re-compute f(xi). … factoring large numbers is an
+//! expensive computation, but verifying the factoring results is trivial."
+//! (Section 3.1.)
+//!
+//! `f(x)` factors the candidate `N(x)` — Pollard–Brent rho plus
+//! deterministic Miller–Rabin, both from scratch — and returns
+//! `(p, N/p)` with `p` the smallest prime factor (`(N, 1)` when `N` is
+//! prime). [`ComputeTask::verify`] checks a claimed result with one
+//! multiplication and one primality test, so
+//! [`cheap_verification`](ComputeTask::cheap_verification) is `true` and
+//! the supervisor's CBS cost drops from `m·C_f` to `m` cheap checks.
+
+use super::primality::is_prime_u64;
+use crate::ComputeTask;
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Pollard–Brent rho with polynomial `x² + c`; returns a nontrivial factor
+/// of composite `n`, or `None` if this `c` cycles without one.
+fn pollard_brent(n: u64, c: u64) -> Option<u64> {
+    if n % 2 == 0 {
+        return Some(2);
+    }
+    let f = |x: u64| (mulmod(x, x, n) + c) % n;
+    let (mut x, mut ys) = (2u64, 2u64);
+    let (mut y, mut d) = (2u64, 1u64);
+    let mut r = 1u64;
+    let mut q = 1u64;
+    const BATCH: u64 = 128;
+    while d == 1 {
+        x = y;
+        for _ in 0..r {
+            y = f(y);
+        }
+        let mut k = 0;
+        while k < r && d == 1 {
+            ys = y;
+            let limit = BATCH.min(r - k);
+            for _ in 0..limit {
+                y = f(y);
+                q = mulmod(q, x.abs_diff(y).max(1), n);
+            }
+            d = gcd(q, n);
+            k += limit;
+        }
+        r *= 2;
+        if r > 1 << 22 {
+            return None; // give up on this c
+        }
+    }
+    if d == n {
+        // Backtrack one by one.
+        loop {
+            ys = f(ys);
+            d = gcd(x.abs_diff(ys).max(1), n);
+            if d > 1 {
+                break;
+            }
+        }
+    }
+    (d != n).then_some(d)
+}
+
+/// Any nontrivial factor of composite `n` (deterministic: increasing `c`).
+fn split(n: u64) -> u64 {
+    for small in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+        if n % small == 0 {
+            return small;
+        }
+    }
+    for c in 1..64 {
+        if let Some(d) = pollard_brent(n, c) {
+            return d;
+        }
+    }
+    unreachable!("Pollard–Brent exhausted 64 polynomials on a u64 composite")
+}
+
+/// Smallest prime factor of `n ≥ 2` (returns `n` itself when prime).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_task::workloads::smallest_prime_factor;
+///
+/// assert_eq!(smallest_prime_factor(2), 2);
+/// assert_eq!(smallest_prime_factor(97), 97);
+/// assert_eq!(smallest_prime_factor(91), 7); // 7 × 13
+/// assert_eq!(smallest_prime_factor(4_294_967_291 * 3), 3);
+/// ```
+#[must_use]
+pub fn smallest_prime_factor(n: u64) -> u64 {
+    assert!(n >= 2, "no prime factors below 2");
+    if n % 2 == 0 {
+        return 2;
+    }
+    if is_prime_u64(n) {
+        return n;
+    }
+    let d = split(n);
+    let other = n / d;
+    let left = if is_prime_u64(d) { d } else { smallest_prime_factor(d) };
+    let right = if is_prime_u64(other) {
+        other
+    } else {
+        smallest_prime_factor(other)
+    };
+    left.min(right)
+}
+
+/// Factoring search over candidates `N(x) = base + stride·x`.
+///
+/// Output layout (16 bytes): smallest prime factor `p` then cofactor
+/// `N/p`, both `u64` little-endian (`(N, 1)` for prime `N`).
+///
+/// # Examples
+///
+/// ```
+/// use ugc_task::ComputeTask;
+/// use ugc_task::workloads::FactoringSearch;
+///
+/// let task = FactoringSearch::new(1_000_000_007, 2); // odd candidates
+/// let out = task.compute(0); // 1000000007 is prime
+/// assert_eq!(&out[..8], &1_000_000_007u64.to_le_bytes());
+/// assert!(task.cheap_verification());
+/// assert!(task.verify(0, &out));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactoringSearch {
+    base: u64,
+    stride: u64,
+}
+
+impl FactoringSearch {
+    /// Searches candidates `base + stride·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `base < 2` (candidates must stay ≥ 2).
+    #[must_use]
+    pub fn new(base: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(base >= 2, "candidates must be at least 2");
+        FactoringSearch { base, stride }
+    }
+
+    /// The candidate `N(x)`.
+    #[must_use]
+    pub fn candidate(&self, x: u64) -> u64 {
+        self.base.saturating_add(self.stride.saturating_mul(x))
+    }
+}
+
+impl ComputeTask for FactoringSearch {
+    fn name(&self) -> &str {
+        "factoring-search"
+    }
+
+    fn output_width(&self) -> usize {
+        16
+    }
+
+    fn compute(&self, x: u64) -> Vec<u8> {
+        let n = self.candidate(x);
+        let p = smallest_prime_factor(n);
+        let cofactor = n / p;
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&p.to_le_bytes());
+        out.extend_from_slice(&cofactor.to_le_bytes());
+        out
+    }
+
+    /// Accepts any claimed `(p, m)` with `p` prime and `p·m = N(x)` —
+    /// one multiplication plus one Miller–Rabin round instead of a full
+    /// factorisation. (Minimality of `p` is *not* checked; forging a
+    /// different valid factorisation still requires factoring `N`.)
+    fn verify(&self, x: u64, claimed: &[u8]) -> bool {
+        if claimed.len() != 16 {
+            return false;
+        }
+        let p = u64::from_le_bytes(claimed[..8].try_into().expect("checked length"));
+        let m = u64::from_le_bytes(claimed[8..].try_into().expect("checked length"));
+        if p < 2 {
+            return false;
+        }
+        let n = self.candidate(x);
+        p.checked_mul(m) == Some(n) && is_prime_u64(p)
+    }
+
+    fn cheap_verification(&self) -> bool {
+        true
+    }
+
+    /// Factoring dominates everything else in this suite.
+    fn unit_cost(&self) -> u64 {
+        200
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spf_small_numbers() {
+        let expected = [
+            (2u64, 2u64),
+            (3, 3),
+            (4, 2),
+            (9, 3),
+            (15, 3),
+            (49, 7),
+            (97, 97),
+            (91, 7),
+            (1001, 7),
+        ];
+        for (n, spf) in expected {
+            assert_eq!(smallest_prime_factor(n), spf, "n={n}");
+        }
+    }
+
+    #[test]
+    fn spf_agrees_with_trial_division() {
+        let naive = |n: u64| (2..=n).find(|d| n % d == 0).unwrap();
+        for n in 2..2000u64 {
+            assert_eq!(smallest_prime_factor(n), naive(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn spf_large_semiprime() {
+        let p = 1_000_003u64;
+        let q = 1_000_033u64;
+        assert_eq!(smallest_prime_factor(p * q), p);
+    }
+
+    #[test]
+    fn spf_large_prime() {
+        let p = (1u64 << 61) - 1;
+        assert_eq!(smallest_prime_factor(p), p);
+    }
+
+    #[test]
+    fn spf_prime_power() {
+        assert_eq!(smallest_prime_factor(3u64.pow(20)), 3);
+        let p = 65_537u64;
+        assert_eq!(smallest_prime_factor(p * p), p);
+    }
+
+    #[test]
+    fn compute_emits_spf_and_cofactor() {
+        let task = FactoringSearch::new(91, 1);
+        let out = task.compute(0);
+        assert_eq!(&out[..8], &7u64.to_le_bytes());
+        assert_eq!(&out[8..], &13u64.to_le_bytes());
+    }
+
+    #[test]
+    fn verify_accepts_honest_results() {
+        let task = FactoringSearch::new(1_000_001, 2);
+        for x in 0..50 {
+            let out = task.compute(x);
+            assert!(task.verify(x, &out), "x={x}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_any_valid_prime_split() {
+        // 1001 = 7 × 11 × 13; (11, 91) is valid even though spf is 7.
+        let task = FactoringSearch::new(1001, 1);
+        let mut alt = Vec::new();
+        alt.extend_from_slice(&11u64.to_le_bytes());
+        alt.extend_from_slice(&91u64.to_le_bytes());
+        assert!(task.verify(0, &alt));
+    }
+
+    #[test]
+    fn verify_rejects_junk() {
+        let task = FactoringSearch::new(1001, 1);
+        // Wrong product.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&7u64.to_le_bytes());
+        bad.extend_from_slice(&11u64.to_le_bytes());
+        assert!(!task.verify(0, &bad));
+        // Composite "prime": 77 × 13 = 1001 but 77 = 7 × 11.
+        let mut composite = Vec::new();
+        composite.extend_from_slice(&77u64.to_le_bytes());
+        composite.extend_from_slice(&13u64.to_le_bytes());
+        assert!(!task.verify(0, &composite));
+        // p = 1 is not allowed even with m = N.
+        let mut unit = Vec::new();
+        unit.extend_from_slice(&1u64.to_le_bytes());
+        unit.extend_from_slice(&1001u64.to_le_bytes());
+        assert!(!task.verify(0, &unit));
+        // Wrong width.
+        assert!(!task.verify(0, &[0u8; 15]));
+    }
+
+    #[test]
+    fn prime_candidates_encode_n_comma_one() {
+        let task = FactoringSearch::new(97, 1);
+        let out = task.compute(0);
+        assert_eq!(&out[..8], &97u64.to_le_bytes());
+        assert_eq!(&out[8..], &1u64.to_le_bytes());
+        assert!(task.verify(0, &out));
+    }
+
+    #[test]
+    fn flags() {
+        let task = FactoringSearch::new(2, 1);
+        assert!(task.cheap_verification());
+        assert!(task.unit_cost() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_base_rejected() {
+        let _ = FactoringSearch::new(1, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FactoringSearch::new(999_999_937, 2);
+        for x in 0..20 {
+            assert_eq!(a.compute(x), a.compute(x));
+        }
+    }
+}

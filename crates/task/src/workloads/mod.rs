@@ -1,0 +1,26 @@
+//! Laptop-scale stand-ins for the grid applications the paper motivates.
+//!
+//! | Workload | Paper motivation | Shape |
+//! |----------|-----------------|-------|
+//! | [`PasswordSearch`] | §3's "break a 64-bit password" example | one-way `f`, match screener, ringer-compatible |
+//! | [`PrimalitySearch`] | GIMPS (Mersenne prime search) | CPU-heavy `f`, tiny output space (naturally high guess probability `q`) |
+//! | [`SetiSignal`] | SETI@home | synthetic radio chunks, DFT power spectrum, SNR threshold screener |
+//! | [`DrugScreening`] | IBM smallpox research grid | synthetic molecule docking, energy-minimisation `f`, low-energy screener |
+//! | [`FactoringSearch`] | §3.1's asymmetric-verification example | expensive Pollard-rho `f`, **cheap `verify`** (one multiply + one primality test) |
+//!
+//! All four are deterministic in `(seed, x)`: the "telescope data" and
+//! "molecule library" are generated from the seed, substituting for the
+//! proprietary data of the real projects while exercising the same code
+//! paths (expensive `f`, negligible screener, rare interesting results).
+
+mod docking;
+mod factoring;
+mod password;
+mod primality;
+mod seti;
+
+pub use docking::DrugScreening;
+pub use factoring::{smallest_prime_factor, FactoringSearch};
+pub use password::PasswordSearch;
+pub use primality::{is_prime_u64, PrimalitySearch};
+pub use seti::SetiSignal;

@@ -1,0 +1,260 @@
+//! Prime search in the spirit of GIMPS (the paper's reference [4]).
+//!
+//! Each input indexes a candidate number; `f` runs a deterministic
+//! Miller–Rabin test. The output packs the verdict *and* the witness base
+//! that proved compositeness: with only the one-bit verdict, a cheater
+//! could guess `f(x)` correctly with probability around one half — exactly
+//! the high-`q` regime of Theorem 3 and the `q = 0.5` curve of Fig. 2.
+//! Including the witness drives `q` back toward zero.
+
+use crate::ComputeTask;
+
+/// Deterministic Miller–Rabin bases: sufficient for all `u64` inputs
+/// (Sorenson & Webster 2015; valid below 3.3 × 10²⁴).
+const MR_BASES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic primality test for `u64`, with the witness that proved
+/// compositeness (if any).
+///
+/// Returns `(is_prime, witness)`: `witness` is the Miller–Rabin base that
+/// exposed a composite, 0 when the number is prime or trivially composite.
+fn miller_rabin(n: u64) -> (bool, u64) {
+    if n < 2 {
+        return (false, 0);
+    }
+    for &p in &MR_BASES {
+        if n == p {
+            return (true, 0);
+        }
+        if n % p == 0 {
+            return (false, p);
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'bases: for &a in &MR_BASES {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'bases;
+            }
+        }
+        return (false, a);
+    }
+    (true, 0)
+}
+
+/// Deterministic primality test for any `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_task::workloads::is_prime_u64;
+///
+/// assert!(is_prime_u64(2));
+/// assert!(is_prime_u64((1 << 61) - 1)); // Mersenne prime M61
+/// assert!(!is_prime_u64(561)); // Carmichael number
+/// ```
+#[must_use]
+pub fn is_prime_u64(n: u64) -> bool {
+    miller_rabin(n).0
+}
+
+/// Prime search over candidates `N(x) = base + stride·x`.
+///
+/// Output layout (16 bytes): verdict `u64` (1 = prime) followed by the
+/// Miller–Rabin witness `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_task::ComputeTask;
+/// use ugc_task::workloads::PrimalitySearch;
+///
+/// // Search odd numbers from 1001 upward.
+/// let task = PrimalitySearch::new(1001, 2);
+/// let verdict = task.compute(4); // N = 1009, prime
+/// assert_eq!(&verdict[..8], &1u64.to_le_bytes());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimalitySearch {
+    base: u64,
+    stride: u64,
+}
+
+impl PrimalitySearch {
+    /// Searches candidates `base + stride·x` (wrapping on overflow, which
+    /// is fine for synthetic sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` (every candidate would be identical).
+    #[must_use]
+    pub fn new(base: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        PrimalitySearch { base, stride }
+    }
+
+    /// The candidate number tested for input `x`.
+    #[must_use]
+    pub fn candidate(&self, x: u64) -> u64 {
+        self.base.wrapping_add(self.stride.wrapping_mul(x))
+    }
+}
+
+impl ComputeTask for PrimalitySearch {
+    fn name(&self) -> &str {
+        "primality-search"
+    }
+
+    fn output_width(&self) -> usize {
+        16
+    }
+
+    fn compute(&self, x: u64) -> Vec<u8> {
+        let (prime, witness) = miller_rabin(self.candidate(x));
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&u64::from(prime).to_le_bytes());
+        out.extend_from_slice(&witness.to_le_bytes());
+        out
+    }
+
+    /// Twelve Miller–Rabin rounds at ~64-bit modular arithmetic.
+    fn unit_cost(&self) -> u64 {
+        12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_is_prime(n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        let mut d = 2;
+        while d * d <= n {
+            if n % d == 0 {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    }
+
+    #[test]
+    fn agrees_with_trial_division_below_10000() {
+        for n in 0..10_000u64 {
+            assert_eq!(is_prime_u64(n), naive_is_prime(n), "disagree at {n}");
+        }
+    }
+
+    #[test]
+    fn known_mersenne_primes() {
+        for p in [2u32, 3, 5, 7, 13, 17, 19, 31, 61] {
+            let m = (1u64 << p) - 1;
+            assert!(is_prime_u64(m), "M{p} = {m} should be prime");
+        }
+    }
+
+    #[test]
+    fn known_mersenne_composites() {
+        for p in [11u32, 23, 29, 37, 41] {
+            let m = (1u64 << p) - 1;
+            assert!(!is_prime_u64(m), "M{p} = {m} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for n in [561u64, 1105, 1729, 2465, 6601, 8911, 41041, 825_265] {
+            assert!(!is_prime_u64(n), "{n} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn large_semiprime_rejected() {
+        // 2^61 - 1 is prime; its square cannot be represented, so use the
+        // product of two large primes that fits u64.
+        let p = 4_294_967_291u64; // largest prime below 2^32
+        let q = 4_294_967_279u64;
+        assert!(!is_prime_u64(p.wrapping_mul(q)));
+        assert!(is_prime_u64(p));
+        assert!(is_prime_u64(q));
+    }
+
+    #[test]
+    fn witness_is_zero_for_primes_nonzero_for_mr_composites() {
+        let task = PrimalitySearch::new(1_000_003, 1); // 1000003 is prime
+        let out = task.compute(0);
+        assert_eq!(&out[..8], &1u64.to_le_bytes());
+        assert_eq!(&out[8..], &0u64.to_le_bytes());
+        // 1000001 = 101 × 9901.
+        let task = PrimalitySearch::new(1_000_001, 1);
+        let out = task.compute(0);
+        assert_eq!(&out[..8], &0u64.to_le_bytes());
+        let witness = u64::from_le_bytes(out[8..].try_into().unwrap());
+        assert_ne!(witness, 0);
+    }
+
+    #[test]
+    fn candidate_arithmetic() {
+        let task = PrimalitySearch::new(100, 3);
+        assert_eq!(task.candidate(0), 100);
+        assert_eq!(task.candidate(5), 115);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let _ = PrimalitySearch::new(1, 0);
+    }
+
+    #[test]
+    fn output_width_respected() {
+        let task = PrimalitySearch::new(0, 1);
+        for x in 0..20 {
+            assert_eq!(task.compute(x).len(), task.output_width());
+        }
+    }
+
+    #[test]
+    fn prime_density_plausible() {
+        // Around n = 10^6 the prime density is ~1/ln(10^6) ≈ 7.2%.
+        let task = PrimalitySearch::new(1_000_001, 2); // odd candidates
+        let primes = (0..2000u64)
+            .filter(|&x| task.compute(x)[0] == 1)
+            .count();
+        // Odd-only doubles the density to ~14.5%.
+        assert!((200..=380).contains(&primes), "found {primes} primes");
+    }
+}

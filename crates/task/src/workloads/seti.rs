@@ -1,0 +1,262 @@
+//! SETI-style narrowband signal search (the paper's SETI@home example).
+//!
+//! Real SETI@home distributes recorded radio chunks; participants compute
+//! power spectra hunting for narrowband peaks. We cannot ship telescope
+//! tapes, so each input deterministically synthesises its own chunk —
+//! Gaussian noise, with a sinusoidal carrier planted in a seed-chosen
+//! fraction of chunks — and `f` computes a small discrete Fourier power
+//! spectrum and reports the peak-to-mean power ratio (SNR). The code path
+//! matches the real thing where it matters for the paper: `f` is
+//! arithmetic-heavy, the screener is a cheap threshold, and interesting
+//! results are rare.
+
+use crate::{ComputeTask, SplitMix64, ThresholdScreener};
+
+/// Synthetic radio-chunk analysis task.
+///
+/// Output layout (16 bytes): peak-to-mean power ratio as `f64` (the SNR the
+/// screener thresholds) followed by the peak bin index as `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_task::{ComputeTask, Screener};
+/// use ugc_task::workloads::SetiSignal;
+///
+/// let task = SetiSignal::new(42);
+/// let out = task.compute(7);
+/// assert_eq!(out.len(), 16);
+/// let screener = task.screener();
+/// // Most chunks are pure noise and screen out.
+/// let hits = (0..100u64)
+///     .filter(|&x| screener.screen(x, &task.compute(x)).is_some())
+///     .count();
+/// assert!(hits < 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetiSignal {
+    seed: u64,
+    samples: usize,
+    bins: usize,
+    plant_rate: f64,
+    amplitude: f64,
+    snr_threshold: f64,
+}
+
+impl SetiSignal {
+    /// Creates the task with the default chunk shape: 128 samples,
+    /// 16 spectral bins, a carrier planted in 2% of chunks at amplitude
+    /// 1.5, screener threshold at SNR 8.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SetiSignal {
+            seed,
+            samples: 128,
+            bins: 16,
+            plant_rate: 0.02,
+            amplitude: 1.5,
+            snr_threshold: 8.0,
+        }
+    }
+
+    /// Overrides the chunk shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `samples ≥ 2`, `bins ≥ 2` and
+    /// `0 ≤ plant_rate ≤ 1`.
+    #[must_use]
+    pub fn with_shape(seed: u64, samples: usize, bins: usize, plant_rate: f64) -> Self {
+        assert!(samples >= 2, "need at least two samples");
+        assert!(bins >= 2, "need at least two bins");
+        assert!(
+            (0.0..=1.0).contains(&plant_rate),
+            "plant rate must be a probability"
+        );
+        SetiSignal {
+            seed,
+            samples,
+            bins,
+            plant_rate,
+            amplitude: 1.5,
+            snr_threshold: 8.0,
+        }
+    }
+
+    /// Whether chunk `x` carries a planted carrier (ground truth for
+    /// tests and detection-rate studies).
+    #[must_use]
+    pub fn has_planted_signal(&self, x: u64) -> bool {
+        let mut rng = SplitMix64::for_stream(self.seed ^ 0x7365_7469, x);
+        rng.next_f64() < self.plant_rate
+    }
+
+    /// The SNR threshold screener for this task.
+    #[must_use]
+    pub fn screener(&self) -> ThresholdScreener {
+        ThresholdScreener::above(self.snr_threshold)
+    }
+
+    /// Synthesises the chunk for input `x`.
+    fn synthesize(&self, x: u64) -> Vec<f64> {
+        let mut noise_rng = SplitMix64::for_stream(self.seed, x);
+        let mut chunk: Vec<f64> = (0..self.samples)
+            .map(|_| noise_rng.next_gaussian())
+            .collect();
+        if self.has_planted_signal(x) {
+            let mut carrier_rng = SplitMix64::for_stream(self.seed ^ 0x6361_7272, x);
+            // Plant on an exact analysis bin so the DFT concentrates it.
+            let bin = 1 + carrier_rng.next_below(self.bins as u64 - 1) as usize;
+            let phase = carrier_rng.next_f64() * core::f64::consts::TAU;
+            let omega = core::f64::consts::TAU * bin as f64 / self.samples as f64;
+            for (t, s) in chunk.iter_mut().enumerate() {
+                *s += self.amplitude * (omega * t as f64 + phase).cos();
+            }
+        }
+        chunk
+    }
+
+    /// Naive DFT power at each analysed bin.
+    fn power_spectrum(&self, chunk: &[f64]) -> Vec<f64> {
+        let n = chunk.len() as f64;
+        (0..self.bins)
+            .map(|k| {
+                let omega = core::f64::consts::TAU * k as f64 / n;
+                let (mut re, mut im) = (0.0f64, 0.0f64);
+                for (t, &s) in chunk.iter().enumerate() {
+                    let angle = omega * t as f64;
+                    re += s * angle.cos();
+                    im -= s * angle.sin();
+                }
+                (re * re + im * im) / n
+            })
+            .collect()
+    }
+}
+
+impl ComputeTask for SetiSignal {
+    fn name(&self) -> &str {
+        "seti-signal"
+    }
+
+    fn output_width(&self) -> usize {
+        16
+    }
+
+    fn compute(&self, x: u64) -> Vec<u8> {
+        let chunk = self.synthesize(x);
+        let spectrum = self.power_spectrum(&chunk);
+        // Ignore the DC bin when hunting carriers.
+        let (peak_bin, peak_power) = spectrum
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least two bins");
+        let mean: f64 = spectrum.iter().skip(1).sum::<f64>() / (self.bins - 1) as f64;
+        let snr = if mean > 0.0 { peak_power / mean } else { 0.0 };
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&snr.to_le_bytes());
+        out.extend_from_slice(&(peak_bin as u64).to_le_bytes());
+        out
+    }
+
+    /// ~`samples × bins` fused multiply-adds; an order of magnitude more
+    /// work than one password hash.
+    fn unit_cost(&self) -> u64 {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Screener;
+
+    fn snr_of(out: &[u8]) -> f64 {
+        f64::from_le_bytes(out[..8].try_into().unwrap())
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SetiSignal::new(11);
+        let b = SetiSignal::new(11);
+        for x in 0..10 {
+            assert_eq!(a.compute(x), b.compute(x));
+        }
+    }
+
+    #[test]
+    fn output_width_respected() {
+        let task = SetiSignal::new(1);
+        assert_eq!(task.compute(0).len(), task.output_width());
+    }
+
+    #[test]
+    fn planted_chunks_have_higher_snr() {
+        let task = SetiSignal::new(2024);
+        let (mut planted, mut noise) = (Vec::new(), Vec::new());
+        for x in 0..400u64 {
+            let snr = snr_of(&task.compute(x));
+            if task.has_planted_signal(x) {
+                planted.push(snr);
+            } else {
+                noise.push(snr);
+            }
+        }
+        assert!(!planted.is_empty(), "seed should plant some signals in 400 chunks");
+        let mean_planted = planted.iter().sum::<f64>() / planted.len() as f64;
+        let mean_noise = noise.iter().sum::<f64>() / noise.len() as f64;
+        assert!(
+            mean_planted > 2.0 * mean_noise,
+            "planted SNR {mean_planted:.2} not well above noise {mean_noise:.2}"
+        );
+    }
+
+    #[test]
+    fn screener_finds_mostly_planted_chunks() {
+        let task = SetiSignal::new(7);
+        let screener = task.screener();
+        let mut hits = 0usize;
+        let mut true_hits = 0usize;
+        for x in 0..1000u64 {
+            if screener.screen(x, &task.compute(x)).is_some() {
+                hits += 1;
+                if task.has_planted_signal(x) {
+                    true_hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "threshold should fire on some chunks");
+        assert!(
+            true_hits * 2 >= hits,
+            "detections should be dominated by planted signals ({true_hits}/{hits})"
+        );
+    }
+
+    #[test]
+    fn plant_rate_statistics() {
+        let task = SetiSignal::with_shape(5, 64, 8, 0.1);
+        let planted = (0..5000u64).filter(|&x| task.has_planted_signal(x)).count();
+        let rate = planted as f64 / 5000.0;
+        assert!((rate - 0.1).abs() < 0.02, "plant rate {rate}");
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_bin() {
+        // With plant_rate = 1 every chunk carries a tone; its peak bin must
+        // be the planted one, recovered from the output's second field.
+        let task = SetiSignal::with_shape(3, 128, 16, 1.0);
+        for x in 0..20u64 {
+            let out = task.compute(x);
+            let snr = snr_of(&out);
+            assert!(snr > 3.0, "chunk {x} tone not detected (snr {snr:.2})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plant rate must be a probability")]
+    fn invalid_plant_rate_rejected() {
+        let _ = SetiSignal::with_shape(0, 64, 8, 1.5);
+    }
+}

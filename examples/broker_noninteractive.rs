@@ -1,0 +1,201 @@
+//! The Section 4 scenario: a GRACE-style Grid Resource Broker stands
+//! between supervisor and participants, so interactive CBS's
+//! commit → challenge round-trip is impossible — NI-CBS to the rescue.
+//!
+//! Three participants run on their own threads behind the broker. The
+//! supervisor never addresses them directly; it just pushes assignments
+//! and receives single-shot commit-and-proof bundles routed back by task
+//! id. One participant is a cheater and is rejected. Finally the retry
+//! attack is run and priced out with the Eq. (5) hardened generator.
+//!
+//! Run: `cargo run --release --example broker_noninteractive`
+
+use uncheatable_grid::core::analysis::{min_g_cost_for_uncheatability, ni_expected_attempts};
+use uncheatable_grid::core::sampling::derive_samples;
+use uncheatable_grid::core::scheme::cbs::verify_round;
+use uncheatable_grid::core::scheme::ni_cbs::{
+    participant_ni_cbs, retry_attack, NiCbsConfig, RetryAttackConfig,
+};
+use uncheatable_grid::core::{ParticipantStorage, SchemeError, Verdict};
+use uncheatable_grid::grid::{
+    duplex, Assignment, Broker, CheatSelection, CostLedger, Endpoint, HonestWorker, Message,
+    SemiHonestCheater, WorkerBehaviour,
+};
+use uncheatable_grid::hash::{HashFunction, IteratedHash, Sha256};
+use uncheatable_grid::task::workloads::PrimalitySearch;
+use uncheatable_grid::task::{Domain, Screener, ZeroGuesser};
+
+const M: usize = 25;
+const G_ITER: u64 = 1;
+
+/// Receives and verifies one routed-back commit bundle.
+fn collect_task(
+    endpoint: &Endpoint,
+    task: &PrimalitySearch,
+    screener: &dyn Screener,
+    domain: Domain,
+    ledger: &CostLedger,
+) -> Result<(u64, Verdict), SchemeError> {
+    let Message::CommitAndProofs { task_id, root, proofs } = endpoint.recv()? else {
+        return Err(SchemeError::UnexpectedMessage {
+            expected: "CommitAndProofs",
+            got: "other",
+        });
+    };
+    let Message::Reports { reports, .. } = endpoint.recv()? else {
+        return Err(SchemeError::UnexpectedMessage {
+            expected: "Reports",
+            got: "other",
+        });
+    };
+    let root = Sha256::digest_from_bytes(&root).ok_or(SchemeError::MalformedPayload {
+        what: "commitment root",
+    })?;
+    let g = IteratedHash::<Sha256>::new(G_ITER);
+    let samples = derive_samples(&g, root.as_ref(), M, domain.len(), ledger);
+    let derivation_ok =
+        proofs.len() == samples.len() && samples.iter().zip(&proofs).all(|(s, p)| *s == p.index);
+    let verdict = if derivation_ok {
+        verify_round::<Sha256>(
+            task, screener, domain, &root, &samples, &proofs, &reports, 0, 0, ledger,
+        )?
+    } else {
+        Verdict::SampleDerivationMismatch
+    };
+    endpoint.send(&Message::Verdict {
+        task_id,
+        accepted: verdict.is_accepted(),
+    })?;
+    Ok((task_id, verdict))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hunting primes among odd numbers near 10^12 (GIMPS-flavoured).
+    let task = PrimalitySearch::new(1_000_000_000_001, 2);
+    let prime_screener = PrimeScreener;
+    let search_space = Domain::new(0, 3 * 4096);
+    let shares: Vec<Domain> = search_space.split(3)?.into_iter().collect();
+
+    // Wire up: supervisor ↔ broker ↔ 3 participants.
+    let (sup_ep, broker_up) = duplex();
+    let mut broker_down = Vec::new();
+    let mut part_eps = Vec::new();
+    for _ in 0..3 {
+        let (b, p) = duplex();
+        broker_down.push(b);
+        part_eps.push(p);
+    }
+    let mut broker = Broker::new(broker_up, broker_down);
+
+    let honest = HonestWorker;
+    let cheater = SemiHonestCheater::new(0.5, CheatSelection::Scattered, ZeroGuesser::new(5), 77);
+    let behaviours: Vec<&dyn WorkerBehaviour> = vec![&honest, &cheater, &honest];
+    let sup_ledger = CostLedger::new();
+
+    let verdicts = std::thread::scope(|scope| -> Result<Vec<(u64, Verdict)>, SchemeError> {
+        // Participants: blind NI-CBS workers behind the broker.
+        for (ep, behaviour) in part_eps.iter().zip(behaviours) {
+            let task = &task;
+            scope.spawn(move || {
+                let ledger = CostLedger::new();
+                let config = NiCbsConfig {
+                    task_id: 0, // participants learn the id from the Assign
+                    samples: M,
+                    g_iterations: G_ITER,
+                    report_audit: 0,
+                    audit_seed: 0,
+                };
+                participant_ni_cbs::<Sha256, _, _, _>(
+                    ep,
+                    task,
+                    &PrimeScreener,
+                    &behaviour,
+                    ParticipantStorage::Full,
+                    &config,
+                    &ledger,
+                )
+            });
+        }
+        // Supervisor: push three assignments into the broker.
+        for (i, share) in shares.iter().enumerate() {
+            sup_ep.send(&Message::Assign(Assignment {
+                task_id: i as u64,
+                domain: *share,
+            }))?;
+        }
+        // Broker relays outward, then routes each bundle + verdict.
+        broker.relay_outward(3).map_err(SchemeError::Grid)?;
+        let mut verdicts = Vec::new();
+        for i in 0..3u64 {
+            broker.relay_inward_for(i).map_err(SchemeError::Grid)?; // CommitAndProofs
+            broker.relay_inward_for(i).map_err(SchemeError::Grid)?; // Reports
+            let (task_id, verdict) =
+                collect_task(&sup_ep, &task, &prime_screener, shares[i as usize], &sup_ledger)?;
+            verdicts.push((task_id, verdict));
+            broker.relay_outward(1).map_err(SchemeError::Grid)?; // Verdict back
+        }
+        Ok(verdicts)
+    })?;
+
+    println!("Brokered NI-CBS round (supervisor never saw a participant):\n");
+    for (task_id, verdict) in &verdicts {
+        println!("task {task_id}: {verdict}");
+    }
+    println!(
+        "\nbroker relayed {} outward / {} inward messages; supervisor traffic: {} B out, {} B in",
+        broker.stats().outward,
+        broker.stats().inward,
+        sup_ep.stats().bytes_sent,
+        sup_ep.stats().bytes_received
+    );
+
+    println!("\n== Why the non-interactive scheme needs a hardened g ==");
+    let r: f64 = 0.5;
+    let small_m = 6;
+    println!(
+        "with m = {small_m}, a cheater expects r^-m = {} retry attempts:",
+        ni_expected_attempts(r, small_m as u64)
+    );
+    let attacker = SemiHonestCheater::new(r, CheatSelection::Prefix, ZeroGuesser::new(1), 1);
+    let outcome = retry_attack::<Sha256, _, _>(
+        &task,
+        Domain::new(0, 1 << 10),
+        &attacker,
+        &RetryAttackConfig {
+            samples: small_m,
+            g_iterations: 1,
+            max_attempts: 1_000_000,
+        },
+    )?;
+    println!(
+        "measured: succeeded after {} attempts, spending {} unit hashes — \
+         far less than honestly computing the other half",
+        outcome.attempts,
+        outcome.g_unit_hashes + outcome.tree_hashes
+    );
+    let c_g = min_g_cost_for_uncheatability(r, small_m as u64, 1 << 10, 12);
+    println!(
+        "Eq. (5) defence: set g = MD5^k with k ≥ {:.0}; then the expected attack \
+         cost exceeds the task's {} work units",
+        c_g.ceil(),
+        (1u64 << 10) * 12
+    );
+    Ok(())
+}
+
+/// Screens for inputs whose primality verdict is 1.
+#[derive(Clone, Copy)]
+struct PrimeScreener;
+
+impl Screener for PrimeScreener {
+    fn screen(
+        &self,
+        x: u64,
+        fx: &[u8],
+    ) -> Option<uncheatable_grid::task::ScreenReport> {
+        (fx.len() == 16 && fx[0] == 1).then(|| uncheatable_grid::task::ScreenReport {
+            input: x,
+            payload: fx.to_vec(),
+        })
+    }
+}

@@ -1,0 +1,358 @@
+//! `ugc` — command-line driver for the Uncheatable Grid Computing library.
+//!
+//! ```text
+//! ugc sample-size --epsilon 1e-4 --r 0.5 --q 0.5     Eq. (3): required m
+//! ugc detection   --r 0.5 --q 0 --m 14               Eq. (2): survival probability
+//! ugc run         --scheme cbs --workload seti --n 1024 --m 25 --cheat 0.5
+//! ugc fleet       --participants 4 --cheaters 1 --n 4096 --m 25
+//! ```
+//!
+//! Argument parsing is hand-rolled (the library has no CLI dependencies);
+//! every command prints a short, table-shaped report.
+
+use std::process::ExitCode;
+use uncheatable_grid::core::analysis::{
+    cheat_success_probability, detection_probability, required_sample_size,
+};
+use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig};
+use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
+use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
+use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
+use uncheatable_grid::core::{
+    run_fleet, FleetConfig, FleetScheme, ParticipantStorage, RoundOutcome,
+};
+use uncheatable_grid::grid::{
+    CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour,
+};
+use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::task::workloads::{
+    DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal,
+};
+use uncheatable_grid::task::{
+    ComputeTask, Domain, ScreenReport, Screener, ZeroGuesser,
+};
+
+const USAGE: &str = "\
+usage: ugc <command> [options]
+
+commands:
+  sample-size --epsilon <e> --r <r> --q <q>      Eq. (3): required sample count
+  detection   --r <r> --q <q> --m <m>            Eq. (2): cheat-survival probability
+  run         --scheme <cbs|ni-cbs|naive|ringer> --workload <password|seti|docking|primes>
+              [--n <inputs>] [--m <samples>] [--cheat <ratio>] [--partial <level>] [--seed <s>]
+  fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
+  help                                            this message
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Looks up `--key value` in the argument list.
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match opt(args, key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value {raw:?} for {key}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("sample-size") => cmd_sample_size(&args[1..]),
+        Some("detection") => cmd_detection(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_sample_size(args: &[String]) -> Result<(), String> {
+    let epsilon: f64 = parse(args, "--epsilon", 1e-4)?;
+    let r: f64 = parse(args, "--r", 0.5)?;
+    let q: f64 = parse(args, "--q", 0.0)?;
+    match required_sample_size(epsilon, r, q) {
+        Some(m) => {
+            println!("Eq. (3): m ≥ log ε / log(r + (1-r)q)");
+            println!("r = {r}, q = {q}, ε = {epsilon:e}  →  m = {m}");
+            println!(
+                "check: Pr[cheat | m={m}] = {:.3e}",
+                cheat_success_probability(r, q, m)
+            );
+        }
+        None => println!("no finite m: a participant with r + (1-r)q = 1 is indistinguishable"),
+    }
+    Ok(())
+}
+
+fn cmd_detection(args: &[String]) -> Result<(), String> {
+    let r: f64 = parse(args, "--r", 0.5)?;
+    let q: f64 = parse(args, "--q", 0.0)?;
+    let m: u64 = parse(args, "--m", 14)?;
+    println!("Eq. (2): Pr[cheat succeeds] = (r + (1-r)q)^m");
+    println!(
+        "r = {r}, q = {q}, m = {m}  →  survive {:.3e}, detect {:.6}",
+        cheat_success_probability(r, q, m),
+        detection_probability(r, q, m)
+    );
+    Ok(())
+}
+
+/// A boxed screener so one code path serves all workloads.
+struct Workload {
+    task: Box<dyn ComputeTask>,
+    screener: Box<dyn Screener>,
+    one_way: bool,
+}
+
+fn workload(name: &str, seed: u64, n: u64) -> Result<Workload, String> {
+    Ok(match name {
+        "password" => {
+            let task = PasswordSearch::with_hidden_password(seed, n / 2);
+            let screener = task.match_screener();
+            Workload {
+                task: Box::new(task),
+                screener: Box::new(screener),
+                one_way: true,
+            }
+        }
+        "seti" => {
+            let task = SetiSignal::new(seed);
+            let screener = task.screener();
+            Workload {
+                task: Box::new(task),
+                screener: Box::new(screener),
+                one_way: false,
+            }
+        }
+        "docking" => {
+            let task = DrugScreening::new(seed);
+            let screener = task.screener();
+            Workload {
+                task: Box::new(task),
+                screener: Box::new(screener),
+                one_way: false,
+            }
+        }
+        "primes" => {
+            struct Primes;
+            impl Screener for Primes {
+                fn screen(&self, x: u64, fx: &[u8]) -> Option<ScreenReport> {
+                    (fx.first() == Some(&1)).then(|| ScreenReport {
+                        input: x,
+                        payload: fx.to_vec(),
+                    })
+                }
+            }
+            Workload {
+                task: Box::new(PrimalitySearch::new(1_000_001 | 1, 2)),
+                screener: Box::new(Primes),
+                one_way: false,
+            }
+        }
+        other => return Err(format!("unknown workload {other:?}")),
+    })
+}
+
+fn print_outcome(scheme: &str, outcome: &RoundOutcome) {
+    println!("scheme:       {scheme}");
+    println!("verdict:      {}", outcome.verdict);
+    println!(
+        "traffic:      {} B to participant, {} B back",
+        outcome.supervisor_link.bytes_sent, outcome.supervisor_link.bytes_received
+    );
+    println!(
+        "supervisor:   {} f-evals, {} hashes, {} g-hashes, {} verifications",
+        outcome.supervisor_costs.f_evals,
+        outcome.supervisor_costs.hash_ops,
+        outcome.supervisor_costs.g_evals,
+        outcome.supervisor_costs.verify_ops
+    );
+    println!(
+        "participant:  {} f-evals, {} hashes, {} g-hashes",
+        outcome.participant_costs.f_evals,
+        outcome.participant_costs.hash_ops,
+        outcome.participant_costs.g_evals
+    );
+    println!("reports:      {} result(s) of interest", outcome.reports.len());
+    for report in outcome.reports.iter().take(5) {
+        println!("  {report}");
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let scheme = opt(args, "--scheme").unwrap_or_else(|| "cbs".into());
+    let workload_name = opt(args, "--workload").unwrap_or_else(|| "password".into());
+    let n: u64 = parse(args, "--n", 1024)?;
+    let m: usize = parse(args, "--m", 25)?;
+    let cheat: f64 = parse(args, "--cheat", 0.0)?;
+    let seed: u64 = parse(args, "--seed", 42)?;
+    let partial: u32 = parse(args, "--partial", 0)?;
+    let w = workload(&workload_name, seed, n)?;
+    let domain = Domain::try_new(0, n).map_err(|e| e.to_string())?;
+    let storage = if partial == 0 {
+        ParticipantStorage::Full
+    } else {
+        ParticipantStorage::Partial {
+            subtree_height: partial,
+        }
+    };
+    let honest = HonestWorker;
+    let cheater = SemiHonestCheater::new(
+        1.0 - cheat,
+        CheatSelection::Scattered,
+        ZeroGuesser::new(seed ^ 0xbad),
+        seed,
+    );
+    let behaviour: &dyn WorkerBehaviour = if cheat > 0.0 { &cheater } else { &honest };
+    if cheat > 0.0 {
+        println!("participant fakes {:.0}% of its work\n", cheat * 100.0);
+    }
+
+    let outcome = match scheme.as_str() {
+        "cbs" => run_cbs::<Sha256, _, _, _>(
+            &w.task,
+            &w.screener,
+            domain,
+            &behaviour,
+            storage,
+            &CbsConfig {
+                task_id: 1,
+                samples: m,
+                seed,
+                report_audit: 0,
+            },
+        )
+        .map_err(|e| e.to_string())?,
+        "ni-cbs" => run_ni_cbs::<Sha256, _, _, _>(
+            &w.task,
+            &w.screener,
+            domain,
+            &behaviour,
+            storage,
+            &NiCbsConfig {
+                task_id: 1,
+                samples: m,
+                g_iterations: 1,
+                report_audit: 0,
+                audit_seed: seed,
+            },
+        )
+        .map_err(|e| e.to_string())?,
+        "naive" => run_naive(
+            &w.task,
+            &w.screener,
+            domain,
+            &behaviour,
+            &NaiveConfig {
+                task_id: 1,
+                samples: m,
+                seed,
+            },
+        )
+        .map_err(|e| e.to_string())?,
+        "ringer" => {
+            if !w.one_way {
+                return Err(format!(
+                    "the ringer scheme requires a one-way f; workload {workload_name:?} is not \
+                     (this is the paper's Section 1.1 limitation — use cbs instead)"
+                ));
+            }
+            run_ringer(
+                &w.task,
+                &w.screener,
+                domain,
+                &behaviour,
+                &RingerConfig {
+                    task_id: 1,
+                    ringers: m,
+                    seed,
+                },
+            )
+            .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
+    print_outcome(&scheme, &outcome);
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let participants: usize = parse(args, "--participants", 4)?;
+    let cheaters: usize = parse(args, "--cheaters", 1)?;
+    let n: u64 = parse(args, "--n", 4096)?;
+    let m: usize = parse(args, "--m", 25)?;
+    let seed: u64 = parse(args, "--seed", 7)?;
+    if cheaters > participants {
+        return Err("more cheaters than participants".into());
+    }
+    let task = PasswordSearch::with_hidden_password(seed, n / 3);
+    let screener = task.match_screener();
+    let honest = HonestWorker;
+    let cheater = SemiHonestCheater::new(
+        0.5,
+        CheatSelection::Scattered,
+        ZeroGuesser::new(seed ^ 0xf1ee),
+        seed,
+    );
+    let fleet: Vec<&dyn WorkerBehaviour> = (0..participants)
+        .map(|i| {
+            if i < cheaters {
+                &cheater as &dyn WorkerBehaviour
+            } else {
+                &honest as &dyn WorkerBehaviour
+            }
+        })
+        .collect();
+    let summary = run_fleet::<Sha256, _, _, _>(
+        &task,
+        &screener,
+        Domain::try_new(0, n).map_err(|e| e.to_string())?,
+        &fleet,
+        &FleetConfig {
+            scheme: FleetScheme::Cbs {
+                samples: m,
+                report_audit: 0,
+            },
+            storage: ParticipantStorage::Full,
+            seed,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "fleet of {participants} over {n} inputs: {} accepted, {} rejected",
+        summary.accepted(),
+        summary.rejected()
+    );
+    for member in &summary.members {
+        println!(
+            "  participant {}: share {} → {}",
+            member.participant, member.share, member.outcome.verdict
+        );
+    }
+    for share in summary.shares_to_reassign() {
+        println!("  reassign {share}");
+    }
+    println!("password found: {:?}", summary.reports.first().map(|r| r.input));
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! # Uncheatable Grid Computing
+//!
+//! A complete Rust implementation of *Uncheatable Grid Computing* (Du,
+//! Jia, Mangal, Murugesan; ICDCS 2004): the Commitment-Based Sampling
+//! (CBS) scheme, its storage-optimised and non-interactive variants, every
+//! baseline the paper compares against, and the grid-computing substrate
+//! to run and measure them.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`hash`] | `ugc-hash` | MD5 / SHA-1 / SHA-256 from scratch, hardened `g = H^k` |
+//! | [`merkle`] | `ugc-merkle` | commitment trees, authentication paths, partial storage |
+//! | [`task`] | `ugc-task` | compute functions, screeners, domains, synthetic workloads |
+//! | [`grid`] | `ugc-grid` | byte-counted transport, cost ledgers, cheating behaviours, broker |
+//! | [`core`] | `ugc-core` | CBS, NI-CBS, naive sampling, double-check, ringers, closed-form analysis |
+//! | [`sim`] | `ugc-sim` | Monte-Carlo harness, statistics, table printing |
+//!
+//! # Quick start
+//!
+//! Verify an untrusted worker with interactive CBS:
+//!
+//! ```
+//! use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig};
+//! use uncheatable_grid::core::ParticipantStorage;
+//! use uncheatable_grid::grid::HonestWorker;
+//! use uncheatable_grid::hash::Sha256;
+//! use uncheatable_grid::task::{workloads::PasswordSearch, Domain};
+//!
+//! let task = PasswordSearch::with_hidden_password(42, 1000);
+//! let screener = task.match_screener();
+//! let outcome = run_cbs::<Sha256, _, _, _>(
+//!     &task,
+//!     &screener,
+//!     Domain::new(0, 4096),
+//!     &HonestWorker,
+//!     ParticipantStorage::Full,
+//!     &CbsConfig { task_id: 1, samples: 30, seed: 7, report_audit: 0 },
+//! )?;
+//! assert!(outcome.accepted);
+//! assert_eq!(outcome.reports[0].input, 1000); // the password was found
+//! # Ok::<(), uncheatable_grid::core::SchemeError>(())
+//! ```
+//!
+//! For whole-fleet verification use [`core::run_fleet`], and for the full
+//! operational loop (verify, reject, reassign until the domain is
+//! trustworthy) use [`core::run_campaign`].
+//!
+//! See `examples/` for complete scenarios (password cracking, SETI-style
+//! signal search, drug screening, a broker-mediated non-interactive grid,
+//! a multi-round campaign), the `ugc` binary for a command-line driver,
+//! and `crates/bench/src/bin/` for the binaries that regenerate every
+//! figure and table of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use ugc_core as core;
+pub use ugc_grid as grid;
+pub use ugc_hash as hash;
+pub use ugc_merkle as merkle;
+pub use ugc_sim as sim;
+pub use ugc_task as task;

@@ -1,0 +1,131 @@
+//! The Section 4 deployment: NI-CBS through a GRACE-style broker, with the
+//! supervisor blind to participant identity.
+
+use uncheatable_grid::core::sampling::derive_samples;
+use uncheatable_grid::core::scheme::cbs::verify_round;
+use uncheatable_grid::core::scheme::ni_cbs::{participant_ni_cbs, NiCbsConfig};
+use uncheatable_grid::core::{ParticipantStorage, Verdict};
+use uncheatable_grid::grid::{
+    duplex, Assignment, Broker, CheatSelection, CostLedger, HonestWorker, Message,
+    SemiHonestCheater, WorkerBehaviour,
+};
+use uncheatable_grid::hash::{HashFunction, IteratedHash, Sha256};
+use uncheatable_grid::task::workloads::PasswordSearch;
+use uncheatable_grid::task::{Domain, ZeroGuesser};
+
+const M: usize = 15;
+
+#[test]
+fn brokered_ni_cbs_accepts_honest_rejects_cheater() {
+    let task = PasswordSearch::with_hidden_password(8, 10);
+    let domain_a = Domain::new(0, 128);
+    let domain_b = Domain::new(128, 128);
+
+    let (sup_ep, broker_up) = duplex();
+    let (down_a, part_a) = duplex();
+    let (down_b, part_b) = duplex();
+    let mut broker = Broker::new(broker_up, vec![down_a, down_b]);
+
+    let honest = HonestWorker;
+    let cheater = SemiHonestCheater::new(0.4, CheatSelection::Scattered, ZeroGuesser::new(1), 3);
+
+    let verdicts = std::thread::scope(|scope| {
+        let t = &task;
+        let h = &honest;
+        let c = &cheater;
+        scope.spawn(move || {
+            let ledger = CostLedger::new();
+            let screener = t.match_screener();
+            let _ = participant_ni_cbs::<Sha256, _, _, _>(
+                &part_a,
+                t,
+                &screener,
+                &(h as &dyn WorkerBehaviour),
+                ParticipantStorage::Full,
+                &NiCbsConfig {
+                    task_id: 0,
+                    samples: M,
+                    g_iterations: 1,
+                    report_audit: 0,
+                    audit_seed: 0,
+                },
+                &ledger,
+            );
+        });
+        scope.spawn(move || {
+            let ledger = CostLedger::new();
+            let screener = t.match_screener();
+            let _ = participant_ni_cbs::<Sha256, _, _, _>(
+                &part_b,
+                t,
+                &screener,
+                &(c as &dyn WorkerBehaviour),
+                ParticipantStorage::Full,
+                &NiCbsConfig {
+                    task_id: 0,
+                    samples: M,
+                    g_iterations: 1,
+                    report_audit: 0,
+                    audit_seed: 0,
+                },
+                &ledger,
+            );
+        });
+
+        // Supervisor side, by hand, through the broker.
+        let ledger = CostLedger::new();
+        let screener = task.match_screener();
+        sup_ep
+            .send(&Message::Assign(Assignment {
+                task_id: 0,
+                domain: domain_a,
+            }))
+            .unwrap();
+        sup_ep
+            .send(&Message::Assign(Assignment {
+                task_id: 1,
+                domain: domain_b,
+            }))
+            .unwrap();
+        broker.relay_outward(2).unwrap();
+
+        let mut verdicts = Vec::new();
+        for (task_id, domain) in [(0u64, domain_a), (1, domain_b)] {
+            broker.relay_inward_for(task_id).unwrap(); // CommitAndProofs
+            broker.relay_inward_for(task_id).unwrap(); // Reports
+            let Message::CommitAndProofs { root, proofs, .. } = sup_ep.recv().unwrap() else {
+                panic!("expected CommitAndProofs");
+            };
+            let Message::Reports { reports, .. } = sup_ep.recv().unwrap() else {
+                panic!("expected Reports");
+            };
+            let root = Sha256::digest_from_bytes(&root).unwrap();
+            let g = IteratedHash::<Sha256>::new(1);
+            let samples = derive_samples(&g, root.as_ref(), M, domain.len(), &ledger);
+            let ok = proofs.len() == samples.len()
+                && samples.iter().zip(&proofs).all(|(s, p)| *s == p.index);
+            let verdict = if ok {
+                verify_round::<Sha256>(
+                    &task, &screener, domain, &root, &samples, &proofs, &reports, 0, 0, &ledger,
+                )
+                .unwrap()
+            } else {
+                Verdict::SampleDerivationMismatch
+            };
+            sup_ep
+                .send(&Message::Verdict {
+                    task_id,
+                    accepted: verdict.is_accepted(),
+                })
+                .unwrap();
+            broker.relay_outward(1).unwrap();
+            verdicts.push(verdict);
+        }
+        verdicts
+    });
+
+    assert!(verdicts[0].is_accepted(), "honest participant rejected");
+    assert!(!verdicts[1].is_accepted(), "cheater accepted");
+    assert_eq!(broker.stats().outward, 4);
+    assert_eq!(broker.stats().inward, 4);
+}

@@ -1,0 +1,140 @@
+//! End-to-end tests of the `ugc` command-line driver.
+
+use std::process::{Command, Output};
+
+fn ugc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ugc"))
+        .args(args)
+        .output()
+        .expect("ugc binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ugc(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("usage: ugc"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = ugc(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("sample-size"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = ugc(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn sample_size_reproduces_paper_anchors() {
+    let out = ugc(&["sample-size", "--epsilon", "1e-4", "--r", "0.5", "--q", "0.5"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("m = 33"), "{}", stdout(&out));
+    let out = ugc(&["sample-size", "--epsilon", "1e-4", "--r", "0.5", "--q", "0"]);
+    assert!(stdout(&out).contains("m = 14"), "{}", stdout(&out));
+}
+
+#[test]
+fn sample_size_handles_unreachable_case() {
+    let out = ugc(&["sample-size", "--r", "1.0"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("no finite m"));
+}
+
+#[test]
+fn detection_prints_eq2() {
+    let out = ugc(&["detection", "--r", "0.5", "--q", "0", "--m", "10"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("9.766e-4") || text.contains("9.77e-4"), "{text}");
+}
+
+#[test]
+fn run_cbs_honest_accepts() {
+    let out = ugc(&["run", "--scheme", "cbs", "--n", "256", "--m", "10"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("verdict:      accepted"), "{text}");
+    assert!(text.contains("result(s) of interest"), "{text}");
+}
+
+#[test]
+fn run_cbs_cheater_rejected() {
+    let out = ugc(&[
+        "run", "--scheme", "cbs", "--n", "256", "--m", "25", "--cheat", "0.5",
+    ]);
+    assert!(out.status.success());
+    assert!(!stdout(&out).contains("verdict:      accepted"));
+}
+
+#[test]
+fn run_all_schemes_on_password() {
+    for scheme in ["cbs", "ni-cbs", "naive", "ringer"] {
+        let out = ugc(&["run", "--scheme", scheme, "--n", "128", "--m", "8"]);
+        assert!(out.status.success(), "{scheme} failed");
+        assert!(
+            stdout(&out).contains("accepted"),
+            "{scheme}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn run_all_workloads_through_cbs() {
+    for workload in ["password", "seti", "docking", "primes"] {
+        let out = ugc(&["run", "--workload", workload, "--n", "64", "--m", "5"]);
+        assert!(out.status.success(), "{workload} failed");
+    }
+}
+
+#[test]
+fn ringer_rejects_non_one_way_workload() {
+    let out = ugc(&["run", "--scheme", "ringer", "--workload", "seti", "--n", "64"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("one-way"));
+}
+
+#[test]
+fn run_partial_storage() {
+    let out = ugc(&[
+        "run", "--scheme", "cbs", "--n", "256", "--m", "8", "--partial", "3",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("accepted"));
+}
+
+#[test]
+fn fleet_flags_the_cheater() {
+    let out = ugc(&[
+        "fleet",
+        "--participants",
+        "3",
+        "--cheaters",
+        "1",
+        "--n",
+        "384",
+        "--m",
+        "20",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("2 accepted, 1 rejected"), "{text}");
+    assert!(text.contains("reassign"), "{text}");
+}
+
+#[test]
+fn invalid_number_reports_cleanly() {
+    let out = ugc(&["run", "--n", "banana"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
+}

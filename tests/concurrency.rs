@@ -1,0 +1,110 @@
+//! Concurrency hygiene: the protocol stack must tolerate many rounds in
+//! flight at once (a real supervisor verifies hundreds of participants
+//! concurrently), and the public types must be `Send`/`Sync` so users can
+//! drive them from their own executors.
+
+use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig};
+use uncheatable_grid::core::ParticipantStorage;
+use uncheatable_grid::grid::{
+    CheatSelection, CostLedger, Endpoint, HonestWorker, SemiHonestCheater,
+};
+use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::merkle::{MerkleProof, MerkleTree};
+use uncheatable_grid::task::workloads::PasswordSearch;
+use uncheatable_grid::task::{Domain, ZeroGuesser};
+
+#[test]
+fn key_types_are_send_and_sync() {
+    fn send_sync<T: Send + Sync>() {}
+    send_sync::<MerkleTree<Sha256>>();
+    send_sync::<MerkleProof<Sha256>>();
+    send_sync::<CostLedger>();
+    send_sync::<PasswordSearch>();
+    send_sync::<SemiHonestCheater<ZeroGuesser>>();
+    fn send_only<T: Send>() {}
+    send_only::<Endpoint>();
+}
+
+#[test]
+fn many_concurrent_rounds_stay_isolated() {
+    // 16 independent rounds on 16 threads, alternating honest/cheating:
+    // verdicts must match the behaviour, regardless of interleaving.
+    let task = PasswordSearch::with_hidden_password(11, 5);
+    let results: Vec<(usize, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16usize)
+            .map(|i| {
+                let task = &task;
+                scope.spawn(move || {
+                    let screener = task.match_screener();
+                    let config = CbsConfig {
+                        task_id: i as u64,
+                        samples: 24,
+                        seed: 100 + i as u64,
+                        report_audit: 0,
+                    };
+                    let accepted = if i % 2 == 0 {
+                        run_cbs::<Sha256, _, _, _>(
+                            task,
+                            &screener,
+                            Domain::new(0, 200),
+                            &HonestWorker,
+                            ParticipantStorage::Full,
+                            &config,
+                        )
+                        .unwrap()
+                        .accepted
+                    } else {
+                        let cheater = SemiHonestCheater::new(
+                            0.3,
+                            CheatSelection::Scattered,
+                            ZeroGuesser::new(i as u64),
+                            i as u64,
+                        );
+                        run_cbs::<Sha256, _, _, _>(
+                            task,
+                            &screener,
+                            Domain::new(0, 200),
+                            &cheater,
+                            ParticipantStorage::Full,
+                            &config,
+                        )
+                        .unwrap()
+                        .accepted
+                    };
+                    (i, accepted)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, accepted) in results {
+        if i % 2 == 0 {
+            assert!(accepted, "honest round {i} rejected");
+        } else {
+            assert!(!accepted, "cheating round {i} accepted");
+        }
+    }
+}
+
+#[test]
+fn shared_task_across_threads_is_consistent() {
+    // A single task instance evaluated from many threads must agree with
+    // itself — determinism is load-bearing for commitments.
+    let task = PasswordSearch::with_hidden_password(9, 100);
+    let reference: Vec<Vec<u8>> = (0..64).map(|x| {
+        use uncheatable_grid::task::ComputeTask;
+        task.compute(x)
+    }).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let task = &task;
+            let reference = &reference;
+            scope.spawn(move || {
+                use uncheatable_grid::task::ComputeTask;
+                for x in 0..64u64 {
+                    assert_eq!(task.compute(x), reference[x as usize]);
+                }
+            });
+        }
+    });
+}

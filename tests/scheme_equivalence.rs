@@ -1,0 +1,166 @@
+//! Cross-scheme invariants: identical verdicts and reports where theory
+//! says so, and the cost ordering the paper claims.
+
+use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig};
+use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
+use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
+use uncheatable_grid::core::ParticipantStorage;
+use uncheatable_grid::grid::HonestWorker;
+use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::task::workloads::PasswordSearch;
+use uncheatable_grid::task::Domain;
+
+const N: u64 = 1 << 14;
+const M: usize = 20;
+
+fn all_outcomes() -> Vec<(&'static str, uncheatable_grid::core::RoundOutcome)> {
+    let task = PasswordSearch::with_hidden_password(2, 77);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, N);
+    vec![
+        (
+            "naive",
+            run_naive(
+                &task,
+                &screener,
+                domain,
+                &HonestWorker,
+                &NaiveConfig {
+                    task_id: 1,
+                    samples: M,
+                    seed: 3,
+                },
+            )
+            .unwrap(),
+        ),
+        (
+            "cbs",
+            run_cbs::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                domain,
+                &HonestWorker,
+                ParticipantStorage::Full,
+                &CbsConfig {
+                    task_id: 1,
+                    samples: M,
+                    seed: 3,
+                    report_audit: 0,
+                },
+            )
+            .unwrap(),
+        ),
+        (
+            "cbs-partial",
+            run_cbs::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                domain,
+                &HonestWorker,
+                ParticipantStorage::Partial { subtree_height: 4 },
+                &CbsConfig {
+                    task_id: 1,
+                    samples: M,
+                    seed: 3,
+                    report_audit: 0,
+                },
+            )
+            .unwrap(),
+        ),
+        (
+            "ni-cbs",
+            run_ni_cbs::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                domain,
+                &HonestWorker,
+                ParticipantStorage::Full,
+                &NiCbsConfig {
+                    task_id: 1,
+                    samples: M,
+                    g_iterations: 1,
+                    report_audit: 0,
+                    audit_seed: 0,
+                },
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_scheme_accepts_and_finds_the_password() {
+    for (name, outcome) in all_outcomes() {
+        assert!(outcome.accepted, "{name} rejected an honest worker");
+        assert_eq!(
+            outcome.reports.iter().map(|r| r.input).collect::<Vec<_>>(),
+            vec![77],
+            "{name} lost the interesting result"
+        );
+    }
+}
+
+#[test]
+fn full_and_partial_cbs_send_identical_bytes() {
+    let outcomes = all_outcomes();
+    let cbs = &outcomes[1].1;
+    let partial = &outcomes[2].1;
+    // Same commitment, same proofs, same reports — the storage mode is
+    // invisible on the wire.
+    assert_eq!(
+        cbs.supervisor_link.bytes_received,
+        partial.supervisor_link.bytes_received
+    );
+    assert_eq!(
+        cbs.supervisor_link.bytes_sent,
+        partial.supervisor_link.bytes_sent
+    );
+}
+
+#[test]
+fn cbs_upload_beats_naive_by_an_order_of_magnitude() {
+    let outcomes = all_outcomes();
+    let naive = outcomes[0].1.supervisor_link.bytes_received;
+    let cbs = outcomes[1].1.supervisor_link.bytes_received;
+    assert!(
+        naive > 10 * cbs,
+        "expected ≥10× gap at n = 2^14: naive {naive} vs CBS {cbs}"
+    );
+}
+
+#[test]
+fn ni_cbs_halves_the_round_trips() {
+    let outcomes = all_outcomes();
+    let cbs = &outcomes[1].1;
+    let ni = &outcomes[3].1;
+    assert_eq!(cbs.supervisor_link.messages_sent, 3); // Assign, Challenge, Verdict
+    assert_eq!(ni.supervisor_link.messages_sent, 2); // Assign, Verdict
+    assert!(ni.supervisor_link.bytes_sent < cbs.supervisor_link.bytes_sent);
+}
+
+#[test]
+fn supervisor_compute_is_sampled_not_linear() {
+    for (name, outcome) in all_outcomes() {
+        assert!(
+            outcome.supervisor_costs.f_evals <= (M as u64) + 5,
+            "{name}: supervisor recomputed {} times",
+            outcome.supervisor_costs.f_evals
+        );
+    }
+}
+
+#[test]
+fn participant_baseline_work_is_the_task_itself() {
+    for (name, outcome) in all_outcomes() {
+        assert!(
+            outcome.participant_costs.f_evals >= N,
+            "{name}: participant skipped work while honest"
+        );
+        // Partial storage rebuilds add at most m × 2^ℓ evaluations.
+        assert!(
+            outcome.participant_costs.f_evals <= N + (M as u64) * 16,
+            "{name}: unexpected participant workload {}",
+            outcome.participant_costs.f_evals
+        );
+    }
+}

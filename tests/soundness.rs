@@ -1,0 +1,157 @@
+//! **Theorem 1 (Soundness)** across every scheme: an honest participant is
+//! always accepted, for arbitrary domains, sample counts, storage modes
+//! and hash functions.
+
+use proptest::prelude::*;
+use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig};
+use uncheatable_grid::core::scheme::double_check::{run_double_check, DoubleCheckConfig};
+use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
+use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
+use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
+use uncheatable_grid::core::ParticipantStorage;
+use uncheatable_grid::grid::HonestWorker;
+use uncheatable_grid::hash::{Md5, Sha1, Sha256};
+use uncheatable_grid::merkle::tree_height;
+use uncheatable_grid::task::workloads::PasswordSearch;
+use uncheatable_grid::task::Domain;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cbs_accepts_honest(n in 1u64..300, m in 1usize..40, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, n / 2);
+        let screener = task.match_screener();
+        let outcome = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, n),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &CbsConfig { task_id: 1, samples: m, seed, report_audit: 2 },
+        ).unwrap();
+        prop_assert!(outcome.accepted);
+    }
+
+    #[test]
+    fn cbs_partial_accepts_honest(n in 2u64..300, m in 1usize..20,
+                                  ell_seed in any::<u32>(), seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, 0);
+        let screener = task.match_screener();
+        let height = tree_height(n);
+        let ell = 1 + ell_seed % height;
+        let outcome = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, n),
+            &HonestWorker,
+            ParticipantStorage::Partial { subtree_height: ell },
+            &CbsConfig { task_id: 1, samples: m, seed, report_audit: 0 },
+        ).unwrap();
+        prop_assert!(outcome.accepted);
+    }
+
+    #[test]
+    fn ni_cbs_accepts_honest(n in 1u64..300, m in 1usize..40,
+                             k in 1u64..8, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, 0);
+        let screener = task.match_screener();
+        let outcome = run_ni_cbs::<Md5, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, n),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &NiCbsConfig {
+                task_id: 1,
+                samples: m,
+                g_iterations: k,
+                report_audit: 1,
+                audit_seed: seed,
+            },
+        ).unwrap();
+        prop_assert!(outcome.accepted);
+    }
+
+    #[test]
+    fn naive_accepts_honest(n in 1u64..300, m in 1usize..40, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, 0);
+        let screener = task.match_screener();
+        let outcome = run_naive(
+            &task,
+            &screener,
+            Domain::new(0, n),
+            &HonestWorker,
+            &NaiveConfig { task_id: 1, samples: m, seed },
+        ).unwrap();
+        prop_assert!(outcome.accepted);
+    }
+
+    #[test]
+    fn ringer_accepts_honest(n in 8u64..300, d in 1usize..8, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, 1);
+        let screener = task.match_screener();
+        let outcome = run_ringer(
+            &task,
+            &screener,
+            Domain::new(0, n),
+            &HonestWorker,
+            &RingerConfig { task_id: 1, ringers: d, seed },
+        ).unwrap();
+        prop_assert!(outcome.accepted);
+    }
+
+    #[test]
+    fn double_check_accepts_honest_pair(n in 1u64..200, seed in any::<u64>()) {
+        let task = PasswordSearch::with_hidden_password(seed, 0);
+        let screener = task.match_screener();
+        let outcome = run_double_check(
+            &task,
+            &screener,
+            Domain::new(0, n),
+            &HonestWorker,
+            &HonestWorker,
+            &DoubleCheckConfig { task_id: 1 },
+        ).unwrap();
+        prop_assert!(outcome.accepted);
+    }
+}
+
+#[test]
+fn soundness_holds_for_every_hash_function() {
+    let task = PasswordSearch::with_hidden_password(4, 8);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 100);
+    let config = CbsConfig {
+        task_id: 1,
+        samples: 12,
+        seed: 9,
+        report_audit: 0,
+    };
+    assert!(run_cbs::<Md5, _, _, _>(&task, &screener, domain, &HonestWorker, ParticipantStorage::Full, &config).unwrap().accepted);
+    assert!(run_cbs::<Sha1, _, _, _>(&task, &screener, domain, &HonestWorker, ParticipantStorage::Full, &config).unwrap().accepted);
+    assert!(run_cbs::<Sha256, _, _, _>(&task, &screener, domain, &HonestWorker, ParticipantStorage::Full, &config).unwrap().accepted);
+}
+
+#[test]
+fn soundness_holds_for_offset_domains() {
+    // Domains need not start at zero (participants get sub-ranges).
+    let task = PasswordSearch::with_hidden_password(4, 5_000_010);
+    let screener = task.match_screener();
+    let outcome = run_cbs::<Sha256, _, _, _>(
+        &task,
+        &screener,
+        Domain::new(5_000_000, 64),
+        &HonestWorker,
+        ParticipantStorage::Full,
+        &CbsConfig {
+            task_id: 1,
+            samples: 10,
+            seed: 3,
+            report_audit: 0,
+        },
+    )
+    .unwrap();
+    assert!(outcome.accepted);
+    assert_eq!(outcome.reports[0].input, 5_000_010);
+}
