@@ -31,13 +31,7 @@ fn main() {
     let task = PasswordSearch::with_hidden_password(1, 3);
     let screener = task.match_screener();
 
-    let mut table = Table::new([
-        "n",
-        "naive bytes",
-        "CBS bytes",
-        "NI-CBS bytes",
-        "naive/CBS",
-    ]);
+    let mut table = Table::new(["n", "naive bytes", "CBS bytes", "NI-CBS bytes", "naive/CBS"]);
     let mut widths = Vec::new();
     for bits in [10u32, 12, 14, 16] {
         let n = 1u64 << bits;
@@ -102,7 +96,13 @@ fn main() {
     let leaf_w = task.output_width() as u64;
     let digest = Sha256::DIGEST_LEN as u64;
     println!("\nClosed-form check (payload only, excludes framing/reports):");
-    let mut check = Table::new(["n", "naive formula", "naive meas.", "CBS formula", "CBS meas."]);
+    let mut check = Table::new([
+        "n",
+        "naive formula",
+        "naive meas.",
+        "CBS formula",
+        "CBS meas.",
+    ]);
     for (n, naive_b, cbs_b) in widths {
         check.push([
             format!("2^{}", n.trailing_zeros()),

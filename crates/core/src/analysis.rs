@@ -320,7 +320,8 @@ mod tests {
         // Paper's motivating example: a 2^64 domain with 16-byte results
         // needs ~16 million terabytes for the naive upload…
         let naive = naive_traffic_bytes(u64::MAX, 16);
-        assert_eq!(naive, u64::MAX); // saturates: more bytes than u64 can count
+        // Saturates: more bytes than u64 can count…
+        assert_eq!(naive, u64::MAX);
         // …while CBS with m = 50 stays in the tens of kilobytes.
         let cbs = cbs_traffic_bytes(50, 64, 16, 16);
         assert!(cbs < 100_000, "CBS traffic {cbs} bytes");

@@ -132,7 +132,11 @@ mod tests {
             "expected Commit message, got Verdict"
         );
         assert_eq!(
-            SchemeError::TaskMismatch { expected: 1, got: 2 }.to_string(),
+            SchemeError::TaskMismatch {
+                expected: 1,
+                got: 2
+            }
+            .to_string(),
             "task id mismatch: expected 1, got 2"
         );
     }

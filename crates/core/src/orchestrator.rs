@@ -70,10 +70,7 @@ impl FleetSummary {
     /// Participants whose work was accepted.
     #[must_use]
     pub fn accepted(&self) -> usize {
-        self.members
-            .iter()
-            .filter(|m| m.outcome.accepted)
-            .count()
+        self.members.iter().filter(|m| m.outcome.accepted).count()
     }
 
     /// Participants caught cheating (or otherwise rejected).

@@ -24,9 +24,7 @@ use crate::scheme::{
     check_task, materialize, proof_to_wire, recv_matching, verify_sample, Materialized,
 };
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
-use ugc_grid::{
-    duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour,
-};
+use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour};
 use ugc_hash::HashFunction;
 use ugc_merkle::{MerkleTree, PartialMerkleTree};
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
@@ -80,9 +78,10 @@ impl<H: HashFunction> ParticipantTree<H> {
             }
             ParticipantStorage::Partial { subtree_height } => {
                 let width = leaves.first().map_or(0, Vec::len);
-                let tree = PartialMerkleTree::build(leaves.len() as u64, width, subtree_height, |i| {
-                    leaves[i as usize].clone()
-                })?;
+                let tree =
+                    PartialMerkleTree::build(leaves.len() as u64, width, subtree_height, |i| {
+                        leaves[i as usize].clone()
+                    })?;
                 ledger.charge_hash(tree.build_stats().hash_ops);
                 Ok(ParticipantTree::Partial(tree))
             }
@@ -176,7 +175,10 @@ where
 
     // Step 2: receive the samples.
     let samples = recv_matching(endpoint, "Challenge", |msg| match msg {
-        Message::Challenge { task_id: tid, samples } => Ok((tid, samples)),
+        Message::Challenge {
+            task_id: tid,
+            samples,
+        } => Ok((tid, samples)),
         other => Err(other),
     })
     .and_then(|(tid, samples)| {
@@ -198,7 +200,10 @@ where
 
     // Step 4 happens at the supervisor; await the verdict.
     let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        Message::Verdict {
+            task_id: tid,
+            accepted,
+        } => Ok((tid, accepted)),
         other => Err(other),
     })
     .and_then(|(tid, accepted)| {
@@ -262,7 +267,10 @@ where
 
     // Step 3: collect the proofs and reports.
     let proofs = recv_matching(endpoint, "Proofs", |msg| match msg {
-        Message::Proofs { task_id: tid, proofs } => Ok((tid, proofs)),
+        Message::Proofs {
+            task_id: tid,
+            proofs,
+        } => Ok((tid, proofs)),
         other => Err(other),
     })
     .and_then(|(tid, proofs)| {
@@ -270,7 +278,10 @@ where
         Ok(proofs)
     })?;
     let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
-        Message::Reports { task_id: tid, reports } => Ok((tid, reports)),
+        Message::Reports {
+            task_id: tid,
+            reports,
+        } => Ok((tid, reports)),
         other => Err(other),
     })
     .and_then(|(tid, reports)| {
@@ -345,15 +356,9 @@ pub fn verify_round<H: HashFunction>(
             return Ok(verdict);
         }
     }
-    if let Some(verdict) = crate::scheme::audit_reports(
-        task,
-        screener,
-        domain,
-        reports,
-        report_audit,
-        seed,
-        ledger,
-    ) {
+    if let Some(verdict) =
+        crate::scheme::audit_reports(task, screener, domain, reports, report_audit, seed, ledger)
+    {
         return Ok(verdict);
     }
     Ok(Verdict::Accepted)

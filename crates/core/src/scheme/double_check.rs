@@ -52,7 +52,10 @@ where
         data,
     })?;
     let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        Message::Verdict {
+            task_id: tid,
+            accepted,
+        } => Ok((tid, accepted)),
         other => Err(other),
     })
     .and_then(|(tid, accepted)| {
@@ -88,7 +91,11 @@ where
 
     let recv_upload = |endpoint: &Endpoint| -> Result<Vec<u8>, SchemeError> {
         recv_matching(endpoint, "AllResults", |msg| match msg {
-            Message::AllResults { task_id: tid, leaf_width, data } => Ok((tid, leaf_width, data)),
+            Message::AllResults {
+                task_id: tid,
+                leaf_width,
+                data,
+            } => Ok((tid, leaf_width, data)),
             other => Err(other),
         })
         .and_then(|(tid, width, data)| {
@@ -170,21 +177,12 @@ where
         // supervisor mid-recv.
         let ledger_a = part_ledger.clone();
         let ledger_b = part_ledger.clone();
-        let handle_a = scope.spawn(move || {
-            participant_double_check(&part_a, task, screener, replica_a, &ledger_a)
-        });
-        let handle_b = scope.spawn(move || {
-            participant_double_check(&part_b, task, screener, replica_b, &ledger_b)
-        });
-        let sup = supervisor_double_check(
-            &sup_a,
-            &sup_b,
-            task,
-            screener,
-            domain,
-            config,
-            &sup_ledger,
-        );
+        let handle_a = scope
+            .spawn(move || participant_double_check(&part_a, task, screener, replica_a, &ledger_a));
+        let handle_b = scope
+            .spawn(move || participant_double_check(&part_b, task, screener, replica_b, &ledger_b));
+        let sup =
+            supervisor_double_check(&sup_a, &sup_b, task, screener, domain, config, &sup_ledger);
         let mut link = sup_a.stats();
         let b_stats = sup_b.stats();
         link.bytes_sent += b_stats.bytes_sent;
@@ -258,7 +256,10 @@ mod tests {
         )
         .unwrap();
         assert!(!outcome.accepted);
-        assert!(matches!(outcome.verdict, Verdict::ReplicaDisagreement { .. }));
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::ReplicaDisagreement { .. }
+        ));
     }
 
     #[test]
@@ -266,10 +267,8 @@ mod tests {
         // The known blind spot: identical deterministic cheaters agree.
         let task = PasswordSearch::with_hidden_password(1, 20);
         let screener = task.match_screener();
-        let cheater_a =
-            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(7), 1);
-        let cheater_b =
-            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(7), 1);
+        let cheater_a = SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(7), 1);
+        let cheater_b = SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(7), 1);
         let outcome = run_double_check(
             &task,
             &screener,
@@ -307,8 +306,7 @@ mod tests {
         let task = PasswordSearch::with_hidden_password(1, 2);
         let screener = task.match_screener();
         // Cheater honest on prefix 32 of 64: first divergence at 32.
-        let cheater =
-            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(5), 9);
+        let cheater = SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(5), 9);
         let outcome = run_double_check(
             &task,
             &screener,

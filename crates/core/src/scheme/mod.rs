@@ -142,7 +142,7 @@ pub(crate) fn audit_reports(
     if audit == 0 || reports.is_empty() {
         return None;
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6175_6469_74);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0061_7564_6974);
     for _ in 0..audit.min(reports.len()) {
         let (input, payload) = &reports[rng.random_range(0..reports.len())];
         if !domain.contains(*input) {
@@ -298,8 +298,9 @@ mod tests {
     fn audit_accepts_truthful_reports() {
         let (task, domain, leaves, _) = setup();
         let ledger = CostLedger::new();
-        let reports: Vec<(u64, Vec<u8>)> =
-            (0..16u64).map(|x| (x, leaves[x as usize].clone())).collect();
+        let reports: Vec<(u64, Vec<u8>)> = (0..16u64)
+            .map(|x| (x, leaves[x as usize].clone()))
+            .collect();
         assert_eq!(
             audit_reports(&task, &AcceptAllScreener, domain, &reports, 8, 1, &ledger),
             None
@@ -311,8 +312,9 @@ mod tests {
     fn audit_catches_corrupted_payload() {
         let (task, domain, leaves, _) = setup();
         let ledger = CostLedger::new();
-        let mut reports: Vec<(u64, Vec<u8>)> =
-            (0..16u64).map(|x| (x, leaves[x as usize].clone())).collect();
+        let mut reports: Vec<(u64, Vec<u8>)> = (0..16u64)
+            .map(|x| (x, leaves[x as usize].clone()))
+            .collect();
         for (_, payload) in reports.iter_mut() {
             payload[0] ^= 0xFF;
         }

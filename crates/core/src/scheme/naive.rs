@@ -62,7 +62,10 @@ where
     })?;
 
     let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        Message::Verdict {
+            task_id: tid,
+            accepted,
+        } => Ok((tid, accepted)),
         other => Err(other),
     })
     .and_then(|(tid, accepted)| {
@@ -99,7 +102,11 @@ where
     endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
 
     let (width, data) = recv_matching(endpoint, "AllResults", |msg| match msg {
-        Message::AllResults { task_id: tid, leaf_width, data } => Ok((tid, leaf_width, data)),
+        Message::AllResults {
+            task_id: tid,
+            leaf_width,
+            data,
+        } => Ok((tid, leaf_width, data)),
         other => Err(other),
     })
     .and_then(|(tid, width, data)| {

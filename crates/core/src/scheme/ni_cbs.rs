@@ -17,7 +17,9 @@ use crate::sampling::{derive_samples, derive_until_outside};
 use crate::scheme::cbs::{verify_round, ParticipantTree};
 use crate::scheme::{check_task, materialize, recv_matching, Materialized};
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
-use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, SemiHonestCheater, WorkerBehaviour};
+use ugc_grid::{
+    duplex, Assignment, CostLedger, Endpoint, Message, SemiHonestCheater, WorkerBehaviour,
+};
 use ugc_hash::{HashFunction, IteratedHash};
 use ugc_merkle::MerkleTree;
 use ugc_task::{ComputeTask, Domain, Guesser, ScreenReport, Screener};
@@ -92,7 +94,10 @@ where
     })?;
 
     let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        Message::Verdict {
+            task_id: tid,
+            accepted,
+        } => Ok((tid, accepted)),
         other => Err(other),
     })
     .and_then(|(tid, accepted)| {
@@ -130,7 +135,11 @@ where
     endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
 
     let (root_bytes, proofs) = recv_matching(endpoint, "CommitAndProofs", |msg| match msg {
-        Message::CommitAndProofs { task_id: tid, root, proofs } => Ok((tid, root, proofs)),
+        Message::CommitAndProofs {
+            task_id: tid,
+            root,
+            proofs,
+        } => Ok((tid, root, proofs)),
         other => Err(other),
     })
     .and_then(|(tid, root, proofs)| {
@@ -138,7 +147,10 @@ where
         Ok((root, proofs))
     })?;
     let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
-        Message::Reports { task_id: tid, reports } => Ok((tid, reports)),
+        Message::Reports {
+            task_id: tid,
+            reports,
+        } => Ok((tid, reports)),
         other => Err(other),
     })
     .and_then(|(tid, reports)| {
@@ -153,8 +165,8 @@ where
     // supervisor pays the same m·k unit hashes.
     let g = IteratedHash::<H>::new(config.g_iterations);
     let samples = derive_samples(&g, root.as_ref(), config.samples, domain.len(), ledger);
-    let derivation_ok = proofs.len() == samples.len()
-        && samples.iter().zip(&proofs).all(|(s, p)| *s == p.index);
+    let derivation_ok =
+        proofs.len() == samples.len() && samples.iter().zip(&proofs).all(|(s, p)| *s == p.index);
     let verdict = if derivation_ok {
         verify_round::<H>(
             task,
@@ -354,8 +366,7 @@ where
             break;
         }
         // Re-roll one guessed leaf; the salt doubles as the attempt nonce.
-        let x_pivot_value =
-            cheater.leaf_value_salted(task, domain, pivot, attempts, &ledger);
+        let x_pivot_value = cheater.leaf_value_salted(task, domain, pivot, attempts, &ledger);
         let ops = tree.update_leaf(pivot, &x_pivot_value)?;
         update_hashes += ops;
         ledger.charge_hash(ops);
@@ -415,12 +426,8 @@ mod tests {
         // with probability 2^-12.
         let task = PasswordSearch::with_hidden_password(5, 9);
         let screener = task.match_screener();
-        let cheater = SemiHonestCheater::new(
-            0.5,
-            CheatSelection::Scattered,
-            ZeroGuesser::new(1),
-            2,
-        );
+        let cheater =
+            SemiHonestCheater::new(0.5, CheatSelection::Scattered, ZeroGuesser::new(1), 2);
         let outcome = run_ni_cbs::<Sha256, _, _, _>(
             &task,
             &screener,
@@ -500,14 +507,7 @@ mod tests {
             scope.spawn(|| {
                 let screener = task.match_screener();
                 let cfg = config(4);
-                supervisor_ni_cbs::<Sha256, _, _>(
-                    &sup_ep,
-                    &task,
-                    &screener,
-                    domain,
-                    &cfg,
-                    &ledger,
-                )
+                supervisor_ni_cbs::<Sha256, _, _>(&sup_ep, &task, &screener, domain, &cfg, &ledger)
             });
             // Forging participant: commits honestly but proves samples 0..4.
             let Message::Assign(a) = part_ep.recv().unwrap() else {
@@ -545,12 +545,7 @@ mod tests {
     fn retry_attack_succeeds_with_small_m() {
         // r = 0.5, m = 4: expected 16 attempts; 10_000 is overwhelming.
         let task = PasswordSearch::with_hidden_password(1, 2);
-        let cheater = SemiHonestCheater::new(
-            0.5,
-            CheatSelection::Prefix,
-            ZeroGuesser::new(3),
-            4,
-        );
+        let cheater = SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(3), 4);
         let outcome = retry_attack::<Sha256, _, _>(
             &task,
             Domain::new(0, 64),
@@ -574,24 +569,21 @@ mod tests {
         // passes NI-CBS verification. Reproduce it end to end.
         let task = PasswordSearch::with_hidden_password(1, 2);
         let domain = Domain::new(0, 64);
-        let cheater =
-            SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(3), 4);
+        let cheater = SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(3), 4);
         let attack_cfg = RetryAttackConfig {
             samples: 3,
             g_iterations: 1,
             max_attempts: 10_000,
         };
-        let attack =
-            retry_attack::<Sha256, _, _>(&task, domain, &cheater, &attack_cfg).unwrap();
+        let attack = retry_attack::<Sha256, _, _>(&task, domain, &cheater, &attack_cfg).unwrap();
         assert!(attack.succeeded);
         // Re-build the winning tree and run the supervisor against it.
         let ledger = CostLedger::new();
         let winning_salt = attack.attempts; // salts 1..attempts applied; last one stuck
-        let mut tree: MerkleTree<Sha256> =
-            MerkleTree::from_leaf_fn(64, 16, |i| {
-                cheater.leaf_value_salted(&task, domain, i, 0, &ledger)
-            })
-            .unwrap();
+        let mut tree: MerkleTree<Sha256> = MerkleTree::from_leaf_fn(64, 16, |i| {
+            cheater.leaf_value_salted(&task, domain, i, 0, &ledger)
+        })
+        .unwrap();
         let pivot = (0..64u64)
             .find(|&i| !cheater.is_honest_index(64, i))
             .unwrap();
@@ -605,9 +597,7 @@ mod tests {
         let g = IteratedHash::<Sha256>::new(1);
         let samples = derive_samples(&g, tree.root().as_ref(), 3, 64, &ledger);
         assert!(
-            samples
-                .iter()
-                .all(|&s| cheater.is_honest_index(64, s)),
+            samples.iter().all(|&s| cheater.is_honest_index(64, s)),
             "replayed tree must re-derive in-D′ samples"
         );
     }
@@ -619,12 +609,8 @@ mod tests {
         let mut total = 0u64;
         let runs = 60;
         for seed in 0..runs {
-            let cheater = SemiHonestCheater::new(
-                0.5,
-                CheatSelection::Prefix,
-                ZeroGuesser::new(seed),
-                seed,
-            );
+            let cheater =
+                SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(seed), seed);
             let outcome = retry_attack::<Md5, _, _>(
                 &task,
                 Domain::new(0, 32),
@@ -652,12 +638,7 @@ mod tests {
     fn retry_attack_respects_budget() {
         // r = 0.2, m = 10: expected ~10^7 attempts; budget 50 must fail.
         let task = PasswordSearch::with_hidden_password(1, 2);
-        let cheater = SemiHonestCheater::new(
-            0.2,
-            CheatSelection::Prefix,
-            ZeroGuesser::new(3),
-            4,
-        );
+        let cheater = SemiHonestCheater::new(0.2, CheatSelection::Prefix, ZeroGuesser::new(3), 4);
         let outcome = retry_attack::<Md5, _, _>(
             &task,
             Domain::new(0, 64),
@@ -676,12 +657,7 @@ mod tests {
     #[test]
     fn retry_attack_fully_honest_trivial() {
         let task = PasswordSearch::with_hidden_password(1, 2);
-        let cheater = SemiHonestCheater::new(
-            1.0,
-            CheatSelection::Prefix,
-            ZeroGuesser::new(3),
-            4,
-        );
+        let cheater = SemiHonestCheater::new(1.0, CheatSelection::Prefix, ZeroGuesser::new(3), 4);
         let outcome = retry_attack::<Sha256, _, _>(
             &task,
             Domain::new(0, 16),
@@ -701,12 +677,8 @@ mod tests {
     fn hardened_g_multiplies_attack_cost() {
         let task = PasswordSearch::with_hidden_password(1, 2);
         let run = |k: u64| {
-            let cheater = SemiHonestCheater::new(
-                0.5,
-                CheatSelection::Prefix,
-                ZeroGuesser::new(9),
-                9,
-            );
+            let cheater =
+                SemiHonestCheater::new(0.5, CheatSelection::Prefix, ZeroGuesser::new(9), 9);
             retry_attack::<Md5, _, _>(
                 &task,
                 Domain::new(0, 32),

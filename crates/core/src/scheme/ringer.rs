@@ -56,7 +56,10 @@ where
     let domain = assignment.domain;
     let task_id = assignment.task_id;
     let ringers = recv_matching(endpoint, "RingerChallenge", |msg| match msg {
-        Message::RingerChallenge { task_id: tid, ringers } => Ok((tid, ringers)),
+        Message::RingerChallenge {
+            task_id: tid,
+            ringers,
+        } => Ok((tid, ringers)),
         other => Err(other),
     })
     .and_then(|(tid, ringers)| {
@@ -82,7 +85,10 @@ where
     })?;
 
     let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict { task_id: tid, accepted } => Ok((tid, accepted)),
+        Message::Verdict {
+            task_id: tid,
+            accepted,
+        } => Ok((tid, accepted)),
         other => Err(other),
     })
     .and_then(|(tid, accepted)| {
@@ -147,7 +153,10 @@ where
     })?;
 
     let found = recv_matching(endpoint, "RingerFound", |msg| match msg {
-        Message::RingerFound { task_id: tid, inputs } => Ok((tid, inputs)),
+        Message::RingerFound {
+            task_id: tid,
+            inputs,
+        } => Ok((tid, inputs)),
         other => Err(other),
     })
     .and_then(|(tid, inputs)| {
@@ -155,7 +164,10 @@ where
         Ok(inputs)
     })?;
     let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
-        Message::Reports { task_id: tid, reports } => Ok((tid, reports)),
+        Message::Reports {
+            task_id: tid,
+            reports,
+        } => Ok((tid, reports)),
         other => Err(other),
     })
     .and_then(|(tid, reports)| {
@@ -371,15 +383,9 @@ mod tests {
                 let _ = part_ep.recv();
             });
             let screener = task.match_screener();
-            let (verdict, _) = supervisor_ringer(
-                &sup_ep,
-                &task,
-                &screener,
-                domain,
-                &config(3, 2),
-                &ledger,
-            )
-            .unwrap();
+            let (verdict, _) =
+                supervisor_ringer(&sup_ep, &task, &screener, domain, &config(3, 2), &ledger)
+                    .unwrap();
             assert_eq!(verdict, Verdict::RingerMissed);
         });
     }

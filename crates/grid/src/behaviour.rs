@@ -354,7 +354,9 @@ mod tests {
     #[test]
     fn prefix_cheater_splits_domain_exactly() {
         let cheater = SemiHonestCheater::new(0.25, CheatSelection::Prefix, ZeroGuesser::new(1), 0);
-        let honest = (0..100).filter(|&i| cheater.is_honest_index(100, i)).count();
+        let honest = (0..100)
+            .filter(|&i| cheater.is_honest_index(100, i))
+            .count();
         assert_eq!(honest, 25);
         // And the honest part is the prefix.
         assert!(cheater.is_honest_index(100, 24));
@@ -461,7 +463,9 @@ mod tests {
         let d = Domain::new(0, 8);
         let screener = AcceptAllScreener;
         let committed = t.compute(2);
-        let report = HonestWorker.report_for(&screener, d, 2, &committed).unwrap();
+        let report = HonestWorker
+            .report_for(&screener, d, 2, &committed)
+            .unwrap();
         assert_eq!(report.input, 2);
         assert_eq!(report.payload, committed);
     }

@@ -42,7 +42,10 @@ impl Broker {
     /// Panics if no participants are supplied.
     #[must_use]
     pub fn new(supervisor: Endpoint, participants: Vec<Endpoint>) -> Self {
-        assert!(!participants.is_empty(), "broker needs at least one participant");
+        assert!(
+            !participants.is_empty(),
+            "broker needs at least one participant"
+        );
         Broker {
             supervisor,
             participants,

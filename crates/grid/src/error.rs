@@ -66,7 +66,10 @@ mod tests {
             GridError::TrailingBytes { remaining: 3 }.to_string(),
             "3 trailing bytes after message"
         );
-        assert_eq!(GridError::Disconnected.to_string(), "peer endpoint disconnected");
+        assert_eq!(
+            GridError::Disconnected.to_string(),
+            "peer endpoint disconnected"
+        );
     }
 
     #[test]

@@ -259,7 +259,9 @@ impl Message {
     /// must be consumed.
     pub fn decode(frame: &[u8]) -> Result<Self, GridError> {
         let mut buf = frame;
-        let tag = *buf.first().ok_or(GridError::UnexpectedEof { context: "tag" })?;
+        let tag = *buf
+            .first()
+            .ok_or(GridError::UnexpectedEof { context: "tag" })?;
         buf = &buf[1..];
         let msg = match tag {
             TAG_ASSIGN => {
@@ -344,9 +346,9 @@ impl Message {
             },
             TAG_VERDICT => {
                 let task_id = get_u64(&mut buf, "verdict.task_id")?;
-                let flag = *buf
-                    .first()
-                    .ok_or(GridError::UnexpectedEof { context: "verdict.flag" })?;
+                let flag = *buf.first().ok_or(GridError::UnexpectedEof {
+                    context: "verdict.flag",
+                })?;
                 buf = &buf[1..];
                 Message::Verdict {
                     task_id,

@@ -74,7 +74,8 @@ proptest! {
 #[test]
 fn scattered_ratio_converges_statistically() {
     for (r, seed) in [(0.25f64, 1u64), (0.5, 2), (0.75, 3)] {
-        let cheater = SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(4), seed);
+        let cheater =
+            SemiHonestCheater::new(r, CheatSelection::Scattered, ZeroGuesser::new(4), seed);
         let n = 40_000u64;
         let honest = (0..n).filter(|&i| cheater.is_honest_index(n, i)).count() as f64;
         let rate = honest / n as f64;

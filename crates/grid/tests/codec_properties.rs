@@ -16,12 +16,14 @@ fn arb_proof() -> impl Strategy<Value = SampleProof> {
         arb_bytes(64),
         proptest::collection::vec(arb_bytes(40), 0..6),
     )
-        .prop_map(|(index, leaf_value, leaf_sibling, digest_siblings)| SampleProof {
-            index,
-            leaf_value,
-            leaf_sibling,
-            digest_siblings,
-        })
+        .prop_map(
+            |(index, leaf_value, leaf_sibling, digest_siblings)| SampleProof {
+                index,
+                leaf_value,
+                leaf_sibling,
+                digest_siblings,
+            },
+        )
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -33,19 +35,21 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 domain: Domain::new(start, len),
             })
         }),
-        (any::<u64>(), arb_bytes(64))
-            .prop_map(|(task_id, root)| Message::Commit { task_id, root }),
+        (any::<u64>(), arb_bytes(64)).prop_map(|(task_id, root)| Message::Commit { task_id, root }),
         (any::<u64>(), proptest::collection::vec(any::<u64>(), 0..64))
             .prop_map(|(task_id, samples)| Message::Challenge { task_id, samples }),
         (any::<u64>(), proptest::collection::vec(arb_proof(), 0..5))
             .prop_map(|(task_id, proofs)| Message::Proofs { task_id, proofs }),
-        (any::<u64>(), arb_bytes(32), proptest::collection::vec(arb_proof(), 0..4)).prop_map(
-            |(task_id, root, proofs)| Message::CommitAndProofs {
+        (
+            any::<u64>(),
+            arb_bytes(32),
+            proptest::collection::vec(arb_proof(), 0..4)
+        )
+            .prop_map(|(task_id, root, proofs)| Message::CommitAndProofs {
                 task_id,
                 root,
                 proofs
-            }
-        ),
+            }),
         (any::<u64>(), any::<u32>(), arb_bytes(256)).prop_map(|(task_id, leaf_width, data)| {
             Message::AllResults {
                 task_id,

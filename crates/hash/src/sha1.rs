@@ -189,7 +189,11 @@ mod tests {
             for piece in data.chunks(chunk) {
                 Sha1::update(&mut st, piece);
             }
-            assert_eq!(Sha1::finalize(st), Sha1::digest(&data), "chunk size {chunk}");
+            assert_eq!(
+                Sha1::finalize(st),
+                Sha1::digest(&data),
+                "chunk size {chunk}"
+            );
         }
     }
 
@@ -206,6 +210,9 @@ mod tests {
 
     #[test]
     fn digest_pair_is_concatenation() {
-        assert_eq!(Sha1::digest_pair(b"grid", b"work"), Sha1::digest(b"gridwork"));
+        assert_eq!(
+            Sha1::digest_pair(b"grid", b"work"),
+            Sha1::digest(b"gridwork")
+        );
     }
 }

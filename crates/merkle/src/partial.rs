@@ -293,8 +293,7 @@ mod tests {
     fn root_matches_full_tree_unpadded_sizes() {
         for n in [3u64, 5, 17, 33, 100] {
             let full: MerkleTree<Sha256> = MerkleTree::from_leaf_fn(n, 8, f).unwrap();
-            let partial: PartialMerkleTree<Sha256> =
-                PartialMerkleTree::build(n, 8, 2, f).unwrap();
+            let partial: PartialMerkleTree<Sha256> = PartialMerkleTree::build(n, 8, 2, f).unwrap();
             assert_eq!(partial.root(), full.root(), "n={n}");
         }
     }

@@ -50,7 +50,10 @@ impl core::fmt::Display for PersistError {
                 write!(f, "tree blob is {found} bytes, header implies {expected}")
             }
             PersistError::DigestLenMismatch { stored, expected } => {
-                write!(f, "tree stored {stored}-byte digests, hash needs {expected}")
+                write!(
+                    f,
+                    "tree stored {stored}-byte digests, hash needs {expected}"
+                )
             }
             PersistError::Corrupt { node } => write!(f, "node {node} fails integrity check"),
             PersistError::BadGeometry => write!(f, "inconsistent tree geometry in header"),

@@ -223,7 +223,11 @@ mod tests {
         let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
         for l in leaves(1000) {
             b.push(&l).unwrap();
-            assert!(b.frontier.len() <= 11, "frontier grew to {}", b.frontier.len());
+            assert!(
+                b.frontier.len() <= 11,
+                "frontier grew to {}",
+                b.frontier.len()
+            );
         }
     }
 

@@ -314,7 +314,11 @@ impl<H: HashFunction> MerkleTree<H> {
             digest_siblings.push(self.nodes[(node ^ 1) as usize]);
             node >>= 1;
         }
-        Ok(MerkleProof::from_parts(index, leaf_sibling, digest_siblings))
+        Ok(MerkleProof::from_parts(
+            index,
+            leaf_sibling,
+            digest_siblings,
+        ))
     }
 }
 
@@ -324,7 +328,9 @@ mod tests {
     use ugc_hash::{Md5, Sha256};
 
     fn leaves(n: u64) -> Vec<[u8; 8]> {
-        (0..n).map(|x| (x.wrapping_mul(0x9e37_79b9)).to_le_bytes()).collect()
+        (0..n)
+            .map(|x| (x.wrapping_mul(0x9e37_79b9)).to_le_bytes())
+            .collect()
     }
 
     #[test]

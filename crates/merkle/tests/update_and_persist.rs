@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use ugc_hash::{Md5, Sha256};
 use ugc_merkle::MerkleTree;
 
-fn arb_tree_and_updates() -> impl Strategy<Value = (Vec<[u8; 8]>, Vec<(usize, [u8; 8])>)> {
+type Leaf = [u8; 8];
+
+fn arb_tree_and_updates() -> impl Strategy<Value = (Vec<Leaf>, Vec<(usize, Leaf)>)> {
     (1usize..48).prop_flat_map(|n| {
         let leaves = proptest::collection::vec(any::<[u8; 8]>(), n..=n);
         let updates = proptest::collection::vec((0..n, any::<[u8; 8]>()), 0..12);

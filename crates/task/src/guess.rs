@@ -75,7 +75,8 @@ impl ZeroGuesser {
 
 impl Guesser for ZeroGuesser {
     fn guess_salted(&self, x: u64, width: usize, salt: u64) -> Vec<u8> {
-        let mut rng = SplitMix64::for_stream(self.seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f), x);
+        let mut rng =
+            SplitMix64::for_stream(self.seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f), x);
         let mut out = vec![0u8; width];
         for chunk in out.chunks_mut(8) {
             let bytes = rng.next_u64().to_le_bytes();
@@ -120,7 +121,10 @@ impl<T: ComputeTask> LuckyGuesser<T> {
     /// Panics if `q` is not a probability.
     #[must_use]
     pub fn new(task: T, q: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&q) && q.is_finite(), "q must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&q) && q.is_finite(),
+            "q must be in [0,1]"
+        );
         LuckyGuesser { task, q, seed }
     }
 

@@ -19,7 +19,12 @@ pub struct ScreenReport {
 
 impl fmt::Display for ScreenReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "x={} payload={}", self.input, ugc_hash::hex::encode(&self.payload))
+        write!(
+            f,
+            "x={} payload={}",
+            self.input,
+            ugc_hash::hex::encode(&self.payload)
+        )
     }
 }
 

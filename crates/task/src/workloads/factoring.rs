@@ -117,7 +117,11 @@ pub fn smallest_prime_factor(n: u64) -> u64 {
     }
     let d = split(n);
     let other = n / d;
-    let left = if is_prime_u64(d) { d } else { smallest_prime_factor(d) };
+    let left = if is_prime_u64(d) {
+        d
+    } else {
+        smallest_prime_factor(d)
+    };
     let right = if is_prime_u64(other) {
         other
     } else {

@@ -251,9 +251,7 @@ mod tests {
     fn prime_density_plausible() {
         // Around n = 10^6 the prime density is ~1/ln(10^6) ≈ 7.2%.
         let task = PrimalitySearch::new(1_000_001, 2); // odd candidates
-        let primes = (0..2000u64)
-            .filter(|&x| task.compute(x)[0] == 1)
-            .count();
+        let primes = (0..2000u64).filter(|&x| task.compute(x)[0] == 1).count();
         // Odd-only doubles the density to ~14.5%.
         assert!((200..=380).contains(&primes), "found {primes} primes");
     }

@@ -204,7 +204,10 @@ mod tests {
                 noise.push(snr);
             }
         }
-        assert!(!planted.is_empty(), "seed should plant some signals in 400 chunks");
+        assert!(
+            !planted.is_empty(),
+            "seed should plant some signals in 400 chunks"
+        );
         let mean_planted = planted.iter().sum::<f64>() / planted.len() as f64;
         let mean_noise = noise.iter().sum::<f64>() / noise.len() as f64;
         assert!(

@@ -36,7 +36,12 @@ fn collect_task(
     domain: Domain,
     ledger: &CostLedger,
 ) -> Result<(u64, Verdict), SchemeError> {
-    let Message::CommitAndProofs { task_id, root, proofs } = endpoint.recv()? else {
+    let Message::CommitAndProofs {
+        task_id,
+        root,
+        proofs,
+    } = endpoint.recv()?
+    else {
         return Err(SchemeError::UnexpectedMessage {
             expected: "CommitAndProofs",
             got: "other",
@@ -129,8 +134,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..3u64 {
             broker.relay_inward_for(i).map_err(SchemeError::Grid)?; // CommitAndProofs
             broker.relay_inward_for(i).map_err(SchemeError::Grid)?; // Reports
-            let (task_id, verdict) =
-                collect_task(&sup_ep, &task, &prime_screener, shares[i as usize], &sup_ledger)?;
+            let (task_id, verdict) = collect_task(
+                &sup_ep,
+                &task,
+                &prime_screener,
+                shares[i as usize],
+                &sup_ledger,
+            )?;
             verdicts.push((task_id, verdict));
             broker.relay_outward(1).map_err(SchemeError::Grid)?; // Verdict back
         }
@@ -188,11 +198,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 struct PrimeScreener;
 
 impl Screener for PrimeScreener {
-    fn screen(
-        &self,
-        x: u64,
-        fx: &[u8],
-    ) -> Option<uncheatable_grid::task::ScreenReport> {
+    fn screen(&self, x: u64, fx: &[u8]) -> Option<uncheatable_grid::task::ScreenReport> {
         (fx.len() == 16 && fx[0] == 1).then(|| uncheatable_grid::task::ScreenReport {
             input: x,
             payload: fx.to_vec(),

@@ -43,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full_nodes = 2 * library.len() - 1;
     for (label, storage) in [
         ("full tree", ParticipantStorage::Full),
-        ("partial ℓ=6", ParticipantStorage::Partial { subtree_height: 6 }),
-        ("partial ℓ=10", ParticipantStorage::Partial { subtree_height: 10 }),
+        (
+            "partial ℓ=6",
+            ParticipantStorage::Partial { subtree_height: 6 },
+        ),
+        (
+            "partial ℓ=10",
+            ParticipantStorage::Partial { subtree_height: 10 },
+        ),
     ] {
         let outcome = run_cbs::<Sha256, _, _, _>(
             &lab,

@@ -10,12 +10,8 @@
 //!
 //! Run: `cargo run --release --example fleet_campaign`
 
-use uncheatable_grid::core::{
-    run_campaign, FleetConfig, FleetScheme, ParticipantStorage,
-};
-use uncheatable_grid::grid::{
-    CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour,
-};
+use uncheatable_grid::core::{run_campaign, FleetConfig, FleetScheme, ParticipantStorage};
+use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour};
 use uncheatable_grid::hash::Sha256;
 use uncheatable_grid::task::workloads::DrugScreening;
 use uncheatable_grid::task::{ComputeTask, Domain, ZeroGuesser};
@@ -30,7 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let freeloader =
         SemiHonestCheater::new(0.1, CheatSelection::Scattered, ZeroGuesser::new(2), 11);
     let fleet: Vec<&dyn WorkerBehaviour> = vec![
-        &honest, &honest, &slacker, &honest, &freeloader, &honest, &honest, &honest,
+        &honest,
+        &honest,
+        &slacker,
+        &honest,
+        &freeloader,
+        &honest,
+        &honest,
+        &honest,
     ];
 
     let summary = run_campaign::<Sha256, _, _, _, _>(

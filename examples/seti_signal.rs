@@ -83,8 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let truth = telescope.compute(x);
             // The cheater's committed value for x differs from the truth iff
             // it guessed there; a guessed chunk can't report a real carrier.
-            outcome.reports.iter().all(|r| r.input != x)
-                && screener.screen(x, &truth).is_some()
+            outcome.reports.iter().all(|r| r.input != x) && screener.screen(x, &truth).is_some()
         })
         .count();
     println!(

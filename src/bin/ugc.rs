@@ -21,16 +21,12 @@ use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
 use uncheatable_grid::core::{
     run_fleet, FleetConfig, FleetScheme, ParticipantStorage, RoundOutcome,
 };
-use uncheatable_grid::grid::{
-    CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour,
-};
+use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour};
 use uncheatable_grid::hash::Sha256;
 use uncheatable_grid::task::workloads::{
     DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal,
 };
-use uncheatable_grid::task::{
-    ComputeTask, Domain, ScreenReport, Screener, ZeroGuesser,
-};
+use uncheatable_grid::task::{ComputeTask, Domain, ScreenReport, Screener, ZeroGuesser};
 
 const USAGE: &str = "\
 usage: ugc <command> [options]
@@ -194,7 +190,10 @@ fn print_outcome(scheme: &str, outcome: &RoundOutcome) {
         outcome.participant_costs.hash_ops,
         outcome.participant_costs.g_evals
     );
-    println!("reports:      {} result(s) of interest", outcome.reports.len());
+    println!(
+        "reports:      {} result(s) of interest",
+        outcome.reports.len()
+    );
     for report in outcome.reports.iter().take(5) {
         println!("  {report}");
     }
@@ -353,6 +352,9 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     for share in summary.shares_to_reassign() {
         println!("  reassign {share}");
     }
-    println!("password found: {:?}", summary.reports.first().map(|r| r.input));
+    println!(
+        "password found: {:?}",
+        summary.reports.first().map(|r| r.input)
+    );
     Ok(())
 }

@@ -20,7 +20,7 @@ fn supervisor_never_evaluates_f_for_cheap_verification_tasks() {
     let task = factoring();
     // Screen for "smallest factor is 3" — arbitrary but deterministic.
     let mut target = 3u64.to_le_bytes().to_vec();
-    target.extend_from_slice(&((999_999_001u64 + 2 * 1) / 3).to_le_bytes());
+    target.extend_from_slice(&(999_999_001u64.div_ceil(3)).to_le_bytes());
     let screener = MatchScreener::new(target);
     let outcome = run_cbs::<Sha256, _, _, _>(
         &task,

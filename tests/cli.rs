@@ -36,7 +36,15 @@ fn unknown_command_fails() {
 
 #[test]
 fn sample_size_reproduces_paper_anchors() {
-    let out = ugc(&["sample-size", "--epsilon", "1e-4", "--r", "0.5", "--q", "0.5"]);
+    let out = ugc(&[
+        "sample-size",
+        "--epsilon",
+        "1e-4",
+        "--r",
+        "0.5",
+        "--q",
+        "0.5",
+    ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("m = 33"), "{}", stdout(&out));
     let out = ugc(&["sample-size", "--epsilon", "1e-4", "--r", "0.5", "--q", "0"]);
@@ -55,7 +63,10 @@ fn detection_prints_eq2() {
     let out = ugc(&["detection", "--r", "0.5", "--q", "0", "--m", "10"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    assert!(text.contains("9.766e-4") || text.contains("9.77e-4"), "{text}");
+    assert!(
+        text.contains("9.766e-4") || text.contains("9.77e-4"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -99,7 +110,15 @@ fn run_all_workloads_through_cbs() {
 
 #[test]
 fn ringer_rejects_non_one_way_workload() {
-    let out = ugc(&["run", "--scheme", "ringer", "--workload", "seti", "--n", "64"]);
+    let out = ugc(&[
+        "run",
+        "--scheme",
+        "ringer",
+        "--workload",
+        "seti",
+        "--n",
+        "64",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("one-way"));
 }
@@ -107,7 +126,15 @@ fn ringer_rejects_non_one_way_workload() {
 #[test]
 fn run_partial_storage() {
     let out = ugc(&[
-        "run", "--scheme", "cbs", "--n", "256", "--m", "8", "--partial", "3",
+        "run",
+        "--scheme",
+        "cbs",
+        "--n",
+        "256",
+        "--m",
+        "8",
+        "--partial",
+        "3",
     ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("accepted"));

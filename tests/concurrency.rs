@@ -91,10 +91,12 @@ fn shared_task_across_threads_is_consistent() {
     // A single task instance evaluated from many threads must agree with
     // itself — determinism is load-bearing for commitments.
     let task = PasswordSearch::with_hidden_password(9, 100);
-    let reference: Vec<Vec<u8>> = (0..64).map(|x| {
-        use uncheatable_grid::task::ComputeTask;
-        task.compute(x)
-    }).collect();
+    let reference: Vec<Vec<u8>> = (0..64)
+        .map(|x| {
+            use uncheatable_grid::task::ComputeTask;
+            task.compute(x)
+        })
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..8 {
             let task = &task;

@@ -138,7 +138,13 @@ fn supervisor_rejects_wrong_task_id() {
             &ledger,
         )
         .unwrap_err();
-        assert_eq!(err, SchemeError::TaskMismatch { expected: 1, got: 999 });
+        assert_eq!(
+            err,
+            SchemeError::TaskMismatch {
+                expected: 1,
+                got: 999
+            }
+        );
     });
 }
 

@@ -53,12 +53,15 @@ fn intermediate_nodes_match_eq1() {
     // Φ(D) and Φ(E) are leaf-pair digests feeding Φ(F) — pin them so the
     // Fig. 1 node map stays complete.
     let fig = build_fig1();
-    assert_eq!(fig.phi_d, Sha256::digest_pair(&fig.leaves[4], &fig.leaves[5]));
-    assert_eq!(fig.phi_e, Sha256::digest_pair(&fig.leaves[6], &fig.leaves[7]));
     assert_eq!(
-        fig.phi_f,
-        Sha256::digest_pair(&fig.phi_d, &fig.phi_e)
+        fig.phi_d,
+        Sha256::digest_pair(&fig.leaves[4], &fig.leaves[5])
     );
+    assert_eq!(
+        fig.phi_e,
+        Sha256::digest_pair(&fig.leaves[6], &fig.leaves[7])
+    );
+    assert_eq!(fig.phi_f, Sha256::digest_pair(&fig.phi_d, &fig.phi_e));
 }
 
 #[test]

@@ -128,9 +128,42 @@ fn soundness_holds_for_every_hash_function() {
         seed: 9,
         report_audit: 0,
     };
-    assert!(run_cbs::<Md5, _, _, _>(&task, &screener, domain, &HonestWorker, ParticipantStorage::Full, &config).unwrap().accepted);
-    assert!(run_cbs::<Sha1, _, _, _>(&task, &screener, domain, &HonestWorker, ParticipantStorage::Full, &config).unwrap().accepted);
-    assert!(run_cbs::<Sha256, _, _, _>(&task, &screener, domain, &HonestWorker, ParticipantStorage::Full, &config).unwrap().accepted);
+    assert!(
+        run_cbs::<Md5, _, _, _>(
+            &task,
+            &screener,
+            domain,
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config
+        )
+        .unwrap()
+        .accepted
+    );
+    assert!(
+        run_cbs::<Sha1, _, _, _>(
+            &task,
+            &screener,
+            domain,
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config
+        )
+        .unwrap()
+        .accepted
+    );
+    assert!(
+        run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            domain,
+            &HonestWorker,
+            ParticipantStorage::Full,
+            &config
+        )
+        .unwrap()
+        .accepted
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use uncheatable_grid::core::analysis::cheat_success_probability;
-use uncheatable_grid::core::scheme::cbs::{
-    participant_cbs, run_cbs, supervisor_cbs, CbsConfig,
-};
+use uncheatable_grid::core::scheme::cbs::{participant_cbs, run_cbs, supervisor_cbs, CbsConfig};
 use uncheatable_grid::core::{ParticipantStorage, Verdict};
 use uncheatable_grid::grid::{
     duplex, CheatSelection, CostLedger, HonestWorker, Message, SemiHonestCheater,
@@ -77,11 +75,7 @@ fn post_challenge_recomputation_detected() {
                         index: i,
                         leaf_value: task.compute(i), // correct f(x)!
                         leaf_sibling: p.leaf_sibling().to_vec(),
-                        digest_siblings: p
-                            .digest_siblings()
-                            .iter()
-                            .map(|d| d.to_vec())
-                            .collect(),
+                        digest_siblings: p.digest_siblings().iter().map(|d| d.to_vec()).collect(),
                     }
                 })
                 .collect();

@@ -7,7 +7,9 @@ use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
 use uncheatable_grid::core::ParticipantStorage;
 use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater};
 use uncheatable_grid::hash::Sha256;
-use uncheatable_grid::task::workloads::{DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal};
+use uncheatable_grid::task::workloads::{
+    DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal,
+};
 use uncheatable_grid::task::{ComputeTask, Domain, Screener, ZeroGuesser};
 
 fn cbs_config(m: usize) -> CbsConfig {
@@ -129,7 +131,9 @@ fn primality_witness_output_foils_simple_flag_guessing() {
         fake[0] = 0;
         fake == task.compute(x)
     };
-    let correct_blind_guesses = (0..200u64).filter(|&x| composite_with_flag_guess(x)).count();
+    let correct_blind_guesses = (0..200u64)
+        .filter(|&x| composite_with_flag_guess(x))
+        .count();
     // The verdict alone would be right ~85% of the time; with the witness
     // the full output is essentially never right.
     assert_eq!(correct_blind_guesses, 0);

@@ -1,0 +1,142 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The workspace builds without network access, so instead of the real
+//! crate this vendored shim provides the exact [`Buf`]/[`BufMut`] subset
+//! the codebase uses: little-endian integer accessors and slice copies
+//! over `&[u8]` cursors and `Vec<u8>` sinks. Semantics (including panics
+//! on under-full buffers) match the upstream crate so it can be swapped
+//! back in without code changes.
+
+#![forbid(unsafe_code)]
+
+/// Read access to a byte cursor; consuming reads advance the cursor.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consumes and returns a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes and returns a single byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Fills `dst` from the cursor, consuming `dst.len()` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4-byte split"))
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+/// Write access to a growable byte sink.
+pub trait BufMut {
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64_u32_u8() {
+        let mut buf = Vec::new();
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_u32_le(0xAABB_CCDD);
+        buf.put_u8(0x7F);
+        let mut cursor = buf.as_slice();
+        assert_eq!(cursor.remaining(), 13);
+        assert_eq!(cursor.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(cursor.get_u32_le(), 0xAABB_CCDD);
+        assert_eq!(cursor.get_u8(), 0x7F);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn copy_to_slice_advances() {
+        let mut buf = Vec::new();
+        buf.put_slice(b"hello world");
+        let mut cursor = buf.as_slice();
+        let mut head = [0u8; 5];
+        cursor.copy_to_slice(&mut head);
+        assert_eq!(&head, b"hello");
+        assert_eq!(cursor, b" world");
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam) crate.
+//!
+//! The workspace builds without network access, so this vendored shim maps
+//! the subset the codebase uses onto the standard library:
+//!
+//! * [`channel`] — `unbounded()` MPMC channels with `Sync` endpoints
+//!   (mutex + condvar; same send/recv/try-recv error semantics).
+//! * [`thread`] — `scope()`/`spawn()` scoped threads, backed by
+//!   [`std::thread::scope`]; `spawn` closures receive a `&Scope` argument
+//!   exactly as crossbeam's do.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded MPMC channels with crossbeam's API.
+    //!
+    //! Implemented over `Mutex<VecDeque>` + `Condvar` rather than
+    //! [`std::sync::mpsc`] because crossbeam's `Sender`/`Receiver` are
+    //! `Sync` (endpoints here are shared across scoped threads by
+    //! reference), which `mpsc::Receiver` is not.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    #[derive(Debug)]
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    #[derive(Debug)]
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending side; cloneable, `Send + Sync`.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving side; cloneable, `Send + Sync`.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] carrying `value` if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking until one arrives.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] if the queue is drained and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] if nothing is queued,
+        /// [`TryRecvError::Disconnected`] if drained with no senders left.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers -= 1;
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API over [`std::thread::scope`].
+
+    use std::any::Any;
+
+    /// A scope within which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// The boxed panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives a
+        /// reference to the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before the
+    /// call returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam (which collects panics from unjoined threads into
+    /// the `Err` variant) this shim propagates such panics; the `Result`
+    /// wrapper is kept for call-site compatibility and is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip_and_errors() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 41u32).join().expect("inner") + 1)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

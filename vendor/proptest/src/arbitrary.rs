@@ -1,0 +1,73 @@
+//! The [`any`] entry point and the types it can generate.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain generation strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn generate_any(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::generate_any(rng)
+    }
+}
+
+/// The canonical strategy for `T`: uniform over its whole domain
+/// (`[0, 1)` for floats).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_via_random {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn generate_any(rng: &mut TestRng) -> Self {
+                rng.rng().random::<$t>()
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_via_random!(u8, u16, u32, u64, usize, bool, f64, f32);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty => $u:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn generate_any(rng: &mut TestRng) -> Self {
+                rng.rng().random::<$u>() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn generate_any(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::generate_any(rng))
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn generate_any(rng: &mut TestRng) -> Self {
+        (A::generate_any(rng), B::generate_any(rng))
+    }
+}

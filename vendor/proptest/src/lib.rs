@@ -1,0 +1,110 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The workspace builds without network access, so this vendored shim
+//! implements the subset its test suites use: the [`proptest!`] macro,
+//! [`prelude`], [`strategy::Strategy`] with `prop_map`/`prop_flat_map`,
+//! [`arbitrary::any`], range and tuple strategies, [`collection::vec`],
+//! [`sample::Index`], [`prop_oneof!`], and
+//! [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case fails the test with the generated
+//!   values via the panic message, but is not minimised.
+//! * **Deterministic seeding.** Each test's RNG is seeded from its module
+//!   path and name, so runs are reproducible; set `PROPTEST_RNG_SEED` to
+//!   perturb all streams at once.
+//! * `prop_assert!`/`prop_assert_eq!` panic (like `assert!`) instead of
+//!   returning `Err`, which is equivalent under a harness that treats
+//!   panics as failures.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that runs the body over `cases` generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`ProptestConfig`](test_runner::ProptestConfig) for every test in the
+/// block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __strategy = ($($strategy,)+);
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for _case in 0..__config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when its precondition does not hold.
+///
+/// Must appear directly inside the `proptest!` test body (it expands to
+/// `continue` targeting the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::one_of_option($strategy)),+
+        ])
+    };
+}

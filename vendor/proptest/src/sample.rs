@@ -1,0 +1,31 @@
+//! Sampling helpers.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// An index into a collection whose size is unknown at generation time.
+///
+/// Generate one with `any::<Index>()`, then project it onto a concrete
+/// collection with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Maps this abstract index onto a collection of `size` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        self.0 % size
+    }
+}
+
+impl Arbitrary for Index {
+    fn generate_any(rng: &mut TestRng) -> Self {
+        Index(rng.rng().random::<usize>())
+    }
+}

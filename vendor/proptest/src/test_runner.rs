@@ -1,0 +1,66 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (as in upstream proptest).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies while generating a case.
+///
+/// Seeded from the test's module path and name (FNV-1a), so each test has
+/// its own reproducible stream; `PROPTEST_RNG_SEED` perturbs all streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|raw| raw.parse::<u64>().ok())
+        {
+            hash ^= extra.rotate_left(17);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator, for strategy implementations.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}

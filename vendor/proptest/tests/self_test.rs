@@ -1,0 +1,128 @@
+//! The shim must actually generate diverse cases and catch violations —
+//! a property harness that silently runs zero cases would green-light
+//! every suite in the workspace.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn runs_the_configured_number_of_cases(_x in any::<u64>()) {
+        CASES_RUN.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `proptest!` with a violated property must fail the test.
+mod failure_detection {
+    use super::*;
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn catches_violations(x in 0u64..1000) {
+            // Holds for < 1% of the domain; 256 deterministic cases make
+            // a miss astronomically unlikely.
+            prop_assert!(x < 5);
+        }
+
+        #[test]
+        #[should_panic]
+        fn catches_eq_violations(a in 1u32..40, b in 1u32..40) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ranges_stay_in_bounds(x in 3u64..17, y in 5usize..=9, f in 0.25f64..0.75,
+                             g in 0.0f64..=1.0) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!((5..=9).contains(&y));
+        prop_assert!((0.25..0.75).contains(&f));
+        prop_assert!((0.0..=1.0).contains(&g));
+    }
+
+    #[test]
+    fn vec_respects_size_and_element_ranges(v in proptest::collection::vec(1u8..5, 2..6)) {
+        prop_assert!((2..6).contains(&v.len()));
+        prop_assert!(v.iter().all(|&e| (1..5).contains(&e)));
+    }
+
+    #[test]
+    fn flat_map_dependency_holds(
+        (n, picks) in (1usize..8).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(0..n, n..=n))
+        })
+    ) {
+        prop_assert_eq!(picks.len(), n);
+        prop_assert!(picks.iter().all(|&p| p < n));
+    }
+
+    #[test]
+    fn map_transforms(doubled in (0u64..100).prop_map(|x| x * 2)) {
+        prop_assert_eq!(doubled % 2, 0);
+        prop_assert!(doubled < 200);
+    }
+
+    #[test]
+    fn oneof_only_yields_listed_alternatives(
+        v in prop_oneof![Just(1u8), Just(4u8), (7u8..9).prop_map(|x| x)]
+    ) {
+        prop_assert!(matches!(v, 1 | 4 | 7 | 8));
+    }
+
+    #[test]
+    fn sample_index_projects_into_bounds(idx in any::<proptest::sample::Index>(),
+                                         len in 1usize..50) {
+        prop_assert!(idx.index(len) < len);
+    }
+
+    #[test]
+    fn arrays_and_tuples_generate(pair in (any::<[u8; 8]>(), any::<bool>())) {
+        let (bytes, _flag) = pair;
+        prop_assert_eq!(bytes.len(), 8);
+    }
+
+    #[test]
+    fn assume_skips_without_failing(x in 0u32..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+}
+
+#[test]
+fn counted_all_cases() {
+    // Test order within a binary is name-sorted by the default harness,
+    // so force the counting property to have run first.
+    runs_the_configured_number_of_cases();
+    assert!(CASES_RUN.load(Ordering::Relaxed) >= 64);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    let strat = proptest::collection::vec(0u64..1_000_000, 5..10);
+    let mut a = TestRng::for_test("det");
+    let mut b = TestRng::for_test("det");
+    for _ in 0..100 {
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}
+
+#[test]
+fn distinct_tests_get_distinct_streams() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    let mut a = TestRng::for_test("alpha");
+    let mut b = TestRng::for_test("beta");
+    let strat = 0u64..u64::MAX;
+    let draws_a: Vec<_> = (0..8).map(|_| strat.generate(&mut a)).collect();
+    let draws_b: Vec<_> = (0..8).map(|_| strat.generate(&mut b)).collect();
+    assert_ne!(draws_a, draws_b);
+}
