@@ -1,0 +1,354 @@
+//! Records the performance baseline: runs the workloads behind the six
+//! criterion benches plus the PR 2 serial-vs-parallel comparisons, and
+//! writes the measurements to a JSON file so the perf trajectory can be
+//! compared across PRs.
+//!
+//! Every serial/parallel pair is also checked for **bit-identical
+//! output** (roots, Monte-Carlo counts); any divergence fails the run
+//! with a non-zero exit code, which is what the CI quick-mode step keys
+//! off.
+//!
+//! Run: `cargo run --release -p ugc-bench --bin bench_report`
+//! (`--quick` shrinks sizes for CI; `--out PATH` overrides
+//! `BENCH_pr2.json`).
+
+use criterion::{black_box, Bencher};
+use std::fmt::Write as _;
+use ugc_core::sampling::derive_samples;
+use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
+use ugc_core::ParticipantStorage;
+use ugc_grid::{CostLedger, HonestWorker};
+use ugc_hash::{
+    streaming_digest_iterated, streaming_digest_pair, HashFunction, IteratedHash, Md5, Sha256,
+};
+use ugc_merkle::{MerkleTree, Parallelism, PartialMerkleTree, StreamingBuilder};
+use ugc_sim::{
+    estimate_cheat_success_fast, estimate_cheat_success_fast_parallel, DetectionExperiment,
+};
+use ugc_task::workloads::PasswordSearch;
+use ugc_task::{ComputeTask, Domain};
+
+/// One measured workload.
+struct Entry {
+    name: &'static str,
+    ns_per_op: f64,
+}
+
+/// Median-of-N ns/op through the vendored smoke-timer.
+fn time<O>(routine: impl FnMut() -> O) -> f64 {
+    let mut bencher = Bencher::default();
+    bencher.iter(routine);
+    bencher.median_ns_per_iter().expect("measured")
+}
+
+fn leaves(n: u64) -> Vec<[u8; 16]> {
+    (0..n)
+        .map(|x| {
+            let mut leaf = [0u8; 16];
+            leaf[..8].copy_from_slice(&x.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+            leaf
+        })
+        .collect()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_pr2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_report [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let parallelism = Parallelism::default();
+    let threads = parallelism.get();
+    let merkle_n: u64 = if quick { 1 << 12 } else { 1 << 16 };
+    let proof_n: u64 = if quick { 1 << 10 } else { 1 << 14 };
+    let hash_bytes: usize = if quick { 4096 } else { 65536 };
+    let sim_trials: u32 = if quick { 2_000 } else { 20_000 };
+    let e2e_n: u64 = if quick { 1 << 8 } else { 1 << 12 };
+    println!(
+        "bench_report: mode={} threads={threads} merkle_leaves={merkle_n} sim_trials={sim_trials}",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut divergence = false;
+
+    // --- Tentpole 1: Merkle construction, serial vs parallel. ---
+    let data = leaves(merkle_n);
+    let serial_tree = MerkleTree::<Sha256>::build(&data).unwrap();
+    let parallel_tree = MerkleTree::<Sha256>::build_parallel(&data, parallelism).unwrap();
+    if serial_tree.root() != parallel_tree.root() {
+        eprintln!("DIVERGENCE: parallel merkle root != serial root");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "merkle_build/sha256_serial",
+        ns_per_op: time(|| black_box(MerkleTree::<Sha256>::build(&data).unwrap().root())),
+    });
+    entries.push(Entry {
+        name: "merkle_build/sha256_parallel",
+        ns_per_op: time(|| {
+            black_box(
+                MerkleTree::<Sha256>::build_parallel(&data, parallelism)
+                    .unwrap()
+                    .root(),
+            )
+        }),
+    });
+    let (streamed_root, _) = StreamingBuilder::<Sha256>::parallel_root(&data, parallelism).unwrap();
+    if streamed_root != serial_tree.root() {
+        eprintln!("DIVERGENCE: streaming parallel root != serial root");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "merkle_streaming_root/serial",
+        ns_per_op: time(|| {
+            let mut builder: StreamingBuilder<Sha256> = StreamingBuilder::new();
+            for leaf in &data {
+                builder.push(leaf).unwrap();
+            }
+            black_box(builder.finalize().unwrap())
+        }),
+    });
+    entries.push(Entry {
+        name: "merkle_streaming_root/parallel",
+        ns_per_op: time(|| {
+            black_box(
+                StreamingBuilder::<Sha256>::parallel_root(&data, parallelism)
+                    .unwrap()
+                    .0,
+            )
+        }),
+    });
+
+    // --- Tentpole 2: digest fast paths vs the generic streaming path. ---
+    let left32 = [0x11u8; 32];
+    let right32 = [0x22u8; 32];
+    if Sha256::digest_pair(&left32, &right32) != streaming_digest_pair::<Sha256>(&left32, &right32)
+    {
+        eprintln!("DIVERGENCE: sha256 digest_pair fast path != streaming");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "digest_pair/sha256_fast",
+        ns_per_op: time(|| black_box(Sha256::digest_pair(&left32, &right32))),
+    });
+    entries.push(Entry {
+        name: "digest_pair/sha256_streaming",
+        ns_per_op: time(|| black_box(streaming_digest_pair::<Sha256>(&left32, &right32))),
+    });
+    entries.push(Entry {
+        name: "digest_pair/md5_fast",
+        ns_per_op: time(|| black_box(Md5::digest_pair(&left32[..16], &right32[..16]))),
+    });
+    entries.push(Entry {
+        name: "digest_pair/md5_streaming",
+        ns_per_op: time(|| black_box(streaming_digest_pair::<Md5>(&left32[..16], &right32[..16]))),
+    });
+    let g = IteratedHash::<Md5>::new(1000);
+    if g.apply(b"seed") != streaming_digest_iterated::<Md5>(b"seed", 1000) {
+        eprintln!("DIVERGENCE: md5 digest_iterated fast path != streaming");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "iterated_hash/md5_k1000_fast",
+        ns_per_op: time(|| black_box(g.apply(b"seed"))),
+    });
+    entries.push(Entry {
+        name: "iterated_hash/md5_k1000_streaming",
+        ns_per_op: time(|| black_box(streaming_digest_iterated::<Md5>(b"seed", 1000))),
+    });
+
+    // --- Tentpole 3: Monte-Carlo trials, serial vs sharded. ---
+    let exp = DetectionExperiment {
+        domain_size: 0,
+        samples: 14,
+        honesty_ratio: 0.5,
+        guess_quality: 0.0,
+        trials: sim_trials,
+        seed: 0x00be_2c47,
+    };
+    let serial_est = estimate_cheat_success_fast(&exp);
+    let sharded_est = estimate_cheat_success_fast_parallel(&exp, parallelism);
+    if serial_est.successes != sharded_est.successes {
+        eprintln!(
+            "DIVERGENCE: sharded Monte-Carlo counts {} != serial {}",
+            sharded_est.successes, serial_est.successes
+        );
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "sim_fast/serial",
+        ns_per_op: time(|| black_box(estimate_cheat_success_fast(&exp).successes)),
+    });
+    entries.push(Entry {
+        name: "sim_fast/sharded",
+        ns_per_op: time(|| {
+            black_box(estimate_cheat_success_fast_parallel(&exp, parallelism).successes)
+        }),
+    });
+
+    // --- The remaining criterion-bench workloads. ---
+    let hash_data = vec![0xA5u8; hash_bytes];
+    entries.push(Entry {
+        name: "hash_throughput/sha256",
+        ns_per_op: time(|| black_box(Sha256::digest(&hash_data))),
+    });
+    let proof_tree = MerkleTree::<Sha256>::build(&leaves(proof_n)).unwrap();
+    let proof_root = proof_tree.root();
+    let proof_leaf = proof_tree.leaf(proof_n / 3).unwrap().to_vec();
+    let proof = proof_tree.prove(proof_n / 3).unwrap();
+    entries.push(Entry {
+        name: "merkle_proofs/prove",
+        ns_per_op: time(|| black_box(proof_tree.prove(proof_n / 3).unwrap())),
+    });
+    entries.push(Entry {
+        name: "merkle_proofs/verify",
+        ns_per_op: time(|| black_box(proof.verify(&proof_root, &proof_leaf))),
+    });
+    let root16 = [0xABu8; 16];
+    let ledger = CostLedger::new();
+    let g100 = IteratedHash::<Md5>::new(100);
+    entries.push(Entry {
+        name: "ni_sample_derivation/m50_k100",
+        ns_per_op: time(|| black_box(derive_samples(&g100, &root16, 50, 1 << 20, &ledger))),
+    });
+    let task = PasswordSearch::with_hidden_password(1, 2);
+    let provider = |x: u64| task.compute(x);
+    entries.push(Entry {
+        name: "partial_tree/build_ell7",
+        ns_per_op: time(|| {
+            black_box(
+                PartialMerkleTree::<Sha256>::build(proof_n, task.output_width(), 7, provider)
+                    .unwrap()
+                    .root(),
+            )
+        }),
+    });
+    let e2e_task = PasswordSearch::with_hidden_password(1, 7);
+    let e2e_screener = e2e_task.match_screener();
+    entries.push(Entry {
+        name: "scheme_e2e/cbs_full",
+        ns_per_op: time(|| {
+            black_box(
+                run_cbs::<Sha256, _, _, _>(
+                    &e2e_task,
+                    &e2e_screener,
+                    Domain::new(0, e2e_n),
+                    &HonestWorker,
+                    ParticipantStorage::Full,
+                    &CbsConfig {
+                        task_id: 1,
+                        samples: 32,
+                        seed: 2,
+                        report_audit: 0,
+                    },
+                )
+                .unwrap(),
+            )
+        }),
+    });
+
+    let ratio = |num: &str, den: &str| -> f64 {
+        let get = |n: &str| {
+            entries
+                .iter()
+                .find(|e| e.name == n)
+                .expect("entry recorded")
+                .ns_per_op
+        };
+        get(num) / get(den)
+    };
+    let speedups = [
+        (
+            "merkle_build_parallel_over_serial",
+            ratio("merkle_build/sha256_serial", "merkle_build/sha256_parallel"),
+        ),
+        (
+            "streaming_root_parallel_over_serial",
+            ratio(
+                "merkle_streaming_root/serial",
+                "merkle_streaming_root/parallel",
+            ),
+        ),
+        (
+            "digest_pair_sha256_fast_over_streaming",
+            ratio("digest_pair/sha256_streaming", "digest_pair/sha256_fast"),
+        ),
+        (
+            "digest_pair_md5_fast_over_streaming",
+            ratio("digest_pair/md5_streaming", "digest_pair/md5_fast"),
+        ),
+        (
+            "iterated_md5_fast_over_streaming",
+            ratio(
+                "iterated_hash/md5_k1000_streaming",
+                "iterated_hash/md5_k1000_fast",
+            ),
+        ),
+        (
+            "sim_sharded_over_serial",
+            ratio("sim_fast/serial", "sim_fast/sharded"),
+        ),
+    ];
+
+    println!();
+    for entry in &entries {
+        println!("{:<40} {:>14.1} ns/op", entry.name, entry.ns_per_op);
+    }
+    println!();
+    for (name, value) in &speedups {
+        println!("{name:<42} {value:>6.2}x");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
+    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"merkle_leaves\": {merkle_n},");
+    let _ = writeln!(json, "  \"sim_trials\": {sim_trials},");
+    let _ = writeln!(
+        json,
+        "  \"parallel_outputs_bit_identical\": {},",
+        !divergence
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, entry) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}}}{comma}",
+            entry.name, entry.ns_per_op
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    for (i, (name, value)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {value:.2}{comma}");
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write baseline JSON");
+    println!("\nwrote {out_path}");
+
+    if divergence {
+        eprintln!("FAILED: parallel and serial outputs diverged");
+        std::process::exit(1);
+    }
+}

@@ -13,8 +13,8 @@
 
 use ugc_core::analysis::cheat_success_probability;
 use ugc_sim::{
-    estimate_cheat_success_fast, estimate_cheat_success_protocol_parallel, DetectionExperiment,
-    Table,
+    estimate_cheat_success_fast_parallel, estimate_cheat_success_protocol_parallel,
+    DetectionExperiment, Parallelism, Table,
 };
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
                     trials: 100_000,
                     seed: (r * 100.0) as u64 ^ ((q * 10.0) as u64) << 8 ^ (m as u64) << 16,
                 };
-                let est = estimate_cheat_success_fast(&exp);
+                let est = estimate_cheat_success_fast_parallel(&exp, Parallelism::default());
                 let theory = cheat_success_probability(r, q, m as u64);
                 let ok = est.contains(theory);
                 all_ok &= ok;
@@ -63,7 +63,7 @@ fn main() {
             trials: 400,
             seed: 0xdeec + m as u64,
         };
-        let est = estimate_cheat_success_protocol_parallel(&exp, 4);
+        let est = estimate_cheat_success_protocol_parallel(&exp, Parallelism::default());
         let theory = cheat_success_probability(r, q, m as u64);
         let ok = est.contains(theory);
         all_ok &= ok;

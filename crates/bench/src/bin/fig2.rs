@@ -10,11 +10,16 @@
 //! Run: `cargo run --release -p ugc-bench --bin fig2`
 
 use ugc_core::analysis::{cheat_success_probability, required_sample_size};
-use ugc_sim::{estimate_cheat_success_fast, wilson_interval, DetectionExperiment, Table};
+use ugc_sim::{
+    estimate_cheat_success_fast_parallel, wilson_interval, DetectionExperiment, Parallelism, Table,
+};
 
 fn main() {
     const EPSILON: f64 = 1e-4;
     const TRIALS: u32 = 200_000;
+    // 200k trials per grid cell: shard them over every available core
+    // (bit-identical to the serial sweep).
+    let parallelism = Parallelism::default();
 
     println!("Figure 2 — required sample size vs honesty ratio (ε = {EPSILON:.0e})");
     println!("Paper anchors: r=0.5,q=0.5 → 33 samples; r=0.5,q≈0 → 14 samples.\n");
@@ -39,14 +44,17 @@ fn main() {
         for q in [0.0, 0.5] {
             let m = required_sample_size(EPSILON, r, q).expect("r < 1 always has a finite m");
             let theory = cheat_success_probability(r, q, m);
-            let est = estimate_cheat_success_fast(&DetectionExperiment {
-                domain_size: 0,
-                samples: m as usize,
-                honesty_ratio: r,
-                guess_quality: q,
-                trials: TRIALS,
-                seed: 0x0f16_2000 ^ (u64::from(r10) * 131) ^ ((q * 10.0) as u64 * 7919),
-            });
+            let est = estimate_cheat_success_fast_parallel(
+                &DetectionExperiment {
+                    domain_size: 0,
+                    samples: m as usize,
+                    honesty_ratio: r,
+                    guess_quality: q,
+                    trials: TRIALS,
+                    seed: 0x0f16_2000 ^ (u64::from(r10) * 131) ^ ((q * 10.0) as u64 * 7919),
+                },
+                parallelism,
+            );
             // 99.99% Wilson band: 18 independent cells must all pass, so
             // per-cell acceptance needs a low false-alarm rate.
             let (lo, hi) = wilson_interval(u64::from(est.successes), u64::from(TRIALS), 3.89);

@@ -67,3 +67,7 @@ pub use orchestrator::{
     run_campaign, run_fleet, CampaignSummary, FleetConfig, FleetMember, FleetScheme, FleetSummary,
 };
 pub use outcome::{ParticipantStorage, RoundOutcome, Verdict};
+// The thread-count knob behind every parallel path (tree builds here, the
+// Monte-Carlo shards in `ugc-sim`); re-exported so scheme users need not
+// depend on `ugc-merkle` directly.
+pub use ugc_merkle::Parallelism;

@@ -7,11 +7,12 @@
 //! a fleet-level summary. It is the entry point a downstream project
 //! (a SETI@home, a screening grid) would actually call.
 
-use crate::scheme::cbs::{run_cbs, CbsConfig};
-use crate::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
+use crate::scheme::cbs::{run_cbs_with, CbsConfig};
+use crate::scheme::ni_cbs::{run_ni_cbs_with, NiCbsConfig};
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use ugc_grid::WorkerBehaviour;
 use ugc_hash::HashFunction;
+use ugc_merkle::Parallelism;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 /// Which commitment-based scheme the fleet round uses.
@@ -44,6 +45,11 @@ pub struct FleetConfig {
     pub storage: ParticipantStorage,
     /// Base seed; participant `i` gets a derived seed.
     pub seed: u64,
+    /// Per-participant tree-build parallelism
+    /// ([`Parallelism::default()`] = one thread per available core).
+    /// Results are bit-identical at any setting; only wall-clock time
+    /// changes.
+    pub parallelism: Parallelism,
 }
 
 /// One participant's slice of the fleet round.
@@ -162,12 +168,13 @@ where
                     FleetScheme::Cbs {
                         samples,
                         report_audit,
-                    } => run_cbs::<H, _, _, _>(
+                    } => run_cbs_with::<H, _, _, _>(
                         task,
                         screener,
                         *share,
                         behaviour,
                         cfg.storage,
+                        cfg.parallelism,
                         &CbsConfig {
                             task_id: i as u64,
                             samples,
@@ -179,12 +186,13 @@ where
                         samples,
                         g_iterations,
                         report_audit,
-                    } => run_ni_cbs::<H, _, _, _>(
+                    } => run_ni_cbs_with::<H, _, _, _>(
                         task,
                         screener,
                         *share,
                         behaviour,
                         cfg.storage,
+                        cfg.parallelism,
                         &NiCbsConfig {
                             task_id: i as u64,
                             samples,
@@ -337,6 +345,7 @@ mod tests {
             scheme,
             storage: ParticipantStorage::Full,
             seed: 99,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -475,6 +484,7 @@ mod tests {
                 },
                 storage: ParticipantStorage::Full,
                 seed: 8,
+                parallelism: Parallelism::default(),
             },
             4,
         )
@@ -507,6 +517,7 @@ mod tests {
                 },
                 storage: ParticipantStorage::Full,
                 seed: 2,
+                parallelism: Parallelism::default(),
             },
             3,
         )
@@ -536,6 +547,7 @@ mod tests {
                 },
                 storage: ParticipantStorage::Full,
                 seed: 4,
+                parallelism: Parallelism::default(),
             },
             3,
         )
@@ -562,6 +574,7 @@ mod tests {
                 },
                 storage: ParticipantStorage::Full,
                 seed: 1,
+                parallelism: Parallelism::default(),
             },
             0,
         )
@@ -589,6 +602,7 @@ mod tests {
                     },
                     storage: ParticipantStorage::Full,
                     seed,
+                    parallelism: Parallelism::default(),
                 },
             )
             .unwrap();

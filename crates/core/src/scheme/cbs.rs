@@ -26,8 +26,12 @@ use crate::scheme::{
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour};
 use ugc_hash::HashFunction;
-use ugc_merkle::{MerkleTree, PartialMerkleTree};
+use ugc_merkle::{MerkleTree, Parallelism, PartialMerkleTree};
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+/// Below this many leaves a parallel tree build is not worth the thread
+/// spawns; the scheme layer falls back to the serial build.
+pub(crate) const PARALLEL_BUILD_MIN_LEAVES: usize = 1 << 10;
 
 /// Interactive CBS parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,18 +66,28 @@ pub(crate) enum ParticipantTree<H: HashFunction> {
 impl<H: HashFunction> ParticipantTree<H> {
     /// Builds the tree from materialised leaves, charging hash operations.
     ///
+    /// Full-storage trees over at least [`PARALLEL_BUILD_MIN_LEAVES`]
+    /// leaves build in parallel per `parallelism` (bit-identical roots);
+    /// the ledger records both the total hash work and the critical-path
+    /// cost actually paid.
+    ///
     /// In partial mode the leaves are *dropped* after commitment — that is
     /// the point of Section 3.3 — so proofs later recompute them through
     /// the behaviour (charging `f` again, exactly as the paper accounts).
     pub(crate) fn build(
         leaves: &[Vec<u8>],
         storage: ParticipantStorage,
+        parallelism: Parallelism,
         ledger: &CostLedger,
     ) -> Result<Self, SchemeError> {
         match storage {
             ParticipantStorage::Full => {
-                let tree = MerkleTree::build(leaves)?;
-                ledger.charge_hash(tree.hash_ops());
+                let tree = if parallelism.get() > 1 && leaves.len() >= PARALLEL_BUILD_MIN_LEAVES {
+                    MerkleTree::build_parallel(leaves, parallelism)?
+                } else {
+                    MerkleTree::build(leaves)?
+                };
+                ledger.charge_hash_parallel(tree.hash_ops(), tree.hash_ops_wall());
                 Ok(ParticipantTree::Full(tree))
             }
             ParticipantStorage::Partial { subtree_height } => {
@@ -131,10 +145,9 @@ impl<H: HashFunction> ParticipantTree<H> {
     }
 }
 
-/// Runs the participant side of interactive CBS over `endpoint`.
-///
-/// Blocks until the round completes (Assign → Commit → Challenge → Proofs
-/// → Verdict). All computation costs are charged to `ledger`.
+/// Runs the participant side of interactive CBS over `endpoint`, building
+/// the commitment tree with the default parallelism (one thread per
+/// available core); see [`participant_cbs_with`].
 ///
 /// # Errors
 ///
@@ -153,6 +166,42 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
+    participant_cbs_with::<H, T, S, B>(
+        endpoint,
+        task,
+        screener,
+        behaviour,
+        storage,
+        Parallelism::default(),
+        ledger,
+    )
+}
+
+/// Runs the participant side of interactive CBS over `endpoint`.
+///
+/// Blocks until the round completes (Assign → Commit → Challenge → Proofs
+/// → Verdict). All computation costs are charged to `ledger`; the
+/// commitment tree builds with up to `parallelism` threads (bit-identical
+/// to the serial build).
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or Merkle errors.
+pub fn participant_cbs_with<H, T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    storage: ParticipantStorage,
+    parallelism: Parallelism,
+    ledger: &CostLedger,
+) -> Result<ParticipantRun, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
     // Step 0: receive the assignment.
     let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
         Message::Assign(a) => Ok(a),
@@ -163,7 +212,7 @@ where
 
     // Step 1: evaluate (honestly or not), build the tree, commit Φ(R).
     let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
-    let tree = ParticipantTree::<H>::build(&leaves, storage, ledger)?;
+    let tree = ParticipantTree::<H>::build(&leaves, storage, parallelism, ledger)?;
     if matches!(storage, ParticipantStorage::Partial { .. }) {
         // Section 3.3: the full leaf set is not retained.
         drop(leaves);
@@ -364,20 +413,54 @@ pub fn verify_round<H: HashFunction>(
     Ok(Verdict::Accepted)
 }
 
-/// Runs a complete interactive CBS round in-process: supervisor on the
-/// calling thread, participant on a scoped thread, duplex link between
-/// them. Returns full cost and traffic accounting.
+/// Runs a complete interactive CBS round in-process with the default
+/// tree-build parallelism (one thread per available core); see
+/// [`run_cbs_with`].
 ///
 /// # Errors
 ///
-/// Propagates the supervisor's error if both sides fail (the participant's
-/// failure is almost always a consequence).
+/// As [`run_cbs_with`].
 pub fn run_cbs<H, T, S, B>(
     task: &T,
     screener: &S,
     domain: Domain,
     behaviour: &B,
     storage: ParticipantStorage,
+    config: &CbsConfig,
+) -> Result<RoundOutcome, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    run_cbs_with::<H, T, S, B>(
+        task,
+        screener,
+        domain,
+        behaviour,
+        storage,
+        Parallelism::default(),
+        config,
+    )
+}
+
+/// Runs a complete interactive CBS round in-process: supervisor on the
+/// calling thread, participant on a scoped thread, duplex link between
+/// them. The participant's commitment tree builds with up to
+/// `parallelism` threads. Returns full cost and traffic accounting.
+///
+/// # Errors
+///
+/// Propagates the supervisor's error if both sides fail (the participant's
+/// failure is almost always a consequence).
+pub fn run_cbs_with<H, T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    behaviour: &B,
+    storage: ParticipantStorage,
+    parallelism: Parallelism,
     config: &CbsConfig,
 ) -> Result<RoundOutcome, SchemeError>
 where
@@ -395,12 +478,13 @@ where
         // completion) drops it and unblocks a supervisor mid-recv.
         let thread_ledger = part_ledger.clone();
         let part_handle = scope.spawn(move || {
-            participant_cbs::<H, T, S, B>(
+            participant_cbs_with::<H, T, S, B>(
                 &part_ep,
                 task,
                 screener,
                 behaviour,
                 storage,
+                parallelism,
                 &thread_ledger,
             )
         });
@@ -565,6 +649,52 @@ mod tests {
         )
         .unwrap();
         assert!(!outcome.accepted);
+    }
+
+    #[test]
+    fn parallel_tree_build_wired_through_run_cbs_with() {
+        // Domain ≥ PARALLEL_BUILD_MIN_LEAVES with >1 thread takes the
+        // parallel branch of ParticipantTree::build; the verdict and the
+        // total hash count must match the serial round, while the wall
+        // accounting must show the split.
+        let task = PasswordSearch::with_hidden_password(4, 99);
+        let screener = task.match_screener();
+        let domain = Domain::new(0, PARALLEL_BUILD_MIN_LEAVES as u64 * 2);
+        let serial = run_cbs_with::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            domain,
+            &HonestWorker,
+            ParticipantStorage::Full,
+            Parallelism::serial(),
+            &config(8, 3),
+        )
+        .unwrap();
+        let parallel = run_cbs_with::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            domain,
+            &HonestWorker,
+            ParticipantStorage::Full,
+            Parallelism::threads(4),
+            &config(8, 3),
+        )
+        .unwrap();
+        assert!(serial.accepted && parallel.accepted);
+        assert_eq!(
+            serial.participant_costs.hash_ops, parallel.participant_costs.hash_ops,
+            "total hash work must not depend on the thread count"
+        );
+        assert_eq!(
+            serial.participant_costs.hash_wall_ops,
+            serial.participant_costs.hash_ops
+        );
+        assert!(
+            parallel.participant_costs.hash_wall_ops < parallel.participant_costs.hash_ops,
+            "parallel build must record a shorter critical path: wall {} vs total {}",
+            parallel.participant_costs.hash_wall_ops,
+            parallel.participant_costs.hash_ops
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use ugc_grid::{
     duplex, Assignment, CostLedger, Endpoint, Message, SemiHonestCheater, WorkerBehaviour,
 };
 use ugc_hash::{HashFunction, IteratedHash};
-use ugc_merkle::MerkleTree;
+use ugc_merkle::{MerkleTree, Parallelism};
 use ugc_task::{ComputeTask, Domain, Guesser, ScreenReport, Screener};
 
 /// Non-interactive CBS parameters.
@@ -41,8 +41,9 @@ pub struct NiCbsConfig {
     pub audit_seed: u64,
 }
 
-/// Runs the participant side of NI-CBS: evaluate, commit, self-derive
-/// samples, prove, ship everything in one shot.
+/// Runs the participant side of NI-CBS with the default tree-build
+/// parallelism (one thread per available core); see
+/// [`participant_ni_cbs_with`].
 ///
 /// # Errors
 ///
@@ -62,6 +63,42 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
+    participant_ni_cbs_with::<H, T, S, B>(
+        endpoint,
+        task,
+        screener,
+        behaviour,
+        storage,
+        Parallelism::default(),
+        config,
+        ledger,
+    )
+}
+
+/// Runs the participant side of NI-CBS: evaluate, commit, self-derive
+/// samples, prove, ship everything in one shot. The commitment tree
+/// builds with up to `parallelism` threads (bit-identical to serial).
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or Merkle errors.
+#[allow(clippy::too_many_arguments)]
+pub fn participant_ni_cbs_with<H, T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    storage: ParticipantStorage,
+    parallelism: Parallelism,
+    config: &NiCbsConfig,
+    ledger: &CostLedger,
+) -> Result<bool, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
     let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
         Message::Assign(a) => Ok(a),
         other => Err(other),
@@ -70,7 +107,7 @@ where
     let task_id = assignment.task_id;
 
     let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
-    let tree = ParticipantTree::<H>::build(&leaves, storage, ledger)?;
+    let tree = ParticipantTree::<H>::build(&leaves, storage, parallelism, ledger)?;
     if matches!(storage, ParticipantStorage::Partial { .. }) {
         drop(leaves);
     }
@@ -194,18 +231,51 @@ where
     Ok((verdict, reports))
 }
 
-/// Runs a complete NI-CBS round in-process (supervisor + scoped-thread
-/// participant over a duplex link).
+/// Runs a complete NI-CBS round in-process with the default tree-build
+/// parallelism (one thread per available core); see [`run_ni_cbs_with`].
 ///
 /// # Errors
 ///
-/// Propagates the supervisor's error if both sides fail.
+/// As [`run_ni_cbs_with`].
 pub fn run_ni_cbs<H, T, S, B>(
     task: &T,
     screener: &S,
     domain: Domain,
     behaviour: &B,
     storage: ParticipantStorage,
+    config: &NiCbsConfig,
+) -> Result<RoundOutcome, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    run_ni_cbs_with::<H, T, S, B>(
+        task,
+        screener,
+        domain,
+        behaviour,
+        storage,
+        Parallelism::default(),
+        config,
+    )
+}
+
+/// Runs a complete NI-CBS round in-process (supervisor + scoped-thread
+/// participant over a duplex link); the participant's commitment tree
+/// builds with up to `parallelism` threads.
+///
+/// # Errors
+///
+/// Propagates the supervisor's error if both sides fail.
+pub fn run_ni_cbs_with<H, T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    behaviour: &B,
+    storage: ParticipantStorage,
+    parallelism: Parallelism,
     config: &NiCbsConfig,
 ) -> Result<RoundOutcome, SchemeError>
 where
@@ -223,12 +293,13 @@ where
         // completion) drops it and unblocks a supervisor mid-recv.
         let thread_ledger = part_ledger.clone();
         let part_handle = scope.spawn(move || {
-            participant_ni_cbs::<H, T, S, B>(
+            participant_ni_cbs_with::<H, T, S, B>(
                 &part_ep,
                 task,
                 screener,
                 behaviour,
                 storage,
+                parallelism,
                 config,
                 &thread_ledger,
             )

@@ -13,6 +13,7 @@ use std::sync::Arc;
 struct Inner {
     f_evals: AtomicU64,
     hash_ops: AtomicU64,
+    hash_wall_ops: AtomicU64,
     g_evals: AtomicU64,
     verify_ops: AtomicU64,
 }
@@ -48,9 +49,27 @@ impl CostLedger {
         self.inner.f_evals.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Charges `n` unit hash invocations (tree building, path checks).
+    /// Charges `n` unit hash invocations (tree building, path checks)
+    /// performed serially: total work and critical path coincide.
     pub fn charge_hash(&self, n: u64) {
         self.inner.hash_ops.fetch_add(n, Ordering::Relaxed);
+        self.inner.hash_wall_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges a parallel batch of hash invocations: `total` unit hashes
+    /// of work, of which only `wall` were on the critical path (the
+    /// longest chain any single thread computed). Keeps the paper's
+    /// `2n − 1`-style work accounting exact under parallel tree builds
+    /// while also tracking what the wall clock actually paid.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `wall > total` — a critical path cannot
+    /// exceed the total work.
+    pub fn charge_hash_parallel(&self, total: u64, wall: u64) {
+        debug_assert!(wall <= total, "critical path {wall} exceeds total {total}");
+        self.inner.hash_ops.fetch_add(total, Ordering::Relaxed);
+        self.inner.hash_wall_ops.fetch_add(wall, Ordering::Relaxed);
     }
 
     /// Charges `n` unit-hash invocations spent inside the sample generator
@@ -70,6 +89,7 @@ impl CostLedger {
         CostReport {
             f_evals: self.inner.f_evals.load(Ordering::Relaxed),
             hash_ops: self.inner.hash_ops.load(Ordering::Relaxed),
+            hash_wall_ops: self.inner.hash_wall_ops.load(Ordering::Relaxed),
             g_evals: self.inner.g_evals.load(Ordering::Relaxed),
             verify_ops: self.inner.verify_ops.load(Ordering::Relaxed),
         }
@@ -79,6 +99,7 @@ impl CostLedger {
     pub fn reset(&self) {
         self.inner.f_evals.store(0, Ordering::Relaxed);
         self.inner.hash_ops.store(0, Ordering::Relaxed);
+        self.inner.hash_wall_ops.store(0, Ordering::Relaxed);
         self.inner.g_evals.store(0, Ordering::Relaxed);
         self.inner.verify_ops.store(0, Ordering::Relaxed);
     }
@@ -89,8 +110,13 @@ impl CostLedger {
 pub struct CostReport {
     /// Task-function evaluations.
     pub f_evals: u64,
-    /// Unit hash invocations.
+    /// Unit hash invocations (total work, regardless of parallelism).
     pub hash_ops: u64,
+    /// Critical-path hash invocations: what the wall clock paid. Equals
+    /// [`hash_ops`](Self::hash_ops) when every hash was charged serially;
+    /// smaller when parallel tree builds charged via
+    /// [`CostLedger::charge_hash_parallel`].
+    pub hash_wall_ops: u64,
     /// Unit hashes spent in the sample generator `g`.
     pub g_evals: u64,
     /// Supervisor-side result verifications.
@@ -104,6 +130,7 @@ impl CostReport {
         CostReport {
             f_evals: self.f_evals + other.f_evals,
             hash_ops: self.hash_ops + other.hash_ops,
+            hash_wall_ops: self.hash_wall_ops + other.hash_wall_ops,
             g_evals: self.g_evals + other.g_evals,
             verify_ops: self.verify_ops + other.verify_ops,
         }
@@ -116,7 +143,11 @@ impl core::fmt::Display for CostReport {
             f,
             "f={} hash={} g={} verify={}",
             self.f_evals, self.hash_ops, self.g_evals, self.verify_ops
-        )
+        )?;
+        if self.hash_wall_ops != self.hash_ops {
+            write!(f, " hash_wall={}", self.hash_wall_ops)?;
+        }
+        Ok(())
     }
 }
 
@@ -137,9 +168,25 @@ mod tests {
             CostReport {
                 f_evals: 7,
                 hash_ops: 10,
+                hash_wall_ops: 10,
                 g_evals: 5,
                 verify_ops: 2
             }
+        );
+    }
+
+    #[test]
+    fn parallel_hash_charge_splits_work_and_wall() {
+        let l = CostLedger::new();
+        l.charge_hash(5);
+        l.charge_hash_parallel(1023, 130);
+        let report = l.report();
+        assert_eq!(report.hash_ops, 1028);
+        assert_eq!(report.hash_wall_ops, 135);
+        // The wall-clock divergence shows up in the display.
+        assert_eq!(
+            report.to_string(),
+            "f=0 hash=1028 g=0 verify=0 hash_wall=135"
         );
     }
 
@@ -164,12 +211,14 @@ mod tests {
         let a = CostReport {
             f_evals: 1,
             hash_ops: 2,
+            hash_wall_ops: 2,
             g_evals: 3,
             verify_ops: 4,
         };
         let b = CostReport {
             f_evals: 10,
             hash_ops: 20,
+            hash_wall_ops: 15,
             g_evals: 30,
             verify_ops: 40,
         };
@@ -178,6 +227,7 @@ mod tests {
             CostReport {
                 f_evals: 11,
                 hash_ops: 22,
+                hash_wall_ops: 17,
                 g_evals: 33,
                 verify_ops: 44
             }

@@ -68,13 +68,13 @@ impl<H: HashFunction> IteratedHash<H> {
 
     /// Applies `g` to `input`: hashes once, then re-hashes the digest
     /// `iterations - 1` more times.
+    ///
+    /// Routed through [`HashFunction::digest_iterated`], whose per-algorithm
+    /// overrides run the re-hash loop in place on a reused stack block —
+    /// the hot path of NI-CBS sample derivation.
     #[must_use]
     pub fn apply(&self, input: &[u8]) -> H::Digest {
-        let mut digest = H::digest(input);
-        for _ in 1..self.iterations {
-            digest = H::digest(digest.as_ref());
-        }
-        digest
+        H::digest_iterated(input, self.iterations)
     }
 }
 

@@ -120,11 +120,28 @@ pub trait HashFunction: Clone + Send + Sync + 'static {
     ///
     /// This is the Merkle-tree inner-node operation
     /// `Φ(V) = hash(Φ(V_left) || Φ(V_right))` from Eq. (1) of the paper.
+    /// [`Md5`], [`Sha1`] and [`Sha256`] override the default streaming
+    /// implementation with a zero-copy fast path that assembles the padded
+    /// final block(s) on the stack — inner nodes hash exactly two digests,
+    /// so the padding layout is known up front and no streaming-state
+    /// buffer shuffling (or heap allocation) is needed.
     fn digest_pair(a: &[u8], b: &[u8]) -> Self::Digest {
-        let mut st = Self::new_state();
-        Self::update(&mut st, a);
-        Self::update(&mut st, b);
-        Self::finalize(st)
+        streaming_digest_pair::<Self>(a, b)
+    }
+
+    /// Applies the hash `iterations` times: `H(H(…H(input)…))`.
+    ///
+    /// This is the inner loop of the hardened sample generator
+    /// `g = H^k` (Section 4.2 of the paper). [`Md5`], [`Sha1`] and
+    /// [`Sha256`] override the default with an in-place loop that reuses
+    /// one stack block across iterations: a digest always re-hashes as a
+    /// single padded block whose padding bytes never change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0` (`H^0` would be the identity).
+    fn digest_iterated(input: &[u8], iterations: u64) -> Self::Digest {
+        streaming_digest_iterated::<Self>(input, iterations)
     }
 
     /// Converts a digest into a `u64` by reading its first 8 bytes
@@ -140,6 +157,49 @@ pub trait HashFunction: Clone + Send + Sync + 'static {
         buf[..take].copy_from_slice(&bytes[..take]);
         u64::from_le_bytes(buf)
     }
+}
+
+/// Reference implementation of [`HashFunction::digest_pair`] through the
+/// generic streaming state.
+///
+/// The concrete algorithms override `digest_pair` with stack-assembled
+/// fast paths; this function keeps the unspecialised path callable so
+/// tests and benchmarks can compare the two.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_hash::{streaming_digest_pair, HashFunction, Sha256};
+///
+/// assert_eq!(
+///     streaming_digest_pair::<Sha256>(b"ab", b"c"),
+///     Sha256::digest_pair(b"ab", b"c"),
+/// );
+/// ```
+pub fn streaming_digest_pair<H: HashFunction>(a: &[u8], b: &[u8]) -> H::Digest {
+    let mut st = H::new_state();
+    H::update(&mut st, a);
+    H::update(&mut st, b);
+    H::finalize(st)
+}
+
+/// Reference implementation of [`HashFunction::digest_iterated`] as a
+/// plain re-digest loop, kept callable for tests and benchmarks (see
+/// [`streaming_digest_pair`]).
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+pub fn streaming_digest_iterated<H: HashFunction>(input: &[u8], iterations: u64) -> H::Digest {
+    assert!(
+        iterations > 0,
+        "digest_iterated requires at least 1 iteration"
+    );
+    let mut digest = H::digest(input);
+    for _ in 1..iterations {
+        digest = H::digest(digest.as_ref());
+    }
+    digest
 }
 
 /// Runtime-selectable hash algorithm.

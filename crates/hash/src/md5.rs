@@ -34,6 +34,54 @@ const K: [u32; 64] = [
     0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb, 0xeb86_d391,
 ];
 
+/// RFC 1321 initial state.
+const IV: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
+/// One MD5 compression round over a single 64-byte block.
+fn compress(h: &mut [u32; 4], block: &[u8; 64]) {
+    let mut m = [0u32; 16];
+    for (i, word) in m.iter_mut().enumerate() {
+        *word = u32::from_le_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    let [mut a, mut b, mut c, mut d] = *h;
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]),
+        );
+        a = tmp;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+}
+
+/// Serialises the working state into the little-endian digest.
+fn digest_from_words(h: &[u32; 4]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
 /// Streaming MD5 state.
 #[derive(Debug, Clone)]
 pub struct Md5State {
@@ -47,7 +95,7 @@ pub struct Md5State {
 impl Default for Md5State {
     fn default() -> Self {
         Md5State {
-            h: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            h: IV,
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -57,38 +105,7 @@ impl Default for Md5State {
 
 impl Md5State {
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut m = [0u32; 16];
-        for (i, word) in m.iter_mut().enumerate() {
-            *word = u32::from_le_bytes([
-                block[4 * i],
-                block[4 * i + 1],
-                block[4 * i + 2],
-                block[4 * i + 3],
-            ]);
-        }
-        let [mut a, mut b, mut c, mut d] = self.h;
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
-            );
-            a = tmp;
-        }
-        self.h[0] = self.h[0].wrapping_add(a);
-        self.h[1] = self.h[1].wrapping_add(b);
-        self.h[2] = self.h[2].wrapping_add(c);
-        self.h[3] = self.h[3].wrapping_add(d);
+        compress(&mut self.h, block);
     }
 
     fn absorb(&mut self, mut data: &[u8]) {
@@ -127,11 +144,7 @@ impl Md5State {
         self.absorb(&pad[..pad_len]);
         self.absorb(&bit_len.to_le_bytes());
         debug_assert_eq!(self.buf_len, 0);
-        let mut out = [0u8; 16];
-        for (i, word) in self.h.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
-        }
-        out
+        digest_from_words(&self.h)
     }
 }
 
@@ -172,6 +185,52 @@ impl HashFunction for Md5 {
 
     fn finalize(state: Md5State) -> [u8; 16] {
         state.complete()
+    }
+
+    /// Merkle inner-node fast path; see [`Sha256::digest_pair`](crate::Sha256)
+    /// — identical layout with MD5's compression, IV and little-endian
+    /// length.
+    fn digest_pair(a: &[u8], b: &[u8]) -> [u8; 16] {
+        let total = a.len() + b.len();
+        if total > 119 {
+            return crate::streaming_digest_pair::<Self>(a, b);
+        }
+        let mut buf = [0u8; 128];
+        buf[..a.len()].copy_from_slice(a);
+        buf[a.len()..total].copy_from_slice(b);
+        buf[total] = 0x80;
+        let end = if total < 56 { 64 } else { 128 };
+        buf[end - 8..end].copy_from_slice(&((total as u64) * 8).to_le_bytes());
+        let mut h = IV;
+        compress(&mut h, buf[..64].try_into().expect("64-byte block"));
+        if end == 128 {
+            compress(&mut h, buf[64..].try_into().expect("64-byte block"));
+        }
+        digest_from_words(&h)
+    }
+
+    /// `g = (MD5)^k` fast path — the paper's hardened sample generator —
+    /// reusing one stack block across iterations (a 16-byte digest always
+    /// re-hashes as a single padded block).
+    fn digest_iterated(input: &[u8], iterations: u64) -> [u8; 16] {
+        assert!(
+            iterations > 0,
+            "digest_iterated requires at least 1 iteration"
+        );
+        let mut digest = Self::digest(input);
+        if iterations == 1 {
+            return digest;
+        }
+        let mut block = [0u8; 64];
+        block[16] = 0x80;
+        block[56..].copy_from_slice(&128u64.to_le_bytes());
+        for _ in 1..iterations {
+            block[..16].copy_from_slice(&digest);
+            let mut h = IV;
+            compress(&mut h, &block);
+            digest = digest_from_words(&h);
+        }
+        digest
     }
 }
 
@@ -249,5 +308,30 @@ mod tests {
     #[test]
     fn digest_pair_is_concatenation() {
         assert_eq!(Md5::digest_pair(b"foo", b"bar"), Md5::digest(b"foobar"));
+    }
+
+    #[test]
+    fn digest_pair_fast_path_boundaries() {
+        for (la, lb) in [(0, 0), (16, 16), (27, 28), (28, 28), (60, 59), (64, 64)] {
+            let a = vec![0x7Eu8; la];
+            let b = vec![0xE7u8; lb];
+            let concat: Vec<u8> = [a.as_slice(), b.as_slice()].concat();
+            assert_eq!(
+                Md5::digest_pair(&a, &b),
+                Md5::digest(&concat),
+                "la={la} lb={lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_iterated_matches_loop() {
+        for k in [1u64, 2, 100] {
+            assert_eq!(
+                Md5::digest_iterated(b"seed", k),
+                crate::streaming_digest_iterated::<Md5>(b"seed", k),
+                "k={k}"
+            );
+        }
     }
 }

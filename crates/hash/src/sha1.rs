@@ -7,6 +7,65 @@
 
 use crate::HashFunction;
 
+/// FIPS 180-4 initial hash value.
+const IV: [u32; 5] = [
+    0x6745_2301,
+    0xefcd_ab89,
+    0x98ba_dcfe,
+    0x1032_5476,
+    0xc3d2_e1f0,
+];
+
+/// One SHA-1 compression round over a single 64-byte block.
+fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *h;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i / 20 {
+            0 => ((b & c) | (!b & d), 0x5a82_7999),
+            1 => (b ^ c ^ d, 0x6ed9_eba1),
+            2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+            _ => (b ^ c ^ d, 0xca62_c1d6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
+
+/// Serialises the working state into the big-endian digest.
+fn digest_from_words(h: &[u32; 5]) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
 /// Streaming SHA-1 state.
 #[derive(Debug, Clone)]
 pub struct Sha1State {
@@ -19,13 +78,7 @@ pub struct Sha1State {
 impl Default for Sha1State {
     fn default() -> Self {
         Sha1State {
-            h: [
-                0x6745_2301,
-                0xefcd_ab89,
-                0x98ba_dcfe,
-                0x1032_5476,
-                0xc3d2_e1f0,
-            ],
+            h: IV,
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -35,43 +88,7 @@ impl Default for Sha1State {
 
 impl Sha1State {
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes([
-                block[4 * i],
-                block[4 * i + 1],
-                block[4 * i + 2],
-                block[4 * i + 3],
-            ]);
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.h;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i / 20 {
-                0 => ((b & c) | (!b & d), 0x5a82_7999),
-                1 => (b ^ c ^ d, 0x6ed9_eba1),
-                2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
-                _ => (b ^ c ^ d, 0xca62_c1d6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        self.h[0] = self.h[0].wrapping_add(a);
-        self.h[1] = self.h[1].wrapping_add(b);
-        self.h[2] = self.h[2].wrapping_add(c);
-        self.h[3] = self.h[3].wrapping_add(d);
-        self.h[4] = self.h[4].wrapping_add(e);
+        compress(&mut self.h, block);
     }
 
     fn absorb(&mut self, mut data: &[u8]) {
@@ -108,11 +125,7 @@ impl Sha1State {
         self.absorb(&pad[..pad_len]);
         self.absorb(&bit_len.to_be_bytes());
         debug_assert_eq!(self.buf_len, 0);
-        let mut out = [0u8; 20];
-        for (i, word) in self.h.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
+        digest_from_words(&self.h)
     }
 }
 
@@ -153,6 +166,50 @@ impl HashFunction for Sha1 {
 
     fn finalize(state: Sha1State) -> [u8; 20] {
         state.complete()
+    }
+
+    /// Merkle inner-node fast path; see [`Sha256::digest_pair`](crate::Sha256)
+    /// — identical layout with SHA-1's compression and IV.
+    fn digest_pair(a: &[u8], b: &[u8]) -> [u8; 20] {
+        let total = a.len() + b.len();
+        if total > 119 {
+            return crate::streaming_digest_pair::<Self>(a, b);
+        }
+        let mut buf = [0u8; 128];
+        buf[..a.len()].copy_from_slice(a);
+        buf[a.len()..total].copy_from_slice(b);
+        buf[total] = 0x80;
+        let end = if total < 56 { 64 } else { 128 };
+        buf[end - 8..end].copy_from_slice(&((total as u64) * 8).to_be_bytes());
+        let mut h = IV;
+        compress(&mut h, buf[..64].try_into().expect("64-byte block"));
+        if end == 128 {
+            compress(&mut h, buf[64..].try_into().expect("64-byte block"));
+        }
+        digest_from_words(&h)
+    }
+
+    /// `g = H^k` fast path reusing one stack block across iterations (a
+    /// 20-byte digest always re-hashes as a single padded block).
+    fn digest_iterated(input: &[u8], iterations: u64) -> [u8; 20] {
+        assert!(
+            iterations > 0,
+            "digest_iterated requires at least 1 iteration"
+        );
+        let mut digest = Self::digest(input);
+        if iterations == 1 {
+            return digest;
+        }
+        let mut block = [0u8; 64];
+        block[20] = 0x80;
+        block[56..].copy_from_slice(&160u64.to_be_bytes());
+        for _ in 1..iterations {
+            block[..20].copy_from_slice(&digest);
+            let mut h = IV;
+            compress(&mut h, &block);
+            digest = digest_from_words(&h);
+        }
+        digest
     }
 }
 
@@ -214,5 +271,30 @@ mod tests {
             Sha1::digest_pair(b"grid", b"work"),
             Sha1::digest(b"gridwork")
         );
+    }
+
+    #[test]
+    fn digest_pair_fast_path_boundaries() {
+        for (la, lb) in [(0, 0), (20, 20), (27, 28), (28, 28), (60, 59), (64, 64)] {
+            let a = vec![0x11u8; la];
+            let b = vec![0x22u8; lb];
+            let concat: Vec<u8> = [a.as_slice(), b.as_slice()].concat();
+            assert_eq!(
+                Sha1::digest_pair(&a, &b),
+                Sha1::digest(&concat),
+                "la={la} lb={lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_iterated_matches_loop() {
+        for k in [1u64, 2, 9] {
+            assert_eq!(
+                Sha1::digest_iterated(b"seed", k),
+                crate::streaming_digest_iterated::<Sha1>(b"seed", k),
+                "k={k}"
+            );
+        }
     }
 }

@@ -26,6 +26,77 @@ const K: [u32; 64] = [
     0x90be_fffa, 0xa450_6ceb, 0xbef9_a3f7, 0xc671_78f2,
 ];
 
+/// FIPS 180-4 initial hash value.
+const IV: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// One SHA-256 compression round over a single 64-byte block.
+fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+/// Serialises the working state into the big-endian digest.
+fn digest_from_words(h: &[u32; 8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
 /// Streaming SHA-256 state.
 #[derive(Debug, Clone)]
 pub struct Sha256State {
@@ -38,16 +109,7 @@ pub struct Sha256State {
 impl Default for Sha256State {
     fn default() -> Self {
         Sha256State {
-            h: [
-                0x6a09_e667,
-                0xbb67_ae85,
-                0x3c6e_f372,
-                0xa54f_f53a,
-                0x510e_527f,
-                0x9b05_688c,
-                0x1f83_d9ab,
-                0x5be0_cd19,
-            ],
+            h: IV,
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -57,52 +119,7 @@ impl Default for Sha256State {
 
 impl Sha256State {
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes([
-                block[4 * i],
-                block[4 * i + 1],
-                block[4 * i + 2],
-                block[4 * i + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.h[0] = self.h[0].wrapping_add(a);
-        self.h[1] = self.h[1].wrapping_add(b);
-        self.h[2] = self.h[2].wrapping_add(c);
-        self.h[3] = self.h[3].wrapping_add(d);
-        self.h[4] = self.h[4].wrapping_add(e);
-        self.h[5] = self.h[5].wrapping_add(f);
-        self.h[6] = self.h[6].wrapping_add(g);
-        self.h[7] = self.h[7].wrapping_add(h);
+        compress(&mut self.h, block);
     }
 
     fn absorb(&mut self, mut data: &[u8]) {
@@ -139,11 +156,7 @@ impl Sha256State {
         self.absorb(&pad[..pad_len]);
         self.absorb(&bit_len.to_be_bytes());
         debug_assert_eq!(self.buf_len, 0);
-        let mut out = [0u8; 32];
-        for (i, word) in self.h.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
+        digest_from_words(&self.h)
     }
 }
 
@@ -184,6 +197,53 @@ impl HashFunction for Sha256 {
 
     fn finalize(state: Sha256State) -> [u8; 32] {
         state.complete()
+    }
+
+    /// Merkle inner-node fast path: `a || b` plus its padding is assembled
+    /// directly on the stack (at most two blocks for a total of ≤ 119
+    /// bytes), skipping the streaming state entirely.
+    fn digest_pair(a: &[u8], b: &[u8]) -> [u8; 32] {
+        let total = a.len() + b.len();
+        if total > 119 {
+            // total + 0x80 + 8-byte length no longer fits two blocks.
+            return crate::streaming_digest_pair::<Self>(a, b);
+        }
+        let mut buf = [0u8; 128];
+        buf[..a.len()].copy_from_slice(a);
+        buf[a.len()..total].copy_from_slice(b);
+        buf[total] = 0x80;
+        let end = if total < 56 { 64 } else { 128 };
+        buf[end - 8..end].copy_from_slice(&((total as u64) * 8).to_be_bytes());
+        let mut h = IV;
+        compress(&mut h, buf[..64].try_into().expect("64-byte block"));
+        if end == 128 {
+            compress(&mut h, buf[64..].try_into().expect("64-byte block"));
+        }
+        digest_from_words(&h)
+    }
+
+    /// `g = H^k` fast path: a 32-byte digest always re-hashes as a single
+    /// padded block whose padding bytes never change, so one stack block
+    /// is reused across all iterations.
+    fn digest_iterated(input: &[u8], iterations: u64) -> [u8; 32] {
+        assert!(
+            iterations > 0,
+            "digest_iterated requires at least 1 iteration"
+        );
+        let mut digest = Self::digest(input);
+        if iterations == 1 {
+            return digest;
+        }
+        let mut block = [0u8; 64];
+        block[32] = 0x80;
+        block[56..].copy_from_slice(&256u64.to_be_bytes());
+        for _ in 1..iterations {
+            block[..32].copy_from_slice(&digest);
+            let mut h = IV;
+            compress(&mut h, &block);
+            digest = digest_from_words(&h);
+        }
+        digest
     }
 }
 
@@ -252,6 +312,53 @@ mod tests {
     #[test]
     fn digest_pair_is_concatenation() {
         assert_eq!(Sha256::digest_pair(b"a", b"bc"), Sha256::digest(b"abc"));
+    }
+
+    #[test]
+    fn digest_pair_fast_path_boundaries() {
+        // One-block (< 56), two-block (56..=119) and streaming-fallback
+        // (> 119) totals, including the exact cut-overs.
+        for (la, lb) in [
+            (0, 0),
+            (32, 32),
+            (16, 16),
+            (27, 28), // 55: largest single block
+            (28, 28), // 56: smallest two-block
+            (60, 59), // 119: largest two-block
+            (60, 60), // 120: fallback
+            (100, 100),
+        ] {
+            let a = vec![0x3Cu8; la];
+            let b = vec![0xC3u8; lb];
+            let concat: Vec<u8> = [a.as_slice(), b.as_slice()].concat();
+            assert_eq!(
+                Sha256::digest_pair(&a, &b),
+                Sha256::digest(&concat),
+                "la={la} lb={lb}"
+            );
+            assert_eq!(
+                Sha256::digest_pair(&a, &b),
+                crate::streaming_digest_pair::<Sha256>(&a, &b),
+                "la={la} lb={lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_iterated_matches_loop() {
+        for k in [1u64, 2, 3, 17] {
+            assert_eq!(
+                Sha256::digest_iterated(b"seed", k),
+                crate::streaming_digest_iterated::<Sha256>(b"seed", k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 iteration")]
+    fn digest_iterated_rejects_zero() {
+        let _ = Sha256::digest_iterated(b"x", 0);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! digest equals hashing the concatenation.
 
 use proptest::prelude::*;
-use ugc_hash::{hex, Algorithm, HashChain, HashFunction, IteratedHash, Md5, Sha1, Sha256};
+use ugc_hash::{
+    hex, streaming_digest_iterated, streaming_digest_pair, Algorithm, HashChain, HashFunction,
+    IteratedHash, Md5, Sha1, Sha256,
+};
 
 fn chunked_digest<H: HashFunction>(data: &[u8], cuts: &[usize]) -> H::Digest {
     let mut st = H::new_state();
@@ -63,6 +66,37 @@ proptest! {
         let concat: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
         prop_assert_eq!(Sha256::digest_pair(&a, &b), Sha256::digest(&concat));
         prop_assert_eq!(Md5::digest_pair(&a, &b), Md5::digest(&concat));
+    }
+
+    #[test]
+    fn pair_digest_fast_path_equals_streaming(
+        a in proptest::collection::vec(any::<u8>(), 0..160),
+        b in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        // Lengths up to 320 cross both the one-/two-block boundary (56)
+        // and the stack fast-path cut-off (119) for every algorithm.
+        prop_assert_eq!(Md5::digest_pair(&a, &b), streaming_digest_pair::<Md5>(&a, &b));
+        prop_assert_eq!(Sha1::digest_pair(&a, &b), streaming_digest_pair::<Sha1>(&a, &b));
+        prop_assert_eq!(Sha256::digest_pair(&a, &b), streaming_digest_pair::<Sha256>(&a, &b));
+    }
+
+    #[test]
+    fn digest_iterated_fast_path_equals_streaming(
+        data in proptest::collection::vec(any::<u8>(), 0..96),
+        k in 1u64..32,
+    ) {
+        prop_assert_eq!(
+            Md5::digest_iterated(&data, k),
+            streaming_digest_iterated::<Md5>(&data, k)
+        );
+        prop_assert_eq!(
+            Sha1::digest_iterated(&data, k),
+            streaming_digest_iterated::<Sha1>(&data, k)
+        );
+        prop_assert_eq!(
+            Sha256::digest_iterated(&data, k),
+            streaming_digest_iterated::<Sha256>(&data, k)
+        );
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   commitment.
 //! * [`StreamingBuilder`] — computes the root with an `O(log n)` frontier,
 //!   so a participant never needs the whole tree in memory just to commit.
+//! * [`Parallelism`] — the thread-count knob behind
+//!   [`MerkleTree::build_parallel`] and
+//!   [`StreamingBuilder::parallel_root`]: the padded leaf row splits into
+//!   per-thread subtrees hashed independently, the top `log(threads)`
+//!   levels fold serially, and the result is bit-identical to the serial
+//!   build at any thread count.
 //! * [`PartialMerkleTree`] — the storage-usage improvement of Section 3.3:
 //!   store only the top `H − ℓ` levels and rebuild the height-`ℓ` subtree
 //!   containing a sample on demand, trading `O(2^ℓ)` recomputation for a
@@ -51,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod parallel;
 mod partial;
 mod persist;
 mod proof;
@@ -58,6 +65,7 @@ mod streaming;
 mod tree;
 
 pub use error::MerkleError;
+pub use parallel::Parallelism;
 pub use partial::{PartialMerkleTree, RebuildStats};
 pub use persist::PersistError;
 pub use proof::MerkleProof;

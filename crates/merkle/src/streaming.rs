@@ -6,7 +6,8 @@
 //! partial-storage tree of Section 3.3 this is what makes tasks with
 //! `|D| ≫ 2^30` feasible.
 
-use crate::{padded_leaf_count, MerkleError};
+use crate::parallel::subtree_chunks;
+use crate::{padded_leaf_count, MerkleError, Parallelism};
 use ugc_hash::{HashFunction, Sha256};
 
 /// Incremental Merkle-root builder with logarithmic memory.
@@ -156,6 +157,113 @@ impl<H: HashFunction> StreamingBuilder<H> {
         let root = self.frontier.pop().expect("exactly one root remains").1;
         Ok((root, self.hash_ops))
     }
+
+    /// The parallel finalize: computes the root `Φ(R)` (and the total hash
+    /// count) over a whole leaf slice using up to `parallelism` worker
+    /// threads, each streaming one power-of-two subtree of the padded row
+    /// through its own `O(log n)` frontier; the per-worker subtree roots
+    /// then fold serially.
+    ///
+    /// Bit-identical to pushing every leaf through one builder and calling
+    /// [`finalize_counted`](Self::finalize_counted), at any thread count,
+    /// and the reported hash count is exactly the serial count
+    /// (`padded − 1`).
+    ///
+    /// # Errors
+    ///
+    /// * [`MerkleError::EmptyTree`] if `leaves` is empty.
+    /// * [`MerkleError::ZeroLeafWidth`] if leaves are zero-length.
+    /// * [`MerkleError::MixedLeafWidth`] if leaves differ in width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ugc_merkle::{Parallelism, StreamingBuilder};
+    /// use ugc_hash::Sha256;
+    ///
+    /// let leaves: Vec<[u8; 8]> = (0u64..37).map(|x| x.to_le_bytes()).collect();
+    /// let mut serial: StreamingBuilder<Sha256> = StreamingBuilder::new();
+    /// for leaf in &leaves {
+    ///     serial.push(leaf)?;
+    /// }
+    /// let (root, ops) =
+    ///     StreamingBuilder::<Sha256>::parallel_root(&leaves, Parallelism::threads(4))?;
+    /// assert_eq!(root, serial.finalize()?);
+    /// assert_eq!(ops, 63); // padded(37) − 1
+    /// # Ok::<(), ugc_merkle::MerkleError>(())
+    /// ```
+    pub fn parallel_root<L: AsRef<[u8]> + Sync>(
+        leaves: &[L],
+        parallelism: Parallelism,
+    ) -> Result<(H::Digest, u64), MerkleError> {
+        let first = leaves.first().ok_or(MerkleError::EmptyTree)?;
+        let width = first.as_ref().len();
+        if width == 0 {
+            return Err(MerkleError::ZeroLeafWidth);
+        }
+        for (i, leaf) in leaves.iter().enumerate() {
+            if leaf.as_ref().len() != width {
+                return Err(MerkleError::MixedLeafWidth {
+                    expected: width,
+                    found: leaf.as_ref().len(),
+                    index: i as u64,
+                });
+            }
+        }
+        let n = leaves.len();
+        let padded = padded_leaf_count(n as u64);
+        let chunks = subtree_chunks(parallelism.get(), padded) as usize;
+        if chunks <= 1 {
+            let mut builder = Self::new();
+            for leaf in leaves {
+                builder.push(leaf.as_ref())?;
+            }
+            return builder.finalize_counted();
+        }
+        let chunk = (padded as usize) / chunks;
+        let zeros = vec![0u8; width];
+        let zeros = zeros.as_slice();
+        let mut subtree_roots: Vec<(H::Digest, u64)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunks)
+                .map(|t| {
+                    scope.spawn(move |_| {
+                        let mut builder: StreamingBuilder<H> = StreamingBuilder::new();
+                        let lo = t * chunk;
+                        for i in lo..lo + chunk {
+                            // Widths were validated above and the chunk is
+                            // a power of two, so pushes cannot fail and
+                            // the frontier collapses to a single digest.
+                            let leaf = leaves.get(i).map_or(zeros, AsRef::as_ref);
+                            builder.push(leaf).expect("validated leaf width");
+                        }
+                        debug_assert!(builder.pending_leaf.is_none());
+                        debug_assert_eq!(builder.frontier.len(), 1);
+                        let ops = builder.hash_ops;
+                        let root = builder.frontier.pop().expect("full subtree").1;
+                        (root, ops)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel root worker panicked"))
+                .collect()
+        })
+        .expect("parallel root scope");
+
+        let mut ops: u64 = subtree_roots.iter().map(|(_, o)| o).sum();
+        let mut level: Vec<H::Digest> = subtree_roots.drain(..).map(|(d, _)| d).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks_exact(2)
+                .map(|pair| {
+                    ops += 1;
+                    H::digest_pair(pair[0].as_ref(), pair[1].as_ref())
+                })
+                .collect();
+        }
+        Ok((level[0], ops))
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +353,44 @@ mod tests {
         // same work, some of it during finalize-padding.
         assert!(before_padding <= tree.hash_ops());
         assert_eq!(total_ops, tree.hash_ops());
+    }
+
+    #[test]
+    fn parallel_root_matches_serial_finalize() {
+        for n in [1u64, 2, 3, 5, 8, 17, 64, 100, 257] {
+            let ls = leaves(n);
+            let mut b: StreamingBuilder<Sha256> = StreamingBuilder::new();
+            for l in &ls {
+                b.push(l).unwrap();
+            }
+            let (serial_root, serial_ops) = b.finalize_counted().unwrap();
+            for threads in 1..=8usize {
+                let (root, ops) =
+                    StreamingBuilder::<Sha256>::parallel_root(&ls, Parallelism::threads(threads))
+                        .unwrap();
+                assert_eq!(root, serial_root, "n={n} threads={threads}");
+                assert_eq!(ops, serial_ops, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_root_validates_like_push() {
+        let par = Parallelism::threads(4);
+        let empty: Vec<[u8; 8]> = Vec::new();
+        assert_eq!(
+            StreamingBuilder::<Sha256>::parallel_root(&empty, par).unwrap_err(),
+            MerkleError::EmptyTree
+        );
+        let mixed: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![1]];
+        assert_eq!(
+            StreamingBuilder::<Sha256>::parallel_root(&mixed, par).unwrap_err(),
+            MerkleError::MixedLeafWidth {
+                expected: 3,
+                found: 1,
+                index: 1
+            }
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The full Merkle tree of Section 3.1 of the paper.
 
-use crate::{padded_leaf_count, MerkleError, MerkleProof};
+use crate::parallel::subtree_chunks;
+use crate::{padded_leaf_count, MerkleError, MerkleProof, Parallelism};
 use ugc_hash::{HashFunction, Sha256};
 
 /// A complete binary Merkle tree whose leaves are raw computation results.
@@ -46,10 +47,16 @@ pub struct MerkleTree<H: HashFunction = Sha256> {
     padded: u64,
     leaf_width: usize,
     hash_ops: u64,
+    /// Hash invocations on the build's critical path: the longest chain of
+    /// sequentially-dependent hashes. Equals `hash_ops` for serial builds.
+    hash_ops_wall: u64,
 }
 
 impl<H: HashFunction> MerkleTree<H> {
     /// Builds a tree over `leaves`, each leaf being one `f(x_i)` result.
+    ///
+    /// Leaf bytes are copied straight into the padded row — no per-leaf
+    /// allocation on this path.
     ///
     /// # Errors
     ///
@@ -57,22 +64,78 @@ impl<H: HashFunction> MerkleTree<H> {
     /// * [`MerkleError::ZeroLeafWidth`] if leaves are zero-length.
     /// * [`MerkleError::MixedLeafWidth`] if leaves differ in width.
     pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> Result<Self, MerkleError> {
+        let mut tree = Self::copy_leaves(leaves)?;
+        tree.hash_all();
+        Ok(tree)
+    }
+
+    /// Builds the same tree as [`build`](Self::build) using up to
+    /// `parallelism` worker threads.
+    ///
+    /// The padded leaf row splits into one power-of-two subtree per
+    /// worker; each worker hashes its subtree independently and the top
+    /// `log(workers)` levels fold serially. Every node digest — and
+    /// therefore the root, all proofs, and [`hash_ops`](Self::hash_ops) —
+    /// is bit-identical to the serial build at any thread count.
+    /// [`hash_ops_wall`](Self::hash_ops_wall) reports the critical-path
+    /// cost actually paid.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ugc_merkle::{MerkleTree, Parallelism};
+    /// use ugc_hash::Sha256;
+    ///
+    /// let leaves: Vec<[u8; 8]> = (0u64..100).map(|x| x.to_le_bytes()).collect();
+    /// let serial: MerkleTree<Sha256> = MerkleTree::build(&leaves)?;
+    /// let parallel: MerkleTree<Sha256> =
+    ///     MerkleTree::build_parallel(&leaves, Parallelism::threads(4))?;
+    /// assert_eq!(serial.root(), parallel.root());
+    /// # Ok::<(), ugc_merkle::MerkleError>(())
+    /// ```
+    pub fn build_parallel<L: AsRef<[u8]>>(
+        leaves: &[L],
+        parallelism: Parallelism,
+    ) -> Result<Self, MerkleError> {
+        let mut tree = Self::copy_leaves(leaves)?;
+        tree.hash_all_parallel(parallelism.get());
+        Ok(tree)
+    }
+
+    /// Validates widths and copies `leaves` into the zero-padded row;
+    /// digests are not yet computed.
+    fn copy_leaves<L: AsRef<[u8]>>(leaves: &[L]) -> Result<Self, MerkleError> {
         let first = leaves.first().ok_or(MerkleError::EmptyTree)?;
         let width = first.as_ref().len();
         if width == 0 {
             return Err(MerkleError::ZeroLeafWidth);
         }
-        for (i, leaf) in leaves.iter().enumerate() {
-            if leaf.as_ref().len() != width {
+        let n = leaves.len() as u64;
+        let padded = padded_leaf_count(n);
+        let mut row = vec![0u8; (padded as usize) * width];
+        for (i, (leaf, slot)) in leaves.iter().zip(row.chunks_exact_mut(width)).enumerate() {
+            let bytes = leaf.as_ref();
+            if bytes.len() != width {
                 return Err(MerkleError::MixedLeafWidth {
                     expected: width,
-                    found: leaf.as_ref().len(),
+                    found: bytes.len(),
                     index: i as u64,
                 });
             }
+            slot.copy_from_slice(bytes);
         }
-        Self::from_leaf_fn(leaves.len() as u64, width, |i| {
-            leaves[i as usize].as_ref().to_vec()
+        Ok(MerkleTree {
+            leaves: row,
+            nodes: Vec::new(),
+            leaf_count: n,
+            padded,
+            leaf_width: width,
+            hash_ops: 0,
+            hash_ops_wall: 0,
         })
     }
 
@@ -119,6 +182,7 @@ impl<H: HashFunction> MerkleTree<H> {
             padded,
             leaf_width,
             hash_ops: 0,
+            hash_ops_wall: 0,
         };
         tree.hash_all();
         Ok(tree)
@@ -144,6 +208,79 @@ impl<H: HashFunction> MerkleTree<H> {
         }
         self.nodes = nodes;
         self.hash_ops = ops;
+        self.hash_ops_wall = ops;
+    }
+
+    /// [`hash_all`](Self::hash_all) split over `threads` scoped workers:
+    /// one power-of-two subtree of the padded leaf row per worker, then a
+    /// serial fold of the top `log(workers)` levels. Digests are
+    /// bit-identical to the serial pass.
+    fn hash_all_parallel(&mut self, threads: usize) {
+        let padded = self.padded as usize;
+        let chunks = subtree_chunks(threads, self.padded) as usize;
+        if chunks <= 1 {
+            self.hash_all();
+            return;
+        }
+        let chunk = padded / chunks; // leaves per subtree; power of two ≥ 2
+        let width = self.leaf_width;
+        let leaves = &self.leaves;
+        let locals: Vec<(Vec<H::Digest>, u64)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunks)
+                .map(|t| {
+                    scope.spawn(move |_| {
+                        // Local binary heap over this worker's subtree:
+                        // index 0 unused, subtree root at 1.
+                        let mut local: Vec<H::Digest> = vec![H::digest(&[]); chunk];
+                        let mut ops = 0u64;
+                        let base = t * chunk;
+                        for s in 0..chunk / 2 {
+                            let off = (base + 2 * s) * width;
+                            let a = &leaves[off..off + width];
+                            let b = &leaves[off + width..off + 2 * width];
+                            local[chunk / 2 + s] = H::digest_pair(a, b);
+                            ops += 1;
+                        }
+                        for i in (1..chunk / 2).rev() {
+                            local[i] =
+                                H::digest_pair(local[2 * i].as_ref(), local[2 * i + 1].as_ref());
+                            ops += 1;
+                        }
+                        (local, ops)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merkle build worker panicked"))
+                .collect()
+        })
+        .expect("merkle build scope");
+
+        let mut nodes: Vec<H::Digest> = vec![H::digest(&[]); padded];
+        let mut total = 0u64;
+        let mut wall = 0u64;
+        for (t, (local, ops)) in locals.iter().enumerate() {
+            total += ops;
+            wall = wall.max(*ops);
+            // Scatter: local heap level [2^d, 2^{d+1}) lands at the global
+            // contiguous range starting at (chunks + t) · 2^d.
+            let mut level = 1usize;
+            while level < chunk {
+                let dst = (chunks + t) * level;
+                nodes[dst..dst + level].copy_from_slice(&local[level..2 * level]);
+                level *= 2;
+            }
+        }
+        // Fold the top log2(chunks) levels serially.
+        let mut top_ops = 0u64;
+        for i in (1..chunks).rev() {
+            nodes[i] = H::digest_pair(nodes[2 * i].as_ref(), nodes[2 * i + 1].as_ref());
+            top_ops += 1;
+        }
+        self.nodes = nodes;
+        self.hash_ops = total + top_ops;
+        self.hash_ops_wall = wall + top_ops;
     }
 
     fn leaf_slice(&self, padded_index: usize) -> &[u8] {
@@ -175,6 +312,7 @@ impl<H: HashFunction> MerkleTree<H> {
             padded,
             leaf_width,
             hash_ops: 0,
+            hash_ops_wall: 0,
         }
     }
 
@@ -212,10 +350,21 @@ impl<H: HashFunction> MerkleTree<H> {
     }
 
     /// Number of hash invocations performed to build the tree
-    /// (`padded − 1`).
+    /// (`padded − 1`), identical for serial and parallel builds.
     #[must_use]
     pub fn hash_ops(&self) -> u64 {
         self.hash_ops
+    }
+
+    /// Hash invocations on the build's critical path: the longest chain
+    /// of hashes any single thread computed. Equals
+    /// [`hash_ops`](Self::hash_ops) after a serial build; after
+    /// [`build_parallel`](Self::build_parallel) with `w` workers it is
+    /// roughly `hash_ops / w` plus the `w − 1` serial fold hashes — the
+    /// wall-clock hash cost the parallel build actually paid.
+    #[must_use]
+    pub fn hash_ops_wall(&self) -> u64 {
+        self.hash_ops_wall
     }
 
     /// The raw result bytes stored in leaf `index`.
@@ -289,6 +438,7 @@ impl<H: HashFunction> MerkleTree<H> {
             ops += 1;
         }
         self.hash_ops += ops;
+        self.hash_ops_wall += ops;
         Ok(ops)
     }
 
@@ -437,7 +587,90 @@ mod tests {
             let tree: MerkleTree<Sha256> =
                 MerkleTree::from_leaf_fn(n, 8, |i| i.to_le_bytes().to_vec()).unwrap();
             assert_eq!(tree.hash_ops(), tree.padded_leaf_count() - 1, "n={n}");
+            assert_eq!(tree.hash_ops_wall(), tree.hash_ops(), "n={n}");
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        for n in [1u64, 2, 3, 5, 16, 33, 100, 257] {
+            let ls = leaves(n);
+            let serial: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+            for threads in 1..=8usize {
+                let parallel: MerkleTree<Sha256> =
+                    MerkleTree::build_parallel(&ls, crate::Parallelism::threads(threads)).unwrap();
+                // Every internal node, not just the root.
+                for i in 1..serial.padded_leaf_count() {
+                    assert_eq!(
+                        serial.node_digest(i),
+                        parallel.node_digest(i),
+                        "n={n} threads={threads} node={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_reports_exact_section3_op_count() {
+        // Section 3: building over n leaves costs the 2n − 1 tree nodes
+        // minus the n leaves themselves — padded − 1 hash invocations —
+        // and the per-thread tallies merged at join must reproduce it
+        // exactly.
+        for n in [2u64, 7, 64, 100, 257] {
+            let ls = leaves(n);
+            for threads in [2usize, 3, 8] {
+                let tree: MerkleTree<Sha256> =
+                    MerkleTree::build_parallel(&ls, crate::Parallelism::threads(threads)).unwrap();
+                assert_eq!(
+                    tree.hash_ops(),
+                    tree.padded_leaf_count() - 1,
+                    "n={n} threads={threads}"
+                );
+                assert!(tree.hash_ops_wall() <= tree.hash_ops());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_wall_ops_reflect_the_split() {
+        // 256 padded leaves over 4 workers: each worker hashes 63 nodes,
+        // the fold hashes 3 more → wall = 66 while total = 255.
+        let ls = leaves(256);
+        let tree: MerkleTree<Sha256> =
+            MerkleTree::build_parallel(&ls, crate::Parallelism::threads(4)).unwrap();
+        assert_eq!(tree.hash_ops(), 255);
+        assert_eq!(tree.hash_ops_wall(), 66);
+    }
+
+    #[test]
+    fn parallel_build_validates_like_serial() {
+        let par = crate::Parallelism::threads(4);
+        let empty: Vec<[u8; 8]> = Vec::new();
+        assert_eq!(
+            MerkleTree::<Sha256>::build_parallel(&empty, par).unwrap_err(),
+            MerkleError::EmptyTree
+        );
+        let mixed: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(
+            MerkleTree::<Sha256>::build_parallel(&mixed, par).unwrap_err(),
+            MerkleError::MixedLeafWidth {
+                expected: 2,
+                found: 1,
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_build_update_leaf_still_works() {
+        let mut ls = leaves(64);
+        let mut tree: MerkleTree<Sha256> =
+            MerkleTree::build_parallel(&ls, crate::Parallelism::threads(8)).unwrap();
+        tree.update_leaf(17, &[5u8; 8]).unwrap();
+        ls[17] = [5u8; 8];
+        let rebuilt: MerkleTree<Sha256> = MerkleTree::build(&ls).unwrap();
+        assert_eq!(tree.root(), rebuilt.root());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use ugc_hash::{Md5, Sha256};
-use ugc_merkle::{MerkleProof, MerkleTree, PartialMerkleTree, StreamingBuilder};
+use ugc_merkle::{MerkleProof, MerkleTree, Parallelism, PartialMerkleTree, StreamingBuilder};
 
 fn arb_leaves() -> impl Strategy<Value = Vec<Vec<u8>>> {
     (1usize..64, 1usize..24).prop_flat_map(|(n, width)| {
@@ -47,6 +47,28 @@ proptest! {
         let mut root = tree.root();
         root[byte] ^= 1 << bit;
         prop_assert!(!proof.verify(&root, &leaves[i]));
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build(leaves in arb_leaves(), threads in 1usize..=8) {
+        let serial: MerkleTree<Sha256> = MerkleTree::build(&leaves).unwrap();
+        let parallel: MerkleTree<Sha256> =
+            MerkleTree::build_parallel(&leaves, Parallelism::threads(threads)).unwrap();
+        prop_assert_eq!(serial.root(), parallel.root());
+        prop_assert_eq!(serial.hash_ops(), parallel.hash_ops());
+        for i in 0..leaves.len() as u64 {
+            prop_assert_eq!(serial.prove(i).unwrap(), parallel.prove(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn streaming_parallel_root_equals_batch_root(leaves in arb_leaves(), threads in 1usize..=8) {
+        let tree: MerkleTree<Md5> = MerkleTree::build(&leaves).unwrap();
+        let (root, ops) =
+            StreamingBuilder::<Md5>::parallel_root(&leaves, Parallelism::threads(threads))
+                .unwrap();
+        prop_assert_eq!(root, tree.root());
+        prop_assert_eq!(ops, tree.hash_ops());
     }
 
     #[test]

@@ -37,8 +37,12 @@ mod stats;
 mod table;
 
 pub use montecarlo::{
-    estimate_cheat_success_fast, estimate_cheat_success_protocol,
-    estimate_cheat_success_protocol_parallel, DetectionExperiment, RateEstimate,
+    estimate_cheat_success_fast, estimate_cheat_success_fast_parallel,
+    estimate_cheat_success_protocol, estimate_cheat_success_protocol_parallel, DetectionExperiment,
+    RateEstimate,
 };
 pub use stats::{wilson_interval, Summary};
 pub use table::Table;
+// Convenience: experiment binaries shard trials with the same knob the
+// scheme layer uses for tree builds.
+pub use ugc_core::Parallelism;

@@ -3,12 +3,23 @@
 use crate::stats::wilson_interval;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
-use ugc_core::ParticipantStorage;
+use ugc_core::scheme::cbs::{run_cbs_with, CbsConfig};
+use ugc_core::{Parallelism, ParticipantStorage};
 use ugc_grid::{CheatSelection, SemiHonestCheater};
 use ugc_hash::Sha256;
 use ugc_task::workloads::PasswordSearch;
 use ugc_task::{Domain, LuckyGuesser};
+
+/// Seed for trial `t`, derived from the experiment's base seed.
+///
+/// Every trial — fast or full-protocol, serial or sharded — keys its own
+/// generator off this value, so an estimate is a pure function of
+/// `(experiment, trials)` regardless of how the trials are scheduled
+/// across threads.
+fn trial_seed(base: u64, t: u32) -> u64 {
+    base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(t))
+}
 
 /// One cell of the detection-probability sweep (a point on the Fig. 2 /
 /// Eq. 2 grids).
@@ -72,31 +83,78 @@ impl RateEstimate {
     }
 }
 
+/// One Theorem 3 sampling event, keyed entirely by `(exp.seed, t)`.
+fn fast_trial(exp: &DetectionExperiment, t: u32) -> bool {
+    let mut rng = StdRng::seed_from_u64(trial_seed(exp.seed, t));
+    for _ in 0..exp.samples {
+        let honest = rng.random::<f64>() < exp.honesty_ratio;
+        if !honest && rng.random::<f64>() >= exp.guess_quality {
+            return false;
+        }
+    }
+    true
+}
+
+fn validate_fast(exp: &DetectionExperiment) {
+    assert!(exp.trials > 0, "need at least one trial");
+    assert!((0.0..=1.0).contains(&exp.honesty_ratio), "r out of range");
+    assert!((0.0..=1.0).contains(&exp.guess_quality), "q out of range");
+}
+
 /// Fast path: simulates only the Theorem 3 event per trial — each of the
 /// `m` uniform samples survives iff it lands in `D′` (probability `r`) or
 /// the guess was lucky (probability `q`). Use for dense grids.
+///
+/// Each trial derives its own generator from the base seed, so the
+/// estimate is bit-identical to
+/// [`estimate_cheat_success_fast_parallel`] at any thread count.
 ///
 /// # Panics
 ///
 /// Panics if `trials == 0` or the probabilities are out of range.
 #[must_use]
 pub fn estimate_cheat_success_fast(exp: &DetectionExperiment) -> RateEstimate {
-    assert!(exp.trials > 0, "need at least one trial");
-    assert!((0.0..=1.0).contains(&exp.honesty_ratio), "r out of range");
-    assert!((0.0..=1.0).contains(&exp.guess_quality), "q out of range");
-    let mut rng = StdRng::seed_from_u64(exp.seed);
-    let mut survived = 0u32;
-    for _ in 0..exp.trials {
-        let mut ok = true;
-        for _ in 0..exp.samples {
-            let honest = rng.random::<f64>() < exp.honesty_ratio;
-            if !honest && rng.random::<f64>() >= exp.guess_quality {
-                ok = false;
-                break;
-            }
-        }
-        survived += u32::from(ok);
+    validate_fast(exp);
+    let survived = (0..exp.trials).map(|t| u32::from(fast_trial(exp, t))).sum();
+    RateEstimate::from_counts(survived, exp.trials)
+}
+
+/// [`estimate_cheat_success_fast`] with the trials sharded over
+/// `parallelism` worker threads. Deterministic: bit-identical counts to
+/// the serial path for the same base seed, at any thread count — only
+/// wall-clock time changes. This is the engine behind the Fig. 2
+/// reproduction's 200k-trials-per-cell sweeps.
+///
+/// # Panics
+///
+/// As the serial variant.
+#[must_use]
+pub fn estimate_cheat_success_fast_parallel(
+    exp: &DetectionExperiment,
+    parallelism: Parallelism,
+) -> RateEstimate {
+    validate_fast(exp);
+    let threads = (parallelism.get() as u32).min(exp.trials).max(1);
+    if threads == 1 {
+        return estimate_cheat_success_fast(exp);
     }
+    let survived = crossbeam::thread::scope(|scope| {
+        let per = exp.trials.div_ceil(threads);
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let exp = *exp;
+                scope.spawn(move |_| {
+                    let lo = w * per;
+                    let hi = (lo + per).min(exp.trials);
+                    (lo..hi)
+                        .map(|t| u32::from(fast_trial(&exp, t)))
+                        .sum::<u32>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+    .expect("monte-carlo scope");
     RateEstimate::from_counts(survived, exp.trials)
 }
 
@@ -116,58 +174,33 @@ pub fn estimate_cheat_success_fast(exp: &DetectionExperiment) -> RateEstimate {
 #[must_use]
 pub fn estimate_cheat_success_protocol(exp: &DetectionExperiment) -> RateEstimate {
     assert!(exp.trials > 0, "need at least one trial");
-    let mut survived = 0u32;
-    for t in 0..exp.trials {
-        let trial_seed = exp
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(u64::from(t));
-        let task = PasswordSearch::with_hidden_password(trial_seed, 0);
-        let guesser = LuckyGuesser::new(task.clone(), exp.guess_quality, trial_seed ^ 0xaa);
-        let cheater = SemiHonestCheater::new(
-            exp.honesty_ratio,
-            CheatSelection::Scattered,
-            guesser,
-            trial_seed ^ 0xbb,
-        );
-        let screener = task.match_screener();
-        let config = CbsConfig {
-            task_id: u64::from(t),
-            samples: exp.samples,
-            seed: trial_seed ^ 0xcc,
-            report_audit: 0,
-        };
-        let outcome = run_cbs::<Sha256, _, _, _>(
-            &task,
-            &screener,
-            Domain::new(0, exp.domain_size),
-            &cheater,
-            ParticipantStorage::Full,
-            &config,
-        )
-        .expect("in-process CBS round must not fail");
-        survived += u32::from(outcome.accepted);
-    }
+    let survived = (0..exp.trials)
+        .map(|t| u32::from(run_protocol_trial(exp, t)))
+        .sum();
     RateEstimate::from_counts(survived, exp.trials)
 }
 
 /// Parallel variant of [`estimate_cheat_success_protocol`]: splits the
-/// trials over `threads` workers. Deterministic — trial `t` derives the
-/// same seed regardless of which worker runs it.
+/// trials over `parallelism` workers. Deterministic — trial `t` derives
+/// the same seed regardless of which worker runs it, so the estimate is
+/// bit-identical to the serial path at any thread count.
 ///
 /// # Panics
 ///
-/// As the serial variant; additionally if `threads == 0`.
+/// As the serial variant.
 #[must_use]
 pub fn estimate_cheat_success_protocol_parallel(
     exp: &DetectionExperiment,
-    threads: usize,
+    parallelism: Parallelism,
 ) -> RateEstimate {
-    assert!(threads > 0, "need at least one thread");
     assert!(exp.trials > 0, "need at least one trial");
+    let threads = (parallelism.get() as u32).min(exp.trials).max(1);
+    if threads == 1 {
+        return estimate_cheat_success_protocol(exp);
+    }
     let survived = crossbeam::thread::scope(|scope| {
-        let per = exp.trials.div_ceil(threads as u32);
-        let handles: Vec<_> = (0..threads as u32)
+        let per = exp.trials.div_ceil(threads);
+        let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let exp = *exp;
                 scope.spawn(move |_| {
@@ -187,10 +220,7 @@ pub fn estimate_cheat_success_protocol_parallel(
 
 /// One full CBS round for trial `t`; `true` iff the cheater survived.
 fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
-    let trial_seed = exp
-        .seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(u64::from(t));
+    let trial_seed = trial_seed(exp.seed, t);
     let task = PasswordSearch::with_hidden_password(trial_seed, 0);
     let guesser = LuckyGuesser::new(task.clone(), exp.guess_quality, trial_seed ^ 0xaa);
     let cheater = SemiHonestCheater::new(
@@ -206,12 +236,16 @@ fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
         seed: trial_seed ^ 0xcc,
         report_audit: 0,
     };
-    run_cbs::<Sha256, _, _, _>(
+    // Serial tree build: the trial may already be running on a saturated
+    // shard thread, so nesting a multi-threaded build would oversubscribe
+    // the cores (parallelism lives at the trial level here).
+    run_cbs_with::<Sha256, _, _, _>(
         &task,
         &screener,
         Domain::new(0, exp.domain_size),
         &cheater,
         ParticipantStorage::Full,
+        Parallelism::serial(),
         &config,
     )
     .expect("in-process CBS round must not fail")
@@ -350,12 +384,54 @@ mod tests {
             seed: 21,
         };
         let serial = estimate_cheat_success_protocol(&exp);
-        for threads in [1usize, 2, 3, 8] {
-            let parallel = estimate_cheat_success_protocol_parallel(&exp, threads);
+        for threads in 1usize..=8 {
+            let parallel =
+                estimate_cheat_success_protocol_parallel(&exp, Parallelism::threads(threads));
             assert_eq!(
                 parallel.successes, serial.successes,
                 "threads={threads} diverged"
             );
         }
+    }
+
+    #[test]
+    fn sharded_fast_estimate_identical_to_serial() {
+        // The satellite requirement: for the same base seed the sharded
+        // Monte-Carlo estimate must be *identical* (not just statistically
+        // compatible) to the serial one, at every thread count.
+        for seed in [0u64, 7, 0xdead_beef] {
+            let exp = DetectionExperiment {
+                domain_size: 0,
+                samples: 9,
+                honesty_ratio: 0.6,
+                guess_quality: 0.2,
+                trials: 10_001, // odd: exercises ragged shard boundaries
+                seed,
+            };
+            let serial = estimate_cheat_success_fast(&exp);
+            for threads in 1usize..=8 {
+                let sharded =
+                    estimate_cheat_success_fast_parallel(&exp, Parallelism::threads(threads));
+                assert_eq!(
+                    sharded.successes, serial.successes,
+                    "seed={seed} threads={threads} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_parallel_handles_more_threads_than_trials() {
+        let exp = DetectionExperiment {
+            domain_size: 0,
+            samples: 2,
+            honesty_ratio: 0.5,
+            guess_quality: 0.0,
+            trials: 3,
+            seed: 1,
+        };
+        let serial = estimate_cheat_success_fast(&exp);
+        let sharded = estimate_cheat_success_fast_parallel(&exp, Parallelism::threads(64));
+        assert_eq!(serial.successes, sharded.successes);
     }
 }

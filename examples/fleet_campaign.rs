@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run --release --example fleet_campaign`
 
-use uncheatable_grid::core::{run_campaign, FleetConfig, FleetScheme, ParticipantStorage};
+use uncheatable_grid::core::{
+    run_campaign, FleetConfig, FleetScheme, Parallelism, ParticipantStorage,
+};
 use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour};
 use uncheatable_grid::hash::Sha256;
 use uncheatable_grid::task::workloads::DrugScreening;
@@ -50,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             storage: ParticipantStorage::Full,
             seed: 14,
+            parallelism: Parallelism::default(),
         },
         4,
     )?;

@@ -19,7 +19,7 @@ use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
 use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
 use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
 use uncheatable_grid::core::{
-    run_fleet, FleetConfig, FleetScheme, ParticipantStorage, RoundOutcome,
+    run_fleet, FleetConfig, FleetScheme, Parallelism, ParticipantStorage, RoundOutcome,
 };
 use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour};
 use uncheatable_grid::hash::Sha256;
@@ -335,6 +335,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             },
             storage: ParticipantStorage::Full,
             seed,
+            parallelism: Parallelism::default(),
         },
     )
     .map_err(|e| e.to_string())?;

@@ -6,9 +6,12 @@
 //! benchmark groups, `Bencher::iter`, `BenchmarkId`, and `Throughput`.
 //!
 //! Measurement is a deliberately small adaptive wall-clock loop — one
-//! line of output per benchmark, no statistics, no HTML reports. It is a
-//! smoke-timer, not a statistics engine; swap the real criterion back in
-//! for publishable numbers.
+//! line of output per benchmark, no HTML reports. Each benchmark runs
+//! [`PASSES`] independent timing passes and reports the **median**
+//! per-iteration time, so numbers are stable enough to compare across
+//! commits (a single sample is at the mercy of scheduler noise). It is
+//! still a smoke-timer, not a statistics engine; swap the real criterion
+//! back in for publishable numbers.
 
 #![forbid(unsafe_code)]
 
@@ -18,8 +21,11 @@ use std::time::{Duration, Instant};
 /// Re-export so benches can use `criterion::black_box`.
 pub use std::hint::black_box;
 
-/// Target wall-clock budget per benchmark.
+/// Target wall-clock budget per benchmark, split across [`PASSES`].
 const BUDGET: Duration = Duration::from_millis(20);
+
+/// Independent timing passes per benchmark; the median is reported.
+const PASSES: usize = 5;
 
 /// Entry point object handed to benchmark functions.
 #[derive(Debug, Default)]
@@ -70,31 +76,57 @@ pub enum Throughput {
 #[derive(Debug, Default)]
 pub struct Bencher {
     iters: u64,
-    elapsed: Duration,
+    /// Elapsed wall-clock time of each timing pass.
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Calls `routine` in an adaptive timing loop.
+    /// Calls `routine` in an adaptive timing loop: one warm-up call sizes
+    /// the per-pass iteration count, then [`PASSES`] independent passes
+    /// run so the median can be reported.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One untimed warm-up call also yields the per-iteration estimate.
         let start = Instant::now();
         black_box(routine());
         let first = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (BUDGET.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(routine());
-        }
-        self.elapsed = start.elapsed();
+        let per_pass = BUDGET / PASSES as u32;
+        let iters = (per_pass.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
         self.iters = iters;
+        self.samples.clear();
+        for _ in 0..PASSES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median per-iteration time in nanoseconds over the timing passes,
+    /// or `None` before [`iter`](Self::iter) ran. Exposed so harnesses
+    /// (e.g. the workspace's `bench_report` binary) can persist the
+    /// measurement instead of only printing it.
+    #[must_use]
+    pub fn median_ns_per_iter(&self) -> Option<f64> {
+        if self.iters == 0 || self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 0 {
+            (sorted[mid - 1] + sorted[mid]) / 2
+        } else {
+            sorted[mid]
+        };
+        Some(median.as_nanos() as f64 / self.iters as f64)
     }
 
     fn report(&self, label: &str, throughput: Option<Throughput>) {
-        if self.iters == 0 {
+        let Some(per_iter) = self.median_ns_per_iter() else {
             println!("{label:<40} (no measurement)");
             return;
-        }
-        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        };
         let rate = throughput.map(|t| match t {
             Throughput::Bytes(bytes) => {
                 format!(
@@ -107,7 +139,7 @@ impl Bencher {
             }
         });
         println!(
-            "{label:<40} {per_iter:>12.1} ns/iter{}",
+            "{label:<40} {per_iter:>12.1} ns/iter (median of {PASSES}){}",
             rate.unwrap_or_default()
         );
     }
@@ -230,6 +262,25 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn median_is_none_before_iter_and_positive_after() {
+        let mut b = Bencher::default();
+        assert_eq!(b.median_ns_per_iter(), None);
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        let median = b.median_ns_per_iter().expect("measured");
+        assert!(median > 0.0);
+        // A median of PASSES samples must lie within the sample range.
+        let per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / b.iters as f64)
+            .collect();
+        let lo = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = per_iter.iter().copied().fold(0.0f64, f64::max);
+        assert!(lo <= median && median <= hi, "{lo} <= {median} <= {hi}");
+        assert_eq!(b.samples.len(), PASSES);
     }
 
     #[test]
