@@ -1,23 +1,24 @@
 //! Records the performance baseline: runs the workloads behind the six
-//! criterion benches plus the PR 2 serial-vs-parallel comparisons, and
-//! writes the measurements to a JSON file so the perf trajectory can be
-//! compared across PRs.
+//! criterion benches plus the PR 2 serial-vs-parallel comparisons and the
+//! PR 3 session-engine workloads, and writes the measurements to a JSON
+//! file so the perf trajectory can be compared across PRs.
 //!
-//! Every serial/parallel pair is also checked for **bit-identical
-//! output** (roots, Monte-Carlo counts); any divergence fails the run
-//! with a non-zero exit code, which is what the CI quick-mode step keys
-//! off.
+//! Every serial/parallel pair is checked for **bit-identical output**
+//! (roots, Monte-Carlo counts), and the PR 3 engine-over-broker round is
+//! checked bit-identical to the legacy in-process round (verdict, bytes,
+//! ledgers); any divergence fails the run with a non-zero exit code,
+//! which is what the CI quick-mode step keys off.
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr2.json`).
+//! `BENCH_pr3.json`).
 
 use criterion::{black_box, Bencher};
 use std::fmt::Write as _;
 use ugc_core::sampling::derive_samples;
-use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
-use ugc_core::ParticipantStorage;
-use ugc_grid::{CostLedger, HonestWorker};
+use ugc_core::scheme::cbs::{run_cbs, CbsConfig, CbsScheme};
+use ugc_core::{run_mixed_fleet, FleetTransport, MemberSpec, MixedFleetConfig, ParticipantStorage};
+use ugc_grid::{CostLedger, HonestWorker, WorkerBehaviour};
 use ugc_hash::{
     streaming_digest_iterated, streaming_digest_pair, HashFunction, IteratedHash, Md5, Sha256,
 };
@@ -53,7 +54,7 @@ fn leaves(n: u64) -> Vec<[u8; 16]> {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr2.json");
+    let mut out_path = String::from("BENCH_pr3.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -258,6 +259,72 @@ fn main() {
         }),
     });
 
+    // --- PR 3 tentpole: the session engine over the broker transport. ---
+    // One CBS round, legacy in-process path vs engine-multiplexed over a
+    // relaying broker: the verdict, the supervisor's byte counts and both
+    // cost ledgers must agree bit for bit, and we record what the
+    // brokered indirection costs in wall-clock terms.
+    let legacy_round = run_cbs::<Sha256, _, _, _>(
+        &e2e_task,
+        &e2e_screener,
+        Domain::new(0, e2e_n),
+        &HonestWorker,
+        ParticipantStorage::Full,
+        &CbsConfig {
+            task_id: 0,
+            samples: 32,
+            seed: 2,
+            report_audit: 0,
+        },
+    )
+    .unwrap();
+    let engine_scheme = CbsScheme {
+        samples: 32,
+        seed: 2,
+        report_audit: 0,
+    };
+    let engine_fleet = |transport: FleetTransport, members: usize| {
+        let specs: Vec<MemberSpec<'_, Sha256>> = (0..members)
+            .map(|_| MemberSpec {
+                scheme: &engine_scheme,
+                behaviours: vec![&HonestWorker as &dyn WorkerBehaviour],
+            })
+            .collect();
+        run_mixed_fleet(
+            &e2e_task,
+            &e2e_screener,
+            Domain::new(0, e2e_n * members as u64),
+            &specs,
+            &MixedFleetConfig {
+                transport,
+                ..MixedFleetConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let brokered = engine_fleet(FleetTransport::Brokered, 1);
+    let engine_round = &brokered.members[0].outcome;
+    if engine_round.verdict != legacy_round.verdict
+        || engine_round.supervisor_link != legacy_round.supervisor_link
+        || engine_round.supervisor_costs != legacy_round.supervisor_costs
+        || engine_round.participant_costs != legacy_round.participant_costs
+    {
+        eprintln!("DIVERGENCE: engine-over-broker CBS round != legacy in-process round");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "scheme_e2e/cbs_engine_brokered",
+        ns_per_op: time(|| black_box(engine_fleet(FleetTransport::Brokered, 1))),
+    });
+    entries.push(Entry {
+        name: "engine/brokered_fleet_x4",
+        ns_per_op: time(|| black_box(engine_fleet(FleetTransport::Brokered, 4))),
+    });
+    entries.push(Entry {
+        name: "engine/direct_fleet_x4",
+        ns_per_op: time(|| black_box(engine_fleet(FleetTransport::Direct, 4))),
+    });
+
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
             entries
@@ -299,6 +366,14 @@ fn main() {
             "sim_sharded_over_serial",
             ratio("sim_fast/serial", "sim_fast/sharded"),
         ),
+        (
+            "engine_brokered_over_legacy_e2e",
+            ratio("scheme_e2e/cbs_full", "scheme_e2e/cbs_engine_brokered"),
+        ),
+        (
+            "engine_direct_over_brokered_fleet",
+            ratio("engine/brokered_fleet_x4", "engine/direct_fleet_x4"),
+        ),
     ];
 
     println!();
@@ -313,7 +388,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(json, "  \"pr\": 3,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

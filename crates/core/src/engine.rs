@@ -1,0 +1,667 @@
+//! The session engine: one event loop multiplexing many concurrent
+//! verification sessions over a grid transport.
+//!
+//! The engine owns a set of supervisor-side
+//! [`SupervisorSession`] state machines
+//! and a routing table from wire ids to `(session, slot)`. Its event loop
+//! is transport-agnostic:
+//!
+//! ```text
+//!            ┌────────────── SessionEngine ──────────────┐
+//!            │ session 0 (cbs)    session 1 (ni-cbs)  …  │
+//!            │    ▲ │                ▲ │                 │
+//!            │    │ ▼  route by session id / task id     │
+//!            └────┼─┼───────────────┼─┼─────────────────-┘
+//!                 │ ▼               │ ▼
+//!        DirectTransport (one endpoint per participant)
+//!        — or — a single Endpoint into a Broker that fans out
+//! ```
+//!
+//! The same loop therefore drives in-memory fleets (per-participant
+//! duplex links), the relayed [`Broker`](ugc_grid::Broker) deployment of
+//! Section 4, and mixed-scheme campaigns — the orchestrator's
+//! [`run_fleet`](crate::run_fleet)/[`run_mixed_fleet`](crate::run_mixed_fleet)
+//! are wrappers over this engine.
+//!
+//! Per-session traffic is accounted from encoded frame sizes (wire length
+//! plus the transport's frame header), which is byte-identical to what a
+//! dedicated [`Endpoint`] would have counted — so
+//! engine-multiplexed byte counts match the legacy one-link-per-round
+//! paths bit for bit.
+
+use crate::session::{SessionOutcome, SupervisorSession};
+use crate::SchemeError;
+use std::collections::HashMap;
+use ugc_grid::{Endpoint, GridError, LinkStats, Message};
+
+/// What the engine's transport delivered on one receive.
+#[derive(Debug)]
+pub enum EngineEvent {
+    /// A protocol message arrived; the `u64` is its charged frame size
+    /// (wire bytes + header), so the engine can attribute per-session
+    /// traffic without re-encoding.
+    Message(Message, u64),
+    /// A peer hung up; the listed routing ids can never receive again.
+    PeerClosed(Vec<u64>),
+}
+
+/// A transport the engine can multiplex sessions over.
+pub trait EngineTransport {
+    /// Sends `msg` towards the peer that owns `routing_id`, returning the
+    /// bytes charged (encoded frame plus header).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (e.g. the peer disconnected).
+    fn send(&mut self, routing_id: u64, msg: &Message) -> Result<u64, GridError>;
+
+    /// Blocks until the next inbound event.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Disconnected`] once *nothing* can ever arrive again.
+    fn recv(&mut self) -> Result<EngineEvent, GridError>;
+}
+
+/// A broker-mediated transport is just the supervisor's single endpoint:
+/// the broker on the far side routes by session/task id and NACKs tasks
+/// whose participant hung up with [`Message::Gone`].
+impl EngineTransport for Endpoint {
+    fn send(&mut self, _routing_id: u64, msg: &Message) -> Result<u64, GridError> {
+        Endpoint::send_counted(self, msg)
+    }
+
+    fn recv(&mut self) -> Result<EngineEvent, GridError> {
+        Endpoint::recv_counted(self).map(|(msg, charged)| EngineEvent::Message(msg, charged))
+    }
+}
+
+/// Direct in-memory transport: one [`Endpoint`] per participant, polled
+/// fairly (rotating cursor) so no chatty participant starves another.
+#[derive(Debug, Default)]
+pub struct DirectTransport {
+    endpoints: Vec<Endpoint>,
+    ids: Vec<Vec<u64>>,
+    routes: HashMap<u64, usize>,
+    open: Vec<bool>,
+    cursor: usize,
+}
+
+impl DirectTransport {
+    /// An empty transport; add endpoints with
+    /// [`add_endpoint`](Self::add_endpoint).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a participant endpoint serving the given routing ids.
+    pub fn add_endpoint(&mut self, endpoint: Endpoint, ids: impl IntoIterator<Item = u64>) {
+        let idx = self.endpoints.len();
+        let ids: Vec<u64> = ids.into_iter().collect();
+        for &id in &ids {
+            self.routes.insert(id, idx);
+        }
+        self.ids.push(ids);
+        self.endpoints.push(endpoint);
+        self.open.push(true);
+    }
+}
+
+impl EngineTransport for DirectTransport {
+    fn send(&mut self, routing_id: u64, msg: &Message) -> Result<u64, GridError> {
+        let idx = *self.routes.get(&routing_id).ok_or(GridError::Empty)?;
+        self.endpoints[idx].send_counted(msg)
+    }
+
+    fn recv(&mut self) -> Result<EngineEvent, GridError> {
+        let mut idle_sweeps = 0u32;
+        loop {
+            let n = self.endpoints.len();
+            let mut saw_open = false;
+            for probe in 0..n {
+                let idx = (self.cursor + probe) % n;
+                if !self.open[idx] {
+                    continue;
+                }
+                match self.endpoints[idx].try_recv_counted() {
+                    Ok((msg, charged)) => {
+                        self.cursor = (idx + 1) % n;
+                        return Ok(EngineEvent::Message(msg, charged));
+                    }
+                    Err(GridError::Empty) => saw_open = true,
+                    Err(GridError::Disconnected) => {
+                        self.open[idx] = false;
+                        return Ok(EngineEvent::PeerClosed(self.ids[idx].clone()));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !saw_open {
+                return Err(GridError::Disconnected);
+            }
+            idle_sweeps += 1;
+            if idle_sweeps < 64 {
+                std::thread::yield_now();
+            } else {
+                // The participants are deep in compute (tree builds take
+                // seconds at scale): stop burning the core and poll at a
+                // coarse-but-negligible cadence instead.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+enum SessionState {
+    Active,
+    Done(SessionOutcome),
+    Failed(SchemeError),
+}
+
+struct EngineSlot<'a> {
+    session: Box<dyn SupervisorSession + 'a>,
+    /// Routing id per participant slot (task id, or a fresh session id in
+    /// envelope mode).
+    routing_ids: Vec<u64>,
+    link: LinkStats,
+    state: SessionState,
+}
+
+/// Per-session result of an engine run.
+#[derive(Debug)]
+pub struct SessionResult {
+    /// The verdict and reports, or the protocol error that killed this
+    /// session (other sessions keep running).
+    pub outcome: Result<SessionOutcome, SchemeError>,
+    /// Supervisor-side traffic attributed to this session, byte-identical
+    /// to what a dedicated endpoint would have counted.
+    pub link: LinkStats,
+}
+
+/// An event loop multiplexing many supervisor sessions over one transport.
+///
+/// Sessions are registered with [`add_session`](Self::add_session) and run
+/// to completion by [`run`](Self::run). Routing uses each slot's task id
+/// directly (zero wire overhead); [`enveloped`](Self::enveloped) mode
+/// instead assigns fresh session ids and wraps every message in a
+/// [`Message::Session`] envelope, which lets sessions with *colliding*
+/// task ids share one transport.
+pub struct SessionEngine<'a> {
+    slots: Vec<EngineSlot<'a>>,
+    routes: HashMap<u64, (usize, usize)>,
+    envelope: bool,
+    next_session_id: u64,
+}
+
+impl Default for SessionEngine<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> SessionEngine<'a> {
+    /// An engine routing by task id (no envelope overhead; task ids must
+    /// be unique across sessions).
+    #[must_use]
+    pub fn new() -> Self {
+        SessionEngine {
+            slots: Vec::new(),
+            routes: HashMap::new(),
+            envelope: false,
+            next_session_id: 0,
+        }
+    }
+
+    /// An engine that wraps every message in a [`Message::Session`]
+    /// envelope keyed by engine-assigned session ids, so sessions whose
+    /// task ids collide can still share the transport.
+    #[must_use]
+    pub fn enveloped() -> Self {
+        SessionEngine {
+            envelope: true,
+            ..Self::new()
+        }
+    }
+
+    /// Registers a session whose slots answer to `task_ids`, returning the
+    /// routing ids the transport must deliver (equal to `task_ids` unless
+    /// the engine is enveloped).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::InvalidConfig`] if a routing id collides with an
+    /// already-registered session (use [`SessionEngine::enveloped`]).
+    pub fn add_session(
+        &mut self,
+        session: Box<dyn SupervisorSession + 'a>,
+        task_ids: Vec<u64>,
+    ) -> Result<Vec<u64>, SchemeError> {
+        let routing_ids: Vec<u64> = if self.envelope {
+            task_ids
+                .iter()
+                .map(|_| {
+                    let id = self.next_session_id;
+                    self.next_session_id += 1;
+                    id
+                })
+                .collect()
+        } else {
+            task_ids
+        };
+        let index = self.slots.len();
+        // Validate before mutating: a rejected registration must leave the
+        // routing table exactly as it was.
+        for (slot, id) in routing_ids.iter().enumerate() {
+            if self.routes.contains_key(id) || routing_ids[..slot].contains(id) {
+                return Err(SchemeError::InvalidConfig {
+                    reason: "routing id already registered with the engine",
+                });
+            }
+        }
+        for (slot, &id) in routing_ids.iter().enumerate() {
+            self.routes.insert(id, (index, slot));
+        }
+        self.slots.push(EngineSlot {
+            session,
+            routing_ids: routing_ids.clone(),
+            link: LinkStats::default(),
+            state: SessionState::Active,
+        });
+        Ok(routing_ids)
+    }
+
+    /// Number of registered sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn active(&self) -> bool {
+        self.slots
+            .iter()
+            .any(|s| matches!(s.state, SessionState::Active))
+    }
+
+    /// Fails every still-active session routed through the given ids —
+    /// their peers hung up, so their replies can never arrive.
+    fn fail_routes(&mut self, ids: &[u64]) {
+        for id in ids {
+            if let Some(&(index, _)) = self.routes.get(id) {
+                let slot = &mut self.slots[index];
+                if matches!(slot.state, SessionState::Active) {
+                    slot.state = SessionState::Failed(SchemeError::Grid(GridError::Disconnected));
+                }
+            }
+        }
+    }
+
+    /// Sends one session's outbound batch, charging its link stats.
+    fn send_outbound<T: EngineTransport>(
+        transport: &mut T,
+        envelope: bool,
+        slot: &mut EngineSlot<'a>,
+        outs: Vec<(usize, Message)>,
+    ) -> Result<(), SchemeError> {
+        for (peer, msg) in outs {
+            let routing_id = *slot
+                .routing_ids
+                .get(peer)
+                .ok_or(SchemeError::InvalidConfig {
+                    reason: "session addressed a slot it does not own",
+                })?;
+            let msg = if envelope {
+                Message::in_session(routing_id, msg)
+            } else {
+                msg
+            };
+            slot.link.bytes_sent += transport.send(routing_id, &msg)?;
+            slot.link.messages_sent += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs every registered session to completion over `transport`,
+    /// returning per-session outcomes in registration order.
+    ///
+    /// A session that raises a protocol error is marked failed and the
+    /// rest keep running; a transport-wide failure fails every session
+    /// still active.
+    ///
+    /// # Errors
+    ///
+    /// Never fails as a whole — errors are reported per session — except
+    /// when a session panics the underlying invariants (not expected).
+    pub fn run<T: EngineTransport>(mut self, transport: &mut T) -> Vec<SessionResult> {
+        // Open every session: emit its starting messages.
+        for index in 0..self.slots.len() {
+            let slot = &mut self.slots[index];
+            let result = slot
+                .session
+                .start()
+                .and_then(|outs| Self::send_outbound(transport, self.envelope, slot, outs));
+            match result {
+                // A fire-and-forget session may already be complete.
+                Ok(()) => {
+                    if let Some(outcome) = slot.session.take_outcome() {
+                        slot.state = SessionState::Done(outcome);
+                    }
+                }
+                Err(e) => slot.state = SessionState::Failed(e),
+            }
+        }
+
+        while self.active() {
+            let event = match transport.recv() {
+                Ok(event) => event,
+                Err(e) => {
+                    // Nothing can arrive any more: every session still
+                    // waiting is dead.
+                    for slot in &mut self.slots {
+                        if matches!(slot.state, SessionState::Active) {
+                            slot.state = SessionState::Failed(SchemeError::Grid(e.clone()));
+                        }
+                    }
+                    break;
+                }
+            };
+            let (msg, charged) = match event {
+                // A broker NACK is a peer-closure notice, not session mail.
+                EngineEvent::Message(Message::Gone { task_id }, _) => {
+                    self.fail_routes(&[task_id]);
+                    continue;
+                }
+                EngineEvent::Message(msg, charged) => (msg, charged),
+                EngineEvent::PeerClosed(ids) => {
+                    self.fail_routes(&ids);
+                    continue;
+                }
+            };
+            let routing_id = msg.session_id();
+            let Some(&(index, peer)) = self.routes.get(&routing_id) else {
+                // Mail for a session this engine never registered: drop it,
+                // as a broker would drop mail for an unknown host.
+                continue;
+            };
+            let slot = &mut self.slots[index];
+            if !matches!(slot.state, SessionState::Active) {
+                continue; // late mail for a finished/failed session
+            }
+            slot.link.bytes_received += charged;
+            slot.link.messages_received += 1;
+            let (_, payload) = msg.into_payload();
+            let result = slot
+                .session
+                .on_message(peer, payload)
+                .and_then(|outs| Self::send_outbound(transport, self.envelope, slot, outs));
+            match result {
+                Ok(()) => {
+                    if let Some(outcome) = slot.session.take_outcome() {
+                        slot.state = SessionState::Done(outcome);
+                    }
+                }
+                Err(e) => slot.state = SessionState::Failed(e),
+            }
+        }
+
+        self.slots
+            .into_iter()
+            .map(|slot| SessionResult {
+                outcome: match slot.state {
+                    SessionState::Done(outcome) => Ok(outcome),
+                    SessionState::Failed(e) => Err(e),
+                    SessionState::Active => Err(SchemeError::Grid(GridError::Disconnected)),
+                },
+                link: slot.link,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::cbs::CbsScheme;
+    use crate::session::{
+        drive_participant, ParticipantContext, SupervisorContext, VerificationScheme,
+    };
+    use crate::{ParticipantStorage, Verdict};
+    use ugc_grid::{duplex, CostLedger, HonestWorker};
+    use ugc_hash::Sha256;
+    use ugc_merkle::Parallelism;
+    use ugc_task::workloads::PasswordSearch;
+    use ugc_task::Domain;
+
+    #[test]
+    fn two_sessions_multiplex_over_direct_links() {
+        let task = PasswordSearch::with_hidden_password(2, 5);
+        let screener = task.match_screener();
+        let scheme = CbsScheme {
+            samples: 8,
+            seed: 3,
+            report_audit: 0,
+        };
+        let mut engine = SessionEngine::new();
+        let mut transport = DirectTransport::new();
+        let mut part_eps = Vec::new();
+        for task_id in 0..2u64 {
+            let (sup_ep, part_ep) = duplex();
+            let ids = engine
+                .add_session(
+                    VerificationScheme::<Sha256>::supervisor_session(
+                        &scheme,
+                        SupervisorContext {
+                            task: &task,
+                            screener: &screener,
+                            domain: Domain::new(task_id * 32, 32),
+                            task_ids: vec![task_id],
+                            ledger: CostLedger::new(),
+                        },
+                    ),
+                    vec![task_id],
+                )
+                .unwrap();
+            transport.add_endpoint(sup_ep, ids);
+            part_eps.push(part_ep);
+        }
+        let results = std::thread::scope(|scope| {
+            let (task, screener, scheme) = (&task, &screener, &scheme);
+            for part_ep in &part_eps {
+                scope.spawn(move || {
+                    let mut session = VerificationScheme::<Sha256>::participant_session(
+                        scheme,
+                        ParticipantContext {
+                            task,
+                            screener,
+                            behaviour: &HonestWorker,
+                            storage: ParticipantStorage::Full,
+                            parallelism: Parallelism::serial(),
+                            ledger: CostLedger::new(),
+                        },
+                    );
+                    drive_participant(part_ep, session.as_mut()).unwrap()
+                });
+            }
+            engine.run(&mut transport)
+        });
+        assert_eq!(results.len(), 2);
+        for result in &results {
+            let outcome = result.outcome.as_ref().unwrap();
+            assert_eq!(outcome.verdict, Verdict::Accepted);
+            assert!(result.link.bytes_received > 0);
+        }
+    }
+
+    #[test]
+    fn brokered_dead_participant_fails_only_its_session() {
+        // Participant 0 reads its assignment and silently dies; the broker
+        // NACKs its task with Message::Gone, the engine fails that session
+        // with Disconnected, and session 1 still completes normally.
+        use ugc_grid::{Broker, GridError, Message};
+        let task = PasswordSearch::with_hidden_password(2, 5);
+        let screener = task.match_screener();
+        let scheme = CbsScheme {
+            samples: 6,
+            seed: 1,
+            report_audit: 0,
+        };
+        let mut engine = SessionEngine::new();
+        for task_id in 0..2u64 {
+            let session = VerificationScheme::<Sha256>::supervisor_session(
+                &scheme,
+                SupervisorContext {
+                    task: &task,
+                    screener: &screener,
+                    domain: Domain::new(task_id * 32, 32),
+                    task_ids: vec![task_id],
+                    ledger: CostLedger::new(),
+                },
+            );
+            engine.add_session(session, vec![task_id]).unwrap();
+        }
+        let (dying_broker_side, dying_part) = duplex();
+        let (healthy_broker_side, healthy_part) = duplex();
+        let (mut sup_transport, broker_up) = duplex();
+        let broker = Broker::new(broker_up, vec![dying_broker_side, healthy_broker_side]);
+
+        let results = std::thread::scope(|scope| {
+            scope.spawn(move || broker.pump_until_closed());
+            scope.spawn(move || {
+                let Message::Assign(_) = dying_part.recv().unwrap() else {
+                    panic!("expected assignment");
+                };
+                // …and dies without replying (endpoint dropped here).
+            });
+            let (task, screener, scheme) = (&task, &screener, &scheme);
+            scope.spawn(move || {
+                let mut session = VerificationScheme::<Sha256>::participant_session(
+                    scheme,
+                    ParticipantContext {
+                        task,
+                        screener,
+                        behaviour: &HonestWorker,
+                        storage: ParticipantStorage::Full,
+                        parallelism: Parallelism::serial(),
+                        ledger: CostLedger::new(),
+                    },
+                );
+                drive_participant(&healthy_part, session.as_mut()).unwrap();
+            });
+            let results = engine.run(&mut sup_transport);
+            drop(sup_transport);
+            results
+        });
+        assert!(matches!(
+            results[0].outcome,
+            Err(crate::SchemeError::Grid(GridError::Disconnected))
+        ));
+        let healthy = results[1].outcome.as_ref().unwrap();
+        assert_eq!(healthy.verdict, Verdict::Accepted);
+    }
+
+    #[test]
+    fn duplicate_task_ids_need_envelopes() {
+        let task = PasswordSearch::with_hidden_password(2, 5);
+        let screener = task.match_screener();
+        let scheme = CbsScheme {
+            samples: 4,
+            seed: 3,
+            report_audit: 0,
+        };
+        let make_session = || {
+            VerificationScheme::<Sha256>::supervisor_session(
+                &scheme,
+                SupervisorContext {
+                    task: &task,
+                    screener: &screener,
+                    domain: Domain::new(0, 16),
+                    task_ids: vec![1],
+                    ledger: CostLedger::new(),
+                },
+            )
+        };
+        let mut plain = SessionEngine::new();
+        plain.add_session(make_session(), vec![1]).unwrap();
+        assert!(matches!(
+            plain.add_session(make_session(), vec![1]),
+            Err(SchemeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            plain.add_session(make_session(), vec![2, 2]),
+            Err(SchemeError::InvalidConfig { .. })
+        ));
+        let mut enveloped = SessionEngine::enveloped();
+        let first = enveloped.add_session(make_session(), vec![1]).unwrap();
+        let second = enveloped.add_session(make_session(), vec![1]).unwrap();
+        assert_ne!(first, second, "envelope mode must mint fresh ids");
+
+        // A rejected registration must leave the engine fully usable: the
+        // surviving session still routes (pre-fix this panicked — the
+        // collision had overwritten session 0's route with a dangling
+        // slot index before erroring).
+        let mut transport = DirectTransport::new();
+        let (sup_ep, part_ep) = duplex();
+        transport.add_endpoint(sup_ep, [1]);
+        let results = std::thread::scope(|scope| {
+            let (task, screener, scheme) = (&task, &screener, &scheme);
+            scope.spawn(move || {
+                let mut session = VerificationScheme::<Sha256>::participant_session(
+                    scheme,
+                    ParticipantContext {
+                        task,
+                        screener,
+                        behaviour: &HonestWorker,
+                        storage: ParticipantStorage::Full,
+                        parallelism: Parallelism::serial(),
+                        ledger: CostLedger::new(),
+                    },
+                );
+                drive_participant(&part_ep, session.as_mut()).unwrap();
+            });
+            plain.run(&mut transport)
+        });
+        assert!(results[0].outcome.as_ref().unwrap().verdict.is_accepted());
+    }
+
+    #[test]
+    fn session_completing_at_start_does_not_block_the_engine() {
+        // A fire-and-forget supervisor session (complete after start, no
+        // inbound traffic expected) must be collected immediately instead
+        // of leaving the engine waiting for a reply that never comes.
+        struct FireAndForget {
+            outcome: Option<SessionOutcome>,
+        }
+        impl crate::session::SupervisorSession for FireAndForget {
+            fn start(&mut self) -> Result<Vec<crate::session::Outbound>, SchemeError> {
+                Ok(Vec::new())
+            }
+            fn on_message(
+                &mut self,
+                _slot: usize,
+                _msg: Message,
+            ) -> Result<Vec<crate::session::Outbound>, SchemeError> {
+                unreachable!("never fed");
+            }
+            fn take_outcome(&mut self) -> Option<SessionOutcome> {
+                self.outcome.take()
+            }
+        }
+        let mut engine = SessionEngine::new();
+        engine
+            .add_session(
+                Box::new(FireAndForget {
+                    outcome: Some(SessionOutcome {
+                        verdict: Verdict::Accepted,
+                        reports: Vec::new(),
+                    }),
+                }),
+                vec![9],
+            )
+            .unwrap();
+        let mut transport = DirectTransport::new();
+        let (sup_ep, _part_ep) = duplex(); // stays open: recv would block
+        transport.add_endpoint(sup_ep, [9]);
+        let results = engine.run(&mut transport);
+        assert!(results[0].outcome.as_ref().unwrap().verdict.is_accepted());
+    }
+}

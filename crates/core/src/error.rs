@@ -106,6 +106,8 @@ pub(crate) fn message_kind(msg: &ugc_grid::Message) -> &'static str {
         Message::RingerChallenge { .. } => "RingerChallenge",
         Message::RingerFound { .. } => "RingerFound",
         Message::Verdict { .. } => "Verdict",
+        Message::Session { .. } => "Session",
+        Message::Gone { .. } => "Gone",
     }
 }
 

@@ -56,17 +56,24 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 mod error;
 mod orchestrator;
 mod outcome;
 pub mod sampling;
 pub mod scheme;
+pub mod session;
 
 pub use error::SchemeError;
 pub use orchestrator::{
-    run_campaign, run_fleet, CampaignSummary, FleetConfig, FleetMember, FleetScheme, FleetSummary,
+    run_campaign, run_fleet, run_fleet_over, run_mixed_fleet, CampaignSummary, FleetConfig,
+    FleetMember, FleetScheme, FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig,
 };
 pub use outcome::{ParticipantStorage, RoundOutcome, Verdict};
+pub use session::{
+    ParticipantContext, ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession,
+    VerificationScheme,
+};
 // The thread-count knob behind every parallel path (tree builds here, the
 // Monte-Carlo shards in `ugc-sim`); re-exported so scheme users need not
 // depend on `ugc-merkle` directly.

@@ -2,20 +2,35 @@
 //!
 //! The paper's model (Section 2.1) has the supervisor partition `X` into
 //! per-participant sub-domains. This module runs one verification round
-//! against every participant — in parallel, one thread pair per
-//! participant — and aggregates verdicts, screened reports and costs into
-//! a fleet-level summary. It is the entry point a downstream project
-//! (a SETI@home, a screening grid) would actually call.
+//! against every participant and aggregates verdicts, screened reports and
+//! costs into a fleet-level summary. It is the entry point a downstream
+//! project (a SETI@home, a screening grid) would actually call.
+//!
+//! Every round runs on the [`SessionEngine`](crate::engine::SessionEngine):
+//! the supervisor multiplexes one
+//! [`VerificationScheme`](crate::session::VerificationScheme) session per
+//! member over either per-participant links
+//! ([`FleetTransport::Direct`]) or one shared link into a relaying
+//! [`Broker`](ugc_grid::Broker) ([`FleetTransport::Brokered`]) — the same
+//! code path either way, and bit-identical verdicts, byte counts and cost
+//! ledgers to the historical one-thread-pair-per-round implementation.
 
-use crate::scheme::cbs::{run_cbs_with, CbsConfig};
-use crate::scheme::ni_cbs::{run_ni_cbs_with, NiCbsConfig};
+use crate::engine::{DirectTransport, SessionEngine, SessionResult};
+use crate::scheme::cbs::CbsScheme;
+use crate::scheme::naive::NaiveScheme;
+use crate::scheme::ni_cbs::NiCbsScheme;
+use crate::scheme::ringer::RingerScheme;
+use crate::session::{
+    drive_participant, ParticipantContext, SupervisorContext, VerificationScheme,
+};
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
-use ugc_grid::WorkerBehaviour;
+use ugc_grid::{duplex, Broker, CostLedger, WorkerBehaviour};
 use ugc_hash::HashFunction;
 use ugc_merkle::Parallelism;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
-/// Which commitment-based scheme the fleet round uses.
+/// Which verification scheme a fleet round (or one member of a mixed
+/// campaign) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FleetScheme {
     /// Interactive CBS (Section 3).
@@ -34,6 +49,45 @@ pub enum FleetScheme {
         /// Report-audit size (0 disables).
         report_audit: usize,
     },
+    /// Naive sampling (Section 1): flat upload, spot-check `m` samples.
+    Naive {
+        /// Samples per participant.
+        samples: usize,
+    },
+    /// The Golle–Mironov ringer baseline (Section 1.1); requires a
+    /// one-way `f`.
+    Ringer {
+        /// Ringers planted per participant.
+        ringers: usize,
+    },
+}
+
+impl FleetScheme {
+    /// Builds the member's scheme object with its derived seed.
+    fn instantiate<H: HashFunction>(self, seed: u64) -> Box<dyn VerificationScheme<H>> {
+        match self {
+            FleetScheme::Cbs {
+                samples,
+                report_audit,
+            } => Box::new(CbsScheme {
+                samples,
+                seed,
+                report_audit,
+            }),
+            FleetScheme::NiCbs {
+                samples,
+                g_iterations,
+                report_audit,
+            } => Box::new(NiCbsScheme {
+                samples,
+                g_iterations,
+                report_audit,
+                audit_seed: seed,
+            }),
+            FleetScheme::Naive { samples } => Box::new(NaiveScheme { samples, seed }),
+            FleetScheme::Ringer { ringers } => Box::new(RingerScheme { ringers, seed }),
+        }
+    }
 }
 
 /// Configuration of a fleet verification round.
@@ -112,11 +166,60 @@ impl FleetSummary {
     }
 }
 
+/// How a fleet round moves its messages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FleetTransport {
+    /// One in-memory link per participant, polled by the engine.
+    #[default]
+    Direct,
+    /// One shared supervisor link into a relaying GRACE-style
+    /// [`Broker`](ugc_grid::Broker) that fans out to the participants
+    /// (Section 4's deployment); the broker pump runs on its own thread.
+    Brokered,
+}
+
+/// Configuration of a mixed-scheme fleet round (see [`run_mixed_fleet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixedFleetConfig {
+    /// Participant tree storage mode (CBS/NI-CBS members).
+    pub storage: ParticipantStorage,
+    /// Per-participant tree-build parallelism.
+    pub parallelism: Parallelism,
+    /// Transport the engine multiplexes the sessions over.
+    pub transport: FleetTransport,
+    /// Wrap every message in a [`Message::Session`](ugc_grid::Message)
+    /// envelope with engine-assigned session ids — required only when
+    /// members' task ids collide; costs 9 bytes per message.
+    pub envelope: bool,
+}
+
+impl Default for MixedFleetConfig {
+    fn default() -> Self {
+        MixedFleetConfig {
+            storage: ParticipantStorage::Full,
+            parallelism: Parallelism::default(),
+            transport: FleetTransport::Direct,
+            envelope: false,
+        }
+    }
+}
+
+/// One member of a mixed-scheme fleet: a scheme and the behaviours filling
+/// its participant slots (one for every scheme but double-check's two).
+pub struct MemberSpec<'a, H: HashFunction> {
+    /// The verification scheme this member runs (already seeded).
+    pub scheme: &'a dyn VerificationScheme<H>,
+    /// One behaviour per participant slot.
+    pub behaviours: Vec<&'a dyn WorkerBehaviour>,
+}
+
 /// Runs one verification round against every behaviour in `fleet`, each on
 /// its own share of `domain` (shares differ in size by at most one input).
 ///
-/// Rounds run concurrently — one supervisor/participant thread pair per
-/// fleet member — and deterministically per `config.seed`.
+/// All rounds run concurrently through one
+/// [`SessionEngine`](crate::engine::SessionEngine) event loop —
+/// participants on their own threads, sessions multiplexed on the calling
+/// thread — and deterministically per `config.seed`.
 ///
 /// # Errors
 ///
@@ -135,89 +238,236 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
-    if fleet.is_empty() {
+    run_fleet_over::<H, T, S, B>(
+        task,
+        screener,
+        domain,
+        fleet,
+        config,
+        FleetTransport::Direct,
+    )
+}
+
+/// [`run_fleet`] with an explicit transport: the same sessions, multiplexed
+/// either over per-participant links or through a relaying broker.
+/// Verdicts and ledgers are identical either way.
+///
+/// # Errors
+///
+/// As [`run_fleet`].
+pub fn run_fleet_over<H, T, S, B>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    fleet: &[B],
+    config: &FleetConfig,
+    transport: FleetTransport,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let schemes: Vec<Box<dyn VerificationScheme<H>>> = (0..fleet.len())
+        .map(|i| {
+            let seed = config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64);
+            config.scheme.instantiate::<H>(seed)
+        })
+        .collect();
+    let members: Vec<MemberSpec<'_, H>> = schemes
+        .iter()
+        .zip(fleet)
+        .map(|(scheme, behaviour)| MemberSpec {
+            scheme: scheme.as_ref(),
+            behaviours: vec![behaviour as &dyn WorkerBehaviour],
+        })
+        .collect();
+    run_mixed_fleet(
+        task,
+        screener,
+        domain,
+        &members,
+        &MixedFleetConfig {
+            storage: config.storage,
+            parallelism: config.parallelism,
+            transport,
+            ..MixedFleetConfig::default()
+        },
+    )
+}
+
+/// Runs one verification round for an arbitrary mix of schemes and
+/// behaviours — the full generality of the session engine: every member
+/// gets its own share of `domain`, its own (already seeded) scheme and its
+/// own behaviour(s), and all sessions interleave over one transport, be it
+/// per-participant links or a relaying broker.
+///
+/// # Errors
+///
+/// The first protocol error encountered (cheating is a rejected member,
+/// not an error), or invalid configuration (empty fleet, unsplittable
+/// domain, behaviour count not matching a scheme's slots).
+pub fn run_mixed_fleet<H, T, S>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    members: &[MemberSpec<'_, H>],
+    config: &MixedFleetConfig,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
+    if members.is_empty() {
         return Err(SchemeError::InvalidConfig {
             reason: "fleet must contain at least one participant",
         });
     }
+    for member in members {
+        if member.behaviours.len() != member.scheme.participant_slots() {
+            return Err(SchemeError::InvalidConfig {
+                reason: "behaviour count must match the scheme's participant slots",
+            });
+        }
+    }
     let shares: Vec<Domain> = domain
-        .split(fleet.len() as u64)
+        .split(members.len() as u64)
         .map_err(|_| SchemeError::InvalidConfig {
             reason: "domain cannot be partitioned over the fleet",
         })?
         .into_iter()
         .collect();
-    if shares.len() != fleet.len() {
+    if shares.len() != members.len() {
         return Err(SchemeError::InvalidConfig {
             reason: "more participants than domain inputs",
         });
     }
 
-    let results: Vec<Result<RoundOutcome, SchemeError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = fleet
-            .iter()
-            .zip(&shares)
-            .enumerate()
-            .map(|(i, (behaviour, share))| {
-                let seed = config
-                    .seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(i as u64);
-                let cfg = *config;
-                scope.spawn(move || match cfg.scheme {
-                    FleetScheme::Cbs {
-                        samples,
-                        report_audit,
-                    } => run_cbs_with::<H, _, _, _>(
-                        task,
-                        screener,
-                        *share,
-                        behaviour,
-                        cfg.storage,
-                        cfg.parallelism,
-                        &CbsConfig {
-                            task_id: i as u64,
-                            samples,
-                            seed,
-                            report_audit,
-                        },
-                    ),
-                    FleetScheme::NiCbs {
-                        samples,
-                        g_iterations,
-                        report_audit,
-                    } => run_ni_cbs_with::<H, _, _, _>(
-                        task,
-                        screener,
-                        *share,
-                        behaviour,
-                        cfg.storage,
-                        cfg.parallelism,
-                        &NiCbsConfig {
-                            task_id: i as u64,
-                            samples,
-                            g_iterations,
-                            report_audit,
-                            audit_seed: seed,
-                        },
-                    ),
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet round panicked"))
-            .collect()
-    });
+    // Register one supervisor session per member; task ids are one global
+    // counter across slots, so single-slot member `i` keeps task id `i`.
+    let sup_ledgers: Vec<CostLedger> = members.iter().map(|_| CostLedger::new()).collect();
+    let part_ledgers: Vec<CostLedger> = members.iter().map(|_| CostLedger::new()).collect();
+    let mut engine = if config.envelope {
+        SessionEngine::enveloped()
+    } else {
+        SessionEngine::new()
+    };
+    let mut next_task_id = 0u64;
+    let mut routing_ids: Vec<Vec<u64>> = Vec::with_capacity(members.len());
+    for ((member, share), sup_ledger) in members.iter().zip(&shares).zip(&sup_ledgers) {
+        let slots = member.scheme.participant_slots();
+        let task_ids: Vec<u64> = (0..slots as u64).map(|s| next_task_id + s).collect();
+        next_task_id += slots as u64;
+        let session = member.scheme.supervisor_session(SupervisorContext {
+            task,
+            screener,
+            domain: *share,
+            task_ids: task_ids.clone(),
+            ledger: sup_ledger.clone(),
+        });
+        routing_ids.push(engine.add_session(session, task_ids)?);
+    }
 
-    let mut members = Vec::with_capacity(results.len());
-    for (i, (result, share)) in results.into_iter().zip(shares).enumerate() {
-        members.push(FleetMember {
+    // One duplex link per participant slot, in global slot order (the
+    // broker hands assignment k to participant k, so order is load-bearing
+    // for the Brokered transport).
+    let mut slot_endpoints = Vec::new(); // supervisor-side, with routing ids
+    let mut participant_endpoints = Vec::new(); // participant-side, same order
+    for (member_index, member) in members.iter().enumerate() {
+        for (slot, _) in member.behaviours.iter().enumerate() {
+            let (sup_side, part_side) = duplex();
+            slot_endpoints.push((vec![routing_ids[member_index][slot]], sup_side));
+            participant_endpoints.push((member_index, slot, part_side));
+        }
+    }
+
+    type PartResult = (usize, Result<bool, SchemeError>);
+    let (results, part_results) =
+        std::thread::scope(|scope| -> (Vec<SessionResult>, Vec<PartResult>) {
+            let handles: Vec<_> = participant_endpoints
+                .drain(..)
+                .map(|(member_index, slot, endpoint)| {
+                    let member = &members[member_index];
+                    let behaviour = member.behaviours[slot];
+                    let ledger = part_ledgers[member_index].clone();
+                    // The thread owns its endpoint: finishing (or failing)
+                    // drops it, which is what lets a broker pump — and a
+                    // supervisor blocked mid-recv — observe the hang-up.
+                    scope.spawn(move || {
+                        let mut session = member.scheme.participant_session(ParticipantContext {
+                            task,
+                            screener,
+                            behaviour,
+                            storage: config.storage,
+                            parallelism: config.parallelism,
+                            ledger,
+                        });
+                        (member_index, drive_participant(&endpoint, session.as_mut()))
+                    })
+                })
+                .collect();
+
+            let results = match config.transport {
+                FleetTransport::Direct => {
+                    let mut transport = DirectTransport::new();
+                    for (ids, endpoint) in slot_endpoints.drain(..) {
+                        transport.add_endpoint(endpoint, ids);
+                    }
+                    engine.run(&mut transport)
+                }
+                FleetTransport::Brokered => {
+                    let (mut sup_transport, broker_up) = duplex();
+                    let children = slot_endpoints.drain(..).map(|(_, ep)| ep).collect();
+                    let broker = Broker::new(broker_up, children);
+                    scope.spawn(move || broker.pump_until_closed());
+                    let results = engine.run(&mut sup_transport);
+                    // Close the supervisor link so the pump winds down once
+                    // the participants hang up too.
+                    drop(sup_transport);
+                    results
+                }
+            };
+            let part_results = handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet participant panicked"))
+                .collect();
+            (results, part_results)
+        });
+
+    let mut outcomes = Vec::with_capacity(members.len());
+    for ((result, sup_ledger), part_ledger) in
+        results.into_iter().zip(&sup_ledgers).zip(&part_ledgers)
+    {
+        let outcome = result.outcome?;
+        outcomes.push(RoundOutcome::new(
+            outcome.verdict,
+            sup_ledger.report(),
+            part_ledger.report(),
+            result.link,
+            outcome.reports,
+        ));
+    }
+    // Participant-side protocol errors surface only if every supervisor
+    // session succeeded — the legacy `run_*` precedence.
+    for (_, result) in part_results {
+        let _ = result?;
+    }
+
+    let members: Vec<FleetMember> = outcomes
+        .into_iter()
+        .zip(shares)
+        .enumerate()
+        .map(|(i, (outcome, share))| FleetMember {
             participant: i,
             share,
-            outcome: result?,
-        });
-    }
+            outcome,
+        })
+        .collect();
     let mut reports: Vec<ScreenReport> = members
         .iter()
         .filter(|m| m.outcome.accepted)
@@ -613,5 +863,39 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn brokered_session_failure_returns_instead_of_hanging() {
+        // A session that dies in start() (samples == 0) leaves its
+        // participant with no assignment; the broker pump must still wind
+        // down and the call must return the configuration error promptly
+        // rather than deadlocking on the orphaned participant.
+        let task = PasswordSearch::with_hidden_password(1, 1);
+        let screener = task.match_screener();
+        let fleet = vec![HonestWorker; 2];
+        for transport in [FleetTransport::Direct, FleetTransport::Brokered] {
+            let err = run_fleet_over::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                Domain::new(0, 32),
+                &fleet,
+                &FleetConfig {
+                    scheme: FleetScheme::Cbs {
+                        samples: 0,
+                        report_audit: 0,
+                    },
+                    storage: ParticipantStorage::Full,
+                    seed: 1,
+                    parallelism: Parallelism::default(),
+                },
+                transport,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SchemeError::InvalidConfig { .. }),
+                "{transport:?}: {err}"
+            );
+        }
     }
 }

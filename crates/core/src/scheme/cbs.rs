@@ -20,8 +20,10 @@
 //! counts.
 
 use crate::sampling::draw_samples;
-use crate::scheme::{
-    check_task, materialize, proof_to_wire, recv_matching, verify_sample, Materialized,
+use crate::scheme::{check_task, materialize, proof_to_wire, verify_sample, Materialized};
+use crate::session::{
+    drive_participant, drive_supervisor, unexpected, Outbound, ParticipantContext,
+    ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession, VerificationScheme,
 };
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour};
@@ -145,6 +147,317 @@ impl<H: HashFunction> ParticipantTree<H> {
     }
 }
 
+/// The interactive CBS scheme as a [`VerificationScheme`]: commit →
+/// challenge → sample proofs → verdict, with the samples drawn by the
+/// supervisor *after* the commitment arrives (Section 3.1).
+///
+/// This is the session-engine face of the scheme; `samples`, `seed` and
+/// `report_audit` mean exactly what they do on [`CbsConfig`] (the wire
+/// task id comes from the session context instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbsScheme {
+    /// Number of samples `m`.
+    pub samples: usize,
+    /// Supervisor sampling seed.
+    pub seed: u64,
+    /// Report-audit size (0 disables).
+    pub report_audit: usize,
+}
+
+impl<H: HashFunction> VerificationScheme<H> for CbsScheme {
+    fn name(&self) -> &'static str {
+        "cbs"
+    }
+
+    fn supervisor_session<'a>(
+        &'a self,
+        ctx: SupervisorContext<'a>,
+    ) -> Box<dyn SupervisorSession + 'a> {
+        Box::new(CbsSupervisorSession::<H> {
+            scheme: *self,
+            task_id: ctx.task_ids.first().copied().unwrap_or_default(),
+            task: ctx.task,
+            screener: ctx.screener,
+            domain: ctx.domain,
+            ledger: ctx.ledger,
+            state: SupState::AwaitCommit,
+            outcome: None,
+        })
+    }
+
+    fn participant_session<'a>(
+        &'a self,
+        ctx: ParticipantContext<'a>,
+    ) -> Box<dyn ParticipantSession + 'a> {
+        Box::new(CbsParticipantSession::<H>::new(ctx))
+    }
+}
+
+enum SupState<H: HashFunction> {
+    AwaitCommit,
+    AwaitProofs {
+        root: H::Digest,
+        samples: Vec<u64>,
+    },
+    AwaitReports {
+        root: H::Digest,
+        samples: Vec<u64>,
+        proofs: Vec<SampleProof>,
+    },
+    Done,
+}
+
+struct CbsSupervisorSession<'a, H: HashFunction> {
+    scheme: CbsScheme,
+    task_id: u64,
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    domain: Domain,
+    ledger: CostLedger,
+    state: SupState<H>,
+    outcome: Option<SessionOutcome>,
+}
+
+impl<H: HashFunction> SupervisorSession for CbsSupervisorSession<'_, H> {
+    fn start(&mut self) -> Result<Vec<Outbound>, SchemeError> {
+        if self.scheme.samples == 0 {
+            return Err(SchemeError::InvalidConfig {
+                reason: "samples must be positive",
+            });
+        }
+        Ok(vec![(
+            0,
+            Message::Assign(Assignment {
+                task_id: self.task_id,
+                domain: self.domain,
+            }),
+        )])
+    }
+
+    fn on_message(&mut self, _slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError> {
+        match std::mem::replace(&mut self.state, SupState::Done) {
+            // Step 1→2: commitment first, then reveal the samples.
+            SupState::AwaitCommit => {
+                let Message::Commit { task_id, root } = msg else {
+                    return unexpected("Commit", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                let root = H::digest_from_bytes(&root).ok_or(SchemeError::MalformedPayload {
+                    what: "commitment root",
+                })?;
+                let samples =
+                    draw_samples(self.scheme.seed, self.scheme.samples, self.domain.len());
+                let challenge = Message::Challenge {
+                    task_id: self.task_id,
+                    samples: samples.clone(),
+                };
+                self.state = SupState::AwaitProofs { root, samples };
+                Ok(vec![(0, challenge)])
+            }
+            // Step 3: the proofs land, the reports follow.
+            SupState::AwaitProofs { root, samples } => {
+                let Message::Proofs { task_id, proofs } = msg else {
+                    return unexpected("Proofs", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                self.state = SupState::AwaitReports {
+                    root,
+                    samples,
+                    proofs,
+                };
+                Ok(Vec::new())
+            }
+            // Step 4: verify everything, announce the verdict.
+            SupState::AwaitReports {
+                root,
+                samples,
+                proofs,
+            } => {
+                let Message::Reports { task_id, reports } = msg else {
+                    return unexpected("Reports", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                let verdict = verify_round::<H>(
+                    self.task,
+                    self.screener,
+                    self.domain,
+                    &root,
+                    &samples,
+                    &proofs,
+                    &reports,
+                    self.scheme.report_audit,
+                    self.scheme.seed,
+                    &self.ledger,
+                )?;
+                let verdict_msg = Message::Verdict {
+                    task_id: self.task_id,
+                    accepted: verdict.is_accepted(),
+                };
+                self.outcome = Some(SessionOutcome {
+                    verdict,
+                    reports: reports
+                        .into_iter()
+                        .map(|(input, payload)| ScreenReport { input, payload })
+                        .collect(),
+                });
+                Ok(vec![(0, verdict_msg)])
+            }
+            SupState::Done => unexpected("nothing (session finished)", &msg),
+        }
+    }
+
+    fn take_outcome(&mut self) -> Option<SessionOutcome> {
+        self.outcome.take()
+    }
+}
+
+enum PartState<H: HashFunction> {
+    AwaitAssign,
+    AwaitChallenge {
+        task_id: u64,
+        domain: Domain,
+        tree: ParticipantTree<H>,
+        reports: Vec<ScreenReport>,
+    },
+    AwaitVerdict {
+        task_id: u64,
+    },
+    Done(bool),
+}
+
+pub(crate) struct CbsParticipantSession<'a, H: HashFunction> {
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    behaviour: &'a dyn WorkerBehaviour,
+    storage: ParticipantStorage,
+    parallelism: Parallelism,
+    ledger: CostLedger,
+    state: PartState<H>,
+    reports_sent: usize,
+}
+
+impl<'a, H: HashFunction> CbsParticipantSession<'a, H> {
+    pub(crate) fn new(ctx: ParticipantContext<'a>) -> Self {
+        CbsParticipantSession {
+            task: ctx.task,
+            screener: ctx.screener,
+            behaviour: ctx.behaviour,
+            storage: ctx.storage,
+            parallelism: ctx.parallelism,
+            ledger: ctx.ledger,
+            state: PartState::AwaitAssign,
+            reports_sent: 0,
+        }
+    }
+
+    pub(crate) fn reports_sent(&self) -> usize {
+        self.reports_sent
+    }
+}
+
+impl<H: HashFunction> ParticipantSession for CbsParticipantSession<'_, H> {
+    fn on_message(&mut self, msg: Message) -> Result<Vec<Message>, SchemeError> {
+        match std::mem::replace(&mut self.state, PartState::AwaitAssign) {
+            // Step 1: evaluate (honestly or not), build the tree, commit.
+            PartState::AwaitAssign => {
+                let Message::Assign(assignment) = msg else {
+                    return unexpected("Assign", &msg);
+                };
+                let domain = assignment.domain;
+                let task_id = assignment.task_id;
+                let Materialized { leaves, reports } = materialize(
+                    self.task,
+                    self.screener,
+                    domain,
+                    self.behaviour,
+                    &self.ledger,
+                );
+                let tree = ParticipantTree::<H>::build(
+                    &leaves,
+                    self.storage,
+                    self.parallelism,
+                    &self.ledger,
+                )?;
+                if matches!(self.storage, ParticipantStorage::Partial { .. }) {
+                    // Section 3.3: the full leaf set is not retained.
+                    drop(leaves);
+                }
+                let commit = Message::Commit {
+                    task_id,
+                    root: tree.root().as_ref().to_vec(),
+                };
+                self.state = PartState::AwaitChallenge {
+                    task_id,
+                    domain,
+                    tree,
+                    reports,
+                };
+                Ok(vec![commit])
+            }
+            // Step 3: prove honesty on every sample; ship proofs + reports.
+            PartState::AwaitChallenge {
+                task_id,
+                domain,
+                tree,
+                reports,
+            } => {
+                let Message::Challenge {
+                    task_id: tid,
+                    samples,
+                } = msg
+                else {
+                    return unexpected("Challenge", &msg);
+                };
+                check_task(task_id, tid)?;
+                let mut proofs = Vec::with_capacity(samples.len());
+                for &index in &samples {
+                    proofs.push(tree.prove(
+                        index,
+                        self.task,
+                        domain,
+                        self.behaviour,
+                        &self.ledger,
+                    )?);
+                }
+                self.reports_sent = reports.len();
+                let out = vec![
+                    Message::Proofs { task_id, proofs },
+                    Message::Reports {
+                        task_id,
+                        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
+                    },
+                ];
+                self.state = PartState::AwaitVerdict { task_id };
+                Ok(out)
+            }
+            // Step 4 happened at the supervisor; record the verdict.
+            PartState::AwaitVerdict { task_id } => {
+                let Message::Verdict {
+                    task_id: tid,
+                    accepted,
+                } = msg
+                else {
+                    return unexpected("Verdict", &msg);
+                };
+                check_task(task_id, tid)?;
+                self.state = PartState::Done(accepted);
+                Ok(Vec::new())
+            }
+            done @ PartState::Done(_) => {
+                self.state = done;
+                unexpected("nothing (session finished)", &msg)
+            }
+        }
+    }
+
+    fn finished(&self) -> Option<bool> {
+        match self.state {
+            PartState::Done(accepted) => Some(accepted),
+            _ => None,
+        }
+    }
+}
+
 /// Runs the participant side of interactive CBS over `endpoint`, building
 /// the commitment tree with the default parallelism (one thread per
 /// available core); see [`participant_cbs_with`].
@@ -179,10 +492,12 @@ where
 
 /// Runs the participant side of interactive CBS over `endpoint`.
 ///
-/// Blocks until the round completes (Assign → Commit → Challenge → Proofs
-/// → Verdict). All computation costs are charged to `ledger`; the
-/// commitment tree builds with up to `parallelism` threads (bit-identical
-/// to the serial build).
+/// A thin wrapper over the session engine's state machine: it builds the
+/// scheme's [`ParticipantSession`] and drives it to completion with
+/// blocking receives (Assign → Commit → Challenge → Proofs → Verdict).
+/// All computation costs are charged to `ledger`; the commitment tree
+/// builds with up to `parallelism` threads (bit-identical to the serial
+/// build).
 ///
 /// # Errors
 ///
@@ -202,70 +517,24 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
-    // Step 0: receive the assignment.
-    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
-        Message::Assign(a) => Ok(a),
-        other => Err(other),
-    })?;
-    let domain = assignment.domain;
-    let task_id = assignment.task_id;
-
-    // Step 1: evaluate (honestly or not), build the tree, commit Φ(R).
-    let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
-    let tree = ParticipantTree::<H>::build(&leaves, storage, parallelism, ledger)?;
-    if matches!(storage, ParticipantStorage::Partial { .. }) {
-        // Section 3.3: the full leaf set is not retained.
-        drop(leaves);
-    }
-    endpoint.send(&Message::Commit {
-        task_id,
-        root: tree.root().as_ref().to_vec(),
-    })?;
-
-    // Step 2: receive the samples.
-    let samples = recv_matching(endpoint, "Challenge", |msg| match msg {
-        Message::Challenge {
-            task_id: tid,
-            samples,
-        } => Ok((tid, samples)),
-        other => Err(other),
-    })
-    .and_then(|(tid, samples)| {
-        check_task(task_id, tid)?;
-        Ok(samples)
-    })?;
-
-    // Step 3: prove honesty on every sample; ship proofs and reports.
-    let mut proofs = Vec::with_capacity(samples.len());
-    for &index in &samples {
-        proofs.push(tree.prove(index, task, domain, behaviour, ledger)?);
-    }
-    endpoint.send(&Message::Proofs { task_id, proofs })?;
-    let reports_sent = reports.len();
-    endpoint.send(&Message::Reports {
-        task_id,
-        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
-    })?;
-
-    // Step 4 happens at the supervisor; await the verdict.
-    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict {
-            task_id: tid,
-            accepted,
-        } => Ok((tid, accepted)),
-        other => Err(other),
-    })
-    .and_then(|(tid, accepted)| {
-        check_task(task_id, tid)?;
-        Ok(accepted)
-    })?;
+    let mut session = CbsParticipantSession::<H>::new(ParticipantContext {
+        task,
+        screener,
+        behaviour,
+        storage,
+        parallelism,
+        ledger: ledger.clone(),
+    });
+    let accepted = drive_participant(endpoint, &mut session)?;
     Ok(ParticipantRun {
         accepted,
-        reports_sent,
+        reports_sent: session.reports_sent(),
     })
 }
 
-/// Runs the supervisor side of interactive CBS over `endpoint`.
+/// Runs the supervisor side of interactive CBS over `endpoint` — a thin
+/// wrapper that drives the scheme's [`SupervisorSession`] to completion
+/// with blocking receives.
 ///
 /// Returns the verdict and the screened reports received (reports are kept
 /// even on rejection, for inspection; a production supervisor would
@@ -288,78 +557,23 @@ where
     T: ComputeTask,
     S: Screener,
 {
-    if config.samples == 0 {
-        return Err(SchemeError::InvalidConfig {
-            reason: "samples must be positive",
-        });
-    }
-    let task_id = config.task_id;
-    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
-
-    // Step 1→2: commitment first, then reveal the samples.
-    let root_bytes = recv_matching(endpoint, "Commit", |msg| match msg {
-        Message::Commit { task_id: tid, root } => Ok((tid, root)),
-        other => Err(other),
-    })
-    .and_then(|(tid, root)| {
-        check_task(task_id, tid)?;
-        Ok(root)
-    })?;
-    let root = H::digest_from_bytes(&root_bytes).ok_or(SchemeError::MalformedPayload {
-        what: "commitment root",
-    })?;
-    let samples = draw_samples(config.seed, config.samples, domain.len());
-    endpoint.send(&Message::Challenge {
-        task_id,
-        samples: samples.clone(),
-    })?;
-
-    // Step 3: collect the proofs and reports.
-    let proofs = recv_matching(endpoint, "Proofs", |msg| match msg {
-        Message::Proofs {
-            task_id: tid,
-            proofs,
-        } => Ok((tid, proofs)),
-        other => Err(other),
-    })
-    .and_then(|(tid, proofs)| {
-        check_task(task_id, tid)?;
-        Ok(proofs)
-    })?;
-    let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
-        Message::Reports {
-            task_id: tid,
-            reports,
-        } => Ok((tid, reports)),
-        other => Err(other),
-    })
-    .and_then(|(tid, reports)| {
-        check_task(task_id, tid)?;
-        Ok(reports)
-    })?;
-
-    // Step 4: verify.
-    let verdict = verify_round::<H>(
-        task,
-        screener,
-        domain,
-        &root,
-        &samples,
-        &proofs,
-        &wire_reports,
-        config.report_audit,
-        config.seed,
-        ledger,
-    )?;
-    endpoint.send(&Message::Verdict {
-        task_id,
-        accepted: verdict.is_accepted(),
-    })?;
-    let reports = wire_reports
-        .into_iter()
-        .map(|(input, payload)| ScreenReport { input, payload })
-        .collect();
-    Ok((verdict, reports))
+    let scheme = CbsScheme {
+        samples: config.samples,
+        seed: config.seed,
+        report_audit: config.report_audit,
+    };
+    let mut session = VerificationScheme::<H>::supervisor_session(
+        &scheme,
+        SupervisorContext {
+            task,
+            screener,
+            domain,
+            task_ids: vec![config.task_id],
+            ledger: ledger.clone(),
+        },
+    );
+    let outcome = drive_supervisor(&[endpoint], session.as_mut())?;
+    Ok((outcome.verdict, outcome.reports))
 }
 
 /// The supervisor's Step 4 as a standalone building block: checks that

@@ -5,9 +5,15 @@
 //! wasted on redundancy*, and the supervisor still absorbs two `O(n)`
 //! uploads. This is the baseline that motivates everything else.
 
-use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::scheme::check_task;
+use crate::scheme::naive::FlatUploadParticipantSession;
+use crate::session::{
+    drive_participant, drive_supervisor, unexpected, Outbound, ParticipantContext,
+    ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession, VerificationScheme,
+};
 use crate::{RoundOutcome, SchemeError, Verdict};
 use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, WorkerBehaviour};
+use ugc_hash::HashFunction;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 /// Double-check parameters.
@@ -17,7 +23,145 @@ pub struct DoubleCheckConfig {
     pub task_id: u64,
 }
 
-/// Runs the replica (participant) side: evaluate and upload everything.
+/// The double-check scheme as a [`VerificationScheme`]. The only
+/// two-slot scheme: one supervisor session spans *two* participant
+/// replicas, so its session demonstrates the engine's multi-peer routing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DoubleCheckScheme;
+
+impl<H: HashFunction> VerificationScheme<H> for DoubleCheckScheme {
+    fn name(&self) -> &'static str {
+        "double-check"
+    }
+
+    fn participant_slots(&self) -> usize {
+        2
+    }
+
+    fn supervisor_session<'a>(
+        &'a self,
+        ctx: SupervisorContext<'a>,
+    ) -> Box<dyn SupervisorSession + 'a> {
+        let mut task_ids = [0u64; 2];
+        for (slot, id) in task_ids.iter_mut().zip(&ctx.task_ids) {
+            *slot = *id;
+        }
+        Box::new(DoubleCheckSupervisorSession {
+            task_ids,
+            task: ctx.task,
+            screener: ctx.screener,
+            domain: ctx.domain,
+            ledger: ctx.ledger,
+            uploads: [None, None],
+            done: false,
+            outcome: None,
+        })
+    }
+
+    fn participant_session<'a>(
+        &'a self,
+        ctx: ParticipantContext<'a>,
+    ) -> Box<dyn ParticipantSession + 'a> {
+        // A replica is wire-identical to a naive-sampling participant:
+        // evaluate, flat-upload, await the verdict.
+        Box::new(FlatUploadParticipantSession::new(ctx))
+    }
+}
+
+struct DoubleCheckSupervisorSession<'a> {
+    task_ids: [u64; 2],
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    domain: Domain,
+    ledger: CostLedger,
+    uploads: [Option<Vec<u8>>; 2],
+    done: bool,
+    outcome: Option<SessionOutcome>,
+}
+
+impl SupervisorSession for DoubleCheckSupervisorSession<'_> {
+    fn start(&mut self) -> Result<Vec<Outbound>, SchemeError> {
+        Ok((0..2)
+            .map(|slot| {
+                (
+                    slot,
+                    Message::Assign(Assignment {
+                        task_id: self.task_ids[slot],
+                        domain: self.domain,
+                    }),
+                )
+            })
+            .collect())
+    }
+
+    fn on_message(&mut self, slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError> {
+        if self.done || slot > 1 || self.uploads[slot].is_some() {
+            return unexpected("nothing (replica already answered)", &msg);
+        }
+        let Message::AllResults {
+            task_id,
+            leaf_width,
+            data,
+        } = msg
+        else {
+            return unexpected("AllResults", &msg);
+        };
+        check_task(self.task_ids[slot], task_id)?;
+        let width = self.task.output_width();
+        if leaf_width as usize != width || data.len() as u64 != self.domain.len() * width as u64 {
+            return Err(SchemeError::MalformedPayload {
+                what: "flat results layout",
+            });
+        }
+        self.uploads[slot] = Some(data);
+        let [Some(data_a), Some(data_b)] = &self.uploads else {
+            return Ok(Vec::new()); // first replica in; wait for its twin
+        };
+
+        // Both uploads in hand: compare byte-for-byte, screen agreement.
+        let verdict = match (0..self.domain.len()).find(|&i| {
+            let lo = (i as usize) * width;
+            data_a[lo..lo + width] != data_b[lo..lo + width]
+        }) {
+            Some(index) => Verdict::ReplicaDisagreement { index },
+            None => Verdict::Accepted,
+        };
+        let mut reports = Vec::new();
+        if verdict.is_accepted() {
+            for i in 0..self.domain.len() {
+                let x = self.domain.input(i).expect("index within domain");
+                let lo = (i as usize) * width;
+                if let Some(report) = self.screener.screen(x, &data_a[lo..lo + width]) {
+                    reports.push(report);
+                }
+            }
+        }
+        let out = (0..2)
+            .map(|s| {
+                (
+                    s,
+                    Message::Verdict {
+                        task_id: self.task_ids[s],
+                        accepted: verdict.is_accepted(),
+                    },
+                )
+            })
+            .collect();
+        // The comparison itself is linear but cheap; we charge one verify
+        // op per compared record for the cost tables.
+        self.ledger.charge_verify(self.domain.len());
+        self.done = true;
+        self.outcome = Some(SessionOutcome { verdict, reports });
+        Ok(out)
+    }
+
+    fn take_outcome(&mut self) -> Option<SessionOutcome> {
+        self.outcome.take()
+    }
+}
+
+/// Runs the replica (participant) side: evaluate and upload everything. A
+/// thin wrapper driving the shared flat-upload [`ParticipantSession`].
 ///
 /// # Errors
 ///
@@ -34,39 +178,21 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
-    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
-        Message::Assign(a) => Ok(a),
-        other => Err(other),
-    })?;
-    let domain = assignment.domain;
-    let task_id = assignment.task_id;
-    let Materialized { leaves, .. } = materialize(task, screener, domain, behaviour, ledger);
-    let width = task.output_width();
-    let mut data = Vec::with_capacity(leaves.len() * width);
-    for leaf in &leaves {
-        data.extend_from_slice(leaf);
-    }
-    endpoint.send(&Message::AllResults {
-        task_id,
-        leaf_width: width as u32,
-        data,
-    })?;
-    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict {
-            task_id: tid,
-            accepted,
-        } => Ok((tid, accepted)),
-        other => Err(other),
-    })
-    .and_then(|(tid, accepted)| {
-        check_task(task_id, tid)?;
-        Ok(accepted)
-    })?;
-    Ok(accepted)
+    let mut session = FlatUploadParticipantSession::new(ParticipantContext {
+        task,
+        screener,
+        behaviour,
+        storage: crate::ParticipantStorage::Full,
+        parallelism: ugc_merkle::Parallelism::serial(),
+        ledger: ledger.clone(),
+    });
+    drive_participant(endpoint, &mut session)
 }
 
 /// Runs the supervisor against two replicas: assign the same domain to
 /// both, compare their uploads byte-for-byte, screen the agreed results.
+/// A thin wrapper driving the scheme's two-slot [`SupervisorSession`]
+/// over the pair of endpoints.
 ///
 /// # Errors
 ///
@@ -84,64 +210,19 @@ where
     T: ComputeTask,
     S: Screener,
 {
-    let task_id = config.task_id;
-    let assignment = Message::Assign(Assignment { task_id, domain });
-    endpoint_a.send(&assignment)?;
-    endpoint_b.send(&assignment)?;
-
-    let recv_upload = |endpoint: &Endpoint| -> Result<Vec<u8>, SchemeError> {
-        recv_matching(endpoint, "AllResults", |msg| match msg {
-            Message::AllResults {
-                task_id: tid,
-                leaf_width,
-                data,
-            } => Ok((tid, leaf_width, data)),
-            other => Err(other),
-        })
-        .and_then(|(tid, width, data)| {
-            check_task(task_id, tid)?;
-            if width as usize != task.output_width()
-                || data.len() as u64 != domain.len() * width as u64
-            {
-                return Err(SchemeError::MalformedPayload {
-                    what: "flat results layout",
-                });
-            }
-            Ok(data)
-        })
-    };
-    let data_a = recv_upload(endpoint_a)?;
-    let data_b = recv_upload(endpoint_b)?;
-
-    let width = task.output_width();
-    let verdict = match (0..domain.len()).find(|&i| {
-        let lo = (i as usize) * width;
-        data_a[lo..lo + width] != data_b[lo..lo + width]
-    }) {
-        Some(index) => Verdict::ReplicaDisagreement { index },
-        None => Verdict::Accepted,
-    };
-
-    let mut reports = Vec::new();
-    if verdict.is_accepted() {
-        for i in 0..domain.len() {
-            let x = domain.input(i).expect("index within domain");
-            let lo = (i as usize) * width;
-            if let Some(report) = screener.screen(x, &data_a[lo..lo + width]) {
-                reports.push(report);
-            }
-        }
-    }
-    let verdict_msg = Message::Verdict {
-        task_id,
-        accepted: verdict.is_accepted(),
-    };
-    endpoint_a.send(&verdict_msg)?;
-    endpoint_b.send(&verdict_msg)?;
-    // The comparison itself is linear but cheap; we charge one verify op
-    // per compared record for the cost tables.
-    ledger.charge_verify(domain.len());
-    Ok((verdict, reports))
+    let scheme = DoubleCheckScheme;
+    let mut session = VerificationScheme::<ugc_hash::Sha256>::supervisor_session(
+        &scheme,
+        SupervisorContext {
+            task,
+            screener,
+            domain,
+            task_ids: vec![config.task_id; 2],
+            ledger: ledger.clone(),
+        },
+    );
+    let outcome = drive_supervisor(&[endpoint_a, endpoint_b], session.as_mut())?;
+    Ok((outcome.verdict, outcome.reports))
 }
 
 /// Runs a complete double-check round: two replicas on scoped threads.

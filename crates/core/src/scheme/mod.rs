@@ -2,13 +2,19 @@
 //!
 //! Each scheme exposes three layers:
 //!
-//! 1. `supervisor_*` / `participant_*` — one side of the protocol over an
-//!    [`Endpoint`](ugc_grid::Endpoint), usable across threads or through a
-//!    [`Broker`](ugc_grid::Broker);
-//! 2. `run_*` — a convenience that wires a duplex link, runs the
-//!    participant on a scoped thread, and returns a
-//!    [`RoundOutcome`](crate::RoundOutcome) with full cost and traffic
-//!    accounting;
+//! 1. a *scheme object* ([`cbs::CbsScheme`], [`ni_cbs::NiCbsScheme`],
+//!    [`naive::NaiveScheme`], [`double_check::DoubleCheckScheme`],
+//!    [`ringer::RingerScheme`]) implementing
+//!    [`VerificationScheme`](crate::session::VerificationScheme) — the
+//!    message-driven supervisor/participant state machines a
+//!    [`SessionEngine`](crate::engine::SessionEngine) multiplexes over any
+//!    transport, including a [`Broker`](ugc_grid::Broker);
+//! 2. `supervisor_*` / `participant_*` — thin wrappers that drive one
+//!    session to completion over a blocking
+//!    [`Endpoint`](ugc_grid::Endpoint), and `run_*` — a convenience that
+//!    wires a duplex link, runs the participant on a scoped thread, and
+//!    returns a [`RoundOutcome`](crate::RoundOutcome) with full cost and
+//!    traffic accounting;
 //! 3. attack entry points (e.g. [`ni_cbs::retry_attack`]) where the paper
 //!    analyses one.
 
@@ -18,11 +24,10 @@ pub mod naive;
 pub mod ni_cbs;
 pub mod ringer;
 
-use crate::error::message_kind;
 use crate::{SchemeError, Verdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ugc_grid::{CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour};
+use ugc_grid::{CostLedger, SampleProof, WorkerBehaviour};
 use ugc_hash::HashFunction;
 use ugc_merkle::MerkleProof;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
@@ -156,20 +161,6 @@ pub(crate) fn audit_reports(
         }
     }
     None
-}
-
-/// Receives a message and fails with a uniform error if it is not produced
-/// by `expected`.
-pub(crate) fn recv_matching<T>(
-    endpoint: &Endpoint,
-    expected: &'static str,
-    matcher: impl FnOnce(Message) -> Result<T, Message>,
-) -> Result<T, SchemeError> {
-    let msg = endpoint.recv()?;
-    matcher(msg).map_err(|other| SchemeError::UnexpectedMessage {
-        expected,
-        got: message_kind(&other),
-    })
 }
 
 /// Checks a task-id echo.

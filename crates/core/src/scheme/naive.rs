@@ -7,9 +7,14 @@
 //! the communication experiments measure.
 
 use crate::sampling::draw_samples;
-use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::scheme::{check_task, materialize, Materialized};
+use crate::session::{
+    drive_participant, drive_supervisor, unexpected, Outbound, ParticipantContext,
+    ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession, VerificationScheme,
+};
 use crate::{RoundOutcome, SchemeError, Verdict};
 use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, WorkerBehaviour};
+use ugc_hash::HashFunction;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 /// Naive-sampling parameters.
@@ -23,96 +28,126 @@ pub struct NaiveConfig {
     pub seed: u64,
 }
 
-/// Runs the participant side: evaluate and upload every result.
+/// The naive sampling scheme as a [`VerificationScheme`]: flat `O(n)`
+/// upload, spot-check `m` samples by recomputation.
 ///
-/// # Errors
-///
-/// Transport failures or malformed peer messages.
-pub fn participant_naive<T, S, B>(
-    endpoint: &Endpoint,
-    task: &T,
-    screener: &S,
-    behaviour: &B,
-    ledger: &CostLedger,
-) -> Result<bool, SchemeError>
-where
-    T: ComputeTask,
-    S: Screener,
-    B: WorkerBehaviour,
-{
-    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
-        Message::Assign(a) => Ok(a),
-        other => Err(other),
-    })?;
-    let domain = assignment.domain;
-    let task_id = assignment.task_id;
-
-    // The participant still screens locally (the supervisor will anyway),
-    // but naive sampling's defining trait is the flat upload.
-    let Materialized { leaves, .. } = materialize(task, screener, domain, behaviour, ledger);
-    let width = task.output_width();
-    let mut data = Vec::with_capacity(leaves.len() * width);
-    for leaf in &leaves {
-        data.extend_from_slice(leaf);
-    }
-    endpoint.send(&Message::AllResults {
-        task_id,
-        leaf_width: width as u32,
-        data,
-    })?;
-
-    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict {
-            task_id: tid,
-            accepted,
-        } => Ok((tid, accepted)),
-        other => Err(other),
-    })
-    .and_then(|(tid, accepted)| {
-        check_task(task_id, tid)?;
-        Ok(accepted)
-    })?;
-    Ok(accepted)
+/// Parameters mirror [`NaiveConfig`] minus the task id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveScheme {
+    /// Number of spot-checked samples `m`.
+    pub samples: usize,
+    /// Supervisor sampling seed.
+    pub seed: u64,
 }
 
-/// Runs the supervisor side: receive the flat upload, spot-check `m`
-/// samples by recomputation, screen the (verified) results itself.
-///
-/// # Errors
-///
-/// Transport failures, malformed peer messages, or invalid configuration.
-pub fn supervisor_naive<T, S>(
-    endpoint: &Endpoint,
-    task: &T,
-    screener: &S,
-    domain: Domain,
-    config: &NaiveConfig,
-    ledger: &CostLedger,
-) -> Result<(Verdict, Vec<ScreenReport>), SchemeError>
-where
-    T: ComputeTask,
-    S: Screener,
-{
-    if config.samples == 0 {
-        return Err(SchemeError::InvalidConfig {
-            reason: "samples must be positive",
-        });
+impl<H: HashFunction> VerificationScheme<H> for NaiveScheme {
+    fn name(&self) -> &'static str {
+        "naive"
     }
-    let task_id = config.task_id;
-    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
 
-    let (width, data) = recv_matching(endpoint, "AllResults", |msg| match msg {
-        Message::AllResults {
-            task_id: tid,
+    fn supervisor_session<'a>(
+        &'a self,
+        ctx: SupervisorContext<'a>,
+    ) -> Box<dyn SupervisorSession + 'a> {
+        Box::new(NaiveSupervisorSession {
+            scheme: *self,
+            task_id: ctx.task_ids.first().copied().unwrap_or_default(),
+            task: ctx.task,
+            screener: ctx.screener,
+            domain: ctx.domain,
+            ledger: ctx.ledger,
+            done: false,
+            outcome: None,
+        })
+    }
+
+    fn participant_session<'a>(
+        &'a self,
+        ctx: ParticipantContext<'a>,
+    ) -> Box<dyn ParticipantSession + 'a> {
+        Box::new(FlatUploadParticipantSession::new(ctx))
+    }
+}
+
+struct NaiveSupervisorSession<'a> {
+    scheme: NaiveScheme,
+    task_id: u64,
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    domain: Domain,
+    ledger: CostLedger,
+    done: bool,
+    outcome: Option<SessionOutcome>,
+}
+
+impl SupervisorSession for NaiveSupervisorSession<'_> {
+    fn start(&mut self) -> Result<Vec<Outbound>, SchemeError> {
+        if self.scheme.samples == 0 {
+            return Err(SchemeError::InvalidConfig {
+                reason: "samples must be positive",
+            });
+        }
+        Ok(vec![(
+            0,
+            Message::Assign(Assignment {
+                task_id: self.task_id,
+                domain: self.domain,
+            }),
+        )])
+    }
+
+    fn on_message(&mut self, _slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError> {
+        if self.done {
+            return unexpected("nothing (session finished)", &msg);
+        }
+        let Message::AllResults {
+            task_id,
             leaf_width,
             data,
-        } => Ok((tid, leaf_width, data)),
-        other => Err(other),
-    })
-    .and_then(|(tid, width, data)| {
-        check_task(task_id, tid)?;
-        Ok((width as usize, data))
-    })?;
+        } = msg
+        else {
+            return unexpected("AllResults", &msg);
+        };
+        check_task(self.task_id, task_id)?;
+        let width = leaf_width as usize;
+        let (verdict, reports) = check_flat_upload(
+            self.task,
+            self.screener,
+            self.domain,
+            width,
+            &data,
+            self.scheme.samples,
+            self.scheme.seed,
+            &self.ledger,
+        )?;
+        self.done = true;
+        let verdict_msg = Message::Verdict {
+            task_id: self.task_id,
+            accepted: verdict.is_accepted(),
+        };
+        self.outcome = Some(SessionOutcome { verdict, reports });
+        Ok(vec![(0, verdict_msg)])
+    }
+
+    fn take_outcome(&mut self) -> Option<SessionOutcome> {
+        self.outcome.take()
+    }
+}
+
+/// The supervisor's naive-sampling check as a building block: validate the
+/// flat layout, spot-check `m` samples by recomputation, screen the
+/// verified results locally.
+#[allow(clippy::too_many_arguments)]
+fn check_flat_upload(
+    task: &dyn ComputeTask,
+    screener: &dyn Screener,
+    domain: Domain,
+    width: usize,
+    data: &[u8],
+    samples: usize,
+    seed: u64,
+    ledger: &CostLedger,
+) -> Result<(Verdict, Vec<ScreenReport>), SchemeError> {
     if width != task.output_width() || data.len() as u64 != domain.len() * width as u64 {
         return Err(SchemeError::MalformedPayload {
             what: "flat results layout",
@@ -121,9 +156,9 @@ where
     let leaf = |i: u64| &data[(i as usize) * width..(i as usize + 1) * width];
 
     // Spot-check m samples by recomputation.
-    let samples = draw_samples(config.seed, config.samples, domain.len());
+    let drawn = draw_samples(seed, samples, domain.len());
     let mut verdict = Verdict::Accepted;
-    for &i in &samples {
+    for &i in &drawn {
         let x = domain.input(i).expect("sample within domain");
         ledger.charge_verify(1);
         if !task.cheap_verification() {
@@ -144,11 +179,160 @@ where
             }
         }
     }
-    endpoint.send(&Message::Verdict {
-        task_id,
-        accepted: verdict.is_accepted(),
-    })?;
     Ok((verdict, reports))
+}
+
+enum FlatState {
+    AwaitAssign,
+    AwaitVerdict { task_id: u64 },
+    Done(bool),
+}
+
+/// The participant session shared by every flat-upload scheme (naive
+/// sampling and the double-check replicas): evaluate the behaviour over
+/// the domain, upload all `n` results, await the verdict.
+pub(crate) struct FlatUploadParticipantSession<'a> {
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    behaviour: &'a dyn WorkerBehaviour,
+    ledger: CostLedger,
+    state: FlatState,
+}
+
+impl<'a> FlatUploadParticipantSession<'a> {
+    pub(crate) fn new(ctx: ParticipantContext<'a>) -> Self {
+        FlatUploadParticipantSession {
+            task: ctx.task,
+            screener: ctx.screener,
+            behaviour: ctx.behaviour,
+            ledger: ctx.ledger,
+            state: FlatState::AwaitAssign,
+        }
+    }
+}
+
+impl ParticipantSession for FlatUploadParticipantSession<'_> {
+    fn on_message(&mut self, msg: Message) -> Result<Vec<Message>, SchemeError> {
+        match std::mem::replace(&mut self.state, FlatState::AwaitAssign) {
+            FlatState::AwaitAssign => {
+                let Message::Assign(assignment) = msg else {
+                    return unexpected("Assign", &msg);
+                };
+                let domain = assignment.domain;
+                let task_id = assignment.task_id;
+                // The participant still screens locally (the supervisor
+                // will anyway), but the defining trait is the flat upload.
+                let Materialized { leaves, .. } = materialize(
+                    self.task,
+                    self.screener,
+                    domain,
+                    self.behaviour,
+                    &self.ledger,
+                );
+                let width = self.task.output_width();
+                let mut data = Vec::with_capacity(leaves.len() * width);
+                for leaf in &leaves {
+                    data.extend_from_slice(leaf);
+                }
+                self.state = FlatState::AwaitVerdict { task_id };
+                Ok(vec![Message::AllResults {
+                    task_id,
+                    leaf_width: width as u32,
+                    data,
+                }])
+            }
+            FlatState::AwaitVerdict { task_id } => {
+                let Message::Verdict {
+                    task_id: tid,
+                    accepted,
+                } = msg
+                else {
+                    return unexpected("Verdict", &msg);
+                };
+                check_task(task_id, tid)?;
+                self.state = FlatState::Done(accepted);
+                Ok(Vec::new())
+            }
+            done @ FlatState::Done(_) => {
+                self.state = done;
+                unexpected("nothing (session finished)", &msg)
+            }
+        }
+    }
+
+    fn finished(&self) -> Option<bool> {
+        match self.state {
+            FlatState::Done(accepted) => Some(accepted),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the participant side: evaluate and upload every result. A thin
+/// wrapper driving the shared flat-upload [`ParticipantSession`].
+///
+/// # Errors
+///
+/// Transport failures or malformed peer messages.
+pub fn participant_naive<T, S, B>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    behaviour: &B,
+    ledger: &CostLedger,
+) -> Result<bool, SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+    B: WorkerBehaviour,
+{
+    let mut session = FlatUploadParticipantSession::new(ParticipantContext {
+        task,
+        screener,
+        behaviour,
+        storage: crate::ParticipantStorage::Full,
+        parallelism: ugc_merkle::Parallelism::serial(),
+        ledger: ledger.clone(),
+    });
+    drive_participant(endpoint, &mut session)
+}
+
+/// Runs the supervisor side: receive the flat upload, spot-check `m`
+/// samples by recomputation, screen the (verified) results itself. A thin
+/// wrapper driving the scheme's [`SupervisorSession`].
+///
+/// # Errors
+///
+/// Transport failures, malformed peer messages, or invalid configuration.
+pub fn supervisor_naive<T, S>(
+    endpoint: &Endpoint,
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    config: &NaiveConfig,
+    ledger: &CostLedger,
+) -> Result<(Verdict, Vec<ScreenReport>), SchemeError>
+where
+    T: ComputeTask,
+    S: Screener,
+{
+    let scheme = NaiveScheme {
+        samples: config.samples,
+        seed: config.seed,
+    };
+    // The scheme is hash-free; instantiate its trait face with any digest.
+    let mut session = VerificationScheme::<ugc_hash::Sha256>::supervisor_session(
+        &scheme,
+        SupervisorContext {
+            task,
+            screener,
+            domain,
+            task_ids: vec![config.task_id],
+            ledger: ledger.clone(),
+        },
+    );
+    let outcome = drive_supervisor(&[endpoint], session.as_mut())?;
+    Ok((outcome.verdict, outcome.reports))
 }
 
 /// Runs a complete naive-sampling round in-process.

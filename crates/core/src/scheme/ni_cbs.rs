@@ -15,10 +15,15 @@
 
 use crate::sampling::{derive_samples, derive_until_outside};
 use crate::scheme::cbs::{verify_round, ParticipantTree};
-use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::scheme::{check_task, materialize, Materialized};
+use crate::session::{
+    drive_participant, drive_supervisor, unexpected, Outbound, ParticipantContext,
+    ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession, VerificationScheme,
+};
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use ugc_grid::{
-    duplex, Assignment, CostLedger, Endpoint, Message, SemiHonestCheater, WorkerBehaviour,
+    duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, SemiHonestCheater,
+    WorkerBehaviour,
 };
 use ugc_hash::{HashFunction, IteratedHash};
 use ugc_merkle::{MerkleTree, Parallelism};
@@ -39,6 +44,284 @@ pub struct NiCbsConfig {
     pub report_audit: usize,
     /// Seed for the report audit selection.
     pub audit_seed: u64,
+}
+
+/// The non-interactive CBS scheme as a [`VerificationScheme`]: one
+/// participant → supervisor delivery, samples self-derived from the
+/// commitment via Eq. (4).
+///
+/// Parameters mirror [`NiCbsConfig`] minus the task id (the session
+/// context supplies it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NiCbsScheme {
+    /// Number of self-derived samples `m`.
+    pub samples: usize,
+    /// Iteration count `k` of the sample generator `g = H^k`.
+    pub g_iterations: u64,
+    /// Screened-report audit size (0 disables).
+    pub report_audit: usize,
+    /// Seed for the report audit selection.
+    pub audit_seed: u64,
+}
+
+impl<H: HashFunction> VerificationScheme<H> for NiCbsScheme {
+    fn name(&self) -> &'static str {
+        "ni-cbs"
+    }
+
+    fn supervisor_session<'a>(
+        &'a self,
+        ctx: SupervisorContext<'a>,
+    ) -> Box<dyn SupervisorSession + 'a> {
+        Box::new(NiCbsSupervisorSession::<H> {
+            scheme: *self,
+            task_id: ctx.task_ids.first().copied().unwrap_or_default(),
+            task: ctx.task,
+            screener: ctx.screener,
+            domain: ctx.domain,
+            ledger: ctx.ledger,
+            state: SupState::AwaitCommitAndProofs,
+            outcome: None,
+            _hash: core::marker::PhantomData,
+        })
+    }
+
+    fn participant_session<'a>(
+        &'a self,
+        ctx: ParticipantContext<'a>,
+    ) -> Box<dyn ParticipantSession + 'a> {
+        Box::new(NiCbsParticipantSession::<H> {
+            scheme: *self,
+            task: ctx.task,
+            screener: ctx.screener,
+            behaviour: ctx.behaviour,
+            storage: ctx.storage,
+            parallelism: ctx.parallelism,
+            ledger: ctx.ledger,
+            state: PartState::AwaitAssign,
+            _hash: core::marker::PhantomData,
+        })
+    }
+}
+
+enum SupState {
+    AwaitCommitAndProofs,
+    AwaitReports {
+        root_bytes: Vec<u8>,
+        proofs: Vec<SampleProof>,
+    },
+    Done,
+}
+
+struct NiCbsSupervisorSession<'a, H: HashFunction> {
+    scheme: NiCbsScheme,
+    task_id: u64,
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    domain: Domain,
+    ledger: CostLedger,
+    state: SupState,
+    outcome: Option<SessionOutcome>,
+    _hash: core::marker::PhantomData<H>,
+}
+
+impl<H: HashFunction> SupervisorSession for NiCbsSupervisorSession<'_, H> {
+    fn start(&mut self) -> Result<Vec<Outbound>, SchemeError> {
+        if self.scheme.samples == 0 {
+            return Err(SchemeError::InvalidConfig {
+                reason: "samples must be positive",
+            });
+        }
+        Ok(vec![(
+            0,
+            Message::Assign(Assignment {
+                task_id: self.task_id,
+                domain: self.domain,
+            }),
+        )])
+    }
+
+    fn on_message(&mut self, _slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError> {
+        match std::mem::replace(&mut self.state, SupState::Done) {
+            SupState::AwaitCommitAndProofs => {
+                let Message::CommitAndProofs {
+                    task_id,
+                    root,
+                    proofs,
+                } = msg
+                else {
+                    return unexpected("CommitAndProofs", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                self.state = SupState::AwaitReports {
+                    root_bytes: root,
+                    proofs,
+                };
+                Ok(Vec::new())
+            }
+            SupState::AwaitReports { root_bytes, proofs } => {
+                let Message::Reports { task_id, reports } = msg else {
+                    return unexpected("Reports", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                let root =
+                    H::digest_from_bytes(&root_bytes).ok_or(SchemeError::MalformedPayload {
+                        what: "commitment root",
+                    })?;
+                // Re-derive the samples the participant *must* have used
+                // (Eq. 4); the supervisor pays the same m·k unit hashes.
+                let g = IteratedHash::<H>::new(self.scheme.g_iterations);
+                let samples = derive_samples(
+                    &g,
+                    root.as_ref(),
+                    self.scheme.samples,
+                    self.domain.len(),
+                    &self.ledger,
+                );
+                let derivation_ok = proofs.len() == samples.len()
+                    && samples.iter().zip(&proofs).all(|(s, p)| *s == p.index);
+                let verdict = if derivation_ok {
+                    verify_round::<H>(
+                        self.task,
+                        self.screener,
+                        self.domain,
+                        &root,
+                        &samples,
+                        &proofs,
+                        &reports,
+                        self.scheme.report_audit,
+                        self.scheme.audit_seed,
+                        &self.ledger,
+                    )?
+                } else {
+                    Verdict::SampleDerivationMismatch
+                };
+                let verdict_msg = Message::Verdict {
+                    task_id: self.task_id,
+                    accepted: verdict.is_accepted(),
+                };
+                self.outcome = Some(SessionOutcome {
+                    verdict,
+                    reports: reports
+                        .into_iter()
+                        .map(|(input, payload)| ScreenReport { input, payload })
+                        .collect(),
+                });
+                Ok(vec![(0, verdict_msg)])
+            }
+            SupState::Done => unexpected("nothing (session finished)", &msg),
+        }
+    }
+
+    fn take_outcome(&mut self) -> Option<SessionOutcome> {
+        self.outcome.take()
+    }
+}
+
+enum PartState {
+    AwaitAssign,
+    AwaitVerdict { task_id: u64 },
+    Done(bool),
+}
+
+struct NiCbsParticipantSession<'a, H: HashFunction> {
+    scheme: NiCbsScheme,
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    behaviour: &'a dyn WorkerBehaviour,
+    storage: ParticipantStorage,
+    parallelism: Parallelism,
+    ledger: CostLedger,
+    state: PartState,
+    _hash: core::marker::PhantomData<H>,
+}
+
+impl<H: HashFunction> ParticipantSession for NiCbsParticipantSession<'_, H> {
+    fn on_message(&mut self, msg: Message) -> Result<Vec<Message>, SchemeError> {
+        match std::mem::replace(&mut self.state, PartState::AwaitAssign) {
+            // Everything happens at assignment time: evaluate, commit,
+            // self-derive the samples, prove — one shot on the wire.
+            PartState::AwaitAssign => {
+                let Message::Assign(assignment) = msg else {
+                    return unexpected("Assign", &msg);
+                };
+                let domain = assignment.domain;
+                let task_id = assignment.task_id;
+                let Materialized { leaves, reports } = materialize(
+                    self.task,
+                    self.screener,
+                    domain,
+                    self.behaviour,
+                    &self.ledger,
+                );
+                let tree = ParticipantTree::<H>::build(
+                    &leaves,
+                    self.storage,
+                    self.parallelism,
+                    &self.ledger,
+                )?;
+                if matches!(self.storage, ParticipantStorage::Partial { .. }) {
+                    drop(leaves);
+                }
+                let root = tree.root();
+                // Eq. (4): the samples come from the commitment itself.
+                let g = IteratedHash::<H>::new(self.scheme.g_iterations);
+                let samples = derive_samples(
+                    &g,
+                    root.as_ref(),
+                    self.scheme.samples,
+                    domain.len(),
+                    &self.ledger,
+                );
+                let mut proofs = Vec::with_capacity(samples.len());
+                for &index in &samples {
+                    proofs.push(tree.prove(
+                        index,
+                        self.task,
+                        domain,
+                        self.behaviour,
+                        &self.ledger,
+                    )?);
+                }
+                let out = vec![
+                    Message::CommitAndProofs {
+                        task_id,
+                        root: root.as_ref().to_vec(),
+                        proofs,
+                    },
+                    Message::Reports {
+                        task_id,
+                        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
+                    },
+                ];
+                self.state = PartState::AwaitVerdict { task_id };
+                Ok(out)
+            }
+            PartState::AwaitVerdict { task_id } => {
+                let Message::Verdict {
+                    task_id: tid,
+                    accepted,
+                } = msg
+                else {
+                    return unexpected("Verdict", &msg);
+                };
+                check_task(task_id, tid)?;
+                self.state = PartState::Done(accepted);
+                Ok(Vec::new())
+            }
+            done @ PartState::Done(_) => {
+                self.state = done;
+                unexpected("nothing (session finished)", &msg)
+            }
+        }
+    }
+
+    fn finished(&self) -> Option<bool> {
+        match self.state {
+            PartState::Done(accepted) => Some(accepted),
+            _ => None,
+        }
+    }
 }
 
 /// Runs the participant side of NI-CBS with the default tree-build
@@ -76,8 +359,10 @@ where
 }
 
 /// Runs the participant side of NI-CBS: evaluate, commit, self-derive
-/// samples, prove, ship everything in one shot. The commitment tree
-/// builds with up to `parallelism` threads (bit-identical to serial).
+/// samples, prove, ship everything in one shot. A thin wrapper that
+/// drives the scheme's [`ParticipantSession`] over blocking receives; the
+/// commitment tree builds with up to `parallelism` threads (bit-identical
+/// to serial).
 ///
 /// # Errors
 ///
@@ -99,53 +384,30 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
-    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
-        Message::Assign(a) => Ok(a),
-        other => Err(other),
-    })?;
-    let domain = assignment.domain;
-    let task_id = assignment.task_id;
-
-    let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
-    let tree = ParticipantTree::<H>::build(&leaves, storage, parallelism, ledger)?;
-    if matches!(storage, ParticipantStorage::Partial { .. }) {
-        drop(leaves);
-    }
-    let root = tree.root();
-
-    // Eq. (4): the samples come from the commitment itself.
-    let g = IteratedHash::<H>::new(config.g_iterations);
-    let samples = derive_samples(&g, root.as_ref(), config.samples, domain.len(), ledger);
-    let mut proofs = Vec::with_capacity(samples.len());
-    for &index in &samples {
-        proofs.push(tree.prove(index, task, domain, behaviour, ledger)?);
-    }
-    endpoint.send(&Message::CommitAndProofs {
-        task_id,
-        root: root.as_ref().to_vec(),
-        proofs,
-    })?;
-    endpoint.send(&Message::Reports {
-        task_id,
-        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
-    })?;
-
-    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict {
-            task_id: tid,
-            accepted,
-        } => Ok((tid, accepted)),
-        other => Err(other),
-    })
-    .and_then(|(tid, accepted)| {
-        check_task(task_id, tid)?;
-        Ok(accepted)
-    })?;
-    Ok(accepted)
+    let scheme = NiCbsScheme {
+        samples: config.samples,
+        g_iterations: config.g_iterations,
+        report_audit: config.report_audit,
+        audit_seed: config.audit_seed,
+    };
+    let mut session = VerificationScheme::<H>::participant_session(
+        &scheme,
+        ParticipantContext {
+            task,
+            screener,
+            behaviour,
+            storage,
+            parallelism,
+            ledger: ledger.clone(),
+        },
+    );
+    drive_participant(endpoint, session.as_mut())
 }
 
 /// Runs the supervisor side of NI-CBS: assign, receive the single-shot
-/// commitment, re-derive the samples from the root, verify.
+/// commitment, re-derive the samples from the root, verify. A thin
+/// wrapper that drives the scheme's [`SupervisorSession`] over blocking
+/// receives.
 ///
 /// # Errors
 ///
@@ -163,72 +425,24 @@ where
     T: ComputeTask,
     S: Screener,
 {
-    if config.samples == 0 {
-        return Err(SchemeError::InvalidConfig {
-            reason: "samples must be positive",
-        });
-    }
-    let task_id = config.task_id;
-    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
-
-    let (root_bytes, proofs) = recv_matching(endpoint, "CommitAndProofs", |msg| match msg {
-        Message::CommitAndProofs {
-            task_id: tid,
-            root,
-            proofs,
-        } => Ok((tid, root, proofs)),
-        other => Err(other),
-    })
-    .and_then(|(tid, root, proofs)| {
-        check_task(task_id, tid)?;
-        Ok((root, proofs))
-    })?;
-    let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
-        Message::Reports {
-            task_id: tid,
-            reports,
-        } => Ok((tid, reports)),
-        other => Err(other),
-    })
-    .and_then(|(tid, reports)| {
-        check_task(task_id, tid)?;
-        Ok(reports)
-    })?;
-
-    let root = H::digest_from_bytes(&root_bytes).ok_or(SchemeError::MalformedPayload {
-        what: "commitment root",
-    })?;
-    // Re-derive the samples the participant *must* have used (Eq. 4); the
-    // supervisor pays the same m·k unit hashes.
-    let g = IteratedHash::<H>::new(config.g_iterations);
-    let samples = derive_samples(&g, root.as_ref(), config.samples, domain.len(), ledger);
-    let derivation_ok =
-        proofs.len() == samples.len() && samples.iter().zip(&proofs).all(|(s, p)| *s == p.index);
-    let verdict = if derivation_ok {
-        verify_round::<H>(
+    let scheme = NiCbsScheme {
+        samples: config.samples,
+        g_iterations: config.g_iterations,
+        report_audit: config.report_audit,
+        audit_seed: config.audit_seed,
+    };
+    let mut session = VerificationScheme::<H>::supervisor_session(
+        &scheme,
+        SupervisorContext {
             task,
             screener,
             domain,
-            &root,
-            &samples,
-            &proofs,
-            &wire_reports,
-            config.report_audit,
-            config.audit_seed,
-            ledger,
-        )?
-    } else {
-        Verdict::SampleDerivationMismatch
-    };
-    endpoint.send(&Message::Verdict {
-        task_id,
-        accepted: verdict.is_accepted(),
-    })?;
-    let reports = wire_reports
-        .into_iter()
-        .map(|(input, payload)| ScreenReport { input, payload })
-        .collect();
-    Ok((verdict, reports))
+            task_ids: vec![config.task_id],
+            ledger: ledger.clone(),
+        },
+    );
+    let outcome = drive_supervisor(&[endpoint], session.as_mut())?;
+    Ok((outcome.verdict, outcome.reports))
 }
 
 /// Runs a complete NI-CBS round in-process with the default tree-build

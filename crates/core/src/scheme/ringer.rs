@@ -12,12 +12,17 @@
 //! tests): it only works for one-way `f`, and the supervisor pays `d`
 //! full evaluations per participant up front.
 
-use crate::scheme::{check_task, materialize, recv_matching, Materialized};
+use crate::scheme::{check_task, materialize, Materialized};
+use crate::session::{
+    drive_participant, drive_supervisor, unexpected, Outbound, ParticipantContext,
+    ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession, VerificationScheme,
+};
 use crate::{RoundOutcome, SchemeError, Verdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, WorkerBehaviour};
+use ugc_hash::HashFunction;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 /// Ringer-scheme parameters.
@@ -31,8 +36,260 @@ pub struct RingerConfig {
     pub seed: u64,
 }
 
+/// The ringer scheme as a [`VerificationScheme`].
+///
+/// Parameters mirror [`RingerConfig`] minus the task id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingerScheme {
+    /// Number of ringers `d` planted in the domain.
+    pub ringers: usize,
+    /// Seed for secret ringer placement.
+    pub seed: u64,
+}
+
+impl<H: HashFunction> VerificationScheme<H> for RingerScheme {
+    fn name(&self) -> &'static str {
+        "ringer"
+    }
+
+    fn supervisor_session<'a>(
+        &'a self,
+        ctx: SupervisorContext<'a>,
+    ) -> Box<dyn SupervisorSession + 'a> {
+        Box::new(RingerSupervisorSession {
+            scheme: *self,
+            task_id: ctx.task_ids.first().copied().unwrap_or_default(),
+            task: ctx.task,
+            domain: ctx.domain,
+            ledger: ctx.ledger,
+            state: SupState::NotStarted,
+            outcome: None,
+        })
+    }
+
+    fn participant_session<'a>(
+        &'a self,
+        ctx: ParticipantContext<'a>,
+    ) -> Box<dyn ParticipantSession + 'a> {
+        Box::new(RingerParticipantSession {
+            task: ctx.task,
+            screener: ctx.screener,
+            behaviour: ctx.behaviour,
+            ledger: ctx.ledger,
+            state: PartState::AwaitAssign,
+        })
+    }
+}
+
+enum SupState {
+    NotStarted,
+    AwaitFound { secret_inputs: BTreeSet<u64> },
+    AwaitReports { verdict: Verdict },
+    Done,
+}
+
+struct RingerSupervisorSession<'a> {
+    scheme: RingerScheme,
+    task_id: u64,
+    task: &'a dyn ComputeTask,
+    domain: Domain,
+    ledger: CostLedger,
+    state: SupState,
+    outcome: Option<SessionOutcome>,
+}
+
+impl SupervisorSession for RingerSupervisorSession<'_> {
+    fn start(&mut self) -> Result<Vec<Outbound>, SchemeError> {
+        if self.scheme.ringers == 0 {
+            return Err(SchemeError::InvalidConfig {
+                reason: "need at least one ringer",
+            });
+        }
+        if self.scheme.ringers as u64 > self.domain.len() {
+            return Err(SchemeError::InvalidConfig {
+                reason: "more ringers than domain inputs",
+            });
+        }
+        // Plant d distinct secret inputs and pre-compute their results.
+        let mut rng = StdRng::seed_from_u64(self.scheme.seed ^ 0x7269_6e67);
+        let mut secret_inputs = BTreeSet::new();
+        while secret_inputs.len() < self.scheme.ringers {
+            let i = rng.random_range(0..self.domain.len());
+            secret_inputs.insert(self.domain.input(i).expect("sample within domain"));
+        }
+        let mut ringer_values: Vec<Vec<u8>> = secret_inputs
+            .iter()
+            .map(|&x| {
+                self.ledger.charge_f(self.task.unit_cost());
+                self.task.compute(x)
+            })
+            .collect();
+        // Sort the values so their order leaks nothing about input order.
+        ringer_values.sort();
+        self.state = SupState::AwaitFound { secret_inputs };
+        Ok(vec![
+            (
+                0,
+                Message::Assign(Assignment {
+                    task_id: self.task_id,
+                    domain: self.domain,
+                }),
+            ),
+            (
+                0,
+                Message::RingerChallenge {
+                    task_id: self.task_id,
+                    ringers: ringer_values,
+                },
+            ),
+        ])
+    }
+
+    fn on_message(&mut self, _slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError> {
+        match std::mem::replace(&mut self.state, SupState::Done) {
+            SupState::AwaitFound { secret_inputs } => {
+                let Message::RingerFound { task_id, inputs } = msg else {
+                    return unexpected("RingerFound", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                let found_set: BTreeSet<u64> = inputs.into_iter().collect();
+                self.ledger.charge_verify(self.scheme.ringers as u64);
+                let verdict = if found_set.is_superset(&secret_inputs) {
+                    // Extra claims are tolerated only if they are true
+                    // preimages of a planted value, which by construction
+                    // they are not (values are unique per input for our
+                    // tasks); reject any overclaim.
+                    if found_set.len() == secret_inputs.len() {
+                        Verdict::Accepted
+                    } else {
+                        Verdict::RingerMissed
+                    }
+                } else {
+                    Verdict::RingerMissed
+                };
+                self.state = SupState::AwaitReports { verdict };
+                Ok(Vec::new())
+            }
+            SupState::AwaitReports { verdict } => {
+                let Message::Reports { task_id, reports } = msg else {
+                    return unexpected("Reports", &msg);
+                };
+                check_task(self.task_id, task_id)?;
+                let verdict_msg = Message::Verdict {
+                    task_id: self.task_id,
+                    accepted: verdict.is_accepted(),
+                };
+                self.outcome = Some(SessionOutcome {
+                    verdict,
+                    reports: reports
+                        .into_iter()
+                        .map(|(input, payload)| ScreenReport { input, payload })
+                        .collect(),
+                });
+                Ok(vec![(0, verdict_msg)])
+            }
+            SupState::NotStarted | SupState::Done => unexpected("nothing (session finished)", &msg),
+        }
+    }
+
+    fn take_outcome(&mut self) -> Option<SessionOutcome> {
+        self.outcome.take()
+    }
+}
+
+enum PartState {
+    AwaitAssign,
+    AwaitChallenge { task_id: u64, domain: Domain },
+    AwaitVerdict { task_id: u64 },
+    Done(bool),
+}
+
+struct RingerParticipantSession<'a> {
+    task: &'a dyn ComputeTask,
+    screener: &'a dyn Screener,
+    behaviour: &'a dyn WorkerBehaviour,
+    ledger: CostLedger,
+    state: PartState,
+}
+
+impl ParticipantSession for RingerParticipantSession<'_> {
+    fn on_message(&mut self, msg: Message) -> Result<Vec<Message>, SchemeError> {
+        match std::mem::replace(&mut self.state, PartState::AwaitAssign) {
+            PartState::AwaitAssign => {
+                let Message::Assign(assignment) = msg else {
+                    return unexpected("Assign", &msg);
+                };
+                self.state = PartState::AwaitChallenge {
+                    task_id: assignment.task_id,
+                    domain: assignment.domain,
+                };
+                Ok(Vec::new())
+            }
+            PartState::AwaitChallenge { task_id, domain } => {
+                let Message::RingerChallenge {
+                    task_id: tid,
+                    ringers,
+                } = msg
+                else {
+                    return unexpected("RingerChallenge", &msg);
+                };
+                check_task(task_id, tid)?;
+                let ringer_set: BTreeSet<&[u8]> = ringers.iter().map(Vec::as_slice).collect();
+                let Materialized { leaves, reports } = materialize(
+                    self.task,
+                    self.screener,
+                    domain,
+                    self.behaviour,
+                    &self.ledger,
+                );
+                let mut found = Vec::new();
+                for (i, leaf) in leaves.iter().enumerate() {
+                    if ringer_set.contains(leaf.as_slice()) {
+                        found.push(domain.input(i as u64).expect("index within domain"));
+                    }
+                }
+                self.state = PartState::AwaitVerdict { task_id };
+                Ok(vec![
+                    Message::RingerFound {
+                        task_id,
+                        inputs: found,
+                    },
+                    Message::Reports {
+                        task_id,
+                        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
+                    },
+                ])
+            }
+            PartState::AwaitVerdict { task_id } => {
+                let Message::Verdict {
+                    task_id: tid,
+                    accepted,
+                } = msg
+                else {
+                    return unexpected("Verdict", &msg);
+                };
+                check_task(task_id, tid)?;
+                self.state = PartState::Done(accepted);
+                Ok(Vec::new())
+            }
+            done @ PartState::Done(_) => {
+                self.state = done;
+                unexpected("nothing (session finished)", &msg)
+            }
+        }
+    }
+
+    fn finished(&self) -> Option<bool> {
+        match self.state {
+            PartState::Done(accepted) => Some(accepted),
+            _ => None,
+        }
+    }
+}
+
 /// Runs the participant side: evaluate the domain, report any result that
-/// matches a ringer, plus the screened results.
+/// matches a ringer, plus the screened results. A thin wrapper driving
+/// the scheme's [`ParticipantSession`].
 ///
 /// # Errors
 ///
@@ -49,53 +306,14 @@ where
     S: Screener,
     B: WorkerBehaviour,
 {
-    let assignment = recv_matching(endpoint, "Assign", |msg| match msg {
-        Message::Assign(a) => Ok(a),
-        other => Err(other),
-    })?;
-    let domain = assignment.domain;
-    let task_id = assignment.task_id;
-    let ringers = recv_matching(endpoint, "RingerChallenge", |msg| match msg {
-        Message::RingerChallenge {
-            task_id: tid,
-            ringers,
-        } => Ok((tid, ringers)),
-        other => Err(other),
-    })
-    .and_then(|(tid, ringers)| {
-        check_task(task_id, tid)?;
-        Ok(ringers)
-    })?;
-    let ringer_set: BTreeSet<&[u8]> = ringers.iter().map(Vec::as_slice).collect();
-
-    let Materialized { leaves, reports } = materialize(task, screener, domain, behaviour, ledger);
-    let mut found = Vec::new();
-    for (i, leaf) in leaves.iter().enumerate() {
-        if ringer_set.contains(leaf.as_slice()) {
-            found.push(domain.input(i as u64).expect("index within domain"));
-        }
-    }
-    endpoint.send(&Message::RingerFound {
-        task_id,
-        inputs: found,
-    })?;
-    endpoint.send(&Message::Reports {
-        task_id,
-        reports: reports.into_iter().map(|r| (r.input, r.payload)).collect(),
-    })?;
-
-    let accepted = recv_matching(endpoint, "Verdict", |msg| match msg {
-        Message::Verdict {
-            task_id: tid,
-            accepted,
-        } => Ok((tid, accepted)),
-        other => Err(other),
-    })
-    .and_then(|(tid, accepted)| {
-        check_task(task_id, tid)?;
-        Ok(accepted)
-    })?;
-    Ok(accepted)
+    let mut session = RingerParticipantSession {
+        task,
+        screener,
+        behaviour,
+        ledger: ledger.clone(),
+        state: PartState::AwaitAssign,
+    };
+    drive_participant(endpoint, &mut session)
 }
 
 /// Runs the supervisor side: plant `d` secret ringers, check they all come
@@ -117,88 +335,21 @@ where
     T: ComputeTask,
     S: Screener,
 {
-    if config.ringers == 0 {
-        return Err(SchemeError::InvalidConfig {
-            reason: "need at least one ringer",
-        });
-    }
-    if config.ringers as u64 > domain.len() {
-        return Err(SchemeError::InvalidConfig {
-            reason: "more ringers than domain inputs",
-        });
-    }
-    let task_id = config.task_id;
-
-    // Plant d distinct secret inputs and pre-compute their results.
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7269_6e67);
-    let mut secret_inputs = BTreeSet::new();
-    while secret_inputs.len() < config.ringers {
-        let i = rng.random_range(0..domain.len());
-        secret_inputs.insert(domain.input(i).expect("sample within domain"));
-    }
-    let mut ringer_values: Vec<Vec<u8>> = secret_inputs
-        .iter()
-        .map(|&x| {
-            ledger.charge_f(task.unit_cost());
-            task.compute(x)
-        })
-        .collect();
-    // Sort the values so their order leaks nothing about input order.
-    ringer_values.sort();
-
-    endpoint.send(&Message::Assign(Assignment { task_id, domain }))?;
-    endpoint.send(&Message::RingerChallenge {
-        task_id,
-        ringers: ringer_values,
-    })?;
-
-    let found = recv_matching(endpoint, "RingerFound", |msg| match msg {
-        Message::RingerFound {
-            task_id: tid,
-            inputs,
-        } => Ok((tid, inputs)),
-        other => Err(other),
-    })
-    .and_then(|(tid, inputs)| {
-        check_task(task_id, tid)?;
-        Ok(inputs)
-    })?;
-    let wire_reports = recv_matching(endpoint, "Reports", |msg| match msg {
-        Message::Reports {
-            task_id: tid,
-            reports,
-        } => Ok((tid, reports)),
-        other => Err(other),
-    })
-    .and_then(|(tid, reports)| {
-        check_task(task_id, tid)?;
-        Ok(reports)
-    })?;
-
-    let found_set: BTreeSet<u64> = found.into_iter().collect();
-    ledger.charge_verify(config.ringers as u64);
-    let verdict = if found_set.is_superset(&secret_inputs) {
-        // Extra claims are tolerated only if they are true preimages of a
-        // planted value, which by construction they are not (values are
-        // unique per input for our tasks); reject any overclaim.
-        if found_set.len() == secret_inputs.len() {
-            Verdict::Accepted
-        } else {
-            Verdict::RingerMissed
-        }
-    } else {
-        Verdict::RingerMissed
+    let scheme = RingerScheme {
+        ringers: config.ringers,
+        seed: config.seed,
     };
-
-    endpoint.send(&Message::Verdict {
-        task_id,
-        accepted: verdict.is_accepted(),
-    })?;
-    let reports = wire_reports
-        .into_iter()
-        .map(|(input, payload)| ScreenReport { input, payload })
-        .collect();
-    Ok((verdict, reports))
+    let mut session = RingerSupervisorSession {
+        scheme,
+        task_id: config.task_id,
+        task,
+        domain,
+        ledger: ledger.clone(),
+        state: SupState::NotStarted,
+        outcome: None,
+    };
+    let outcome = drive_supervisor(&[endpoint], &mut session)?;
+    Ok((outcome.verdict, outcome.reports))
 }
 
 /// Runs a complete ringer round in-process.

@@ -1,0 +1,305 @@
+//! Message-driven protocol sessions: the engine-facing face of every
+//! verification scheme.
+//!
+//! Each scheme in this crate is defined by two explicit state machines —
+//! one per side of the wire — that consume and produce
+//! [`Message`]s:
+//!
+//! ```text
+//!               supervisor session            participant session
+//!  start() ──▶  Assign ────────────────────▶  evaluate f, build tree
+//!               AwaitCommit  ◀── Commit ────  AwaitChallenge
+//!               Challenge ─────────────────▶  prove samples
+//!               AwaitProofs ◀─── Proofs ────  AwaitVerdict
+//!               AwaitReports ◀── Reports ───
+//!               verify, Verdict ───────────▶  Done(accepted)
+//!               Done(verdict, reports)
+//! ```
+//!
+//! A session never blocks: it is handed one inbound message at a time and
+//! answers with the messages to send, so hundreds of sessions — different
+//! schemes, different behaviours — interleave over one transport. The
+//! [`SessionEngine`](crate::engine::SessionEngine) multiplexes supervisor
+//! sessions over direct links or a [`Broker`](ugc_grid::Broker);
+//! [`drive_participant`] and [`drive_supervisor`] run a single session to
+//! completion over blocking endpoints, which is exactly what the legacy
+//! `run_*`/`participant_*`/`supervisor_*` free functions now do.
+//!
+//! # Example: one CBS round, session by session
+//!
+//! ```
+//! use ugc_core::scheme::cbs::CbsScheme;
+//! use ugc_core::session::{
+//!     drive_participant, drive_supervisor, ParticipantContext, SupervisorContext,
+//!     VerificationScheme,
+//! };
+//! use ugc_core::{ParticipantStorage, Parallelism};
+//! use ugc_grid::{duplex, CostLedger, HonestWorker};
+//! use ugc_hash::Sha256;
+//! use ugc_task::{workloads::PasswordSearch, Domain};
+//!
+//! let task = PasswordSearch::with_hidden_password(1, 42);
+//! let screener = task.match_screener();
+//! let scheme = CbsScheme { samples: 12, seed: 7, report_audit: 0 };
+//! let (sup_ep, part_ep) = duplex();
+//!
+//! let outcome = std::thread::scope(|scope| {
+//!     scope.spawn(|| {
+//!         let mut session =
+//!             VerificationScheme::<Sha256>::participant_session(&scheme, ParticipantContext {
+//!                 task: &task,
+//!                 screener: &screener,
+//!                 behaviour: &HonestWorker,
+//!                 storage: ParticipantStorage::Full,
+//!                 parallelism: Parallelism::serial(),
+//!                 ledger: CostLedger::new(),
+//!             });
+//!         drive_participant(&part_ep, session.as_mut())
+//!     });
+//!     let mut session =
+//!         VerificationScheme::<Sha256>::supervisor_session(&scheme, SupervisorContext {
+//!             task: &task,
+//!             screener: &screener,
+//!             domain: Domain::new(0, 128),
+//!             task_ids: vec![1],
+//!             ledger: CostLedger::new(),
+//!         });
+//!     drive_supervisor(&[&sup_ep], session.as_mut())
+//! })?;
+//! assert!(outcome.verdict.is_accepted());
+//! assert_eq!(outcome.reports[0].input, 42); // the password surfaced
+//! # Ok::<(), ugc_core::SchemeError>(())
+//! ```
+
+use crate::error::message_kind;
+use crate::{SchemeError, Verdict};
+use ugc_grid::{CostLedger, Endpoint, GridError, Message, WorkerBehaviour};
+use ugc_hash::HashFunction;
+use ugc_merkle::Parallelism;
+use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
+
+use crate::ParticipantStorage;
+
+/// What a completed supervisor session decided.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The accept/reject decision.
+    pub verdict: Verdict,
+    /// The screened reports received during the session.
+    pub reports: Vec<ScreenReport>,
+}
+
+/// A message to send, addressed to one of the session's participant slots
+/// (slot 0 for every single-participant scheme; double-check uses 0 and 1).
+pub type Outbound = (usize, Message);
+
+/// The supervisor side of one verification session, as a state machine.
+///
+/// The driver (engine or blocking loop) calls [`start`](Self::start) once,
+/// then feeds every inbound message to [`on_message`](Self::on_message) and
+/// transmits whatever comes back, until [`take_outcome`](Self::take_outcome)
+/// yields the verdict. Errors are protocol failures (cheating is a verdict,
+/// never an error).
+pub trait SupervisorSession: Send {
+    /// Messages to send when the session opens (e.g. the assignment).
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration (the session never starts).
+    fn start(&mut self) -> Result<Vec<Outbound>, SchemeError>;
+
+    /// Feeds one inbound message from participant slot `slot`; returns the
+    /// messages to send in response.
+    ///
+    /// # Errors
+    ///
+    /// Unexpected message kinds, task-id mismatches, malformed payloads.
+    fn on_message(&mut self, slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError>;
+
+    /// The verdict and collected reports, once the session has finished.
+    /// Returns `None` while the session still awaits messages.
+    fn take_outcome(&mut self) -> Option<SessionOutcome>;
+}
+
+/// The participant side of one verification session, as a state machine.
+pub trait ParticipantSession: Send {
+    /// Feeds one inbound message; returns the replies to send.
+    ///
+    /// # Errors
+    ///
+    /// Unexpected message kinds, task-id mismatches, Merkle failures.
+    fn on_message(&mut self, msg: Message) -> Result<Vec<Message>, SchemeError>;
+
+    /// `Some(accepted)` once the supervisor's verdict has arrived.
+    fn finished(&self) -> Option<bool>;
+}
+
+/// Everything a supervisor session needs from its environment.
+pub struct SupervisorContext<'a> {
+    /// The compute task being verified.
+    pub task: &'a dyn ComputeTask,
+    /// The screener that defines "results of interest".
+    pub screener: &'a dyn Screener,
+    /// The sub-domain assigned to this session's participant(s).
+    pub domain: Domain,
+    /// One wire task id per participant slot
+    /// ([`VerificationScheme::participant_slots`] entries).
+    pub task_ids: Vec<u64>,
+    /// Supervisor-side cost accounting (clones share counters).
+    pub ledger: CostLedger,
+}
+
+/// Everything a participant session needs from its environment.
+pub struct ParticipantContext<'a> {
+    /// The compute task being evaluated.
+    pub task: &'a dyn ComputeTask,
+    /// The screener that defines "results of interest".
+    pub screener: &'a dyn Screener,
+    /// How this participant actually behaves (honest, cheating, malicious).
+    pub behaviour: &'a dyn WorkerBehaviour,
+    /// Merkle-tree storage mode (Section 3.3).
+    pub storage: ParticipantStorage,
+    /// Tree-build parallelism (bit-identical results at any setting).
+    pub parallelism: Parallelism,
+    /// Participant-side cost accounting (clones share counters).
+    pub ledger: CostLedger,
+}
+
+/// One verification scheme, defined by the pair of session state machines
+/// it installs on each side of the grid transport.
+///
+/// All five schemes of the evaluation — naive sampling, double-check,
+/// ringers, CBS and NI-CBS — implement this trait, so one
+/// [`SessionEngine`](crate::engine::SessionEngine) event loop drives any
+/// mix of them over any transport, and the legacy blocking entry points
+/// (`run_cbs`, `run_naive`, …) are thin wrappers that drive a single
+/// session pair to completion.
+pub trait VerificationScheme<H: HashFunction>: Send + Sync {
+    /// Scheme name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// How many participants one session of this scheme occupies
+    /// (2 for double-check, 1 for everything else).
+    fn participant_slots(&self) -> usize {
+        1
+    }
+
+    /// Builds the supervisor-side state machine for one session.
+    fn supervisor_session<'a>(
+        &'a self,
+        ctx: SupervisorContext<'a>,
+    ) -> Box<dyn SupervisorSession + 'a>;
+
+    /// Builds the participant-side state machine for one session slot.
+    fn participant_session<'a>(
+        &'a self,
+        ctx: ParticipantContext<'a>,
+    ) -> Box<dyn ParticipantSession + 'a>;
+}
+
+/// Fails with the uniform "expected X, got Y" error the schemes raise on
+/// out-of-order messages.
+pub(crate) fn unexpected<T>(expected: &'static str, got: &Message) -> Result<T, SchemeError> {
+    Err(SchemeError::UnexpectedMessage {
+        expected,
+        got: message_kind(got),
+    })
+}
+
+/// Runs a participant session to completion over a blocking endpoint.
+///
+/// Session envelopes are handled transparently: an enveloped inbound
+/// message has its payload fed to the session and the replies are wrapped
+/// under the same session id, so enveloped and bare transports drive the
+/// identical state machine.
+///
+/// # Errors
+///
+/// Transport failures (including the peer disconnecting mid-protocol) and
+/// any protocol error the session raises.
+pub fn drive_participant(
+    endpoint: &Endpoint,
+    session: &mut (dyn ParticipantSession + '_),
+) -> Result<bool, SchemeError> {
+    loop {
+        if let Some(accepted) = session.finished() {
+            return Ok(accepted);
+        }
+        let (envelope, msg) = endpoint.recv()?.into_payload();
+        for out in session.on_message(msg)? {
+            let out = match envelope {
+                Some(id) => Message::in_session(id, out),
+                None => out,
+            };
+            endpoint.send(&out)?;
+        }
+    }
+}
+
+/// Runs a supervisor session to completion over blocking endpoints, one
+/// per participant slot.
+///
+/// With a single endpoint the loop blocks on `recv`; with several (the
+/// double-check supervisor) it polls them fairly, yielding the core while
+/// all are idle.
+///
+/// # Errors
+///
+/// Transport failures and any protocol error the session raises, plus
+/// [`SchemeError::InvalidConfig`] if the endpoint count does not match the
+/// session's slots.
+pub fn drive_supervisor(
+    endpoints: &[&Endpoint],
+    session: &mut (dyn SupervisorSession + '_),
+) -> Result<SessionOutcome, SchemeError> {
+    let send_all = |outs: Vec<Outbound>| -> Result<(), SchemeError> {
+        for (slot, msg) in outs {
+            let endpoint = endpoints.get(slot).ok_or(SchemeError::InvalidConfig {
+                reason: "session addressed a slot with no endpoint",
+            })?;
+            endpoint.send(&msg)?;
+        }
+        Ok(())
+    };
+    send_all(session.start()?)?;
+    loop {
+        if let Some(outcome) = session.take_outcome() {
+            return Ok(outcome);
+        }
+        let (slot, msg) = recv_any(endpoints)?;
+        send_all(session.on_message(slot, msg)?)?;
+    }
+}
+
+/// Receives the next message from any of the given endpoints, with its
+/// slot index. Blocks on a lone endpoint; polls fairly otherwise.
+fn recv_any(endpoints: &[&Endpoint]) -> Result<(usize, Message), SchemeError> {
+    if let [only] = endpoints {
+        return Ok((0, only.recv()?));
+    }
+    let mut cursor = 0usize;
+    let mut idle_sweeps = 0u32;
+    loop {
+        let mut all_dead = true;
+        for probe in 0..endpoints.len() {
+            let idx = (cursor + probe) % endpoints.len();
+            match endpoints[idx].try_recv() {
+                Ok(msg) => return Ok((idx, msg)),
+                Err(GridError::Empty) => all_dead = false,
+                Err(GridError::Disconnected) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if all_dead {
+            return Err(SchemeError::Grid(GridError::Disconnected));
+        }
+        cursor = (cursor + 1) % endpoints.len();
+        idle_sweeps += 1;
+        if idle_sweeps < 64 {
+            std::thread::yield_now();
+        } else {
+            // Peers are computing; poll coarsely instead of burning a core.
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+}

@@ -7,8 +7,15 @@
 //! relays assignments outward and results inward, and its relay counters
 //! demonstrate that NI-CBS needs exactly one participant → supervisor
 //! delivery per task.
+//!
+//! Routing is indexed: the broker keeps a `task → participant` hash map, so
+//! relaying a reply is `O(1)` regardless of how many tasks are in flight —
+//! the property a session engine multiplexing hundreds of concurrent
+//! verification sessions depends on. Inward relay is round-robin fair: a
+//! rotating cursor guarantees no chatty participant can starve another.
 
 use crate::{Endpoint, GridError, Message};
+use std::collections::HashMap;
 
 /// Relay statistics for a broker run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,15 +29,22 @@ pub struct RelayStats {
 /// A store-and-forward broker between one supervisor and many participants.
 ///
 /// The broker pins each task to the participant it dispatched it to and
-/// routes replies by task id; the supervisor never learns which participant
-/// served which task (the paper's "GRB hides the participants" property).
+/// routes replies by routing id ([`Message::session_id`]: the envelope's
+/// session id when present, the task id otherwise); the supervisor never
+/// learns which participant served which task (the paper's "GRB hides the
+/// participants" property).
 #[derive(Debug)]
 pub struct Broker {
     supervisor: Endpoint,
     participants: Vec<Endpoint>,
-    /// task_id → participant index.
-    routes: Vec<(u64, usize)>,
+    /// routing id → participant index; `O(1)` lookup per relayed message.
+    routes: HashMap<u64, usize>,
+    /// Next participant to receive a fresh assignment (round-robin).
     next: usize,
+    /// Next participant polled for inward traffic (fairness cursor).
+    inward_cursor: usize,
+    /// Participants observed disconnected with their queues drained.
+    closed: Vec<bool>,
     stats: RelayStats,
 }
 
@@ -46,11 +60,14 @@ impl Broker {
             !participants.is_empty(),
             "broker needs at least one participant"
         );
+        let closed = vec![false; participants.len()];
         Broker {
             supervisor,
             participants,
-            routes: Vec::new(),
+            routes: HashMap::new(),
             next: 0,
+            inward_cursor: 0,
+            closed,
             stats: RelayStats::default(),
         }
     }
@@ -67,17 +84,56 @@ impl Broker {
         self.stats
     }
 
-    fn route_of(&self, task_id: u64) -> Option<usize> {
-        self.routes
+    fn route_of(&self, routing_id: u64) -> Option<usize> {
+        self.routes.get(&routing_id).copied()
+    }
+
+    /// Marks participant `idx` gone and NACKs every task still routed to
+    /// it with a [`Message::Gone`], so a multiplexing supervisor can fail
+    /// those sessions instead of waiting forever. Errors sending the NACK
+    /// (supervisor also gone) are ignored — there is nobody left to tell.
+    fn mark_gone(&mut self, idx: usize) {
+        if std::mem::replace(&mut self.closed[idx], true) {
+            return; // already reported
+        }
+        let mut orphaned: Vec<u64> = self
+            .routes
             .iter()
-            .rev()
-            .find(|(id, _)| *id == task_id)
-            .map(|(_, idx)| *idx)
+            .filter(|(_, &i)| i == idx)
+            .map(|(&id, _)| id)
+            .collect();
+        orphaned.sort_unstable(); // deterministic NACK order
+        for task_id in orphaned {
+            self.routes.remove(&task_id);
+            let _ = self.supervisor.send(&Message::Gone { task_id });
+        }
+    }
+
+    /// Picks the destination for one supervisor message: assignments pin a
+    /// fresh round-robin route (skipping participants known to be gone),
+    /// everything else follows its recorded one.
+    fn dispatch(&mut self, msg: &Message) -> Result<usize, GridError> {
+        if msg.as_assign().is_some() {
+            let n = self.participants.len();
+            let mut idx = self.next;
+            for _ in 0..n {
+                idx = self.next;
+                self.next = (self.next + 1) % n;
+                if !self.closed[idx] {
+                    break;
+                }
+                // Everyone may be gone; then the send-failure path NACKs.
+            }
+            self.routes.insert(msg.session_id(), idx);
+            Ok(idx)
+        } else {
+            self.route_of(msg.session_id()).ok_or(GridError::Empty)
+        }
     }
 
     /// Receives `count` messages from the supervisor and dispatches each to
     /// a participant: assignments round-robin, other messages (verdicts,
-    /// challenges) by the task's recorded route.
+    /// challenges) by the recorded route.
     ///
     /// # Errors
     ///
@@ -86,19 +142,45 @@ impl Broker {
     pub fn relay_outward(&mut self, count: usize) -> Result<(), GridError> {
         for _ in 0..count {
             let msg = self.supervisor.recv()?;
-            let idx = match &msg {
-                Message::Assign(a) => {
-                    let idx = self.next;
-                    self.next = (self.next + 1) % self.participants.len();
-                    self.routes.push((a.task_id, idx));
-                    idx
-                }
-                other => self.route_of(other.task_id()).ok_or(GridError::Empty)?,
-            };
+            let idx = self.dispatch(&msg)?;
             self.participants[idx].send(&msg)?;
             self.stats.outward += 1;
         }
         Ok(())
+    }
+
+    /// Relays one queued supervisor message if any is waiting; `Ok(false)`
+    /// when the supervisor queue is momentarily empty. A message routed to
+    /// an already-disconnected participant is dropped (and the task
+    /// NACKed with [`Message::Gone`]) rather than treated as fatal, as a
+    /// store-and-forward broker drops mail for a dead host.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broker::relay_outward`] for unroutable messages, plus
+    /// [`GridError::Disconnected`] once the *supervisor* endpoint is gone.
+    pub fn try_relay_outward(&mut self) -> Result<bool, GridError> {
+        let msg = match self.supervisor.try_recv() {
+            Ok(msg) => msg,
+            Err(GridError::Empty) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let idx = self.dispatch(&msg)?;
+        match self.participants[idx].send(&msg) {
+            Ok(()) => self.stats.outward += 1,
+            Err(GridError::Disconnected) => {
+                // NACK this task explicitly first: mark_gone is a no-op on
+                // a participant already reported gone, but this message's
+                // route may be brand new (an Assign that raced the death).
+                self.routes.remove(&msg.session_id());
+                let _ = self.supervisor.send(&Message::Gone {
+                    task_id: msg.session_id(),
+                });
+                self.mark_gone(idx);
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(true)
     }
 
     /// Relays the next message from participant `idx` up to the supervisor.
@@ -113,8 +195,8 @@ impl Broker {
         Ok(msg)
     }
 
-    /// Relays one inbound message for task `task_id` (from whichever
-    /// participant owns it).
+    /// Relays one inbound message for routing id `task_id` (from whichever
+    /// participant owns it). The lookup is a single hash-map probe.
     ///
     /// # Errors
     ///
@@ -123,6 +205,92 @@ impl Broker {
     pub fn relay_inward_for(&mut self, task_id: u64) -> Result<Message, GridError> {
         let idx = self.route_of(task_id).ok_or(GridError::Empty)?;
         self.relay_inward_from(idx)
+    }
+
+    /// Relays at most one queued participant message, polling participants
+    /// round-robin from a rotating cursor so every participant gets equal
+    /// service under load. Returns the relayed message, or `None` if no
+    /// participant had anything queued.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the supervisor side; a disconnected
+    /// participant is skipped (its queued messages were already drained).
+    pub fn try_relay_inward(&mut self) -> Result<Option<Message>, GridError> {
+        let n = self.participants.len();
+        for probe in 0..n {
+            let idx = (self.inward_cursor + probe) % n;
+            match self.participants[idx].try_recv() {
+                Ok(msg) => {
+                    // Advance past the served participant: strict rotation.
+                    self.inward_cursor = (idx + 1) % n;
+                    self.supervisor.send(&msg)?;
+                    self.stats.inward += 1;
+                    return Ok(Some(msg));
+                }
+                Err(GridError::Empty) => {}
+                Err(GridError::Disconnected) => self.mark_gone(idx),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drives the broker until the supervisor has hung up and all queued
+    /// traffic is drained: relays both directions, backing off the core
+    /// when momentarily idle. Messages addressed to an
+    /// already-disconnected peer are dropped (the task NACKed), as a real
+    /// store-and-forward broker would drop mail for a dead host; once the
+    /// supervisor is gone, undeliverable inward mail is likewise dropped
+    /// by returning — which closes the participant links and lets blocked
+    /// participants observe the disconnect.
+    ///
+    /// This is the pump a session engine runs on its own thread while it
+    /// multiplexes sessions over the supervisor link.
+    #[must_use]
+    pub fn pump_until_closed(mut self) -> RelayStats {
+        let mut supervisor_closed = false;
+        let mut idle_sweeps = 0u32;
+        loop {
+            let mut progress = false;
+            if !supervisor_closed {
+                match self.try_relay_outward() {
+                    Ok(true) => progress = true,
+                    Ok(false) => {}
+                    Err(GridError::Disconnected) => supervisor_closed = true,
+                    // Unroutable mail is dropped, not fatal.
+                    Err(_) => progress = true,
+                }
+            }
+            match self.try_relay_inward() {
+                Ok(Some(_)) => progress = true,
+                Ok(None) => {}
+                Err(GridError::Disconnected) => {
+                    // Supervisor gone: inward mail has nowhere to go.
+                    supervisor_closed = true;
+                }
+                Err(_) => progress = true,
+            }
+            if progress {
+                idle_sweeps = 0;
+            } else {
+                // With the supervisor gone and the queues drained, nothing
+                // the broker could still relay is deliverable: exiting
+                // drops the participant links, which is what unblocks any
+                // participant still waiting on an orphaned session.
+                if supervisor_closed {
+                    return self.stats;
+                }
+                idle_sweeps += 1;
+                if idle_sweeps < 64 {
+                    std::thread::yield_now();
+                } else {
+                    // Long idle (peers are computing): stop burning the
+                    // core and poll at a coarse-but-negligible cadence.
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            }
+        }
     }
 }
 
@@ -224,6 +392,191 @@ mod tests {
         .unwrap();
         assert_eq!(broker.relay_outward(1).unwrap_err(), GridError::Empty);
         assert_eq!(broker.relay_inward_for(99).unwrap_err(), GridError::Empty);
+    }
+
+    #[test]
+    fn enveloped_assignments_route_by_session_id() {
+        // Two sessions with the SAME task id, distinguished only by their
+        // envelopes: the broker must keep them on separate participants.
+        let (sup, mut broker, parts) = rig(2);
+        sup.send(&Message::in_session(100, assign(1))).unwrap();
+        sup.send(&Message::in_session(200, assign(1))).unwrap();
+        broker.relay_outward(2).unwrap();
+        assert_eq!(parts[0].recv().unwrap().session_id(), 100);
+        assert_eq!(parts[1].recv().unwrap().session_id(), 200);
+        // Replies carry the envelope; each routes back independently.
+        for (p, sid) in parts.iter().zip([100u64, 200]) {
+            p.send(&Message::in_session(
+                sid,
+                Message::Commit {
+                    task_id: 1,
+                    root: vec![sid as u8; 16],
+                },
+            ))
+            .unwrap();
+        }
+        let first = broker.relay_inward_for(200).unwrap();
+        assert_eq!(first.session_id(), 200);
+        // And a verdict addressed to session 100 reaches participant 0.
+        sup.send(&Message::in_session(
+            100,
+            Message::Verdict {
+                task_id: 1,
+                accepted: true,
+            },
+        ))
+        .unwrap();
+        broker.relay_outward(1).unwrap();
+        assert_eq!(parts[0].recv().unwrap().session_id(), 100);
+        assert!(parts[1].try_recv().is_err());
+    }
+
+    #[test]
+    fn interleaved_multi_session_relay_is_fair_and_indexed() {
+        // Four sessions in flight at once, replies arriving interleaved:
+        // the rotating cursor must serve every participant each sweep, and
+        // indexed routing must deliver each reply regardless of order.
+        let (sup, mut broker, parts) = rig(4);
+        for id in 0..4u64 {
+            sup.send(&assign(id)).unwrap();
+        }
+        broker.relay_outward(4).unwrap();
+        // Every participant queues two replies before any relay happens.
+        for (i, p) in parts.iter().enumerate() {
+            let _ = p.recv().unwrap();
+            for round in 0..2u64 {
+                p.send(&Message::Commit {
+                    task_id: i as u64,
+                    root: vec![round as u8; 8],
+                })
+                .unwrap();
+            }
+        }
+        // Fair polling: the first full sweep yields one message from each
+        // participant (0,1,2,3), not two from participant 0.
+        let mut order = Vec::new();
+        while let Some(msg) = broker.try_relay_inward().unwrap() {
+            order.push(msg.task_id());
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(broker.stats().inward, 8);
+        // The supervisor sees all eight, in relay order.
+        for expected in [0u64, 1, 2, 3, 0, 1, 2, 3] {
+            assert_eq!(sup.recv().unwrap().task_id(), expected);
+        }
+        // Indexed routing still answers point lookups afterwards.
+        parts[2]
+            .send(&Message::Reports {
+                task_id: 2,
+                reports: vec![],
+            })
+            .unwrap();
+        assert_eq!(broker.relay_inward_for(2).unwrap().task_id(), 2);
+    }
+
+    #[test]
+    fn pump_drains_both_directions_then_exits() {
+        let (sup, broker, parts) = rig(2);
+        sup.send(&assign(0)).unwrap();
+        sup.send(&assign(1)).unwrap();
+        let pump = std::thread::spawn(move || broker.pump_until_closed());
+        // Participants answer and hang up.
+        for p in parts {
+            let Message::Assign(a) = p.recv().unwrap() else {
+                panic!("expected assignment");
+            };
+            p.send(&Message::Commit {
+                task_id: a.task_id,
+                root: vec![0; 16],
+            })
+            .unwrap();
+        }
+        let mut seen = [false; 2];
+        while seen != [true, true] {
+            // The replies may be interleaved with Gone NACKs (the test
+            // participants hang up right after answering).
+            match sup.recv().unwrap() {
+                Message::Commit { task_id, .. } => seen[task_id as usize] = true,
+                Message::Gone { .. } => {}
+                other => panic!("unexpected relay: {other:?}"),
+            }
+        }
+        drop(sup);
+        let stats = pump.join().unwrap();
+        assert_eq!(stats.outward, 2);
+        assert_eq!(stats.inward, 2);
+    }
+
+    #[test]
+    fn dead_participant_is_nacked_not_fatal() {
+        let (sup, mut broker, parts) = rig(2);
+        sup.send(&assign(0)).unwrap();
+        sup.send(&assign(1)).unwrap();
+        broker.relay_outward(2).unwrap();
+        // Participant 0 answers then dies; participant 1 stays healthy.
+        let mut parts = parts.into_iter();
+        let dead = parts.next().unwrap();
+        let alive = parts.next().unwrap();
+        let _ = dead.recv().unwrap();
+        let _ = alive.recv().unwrap(); // its Assign
+        drop(dead);
+        // Outward mail for the dead participant is dropped and the task is
+        // NACKed; relay keeps serving the healthy one.
+        sup.send(&Message::Verdict {
+            task_id: 0,
+            accepted: true,
+        })
+        .unwrap();
+        sup.send(&Message::Verdict {
+            task_id: 1,
+            accepted: true,
+        })
+        .unwrap();
+        assert!(broker.try_relay_outward().unwrap()); // dropped + NACK
+        assert!(broker.try_relay_outward().unwrap()); // delivered
+        assert_eq!(sup.recv().unwrap(), Message::Gone { task_id: 0 });
+        assert!(matches!(
+            alive.recv().unwrap(),
+            Message::Verdict { task_id: 1, .. }
+        ));
+        // The dead participant's route is gone; re-addressing it errors.
+        sup.send(&Message::Verdict {
+            task_id: 0,
+            accepted: true,
+        })
+        .unwrap();
+        assert_eq!(broker.try_relay_outward().unwrap_err(), GridError::Empty);
+        // Fresh assignments skip the dead participant: both land on the
+        // healthy one instead of being black-holed.
+        sup.send(&assign(7)).unwrap();
+        sup.send(&assign(8)).unwrap();
+        assert!(broker.try_relay_outward().unwrap());
+        assert!(broker.try_relay_outward().unwrap());
+        assert_eq!(alive.recv().unwrap().task_id(), 7);
+        assert_eq!(alive.recv().unwrap().task_id(), 8);
+    }
+
+    #[test]
+    fn assign_racing_a_death_is_still_nacked() {
+        // Participant 0 is already known gone (reported once); a new Assign
+        // that round-robins past every dead participant must still be
+        // NACKed rather than silently dropped.
+        let (sup, mut broker, parts) = rig(1);
+        sup.send(&assign(0)).unwrap();
+        broker.relay_outward(1).unwrap();
+        drop(parts); // the only participant dies
+        sup.send(&Message::Verdict {
+            task_id: 0,
+            accepted: true,
+        })
+        .unwrap();
+        assert!(broker.try_relay_outward().unwrap()); // first death report
+        assert_eq!(sup.recv().unwrap(), Message::Gone { task_id: 0 });
+        // Participant 0 is now marked gone; a brand-new task must get its
+        // own NACK even though mark_gone already ran for this participant.
+        sup.send(&assign(5)).unwrap();
+        assert!(broker.try_relay_outward().unwrap());
+        assert_eq!(sup.recv().unwrap(), Message::Gone { task_id: 5 });
     }
 
     #[test]

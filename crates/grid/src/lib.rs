@@ -48,7 +48,7 @@ mod transport;
 pub use behaviour::{
     CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
 };
-pub use broker::Broker;
+pub use broker::{Broker, RelayStats};
 pub use error::GridError;
 pub use ledger::{CostLedger, CostReport};
 pub use message::{Assignment, Message, SampleProof};

@@ -154,6 +154,27 @@ pub enum Message {
         /// Whether the participant's work was accepted.
         accepted: bool,
     },
+    /// A session envelope: any protocol message wrapped with an explicit
+    /// session identifier, so one shared link can multiplex sessions whose
+    /// task ids collide (e.g. mixed-scheme campaigns that all use task 1).
+    ///
+    /// When session ids coincide with task ids — the common case — the
+    /// engine sends payloads bare and the envelope costs nothing; routing
+    /// falls back to [`Message::task_id`]. Envelopes do not nest.
+    Session {
+        /// The multiplexing key assigned by the session engine.
+        session_id: u64,
+        /// The wrapped protocol message (never itself a `Session`).
+        payload: Box<Message>,
+    },
+    /// Broker → supervisor: the participant that owned this task hung up
+    /// before its session completed — a store-and-forward NACK, so a
+    /// multiplexing supervisor can fail the session instead of waiting
+    /// forever for a reply that will never come.
+    Gone {
+        /// The routing id (task or session id) whose owner disconnected.
+        task_id: u64,
+    },
 }
 
 const TAG_ASSIGN: u8 = 1;
@@ -166,6 +187,8 @@ const TAG_REPORTS: u8 = 7;
 const TAG_RINGER_CHALLENGE: u8 = 8;
 const TAG_RINGER_FOUND: u8 = 9;
 const TAG_VERDICT: u8 = 10;
+const TAG_SESSION: u8 = 11;
+const TAG_GONE: u8 = 12;
 
 impl Message {
     /// Encodes the message to its wire form.
@@ -247,6 +270,22 @@ impl Message {
                 put_u64(&mut buf, *task_id);
                 buf.push(u8::from(*accepted));
             }
+            Message::Session {
+                session_id,
+                payload,
+            } => {
+                assert!(
+                    !matches!(payload.as_ref(), Message::Session { .. }),
+                    "session envelopes must not nest"
+                );
+                buf.push(TAG_SESSION);
+                put_u64(&mut buf, *session_id);
+                buf.extend_from_slice(&payload.encode());
+            }
+            Message::Gone { task_id } => {
+                buf.push(TAG_GONE);
+                put_u64(&mut buf, *task_id);
+            }
         }
         buf
     }
@@ -259,10 +298,22 @@ impl Message {
     /// must be consumed.
     pub fn decode(frame: &[u8]) -> Result<Self, GridError> {
         let mut buf = frame;
-        let tag = *buf
+        let mut tag = *buf
             .first()
             .ok_or(GridError::UnexpectedEof { context: "tag" })?;
         buf = &buf[1..];
+        let mut session_id = None;
+        if tag == TAG_SESSION {
+            session_id = Some(get_u64(&mut buf, "session.id")?);
+            tag = *buf.first().ok_or(GridError::UnexpectedEof {
+                context: "session.payload_tag",
+            })?;
+            buf = &buf[1..];
+            if tag == TAG_SESSION {
+                // Nested envelopes are hostile framing, not a protocol state.
+                return Err(GridError::UnknownTag { tag });
+            }
+        }
         let msg = match tag {
             TAG_ASSIGN => {
                 let task_id = get_u64(&mut buf, "assign.task_id")?;
@@ -344,6 +395,9 @@ impl Message {
                 task_id: get_u64(&mut buf, "found.task_id")?,
                 inputs: get_u64_list(&mut buf, "found.inputs")?,
             },
+            TAG_GONE => Message::Gone {
+                task_id: get_u64(&mut buf, "gone.task_id")?,
+            },
             TAG_VERDICT => {
                 let task_id = get_u64(&mut buf, "verdict.task_id")?;
                 let flag = *buf.first().ok_or(GridError::UnexpectedEof {
@@ -362,7 +416,13 @@ impl Message {
                 remaining: buf.len(),
             });
         }
-        Ok(msg)
+        Ok(match session_id {
+            Some(session_id) => Message::Session {
+                session_id,
+                payload: Box::new(msg),
+            },
+            None => msg,
+        })
     }
 
     /// Encoded size in bytes (what the transport will charge).
@@ -371,7 +431,8 @@ impl Message {
         self.encode().len() as u64
     }
 
-    /// The task this message concerns.
+    /// The task this message concerns (an envelope answers for its
+    /// payload).
     #[must_use]
     pub fn task_id(&self) -> u64 {
         match self {
@@ -384,7 +445,60 @@ impl Message {
             | Message::Reports { task_id, .. }
             | Message::RingerChallenge { task_id, .. }
             | Message::RingerFound { task_id, .. }
-            | Message::Verdict { task_id, .. } => *task_id,
+            | Message::Verdict { task_id, .. }
+            | Message::Gone { task_id } => *task_id,
+            Message::Session { payload, .. } => payload.task_id(),
+        }
+    }
+
+    /// The key a multiplexer routes this message by: the explicit envelope
+    /// session id when present, the task id otherwise.
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        match self {
+            Message::Session { session_id, .. } => *session_id,
+            other => other.task_id(),
+        }
+    }
+
+    /// The assignment this message carries, looking through an envelope —
+    /// what a broker inspects to pin a task to a participant.
+    #[must_use]
+    pub fn as_assign(&self) -> Option<&Assignment> {
+        match self {
+            Message::Assign(a) => Some(a),
+            Message::Session { payload, .. } => payload.as_assign(),
+            _ => None,
+        }
+    }
+
+    /// Strips a session envelope, returning `(explicit session id, payload)`;
+    /// bare messages pass through with `None`.
+    #[must_use]
+    pub fn into_payload(self) -> (Option<u64>, Message) {
+        match self {
+            Message::Session {
+                session_id,
+                payload,
+            } => (Some(session_id), *payload),
+            other => (None, other),
+        }
+    }
+
+    /// Wraps a message in a session envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is already an envelope — envelopes do not nest.
+    #[must_use]
+    pub fn in_session(session_id: u64, payload: Message) -> Message {
+        assert!(
+            !matches!(payload, Message::Session { .. }),
+            "session envelopes must not nest"
+        );
+        Message::Session {
+            session_id,
+            payload: Box::new(payload),
         }
     }
 }
@@ -446,6 +560,14 @@ mod tests {
                 task_id: 10,
                 accepted: true,
             },
+            Message::in_session(
+                0xfeed,
+                Message::Verdict {
+                    task_id: 11,
+                    accepted: false,
+                },
+            ),
+            Message::Gone { task_id: 12 },
         ]
     }
 
@@ -463,6 +585,68 @@ mod tests {
         for (expected, msg) in all_messages().into_iter().enumerate() {
             assert_eq!(msg.task_id(), expected as u64 + 1);
         }
+    }
+
+    #[test]
+    fn session_envelope_routes_by_session_id() {
+        let bare = Message::Commit {
+            task_id: 7,
+            root: vec![1; 16],
+        };
+        assert_eq!(bare.session_id(), 7);
+        let wrapped = Message::in_session(99, bare.clone());
+        assert_eq!(wrapped.session_id(), 99);
+        assert_eq!(wrapped.task_id(), 7);
+        assert_eq!(wrapped.clone().into_payload(), (Some(99), bare.clone()));
+        assert_eq!(bare.clone().into_payload(), (None, bare));
+    }
+
+    #[test]
+    fn session_envelope_exposes_assignment() {
+        let assign = Message::Assign(Assignment {
+            task_id: 3,
+            domain: Domain::new(0, 8),
+        });
+        let wrapped = Message::in_session(12, assign);
+        assert_eq!(wrapped.as_assign().unwrap().task_id, 3);
+        assert!(Message::Verdict {
+            task_id: 3,
+            accepted: true
+        }
+        .as_assign()
+        .is_none());
+    }
+
+    #[test]
+    fn nested_session_envelope_rejected_on_decode() {
+        let inner = Message::in_session(
+            1,
+            Message::Verdict {
+                task_id: 2,
+                accepted: true,
+            },
+        );
+        // Hand-build the hostile frame: TAG_SESSION + id + encoded envelope.
+        let mut frame = vec![TAG_SESSION];
+        put_u64(&mut frame, 5);
+        frame.extend_from_slice(&inner.encode());
+        assert_eq!(
+            Message::decode(&frame),
+            Err(GridError::UnknownTag { tag: TAG_SESSION })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest")]
+    fn nested_session_envelope_rejected_on_build() {
+        let inner = Message::in_session(
+            1,
+            Message::Verdict {
+                task_id: 2,
+                accepted: true,
+            },
+        );
+        let _ = Message::in_session(2, inner);
     }
 
     #[test]

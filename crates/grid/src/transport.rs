@@ -83,12 +83,23 @@ impl Endpoint {
     ///
     /// [`GridError::Disconnected`] if the peer has been dropped.
     pub fn send(&self, msg: &Message) -> Result<(), GridError> {
+        self.send_counted(msg).map(|_| ())
+    }
+
+    /// [`send`](Self::send), returning the bytes charged (encoded frame
+    /// plus header) so a multiplexer can attribute traffic per session
+    /// without re-encoding the message.
+    ///
+    /// # Errors
+    ///
+    /// As [`send`](Self::send).
+    pub fn send_counted(&self, msg: &Message) -> Result<u64, GridError> {
         let frame = msg.encode();
         let charged = frame.len() as u64 + FRAME_HEADER_BYTES;
         self.tx.send(frame).map_err(|_| GridError::Disconnected)?;
         self.outbound.bytes.fetch_add(charged, Ordering::Relaxed);
         self.outbound.messages.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(charged)
     }
 
     /// Receives the next message, blocking until one arrives.
@@ -99,9 +110,20 @@ impl Endpoint {
     ///   queued messages.
     /// * Codec errors if the frame is malformed.
     pub fn recv(&self) -> Result<Message, GridError> {
+        self.recv_counted().map(|(msg, _)| msg)
+    }
+
+    /// [`recv`](Self::recv), returning the bytes charged alongside the
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](Self::recv).
+    pub fn recv_counted(&self) -> Result<(Message, u64), GridError> {
         let frame = self.rx.recv().map_err(|_| GridError::Disconnected)?;
         self.account_inbound(&frame);
-        Message::decode(&frame)
+        let charged = frame.len() as u64 + FRAME_HEADER_BYTES;
+        Message::decode(&frame).map(|msg| (msg, charged))
     }
 
     /// Receives without blocking.
@@ -112,13 +134,24 @@ impl Endpoint {
     /// * [`GridError::Disconnected`] if the peer is gone.
     /// * Codec errors if the frame is malformed.
     pub fn try_recv(&self) -> Result<Message, GridError> {
+        self.try_recv_counted().map(|(msg, _)| msg)
+    }
+
+    /// [`try_recv`](Self::try_recv), returning the bytes charged alongside
+    /// the message.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_recv`](Self::try_recv).
+    pub fn try_recv_counted(&self) -> Result<(Message, u64), GridError> {
         let frame = match self.rx.try_recv() {
             Ok(frame) => frame,
             Err(TryRecvError::Empty) => return Err(GridError::Empty),
             Err(TryRecvError::Disconnected) => return Err(GridError::Disconnected),
         };
         self.account_inbound(&frame);
-        Message::decode(&frame)
+        let charged = frame.len() as u64 + FRAME_HEADER_BYTES;
+        Message::decode(&frame).map(|msg| (msg, charged))
     }
 
     fn account_inbound(&self, frame: &[u8]) {

@@ -26,7 +26,8 @@ fn arb_proof() -> impl Strategy<Value = SampleProof> {
         )
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
+/// Every bare (non-envelope) message variant.
+fn arb_bare_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<u64>(), any::<u64>(), 1u64..1 << 40).prop_map(|(id, start, len)| {
             let start = start.min(u64::MAX - len);
@@ -68,6 +69,17 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(task_id, inputs)| Message::RingerFound { task_id, inputs }),
         (any::<u64>(), any::<bool>())
             .prop_map(|(task_id, accepted)| Message::Verdict { task_id, accepted }),
+        any::<u64>().prop_map(|task_id| Message::Gone { task_id }),
+    ]
+}
+
+/// Every message variant, including the session envelope around every
+/// bare variant.
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_bare_message(),
+        (any::<u64>(), arb_bare_message())
+            .prop_map(|(session_id, payload)| Message::in_session(session_id, payload)),
     ]
 }
 
@@ -106,6 +118,24 @@ proptest! {
     fn random_bytes_never_panic(frame in arb_bytes(256)) {
         // Decoding hostile input must return an error, never panic.
         let _ = Message::decode(&frame);
+    }
+
+    #[test]
+    fn envelope_preserves_payload_and_routing(session_id in any::<u64>(), payload in arb_bare_message()) {
+        let wrapped = Message::in_session(session_id, payload.clone());
+        // Envelope framing costs exactly tag + id: 9 bytes.
+        prop_assert_eq!(wrapped.wire_len(), payload.wire_len() + 9);
+        prop_assert_eq!(wrapped.session_id(), session_id);
+        prop_assert_eq!(wrapped.task_id(), payload.task_id());
+        let decoded = Message::decode(&wrapped.encode()).unwrap();
+        prop_assert_eq!(decoded.into_payload(), (Some(session_id), payload));
+    }
+
+    #[test]
+    fn truncated_envelope_rejected(session_id in any::<u64>(), payload in arb_bare_message(), cut_seed in any::<proptest::sample::Index>()) {
+        let encoded = Message::in_session(session_id, payload).encode();
+        let cut = cut_seed.index(encoded.len());
+        prop_assert!(Message::decode(&encoded[..cut]).is_err());
     }
 
     #[test]

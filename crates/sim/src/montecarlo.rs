@@ -3,9 +3,13 @@
 use crate::stats::wilson_interval;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ugc_core::scheme::cbs::{run_cbs_with, CbsConfig};
+use ugc_core::engine::SessionEngine;
+use ugc_core::scheme::cbs::{run_cbs_with, CbsConfig, CbsScheme};
+use ugc_core::session::{
+    drive_participant, ParticipantContext, SupervisorContext, VerificationScheme,
+};
 use ugc_core::{Parallelism, ParticipantStorage};
-use ugc_grid::{CheatSelection, SemiHonestCheater};
+use ugc_grid::{duplex, Broker, CheatSelection, CostLedger, SemiHonestCheater};
 use ugc_hash::Sha256;
 use ugc_task::workloads::PasswordSearch;
 use ugc_task::{Domain, LuckyGuesser};
@@ -218,8 +222,16 @@ pub fn estimate_cheat_success_protocol_parallel(
     RateEstimate::from_counts(survived, exp.trials)
 }
 
-/// One full CBS round for trial `t`; `true` iff the cheater survived.
-fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
+/// The cast of one protocol trial, shared by the in-process and the
+/// brokered paths so both derive identical verdicts for the same `t`.
+fn trial_cast(
+    exp: &DetectionExperiment,
+    t: u32,
+) -> (
+    PasswordSearch,
+    SemiHonestCheater<LuckyGuesser<PasswordSearch>>,
+    CbsScheme,
+) {
     let trial_seed = trial_seed(exp.seed, t);
     let task = PasswordSearch::with_hidden_password(trial_seed, 0);
     let guesser = LuckyGuesser::new(task.clone(), exp.guess_quality, trial_seed ^ 0xaa);
@@ -229,12 +241,127 @@ fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
         guesser,
         trial_seed ^ 0xbb,
     );
-    let screener = task.match_screener();
-    let config = CbsConfig {
-        task_id: u64::from(t),
+    let scheme = CbsScheme {
         samples: exp.samples,
         seed: trial_seed ^ 0xcc,
         report_audit: 0,
+    };
+    (task, cheater, scheme)
+}
+
+/// Full-protocol path over the **grid transport**: trials run as CBS
+/// sessions multiplexed by a [`SessionEngine`] over one supervisor link
+/// into a relaying [`Broker`], `concurrency` trials in flight per batch —
+/// the deployment-shaped variant of [`estimate_cheat_success_protocol`].
+///
+/// Deterministic and **bit-identical** to the in-process path: trial `t`
+/// derives the same task, cheater and sampling seed either way, so the
+/// survival counts match exactly; only the transport differs.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `concurrency == 0`, or on transport bugs
+/// (never expected in-process).
+#[must_use]
+pub fn estimate_cheat_success_protocol_brokered(
+    exp: &DetectionExperiment,
+    concurrency: usize,
+) -> RateEstimate {
+    assert!(exp.trials > 0, "need at least one trial");
+    assert!(concurrency > 0, "need at least one session in flight");
+    let mut survived = 0u32;
+    let mut next = 0u32;
+    while next < exp.trials {
+        let hi = (next + concurrency as u32).min(exp.trials);
+        survived += run_brokered_batch(exp, next..hi);
+        next = hi;
+    }
+    RateEstimate::from_counts(survived, exp.trials)
+}
+
+/// Runs one batch of trials as concurrent sessions over a broker link;
+/// returns how many cheaters survived.
+fn run_brokered_batch(exp: &DetectionExperiment, trials: core::ops::Range<u32>) -> u32 {
+    let domain = Domain::new(0, exp.domain_size);
+    let casts: Vec<_> = trials.map(|t| trial_cast(exp, t)).collect();
+    let screeners: Vec<_> = casts
+        .iter()
+        .map(|(task, _, _)| task.match_screener())
+        .collect();
+
+    let mut engine = SessionEngine::new();
+    let mut children = Vec::new();
+    let mut part_endpoints = Vec::new();
+    for (i, ((task, _, scheme), screener)) in casts.iter().zip(&screeners).enumerate() {
+        let session = VerificationScheme::<Sha256>::supervisor_session(
+            scheme,
+            SupervisorContext {
+                task,
+                screener,
+                domain,
+                task_ids: vec![i as u64],
+                ledger: CostLedger::new(),
+            },
+        );
+        engine
+            .add_session(session, vec![i as u64])
+            .expect("batch task ids are unique");
+        let (broker_side, part_side) = duplex();
+        children.push(broker_side);
+        part_endpoints.push(part_side);
+    }
+    let (mut sup_transport, broker_up) = duplex();
+    let broker = Broker::new(broker_up, children);
+
+    let results = std::thread::scope(|scope| {
+        scope.spawn(move || broker.pump_until_closed());
+        for (((task, cheater, scheme), screener), endpoint) in
+            casts.iter().zip(&screeners).zip(part_endpoints)
+        {
+            // Each thread owns its endpoint so finishing hangs it up.
+            scope.spawn(move || {
+                let mut session = VerificationScheme::<Sha256>::participant_session(
+                    scheme,
+                    ParticipantContext {
+                        task,
+                        screener,
+                        behaviour: cheater,
+                        storage: ParticipantStorage::Full,
+                        // Serial builds: parallelism lives at the batch level.
+                        parallelism: Parallelism::serial(),
+                        ledger: CostLedger::new(),
+                    },
+                );
+                drive_participant(&endpoint, session.as_mut())
+                    .expect("brokered CBS round must not fail");
+            });
+        }
+        let results = engine.run(&mut sup_transport);
+        drop(sup_transport);
+        results
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            u32::from(
+                r.outcome
+                    .expect("brokered CBS round must not fail")
+                    .verdict
+                    .is_accepted(),
+            )
+        })
+        .sum()
+}
+
+/// One full CBS round for trial `t`; `true` iff the cheater survived.
+fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
+    let (task, cheater, scheme) = trial_cast(exp, t);
+    let screener = task.match_screener();
+    let config = CbsConfig {
+        task_id: u64::from(t),
+        samples: scheme.samples,
+        seed: scheme.seed,
+        report_audit: scheme.report_audit,
     };
     // Serial tree build: the trial may already be running on a saturated
     // shard thread, so nesting a multi-threaded build would oversubscribe
@@ -338,6 +465,28 @@ mod tests {
             est.ci_high,
             theory
         );
+    }
+
+    #[test]
+    fn brokered_protocol_path_is_bit_identical_to_in_process() {
+        // Same trials through the session engine + broker: the transport
+        // must not change a single verdict.
+        let exp = DetectionExperiment {
+            domain_size: 64,
+            samples: 3,
+            honesty_ratio: 0.5,
+            guess_quality: 0.0,
+            trials: 40,
+            seed: 11,
+        };
+        let in_process = estimate_cheat_success_protocol(&exp);
+        for concurrency in [1usize, 4, 64] {
+            let brokered = estimate_cheat_success_protocol_brokered(&exp, concurrency);
+            assert_eq!(
+                in_process.successes, brokered.successes,
+                "brokered path diverged at concurrency {concurrency}"
+            );
+        }
     }
 
     #[test]

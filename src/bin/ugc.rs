@@ -19,7 +19,8 @@ use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
 use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
 use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
 use uncheatable_grid::core::{
-    run_fleet, FleetConfig, FleetScheme, Parallelism, ParticipantStorage, RoundOutcome,
+    run_fleet_over, FleetConfig, FleetScheme, FleetTransport, Parallelism, ParticipantStorage,
+    RoundOutcome,
 };
 use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour};
 use uncheatable_grid::hash::Sha256;
@@ -37,7 +38,12 @@ commands:
   run         --scheme <cbs|ni-cbs|naive|ringer> --workload <password|seti|docking|primes>
               [--n <inputs>] [--m <samples>] [--cheat <ratio>] [--partial <level>] [--seed <s>]
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
+              [--scheme <cbs|ni-cbs|naive|ringer>] [--broker]
   help                                            this message
+
+The fleet runs every member as a concurrent session of one multiplexing
+engine; --broker relays all sessions through a GRACE-style grid broker
+over a single supervisor link (verdicts are identical either way).
 ";
 
 fn main() -> ExitCode {
@@ -302,9 +308,29 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let n: u64 = parse(args, "--n", 4096)?;
     let m: usize = parse(args, "--m", 25)?;
     let seed: u64 = parse(args, "--seed", 7)?;
+    let scheme_name = opt(args, "--scheme").unwrap_or_else(|| "cbs".into());
+    let transport = if args.iter().any(|a| a == "--broker") {
+        FleetTransport::Brokered
+    } else {
+        FleetTransport::Direct
+    };
     if cheaters > participants {
         return Err("more cheaters than participants".into());
     }
+    let scheme = match scheme_name.as_str() {
+        "cbs" => FleetScheme::Cbs {
+            samples: m,
+            report_audit: 0,
+        },
+        "ni-cbs" => FleetScheme::NiCbs {
+            samples: m,
+            g_iterations: 1,
+            report_audit: 0,
+        },
+        "naive" => FleetScheme::Naive { samples: m },
+        "ringer" => FleetScheme::Ringer { ringers: m },
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
     let task = PasswordSearch::with_hidden_password(seed, n / 3);
     let screener = task.match_screener();
     let honest = HonestWorker;
@@ -323,24 +349,26 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             }
         })
         .collect();
-    let summary = run_fleet::<Sha256, _, _, _>(
+    let summary = run_fleet_over::<Sha256, _, _, _>(
         &task,
         &screener,
         Domain::try_new(0, n).map_err(|e| e.to_string())?,
         &fleet,
         &FleetConfig {
-            scheme: FleetScheme::Cbs {
-                samples: m,
-                report_audit: 0,
-            },
+            scheme,
             storage: ParticipantStorage::Full,
             seed,
             parallelism: Parallelism::default(),
         },
+        transport,
     )
     .map_err(|e| e.to_string())?;
     println!(
-        "fleet of {participants} over {n} inputs: {} accepted, {} rejected",
+        "fleet of {participants} over {n} inputs via {}: {} accepted, {} rejected",
+        match transport {
+            FleetTransport::Direct => format!("direct links ({scheme_name})"),
+            FleetTransport::Brokered => format!("the grid broker ({scheme_name})"),
+        },
         summary.accepted(),
         summary.rejected()
     );

@@ -160,6 +160,38 @@ fn fleet_flags_the_cheater() {
 }
 
 #[test]
+fn fleet_over_broker_matches_direct_verdicts() {
+    let base = [
+        "fleet",
+        "--participants",
+        "3",
+        "--cheaters",
+        "1",
+        "--n",
+        "384",
+        "--m",
+        "20",
+    ];
+    for scheme in ["cbs", "ni-cbs", "naive"] {
+        let direct = ugc(&[&base[..], &["--scheme", scheme]].concat());
+        let brokered = ugc(&[&base[..], &["--scheme", scheme, "--broker"]].concat());
+        assert!(direct.status.success(), "{scheme} direct failed");
+        assert!(brokered.status.success(), "{scheme} brokered failed");
+        assert!(
+            stdout(&direct).contains("2 accepted, 1 rejected"),
+            "{scheme}: {}",
+            stdout(&direct)
+        );
+        assert!(
+            stdout(&brokered).contains("2 accepted, 1 rejected"),
+            "{scheme}: {}",
+            stdout(&brokered)
+        );
+        assert!(stdout(&brokered).contains("grid broker"));
+    }
+}
+
+#[test]
 fn invalid_number_reports_cleanly() {
     let out = ugc(&["run", "--n", "banana"]);
     assert!(!out.status.success());

@@ -110,3 +110,198 @@ fn shared_task_across_threads_is_consistent() {
         }
     });
 }
+
+#[test]
+fn mixed_scheme_campaign_over_one_broker_link() {
+    // The session engine's full generality: five schemes, ten participant
+    // slots, three behaviour kinds (honest, semi-honest, malicious), all
+    // multiplexed over ONE supervisor link into a relaying broker — with
+    // per-session verdicts and ledger totals exactly as each scheme's
+    // theory demands.
+    use uncheatable_grid::core::scheme::cbs::CbsScheme;
+    use uncheatable_grid::core::scheme::double_check::DoubleCheckScheme;
+    use uncheatable_grid::core::scheme::naive::NaiveScheme;
+    use uncheatable_grid::core::scheme::ni_cbs::NiCbsScheme;
+    use uncheatable_grid::core::scheme::ringer::RingerScheme;
+    use uncheatable_grid::core::{
+        run_mixed_fleet, FleetTransport, MemberSpec, MixedFleetConfig, Verdict,
+    };
+    use uncheatable_grid::grid::{MaliciousWorker, WorkerBehaviour};
+    use uncheatable_grid::task::AcceptAllScreener;
+
+    let task = PasswordSearch::with_hidden_password(7, 3);
+    let screener = AcceptAllScreener; // every input reports: feeds the audit
+    let honest = HonestWorker;
+    let lazy = SemiHonestCheater::new(0.2, CheatSelection::Scattered, ZeroGuesser::new(4), 9);
+    let malicious = MaliciousWorker::new(1.0, 5);
+
+    let cbs = CbsScheme {
+        samples: 24,
+        seed: 11,
+        report_audit: 0,
+    };
+    let cbs_audited = CbsScheme {
+        samples: 10,
+        seed: 12,
+        report_audit: 4,
+    };
+    let ni = NiCbsScheme {
+        samples: 24,
+        g_iterations: 2,
+        report_audit: 0,
+        audit_seed: 13,
+    };
+    let naive = NaiveScheme {
+        samples: 24,
+        seed: 14,
+    };
+    let ringer = RingerScheme {
+        ringers: 8,
+        seed: 15,
+    };
+    let double_check = DoubleCheckScheme;
+
+    // member, scheme, behaviours, expected acceptance
+    let members: Vec<(MemberSpec<'_, Sha256>, bool)> = vec![
+        (spec(&cbs, vec![&honest]), true),
+        (spec(&cbs, vec![&lazy]), false),
+        (spec(&ni, vec![&honest]), true),
+        (spec(&ni, vec![&lazy]), false),
+        (spec(&naive, vec![&honest]), true),
+        (spec(&naive, vec![&lazy]), false),
+        (spec(&ringer, vec![&honest]), true),
+        (spec(&cbs_audited, vec![&malicious]), false),
+        (spec(&double_check, vec![&honest, &lazy]), false),
+    ];
+    fn spec<'a>(
+        scheme: &'a dyn uncheatable_grid::core::VerificationScheme<Sha256>,
+        behaviours: Vec<&'a dyn WorkerBehaviour>,
+    ) -> MemberSpec<'a, Sha256> {
+        MemberSpec { scheme, behaviours }
+    }
+    let expected: Vec<bool> = members.iter().map(|(_, ok)| *ok).collect();
+    let specs: Vec<MemberSpec<'_, Sha256>> = members.into_iter().map(|(m, _)| m).collect();
+    assert!(
+        specs.iter().map(|m| m.behaviours.len()).sum::<usize>() >= 8,
+        "campaign must exercise at least 8 participants"
+    );
+
+    let n_members = specs.len() as u64;
+    let share = 64u64;
+    let summary = run_mixed_fleet(
+        &task,
+        &screener,
+        Domain::new(0, n_members * share),
+        &specs,
+        &MixedFleetConfig {
+            transport: FleetTransport::Brokered,
+            ..MixedFleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Per-session verdicts match each scheme's theory.
+    assert_eq!(summary.members.len(), expected.len());
+    for (member, expected) in summary.members.iter().zip(&expected) {
+        assert_eq!(
+            member.outcome.accepted, *expected,
+            "member {} ({}) verdict diverged: {}",
+            member.participant, member.share, member.outcome.verdict
+        );
+    }
+    assert!(matches!(
+        summary.members[7].outcome.verdict,
+        Verdict::ReportMismatch { .. }
+    ));
+    assert!(matches!(
+        summary.members[8].outcome.verdict,
+        Verdict::ReplicaDisagreement { .. }
+    ));
+
+    // Per-session ledger totals: each member's accounting is isolated even
+    // though every message crossed the same broker link.
+    let m = &summary.members;
+    assert_eq!(m[0].outcome.participant_costs.f_evals, share); // honest CBS: n evals
+    assert_eq!(m[0].outcome.supervisor_costs.verify_ops, 24); // m sample checks
+    assert_eq!(m[2].outcome.supervisor_costs.g_evals, 24 * 2); // Eq. (4), both sides
+    assert_eq!(m[2].outcome.participant_costs.g_evals, 24 * 2);
+    assert_eq!(m[4].outcome.participant_costs.f_evals, share); // honest naive
+    assert!(m[1].outcome.participant_costs.f_evals < share); // the lazy cheater skipped work
+    assert_eq!(
+        m[6].outcome.supervisor_costs.f_evals,
+        8 * uncheatable_grid::task::ComputeTask::unit_cost(&task) // d ringers precomputed
+    );
+    assert_eq!(m[7].outcome.participant_costs.f_evals, share); // malicious ≠ lazy
+                                                               // Double-check burns both replicas' cycles; the honest one did all 64.
+    assert!(m[8].outcome.participant_costs.f_evals > share);
+
+    // The honest members' screened reports all survived aggregation.
+    assert!(!summary.reports.is_empty());
+}
+
+#[test]
+fn mixed_campaign_identical_across_transports_and_envelopes() {
+    // Direct links, a relayed broker, and envelope framing must all yield
+    // the same verdicts — the transport is invisible to the sessions.
+    use uncheatable_grid::core::scheme::cbs::CbsScheme;
+    use uncheatable_grid::core::scheme::ni_cbs::NiCbsScheme;
+    use uncheatable_grid::core::{run_mixed_fleet, FleetTransport, MemberSpec, MixedFleetConfig};
+    use uncheatable_grid::grid::WorkerBehaviour;
+
+    let task = PasswordSearch::with_hidden_password(3, 50);
+    let screener = task.match_screener();
+    let honest = HonestWorker;
+    let lazy = SemiHonestCheater::new(0.3, CheatSelection::Scattered, ZeroGuesser::new(2), 6);
+    let cbs = CbsScheme {
+        samples: 20,
+        seed: 5,
+        report_audit: 0,
+    };
+    let ni = NiCbsScheme {
+        samples: 20,
+        g_iterations: 1,
+        report_audit: 0,
+        audit_seed: 5,
+    };
+    let run = |transport: FleetTransport, envelope: bool| -> Vec<bool> {
+        let members: Vec<MemberSpec<'_, Sha256>> = vec![
+            MemberSpec {
+                scheme: &cbs,
+                behaviours: vec![&honest as &dyn WorkerBehaviour],
+            },
+            MemberSpec {
+                scheme: &ni,
+                behaviours: vec![&lazy],
+            },
+            MemberSpec {
+                scheme: &cbs,
+                behaviours: vec![&lazy],
+            },
+            MemberSpec {
+                scheme: &ni,
+                behaviours: vec![&honest],
+            },
+        ];
+        run_mixed_fleet(
+            &task,
+            &screener,
+            Domain::new(0, 256),
+            &members,
+            &MixedFleetConfig {
+                transport,
+                envelope,
+                ..MixedFleetConfig::default()
+            },
+        )
+        .unwrap()
+        .members
+        .iter()
+        .map(|m| m.outcome.accepted)
+        .collect()
+    };
+    let baseline = run(FleetTransport::Direct, false);
+    assert_eq!(baseline, vec![true, false, false, true]);
+    assert_eq!(baseline, run(FleetTransport::Brokered, false));
+    assert_eq!(baseline, run(FleetTransport::Direct, true));
+    assert_eq!(baseline, run(FleetTransport::Brokered, true));
+}

@@ -1,14 +1,26 @@
 //! Cross-scheme invariants: identical verdicts and reports where theory
-//! says so, and the cost ordering the paper claims.
+//! says so, the cost ordering the paper claims, and — since the session
+//! refactor — proof that the engine-over-broker path is **bit-identical**
+//! to the legacy in-process rounds for all five schemes (verdicts,
+//! supervisor byte counts, and every `CostLedger` axis).
 
-use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig};
-use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
-use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
-use uncheatable_grid::core::ParticipantStorage;
-use uncheatable_grid::grid::HonestWorker;
+use uncheatable_grid::core::scheme::cbs::{run_cbs, CbsConfig, CbsScheme};
+use uncheatable_grid::core::scheme::double_check::{
+    run_double_check, DoubleCheckConfig, DoubleCheckScheme,
+};
+use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig, NaiveScheme};
+use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig, NiCbsScheme};
+use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig, RingerScheme};
+use uncheatable_grid::core::{
+    run_mixed_fleet, FleetTransport, MemberSpec, MixedFleetConfig, ParticipantStorage,
+    RoundOutcome, VerificationScheme,
+};
+use uncheatable_grid::grid::{
+    CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
+};
 use uncheatable_grid::hash::Sha256;
 use uncheatable_grid::task::workloads::PasswordSearch;
-use uncheatable_grid::task::Domain;
+use uncheatable_grid::task::{Domain, ZeroGuesser};
 
 const N: u64 = 1 << 14;
 const M: usize = 20;
@@ -163,4 +175,299 @@ fn participant_baseline_work_is_the_task_itself() {
             outcome.participant_costs.f_evals
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-vs-legacy equivalence: every scheme, multiplexed over the broker
+// transport, must reproduce the pre-refactor in-process rounds bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Runs one session of `scheme` through the engine over the relaying
+/// broker and returns the member's outcome.
+fn engine_round<S: uncheatable_grid::task::Screener>(
+    task: &PasswordSearch,
+    screener: &S,
+    domain: Domain,
+    scheme: &dyn VerificationScheme<Sha256>,
+    behaviours: Vec<&dyn WorkerBehaviour>,
+    storage: ParticipantStorage,
+) -> RoundOutcome {
+    let members = vec![MemberSpec { scheme, behaviours }];
+    let summary = run_mixed_fleet(
+        task,
+        screener,
+        domain,
+        &members,
+        &MixedFleetConfig {
+            storage,
+            transport: FleetTransport::Brokered,
+            ..MixedFleetConfig::default()
+        },
+    )
+    .unwrap();
+    summary.members.into_iter().next().unwrap().outcome
+}
+
+/// Bit-identity across everything a round measures.
+fn assert_outcomes_identical(name: &str, legacy: &RoundOutcome, engine: &RoundOutcome) {
+    assert_eq!(legacy.verdict, engine.verdict, "{name}: verdict diverged");
+    assert_eq!(
+        legacy.supervisor_link, engine.supervisor_link,
+        "{name}: supervisor byte counts diverged"
+    );
+    assert_eq!(
+        legacy.supervisor_costs, engine.supervisor_costs,
+        "{name}: supervisor ledger diverged"
+    );
+    assert_eq!(
+        legacy.participant_costs, engine.participant_costs,
+        "{name}: participant ledger diverged"
+    );
+    assert_eq!(legacy.reports, engine.reports, "{name}: reports diverged");
+}
+
+#[test]
+fn engine_matches_legacy_cbs() {
+    let task = PasswordSearch::with_hidden_password(3, 40);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 128);
+    for (storage, behaviour) in [
+        (
+            ParticipantStorage::Full,
+            &HonestWorker as &dyn WorkerBehaviour,
+        ),
+        (
+            ParticipantStorage::Partial { subtree_height: 3 },
+            &HonestWorker as &dyn WorkerBehaviour,
+        ),
+    ] {
+        let legacy = run_cbs::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            domain,
+            &behaviour,
+            storage,
+            &CbsConfig {
+                task_id: 0,
+                samples: 16,
+                seed: 9,
+                report_audit: 2,
+            },
+        )
+        .unwrap();
+        let scheme = CbsScheme {
+            samples: 16,
+            seed: 9,
+            report_audit: 2,
+        };
+        let engine = engine_round(&task, &screener, domain, &scheme, vec![behaviour], storage);
+        assert_outcomes_identical("cbs", &legacy, &engine);
+    }
+}
+
+#[test]
+fn engine_matches_legacy_cbs_on_a_cheater() {
+    let task = PasswordSearch::with_hidden_password(3, 40);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 256);
+    let cheater = SemiHonestCheater::new(0.3, CheatSelection::Scattered, ZeroGuesser::new(5), 11);
+    let legacy = run_cbs::<Sha256, _, _, _>(
+        &task,
+        &screener,
+        domain,
+        &cheater,
+        ParticipantStorage::Full,
+        &CbsConfig {
+            task_id: 0,
+            samples: 20,
+            seed: 4,
+            report_audit: 0,
+        },
+    )
+    .unwrap();
+    let scheme = CbsScheme {
+        samples: 20,
+        seed: 4,
+        report_audit: 0,
+    };
+    let engine = engine_round(
+        &task,
+        &screener,
+        domain,
+        &scheme,
+        vec![&cheater],
+        ParticipantStorage::Full,
+    );
+    assert!(!legacy.accepted);
+    assert_outcomes_identical("cbs-cheater", &legacy, &engine);
+}
+
+#[test]
+fn engine_matches_legacy_ni_cbs() {
+    let task = PasswordSearch::with_hidden_password(5, 9);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 128);
+    let legacy = run_ni_cbs::<Sha256, _, _, _>(
+        &task,
+        &screener,
+        domain,
+        &HonestWorker,
+        ParticipantStorage::Full,
+        &NiCbsConfig {
+            task_id: 0,
+            samples: 10,
+            g_iterations: 3,
+            report_audit: 1,
+            audit_seed: 6,
+        },
+    )
+    .unwrap();
+    let scheme = NiCbsScheme {
+        samples: 10,
+        g_iterations: 3,
+        report_audit: 1,
+        audit_seed: 6,
+    };
+    let engine = engine_round(
+        &task,
+        &screener,
+        domain,
+        &scheme,
+        vec![&HonestWorker],
+        ParticipantStorage::Full,
+    );
+    assert_outcomes_identical("ni-cbs", &legacy, &engine);
+}
+
+#[test]
+fn engine_matches_legacy_naive() {
+    let task = PasswordSearch::with_hidden_password(3, 40);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 128);
+    let cheater = SemiHonestCheater::new(0.4, CheatSelection::Scattered, ZeroGuesser::new(7), 5);
+    for behaviour in [&HonestWorker as &dyn WorkerBehaviour, &cheater] {
+        let legacy = run_naive(
+            &task,
+            &screener,
+            domain,
+            &behaviour,
+            &NaiveConfig {
+                task_id: 0,
+                samples: 12,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let scheme = NaiveScheme {
+            samples: 12,
+            seed: 2,
+        };
+        let engine = engine_round(
+            &task,
+            &screener,
+            domain,
+            &scheme,
+            vec![behaviour],
+            ParticipantStorage::Full,
+        );
+        assert_outcomes_identical("naive", &legacy, &engine);
+    }
+}
+
+#[test]
+fn engine_matches_legacy_ringer() {
+    let task = PasswordSearch::with_hidden_password(1, 10);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 128);
+    let legacy = run_ringer(
+        &task,
+        &screener,
+        domain,
+        &HonestWorker,
+        &RingerConfig {
+            task_id: 0,
+            ringers: 6,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    let scheme = RingerScheme {
+        ringers: 6,
+        seed: 3,
+    };
+    let engine = engine_round(
+        &task,
+        &screener,
+        domain,
+        &scheme,
+        vec![&HonestWorker],
+        ParticipantStorage::Full,
+    );
+    assert_outcomes_identical("ringer", &legacy, &engine);
+}
+
+#[test]
+fn engine_matches_legacy_double_check() {
+    let task = PasswordSearch::with_hidden_password(1, 20);
+    let screener = task.match_screener();
+    let domain = Domain::new(0, 64);
+    let cheater = SemiHonestCheater::new(0.9, CheatSelection::Scattered, ZeroGuesser::new(2), 3);
+    for replica_b in [&HonestWorker as &dyn WorkerBehaviour, &cheater] {
+        let legacy = run_double_check(
+            &task,
+            &screener,
+            domain,
+            &HonestWorker,
+            &replica_b,
+            &DoubleCheckConfig { task_id: 0 },
+        )
+        .unwrap();
+        let engine = engine_round(
+            &task,
+            &screener,
+            domain,
+            &DoubleCheckScheme,
+            vec![&HonestWorker, replica_b],
+            ParticipantStorage::Full,
+        );
+        assert_outcomes_identical("double-check", &legacy, &engine);
+    }
+}
+
+#[test]
+fn engine_matches_legacy_with_a_corrupting_malicious_worker() {
+    // The malicious model needs the report-audit extension; prove the
+    // engine path rejects it exactly like the legacy path.
+    let task = PasswordSearch::with_hidden_password(3, 10);
+    let screener = uncheatable_grid::task::AcceptAllScreener;
+    let malicious = MaliciousWorker::new(1.0, 8);
+    let legacy = run_cbs::<Sha256, _, _, _>(
+        &task,
+        &screener,
+        Domain::new(0, 64),
+        &malicious,
+        ParticipantStorage::Full,
+        &CbsConfig {
+            task_id: 0,
+            samples: 10,
+            seed: 6,
+            report_audit: 4,
+        },
+    )
+    .unwrap();
+    let scheme = CbsScheme {
+        samples: 10,
+        seed: 6,
+        report_audit: 4,
+    };
+    let engine = engine_round(
+        &task,
+        &screener,
+        Domain::new(0, 64),
+        &scheme,
+        vec![&malicious],
+        ParticipantStorage::Full,
+    );
+    assert!(!legacy.accepted);
+    assert_outcomes_identical("cbs-malicious", &legacy, &engine);
 }

@@ -7,7 +7,7 @@
 //!
 //! Measurement is a deliberately small adaptive wall-clock loop — one
 //! line of output per benchmark, no HTML reports. Each benchmark runs
-//! [`PASSES`] independent timing passes and reports the **median**
+//! five (`PASSES`) independent timing passes and reports the **median**
 //! per-iteration time, so numbers are stable enough to compare across
 //! commits (a single sample is at the mercy of scheduler noise). It is
 //! still a smoke-timer, not a statistics engine; swap the real criterion
@@ -82,7 +82,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Calls `routine` in an adaptive timing loop: one warm-up call sizes
-    /// the per-pass iteration count, then [`PASSES`] independent passes
+    /// the per-pass iteration count, then `PASSES` independent passes
     /// run so the median can be reported.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One untimed warm-up call also yields the per-iteration estimate.
