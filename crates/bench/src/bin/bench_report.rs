@@ -1,23 +1,38 @@
 //! Records the performance baseline: runs the workloads behind the six
-//! criterion benches plus the PR 2 serial-vs-parallel comparisons and the
-//! PR 3 session-engine workloads, and writes the measurements to a JSON
-//! file so the perf trajectory can be compared across PRs.
+//! criterion benches plus the PR 2 serial-vs-parallel comparisons, the
+//! PR 3 session-engine workloads and the PR 4 chaos-soak campaign, and
+//! writes the measurements to a JSON file so the perf trajectory can be
+//! compared across PRs.
 //!
 //! Every serial/parallel pair is checked for **bit-identical output**
-//! (roots, Monte-Carlo counts), and the PR 3 engine-over-broker round is
-//! checked bit-identical to the legacy in-process round (verdict, bytes,
-//! ledgers); any divergence fails the run with a non-zero exit code,
+//! (roots, Monte-Carlo counts), the engine-over-broker round is checked
+//! bit-identical to the legacy in-process round (verdict, bytes,
+//! ledgers), and the chaos soak is checked to replay bit-identically from
+//! its seed; any divergence fails the run with a non-zero exit code,
 //! which is what the CI quick-mode step keys off.
+//!
+//! `--compare BASELINE.json` is the **trajectory gate**: workloads shared
+//! with the baseline file must not regress more than 2× (the build fails
+//! otherwise), so a perf cliff cannot land silently.
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr3.json`).
+//! `BENCH_pr4.json`; `--compare PATH` enables the gate).
 
 use criterion::{black_box, Bencher};
 use std::fmt::Write as _;
+use std::time::Duration;
 use ugc_core::sampling::derive_samples;
 use ugc_core::scheme::cbs::{run_cbs, CbsConfig, CbsScheme};
-use ugc_core::{run_mixed_fleet, FleetTransport, MemberSpec, MixedFleetConfig, ParticipantStorage};
+use ugc_core::scheme::double_check::DoubleCheckScheme;
+use ugc_core::scheme::naive::NaiveScheme;
+use ugc_core::scheme::ni_cbs::NiCbsScheme;
+use ugc_core::scheme::ringer::RingerScheme;
+use ugc_core::{
+    run_mixed_fleet, FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig,
+    ParticipantStorage, VerificationScheme,
+};
+use ugc_grid::runtime::FaultPlan;
 use ugc_grid::{CostLedger, HonestWorker, WorkerBehaviour};
 use ugc_hash::{
     streaming_digest_iterated, streaming_digest_pair, HashFunction, IteratedHash, Md5, Sha256,
@@ -52,17 +67,134 @@ fn leaves(n: u64) -> Vec<[u8; 16]> {
         .collect()
 }
 
+/// Extracts the baseline's `"mode"` field. Entry names are shared
+/// between quick and full runs but measure different sizes, so a
+/// cross-mode comparison would gate nothing: it must be refused.
+fn parse_baseline_mode(text: &str) -> Option<String> {
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("\"mode\": \""))
+        .map(|rest| rest.trim_end_matches(['"', ','].as_slice()).to_owned())
+        .next()
+}
+
+/// Extracts the `{"name": …, "ns_per_op": …}` pairs from a baseline file
+/// written by an earlier `bench_report` run (any PR's schema).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once("\", \"ns_per_op\": ") else {
+            continue;
+        };
+        let value = rest.trim_end_matches(['}', ',', ' ']);
+        if let Ok(ns_per_op) = value.parse::<f64>() {
+            entries.push((name.to_owned(), ns_per_op));
+        }
+    }
+    entries
+}
+
+/// How much slower a workload may get against the baseline before the
+/// trajectory gate fails the build.
+const GATE_REGRESSION_FACTOR: f64 = 2.0;
+
+/// The chaos-soak campaign: all five schemes, ten participant threads
+/// behind the broker, seeded duplication/reordering/latency plus
+/// crash/restart churn. Returns the fleet summary; the caller checks the
+/// replay digest and records throughput.
+fn run_soak(n_per_member: u64) -> FleetSummary {
+    let task = PasswordSearch::with_hidden_password(7, 3);
+    let screener = task.match_screener();
+    let honest = HonestWorker;
+    let cbs = CbsScheme {
+        samples: 16,
+        seed: 11,
+        report_audit: 0,
+    };
+    let ni = NiCbsScheme {
+        samples: 16,
+        g_iterations: 2,
+        report_audit: 0,
+        audit_seed: 13,
+    };
+    let naive = NaiveScheme {
+        samples: 16,
+        seed: 14,
+    };
+    let ringer = RingerScheme {
+        ringers: 8,
+        seed: 15,
+    };
+    let double_check = DoubleCheckScheme;
+    let schemes: Vec<&dyn VerificationScheme<Sha256>> = vec![
+        &cbs,
+        &ni,
+        &naive,
+        &ringer,
+        &double_check,
+        &cbs,
+        &ni,
+        &naive,
+        &ringer,
+    ];
+    let members: Vec<MemberSpec<'_, Sha256>> = schemes
+        .into_iter()
+        .map(|scheme| MemberSpec {
+            scheme,
+            behaviours: vec![&honest as &dyn WorkerBehaviour; scheme.participant_slots()],
+        })
+        .collect();
+    let total = n_per_member * members.len() as u64;
+    run_mixed_fleet(
+        &task,
+        &screener,
+        Domain::new(0, total),
+        &members,
+        &MixedFleetConfig {
+            transport: FleetTransport::Brokered,
+            chaos: Some(FaultPlan::chaos(0x50a6_c4a0).with_churn(150)),
+            deadline: Some(Duration::from_secs(30)),
+            retries: 8,
+            ..MixedFleetConfig::default()
+        },
+    )
+    .expect("the soak campaign must converge within its retry budget")
+}
+
+/// The deterministic part of a soak summary: verdicts, attempts, bytes
+/// and the injected-fault log — everything that must replay identically.
+fn soak_digest(summary: &FleetSummary) -> String {
+    let mut out = String::new();
+    for m in &summary.members {
+        let _ = write!(
+            out,
+            "{}:{}:{}:{}:{};",
+            m.participant,
+            m.outcome.accepted,
+            m.attempts,
+            m.outcome.supervisor_link.bytes_sent,
+            m.outcome.supervisor_link.bytes_received
+        );
+    }
+    let _ = write!(out, "faults {:?}", summary.fault_events);
+    out
+}
+
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
+    let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out requires a path"),
+            "--compare" => compare_path = Some(args.next().expect("--compare requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_report [--quick] [--out PATH]");
+                eprintln!("usage: bench_report [--quick] [--out PATH] [--compare BASELINE.json]");
                 std::process::exit(2);
             }
         }
@@ -325,6 +457,26 @@ fn main() {
         ns_per_op: time(|| black_box(engine_fleet(FleetTransport::Direct, 4))),
     });
 
+    // --- PR 4 tentpole: the chaos soak over the thread-per-participant
+    // runtime. Ten participant OS threads, five schemes, seeded faults
+    // and churn; the campaign must replay bit-identically, and its
+    // wall-clock throughput is the soak baseline CI tracks.
+    let soak_n: u64 = if quick { 64 } else { 256 };
+    let soak = run_soak(soak_n);
+    let soak_replay = run_soak(soak_n);
+    if soak_digest(&soak) != soak_digest(&soak_replay) {
+        eprintln!("DIVERGENCE: chaos soak did not replay bit-identically from its seed");
+        divergence = true;
+    }
+    if soak.members.iter().any(|m| !m.outcome.accepted) {
+        eprintln!("DIVERGENCE: an honest soak participant was rejected");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "engine/chaos_soak_x10",
+        ns_per_op: time(|| black_box(run_soak(soak_n))),
+    });
+
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
             entries
@@ -388,7 +540,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"pr\": 4,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -417,13 +569,85 @@ fn main() {
         let comma = if i + 1 < speedups.len() { "," } else { "" };
         let _ = writeln!(json, "    \"{name}\": {value:.2}{comma}");
     }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"soak\": {{");
+    let _ = writeln!(json, "    \"participant_threads\": 10,");
+    let _ = writeln!(json, "    \"sessions\": {},", soak.throughput.sessions);
+    let _ = writeln!(json, "    \"bytes\": {},", soak.throughput.bytes);
+    let _ = writeln!(
+        json,
+        "    \"wall_ms\": {:.3},",
+        soak.throughput.wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"sessions_per_sec\": {:.1},",
+        soak.throughput.sessions_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"bytes_per_sec\": {:.1},",
+        soak.throughput.bytes_per_sec()
+    );
+    let _ = writeln!(json, "    \"fault_events\": {},", soak.fault_events.len());
+    let _ = writeln!(
+        json,
+        "    \"session_attempts\": {}",
+        soak.members
+            .iter()
+            .map(|m| u64::from(m.attempts))
+            .sum::<u64>()
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write baseline JSON");
     println!("\nwrote {out_path}");
+    println!("soak: {}", soak.throughput);
+
+    // The trajectory gate: a workload shared with the baseline must not
+    // be more than GATE_REGRESSION_FACTOR slower than it was there.
+    let mut gate_failed = false;
+    if let Some(path) = compare_path {
+        let baseline_text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let this_mode = if quick { "quick" } else { "full" };
+        let baseline_mode = parse_baseline_mode(&baseline_text)
+            .unwrap_or_else(|| panic!("baseline {path} has no mode field"));
+        assert_eq!(
+            baseline_mode, this_mode,
+            "baseline {path} was recorded in {baseline_mode} mode but this run \
+             is {this_mode}: the sizes differ, so the gate would be meaningless"
+        );
+        let baseline = parse_baseline(&baseline_text);
+        assert!(
+            !baseline.is_empty(),
+            "baseline {path} contains no parsable entries"
+        );
+        println!("\ntrajectory vs {path} (gate: {GATE_REGRESSION_FACTOR:.1}x):");
+        for (name, old_ns) in &baseline {
+            let Some(entry) = entries.iter().find(|e| e.name == *name) else {
+                continue; // workload retired since the baseline
+            };
+            let ratio = entry.ns_per_op / old_ns;
+            let verdict = if ratio > GATE_REGRESSION_FACTOR {
+                gate_failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("{name:<40} {ratio:>6.2}x {verdict}");
+        }
+    }
 
     if divergence {
         eprintln!("FAILED: parallel and serial outputs diverged");
+        std::process::exit(1);
+    }
+    if gate_failed {
+        eprintln!(
+            "FAILED: a workload regressed more than {GATE_REGRESSION_FACTOR:.1}x \
+             against the baseline"
+        );
         std::process::exit(1);
     }
 }

@@ -3,7 +3,8 @@
 //! These are the formulas the Monte-Carlo experiments validate and the
 //! figure-regeneration binaries plot:
 //!
-//! * Eq. (2): [`cheat_success_probability`] — Theorem 3.
+//! * Eq. (2): [`cheat_success_probability`] — Theorem 3; extended to
+//!   unreliable grids by [`cheat_success_probability_under_churn`].
 //! * Eq. (3): [`required_sample_size`] — the Fig. 2 curves.
 //! * Section 3.3: [`rco`], [`rco_from_levels`] — the storage trade-off.
 //! * Section 4.2: [`ni_expected_attempts`], [`ni_attack_cost`],
@@ -43,6 +44,51 @@ pub fn cheat_success_probability(r: f64, q: f64, m: u64) -> f64 {
 #[must_use]
 pub fn detection_probability(r: f64, q: f64, m: u64) -> f64 {
     1.0 - cheat_success_probability(r, q, m)
+}
+
+/// Eq. (2) under churn: the probability a cheater escapes detection when
+/// each verification attempt independently crashes (participant churn,
+/// message loss) with probability `c` before completing, and a crashed
+/// attempt is reassigned up to `retries` times.
+///
+/// A cheater escapes if every attempt crashed (its work was never
+/// verified — the conservative reading) or the first completed attempt
+/// survived the sampling:
+/// `Pr = c^(retries+1) + (1 − c^(retries+1)) · (r + (1 − r)q)^m`.
+///
+/// With `c = 0` this reduces to Eq. (2); as `retries → ∞` it converges
+/// back to Eq. (2) for any `c < 1` — churn costs wall-clock and cycles
+/// but, given enough reassignments, no detection power. This is the
+/// closed form the chaos soak validates empirically.
+///
+/// # Panics
+///
+/// Panics unless `r`, `q` and `crash` are probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use ugc_core::analysis::{cheat_success_probability, cheat_success_probability_under_churn};
+///
+/// let base = cheat_success_probability(0.5, 0.0, 10);
+/// // No churn: identical to Eq. (2).
+/// assert_eq!(cheat_success_probability_under_churn(0.5, 0.0, 10, 0.0, 0), base);
+/// // Heavy churn with no retries leaves most cheats unverified…
+/// assert!(cheat_success_probability_under_churn(0.5, 0.0, 10, 0.9, 0) > 0.9);
+/// // …but a few reassignments claw detection back.
+/// assert!(cheat_success_probability_under_churn(0.5, 0.0, 10, 0.9, 20) < 0.2);
+/// ```
+#[must_use]
+pub fn cheat_success_probability_under_churn(
+    r: f64,
+    q: f64,
+    m: u64,
+    crash: f64,
+    retries: u32,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&crash), "crash must be a probability");
+    let never_verified = crash.powi(retries as i32 + 1);
+    never_verified + (1.0 - never_verified) * cheat_success_probability(r, q, m)
 }
 
 /// Eq. (3): the smallest sample count `m` with
@@ -339,6 +385,40 @@ mod tests {
     #[should_panic(expected = "r must be a probability")]
     fn eq2_rejects_bad_r() {
         let _ = cheat_success_probability(1.5, 0.0, 1);
+    }
+
+    #[test]
+    fn churn_closed_form_limits() {
+        let base = cheat_success_probability(0.5, 0.2, 12);
+        // c = 0 is Eq. (2) exactly, at any retry budget.
+        assert_eq!(
+            cheat_success_probability_under_churn(0.5, 0.2, 12, 0.0, 0),
+            base
+        );
+        assert_eq!(
+            cheat_success_probability_under_churn(0.5, 0.2, 12, 0.0, 9),
+            base
+        );
+        // c = 1 with finite retries: nothing ever gets verified.
+        assert_eq!(
+            cheat_success_probability_under_churn(0.5, 0.2, 12, 1.0, 3),
+            1.0
+        );
+        // Monotone: more retries ⇒ less escape probability.
+        let p0 = cheat_success_probability_under_churn(0.5, 0.2, 12, 0.3, 0);
+        let p3 = cheat_success_probability_under_churn(0.5, 0.2, 12, 0.3, 3);
+        let p9 = cheat_success_probability_under_churn(0.5, 0.2, 12, 0.3, 9);
+        assert!(p0 > p3 && p3 > p9 && p9 >= base);
+        // Convergence back to Eq. (2): churn costs cycles, not detection.
+        assert!(
+            (cheat_success_probability_under_churn(0.5, 0.2, 12, 0.3, 60) - base).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "crash must be a probability")]
+    fn churn_rejects_bad_crash_rate() {
+        let _ = cheat_success_probability_under_churn(0.5, 0.0, 1, 1.5, 0);
     }
 
     #[test]

@@ -32,7 +32,8 @@
 use crate::session::{SessionOutcome, SupervisorSession};
 use crate::SchemeError;
 use std::collections::HashMap;
-use ugc_grid::{Endpoint, GridError, LinkStats, Message};
+use std::time::{Duration, Instant};
+use ugc_grid::{Backoff, Endpoint, GridError, LinkStats, Message};
 
 /// What the engine's transport delivered on one receive.
 #[derive(Debug)]
@@ -61,6 +62,15 @@ pub trait EngineTransport {
     ///
     /// [`GridError::Disconnected`] once *nothing* can ever arrive again.
     fn recv(&mut self) -> Result<EngineEvent, GridError>;
+
+    /// Polls for an inbound event without blocking; `Ok(None)` when the
+    /// transport is momentarily idle. An engine enforcing per-session
+    /// deadlines polls through this instead of [`recv`](Self::recv).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](Self::recv).
+    fn try_recv(&mut self) -> Result<Option<EngineEvent>, GridError>;
 }
 
 /// A broker-mediated transport is just the supervisor's single endpoint:
@@ -73,6 +83,14 @@ impl EngineTransport for Endpoint {
 
     fn recv(&mut self) -> Result<EngineEvent, GridError> {
         Endpoint::recv_counted(self).map(|(msg, charged)| EngineEvent::Message(msg, charged))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<EngineEvent>, GridError> {
+        match Endpoint::try_recv_counted(self) {
+            Ok((msg, charged)) => Ok(Some(EngineEvent::Message(msg, charged))),
+            Err(GridError::Empty) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -108,6 +126,39 @@ impl DirectTransport {
     }
 }
 
+impl DirectTransport {
+    /// One fair sweep over the open endpoints: `Ok(None)` if every open
+    /// endpoint was momentarily empty, [`GridError::Disconnected`] once
+    /// none remain open.
+    fn sweep(&mut self) -> Result<Option<EngineEvent>, GridError> {
+        let n = self.endpoints.len();
+        let mut saw_open = false;
+        for probe in 0..n {
+            let idx = (self.cursor + probe) % n;
+            if !self.open[idx] {
+                continue;
+            }
+            match self.endpoints[idx].try_recv_counted() {
+                Ok((msg, charged)) => {
+                    self.cursor = (idx + 1) % n;
+                    return Ok(Some(EngineEvent::Message(msg, charged)));
+                }
+                Err(GridError::Empty) => saw_open = true,
+                Err(GridError::Disconnected) => {
+                    self.open[idx] = false;
+                    return Ok(Some(EngineEvent::PeerClosed(self.ids[idx].clone())));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if saw_open {
+            Ok(None)
+        } else {
+            Err(GridError::Disconnected)
+        }
+    }
+}
+
 impl EngineTransport for DirectTransport {
     fn send(&mut self, routing_id: u64, msg: &Message) -> Result<u64, GridError> {
         let idx = *self.routes.get(&routing_id).ok_or(GridError::Empty)?;
@@ -115,41 +166,20 @@ impl EngineTransport for DirectTransport {
     }
 
     fn recv(&mut self) -> Result<EngineEvent, GridError> {
-        let mut idle_sweeps = 0u32;
+        let mut backoff = Backoff::new();
         loop {
-            let n = self.endpoints.len();
-            let mut saw_open = false;
-            for probe in 0..n {
-                let idx = (self.cursor + probe) % n;
-                if !self.open[idx] {
-                    continue;
-                }
-                match self.endpoints[idx].try_recv_counted() {
-                    Ok((msg, charged)) => {
-                        self.cursor = (idx + 1) % n;
-                        return Ok(EngineEvent::Message(msg, charged));
-                    }
-                    Err(GridError::Empty) => saw_open = true,
-                    Err(GridError::Disconnected) => {
-                        self.open[idx] = false;
-                        return Ok(EngineEvent::PeerClosed(self.ids[idx].clone()));
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            if !saw_open {
-                return Err(GridError::Disconnected);
-            }
-            idle_sweeps += 1;
-            if idle_sweeps < 64 {
-                std::thread::yield_now();
-            } else {
+            match self.sweep()? {
+                Some(event) => return Ok(event),
                 // The participants are deep in compute (tree builds take
-                // seconds at scale): stop burning the core and poll at a
-                // coarse-but-negligible cadence instead.
-                std::thread::sleep(std::time::Duration::from_micros(100));
+                // seconds at scale): escalate from spinning to coarse
+                // sleeps instead of burning the core.
+                None => backoff.wait(),
             }
         }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<EngineEvent>, GridError> {
+        self.sweep()
     }
 }
 
@@ -192,6 +222,7 @@ pub struct SessionEngine<'a> {
     routes: HashMap<u64, (usize, usize)>,
     envelope: bool,
     next_session_id: u64,
+    deadline: Option<Duration>,
 }
 
 impl Default for SessionEngine<'_> {
@@ -210,7 +241,24 @@ impl<'a> SessionEngine<'a> {
             routes: HashMap::new(),
             envelope: false,
             next_session_id: 0,
+            deadline: None,
         }
+    }
+
+    /// Fails any session that sees no inbound activity for `deadline` with
+    /// [`SchemeError::TimedOut`] instead of waiting forever — the survival
+    /// guarantee that lets the engine run under chaos (dropped messages,
+    /// stalled participants) without hanging. The clock is per session and
+    /// resets on every message that session receives — but a computing
+    /// participant is silent, so size the deadline to bound the longest
+    /// legitimate compute-then-reply gap (share evaluation plus tree
+    /// build), not just network latency. With a deadline set the engine
+    /// polls the transport (with exponential idle backoff) instead of
+    /// blocking.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// An engine that wraps every message in a [`Message::Session`]
@@ -296,6 +344,40 @@ impl<'a> SessionEngine<'a> {
         }
     }
 
+    /// Polls the transport until an event arrives or every active session
+    /// has exceeded its inactivity deadline. Sessions that expire are
+    /// failed with [`SchemeError::TimedOut`] in place; once none remain
+    /// active the sentinel [`GridError::Empty`] is returned (the run loop
+    /// re-checks its condition and exits).
+    fn poll_with_deadline<T: EngineTransport>(
+        &mut self,
+        transport: &mut T,
+        deadline: Duration,
+        last_activity: &[Instant],
+    ) -> Result<EngineEvent, GridError> {
+        let mut backoff = Backoff::new();
+        loop {
+            match transport.try_recv() {
+                Ok(Some(event)) => return Ok(event),
+                Ok(None) => {
+                    let now = Instant::now();
+                    for (slot, last) in self.slots.iter_mut().zip(last_activity) {
+                        if matches!(slot.state, SessionState::Active)
+                            && now.duration_since(*last) >= deadline
+                        {
+                            slot.state = SessionState::Failed(SchemeError::TimedOut);
+                        }
+                    }
+                    if !self.active() {
+                        return Err(GridError::Empty);
+                    }
+                    backoff.wait();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Sends one session's outbound batch, charging its link stats.
     fn send_outbound<T: EngineTransport>(
         transport: &mut T,
@@ -351,9 +433,18 @@ impl<'a> SessionEngine<'a> {
             }
         }
 
+        let mut last_activity: Vec<Instant> = vec![Instant::now(); self.slots.len()];
         while self.active() {
-            let event = match transport.recv() {
+            let polled = match self.deadline {
+                None => transport.recv(),
+                Some(deadline) => self.poll_with_deadline(transport, deadline, &last_activity),
+            };
+            let event = match polled {
                 Ok(event) => event,
+                // The sentinel from the deadline poll: every remaining
+                // session just timed out, so the `while` condition ends
+                // the loop.
+                Err(GridError::Empty) => continue,
                 Err(e) => {
                     // Nothing can arrive any more: every session still
                     // waiting is dead.
@@ -387,6 +478,7 @@ impl<'a> SessionEngine<'a> {
             if !matches!(slot.state, SessionState::Active) {
                 continue; // late mail for a finished/failed session
             }
+            last_activity[index] = Instant::now();
             slot.link.bytes_received += charged;
             slot.link.messages_received += 1;
             let (_, payload) = msg.into_payload();

@@ -48,6 +48,10 @@ pub enum SchemeError {
         /// What failed to parse.
         what: &'static str,
     },
+    /// The session saw no peer activity within its deadline (a dropped
+    /// message, a stalled participant) and was failed rather than left to
+    /// hang the engine.
+    TimedOut,
 }
 
 impl fmt::Display for SchemeError {
@@ -66,6 +70,7 @@ impl fmt::Display for SchemeError {
             }
             SchemeError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SchemeError::MalformedPayload { what } => write!(f, "malformed payload: {what}"),
+            SchemeError::TimedOut => write!(f, "session exceeded its inactivity deadline"),
         }
     }
 }

@@ -66,8 +66,9 @@ pub mod session;
 
 pub use error::SchemeError;
 pub use orchestrator::{
-    run_campaign, run_fleet, run_fleet_over, run_mixed_fleet, CampaignSummary, FleetConfig,
-    FleetMember, FleetScheme, FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig,
+    chaos_link_id, run_campaign, run_fleet, run_fleet_over, run_mixed_fleet, CampaignSummary,
+    FleetConfig, FleetMember, FleetScheme, FleetSummary, FleetTransport, MemberSpec,
+    MixedFleetConfig,
 };
 pub use outcome::{ParticipantStorage, RoundOutcome, Verdict};
 pub use session::{

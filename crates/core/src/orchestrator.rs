@@ -24,7 +24,11 @@ use crate::session::{
     drive_participant, ParticipantContext, SupervisorContext, VerificationScheme,
 };
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
-use ugc_grid::{duplex, Broker, CostLedger, WorkerBehaviour};
+use std::time::{Duration, Instant};
+use ugc_grid::runtime::{
+    run_brokered, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint, RuntimeOptions,
+};
+use ugc_grid::{duplex, CostLedger, Throughput, WorkerBehaviour};
 use ugc_hash::HashFunction;
 use ugc_merkle::Parallelism;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
@@ -63,8 +67,11 @@ pub enum FleetScheme {
 }
 
 impl FleetScheme {
-    /// Builds the member's scheme object with its derived seed.
-    fn instantiate<H: HashFunction>(self, seed: u64) -> Box<dyn VerificationScheme<H>> {
+    /// Builds the member's scheme object with its derived seed — the
+    /// bridge from a declarative fleet configuration to a
+    /// [`MemberSpec`]-based mixed campaign.
+    #[must_use]
+    pub fn instantiate<H: HashFunction>(self, seed: u64) -> Box<dyn VerificationScheme<H>> {
         match self {
             FleetScheme::Cbs {
                 samples,
@@ -115,6 +122,9 @@ pub struct FleetMember {
     pub share: Domain,
     /// The full outcome of its verification round.
     pub outcome: RoundOutcome,
+    /// How many session attempts this member took (1 unless chaos failed
+    /// earlier attempts and the session was reassigned).
+    pub attempts: u32,
 }
 
 /// Aggregated result of a fleet round.
@@ -124,6 +134,11 @@ pub struct FleetSummary {
     pub members: Vec<FleetMember>,
     /// Screened reports from *accepted* participants only, in input order.
     pub reports: Vec<ScreenReport>,
+    /// Wall-clock throughput of the whole run (all attempts, all rounds).
+    pub throughput: Throughput,
+    /// Every fault injected by the configured [`FaultPlan`], sorted —
+    /// identical across replays of the same seed.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl FleetSummary {
@@ -191,6 +206,18 @@ pub struct MixedFleetConfig {
     /// envelope with engine-assigned session ids — required only when
     /// members' task ids collide; costs 9 bytes per message.
     pub envelope: bool,
+    /// Seeded fault injection on every participant link (`None` runs
+    /// clean). The whole campaign — faults, failures, reassignments,
+    /// verdicts — replays bit-identically from the plan's seed.
+    pub chaos: Option<FaultPlan>,
+    /// Per-session inactivity deadline: a session whose peer goes silent
+    /// this long fails with [`SchemeError::TimedOut`] instead of hanging
+    /// the engine. Required when the chaos plan drops messages.
+    pub deadline: Option<Duration>,
+    /// How many times a *failed* (errored, not rejected) session is
+    /// reassigned to a fresh participant before its error propagates.
+    /// Cheating verdicts are never retried.
+    pub retries: u32,
 }
 
 impl Default for MixedFleetConfig {
@@ -200,8 +227,20 @@ impl Default for MixedFleetConfig {
             parallelism: Parallelism::default(),
             transport: FleetTransport::Direct,
             envelope: false,
+            chaos: None,
+            deadline: None,
+            retries: 0,
         }
     }
+}
+
+/// The link id participant slot `slot` draws its fault schedule from in
+/// reassignment round `round` (0 = the initial attempt). Exposed so tests
+/// can predict — and pick seeds around — which links a [`FaultPlan`] will
+/// crash.
+#[must_use]
+pub fn chaos_link_id(round: u32, slot: usize) -> u64 {
+    (u64::from(round) << 32) | slot as u64
 }
 
 /// One member of a mixed-scheme fleet: a scheme and the behaviours filling
@@ -306,11 +345,21 @@ where
 /// own behaviour(s), and all sessions interleave over one transport, be it
 /// per-participant links or a relaying broker.
 ///
+/// Every participant slot runs on its own OS thread (through the
+/// [`ugc_grid::runtime`] harness for the brokered transport). With
+/// [`MixedFleetConfig::chaos`] set, each link is decorated with the
+/// seeded fault plan; sessions that fail under chaos (crashes, timeouts,
+/// scrambled protocol) are *reassigned* — rerun on fresh participants
+/// with fresh fault schedules — up to [`MixedFleetConfig::retries`]
+/// times. The entire campaign, fault log included, replays bit-identically
+/// from the plan's seed.
+///
 /// # Errors
 ///
-/// The first protocol error encountered (cheating is a rejected member,
-/// not an error), or invalid configuration (empty fleet, unsplittable
-/// domain, behaviour count not matching a scheme's slots).
+/// The first protocol error still standing after all retries (cheating is
+/// a rejected member, not an error), or invalid configuration (empty
+/// fleet, unsplittable domain, behaviour count not matching a scheme's
+/// slots).
 pub fn run_mixed_fleet<H, T, S>(
     task: &T,
     screener: &S,
@@ -348,100 +397,73 @@ where
         });
     }
 
-    // Register one supervisor session per member; task ids are one global
-    // counter across slots, so single-slot member `i` keeps task id `i`.
+    // Ledgers are per member and shared across attempts: a reassigned
+    // session's ledger honestly accumulates the work its failed attempts
+    // burned.
     let sup_ledgers: Vec<CostLedger> = members.iter().map(|_| CostLedger::new()).collect();
     let part_ledgers: Vec<CostLedger> = members.iter().map(|_| CostLedger::new()).collect();
-    let mut engine = if config.envelope {
-        SessionEngine::enveloped()
-    } else {
-        SessionEngine::new()
-    };
-    let mut next_task_id = 0u64;
-    let mut routing_ids: Vec<Vec<u64>> = Vec::with_capacity(members.len());
-    for ((member, share), sup_ledger) in members.iter().zip(&shares).zip(&sup_ledgers) {
-        let slots = member.scheme.participant_slots();
-        let task_ids: Vec<u64> = (0..slots as u64).map(|s| next_task_id + s).collect();
-        next_task_id += slots as u64;
-        let session = member.scheme.supervisor_session(SupervisorContext {
+
+    let started = Instant::now();
+    let mut attempts = vec![0u32; members.len()];
+    let mut finals: Vec<Option<SessionResult>> = members.iter().map(|_| None).collect();
+    let mut part_outcomes: Vec<Vec<Result<bool, SchemeError>>> =
+        members.iter().map(|_| Vec::new()).collect();
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    let mut total_sessions = 0u64;
+    let mut total_bytes = 0u64;
+    let mut pending: Vec<usize> = (0..members.len()).collect();
+    let mut round = 0u32;
+    loop {
+        for &i in &pending {
+            attempts[i] += 1;
+            part_outcomes[i].clear();
+        }
+        let roster: Vec<(usize, &MemberSpec<'_, H>, Domain)> = pending
+            .iter()
+            .map(|&i| (i, &members[i], shares[i]))
+            .collect();
+        let output = run_fleet_round(
             task,
             screener,
-            domain: *share,
-            task_ids: task_ids.clone(),
-            ledger: sup_ledger.clone(),
-        });
-        routing_ids.push(engine.add_session(session, task_ids)?);
-    }
-
-    // One duplex link per participant slot, in global slot order (the
-    // broker hands assignment k to participant k, so order is load-bearing
-    // for the Brokered transport).
-    let mut slot_endpoints = Vec::new(); // supervisor-side, with routing ids
-    let mut participant_endpoints = Vec::new(); // participant-side, same order
-    for (member_index, member) in members.iter().enumerate() {
-        for (slot, _) in member.behaviours.iter().enumerate() {
-            let (sup_side, part_side) = duplex();
-            slot_endpoints.push((vec![routing_ids[member_index][slot]], sup_side));
-            participant_endpoints.push((member_index, slot, part_side));
+            &roster,
+            &sup_ledgers,
+            &part_ledgers,
+            config,
+            round,
+        )?;
+        total_sessions += roster.len() as u64;
+        fault_events.extend(output.events);
+        for ((orig, _, _), session) in roster.iter().zip(output.sessions) {
+            total_bytes += session.link.bytes_sent + session.link.bytes_received;
+            finals[*orig] = Some(session);
         }
+        for (roster_index, result) in output.part_results {
+            part_outcomes[roster[roster_index].0].push(result);
+        }
+        pending = roster
+            .iter()
+            .filter(|(orig, _, _)| {
+                finals[*orig]
+                    .as_ref()
+                    .is_some_and(|session| session.outcome.is_err())
+            })
+            .map(|(orig, _, _)| *orig)
+            .collect();
+        if pending.is_empty() || round >= config.retries {
+            break;
+        }
+        round += 1;
     }
-
-    type PartResult = (usize, Result<bool, SchemeError>);
-    let (results, part_results) =
-        std::thread::scope(|scope| -> (Vec<SessionResult>, Vec<PartResult>) {
-            let handles: Vec<_> = participant_endpoints
-                .drain(..)
-                .map(|(member_index, slot, endpoint)| {
-                    let member = &members[member_index];
-                    let behaviour = member.behaviours[slot];
-                    let ledger = part_ledgers[member_index].clone();
-                    // The thread owns its endpoint: finishing (or failing)
-                    // drops it, which is what lets a broker pump — and a
-                    // supervisor blocked mid-recv — observe the hang-up.
-                    scope.spawn(move || {
-                        let mut session = member.scheme.participant_session(ParticipantContext {
-                            task,
-                            screener,
-                            behaviour,
-                            storage: config.storage,
-                            parallelism: config.parallelism,
-                            ledger,
-                        });
-                        (member_index, drive_participant(&endpoint, session.as_mut()))
-                    })
-                })
-                .collect();
-
-            let results = match config.transport {
-                FleetTransport::Direct => {
-                    let mut transport = DirectTransport::new();
-                    for (ids, endpoint) in slot_endpoints.drain(..) {
-                        transport.add_endpoint(endpoint, ids);
-                    }
-                    engine.run(&mut transport)
-                }
-                FleetTransport::Brokered => {
-                    let (mut sup_transport, broker_up) = duplex();
-                    let children = slot_endpoints.drain(..).map(|(_, ep)| ep).collect();
-                    let broker = Broker::new(broker_up, children);
-                    scope.spawn(move || broker.pump_until_closed());
-                    let results = engine.run(&mut sup_transport);
-                    // Close the supervisor link so the pump winds down once
-                    // the participants hang up too.
-                    drop(sup_transport);
-                    results
-                }
-            };
-            let part_results = handles
-                .into_iter()
-                .map(|h| h.join().expect("fleet participant panicked"))
-                .collect();
-            (results, part_results)
-        });
+    // Rounds arrive sorted individually; a retried campaign needs one
+    // global pass to honour the "sorted" contract on the aggregate.
+    fault_events.sort_unstable();
 
     let mut outcomes = Vec::with_capacity(members.len());
-    for ((result, sup_ledger), part_ledger) in
-        results.into_iter().zip(&sup_ledgers).zip(&part_ledgers)
+    for ((result, sup_ledger), part_ledger) in finals
+        .into_iter()
+        .map(|r| r.expect("every member ran at least one attempt"))
+        .zip(&sup_ledgers)
+        .zip(&part_ledgers)
     {
         let outcome = result.outcome?;
         outcomes.push(RoundOutcome::new(
@@ -453,11 +475,20 @@ where
         ));
     }
     // Participant-side protocol errors surface only if every supervisor
-    // session succeeded — the legacy `run_*` precedence.
-    for (_, result) in part_results {
-        let _ = result?;
+    // session succeeded — the legacy `run_*` precedence. Under chaos the
+    // injected crashes *are* participant errors, so there they are part of
+    // the record (the fault log), not failures.
+    if config.chaos.is_none() {
+        for result in part_outcomes.iter().flatten() {
+            let _ = result.clone()?;
+        }
     }
 
+    let throughput = Throughput {
+        wall: started.elapsed(),
+        sessions: total_sessions,
+        bytes: total_bytes,
+    };
     let members: Vec<FleetMember> = outcomes
         .into_iter()
         .zip(shares)
@@ -466,6 +497,7 @@ where
             participant: i,
             share,
             outcome,
+            attempts: attempts[i],
         })
         .collect();
     let mut reports: Vec<ScreenReport> = members
@@ -474,7 +506,161 @@ where
         .flat_map(|m| m.outcome.reports.iter().cloned())
         .collect();
     reports.sort_by_key(|r| r.input);
-    Ok(FleetSummary { members, reports })
+    Ok(FleetSummary {
+        members,
+        reports,
+        throughput,
+        fault_events,
+    })
+}
+
+/// What one engine round over one roster produced.
+struct RoundOutput {
+    /// Per-roster-entry session results, in roster order.
+    sessions: Vec<SessionResult>,
+    /// Per-slot participant results, tagged with their roster index.
+    part_results: Vec<(usize, Result<bool, SchemeError>)>,
+    /// Faults injected during the round, sorted.
+    events: Vec<FaultEvent>,
+}
+
+/// Runs one engine round for `roster` (a subset of the fleet, on
+/// reassignment rounds): registers one supervisor session per entry,
+/// spawns one participant thread per slot — each behind a
+/// [`FaultyEndpoint`] drawing its schedule from
+/// [`chaos_link_id`]`(round, slot)` — and multiplexes the sessions over
+/// the configured transport.
+fn run_fleet_round<H, T, S>(
+    task: &T,
+    screener: &S,
+    roster: &[(usize, &MemberSpec<'_, H>, Domain)],
+    sup_ledgers: &[CostLedger],
+    part_ledgers: &[CostLedger],
+    config: &MixedFleetConfig,
+    round: u32,
+) -> Result<RoundOutput, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
+    let mut engine = if config.envelope {
+        SessionEngine::enveloped()
+    } else {
+        SessionEngine::new()
+    };
+    if let Some(deadline) = config.deadline {
+        engine = engine.with_deadline(deadline);
+    }
+    // Task ids are one global counter across the roster's slots, so
+    // single-slot member `i` of a full-fleet round keeps task id `i`.
+    let mut next_task_id = 0u64;
+    let mut routing_ids: Vec<Vec<u64>> = Vec::with_capacity(roster.len());
+    for (orig, member, share) in roster {
+        let slots = member.scheme.participant_slots();
+        let task_ids: Vec<u64> = (0..slots as u64).map(|s| next_task_id + s).collect();
+        next_task_id += slots as u64;
+        let session = member.scheme.supervisor_session(SupervisorContext {
+            task,
+            screener,
+            domain: *share,
+            task_ids: task_ids.clone(),
+            ledger: sup_ledgers[*orig].clone(),
+        });
+        routing_ids.push(engine.add_session(session, task_ids)?);
+    }
+
+    // Global slot order (the broker hands assignment k to participant k,
+    // so order is load-bearing for the Brokered transport).
+    let slot_table: Vec<(usize, usize)> = roster
+        .iter()
+        .enumerate()
+        .flat_map(|(r, (_, member, _))| (0..member.behaviours.len()).map(move |s| (r, s)))
+        .collect();
+    // Chaos-free runs use the quiet plan rather than a separate
+    // undecorated code path: the decorator's transparency at zero rates
+    // is property-tested (grid/tests/fault_properties.rs), and its cost —
+    // one uncontended lock plus four integer mixes per message — is noise
+    // next to encode+channel work (the PR 4 trajectory gate measured the
+    // engine fleet workloads at ≤1.0x of the undecorated PR 3 baseline).
+    // One code path means the soak exercises exactly what production runs.
+    let plan = config.chaos.unwrap_or(FaultPlan::quiet(0));
+
+    // One participant body for both transports: build the slot's session
+    // and drive it over the (possibly fault-injecting) link. The thread
+    // owns its link: finishing (or crashing) drops it, which is what lets
+    // a broker pump — and a supervisor blocked mid-recv — observe the
+    // hang-up.
+    let drive_slot = |global_slot: usize, link: &FaultyEndpoint| {
+        let (r, s) = slot_table[global_slot];
+        let (orig, member, _) = &roster[r];
+        let mut session = member.scheme.participant_session(ParticipantContext {
+            task,
+            screener,
+            behaviour: member.behaviours[s],
+            storage: config.storage,
+            parallelism: config.parallelism,
+            ledger: part_ledgers[*orig].clone(),
+        });
+        (r, drive_participant(link, session.as_mut()))
+    };
+
+    match config.transport {
+        FleetTransport::Brokered => {
+            let options = RuntimeOptions {
+                fault: Some(plan),
+                link_id_base: chaos_link_id(round, 0),
+            };
+            let report = run_brokered(
+                slot_table.len(),
+                &options,
+                |global_slot, link| drive_slot(global_slot, &link),
+                |mut endpoint| engine.run(&mut endpoint),
+            );
+            Ok(RoundOutput {
+                sessions: report.supervisor,
+                part_results: report.participants,
+                events: report.events,
+            })
+        }
+        FleetTransport::Direct => {
+            let mut transport = DirectTransport::new();
+            let mut links = Vec::with_capacity(slot_table.len());
+            for (global_slot, (r, s)) in slot_table.iter().enumerate() {
+                let (sup_side, part_side) = duplex();
+                transport.add_endpoint(sup_side, [routing_ids[*r][*s]]);
+                links.push(FaultyEndpoint::new(
+                    part_side,
+                    plan.link(chaos_link_id(round, global_slot)),
+                ));
+            }
+            let logs: Vec<FaultLog> = links.iter().map(FaultyEndpoint::log).collect();
+            let (sessions, part_results) = std::thread::scope(|scope| {
+                let drive_slot = &drive_slot;
+                let handles: Vec<_> = links
+                    .drain(..)
+                    .enumerate()
+                    .map(|(global_slot, link)| scope.spawn(move || drive_slot(global_slot, &link)))
+                    .collect();
+                let sessions = engine.run(&mut transport);
+                // Close the supervisor sides so chaos-stalled participants
+                // observe the hang-up instead of blocking forever.
+                drop(transport);
+                let part_results: Vec<(usize, Result<bool, SchemeError>)> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet participant panicked"))
+                    .collect();
+                (sessions, part_results)
+            });
+            let mut events: Vec<FaultEvent> = logs.iter().flat_map(FaultLog::snapshot).collect();
+            events.sort_unstable();
+            Ok(RoundOutput {
+                sessions,
+                part_results,
+                events,
+            })
+        }
+    }
 }
 
 /// Outcome of a multi-round campaign (see [`run_campaign`]).

@@ -73,7 +73,7 @@
 
 use crate::error::message_kind;
 use crate::{SchemeError, Verdict};
-use ugc_grid::{CostLedger, Endpoint, GridError, Message, WorkerBehaviour};
+use ugc_grid::{Backoff, CostLedger, Endpoint, GridError, GridLink, Message, WorkerBehaviour};
 use ugc_hash::HashFunction;
 use ugc_merkle::Parallelism;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
@@ -206,7 +206,9 @@ pub(crate) fn unexpected<T>(expected: &'static str, got: &Message) -> Result<T, 
     })
 }
 
-/// Runs a participant session to completion over a blocking endpoint.
+/// Runs a participant session to completion over a blocking link — a raw
+/// [`Endpoint`] or any [`GridLink`] decorator (e.g. the fault-injecting
+/// [`FaultyEndpoint`](ugc_grid::FaultyEndpoint) of the chaos runtime).
 ///
 /// Session envelopes are handled transparently: an enveloped inbound
 /// message has its payload fed to the session and the replies are wrapped
@@ -215,10 +217,11 @@ pub(crate) fn unexpected<T>(expected: &'static str, got: &Message) -> Result<T, 
 ///
 /// # Errors
 ///
-/// Transport failures (including the peer disconnecting mid-protocol) and
-/// any protocol error the session raises.
-pub fn drive_participant(
-    endpoint: &Endpoint,
+/// Transport failures (including the peer disconnecting mid-protocol, or
+/// this participant's own injected crash) and any protocol error the
+/// session raises.
+pub fn drive_participant<L: GridLink + ?Sized>(
+    endpoint: &L,
     session: &mut (dyn ParticipantSession + '_),
 ) -> Result<bool, SchemeError> {
     loop {
@@ -278,7 +281,7 @@ fn recv_any(endpoints: &[&Endpoint]) -> Result<(usize, Message), SchemeError> {
         return Ok((0, only.recv()?));
     }
     let mut cursor = 0usize;
-    let mut idle_sweeps = 0u32;
+    let mut backoff = Backoff::new();
     loop {
         let mut all_dead = true;
         for probe in 0..endpoints.len() {
@@ -294,12 +297,8 @@ fn recv_any(endpoints: &[&Endpoint]) -> Result<(usize, Message), SchemeError> {
             return Err(SchemeError::Grid(GridError::Disconnected));
         }
         cursor = (cursor + 1) % endpoints.len();
-        idle_sweeps += 1;
-        if idle_sweeps < 64 {
-            std::thread::yield_now();
-        } else {
-            // Peers are computing; poll coarsely instead of burning a core.
-            std::thread::sleep(std::time::Duration::from_micros(100));
-        }
+        // Peers are computing; escalate from spinning to coarse sleeps
+        // instead of burning a core.
+        backoff.wait();
     }
 }

@@ -14,7 +14,7 @@
 //! verification sessions depends on. Inward relay is round-robin fair: a
 //! rotating cursor guarantees no chatty participant can starve another.
 
-use crate::{Endpoint, GridError, Message};
+use crate::{Backoff, Endpoint, GridError, Message};
 use std::collections::HashMap;
 
 /// Relay statistics for a broker run.
@@ -250,7 +250,7 @@ impl Broker {
     #[must_use]
     pub fn pump_until_closed(mut self) -> RelayStats {
         let mut supervisor_closed = false;
-        let mut idle_sweeps = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             let mut progress = false;
             if !supervisor_closed {
@@ -272,7 +272,7 @@ impl Broker {
                 Err(_) => progress = true,
             }
             if progress {
-                idle_sweeps = 0;
+                backoff.reset();
             } else {
                 // With the supervisor gone and the queues drained, nothing
                 // the broker could still relay is deliverable: exiting
@@ -281,14 +281,10 @@ impl Broker {
                 if supervisor_closed {
                     return self.stats;
                 }
-                idle_sweeps += 1;
-                if idle_sweeps < 64 {
-                    std::thread::yield_now();
-                } else {
-                    // Long idle (peers are computing): stop burning the
-                    // core and poll at a coarse-but-negligible cadence.
-                    std::thread::sleep(std::time::Duration::from_micros(100));
-                }
+                // Long idle (peers are computing): escalate from spinning
+                // to sleeping so a soak run doesn't burn a core, but snap
+                // back to hot polling the moment traffic resumes.
+                backoff.wait();
             }
         }
     }

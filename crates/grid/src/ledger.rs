@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -102,6 +103,61 @@ impl CostLedger {
         self.inner.hash_wall_ops.store(0, Ordering::Relaxed);
         self.inner.g_evals.store(0, Ordering::Relaxed);
         self.inner.verify_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Wall-clock throughput of a concurrent run: how many sessions finished
+/// and how many supervisor-side bytes moved per second of real time.
+///
+/// Unlike [`CostReport`], which counts deterministic protocol work and is
+/// compared bit for bit across transports, throughput measures the
+/// machine and varies run to run — so it lives beside the ledger, never
+/// inside an equality-checked report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Throughput {
+    /// Wall-clock time of the measured run.
+    pub wall: Duration,
+    /// Verification sessions completed (attempts, including retried
+    /// ones).
+    pub sessions: u64,
+    /// Supervisor-side bytes moved (sent + received, all attempts).
+    pub bytes: u64,
+}
+
+impl Throughput {
+    /// Sessions completed per wall-clock second (0 for an empty window).
+    #[must_use]
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.sessions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Supervisor-side bytes moved per wall-clock second.
+    #[must_use]
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl core::fmt::Display for Throughput {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} sessions in {:.3}s ({:.1} sessions/s, {:.1} KiB/s)",
+            self.sessions,
+            self.wall.as_secs_f64(),
+            self.sessions_per_sec(),
+            self.bytes_per_sec() / 1024.0
+        )
     }
 }
 

@@ -19,6 +19,9 @@
 //! * [`Broker`] — a GRACE-style Grid Resource Broker that hides
 //!   participants from the supervisor (the Section 4 motivation for the
 //!   non-interactive scheme).
+//! * [`runtime`] — the thread-per-participant runtime: one OS thread per
+//!   participant behind the broker, each link optionally decorated with
+//!   seeded, bit-replayable fault injection ([`FaultPlan`]).
 //!
 //! # Examples
 //!
@@ -37,19 +40,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod behaviour;
 mod broker;
 pub mod codec;
 mod error;
 mod ledger;
 mod message;
+pub mod runtime;
 mod transport;
 
+pub use backoff::Backoff;
 pub use behaviour::{
     CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
 };
 pub use broker::{Broker, RelayStats};
 pub use error::GridError;
-pub use ledger::{CostLedger, CostReport};
+pub use ledger::{CostLedger, CostReport, Throughput};
 pub use message::{Assignment, Message, SampleProof};
-pub use transport::{duplex, Endpoint, LinkStats, FRAME_HEADER_BYTES};
+pub use runtime::{FaultEvent, FaultPlan, FaultyEndpoint};
+pub use transport::{duplex, Endpoint, GridLink, LinkStats, FRAME_HEADER_BYTES};

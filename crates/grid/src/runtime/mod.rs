@@ -1,0 +1,153 @@
+//! Thread-per-participant grid runtime.
+//!
+//! Everything below the verification schemes is assembled here: a
+//! supervisor link, a relaying [`Broker`] pumping on its own OS thread,
+//! and one OS thread per participant, each behind a deterministic
+//! fault-injection decorator ([`FaultyEndpoint`]). The harness measures
+//! wall-clock time and collects the injected-fault log so callers can
+//! report throughput and verify bit-identical replays.
+//!
+//! The scheme-aware wiring (which session runs on which participant) lives
+//! in `ugc-core`'s orchestrator; this module is deliberately ignorant of
+//! sessions — it only knows how to spawn, connect, decorate and join.
+//!
+//! ```
+//! use ugc_grid::runtime::{run_brokered, RuntimeOptions};
+//! use ugc_grid::{GridLink, Message};
+//!
+//! // Two echo participants behind the broker, no fault injection.
+//! let report = run_brokered(
+//!     2,
+//!     &RuntimeOptions::default(),
+//!     |_, link| {
+//!         while let Ok(msg) = link.recv() {
+//!             link.send(&Message::Commit {
+//!                 task_id: msg.task_id(),
+//!                 root: vec![0xAB; 16],
+//!             })
+//!             .unwrap();
+//!         }
+//!     },
+//!     |supervisor| {
+//!         use ugc_grid::Assignment;
+//!         use ugc_task::Domain;
+//!         for task_id in 0..2 {
+//!             supervisor
+//!                 .send(&Message::Assign(Assignment {
+//!                     task_id,
+//!                     domain: Domain::new(0, 8),
+//!                 }))
+//!                 .unwrap();
+//!         }
+//!         (0..2).map(|_| supervisor.recv().unwrap().task_id()).sum::<u64>()
+//!     },
+//! );
+//! assert_eq!(report.supervisor, 1);
+//! assert_eq!(report.relay.outward, 2);
+//! assert!(report.events.is_empty());
+//! ```
+
+mod fault;
+
+pub use fault::{
+    FaultDecision, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint, LinkDirection, LinkFaults,
+};
+
+use crate::{duplex, Broker, Endpoint, RelayStats};
+use std::time::{Duration, Instant};
+
+/// Configuration of one [`run_brokered`] round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Fault schedule applied to every participant link (`None` injects
+    /// nothing).
+    pub fault: Option<FaultPlan>,
+    /// Offset added to participant indices to form link ids, so retry
+    /// rounds draw fresh fault schedules for their replacement
+    /// participants.
+    pub link_id_base: u64,
+}
+
+/// What one [`run_brokered`] round produced.
+#[derive(Debug)]
+pub struct RuntimeReport<S, P> {
+    /// The supervisor closure's return value.
+    pub supervisor: S,
+    /// Each participant closure's return value, in link order.
+    pub participants: Vec<P>,
+    /// Broker relay counters for the round.
+    pub relay: RelayStats,
+    /// Wall-clock time of the whole round (spawn to last join).
+    pub wall: Duration,
+    /// Every injected fault, sorted (deterministic for a given seed).
+    pub events: Vec<FaultEvent>,
+}
+
+/// Runs one brokered grid round: `n` participant threads (each behind a
+/// [`FaultyEndpoint`] drawing link id `link_id_base + index`), a broker
+/// pump thread, and the supervisor closure on the calling thread.
+///
+/// The supervisor closure owns its [`Endpoint`]; dropping it (by
+/// returning) is what winds the pump down once the participants finish,
+/// so a deadlocked supervisor — not a chaos-stalled participant — is the
+/// only way this function can hang. Participants stalled on dropped
+/// messages are unblocked when the pump exits and closes their links.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or a participant closure panics.
+pub fn run_brokered<S, P, SF, PF>(
+    n: usize,
+    options: &RuntimeOptions,
+    participant: PF,
+    supervisor: SF,
+) -> RuntimeReport<S, P>
+where
+    PF: Fn(usize, FaultyEndpoint) -> P + Sync,
+    P: Send,
+    SF: FnOnce(Endpoint) -> S,
+{
+    assert!(n > 0, "runtime needs at least one participant");
+    let plan = options.fault.unwrap_or(FaultPlan::quiet(0));
+    let started = Instant::now();
+    let (sup_endpoint, broker_up) = duplex();
+    let mut broker_down = Vec::with_capacity(n);
+    let mut links = Vec::with_capacity(n);
+    for index in 0..n {
+        let (b, p) = duplex();
+        broker_down.push(b);
+        links.push(FaultyEndpoint::new(
+            p,
+            plan.link(options.link_id_base + index as u64),
+        ));
+    }
+    let logs: Vec<FaultLog> = links.iter().map(FaultyEndpoint::log).collect();
+    let broker = Broker::new(broker_up, broker_down);
+
+    let (supervisor_out, participants, relay) = std::thread::scope(|scope| {
+        let pump = scope.spawn(move || broker.pump_until_closed());
+        let participant = &participant;
+        let handles: Vec<_> = links
+            .drain(..)
+            .enumerate()
+            .map(|(index, link)| scope.spawn(move || participant(index, link)))
+            .collect();
+        let supervisor_out = supervisor(sup_endpoint);
+        let participants: Vec<P> = handles
+            .into_iter()
+            .map(|h| h.join().expect("participant thread panicked"))
+            .collect();
+        let relay = pump.join().expect("broker pump panicked");
+        (supervisor_out, participants, relay)
+    });
+
+    let mut events: Vec<FaultEvent> = logs.iter().flat_map(|log| log.snapshot()).collect();
+    events.sort_unstable();
+    RuntimeReport {
+        supervisor: supervisor_out,
+        participants,
+        relay,
+        wall: started.elapsed(),
+        events,
+    }
+}

@@ -173,6 +173,88 @@ impl Endpoint {
     }
 }
 
+/// One side of a bidirectional message link, abstracted so protocol
+/// drivers run identically over a raw [`Endpoint`] or a decorated one
+/// (e.g. the fault-injecting
+/// [`FaultyEndpoint`](crate::runtime::FaultyEndpoint)).
+///
+/// The `*_counted` methods return the bytes charged for the frame (wire
+/// length plus header) so multiplexers can attribute traffic without
+/// re-encoding; `send`/`recv`/`try_recv` are provided conveniences.
+pub trait GridLink: Send {
+    /// Sends a message, returning the bytes charged.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Disconnected`] if the peer has been dropped.
+    fn send_counted(&self, msg: &Message) -> Result<u64, GridError>;
+
+    /// Receives the next message (blocking), with the bytes charged.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Disconnected`] once nothing can arrive any more, or
+    /// codec errors for malformed frames.
+    fn recv_counted(&self) -> Result<(Message, u64), GridError>;
+
+    /// Receives without blocking, with the bytes charged.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Empty`] if no message is queued; otherwise as
+    /// [`recv_counted`](Self::recv_counted).
+    fn try_recv_counted(&self) -> Result<(Message, u64), GridError>;
+
+    /// Traffic counters for this link (wire-level truth: what actually
+    /// crossed, after any decoration).
+    fn stats(&self) -> LinkStats;
+
+    /// Sends a message, discarding the byte count.
+    ///
+    /// # Errors
+    ///
+    /// As [`send_counted`](Self::send_counted).
+    fn send(&self, msg: &Message) -> Result<(), GridError> {
+        self.send_counted(msg).map(|_| ())
+    }
+
+    /// Receives the next message (blocking).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv_counted`](Self::recv_counted).
+    fn recv(&self) -> Result<Message, GridError> {
+        self.recv_counted().map(|(msg, _)| msg)
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_recv_counted`](Self::try_recv_counted).
+    fn try_recv(&self) -> Result<Message, GridError> {
+        self.try_recv_counted().map(|(msg, _)| msg)
+    }
+}
+
+impl GridLink for Endpoint {
+    fn send_counted(&self, msg: &Message) -> Result<u64, GridError> {
+        Endpoint::send_counted(self, msg)
+    }
+
+    fn recv_counted(&self) -> Result<(Message, u64), GridError> {
+        Endpoint::recv_counted(self)
+    }
+
+    fn try_recv_counted(&self) -> Result<(Message, u64), GridError> {
+        Endpoint::try_recv_counted(self)
+    }
+
+    fn stats(&self) -> LinkStats {
+        Endpoint::stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

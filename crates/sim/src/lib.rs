@@ -39,7 +39,8 @@ mod table;
 pub use montecarlo::{
     estimate_cheat_success_fast, estimate_cheat_success_fast_parallel,
     estimate_cheat_success_protocol, estimate_cheat_success_protocol_brokered,
-    estimate_cheat_success_protocol_parallel, DetectionExperiment, RateEstimate,
+    estimate_cheat_success_protocol_parallel, estimate_cheat_success_under_churn, ChurnModel,
+    DetectionExperiment, RateEstimate,
 };
 pub use stats::{wilson_interval, Summary};
 pub use table::Table;

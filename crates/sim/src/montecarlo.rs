@@ -99,6 +99,57 @@ fn fast_trial(exp: &DetectionExperiment, t: u32) -> bool {
     true
 }
 
+/// The unreliable-grid overlay on a [`DetectionExperiment`]: each
+/// verification attempt crashes (participant churn, lost messages) with
+/// probability [`crash_probability`](Self::crash_probability) before it
+/// can complete, and a crashed attempt is reassigned up to
+/// [`retries`](Self::retries) times — the failure model the chaos runtime
+/// injects with [`FaultPlan`](ugc_grid::FaultPlan).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnModel {
+    /// Probability that one attempt crashes before verifying anything.
+    pub crash_probability: f64,
+    /// Reassignments granted after a crashed attempt.
+    pub retries: u32,
+}
+
+/// Chaos-aware fast path: estimates the probability that a cheater
+/// escapes detection on a grid where attempts crash and are reassigned
+/// per `churn`. A trial counts as an escape if every attempt crashed
+/// (the work was never verified) or the first completed attempt survived
+/// the Theorem 3 sampling event.
+///
+/// Validated against the closed form
+/// [`cheat_success_probability_under_churn`](ugc_core::analysis::cheat_success_probability_under_churn);
+/// deterministic per `(exp.seed, t)` like every other estimator here.
+///
+/// # Panics
+///
+/// Panics if `exp.trials == 0`, a probability is out of range, or
+/// `churn.crash_probability` is not a probability.
+#[must_use]
+pub fn estimate_cheat_success_under_churn(
+    exp: &DetectionExperiment,
+    churn: &ChurnModel,
+) -> RateEstimate {
+    validate_fast(exp);
+    assert!(
+        (0.0..=1.0).contains(&churn.crash_probability),
+        "crash probability out of range"
+    );
+    let survived = (0..exp.trials)
+        .map(|t| {
+            // An independent stream from the sampling event's: the same
+            // trial seed must not correlate crashes with sample luck.
+            let mut crash_rng = StdRng::seed_from_u64(trial_seed(exp.seed, t) ^ 0x0c4a_5b1e);
+            let completed =
+                (0..=churn.retries).any(|_| crash_rng.random::<f64>() >= churn.crash_probability);
+            u32::from(if completed { fast_trial(exp, t) } else { true })
+        })
+        .sum();
+    RateEstimate::from_counts(survived, exp.trials)
+}
+
 fn validate_fast(exp: &DetectionExperiment) {
     assert!(exp.trials > 0, "need at least one trial");
     assert!((0.0..=1.0).contains(&exp.honesty_ratio), "r out of range");
@@ -426,6 +477,80 @@ mod tests {
         assert_eq!(estimate_cheat_success_fast(&exp).rate, 1.0);
         exp.honesty_ratio = 0.0;
         assert_eq!(estimate_cheat_success_fast(&exp).rate, 0.0);
+    }
+
+    #[test]
+    fn churn_estimate_matches_closed_form_across_grid() {
+        use ugc_core::analysis::cheat_success_probability_under_churn;
+        for &(r, q, m, c, retries) in &[
+            (0.5, 0.0, 10usize, 0.3, 0u32),
+            (0.5, 0.0, 10, 0.3, 3),
+            (0.8, 0.2, 6, 0.5, 1),
+            (0.5, 0.0, 14, 0.9, 8),
+        ] {
+            let exp = DetectionExperiment {
+                domain_size: 0,
+                samples: m,
+                honesty_ratio: r,
+                guess_quality: q,
+                trials: 20_000,
+                seed: 13,
+            };
+            let churn = ChurnModel {
+                crash_probability: c,
+                retries,
+            };
+            let est = estimate_cheat_success_under_churn(&exp, &churn);
+            let theory = cheat_success_probability_under_churn(r, q, m as u64, c, retries);
+            assert!(
+                est.contains(theory),
+                "r={r} q={q} m={m} c={c} retries={retries}: \
+                 est [{:.4},{:.4}] excludes {:.4}",
+                est.ci_low,
+                est.ci_high,
+                theory
+            );
+        }
+    }
+
+    #[test]
+    fn churn_estimate_reduces_to_fast_path_without_crashes() {
+        let exp = DetectionExperiment {
+            domain_size: 0,
+            samples: 8,
+            honesty_ratio: 0.6,
+            guess_quality: 0.1,
+            trials: 5_000,
+            seed: 3,
+        };
+        let no_churn = ChurnModel {
+            crash_probability: 0.0,
+            retries: 0,
+        };
+        assert_eq!(
+            estimate_cheat_success_under_churn(&exp, &no_churn).successes,
+            estimate_cheat_success_fast(&exp).successes
+        );
+    }
+
+    #[test]
+    fn churn_estimate_deterministic_per_seed() {
+        let exp = DetectionExperiment {
+            domain_size: 0,
+            samples: 5,
+            honesty_ratio: 0.5,
+            guess_quality: 0.0,
+            trials: 4_000,
+            seed: 77,
+        };
+        let churn = ChurnModel {
+            crash_probability: 0.4,
+            retries: 2,
+        };
+        assert_eq!(
+            estimate_cheat_success_under_churn(&exp, &churn).successes,
+            estimate_cheat_success_under_churn(&exp, &churn).successes
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! every command prints a short, table-shaped report.
 
 use std::process::ExitCode;
+use std::time::Duration;
 use uncheatable_grid::core::analysis::{
     cheat_success_probability, detection_probability, required_sample_size,
 };
@@ -19,10 +20,13 @@ use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
 use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
 use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
 use uncheatable_grid::core::{
-    run_fleet_over, FleetConfig, FleetScheme, FleetTransport, Parallelism, ParticipantStorage,
-    RoundOutcome,
+    run_mixed_fleet, FleetScheme, FleetTransport, MemberSpec, MixedFleetConfig, Parallelism,
+    ParticipantStorage, RoundOutcome, VerificationScheme,
 };
-use uncheatable_grid::grid::{CheatSelection, HonestWorker, SemiHonestCheater, WorkerBehaviour};
+use uncheatable_grid::grid::runtime::FaultPlan;
+use uncheatable_grid::grid::{
+    CheatSelection, FaultEvent, HonestWorker, SemiHonestCheater, WorkerBehaviour,
+};
 use uncheatable_grid::hash::Sha256;
 use uncheatable_grid::task::workloads::{
     DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal,
@@ -39,11 +43,17 @@ commands:
               [--n <inputs>] [--m <samples>] [--cheat <ratio>] [--partial <level>] [--seed <s>]
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
               [--scheme <cbs|ni-cbs|naive|ringer>] [--broker]
+              [--threads <k>] [--chaos <seed>] [--churn]
   help                                            this message
 
 The fleet runs every member as a concurrent session of one multiplexing
-engine; --broker relays all sessions through a GRACE-style grid broker
-over a single supervisor link (verdicts are identical either way).
+engine, one OS thread per participant; --broker relays all sessions
+through a GRACE-style grid broker over a single supervisor link (verdicts
+are identical either way). --threads sets the participant-thread count
+(same as --participants), --chaos <seed> injects seeded message
+duplication/reordering/latency on every participant link, and --churn
+adds participant crash/restart churn — failed sessions are reassigned,
+and the whole campaign replays bit-identically from the seed.
 ";
 
 fn main() -> ExitCode {
@@ -304,6 +314,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let participants: usize = parse(args, "--participants", 4)?;
+    // --threads is the runtime-flavoured alias: one OS thread per
+    // participant, so the two knobs are the same number.
+    let participants: usize = parse(args, "--threads", participants)?;
     let cheaters: usize = parse(args, "--cheaters", 1)?;
     let n: u64 = parse(args, "--n", 4096)?;
     let m: usize = parse(args, "--m", 25)?;
@@ -313,6 +326,22 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         FleetTransport::Brokered
     } else {
         FleetTransport::Direct
+    };
+    let churn = args.iter().any(|a| a == "--churn");
+    let chaos_seed: Option<u64> = opt(args, "--chaos")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("invalid chaos seed {raw:?}"))
+        })
+        .transpose()?;
+    let chaos = if chaos_seed.is_some() || churn {
+        let mut plan = FaultPlan::chaos(chaos_seed.unwrap_or(1));
+        if churn {
+            plan = plan.with_churn(200);
+        }
+        Some(plan)
+    } else {
+        None
     };
     if cheaters > participants {
         return Err("more cheaters than participants".into());
@@ -340,31 +369,56 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         ZeroGuesser::new(seed ^ 0xf1ee),
         seed,
     );
-    let fleet: Vec<&dyn WorkerBehaviour> = (0..participants)
+    // One scheme instance per member, each with the same derived seed
+    // `run_fleet_over` would have used — the chaos path needs the
+    // MemberSpec form so the fault plan, deadline and retry budget ride
+    // along in MixedFleetConfig.
+    let schemes: Vec<Box<dyn VerificationScheme<Sha256>>> = (0..participants)
         .map(|i| {
-            if i < cheaters {
+            scheme.instantiate::<Sha256>(
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64),
+            )
+        })
+        .collect();
+    let members: Vec<MemberSpec<'_, Sha256>> = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, scheme)| MemberSpec {
+            scheme: scheme.as_ref(),
+            behaviours: vec![if i < cheaters {
                 &cheater as &dyn WorkerBehaviour
             } else {
                 &honest as &dyn WorkerBehaviour
-            }
+            }],
         })
         .collect();
-    let summary = run_fleet_over::<Sha256, _, _, _>(
+    // The inactivity deadline is a hang-guard, not a pace-setter: the
+    // engine's clock only resets on received messages, and a participant
+    // legitimately spends its whole share evaluating f before it says
+    // anything. Scale the allowance with the share size (generously — a
+    // password-search f-eval plus tree hashing is ~1 µs) on top of a
+    // 10 s floor so huge `--n` runs are not killed mid-compute.
+    let deadline =
+        Duration::from_secs(10) + Duration::from_micros(2 * n.div_ceil(participants.max(1) as u64));
+    let summary = run_mixed_fleet(
         &task,
         &screener,
         Domain::try_new(0, n).map_err(|e| e.to_string())?,
-        &fleet,
-        &FleetConfig {
-            scheme,
+        &members,
+        &MixedFleetConfig {
+            transport,
+            chaos,
+            deadline: chaos.map(|_| deadline),
+            retries: if chaos.is_some() { 5 } else { 0 },
             storage: ParticipantStorage::Full,
-            seed,
             parallelism: Parallelism::default(),
+            envelope: false,
         },
-        transport,
     )
     .map_err(|e| e.to_string())?;
     println!(
-        "fleet of {participants} over {n} inputs via {}: {} accepted, {} rejected",
+        "fleet of {participants} threads over {n} inputs via {}: {} accepted, {} rejected",
         match transport {
             FleetTransport::Direct => format!("direct links ({scheme_name})"),
             FleetTransport::Brokered => format!("the grid broker ({scheme_name})"),
@@ -374,13 +428,36 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     );
     for member in &summary.members {
         println!(
-            "  participant {}: share {} → {}",
-            member.participant, member.share, member.outcome.verdict
+            "  participant {}: share {} → {}{}",
+            member.participant,
+            member.share,
+            member.outcome.verdict,
+            if member.attempts > 1 {
+                format!(" ({} attempts)", member.attempts)
+            } else {
+                String::new()
+            }
         );
     }
     for share in summary.shares_to_reassign() {
         println!("  reassign {share}");
     }
+    if let Some(plan) = chaos {
+        let count =
+            |pred: fn(&FaultEvent) -> bool| summary.fault_events.iter().filter(|e| pred(e)).count();
+        println!(
+            "chaos seed {}: {} faults injected ({} dropped, {} duplicated, \
+             {} reordered, {} delayed, {} crashed)",
+            plan.seed,
+            summary.fault_events.len(),
+            count(|e| matches!(e, FaultEvent::Dropped { .. })),
+            count(|e| matches!(e, FaultEvent::Duplicated { .. })),
+            count(|e| matches!(e, FaultEvent::Reordered { .. })),
+            count(|e| matches!(e, FaultEvent::Delayed { .. })),
+            count(|e| matches!(e, FaultEvent::Crashed { .. })),
+        );
+    }
+    println!("throughput: {}", summary.throughput);
     println!(
         "password found: {:?}",
         summary.reports.first().map(|r| r.input)

@@ -192,6 +192,49 @@ fn fleet_over_broker_matches_direct_verdicts() {
 }
 
 #[test]
+fn fleet_chaos_campaign_reports_faults_and_throughput() {
+    let args = [
+        "fleet",
+        "--threads",
+        "8",
+        "--cheaters",
+        "1",
+        "--chaos",
+        "7",
+        "--churn",
+        "--broker",
+        "--n",
+        "512",
+        "--m",
+        "20",
+    ];
+    let out = ugc(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("fleet of 8 threads"), "{text}");
+    assert!(text.contains("7 accepted, 1 rejected"), "{text}");
+    assert!(text.contains("chaos seed 7:"), "{text}");
+    assert!(text.contains("faults injected"), "{text}");
+    assert!(text.contains("sessions/s"), "{text}");
+
+    // The same seed replays to the same verdicts and the same fault log
+    // (the throughput line is wall-clock and excluded).
+    let replay = ugc(&args);
+    let replay_text = stdout(&replay);
+    let stable = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| !l.starts_with("throughput:"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(stable(&text), stable(&replay_text));
+}
+
+#[test]
 fn invalid_number_reports_cleanly() {
     let out = ugc(&["run", "--n", "banana"]);
     assert!(!out.status.success());
