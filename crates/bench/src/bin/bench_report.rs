@@ -1,15 +1,18 @@
 //! Records the performance baseline: runs the workloads behind the six
 //! criterion benches plus the PR 2 serial-vs-parallel comparisons, the
-//! PR 3 session-engine workloads and the PR 4 chaos-soak campaign, and
-//! writes the measurements to a JSON file so the perf trajectory can be
-//! compared across PRs.
+//! PR 3 session-engine workloads, the PR 4 chaos-soak campaign and the
+//! PR 5 scheduler-scale campaign (1000 participants on a 4-worker
+//! pool), and writes the measurements to a JSON file so the perf
+//! trajectory can be compared across PRs.
 //!
 //! Every serial/parallel pair is checked for **bit-identical output**
 //! (roots, Monte-Carlo counts), the engine-over-broker round is checked
 //! bit-identical to the legacy in-process round (verdict, bytes,
-//! ledgers), and the chaos soak is checked to replay bit-identically from
-//! its seed; any divergence fails the run with a non-zero exit code,
-//! which is what the CI quick-mode step keys off.
+//! ledgers), the chaos soak is checked to replay bit-identically from
+//! its seed, and the scheduler-scale campaign is checked bit-identical
+//! between a 1-worker and a 4-worker pool; any divergence fails the run
+//! with a non-zero exit code, which is what the CI quick-mode step keys
+//! off.
 //!
 //! `--compare BASELINE.json` is the **trajectory gate**: workloads shared
 //! with the baseline file must not regress more than 2× (the build fails
@@ -17,7 +20,7 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr4.json`; `--compare PATH` enables the gate).
+//! `BENCH_pr5.json`; `--compare PATH` enables the gate).
 
 use criterion::{black_box, Bencher};
 use std::fmt::Write as _;
@@ -163,6 +166,75 @@ fn run_soak(n_per_member: u64) -> FleetSummary {
     .expect("the soak campaign must converge within its retry budget")
 }
 
+/// The PR 5 scheduler-scale campaign: 1000 participant slots — the five
+/// schemes cycling, honest workers, seeded churn — multiplexed over a
+/// fixed [`GridScheduler`](ugc_grid::runtime::GridScheduler) pool behind
+/// the broker. The thread-per-participant runtime could never run this;
+/// the scheduler runs it on any pool size with a bit-identical outcome.
+fn run_scheduler_scale(workers: usize) -> FleetSummary {
+    const SLOTS: usize = 1000;
+    const SHARE: u64 = 8;
+    let task = PasswordSearch::with_hidden_password(0x5CA1_E50A, 3);
+    let screener = task.match_screener();
+    let honest = HonestWorker;
+    let cbs = CbsScheme {
+        samples: 6,
+        seed: 11,
+        report_audit: 0,
+    };
+    let ni = NiCbsScheme {
+        samples: 6,
+        g_iterations: 1,
+        report_audit: 0,
+        audit_seed: 13,
+    };
+    let naive = NaiveScheme {
+        samples: 6,
+        seed: 14,
+    };
+    let ringer = RingerScheme {
+        ringers: 4,
+        seed: 15,
+    };
+    let double_check = DoubleCheckScheme;
+    let cycle: [&dyn VerificationScheme<Sha256>; 5] = [&cbs, &ni, &naive, &ringer, &double_check];
+    let mut members: Vec<MemberSpec<'_, Sha256>> = Vec::new();
+    let mut slots = 0usize;
+    let mut kind = 0usize;
+    while slots < SLOTS {
+        let scheme = cycle[kind % cycle.len()];
+        let scheme: &dyn VerificationScheme<Sha256> = if slots + scheme.participant_slots() > SLOTS
+        {
+            &cbs
+        } else {
+            scheme
+        };
+        slots += scheme.participant_slots();
+        kind += 1;
+        members.push(MemberSpec {
+            scheme,
+            behaviours: vec![&honest as &dyn WorkerBehaviour; scheme.participant_slots()],
+        });
+    }
+    run_mixed_fleet(
+        &task,
+        &screener,
+        Domain::new(0, members.len() as u64 * SHARE),
+        &members,
+        &MixedFleetConfig {
+            transport: FleetTransport::Brokered,
+            // Churn but no drops: failed sessions NACK fast through the
+            // broker, so no wall-clock deadline is involved at any pool
+            // size.
+            chaos: Some(FaultPlan::chaos(0x5CA1_E50A).with_churn(40)),
+            retries: 8,
+            workers: Some(workers),
+            ..MixedFleetConfig::default()
+        },
+    )
+    .expect("the scheduler-scale campaign must converge within its retry budget")
+}
+
 /// The deterministic part of a soak summary: verdicts, attempts, bytes
 /// and the injected-fault log — everything that must replay identically.
 fn soak_digest(summary: &FleetSummary) -> String {
@@ -184,7 +256,7 @@ fn soak_digest(summary: &FleetSummary) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr4.json");
+    let mut out_path = String::from("BENCH_pr5.json");
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -477,6 +549,25 @@ fn main() {
         ns_per_op: time(|| black_box(run_soak(soak_n))),
     });
 
+    // --- PR 5 tentpole: the event-driven scheduler at scale. A thousand
+    // participant slots multiplexed over a 4-worker pool; the outcome
+    // must be bit-identical to a 1-worker pool (worker count is
+    // scheduling, never semantics), and its wall-clock is the
+    // scale baseline CI tracks.
+    let scale = run_scheduler_scale(4);
+    if soak_digest(&scale) != soak_digest(&run_scheduler_scale(1)) {
+        eprintln!("DIVERGENCE: scheduler-scale campaign differs between 1 and 4 workers");
+        divergence = true;
+    }
+    if scale.members.iter().any(|m| !m.outcome.accepted) {
+        eprintln!("DIVERGENCE: an honest scheduler-scale participant was rejected");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "engine/scheduler_scale_1000x4",
+        ns_per_op: time(|| black_box(run_scheduler_scale(4))),
+    });
+
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
             entries
@@ -540,7 +631,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 5,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -598,11 +689,42 @@ fn main() {
             .map(|m| u64::from(m.attempts))
             .sum::<u64>()
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"scheduler_scale\": {{");
+    let _ = writeln!(json, "    \"participants\": 1000,");
+    let _ = writeln!(json, "    \"workers\": 4,");
+    let _ = writeln!(json, "    \"members\": {},", scale.members.len());
+    let _ = writeln!(json, "    \"sessions\": {},", scale.throughput.sessions);
+    let _ = writeln!(json, "    \"bytes\": {},", scale.throughput.bytes);
+    let _ = writeln!(
+        json,
+        "    \"wall_ms\": {:.3},",
+        scale.throughput.wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"sessions_per_sec\": {:.1},",
+        scale.throughput.sessions_per_sec()
+    );
+    let _ = writeln!(json, "    \"fault_events\": {},", scale.fault_events.len());
+    let _ = writeln!(
+        json,
+        "    \"session_attempts\": {}",
+        scale
+            .members
+            .iter()
+            .map(|m| u64::from(m.attempts))
+            .sum::<u64>()
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write baseline JSON");
     println!("\nwrote {out_path}");
     println!("soak: {}", soak.throughput);
+    println!(
+        "scheduler scale (1000 slots / 4 workers): {}",
+        scale.throughput
+    );
 
     // The trajectory gate: a workload shared with the baseline must not
     // be more than GATE_REGRESSION_FACTOR slower than it was there.

@@ -33,7 +33,7 @@ use crate::session::{SessionOutcome, SupervisorSession};
 use crate::SchemeError;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use ugc_grid::{Backoff, Endpoint, GridError, LinkStats, Message};
+use ugc_grid::{Backoff, Endpoint, GridError, LinkStats, Message, FRAME_HEADER_BYTES};
 
 /// What the engine's transport delivered on one receive.
 #[derive(Debug)]
@@ -162,7 +162,18 @@ impl DirectTransport {
 impl EngineTransport for DirectTransport {
     fn send(&mut self, routing_id: u64, msg: &Message) -> Result<u64, GridError> {
         let idx = *self.routes.get(&routing_id).ok_or(GridError::Empty)?;
-        self.endpoints[idx].send_counted(msg)
+        match self.endpoints[idx].send_counted(msg) {
+            Ok(charged) => Ok(charged),
+            // A dead participant loses the message downstream — exactly
+            // what the brokered transport does (the supervisor's send to
+            // the broker succeeds; the relay fails silently). Charging
+            // the nominal frame keeps byte accounting identical whether
+            // the peer died a microsecond before or after this send —
+            // the session's fate is decided by the PeerClosed event, not
+            // by this race.
+            Err(GridError::Disconnected) => Ok(msg.wire_len() + FRAME_HEADER_BYTES),
+            Err(e) => Err(e),
+        }
     }
 
     fn recv(&mut self) -> Result<EngineEvent, GridError> {
@@ -331,14 +342,27 @@ impl<'a> SessionEngine<'a> {
             .any(|s| matches!(s.state, SessionState::Active))
     }
 
-    /// Fails every still-active session routed through the given ids —
-    /// their peers hung up, so their replies can never arrive.
+    /// Handles peer-closure notices for the given routing ids: each
+    /// still-active session is asked (via
+    /// [`SupervisorSession::on_peer_gone`]) whether it can finish
+    /// without that peer. A session that cannot is failed with
+    /// [`GridError::Disconnected`]; one that can (a multi-peer session
+    /// whose dead slot already delivered) keeps running — the decision
+    /// is the session's, never the race between the death notice and
+    /// another slot's mail.
     fn fail_routes(&mut self, ids: &[u64]) {
         for id in ids {
-            if let Some(&(index, _)) = self.routes.get(id) {
+            if let Some(&(index, peer)) = self.routes.get(id) {
                 let slot = &mut self.slots[index];
                 if matches!(slot.state, SessionState::Active) {
-                    slot.state = SessionState::Failed(SchemeError::Grid(GridError::Disconnected));
+                    match slot.session.on_peer_gone(peer) {
+                        Ok(()) => {
+                            if let Some(outcome) = slot.session.take_outcome() {
+                                slot.state = SessionState::Done(outcome);
+                            }
+                        }
+                        Err(e) => slot.state = SessionState::Failed(e),
+                    }
                 }
             }
         }
@@ -478,10 +502,17 @@ impl<'a> SessionEngine<'a> {
             if !matches!(slot.state, SessionState::Active) {
                 continue; // late mail for a finished/failed session
             }
+            let (_, payload) = msg.into_payload();
+            if slot.session.is_stale(peer, &payload) {
+                // A redundant redelivery (e.g. a fault-injected duplicate
+                // of an upload already in hand): dropped uncharged, so
+                // the session's byte accounting cannot depend on whether
+                // the copy raced the session's completion.
+                continue;
+            }
             last_activity[index] = Instant::now();
             slot.link.bytes_received += charged;
             slot.link.messages_received += 1;
-            let (_, payload) = msg.into_payload();
             let result = slot
                 .session
                 .on_message(peer, payload)

@@ -72,8 +72,8 @@ pub use orchestrator::{
 };
 pub use outcome::{ParticipantStorage, RoundOutcome, Verdict};
 pub use session::{
-    ParticipantContext, ParticipantSession, SessionOutcome, SupervisorContext, SupervisorSession,
-    VerificationScheme,
+    ParticipantContext, ParticipantSession, SessionOutcome, SessionPoll, SupervisorContext,
+    SupervisorSession, VerificationScheme,
 };
 // The thread-count knob behind every parallel path (tree builds here, the
 // Monte-Carlo shards in `ugc-sim`); re-exported so scheme users need not

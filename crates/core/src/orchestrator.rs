@@ -21,12 +21,14 @@ use crate::scheme::naive::NaiveScheme;
 use crate::scheme::ni_cbs::NiCbsScheme;
 use crate::scheme::ringer::RingerScheme;
 use crate::session::{
-    drive_participant, ParticipantContext, SupervisorContext, VerificationScheme,
+    drive_participant, step_participant, ParticipantContext, ParticipantSession, SessionPoll,
+    SupervisorContext, VerificationScheme,
 };
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use std::time::{Duration, Instant};
 use ugc_grid::runtime::{
-    run_brokered, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint, RuntimeOptions,
+    run_brokered, run_brokered_tasks, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint,
+    GridScheduler, GridTask, RuntimeOptions, TaskPoll,
 };
 use ugc_grid::{duplex, CostLedger, Throughput, WorkerBehaviour};
 use ugc_hash::HashFunction;
@@ -218,6 +220,14 @@ pub struct MixedFleetConfig {
     /// reassigned to a fresh participant before its error propagates.
     /// Cheating verdicts are never retried.
     pub retries: u32,
+    /// How participant sessions are executed. `None` runs one OS thread
+    /// per participant slot (the PR 4 runtime). `Some(w)` runs every
+    /// slot as a poll-driven state machine multiplexed by a
+    /// [`GridScheduler`] over `w` OS threads — thousands of participants
+    /// on a fixed pool. Verdicts, ledgers and the fault log are
+    /// bit-identical at any setting (`tests/scheduler_equivalence.rs`);
+    /// only the thread count changes.
+    pub workers: Option<usize>,
 }
 
 impl Default for MixedFleetConfig {
@@ -230,6 +240,7 @@ impl Default for MixedFleetConfig {
             chaos: None,
             deadline: None,
             retries: 0,
+            workers: None,
         }
     }
 }
@@ -345,14 +356,18 @@ where
 /// own behaviour(s), and all sessions interleave over one transport, be it
 /// per-participant links or a relaying broker.
 ///
-/// Every participant slot runs on its own OS thread (through the
-/// [`ugc_grid::runtime`] harness for the brokered transport). With
+/// Participant execution follows [`MixedFleetConfig::workers`]: one OS
+/// thread per slot by default, or — with a worker count set — every slot
+/// as a poll-driven state machine multiplexed by a
+/// [`GridScheduler`] over that fixed pool (through the
+/// [`ugc_grid::runtime`] harness for the brokered transport), which is
+/// how a thousand-participant campaign runs on four threads. With
 /// [`MixedFleetConfig::chaos`] set, each link is decorated with the
 /// seeded fault plan; sessions that fail under chaos (crashes, timeouts,
 /// scrambled protocol) are *reassigned* — rerun on fresh participants
 /// with fresh fault schedules — up to [`MixedFleetConfig::retries`]
 /// times. The entire campaign, fault log included, replays bit-identically
-/// from the plan's seed.
+/// from the plan's seed — at any worker count.
 ///
 /// # Errors
 ///
@@ -524,6 +539,46 @@ struct RoundOutput {
     events: Vec<FaultEvent>,
 }
 
+/// One participant slot as a poll-driven task on the grid scheduler's
+/// run-queue: the session state machine plus its fault-decorated link.
+/// Completion drops the link immediately, so the broker pump — and a
+/// supervisor session waiting on the verdict acknowledgement — observe
+/// the hang-up without waiting for the whole pool to drain.
+struct SlotTask<'a> {
+    roster_index: usize,
+    link: Option<FaultyEndpoint>,
+    session: Box<dyn ParticipantSession + 'a>,
+    outcome: Option<Result<bool, SchemeError>>,
+}
+
+impl SlotTask<'_> {
+    /// The completed slot's result, tagged with its roster index.
+    fn into_result(self) -> (usize, Result<bool, SchemeError>) {
+        (
+            self.roster_index,
+            self.outcome
+                .expect("scheduler ran every task to completion"),
+        )
+    }
+}
+
+impl GridTask for SlotTask<'_> {
+    fn poll(&mut self) -> TaskPoll {
+        let Some(link) = self.link.as_ref() else {
+            return TaskPoll::Complete;
+        };
+        match step_participant(link, self.session.as_mut()) {
+            SessionPoll::Progress => TaskPoll::Progress,
+            SessionPoll::Idle => TaskPoll::Idle,
+            SessionPoll::Complete(result) => {
+                self.outcome = Some(result);
+                self.link = None; // hang up so the peer sees the closure
+                TaskPoll::Complete
+            }
+        }
+    }
+}
+
 /// Runs one engine round for `roster` (a subset of the fleet, on
 /// reassignment rounds): registers one supervisor session per entry,
 /// spawns one participant thread per slot — each behind a
@@ -586,15 +641,13 @@ where
     // One code path means the soak exercises exactly what production runs.
     let plan = config.chaos.unwrap_or(FaultPlan::quiet(0));
 
-    // One participant body for both transports: build the slot's session
-    // and drive it over the (possibly fault-injecting) link. The thread
-    // owns its link: finishing (or crashing) drops it, which is what lets
-    // a broker pump — and a supervisor blocked mid-recv — observe the
-    // hang-up.
-    let drive_slot = |global_slot: usize, link: &FaultyEndpoint| {
+    // One session factory for both transports and both execution models:
+    // build the slot's participant state machine, tagged with its roster
+    // index.
+    let build_slot = |global_slot: usize| {
         let (r, s) = slot_table[global_slot];
         let (orig, member, _) = &roster[r];
-        let mut session = member.scheme.participant_session(ParticipantContext {
+        let session = member.scheme.participant_session(ParticipantContext {
             task,
             screener,
             behaviour: member.behaviours[s],
@@ -602,26 +655,66 @@ where
             parallelism: config.parallelism,
             ledger: part_ledgers[*orig].clone(),
         });
+        (r, session)
+    };
+    // Thread-per-participant body (config.workers == None): drive the
+    // session over the blocking loop. The thread owns its link: finishing
+    // (or crashing) drops it, which is what lets a broker pump — and a
+    // supervisor blocked mid-recv — observe the hang-up.
+    let drive_slot = |global_slot: usize, link: &FaultyEndpoint| {
+        let (r, mut session) = build_slot(global_slot);
         (r, drive_participant(link, session.as_mut()))
+    };
+    // Scheduler body (config.workers == Some(w)): the same session as a
+    // poll-driven task, multiplexed with every other slot over the pool.
+    let make_task = |global_slot: usize, link: FaultyEndpoint| {
+        let (r, session) = build_slot(global_slot);
+        SlotTask {
+            roster_index: r,
+            link: Some(link),
+            session,
+            outcome: None,
+        }
     };
 
     match config.transport {
         FleetTransport::Brokered => {
-            let options = RuntimeOptions {
-                fault: Some(plan),
-                link_id_base: chaos_link_id(round, 0),
-            };
-            let report = run_brokered(
-                slot_table.len(),
-                &options,
-                |global_slot, link| drive_slot(global_slot, &link),
-                |mut endpoint| engine.run(&mut endpoint),
-            );
-            Ok(RoundOutput {
-                sessions: report.supervisor,
-                part_results: report.participants,
-                events: report.events,
-            })
+            let options = RuntimeOptions::default()
+                .with_fault(plan)
+                .with_link_id_base(chaos_link_id(round, 0));
+            match config.workers {
+                Some(workers) => {
+                    let options = options.with_workers(workers);
+                    let report = run_brokered_tasks(
+                        slot_table.len(),
+                        &options,
+                        make_task,
+                        |mut endpoint| engine.run(&mut endpoint),
+                    );
+                    Ok(RoundOutput {
+                        sessions: report.supervisor,
+                        part_results: report
+                            .participants
+                            .into_iter()
+                            .map(SlotTask::into_result)
+                            .collect(),
+                        events: report.events,
+                    })
+                }
+                None => {
+                    let report = run_brokered(
+                        slot_table.len(),
+                        &options,
+                        |global_slot, link| drive_slot(global_slot, &link),
+                        |mut endpoint| engine.run(&mut endpoint),
+                    );
+                    Ok(RoundOutput {
+                        sessions: report.supervisor,
+                        part_results: report.participants,
+                        events: report.events,
+                    })
+                }
+            }
         }
         FleetTransport::Direct => {
             let mut transport = DirectTransport::new();
@@ -635,23 +728,49 @@ where
                 ));
             }
             let logs: Vec<FaultLog> = links.iter().map(FaultyEndpoint::log).collect();
-            let (sessions, part_results) = std::thread::scope(|scope| {
-                let drive_slot = &drive_slot;
-                let handles: Vec<_> = links
-                    .drain(..)
-                    .enumerate()
-                    .map(|(global_slot, link)| scope.spawn(move || drive_slot(global_slot, &link)))
-                    .collect();
-                let sessions = engine.run(&mut transport);
-                // Close the supervisor sides so chaos-stalled participants
-                // observe the hang-up instead of blocking forever.
-                drop(transport);
-                let part_results: Vec<(usize, Result<bool, SchemeError>)> = handles
-                    .into_iter()
-                    .map(|h| h.join().expect("fleet participant panicked"))
-                    .collect();
-                (sessions, part_results)
-            });
+            let (sessions, part_results) = match config.workers {
+                Some(workers) => {
+                    let scheduler = GridScheduler::new(workers);
+                    let tasks: Vec<SlotTask<'_>> = links
+                        .drain(..)
+                        .enumerate()
+                        .map(|(global_slot, link)| make_task(global_slot, link))
+                        .collect();
+                    let (sessions, tasks) = std::thread::scope(|scope| {
+                        let pool = scope.spawn(move || scheduler.run(tasks));
+                        let sessions = engine.run(&mut transport);
+                        // Close the supervisor sides so chaos-stalled
+                        // participants observe the hang-up instead of
+                        // parking forever.
+                        drop(transport);
+                        (sessions, pool.join().expect("scheduler pool panicked"))
+                    });
+                    (
+                        sessions,
+                        tasks.into_iter().map(SlotTask::into_result).collect(),
+                    )
+                }
+                None => std::thread::scope(|scope| {
+                    let drive_slot = &drive_slot;
+                    let handles: Vec<_> = links
+                        .drain(..)
+                        .enumerate()
+                        .map(|(global_slot, link)| {
+                            scope.spawn(move || drive_slot(global_slot, &link))
+                        })
+                        .collect();
+                    let sessions = engine.run(&mut transport);
+                    // Close the supervisor sides so chaos-stalled
+                    // participants observe the hang-up instead of blocking
+                    // forever.
+                    drop(transport);
+                    let part_results: Vec<(usize, Result<bool, SchemeError>)> = handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fleet participant panicked"))
+                        .collect();
+                    (sessions, part_results)
+                }),
+            };
             let mut events: Vec<FaultEvent> = logs.iter().flat_map(FaultLog::snapshot).collect();
             events.sort_unstable();
             Ok(RoundOutput {

@@ -95,8 +95,8 @@ impl SupervisorSession for DoubleCheckSupervisorSession<'_> {
     }
 
     fn on_message(&mut self, slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError> {
-        if self.done || slot > 1 || self.uploads[slot].is_some() {
-            return unexpected("nothing (replica already answered)", &msg);
+        if self.done || slot > 1 {
+            return unexpected("nothing (replicas already answered)", &msg);
         }
         let Message::AllResults {
             task_id,
@@ -112,6 +112,21 @@ impl SupervisorSession for DoubleCheckSupervisorSession<'_> {
             return Err(SchemeError::MalformedPayload {
                 what: "flat results layout",
             });
+        }
+        if let Some(existing) = &self.uploads[slot] {
+            // At-least-once transports redeliver: an identical copy of a
+            // replica's upload is idempotently ignored. This session
+            // spans two links, so whether the duplicate lands before or
+            // after the twin's upload is a cross-link race — tolerating
+            // the redelivery is what keeps the verdict deterministic. A
+            // *different* re-upload is still a protocol violation.
+            return if *existing == data {
+                Ok(Vec::new())
+            } else {
+                Err(SchemeError::MalformedPayload {
+                    what: "replica re-upload diverged from its first upload",
+                })
+            };
         }
         self.uploads[slot] = Some(data);
         let [Some(data_a), Some(data_b)] = &self.uploads else {
@@ -153,6 +168,34 @@ impl SupervisorSession for DoubleCheckSupervisorSession<'_> {
         self.done = true;
         self.outcome = Some(SessionOutcome { verdict, reports });
         Ok(out)
+    }
+
+    fn is_stale(&self, slot: usize, msg: &Message) -> bool {
+        // An identical redelivery of a replica's upload (fault-injected
+        // duplication) carries no information: report it stale so the
+        // drivers drop it uncharged wherever it lands relative to the
+        // twin's upload — this session spans two links, so that order is
+        // a race.
+        if self.done {
+            return true;
+        }
+        let Message::AllResults { task_id, data, .. } = msg else {
+            return false;
+        };
+        slot <= 1 && *task_id == self.task_ids[slot] && self.uploads[slot].as_ref() == Some(data)
+    }
+
+    fn on_peer_gone(&mut self, slot: usize) -> Result<(), SchemeError> {
+        // A replica that already uploaded has done everything this
+        // session needs from it; its death must not fail the comparison
+        // (whether the death notice beats the twin's upload across links
+        // is a race). A replica that dies *before* uploading makes the
+        // comparison impossible.
+        if self.done || (slot <= 1 && self.uploads[slot].is_some()) {
+            Ok(())
+        } else {
+            Err(SchemeError::Grid(ugc_grid::GridError::Disconnected))
+        }
     }
 
     fn take_outcome(&mut self) -> Option<SessionOutcome> {

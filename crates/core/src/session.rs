@@ -20,10 +20,13 @@
 //! answers with the messages to send, so hundreds of sessions — different
 //! schemes, different behaviours — interleave over one transport. The
 //! [`SessionEngine`](crate::engine::SessionEngine) multiplexes supervisor
-//! sessions over direct links or a [`Broker`](ugc_grid::Broker);
-//! [`drive_participant`] and [`drive_supervisor`] run a single session to
-//! completion over blocking endpoints, which is exactly what the legacy
-//! `run_*`/`participant_*`/`supervisor_*` free functions now do.
+//! sessions over direct links or a [`Broker`](ugc_grid::Broker); the
+//! participant side is symmetric: [`step_participant`] advances one
+//! session by one message without blocking (what the grid scheduler's
+//! worker pool calls), while [`drive_participant`] and
+//! [`drive_supervisor`] are thin blocking loops that run a single
+//! session to completion over one endpoint, which is exactly what the
+//! legacy `run_*`/`participant_*`/`supervisor_*` free functions now do.
 //!
 //! # Example: one CBS round, session by session
 //!
@@ -116,6 +119,37 @@ pub trait SupervisorSession: Send {
     /// Unexpected message kinds, task-id mismatches, malformed payloads.
     fn on_message(&mut self, slot: usize, msg: Message) -> Result<Vec<Outbound>, SchemeError>;
 
+    /// Whether `msg` from slot `slot` is a redundant redelivery the
+    /// session neither needs nor charges — e.g. a fault-injected
+    /// duplicate of an upload this session already holds. Stale mail is
+    /// dropped by the drivers *before* byte accounting, so whether the
+    /// duplicate lands before or after the session completes (a
+    /// cross-link race for multi-peer sessions) cannot change the
+    /// session's attributed traffic. The default treats nothing as
+    /// stale.
+    fn is_stale(&self, slot: usize, msg: &Message) -> bool {
+        let _ = (slot, msg);
+        false
+    }
+
+    /// Notifies the session that participant slot `slot` is gone (its
+    /// link closed, or the broker NACKed its task): nothing more will
+    /// ever arrive from it. Return `Ok(())` if the session can still
+    /// complete without that peer — a multi-peer session whose dead slot
+    /// had already delivered everything it owed must say so here, or the
+    /// verdict would depend on whether the death notice raced the other
+    /// slots' messages across links.
+    ///
+    /// # Errors
+    ///
+    /// The default fails the session with
+    /// [`GridError::Disconnected`](ugc_grid::GridError), which is right
+    /// for every single-peer session: it cannot finish without its peer.
+    fn on_peer_gone(&mut self, slot: usize) -> Result<(), SchemeError> {
+        let _ = slot;
+        Err(SchemeError::Grid(GridError::Disconnected))
+    }
+
     /// The verdict and collected reports, once the session has finished.
     /// Returns `None` while the session still awaits messages.
     fn take_outcome(&mut self) -> Option<SessionOutcome>;
@@ -206,9 +240,103 @@ pub(crate) fn unexpected<T>(expected: &'static str, got: &Message) -> Result<T, 
     })
 }
 
+/// What one non-blocking [`step_participant`] call accomplished.
+///
+/// This is the participant-side mirror of the engine's event-loop
+/// verdicts: `Progress` means "poll me again soon", `Idle` means "park
+/// me until traffic may have arrived", `Complete` carries the session's
+/// final result. The grid scheduler
+/// ([`GridScheduler`](ugc_grid::runtime::GridScheduler)) maps these
+/// one-to-one onto its
+/// [`TaskPoll`](ugc_grid::runtime::TaskPoll) run-queue verdicts.
+#[derive(Debug)]
+pub enum SessionPoll {
+    /// An inbound message was consumed (and any replies sent); the
+    /// session may have more mail queued, so poll again soon.
+    Progress,
+    /// No inbound message is waiting; nothing to do until the peer
+    /// speaks.
+    Idle,
+    /// The session ended: `Ok(accepted)` once the verdict arrived, or
+    /// the transport/protocol error that killed it (including this
+    /// participant's own injected crash).
+    Complete(Result<bool, SchemeError>),
+}
+
+/// Feeds one raw inbound message to a participant session and sends the
+/// replies, handling [`Message::Session`] envelopes transparently: an
+/// enveloped message has its payload fed to the session and the replies
+/// are wrapped under the same session id, so enveloped and bare
+/// transports drive the identical state machine.
+fn pump_participant<L: GridLink + ?Sized>(
+    endpoint: &L,
+    session: &mut (dyn ParticipantSession + '_),
+    raw: Message,
+) -> Result<(), SchemeError> {
+    let (envelope, msg) = raw.into_payload();
+    let mut failure: Option<SchemeError> = None;
+    for out in session.on_message(msg)? {
+        let out = match envelope {
+            Some(id) => Message::in_session(id, out),
+            None => out,
+        };
+        // Attempt the whole burst even once a send has failed: each
+        // outbound message consumes a fault-schedule sequence number
+        // (logged before the wire is touched), so the replay log must
+        // not depend on *when* the peer disappeared — that is a
+        // wall-clock race against the round's teardown, and it would
+        // otherwise make the fault log vary with worker count. The
+        // first error still fails the session.
+        if let Err(e) = endpoint.send(&out) {
+            failure.get_or_insert(e.into());
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Advances a participant session by (at most) one inbound message,
+/// without ever blocking — the poll-driven face of the participant side,
+/// scheduled by the grid runtime's worker pool exactly as the
+/// [`SessionEngine`](crate::engine::SessionEngine) multiplexes the
+/// supervisor side.
+///
+/// Each call either consumes one queued message (sending any replies and
+/// returning [`SessionPoll::Progress`]), finds the queue empty
+/// ([`SessionPoll::Idle`] — park the session), or finishes
+/// ([`SessionPoll::Complete`] with the verdict or the error). The
+/// blocking [`drive_participant`] loop and this function drive the
+/// identical state machine over the identical link-operation sequence,
+/// so fault schedules, ledgers and verdicts are bit-identical between
+/// them.
+pub fn step_participant<L: GridLink + ?Sized>(
+    endpoint: &L,
+    session: &mut (dyn ParticipantSession + '_),
+) -> SessionPoll {
+    if let Some(accepted) = session.finished() {
+        return SessionPoll::Complete(Ok(accepted));
+    }
+    let raw = match endpoint.try_recv() {
+        Ok(raw) => raw,
+        Err(GridError::Empty) => return SessionPoll::Idle,
+        Err(e) => return SessionPoll::Complete(Err(e.into())),
+    };
+    match pump_participant(endpoint, session, raw) {
+        Ok(()) => match session.finished() {
+            Some(accepted) => SessionPoll::Complete(Ok(accepted)),
+            None => SessionPoll::Progress,
+        },
+        Err(e) => SessionPoll::Complete(Err(e)),
+    }
+}
+
 /// Runs a participant session to completion over a blocking link — a raw
 /// [`Endpoint`] or any [`GridLink`] decorator (e.g. the fault-injecting
 /// [`FaultyEndpoint`](ugc_grid::FaultyEndpoint) of the chaos runtime).
+/// A thin blocking wrapper over the same message pump that powers the
+/// non-blocking [`step_participant`].
 ///
 /// Session envelopes are handled transparently: an enveloped inbound
 /// message has its payload fed to the session and the replies are wrapped
@@ -228,14 +356,8 @@ pub fn drive_participant<L: GridLink + ?Sized>(
         if let Some(accepted) = session.finished() {
             return Ok(accepted);
         }
-        let (envelope, msg) = endpoint.recv()?.into_payload();
-        for out in session.on_message(msg)? {
-            let out = match envelope {
-                Some(id) => Message::in_session(id, out),
-                None => out,
-            };
-            endpoint.send(&out)?;
-        }
+        let raw = endpoint.recv()?;
+        pump_participant(endpoint, session, raw)?;
     }
 }
 
@@ -270,6 +392,9 @@ pub fn drive_supervisor(
             return Ok(outcome);
         }
         let (slot, msg) = recv_any(endpoints)?;
+        if session.is_stale(slot, &msg) {
+            continue; // redundant redelivery: dropped, as the engine does
+        }
         send_all(session.on_message(slot, msg)?)?;
     }
 }

@@ -58,5 +58,5 @@ pub use broker::{Broker, RelayStats};
 pub use error::GridError;
 pub use ledger::{CostLedger, CostReport, Throughput};
 pub use message::{Assignment, Message, SampleProof};
-pub use runtime::{FaultEvent, FaultPlan, FaultyEndpoint};
+pub use runtime::{FaultEvent, FaultPlan, FaultyEndpoint, GridScheduler, GridTask, TaskPoll};
 pub use transport::{duplex, Endpoint, GridLink, LinkStats, FRAME_HEADER_BYTES};

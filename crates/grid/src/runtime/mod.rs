@@ -1,15 +1,18 @@
-//! Thread-per-participant grid runtime.
+//! The grid runtime: participants multiplexed over a worker pool.
 //!
 //! Everything below the verification schemes is assembled here: a
 //! supervisor link, a relaying [`Broker`] pumping on its own OS thread,
-//! and one OS thread per participant, each behind a deterministic
-//! fault-injection decorator ([`FaultyEndpoint`]). The harness measures
-//! wall-clock time and collects the injected-fault log so callers can
-//! report throughput and verify bit-identical replays.
+//! and the participants — poll-driven [`GridTask`]s multiplexed by a
+//! [`GridScheduler`] over a fixed worker pool ([`run_brokered_tasks`]),
+//! or legacy blocking closures run one-per-worker ([`run_brokered`], a
+//! thin wrapper over the same scheduler). Every participant link sits
+//! behind a deterministic fault-injection decorator ([`FaultyEndpoint`]).
+//! The harness measures wall-clock time and collects the injected-fault
+//! log so callers can report throughput and verify bit-identical replays.
 //!
 //! The scheme-aware wiring (which session runs on which participant) lives
 //! in `ugc-core`'s orchestrator; this module is deliberately ignorant of
-//! sessions — it only knows how to spawn, connect, decorate and join.
+//! sessions — it only knows how to connect, decorate, schedule and join.
 //!
 //! ```
 //! use ugc_grid::runtime::{run_brokered, RuntimeOptions};
@@ -48,15 +51,29 @@
 //! ```
 
 mod fault;
+pub mod scheduler;
 
 pub use fault::{
     FaultDecision, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint, LinkDirection, LinkFaults,
 };
+pub use scheduler::{GridScheduler, GridTask, TaskPoll};
 
 use crate::{duplex, Broker, Endpoint, RelayStats};
 use std::time::{Duration, Instant};
 
-/// Configuration of one [`run_brokered`] round.
+/// Configuration of one [`run_brokered`] / [`run_brokered_tasks`] round.
+///
+/// Build it with the `Default` impl plus the builder-style setters:
+///
+/// ```
+/// use ugc_grid::runtime::{FaultPlan, RuntimeOptions};
+///
+/// let options = RuntimeOptions::default()
+///     .with_fault(FaultPlan::chaos(7))
+///     .with_link_id_base(1 << 32)
+///     .with_workers(4);
+/// assert_eq!(options.workers, Some(4));
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeOptions {
     /// Fault schedule applied to every participant link (`None` injects
@@ -66,6 +83,37 @@ pub struct RuntimeOptions {
     /// rounds draw fresh fault schedules for their replacement
     /// participants.
     pub link_id_base: u64,
+    /// Size of the [`GridScheduler`] worker pool. `None` keeps one
+    /// worker per participant (the thread-per-participant semantics of
+    /// the PR 4 runtime — the only safe choice for [`run_brokered`]'s
+    /// blocking closures); `Some(w)` multiplexes all participants over
+    /// `w` OS threads, which poll-driven [`GridTask`]s tolerate at any
+    /// value.
+    pub workers: Option<usize>,
+}
+
+impl RuntimeOptions {
+    /// Sets the fault schedule applied to every participant link.
+    #[must_use]
+    pub const fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the link-id offset for this round (retry rounds pass a fresh
+    /// base so replacement participants draw fresh fault schedules).
+    #[must_use]
+    pub const fn with_link_id_base(mut self, base: u64) -> Self {
+        self.link_id_base = base;
+        self
+    }
+
+    /// Fixes the scheduler pool at `workers` OS threads.
+    #[must_use]
+    pub const fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
 }
 
 /// What one [`run_brokered`] round produced.
@@ -83,15 +131,112 @@ pub struct RuntimeReport<S, P> {
     pub events: Vec<FaultEvent>,
 }
 
-/// Runs one brokered grid round: `n` participant threads (each behind a
-/// [`FaultyEndpoint`] drawing link id `link_id_base + index`), a broker
-/// pump thread, and the supervisor closure on the calling thread.
+/// Runs one brokered grid round with poll-driven participants: `n`
+/// [`GridTask`]s (each built around a [`FaultyEndpoint`] drawing link id
+/// `link_id_base + index`) multiplexed by a [`GridScheduler`] over
+/// `options.workers` OS threads (one per participant when unset), a
+/// broker pump thread, and the supervisor closure on the calling thread.
 ///
 /// The supervisor closure owns its [`Endpoint`]; dropping it (by
 /// returning) is what winds the pump down once the participants finish,
 /// so a deadlocked supervisor — not a chaos-stalled participant — is the
-/// only way this function can hang. Participants stalled on dropped
-/// messages are unblocked when the pump exits and closes their links.
+/// only way this function can hang. Parked participants whose mail was
+/// dropped observe the hang-up once the pump exits and closes their
+/// links, and complete with an error.
+///
+/// Completed tasks are returned (in link order) in
+/// [`RuntimeReport::participants`] so callers can harvest whatever state
+/// they accumulated.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or a task's `poll` panics.
+pub fn run_brokered_tasks<S, T, TF, SF>(
+    n: usize,
+    options: &RuntimeOptions,
+    make_task: TF,
+    supervisor: SF,
+) -> RuntimeReport<S, T>
+where
+    TF: Fn(usize, FaultyEndpoint) -> T,
+    T: GridTask,
+    SF: FnOnce(Endpoint) -> S,
+{
+    assert!(n > 0, "runtime needs at least one participant");
+    let plan = options.fault.unwrap_or(FaultPlan::quiet(0));
+    let scheduler = GridScheduler::new(options.workers.unwrap_or(n));
+    let started = Instant::now();
+    let (sup_endpoint, broker_up) = duplex();
+    let mut broker_down = Vec::with_capacity(n);
+    let mut tasks = Vec::with_capacity(n);
+    let mut logs = Vec::with_capacity(n);
+    for index in 0..n {
+        let (b, p) = duplex();
+        broker_down.push(b);
+        let link = FaultyEndpoint::new(p, plan.link(options.link_id_base + index as u64));
+        logs.push(link.log());
+        tasks.push(make_task(index, link));
+    }
+    let broker = Broker::new(broker_up, broker_down);
+
+    let (supervisor_out, participants, relay) = std::thread::scope(|scope| {
+        let pump = scope.spawn(move || broker.pump_until_closed());
+        let pool = scope.spawn(move || scheduler.run(tasks));
+        let supervisor_out = supervisor(sup_endpoint);
+        let participants = pool.join().expect("scheduler pool panicked");
+        let relay = pump.join().expect("broker pump panicked");
+        (supervisor_out, participants, relay)
+    });
+
+    let mut events: Vec<FaultEvent> = logs.iter().flat_map(|log| log.snapshot()).collect();
+    events.sort_unstable();
+    RuntimeReport {
+        supervisor: supervisor_out,
+        participants,
+        relay,
+        wall: started.elapsed(),
+        events,
+    }
+}
+
+/// A legacy blocking participant closure, run to completion as a single
+/// scheduler step. One poll == the whole session, so it occupies its
+/// worker for the duration — which is why [`run_brokered`] sizes the
+/// pool at one worker per participant unless told otherwise.
+struct BlockingTask<'a, PF, P> {
+    index: usize,
+    body: &'a PF,
+    link: Option<FaultyEndpoint>,
+    output: Option<P>,
+}
+
+impl<PF, P> GridTask for BlockingTask<'_, PF, P>
+where
+    PF: Fn(usize, FaultyEndpoint) -> P + Sync,
+    P: Send,
+{
+    fn poll(&mut self) -> TaskPoll {
+        let link = self
+            .link
+            .take()
+            .expect("a completed task is never re-polled");
+        self.output = Some((self.body)(self.index, link));
+        TaskPoll::Complete
+    }
+}
+
+/// Runs one brokered grid round with legacy *blocking* participant
+/// closures — a thin wrapper over [`run_brokered_tasks`] that wraps each
+/// closure as a single-step [`GridTask`] and (unless
+/// [`RuntimeOptions::workers`] overrides it) sizes the scheduler pool at
+/// one worker per participant, which reproduces the PR 4
+/// thread-per-participant semantics exactly.
+///
+/// Prefer [`run_brokered_tasks`] with genuinely poll-driven tasks for
+/// campaigns bigger than the host's comfortable thread count: a blocking
+/// closure pins its worker until the session ends, so an undersized pool
+/// can stall closures that wait on dropped messages until the round
+/// winds down.
 ///
 /// # Panics
 ///
@@ -107,47 +252,27 @@ where
     P: Send,
     SF: FnOnce(Endpoint) -> S,
 {
-    assert!(n > 0, "runtime needs at least one participant");
-    let plan = options.fault.unwrap_or(FaultPlan::quiet(0));
-    let started = Instant::now();
-    let (sup_endpoint, broker_up) = duplex();
-    let mut broker_down = Vec::with_capacity(n);
-    let mut links = Vec::with_capacity(n);
-    for index in 0..n {
-        let (b, p) = duplex();
-        broker_down.push(b);
-        links.push(FaultyEndpoint::new(
-            p,
-            plan.link(options.link_id_base + index as u64),
-        ));
-    }
-    let logs: Vec<FaultLog> = links.iter().map(FaultyEndpoint::log).collect();
-    let broker = Broker::new(broker_up, broker_down);
-
-    let (supervisor_out, participants, relay) = std::thread::scope(|scope| {
-        let pump = scope.spawn(move || broker.pump_until_closed());
-        let participant = &participant;
-        let handles: Vec<_> = links
-            .drain(..)
-            .enumerate()
-            .map(|(index, link)| scope.spawn(move || participant(index, link)))
-            .collect();
-        let supervisor_out = supervisor(sup_endpoint);
-        let participants: Vec<P> = handles
-            .into_iter()
-            .map(|h| h.join().expect("participant thread panicked"))
-            .collect();
-        let relay = pump.join().expect("broker pump panicked");
-        (supervisor_out, participants, relay)
-    });
-
-    let mut events: Vec<FaultEvent> = logs.iter().flat_map(|log| log.snapshot()).collect();
-    events.sort_unstable();
+    let participant = &participant;
+    let report = run_brokered_tasks(
+        n,
+        options,
+        |index, link| BlockingTask {
+            index,
+            body: participant,
+            link: Some(link),
+            output: None,
+        },
+        supervisor,
+    );
     RuntimeReport {
-        supervisor: supervisor_out,
-        participants,
-        relay,
-        wall: started.elapsed(),
-        events,
+        supervisor: report.supervisor,
+        participants: report
+            .participants
+            .into_iter()
+            .map(|task| task.output.expect("completed closure has an output"))
+            .collect(),
+        relay: report.relay,
+        wall: report.wall,
+        events: report.events,
     }
 }

@@ -23,7 +23,7 @@ use uncheatable_grid::core::{
     run_mixed_fleet, FleetScheme, FleetTransport, MemberSpec, MixedFleetConfig, Parallelism,
     ParticipantStorage, RoundOutcome, VerificationScheme,
 };
-use uncheatable_grid::grid::runtime::FaultPlan;
+use uncheatable_grid::grid::runtime::{FaultPlan, GridScheduler};
 use uncheatable_grid::grid::{
     CheatSelection, FaultEvent, HonestWorker, SemiHonestCheater, WorkerBehaviour,
 };
@@ -42,18 +42,21 @@ commands:
   run         --scheme <cbs|ni-cbs|naive|ringer> --workload <password|seti|docking|primes>
               [--n <inputs>] [--m <samples>] [--cheat <ratio>] [--partial <level>] [--seed <s>]
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
-              [--scheme <cbs|ni-cbs|naive|ringer>] [--broker]
+              [--scheme <cbs|ni-cbs|naive|ringer>] [--broker] [--workers <w>]
               [--threads <k>] [--chaos <seed>] [--churn]
   help                                            this message
 
 The fleet runs every member as a concurrent session of one multiplexing
-engine, one OS thread per participant; --broker relays all sessions
-through a GRACE-style grid broker over a single supervisor link (verdicts
-are identical either way). --threads sets the participant-thread count
-(same as --participants), --chaos <seed> injects seeded message
-duplication/reordering/latency on every participant link, and --churn
-adds participant crash/restart churn — failed sessions are reassigned,
-and the whole campaign replays bit-identically from the seed.
+engine; --broker relays all sessions through a GRACE-style grid broker
+over a single supervisor link (verdicts are identical either way).
+--workers <w> multiplexes all participants as poll-driven state machines
+over a fixed pool of w OS threads (w = 0 picks one per available core);
+without it each participant gets its own OS thread. --threads sets the
+participant count (same as --participants), --chaos <seed> injects
+seeded message duplication/reordering/latency on every participant link,
+and --churn adds participant crash/restart churn — failed sessions are
+reassigned, and the whole campaign replays bit-identically from the
+seed at any worker count.
 ";
 
 fn main() -> ExitCode {
@@ -68,29 +71,92 @@ fn main() -> ExitCode {
     }
 }
 
-/// Looks up `--key value` in the argument list.
-fn opt(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Hand-rolled `--key value` / `--flag` parser shared by every command:
+/// each lookup marks the positions it consumed, and [`Args::finish`]
+/// rejects anything left over, so a typo (`--particpants 3`) errors with
+/// a usage hint and a nonzero exit instead of being silently ignored.
+struct Args<'a> {
+    argv: &'a [String],
+    used: Vec<bool>,
 }
 
-fn parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
-    match opt(args, key) {
-        None => Ok(default),
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| format!("invalid value {raw:?} for {key}")),
+impl<'a> Args<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Args {
+            used: vec![false; argv.len()],
+            argv,
+        }
+    }
+
+    /// The raw value following `key`: `Ok(None)` when the key is absent,
+    /// an error when the key is present with nothing after it (a
+    /// dangling `--key` must not silently fall back to the default).
+    fn raw(&mut self, key: &str) -> Result<Option<&'a str>, String> {
+        let Some(i) = self.argv.iter().position(|a| a == key) else {
+            return Ok(None);
+        };
+        self.used[i] = true;
+        let Some(value) = self.argv.get(i + 1) else {
+            return Err(format!("{key} requires a value"));
+        };
+        self.used[i + 1] = true;
+        Ok(Some(value))
+    }
+
+    /// `--key value`, parsed, or `None` when the key is absent.
+    fn opt<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, String> {
+        match self.raw(key)? {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value {raw:?} for {key}")),
+        }
+    }
+
+    /// `--key value`, parsed, with a default when the key is absent.
+    fn value<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, String> {
+        Ok(self.opt(key)?.unwrap_or(default))
+    }
+
+    /// A bare `--flag` (consumed if present).
+    fn flag(&mut self, key: &str) -> bool {
+        match self.argv.iter().position(|a| a == key) {
+            Some(i) => {
+                self.used[i] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fails on any argument no lookup consumed (unknown flags, stray
+    /// values, missing `--key` prefixes).
+    fn finish(self) -> Result<(), String> {
+        let unrecognized: Vec<&str> = self
+            .argv
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(arg, _)| arg.as_str())
+            .collect();
+        if unrecognized.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unrecognized argument(s): {}",
+                unrecognized.join(" ")
+            ))
+        }
     }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
-        Some("sample-size") => cmd_sample_size(&args[1..]),
-        Some("detection") => cmd_detection(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("fleet") => cmd_fleet(&args[1..]),
+        Some("sample-size") => cmd_sample_size(Args::new(&args[1..])),
+        Some("detection") => cmd_detection(Args::new(&args[1..])),
+        Some("run") => cmd_run(Args::new(&args[1..])),
+        Some("fleet") => cmd_fleet(Args::new(&args[1..])),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -99,10 +165,11 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_sample_size(args: &[String]) -> Result<(), String> {
-    let epsilon: f64 = parse(args, "--epsilon", 1e-4)?;
-    let r: f64 = parse(args, "--r", 0.5)?;
-    let q: f64 = parse(args, "--q", 0.0)?;
+fn cmd_sample_size(mut args: Args<'_>) -> Result<(), String> {
+    let epsilon: f64 = args.value("--epsilon", 1e-4)?;
+    let r: f64 = args.value("--r", 0.5)?;
+    let q: f64 = args.value("--q", 0.0)?;
+    args.finish()?;
     match required_sample_size(epsilon, r, q) {
         Some(m) => {
             println!("Eq. (3): m ≥ log ε / log(r + (1-r)q)");
@@ -117,10 +184,11 @@ fn cmd_sample_size(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_detection(args: &[String]) -> Result<(), String> {
-    let r: f64 = parse(args, "--r", 0.5)?;
-    let q: f64 = parse(args, "--q", 0.0)?;
-    let m: u64 = parse(args, "--m", 14)?;
+fn cmd_detection(mut args: Args<'_>) -> Result<(), String> {
+    let r: f64 = args.value("--r", 0.5)?;
+    let q: f64 = args.value("--q", 0.0)?;
+    let m: u64 = args.value("--m", 14)?;
+    args.finish()?;
     println!("Eq. (2): Pr[cheat succeeds] = (r + (1-r)q)^m");
     println!(
         "r = {r}, q = {q}, m = {m}  →  survive {:.3e}, detect {:.6}",
@@ -215,14 +283,15 @@ fn print_outcome(scheme: &str, outcome: &RoundOutcome) {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let scheme = opt(args, "--scheme").unwrap_or_else(|| "cbs".into());
-    let workload_name = opt(args, "--workload").unwrap_or_else(|| "password".into());
-    let n: u64 = parse(args, "--n", 1024)?;
-    let m: usize = parse(args, "--m", 25)?;
-    let cheat: f64 = parse(args, "--cheat", 0.0)?;
-    let seed: u64 = parse(args, "--seed", 42)?;
-    let partial: u32 = parse(args, "--partial", 0)?;
+fn cmd_run(mut args: Args<'_>) -> Result<(), String> {
+    let scheme: String = args.value("--scheme", "cbs".into())?;
+    let workload_name: String = args.value("--workload", "password".into())?;
+    let n: u64 = args.value("--n", 1024)?;
+    let m: usize = args.value("--m", 25)?;
+    let cheat: f64 = args.value("--cheat", 0.0)?;
+    let seed: u64 = args.value("--seed", 42)?;
+    let partial: u32 = args.value("--partial", 0)?;
+    args.finish()?;
     let w = workload(&workload_name, seed, n)?;
     let domain = Domain::try_new(0, n).map_err(|e| e.to_string())?;
     let storage = if partial == 0 {
@@ -312,28 +381,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet(args: &[String]) -> Result<(), String> {
-    let participants: usize = parse(args, "--participants", 4)?;
-    // --threads is the runtime-flavoured alias: one OS thread per
-    // participant, so the two knobs are the same number.
-    let participants: usize = parse(args, "--threads", participants)?;
-    let cheaters: usize = parse(args, "--cheaters", 1)?;
-    let n: u64 = parse(args, "--n", 4096)?;
-    let m: usize = parse(args, "--m", 25)?;
-    let seed: u64 = parse(args, "--seed", 7)?;
-    let scheme_name = opt(args, "--scheme").unwrap_or_else(|| "cbs".into());
-    let transport = if args.iter().any(|a| a == "--broker") {
+fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
+    let participants: usize = args.value("--participants", 4)?;
+    // --threads is the historical alias from the thread-per-participant
+    // runtime: the participant count, under its old name.
+    let participants: usize = args.value("--threads", participants)?;
+    let cheaters: usize = args.value("--cheaters", 1)?;
+    let n: u64 = args.value("--n", 4096)?;
+    let m: usize = args.value("--m", 25)?;
+    let seed: u64 = args.value("--seed", 7)?;
+    let scheme_name: String = args.value("--scheme", "cbs".into())?;
+    // --workers w multiplexes all participants over a w-thread scheduler
+    // pool (0 = one per available core); absent, every participant gets
+    // its own OS thread. Verdicts and fault logs are identical either
+    // way.
+    let workers: Option<usize> = args.opt::<usize>("--workers")?.map(|w| {
+        if w == 0 {
+            GridScheduler::available().workers()
+        } else {
+            w
+        }
+    });
+    let transport = if args.flag("--broker") {
         FleetTransport::Brokered
     } else {
         FleetTransport::Direct
     };
-    let churn = args.iter().any(|a| a == "--churn");
-    let chaos_seed: Option<u64> = opt(args, "--chaos")
-        .map(|raw| {
-            raw.parse()
-                .map_err(|_| format!("invalid chaos seed {raw:?}"))
-        })
-        .transpose()?;
+    let churn = args.flag("--churn");
+    let chaos_seed: Option<u64> = args.opt("--chaos")?;
+    args.finish()?;
     let chaos = if chaos_seed.is_some() || churn {
         let mut plan = FaultPlan::chaos(chaos_seed.unwrap_or(1));
         if churn {
@@ -414,11 +490,16 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             storage: ParticipantStorage::Full,
             parallelism: Parallelism::default(),
             envelope: false,
+            workers,
         },
     )
     .map_err(|e| e.to_string())?;
+    let execution = match workers {
+        Some(w) => format!("{participants} participants on {w} scheduler workers"),
+        None => format!("{participants} threads"),
+    };
     println!(
-        "fleet of {participants} threads over {n} inputs via {}: {} accepted, {} rejected",
+        "fleet of {execution} over {n} inputs via {}: {} accepted, {} rejected",
         match transport {
             FleetTransport::Direct => format!("direct links ({scheme_name})"),
             FleetTransport::Brokered => format!("the grid broker ({scheme_name})"),

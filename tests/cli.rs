@@ -240,3 +240,100 @@ fn invalid_number_reports_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
 }
+
+#[test]
+fn fleet_bad_flag_value_prints_usage_and_fails() {
+    // A bad --participants value must produce a usage hint and a nonzero
+    // exit, never a panic.
+    let out = ugc(&["fleet", "--participants", "banana"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid value"), "{err}");
+    assert!(err.contains("usage: ugc"), "{err}");
+    let out = ugc(&["fleet", "--workers", "-3"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
+    // A dangling --key with no value must error, not silently fall back
+    // to the default (a forgotten `--chaos <seed>` would otherwise run
+    // the campaign without chaos and exit 0).
+    let out = ugc(&["fleet", "--participants", "2", "--chaos"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--chaos requires a value"), "{err}");
+}
+
+#[test]
+fn fleet_unrecognized_flag_prints_usage_and_fails() {
+    // Typos must not be silently ignored (they used to be): the command
+    // errors, names the offender and shows the usage.
+    let out = ugc(&["fleet", "--particpants", "3"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unrecognized argument"), "{err}");
+    assert!(err.contains("--particpants"), "{err}");
+    assert!(err.contains("usage: ugc"), "{err}");
+}
+
+#[test]
+fn fleet_workers_pool_matches_thread_per_participant_verdicts() {
+    // The same campaign on a 2-worker scheduler pool: identical verdicts
+    // and identical replayable lines (only the execution header and the
+    // wall-clock throughput line differ from the threaded run).
+    let base = [
+        "fleet",
+        "--participants",
+        "6",
+        "--cheaters",
+        "1",
+        "--n",
+        "384",
+        "--m",
+        "15",
+        "--chaos",
+        "5",
+        "--churn",
+        "--broker",
+    ];
+    let stable = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| !l.starts_with("throughput:") && !l.starts_with("fleet of"))
+            .map(str::to_owned)
+            .collect()
+    };
+    let threaded = ugc(&base);
+    assert!(threaded.status.success());
+    let pooled = ugc(&[&base[..], &["--workers", "2"]].concat());
+    assert!(pooled.status.success());
+    assert!(
+        stdout(&pooled).contains("6 participants on 2 scheduler workers"),
+        "{}",
+        stdout(&pooled)
+    );
+    assert_eq!(
+        stable(&threaded),
+        stable(&pooled),
+        "worker pool must not change verdicts, attempts or the fault log"
+    );
+}
+
+#[test]
+fn fleet_workers_zero_picks_available_cores() {
+    let out = ugc(&[
+        "fleet",
+        "--participants",
+        "3",
+        "--cheaters",
+        "0",
+        "--n",
+        "96",
+        "--m",
+        "6",
+        "--workers",
+        "0",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("scheduler workers"), "{text}");
+    assert!(text.contains("3 accepted, 0 rejected"), "{text}");
+}

@@ -1,0 +1,262 @@
+//! Scheduler equivalence: the poll-driven `GridScheduler` execution
+//! model must be bit-identical to the PR 4 thread-per-participant
+//! runtime — same seed and chaos plan in, same `FaultLog`, verdicts and
+//! `CostLedger` axes out — for all five schemes, over both transports,
+//! at any worker-pool size.
+//!
+//! This is the replay-digest property the event-driven refactor rests
+//! on: fault decisions are a pure function of `(seed, link, direction,
+//! seq)` and each link carries exactly one session's protocol sequence,
+//! so no interleaving — OS threads or a 4-worker run-queue — can change
+//! what any participant observes.
+
+use std::time::Duration;
+use uncheatable_grid::core::scheme::cbs::CbsScheme;
+use uncheatable_grid::core::scheme::double_check::DoubleCheckScheme;
+use uncheatable_grid::core::scheme::naive::NaiveScheme;
+use uncheatable_grid::core::scheme::ni_cbs::NiCbsScheme;
+use uncheatable_grid::core::scheme::ringer::RingerScheme;
+use uncheatable_grid::core::{
+    run_mixed_fleet, FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig,
+};
+use uncheatable_grid::grid::runtime::FaultPlan;
+use uncheatable_grid::grid::{
+    CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
+};
+use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::task::workloads::PasswordSearch;
+use uncheatable_grid::task::{AcceptAllScreener, Domain, ZeroGuesser};
+
+/// Everything that must be identical between execution models: verdicts,
+/// attempts, per-session supervisor traffic, every `CostLedger` axis and
+/// the injected-fault log. (Wall-clock throughput is real time and
+/// deliberately excluded.)
+fn digest(summary: &FleetSummary) -> String {
+    let mut out = String::new();
+    for m in &summary.members {
+        out.push_str(&format!(
+            "member {} share {} accepted {} attempts {} verdict {:?} \
+             link(tx {} rx {}) sup {:?} part {:?}\n",
+            m.participant,
+            m.share,
+            m.outcome.accepted,
+            m.attempts,
+            m.outcome.verdict,
+            m.outcome.supervisor_link.bytes_sent,
+            m.outcome.supervisor_link.bytes_received,
+            m.outcome.supervisor_costs,
+            m.outcome.participant_costs,
+        ));
+    }
+    out.push_str(&format!(
+        "sessions {} bytes {}\n",
+        summary.throughput.sessions, summary.throughput.bytes
+    ));
+    out.push_str(&format!("faults {:?}\n", summary.fault_events));
+    out
+}
+
+struct Schemes {
+    cbs: CbsScheme,
+    ni: NiCbsScheme,
+    naive: NaiveScheme,
+    ringer: RingerScheme,
+    double_check: DoubleCheckScheme,
+}
+
+impl Schemes {
+    fn new(seed: u64) -> Self {
+        Schemes {
+            cbs: CbsScheme {
+                samples: 16,
+                seed: seed ^ 11,
+                report_audit: 2,
+            },
+            ni: NiCbsScheme {
+                samples: 16,
+                g_iterations: 2,
+                report_audit: 0,
+                audit_seed: seed ^ 13,
+            },
+            naive: NaiveScheme {
+                samples: 16,
+                seed: seed ^ 14,
+            },
+            ringer: RingerScheme {
+                ringers: 6,
+                seed: seed ^ 15,
+            },
+            double_check: DoubleCheckScheme,
+        }
+    }
+}
+
+/// One member per scheme plus a cheating CBS member: 7 participant slots
+/// covering every scheme's dialogue shape, honest and dishonest.
+fn members<'a>(
+    schemes: &'a Schemes,
+    honest: &'a HonestWorker,
+    lazy: &'a SemiHonestCheater<ZeroGuesser>,
+    malicious: &'a MaliciousWorker,
+) -> Vec<MemberSpec<'a, Sha256>> {
+    vec![
+        MemberSpec {
+            scheme: &schemes.cbs,
+            behaviours: vec![honest as &dyn WorkerBehaviour],
+        },
+        MemberSpec {
+            scheme: &schemes.ni,
+            behaviours: vec![honest],
+        },
+        MemberSpec {
+            scheme: &schemes.naive,
+            behaviours: vec![honest],
+        },
+        MemberSpec {
+            scheme: &schemes.ringer,
+            behaviours: vec![honest],
+        },
+        MemberSpec {
+            scheme: &schemes.double_check,
+            behaviours: vec![honest, honest],
+        },
+        MemberSpec {
+            scheme: &schemes.cbs,
+            behaviours: vec![lazy],
+        },
+        // The report audit (report_audit: 2 on the CBS scheme) is what
+        // catches a malicious worker that computes f honestly but
+        // corrupts what it screens.
+        MemberSpec {
+            scheme: &schemes.cbs,
+            behaviours: vec![malicious],
+        },
+    ]
+}
+
+fn campaign(chaos_seed: u64, transport: FleetTransport, workers: Option<usize>) -> FleetSummary {
+    let task = PasswordSearch::with_hidden_password(7, 3);
+    let screener = AcceptAllScreener;
+    let honest = HonestWorker;
+    let lazy = SemiHonestCheater::new(0.2, CheatSelection::Scattered, ZeroGuesser::new(4), 9);
+    let malicious = MaliciousWorker::new(1.0, 5);
+    let schemes = Schemes::new(chaos_seed);
+    let specs = members(&schemes, &honest, &lazy, &malicious);
+    let slots: usize = specs.iter().map(|m| m.behaviours.len()).sum();
+    assert_eq!(slots, 8);
+    run_mixed_fleet(
+        &task,
+        &screener,
+        Domain::new(0, specs.len() as u64 * 64),
+        &specs,
+        &MixedFleetConfig {
+            transport,
+            chaos: Some(FaultPlan::chaos(chaos_seed).with_churn(150)),
+            deadline: Some(Duration::from_secs(20)),
+            retries: 8,
+            workers,
+            ..MixedFleetConfig::default()
+        },
+    )
+    .expect("the campaign must converge within the retry budget")
+}
+
+/// The tentpole property, brokered: the thread-per-participant reference
+/// and the scheduler at `workers ∈ {1, 4, participants}` all produce the
+/// same fault log, verdicts and ledgers — across several chaos seeds.
+#[test]
+fn brokered_scheduler_matches_thread_per_participant_at_any_pool_size() {
+    for chaos_seed in [0xC4A05, 0x5EED5, 42] {
+        let reference = digest(&campaign(chaos_seed, FleetTransport::Brokered, None));
+        for workers in [1, 4, 8] {
+            let scheduled = digest(&campaign(
+                chaos_seed,
+                FleetTransport::Brokered,
+                Some(workers),
+            ));
+            assert_eq!(
+                reference, scheduled,
+                "seed {chaos_seed:#x}: {workers}-worker scheduler diverged from the \
+                 thread-per-participant runtime"
+            );
+        }
+    }
+}
+
+/// The same property over direct per-participant links (no broker):
+/// the engine's transport must not matter to the equivalence.
+#[test]
+fn direct_scheduler_matches_thread_per_participant() {
+    let chaos_seed = 0xD12EC7;
+    let reference = digest(&campaign(chaos_seed, FleetTransport::Direct, None));
+    for workers in [1, 4] {
+        let scheduled = digest(&campaign(chaos_seed, FleetTransport::Direct, Some(workers)));
+        assert_eq!(
+            reference, scheduled,
+            "{workers}-worker scheduler diverged over direct links"
+        );
+    }
+}
+
+/// Expected verdicts survive the scheduler: honest members accepted,
+/// cheaters rejected, exactly as the thread-per-participant path decides.
+#[test]
+fn scheduler_verdicts_are_correct_under_chaos() {
+    let summary = campaign(0xC4A05, FleetTransport::Brokered, Some(4));
+    let expected = [true, true, true, true, true, false, false];
+    assert_eq!(summary.members.len(), expected.len());
+    for (member, expected) in summary.members.iter().zip(expected) {
+        assert_eq!(
+            member.outcome.accepted, expected,
+            "member {} ({}): {} after {} attempts",
+            member.participant, member.share, member.outcome.verdict, member.attempts
+        );
+    }
+    assert!(
+        !summary.fault_events.is_empty(),
+        "a nonzero chaos seed must inject faults"
+    );
+}
+
+/// A clean (chaos-free) fleet is also identical between execution
+/// models — the scheduler is not only for storms.
+#[test]
+fn quiet_fleet_identical_across_execution_models() {
+    let task = PasswordSearch::with_hidden_password(3, 100);
+    let screener = task.match_screener();
+    let honest = HonestWorker;
+    let schemes = Schemes::new(1);
+    let run = |workers: Option<usize>| {
+        let specs = vec![
+            MemberSpec::<'_, Sha256> {
+                scheme: &schemes.cbs,
+                behaviours: vec![&honest as &dyn WorkerBehaviour],
+            },
+            MemberSpec {
+                scheme: &schemes.ni,
+                behaviours: vec![&honest],
+            },
+            MemberSpec {
+                scheme: &schemes.double_check,
+                behaviours: vec![&honest, &honest],
+            },
+        ];
+        digest(
+            &run_mixed_fleet(
+                &task,
+                &screener,
+                Domain::new(0, 192),
+                &specs,
+                &MixedFleetConfig {
+                    transport: FleetTransport::Brokered,
+                    workers,
+                    ..MixedFleetConfig::default()
+                },
+            )
+            .unwrap(),
+        )
+    };
+    let reference = run(None);
+    assert_eq!(reference, run(Some(1)));
+    assert_eq!(reference, run(Some(4)));
+}
