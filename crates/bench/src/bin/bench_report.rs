@@ -22,6 +22,8 @@
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
 //! `BENCH_pr5.json`; `--compare PATH` enables the gate).
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, Bencher};
 use std::fmt::Write as _;
 use std::time::Duration;

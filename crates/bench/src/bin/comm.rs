@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin comm`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::analysis::{cbs_traffic_bytes, naive_traffic_bytes};
 use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
 use ugc_core::scheme::naive::{run_naive, NaiveConfig};

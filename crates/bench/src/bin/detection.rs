@@ -11,6 +11,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin detection`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::analysis::cheat_success_probability;
 use ugc_sim::{
     estimate_cheat_success_fast_parallel, estimate_cheat_success_protocol_parallel,

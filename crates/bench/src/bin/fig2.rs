@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin fig2`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::analysis::{cheat_success_probability, required_sample_size};
 use ugc_sim::{
     estimate_cheat_success_fast_parallel, wilson_interval, DetectionExperiment, Parallelism, Table,

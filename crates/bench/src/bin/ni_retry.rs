@@ -18,6 +18,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin ni_retry`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::analysis::{min_g_cost_for_uncheatability, ni_attack_cost, ni_expected_attempts};
 use ugc_core::scheme::ni_cbs::{retry_attack, RetryAttackConfig, RetryAttackOutcome};
 use ugc_grid::{CheatSelection, SemiHonestCheater};

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin rco`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::analysis::rco;
 use ugc_hash::Sha256;
 use ugc_merkle::{MerkleTree, PartialMerkleTree, RebuildStats};

@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin schemes`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
 use ugc_core::scheme::double_check::{run_double_check, DoubleCheckConfig};
 use ugc_core::scheme::naive::{run_naive, NaiveConfig};

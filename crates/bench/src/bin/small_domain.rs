@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin small_domain`
 
+#![forbid(unsafe_code)]
+
 use ugc_core::scheme::cbs::{run_cbs, CbsConfig};
 use ugc_core::ParticipantStorage;
 use ugc_grid::HonestWorker;

@@ -418,6 +418,7 @@ where
     let sup_ledgers: Vec<CostLedger> = members.iter().map(|_| CostLedger::new()).collect();
     let part_ledgers: Vec<CostLedger> = members.iter().map(|_| CostLedger::new()).collect();
 
+    // ugc-lint: allow(wall-clock): reporting-only — feeds the Throughput summary, never a verdict or schedule
     let started = Instant::now();
     let mut attempts = vec![0u32; members.len()];
     let mut finals: Vec<Option<SessionResult>> = members.iter().map(|_| None).collect();

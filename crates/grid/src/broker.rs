@@ -8,14 +8,19 @@
 //! demonstrate that NI-CBS needs exactly one participant → supervisor
 //! delivery per task.
 //!
-//! Routing is indexed: the broker keeps a `task → participant` hash map, so
-//! relaying a reply is `O(1)` regardless of how many tasks are in flight —
-//! the property a session engine multiplexing hundreds of concurrent
-//! verification sessions depends on. Inward relay is round-robin fair: a
-//! rotating cursor guarantees no chatty participant can starve another.
+//! Routing is indexed: the broker keeps an ordered `task → participant`
+//! map, so relaying a reply is one `O(log n)` probe regardless of how many
+//! tasks are in flight — the property a session engine multiplexing
+//! hundreds of concurrent verification sessions depends on. The map is a
+//! `BTreeMap` rather than a `HashMap` deliberately: when a participant
+//! dies, every task still routed to it is NACKed, and an ordered map makes
+//! that NACK order ascending by construction — one less place where
+//! unspecified iteration order could leak into the supervisor-visible
+//! message sequence. Inward relay is round-robin fair: a rotating cursor
+//! guarantees no chatty participant can starve another.
 
 use crate::{Backoff, Endpoint, GridError, Message};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Relay statistics for a broker run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,8 +42,9 @@ pub struct RelayStats {
 pub struct Broker {
     supervisor: Endpoint,
     participants: Vec<Endpoint>,
-    /// routing id → participant index; `O(1)` lookup per relayed message.
-    routes: HashMap<u64, usize>,
+    /// routing id → participant index; ordered so route iteration (the
+    /// death-NACK sweep) is deterministic by construction.
+    routes: BTreeMap<u64, usize>,
     /// Next participant to receive a fresh assignment (round-robin).
     next: usize,
     /// Next participant polled for inward traffic (fairness cursor).
@@ -64,7 +70,7 @@ impl Broker {
         Broker {
             supervisor,
             participants,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             next: 0,
             inward_cursor: 0,
             closed,
@@ -96,13 +102,14 @@ impl Broker {
         if std::mem::replace(&mut self.closed[idx], true) {
             return; // already reported
         }
-        let mut orphaned: Vec<u64> = self
+        // Ascending task-id order falls out of the BTreeMap — no
+        // compensating sort needed for the NACKs to be deterministic.
+        let orphaned: Vec<u64> = self
             .routes
             .iter()
             .filter(|(_, &i)| i == idx)
             .map(|(&id, _)| id)
             .collect();
-        orphaned.sort_unstable(); // deterministic NACK order
         for task_id in orphaned {
             self.routes.remove(&task_id);
             let _ = self.supervisor.send(&Message::Gone { task_id });
@@ -196,7 +203,7 @@ impl Broker {
     }
 
     /// Relays one inbound message for routing id `task_id` (from whichever
-    /// participant owns it). The lookup is a single hash-map probe.
+    /// participant owns it). The lookup is a single ordered-map probe.
     ///
     /// # Errors
     ///
@@ -573,6 +580,38 @@ mod tests {
         sup.send(&assign(5)).unwrap();
         assert!(broker.try_relay_outward().unwrap());
         assert_eq!(sup.recv().unwrap(), Message::Gone { task_id: 5 });
+    }
+
+    #[test]
+    fn death_nacks_arrive_in_ascending_task_order() {
+        // Regression test for the route-map ordering hazard ugc-lint
+        // surfaced: the supervisor-visible NACK sequence after a
+        // participant death must not depend on map iteration order.
+        // Assignments arrive with deliberately scrambled task ids; all
+        // land on the lone participant, which then dies with every task
+        // still in flight.
+        let (sup, mut broker, parts) = rig(1);
+        let scrambled = [23u64, 5, 99, 1, 42, 77, 8, 64, 3, 50];
+        for id in scrambled {
+            sup.send(&assign(id)).unwrap();
+        }
+        broker
+            .relay_outward(scrambled.len())
+            .expect("assignments relay");
+        drop(parts); // the participant dies holding all ten tasks
+                     // The next inward poll observes the disconnect and NACKs every
+                     // orphaned task.
+        assert!(broker.try_relay_inward().unwrap().is_none());
+        let mut nacked = Vec::new();
+        for _ in 0..scrambled.len() {
+            match sup.recv().unwrap() {
+                Message::Gone { task_id } => nacked.push(task_id),
+                other => panic!("expected Gone, got {other:?}"),
+            }
+        }
+        let mut expected = scrambled.to_vec();
+        expected.sort_unstable();
+        assert_eq!(nacked, expected, "NACK order must be ascending task id");
     }
 
     #[test]

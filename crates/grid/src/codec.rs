@@ -74,6 +74,7 @@ pub fn get_bytes(buf: &mut &[u8], context: &'static str) -> Result<Vec<u8>, Grid
     if len > MAX_FIELD_LEN {
         return Err(GridError::LengthOverflow { declared: len });
     }
+    // ugc-lint: allow(lossy-cast): bounded above by MAX_FIELD_LEN (1<<30), well inside usize on every supported platform
     let len = len as usize;
     if buf.remaining() < len {
         return Err(GridError::UnexpectedEof { context });
@@ -93,6 +94,7 @@ pub fn get_u64_list(buf: &mut &[u8], context: &'static str) -> Result<Vec<u64>, 
     if len > MAX_FIELD_LEN / 8 {
         return Err(GridError::LengthOverflow { declared: len });
     }
+    // ugc-lint: allow(lossy-cast): bounded above by MAX_FIELD_LEN/8, well inside usize on every supported platform
     let mut out = Vec::with_capacity(len as usize);
     for _ in 0..len {
         out.push(get_u64(buf, context)?);

@@ -64,6 +64,7 @@ impl SampleProof {
         if count > 64 {
             return Err(GridError::LengthOverflow { declared: count });
         }
+        // ugc-lint: allow(lossy-cast): bounded above by 64 on the line before, cannot truncate
         let mut digest_siblings = Vec::with_capacity(count as usize);
         for _ in 0..count {
             digest_siblings.push(get_bytes(buf, "proof.digest_sibling")?);
@@ -337,6 +338,7 @@ impl Message {
                 if count > 1 << 20 {
                     return Err(GridError::LengthOverflow { declared: count });
                 }
+                // ugc-lint: allow(lossy-cast): bounded above by 1<<20 on the line before, cannot truncate
                 let mut proofs = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     proofs.push(SampleProof::decode(&mut buf)?);
@@ -350,6 +352,7 @@ impl Message {
                 if count > 1 << 20 {
                     return Err(GridError::LengthOverflow { declared: count });
                 }
+                // ugc-lint: allow(lossy-cast): bounded above by 1<<20 on the line before, cannot truncate
                 let mut proofs = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     proofs.push(SampleProof::decode(&mut buf)?);
@@ -371,6 +374,7 @@ impl Message {
                 if count > 1 << 24 {
                     return Err(GridError::LengthOverflow { declared: count });
                 }
+                // ugc-lint: allow(lossy-cast): bounded above by 1<<24 on the line before, cannot truncate
                 let mut reports = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     let input = get_u64(&mut buf, "reports.input")?;
@@ -385,6 +389,7 @@ impl Message {
                 if count > 1 << 20 {
                     return Err(GridError::LengthOverflow { declared: count });
                 }
+                // ugc-lint: allow(lossy-cast): bounded above by 1<<20 on the line before, cannot truncate
                 let mut ringers = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     ringers.push(get_bytes(&mut buf, "ringer.value")?);

@@ -165,6 +165,7 @@ where
     assert!(n > 0, "runtime needs at least one participant");
     let plan = options.fault.unwrap_or(FaultPlan::quiet(0));
     let scheduler = GridScheduler::new(options.workers.unwrap_or(n));
+    // ugc-lint: allow(wall-clock): reporting-only — feeds RuntimeReport.wall, never a verdict or schedule
     let started = Instant::now();
     let (sup_endpoint, broker_up) = duplex();
     let mut broker_down = Vec::with_capacity(n);

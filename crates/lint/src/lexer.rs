@@ -1,0 +1,391 @@
+//! A small hand-rolled Rust lexer, aware of comments, strings, raw
+//! strings and char-vs-lifetime quotes.
+//!
+//! The rule engine only needs a faithful *token* stream — it must never
+//! mistake `"Instant::now"` inside a string literal (or a doc-comment
+//! example) for a wall-clock read — so this lexer does exactly the
+//! bracketing work and nothing more: it classifies every byte of a source
+//! file as whitespace, comment, literal or token, tracks line numbers
+//! through all of them, and hands the rule engine identifiers and
+//! punctuation with the noise already stripped.
+//!
+//! Deliberate simplifications (documented so nobody mistakes this for a
+//! full grammar): numeric literals are lexed greedily without validating
+//! suffixes, a raw identifier `r#foo` lexes as `r` `#` `foo`, and `::` is
+//! the only fused multi-character punctuator (the rules match on it).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`routes`, `as`, `unsafe`).
+    Ident,
+    /// A punctuation character, or the fused `::`.
+    Punct,
+    /// A string, raw-string, char or numeric literal (content dropped —
+    /// no rule inspects literal contents, which is the point).
+    Literal,
+}
+
+/// One lexed token with the line it starts on (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of this lexeme.
+    pub kind: TokenKind,
+    /// The token text (empty for [`TokenKind::Literal`] strings).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment content without the `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Every non-comment token in source order.
+    pub tokens: Vec<Token>,
+    /// Every comment in source order (suppression annotations live here).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The set of lines (1-based) that carry at least one code token —
+    /// used to resolve which line a standalone annotation comment covers.
+    #[must_use]
+    pub fn token_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end-of-file (the compiler is the arbiter of
+/// validity; the auditor only needs bracketing that matches it on code
+/// that compiles).
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            i = j; // the '\n' itself is handled by the main loop
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+        // Cooked string literal.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                match chars[j] {
+                    '\\' => {
+                        // Skip the escaped char (incl. \" and \\) — but a
+                        // line-continuation escapes the newline itself,
+                        // which still ends a line for counting purposes.
+                        if j + 1 < n && chars[j + 1] == '\n' {
+                            line += 1;
+                        }
+                        j += 2;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: skip the escaped char, then run to
+                // the closing quote (covers '\n', '\'', '\\', '\u{…}').
+                let mut j = i + 3;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                // Plain char literal 'x'.
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // A lifetime: emit the quote as punctuation; the name lexes as
+            // a normal identifier next iteration.
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Numeric literal (greedy; suffixes and hex digits ride along).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_continue(chars[j])) {
+                j += 1;
+            }
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                j += 2;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier — possibly a raw/byte string prefix.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let word: String = chars[i..j].iter().collect();
+            if matches!(word.as_str(), "r" | "b" | "br") {
+                // Raw or byte string? Count hashes, require a quote.
+                let mut k = j;
+                let mut hashes = 0usize;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    let start_line = line;
+                    k += 1;
+                    // Consume until `"` followed by `hashes` hashes.
+                    'scan: while k < n {
+                        if chars[k] == '\n' {
+                            line += 1;
+                            k += 1;
+                            continue;
+                        }
+                        if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        if word == "b" && chars[k] == '\\' {
+                            // b"…" honours escapes; r"…"/br"…" do not.
+                            k += 2;
+                            continue;
+                        }
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation; `::` fuses (the only sequence the rules match on).
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_and_comments_is_invisible() {
+        let src = concat!(
+            "// Instant::now in a comment\n",
+            "/* HashMap.iter() in /* a nested */ block */\n",
+            "let s = \"Instant::now()\";\n",
+            "let r = r#\"thread_rng() \"quoted\" inside\"#;\n",
+            "let real = 1;\n",
+        );
+        let lexed = lex(src);
+        let ids = idents(&lexed);
+        assert!(!ids.contains(&"Instant"), "{ids:?}");
+        assert!(!ids.contains(&"HashMap"), "{ids:?}");
+        assert!(!ids.contains(&"thread_rng"), "{ids:?}");
+        assert!(ids.contains(&"real"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let nl = '\\n'; x }";
+        let lexed = lex(src);
+        let ids = idents(&lexed);
+        // The lifetime names appear as idents, but the char literals do not
+        // desynchronise the stream: `x` is still visible after them.
+        assert_eq!(ids.iter().filter(|t| **t == "a").count(), 3);
+        assert!(ids.contains(&"nl"));
+        assert_eq!(*ids.last().unwrap(), "x");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\n/* b\nlock */\nlet b = 2;\n";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn line_continuation_in_string_still_counts_the_line() {
+        // `"… \` at end of line escapes the newline; the next line still
+        // has to count or every finding below it is off by one.
+        let src = "let a = \"one \\\n two\";\nlet b = 2;\n";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn double_colon_fuses() {
+        let lexed = lex("Instant::now()");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_terminates_correctly() {
+        let src = "let x = r##\"contains \"# inside\"##; let y = 1;";
+        let lexed = lex(src);
+        assert!(idents(&lexed).contains(&"y"));
+    }
+
+    #[test]
+    fn byte_string_escapes_honoured() {
+        let src = "let x = b\"\\\"\"; let y = 1;";
+        let lexed = lex(src);
+        assert!(idents(&lexed).contains(&"y"));
+    }
+}

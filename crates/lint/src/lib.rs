@@ -1,0 +1,319 @@
+//! `ugc-lint` — the workspace determinism auditor.
+//!
+//! The uncheatability guarantees rest on *replay*: the supervisor (and
+//! every test from `scheduler_equivalence` to `scale_soak`) re-derives
+//! exactly what a participant must have computed, so a campaign must be a
+//! pure function of its seed — same verdicts, ledgers and fault log under
+//! any thread interleaving, worker count, platform or process boundary.
+//! The dynamic tests prove today's code replays; this crate keeps the
+//! *next* PR from silently breaking it with a `HashMap` iteration, an
+//! ambient RNG or a wall-clock read in a semantic path.
+//!
+//! The auditor walks every non-vendored `.rs` file in the workspace with
+//! a comment/string/raw-string-aware [lexer] and applies the [rules]:
+//!
+//! | rule | guards against |
+//! |------|----------------|
+//! | `wall-clock` | `Instant::now` / `SystemTime::now` outside reporting |
+//! | `unordered-iter` | iterating a `HashMap`/`HashSet` (keyed lookup is fine) |
+//! | `ambient-rng` | RNGs not constructed from an explicit seed |
+//! | `thread-identity` | `thread::current()` / `ThreadId` leaking into semantics |
+//! | `lossy-cast` | truncating `as` casts in codec/ledger paths |
+//! | `unsafe-code` / `forbid-unsafe` | `unsafe` in first-party code; crate roots missing `#![forbid(unsafe_code)]` |
+//!
+//! Findings are suppressible only by an annotation with a mandatory
+//! reason — `ugc-lint: allow(<rule>): <reason>` in a plain `//` comment
+//! on the offending line or directly above it — and every honoured
+//! suppression is reported alongside the findings, so the escape hatches
+//! stay as auditable as the violations. `unsafe` usage in `vendor/` is
+//! inventoried (counted, never failed): vendored stand-ins are reviewed
+//! wholesale, not line by line.
+//!
+//! # Example
+//!
+//! ```
+//! use ugc_lint::{lint_source, Rule};
+//!
+//! let report = lint_source(
+//!     "demo.rs",
+//!     "fn ts() -> std::time::Instant { std::time::Instant::now() }",
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, Rule::WallClock);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{
+    count_unsafe_tokens, has_forbid_unsafe, is_codec_path, lint_source, AllowRecord, FileLint,
+    Finding, Rule,
+};
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The aggregated result of auditing a workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every unsuppressed finding, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every honoured suppression with its reason, sorted likewise.
+    pub allows: Vec<AllowRecord>,
+    /// `unsafe` tokens counted across `vendor/` (inventory, not failure).
+    pub vendor_unsafe: u64,
+    /// First-party `.rs` files audited.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean (no unsuppressed findings).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as line-oriented human-readable text.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        if !self.allows.is_empty() {
+            let _ = writeln!(out, "suppressions ({}):", self.allows.len());
+            for a in &self.allows {
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: allow({}): {}",
+                    a.file, a.line, a.rule, a.reason
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "ugc-lint: {} finding(s) in {} file(s); {} suppression(s); vendor unsafe count: {}",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows.len(),
+            self.vendor_unsafe,
+        );
+        out
+    }
+
+    /// Renders the report as a single JSON object (hand-rolled; the
+    /// workspace has no serializer dependency, by design).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_string(f.rule.name()),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.message),
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"suppressions\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_string(a.rule.name()),
+                json_string(&a.file),
+                a.line,
+                json_string(&a.reason),
+            );
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"vendor_unsafe\": {},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}",
+            self.vendor_unsafe,
+            self.files_scanned,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Directory names never descended into (vendored code is inventoried
+/// separately; build products and VCS metadata are not source).
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git"];
+
+/// Walks `dir` recursively, collecting `.rs` files and `Cargo.toml`
+/// manifests in deterministic (sorted) order — an auditor of determinism
+/// must itself be deterministic, and `read_dir` order is OS-dependent.
+fn walk(dir: &Path, rs_files: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, rs_files, manifests)?;
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        } else if name.ends_with(".rs") {
+            rs_files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The path label used in findings: `path` relative to `root`, with
+/// forward slashes.
+fn label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Audits the crate roots of every first-party package: each existing
+/// `src/lib.rs`, `src/main.rs` and `src/bin/*.rs` must carry
+/// `#![forbid(unsafe_code)]` as real tokens.
+fn check_crate_roots(
+    root: &Path,
+    manifests: &[PathBuf],
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    for manifest in manifests {
+        let Some(pkg_dir) = manifest.parent() else {
+            continue;
+        };
+        let mut roots: Vec<PathBuf> = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|r| pkg_dir.join(r))
+            .filter(|p| p.is_file())
+            .collect();
+        let bin_dir = pkg_dir.join("src/bin");
+        if bin_dir.is_dir() {
+            let mut bins: Vec<PathBuf> = fs::read_dir(&bin_dir)?
+                .map(|e| e.map(|e| e.path()))
+                .collect::<io::Result<_>>()?;
+            bins.sort();
+            roots.extend(
+                bins.into_iter()
+                    .filter(|p| p.extension().is_some_and(|e| e == "rs")),
+            );
+        }
+        for root_file in roots {
+            let source = fs::read_to_string(&root_file)?;
+            if !has_forbid_unsafe(&source) {
+                findings.push(Finding {
+                    file: label(root, &root_file),
+                    line: 1,
+                    rule: Rule::ForbidUnsafe,
+                    message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Audits the workspace rooted at `root`: lints every non-vendored `.rs`
+/// file, checks every first-party crate root for
+/// `#![forbid(unsafe_code)]`, and inventories `unsafe` usage in
+/// `vendor/`.
+///
+/// # Errors
+///
+/// I/O errors reading the tree (a non-UTF-8 source file is an error: the
+/// workspace has none, and the auditor must not silently skip what it
+/// cannot read).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, &mut rs_files, &mut manifests)?;
+
+    let mut report = LintReport::default();
+    for path in &rs_files {
+        let source = fs::read_to_string(path)?;
+        let file = lint_source(&label(root, path), &source);
+        report.findings.extend(file.findings);
+        report.allows.extend(file.allows);
+        report.files_scanned += 1;
+    }
+    check_crate_roots(root, &manifests, &mut report.findings)?;
+
+    let vendor = root.join("vendor");
+    if vendor.is_dir() {
+        let mut vendor_rs = Vec::new();
+        let mut vendor_manifests = Vec::new();
+        let mut entries: Vec<PathBuf> = fs::read_dir(&vendor)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for entry in entries.into_iter().filter(|p| p.is_dir()) {
+            walk(&entry, &mut vendor_rs, &mut vendor_manifests)?;
+        }
+        for path in vendor_rs {
+            report.vendor_unsafe += count_unsafe_tokens(&fs::read_to_string(path)?);
+        }
+    }
+
+    report.findings.sort();
+    report.allows.sort();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]` — how the CLI finds the audit root without
+/// being told.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

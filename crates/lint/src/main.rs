@@ -1,0 +1,92 @@
+//! `ugc-lint` — command-line entry point for the workspace determinism
+//! auditor. See the library crate for the rules and the annotation
+//! grammar.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ugc-lint: statically audits the workspace for determinism hazards
+
+USAGE:
+    ugc-lint [--json] [--root <dir>]
+
+OPTIONS:
+    --json          emit the report as a single JSON object
+    --root <dir>    audit <dir> instead of discovering the enclosing
+                    workspace from the current directory
+    -h, --help      print this help
+
+Exits 0 when the tree is clean (every suppression carries a reason),
+nonzero when any unsuppressed finding remains.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("ugc-lint: --root requires a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ugc-lint: unknown argument {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => {
+                    eprintln!("ugc-lint: cannot determine current directory: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match ugc_lint::find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!(
+                        "ugc-lint: no workspace Cargo.toml found above {}; \
+                         pass --root <dir>",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match ugc_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("ugc-lint: audit failed: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

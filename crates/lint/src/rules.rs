@@ -1,0 +1,495 @@
+//! The determinism rules and the per-file rule engine.
+//!
+//! Every rule guards the same contract: a campaign must replay
+//! bit-identically from its seed — same verdicts, same ledgers, same
+//! fault log — under any thread interleaving, worker count, platform or
+//! process boundary. Anything that lets ambient state (the clock, hash
+//! randomization, the OS entropy pool, thread identity, pointer widths)
+//! leak into a semantic path breaks that contract silently, and silent is
+//! the expensive way to find out once campaigns span processes.
+//!
+//! Findings are suppressible only by an explicit, *reasoned* annotation:
+//!
+//! ```text
+//! // ugc-lint: allow(wall-clock): reporting-only wall duration
+//! ```
+//!
+//! on the offending line or the comment line(s) directly above it. The
+//! reason is mandatory — an allow without one is itself a finding — so
+//! every escape hatch in the tree documents why it is safe.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// The determinism rules `ugc-lint` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`): real time is
+    /// different on every run, so it must never influence verdicts,
+    /// schedules or encoded bytes — only reporting.
+    WallClock,
+    /// Iteration over `HashMap`/`HashSet`: iteration order is
+    /// unspecified and differs across runs. Keyed lookup is fine.
+    UnorderedIter,
+    /// RNG construction not derived from an explicit seed
+    /// (`thread_rng`, `OsRng`, `from_entropy`, `rand::random`).
+    AmbientRng,
+    /// Thread identity (`thread::current`, `ThreadId`) influencing
+    /// anything: which worker polls a task is scheduling, never
+    /// semantics.
+    ThreadIdentity,
+    /// Potentially truncating `as` casts in codec/ledger paths, where a
+    /// platform-dependent result would diverge the wire format or the
+    /// replay digest across machines.
+    LossyCast,
+    /// `unsafe` in first-party code (every workspace crate root must
+    /// carry `#![forbid(unsafe_code)]`; vendor usage is inventoried, not
+    /// failed).
+    UnsafeCode,
+    /// A workspace crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// A malformed or unused `ugc-lint:` annotation (missing reason,
+    /// unknown rule, or suppressing nothing).
+    Annotation,
+}
+
+impl Rule {
+    /// The rule's stable kebab-case name, as used in `allow(<rule>)`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::ThreadIdentity => "thread-identity",
+            Rule::LossyCast => "lossy-cast",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Parses an `allow(<rule>)` rule name. [`Rule::Annotation`] is not
+    /// allowable — a broken annotation cannot excuse itself.
+    #[must_use]
+    pub fn parse_allowable(name: &str) -> Option<Rule> {
+        match name {
+            "wall-clock" => Some(Rule::WallClock),
+            "unordered-iter" => Some(Rule::UnorderedIter),
+            "ambient-rng" => Some(Rule::AmbientRng),
+            "thread-identity" => Some(Rule::ThreadIdentity),
+            "lossy-cast" => Some(Rule::LossyCast),
+            "unsafe-code" => Some(Rule::UnsafeCode),
+            "forbid-unsafe" => Some(Rule::ForbidUnsafe),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding: a rule violated at a file:line, with a message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// One honoured `ugc-lint: allow` annotation, with its mandatory reason —
+/// the auditor reports these so every suppression in the tree stays
+/// visible.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowRecord {
+    /// Repo-relative path of the annotated file.
+    pub file: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// The annotation's stated reason.
+    pub reason: String,
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Unsuppressed findings, sorted by line.
+    pub findings: Vec<Finding>,
+    /// Allow annotations that suppressed at least one finding.
+    pub allows: Vec<AllowRecord>,
+}
+
+/// The annotation marker looked for inside comments.
+const MARKER: &str = "ugc-lint:";
+
+/// Method names whose call on a `HashMap`/`HashSet` observes iteration
+/// order. Keyed accessors (`get`, `insert`, `remove`, `contains_key`,
+/// `entry`, `len`, …) are deliberately absent: keyed lookup is fine.
+const UNORDERED_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Cast-target types that can truncate (or change width per platform).
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+
+/// RNG constructors that pull ambient entropy instead of an explicit seed.
+const AMBIENT_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_entropy"];
+
+/// Whether `path` is a codec/ledger path, where the [`Rule::LossyCast`]
+/// rule applies (truncation there diverges wire bytes or replay digests
+/// across platforms).
+#[must_use]
+pub fn is_codec_path(path: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    ["codec", "message", "ledger", "wire", "journal"]
+        .iter()
+        .any(|stem| file.contains(stem))
+}
+
+/// A parsed `ugc-lint: allow(<rule>): <reason>` annotation.
+struct ParsedAllow {
+    rule: Rule,
+    reason: String,
+    line: u32,
+}
+
+/// Parses the annotations out of a file's comments; malformed ones become
+/// findings immediately.
+fn parse_allows(path: &str, comments: &[Comment], findings: &mut Vec<Finding>) -> Vec<ParsedAllow> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        // Doc comments (`///`, `//!` — text starts with the extra `/` or
+        // `!`) are documentation, not pragmas: the grammar can be cited
+        // there without registering as a (then unused) suppression.
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let rest = comment.text[pos + MARKER.len()..].trim_start();
+        let malformed = |findings: &mut Vec<Finding>, detail: &str| {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: comment.line,
+                rule: Rule::Annotation,
+                message: format!(
+                    "malformed ugc-lint annotation ({detail}); \
+                     expected `ugc-lint: allow(<rule>): <reason>`"
+                ),
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed(findings, "missing `allow(`");
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed(findings, "unclosed `allow(`");
+            continue;
+        };
+        let rule_name = args[..close].trim();
+        let Some(rule) = Rule::parse_allowable(rule_name) else {
+            malformed(findings, &format!("unknown rule {rule_name:?}"));
+            continue;
+        };
+        let after = args[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':') else {
+            malformed(findings, "missing `: <reason>`");
+            continue;
+        };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            malformed(findings, "empty reason");
+            continue;
+        }
+        allows.push(ParsedAllow {
+            rule,
+            reason: reason.to_string(),
+            line: comment.line,
+        });
+    }
+    allows
+}
+
+/// The line an annotation covers: its own line if code shares it (a
+/// trailing comment), otherwise the next line that carries any code —
+/// so a stack of annotations above one statement all cover that
+/// statement.
+fn covered_line(allow_line: u32, token_lines: &BTreeSet<u32>) -> Option<u32> {
+    if token_lines.contains(&allow_line) {
+        return Some(allow_line);
+    }
+    token_lines.range(allow_line + 1..).next().copied()
+}
+
+fn is_ident(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn is_punct(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Collects the names bound to a `HashMap`/`HashSet` in this file: struct
+/// fields and bindings (`routes: HashMap<…>`), initialisations
+/// (`routes = HashMap::new()`) and parameters (`routes: &mut HashMap<…>`).
+fn unordered_container_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || (token.text != "HashMap" && token.text != "HashSet") {
+            continue;
+        }
+        // Walk left over `&`, `mut` and lifetime quotes to the binding.
+        let mut j = i;
+        while j > 0 && (is_punct(tokens, j - 1, "&") || is_ident(tokens, j - 1, "mut")) {
+            j -= 1;
+        }
+        if j >= 2
+            && (is_punct(tokens, j - 1, ":") || is_punct(tokens, j - 1, "="))
+            && tokens[j - 2].kind == TokenKind::Ident
+            && tokens[j - 2].text != "self"
+        {
+            names.insert(tokens[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// Runs every token-level rule over one lexed file.
+fn token_findings(path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut found = Vec::new();
+    let mut push = |line: u32, rule: Rule, message: String| {
+        found.push(Finding {
+            file: path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    // wall-clock, ambient-rng, thread-identity, unsafe-code, lossy-cast —
+    // simple token-sequence matches.
+    let codec_path = is_codec_path(path);
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        match token.text.as_str() {
+            clock @ ("Instant" | "SystemTime")
+                if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "now") =>
+            {
+                push(
+                    token.line,
+                    Rule::WallClock,
+                    format!(
+                        "wall-clock read `{clock}::now()`: real time differs on every run \
+                         and must not influence verdicts, schedules or encoded bytes"
+                    ),
+                );
+            }
+            rng if AMBIENT_RNG_IDENTS.contains(&rng) => {
+                push(
+                    token.line,
+                    Rule::AmbientRng,
+                    format!(
+                        "ambient randomness `{rng}`: every RNG must be constructed from an \
+                         explicit seed so campaigns replay bit-identically"
+                    ),
+                );
+            }
+            "rand" if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "random") => {
+                push(
+                    token.line,
+                    Rule::AmbientRng,
+                    "ambient randomness `rand::random`: derive values from an explicit seed"
+                        .to_string(),
+                );
+            }
+            "thread" if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "current") => {
+                push(
+                    token.line,
+                    Rule::ThreadIdentity,
+                    "thread identity `thread::current()`: which worker runs a task is \
+                     scheduling, never semantics"
+                        .to_string(),
+                );
+            }
+            "ThreadId" => {
+                push(
+                    token.line,
+                    Rule::ThreadIdentity,
+                    "thread identity `ThreadId`: worker identity must not influence semantics"
+                        .to_string(),
+                );
+            }
+            "unsafe" => {
+                push(
+                    token.line,
+                    Rule::UnsafeCode,
+                    "`unsafe` in first-party code: the workspace is `#![forbid(unsafe_code)]`"
+                        .to_string(),
+                );
+            }
+            "as" if codec_path => {
+                if let Some(ty) = tokens.get(i + 1).filter(|t| {
+                    t.kind == TokenKind::Ident && NARROW_INTS.contains(&t.text.as_str())
+                }) {
+                    push(
+                        token.line,
+                        Rule::LossyCast,
+                        format!(
+                            "potentially truncating cast `as {}` in a codec/ledger path: \
+                             use `try_from`, or bound the value and annotate",
+                            ty.text
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // unordered-iter: two passes — learn the map/set names, then flag
+    // order-observing uses of them.
+    let containers = unordered_container_names(tokens);
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || !containers.contains(&token.text) {
+            continue;
+        }
+        let ordered_use = is_punct(tokens, i + 1, ".")
+            && tokens.get(i + 2).is_some_and(|t| {
+                t.kind == TokenKind::Ident && UNORDERED_METHODS.contains(&t.text.as_str())
+            })
+            && is_punct(tokens, i + 3, "(");
+        // `for x in [&][mut] [self.]name` — walk left over the place
+        // expression to see whether the container itself is the iterated
+        // operand.
+        let mut j = i;
+        if j >= 2 && is_punct(tokens, j - 1, ".") && is_ident(tokens, j - 2, "self") {
+            j -= 2;
+        }
+        while j >= 1 && (is_punct(tokens, j - 1, "&") || is_ident(tokens, j - 1, "mut")) {
+            j -= 1;
+        }
+        let for_loop = j >= 1 && is_ident(tokens, j - 1, "in");
+        if ordered_use || for_loop {
+            push(
+                token.line,
+                Rule::UnorderedIter,
+                format!(
+                    "iteration over unordered container `{}` (a HashMap/HashSet): order is \
+                     unspecified and varies across runs — use a BTreeMap/BTreeSet or sort \
+                     deterministically before observing order",
+                    token.text
+                ),
+            );
+        }
+    }
+
+    found
+}
+
+/// Lints one file's source: runs every token rule, resolves `ugc-lint:
+/// allow` annotations (same line or the comment block directly above),
+/// and reports malformed or unused annotations as findings.
+///
+/// `path` is the label used in findings — pass the repo-relative path.
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> FileLint {
+    let lexed = lex(source);
+    let mut findings = Vec::new();
+    let allows = parse_allows(path, &lexed.comments, &mut findings);
+    let token_lines = lexed.token_lines();
+    let raw = token_findings(path, &lexed);
+
+    let mut used = vec![false; allows.len()];
+    for finding in raw {
+        let suppressed = allows.iter().enumerate().find(|(_, a)| {
+            a.rule == finding.rule && covered_line(a.line, &token_lines) == Some(finding.line)
+        });
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => findings.push(finding),
+        }
+    }
+
+    let mut out = FileLint::default();
+    for (allow, used) in allows.into_iter().zip(used) {
+        if used {
+            out.allows.push(AllowRecord {
+                file: path.to_string(),
+                line: allow.line,
+                rule: allow.rule,
+                reason: allow.reason,
+            });
+        } else {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: allow.line,
+                rule: Rule::Annotation,
+                message: format!(
+                    "unused annotation: allow({}) suppresses nothing on its line",
+                    allow.rule
+                ),
+            });
+        }
+    }
+    findings.sort();
+    out.findings = findings;
+    out.allows.sort();
+    out
+}
+
+/// Counts `unsafe` tokens in `source` (comments and strings excluded) —
+/// the vendor inventory.
+#[must_use]
+pub fn count_unsafe_tokens(source: &str) -> u64 {
+    lex(source)
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+        .count() as u64
+}
+
+/// Whether a crate-root source carries `#![forbid(unsafe_code)]` as real
+/// tokens (a mention in a comment does not count).
+#[must_use]
+pub fn has_forbid_unsafe(source: &str) -> bool {
+    let lexed = lex(source);
+    let t = &lexed.tokens;
+    (0..t.len()).any(|i| {
+        is_punct(t, i, "#")
+            && is_punct(t, i + 1, "!")
+            && is_punct(t, i + 2, "[")
+            && is_ident(t, i + 3, "forbid")
+            && is_punct(t, i + 4, "(")
+            && is_ident(t, i + 5, "unsafe_code")
+            && is_punct(t, i + 6, ")")
+            && is_punct(t, i + 7, "]")
+    })
+}
