@@ -1,9 +1,11 @@
 //! Records the performance baseline: runs the workloads behind the six
 //! criterion benches plus the PR 2 serial-vs-parallel comparisons, the
-//! PR 3 session-engine workloads, the PR 4 chaos-soak campaign and the
+//! PR 3 session-engine workloads, the PR 4 chaos-soak campaign, the
 //! PR 5 scheduler-scale campaign (1000 participants on a 4-worker
-//! pool), and writes the measurements to a JSON file so the perf
-//! trajectory can be compared across PRs.
+//! pool) and the PR 7 journal-overhead comparison (the same fleet with
+//! and without the write-ahead campaign journal), and writes the
+//! measurements to a JSON file so the perf trajectory can be compared
+//! across PRs.
 //!
 //! Every serial/parallel pair is checked for **bit-identical output**
 //! (roots, Monte-Carlo counts), the engine-over-broker round is checked
@@ -20,7 +22,7 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr5.json`; `--compare PATH` enables the gate).
+//! `BENCH_pr7.json`; `--compare PATH` enables the gate).
 
 #![forbid(unsafe_code)]
 
@@ -34,14 +36,15 @@ use ugc_core::scheme::naive::NaiveScheme;
 use ugc_core::scheme::ni_cbs::NiCbsScheme;
 use ugc_core::scheme::ringer::RingerScheme;
 use ugc_core::{
-    run_mixed_fleet, FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig,
-    ParticipantStorage, VerificationScheme,
+    run_durable_fleet, run_mixed_fleet, CampaignHeader, DurableCampaign, FleetSummary,
+    FleetTransport, MemberSpec, MixedFleetConfig, ParticipantStorage, VerificationScheme,
 };
 use ugc_grid::runtime::FaultPlan;
 use ugc_grid::{CostLedger, HonestWorker, WorkerBehaviour};
 use ugc_hash::{
     streaming_digest_iterated, streaming_digest_pair, HashFunction, IteratedHash, Md5, Sha256,
 };
+use ugc_journal::CrashPlan;
 use ugc_merkle::{MerkleTree, Parallelism, PartialMerkleTree, StreamingBuilder};
 use ugc_sim::{
     estimate_cheat_success_fast, estimate_cheat_success_fast_parallel, DetectionExperiment,
@@ -258,7 +261,7 @@ fn soak_digest(summary: &FleetSummary) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr5.json");
+    let mut out_path = String::from("BENCH_pr7.json");
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -531,6 +534,50 @@ fn main() {
         ns_per_op: time(|| black_box(engine_fleet(FleetTransport::Direct, 4))),
     });
 
+    // --- PR 7 tentpole: the crash-durable campaign journal. The same
+    // 4-member direct fleet with every round written ahead to a
+    // checksummed journal before the supervisor acts on it: the outcome
+    // must be bit-identical to the unjournaled run, and the measured
+    // entry (vs engine/direct_fleet_x4) is what durability costs.
+    let journal_file =
+        std::env::temp_dir().join(format!("ugc-bench-journal-{}.wal", std::process::id()));
+    let durable_fleet = || {
+        let specs: Vec<MemberSpec<'_, Sha256>> = (0..4)
+            .map(|_| MemberSpec {
+                scheme: &engine_scheme,
+                behaviours: vec![&HonestWorker as &dyn WorkerBehaviour],
+            })
+            .collect();
+        let config = MixedFleetConfig {
+            transport: FleetTransport::Direct,
+            ..MixedFleetConfig::default()
+        };
+        let domain = Domain::new(0, e2e_n * 4);
+        let header = CampaignHeader::for_campaign(&specs, domain, &config, Vec::new());
+        // JournalWriter::create truncates, so every iteration journals
+        // from scratch — the measured cost is a full durable campaign.
+        let mut campaign =
+            DurableCampaign::create(&journal_file, header, CrashPlan::never()).unwrap();
+        run_durable_fleet(
+            &e2e_task,
+            &e2e_screener,
+            domain,
+            &specs,
+            &config,
+            &mut campaign,
+        )
+        .unwrap()
+    };
+    if soak_digest(&durable_fleet()) != soak_digest(&engine_fleet(FleetTransport::Direct, 4)) {
+        eprintln!("DIVERGENCE: journaled fleet != unjournaled fleet");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "journal_overhead/durable_fleet_x4",
+        ns_per_op: time(|| black_box(durable_fleet())),
+    });
+    let _ = std::fs::remove_file(&journal_file);
+
     // --- PR 4 tentpole: the chaos soak over the thread-per-participant
     // runtime. Ten participant OS threads, five schemes, seeded faults
     // and churn; the campaign must replay bit-identically, and its
@@ -619,6 +666,14 @@ fn main() {
             "engine_direct_over_brokered_fleet",
             ratio("engine/brokered_fleet_x4", "engine/direct_fleet_x4"),
         ),
+        // >1 is the WAL's cost per campaign (journaled / unjournaled).
+        (
+            "journal_overhead_durable_over_direct",
+            ratio(
+                "journal_overhead/durable_fleet_x4",
+                "engine/direct_fleet_x4",
+            ),
+        ),
     ];
 
     println!();
@@ -633,7 +688,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(json, "  \"pr\": 7,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

@@ -29,6 +29,7 @@
 //! engine-multiplexed byte counts match the legacy one-link-per-round
 //! paths bit for bit.
 
+use crate::journal::CampaignRecorder;
 use crate::session::{SessionOutcome, SupervisorSession};
 use crate::SchemeError;
 use std::collections::HashMap;
@@ -234,6 +235,7 @@ pub struct SessionEngine<'a> {
     envelope: bool,
     next_session_id: u64,
     deadline: Option<Duration>,
+    recorder: Option<&'a CampaignRecorder>,
 }
 
 impl Default for SessionEngine<'_> {
@@ -253,6 +255,7 @@ impl<'a> SessionEngine<'a> {
             envelope: false,
             next_session_id: 0,
             deadline: None,
+            recorder: None,
         }
     }
 
@@ -281,6 +284,13 @@ impl<'a> SessionEngine<'a> {
             envelope: true,
             ..Self::new()
         }
+    }
+
+    /// Journals every settled session through `recorder` when the engine
+    /// finishes: one `Settled` record per slot, in registration order, so
+    /// a resumed campaign can replay outcomes without re-running sessions.
+    pub(crate) fn with_recorder(&mut self, recorder: &'a CampaignRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Registers a session whose slots answer to `task_ids`, returning the
@@ -530,7 +540,9 @@ impl<'a> SessionEngine<'a> {
             }
         }
 
-        self.slots
+        let recorder = self.recorder;
+        let results: Vec<SessionResult> = self
+            .slots
             .into_iter()
             .map(|slot| SessionResult {
                 outcome: match slot.state {
@@ -540,7 +552,15 @@ impl<'a> SessionEngine<'a> {
                 },
                 link: slot.link,
             })
-            .collect()
+            .collect();
+        // Journal-before-effect: every settled session is durable before
+        // the orchestrator acts on it. Registration order == roster order.
+        if let Some(recorder) = recorder {
+            for (index, result) in results.iter().enumerate() {
+                recorder.settled(index, result);
+            }
+        }
+        results
     }
 }
 

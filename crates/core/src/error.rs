@@ -52,6 +52,13 @@ pub enum SchemeError {
     /// message, a stalled participant) and was failed rather than left to
     /// hang the engine.
     TimedOut,
+    /// The campaign journal failed: an I/O error, an injected kill point,
+    /// or an undecodable record on resume. Carries an owned string because
+    /// the underlying cause is formatted at the crash site.
+    Journal {
+        /// What the journal layer reported.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SchemeError {
@@ -71,6 +78,7 @@ impl fmt::Display for SchemeError {
             SchemeError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SchemeError::MalformedPayload { what } => write!(f, "malformed payload: {what}"),
             SchemeError::TimedOut => write!(f, "session exceeded its inactivity deadline"),
+            SchemeError::Journal { reason } => write!(f, "campaign journal failed: {reason}"),
         }
     }
 }

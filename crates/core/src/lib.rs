@@ -58,6 +58,7 @@
 pub mod analysis;
 pub mod engine;
 mod error;
+mod journal;
 mod orchestrator;
 mod outcome;
 pub mod sampling;
@@ -65,10 +66,11 @@ pub mod scheme;
 pub mod session;
 
 pub use error::SchemeError;
+pub use journal::{summary_digest, CampaignHeader, DurableCampaign, ResumeReport};
 pub use orchestrator::{
-    chaos_link_id, run_campaign, run_fleet, run_fleet_over, run_mixed_fleet, CampaignSummary,
-    FleetConfig, FleetMember, FleetScheme, FleetSummary, FleetTransport, MemberSpec,
-    MixedFleetConfig,
+    chaos_link_id, run_campaign, run_durable_fleet, run_fleet, run_fleet_over, run_mixed_fleet,
+    CampaignSummary, FleetConfig, FleetMember, FleetScheme, FleetSummary, FleetTransport,
+    MemberSpec, MixedFleetConfig,
 };
 pub use outcome::{ParticipantStorage, RoundOutcome, Verdict};
 pub use session::{

@@ -16,6 +16,9 @@
 //! ledgers to the historical one-thread-pair-per-round implementation.
 
 use crate::engine::{DirectTransport, SessionEngine, SessionResult};
+use crate::journal::{
+    charge_report, report_delta, summary_digest, CampaignHeader, CampaignRecorder, DurableCampaign,
+};
 use crate::scheme::cbs::CbsScheme;
 use crate::scheme::naive::NaiveScheme;
 use crate::scheme::ni_cbs::NiCbsScheme;
@@ -30,7 +33,7 @@ use ugc_grid::runtime::{
     run_brokered, run_brokered_tasks, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint,
     GridScheduler, GridTask, RuntimeOptions, TaskPoll,
 };
-use ugc_grid::{duplex, CostLedger, Throughput, WorkerBehaviour};
+use ugc_grid::{duplex, CostLedger, CostReport, Throughput, WorkerBehaviour};
 use ugc_hash::HashFunction;
 use ugc_merkle::Parallelism;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
@@ -387,6 +390,69 @@ where
     T: ComputeTask,
     S: Screener,
 {
+    run_mixed_fleet_inner(task, screener, domain, members, config, None)
+}
+
+/// [`run_mixed_fleet`] with a write-ahead journal: every state transition
+/// is journaled through `campaign` *before* the orchestrator acts on it,
+/// so a killed process resumes from the journal — replaying committed
+/// rounds instead of re-running them — and finishes with verdicts,
+/// attempts, cost ledgers, fault log and summary digest bit-identical to
+/// a never-killed run.
+///
+/// The `campaign` comes from [`DurableCampaign::create`] (fresh) or
+/// [`DurableCampaign::resume`] (picking up a kill). Its header must
+/// describe exactly this call: same fleet shape, domain and
+/// digest-relevant config. A campaign resumed from a *sealed* journal
+/// re-derives its summary without writing anything.
+///
+/// # Errors
+///
+/// Everything [`run_mixed_fleet`] can raise, plus
+/// [`SchemeError::Journal`] when the header does not match this call or
+/// the journal fails mid-campaign (I/O, or an armed
+/// [`CrashPlan`](ugc_journal::CrashPlan) kill point).
+pub fn run_durable_fleet<H, T, S>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    members: &[MemberSpec<'_, H>],
+    config: &MixedFleetConfig,
+    campaign: &mut DurableCampaign,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
+    let expected =
+        CampaignHeader::for_campaign(members, domain, config, campaign.header().app.clone());
+    if &expected != campaign.header() {
+        return Err(SchemeError::Journal {
+            reason: format!(
+                "journal header does not describe this campaign \
+                 (journaled {:?}, called with {:?})",
+                campaign.header(),
+                expected
+            ),
+        });
+    }
+    run_mixed_fleet_inner(task, screener, domain, members, config, Some(campaign))
+}
+
+fn run_mixed_fleet_inner<H, T, S>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    members: &[MemberSpec<'_, H>],
+    config: &MixedFleetConfig,
+    durable: Option<&mut DurableCampaign>,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
     if members.is_empty() {
         return Err(SchemeError::InvalidConfig {
             reason: "fleet must contain at least one participant",
@@ -420,6 +486,13 @@ where
 
     // ugc-lint: allow(wall-clock): reporting-only — feeds the Throughput summary, never a verdict or schedule
     let started = Instant::now();
+    let (recorder, replay): (Option<&CampaignRecorder>, _) = match durable {
+        Some(campaign) => {
+            let replay = campaign.take_replay();
+            (Some(campaign.recorder()), replay)
+        }
+        None => (None, None),
+    };
     let mut attempts = vec![0u32; members.len()];
     let mut finals: Vec<Option<SessionResult>> = members.iter().map(|_| None).collect();
     let mut part_outcomes: Vec<Vec<Result<bool, SchemeError>>> =
@@ -427,13 +500,53 @@ where
     let mut fault_events: Vec<FaultEvent> = Vec::new();
     let mut total_sessions = 0u64;
     let mut total_bytes = 0u64;
-    let mut pending: Vec<usize> = (0..members.len()).collect();
     let mut round = 0u32;
-    loop {
+    if let Some(state) = replay {
+        // A resumed campaign: fast-forward to where the journal's last
+        // committed round left the dead supervisor, charging the replayed
+        // per-round ledger deltas into the fresh ledgers.
+        attempts = state.attempts;
+        finals = state.finals;
+        part_outcomes = state.part_outcomes;
+        fault_events = state.fault_events;
+        total_sessions = state.total_sessions;
+        total_bytes = state.total_bytes;
+        round = state.next_round;
+        for (ledger, delta) in sup_ledgers.iter().zip(&state.sup_deltas) {
+            charge_report(ledger, delta);
+        }
+        for (ledger, delta) in part_ledgers.iter().zip(&state.part_deltas) {
+            charge_report(ledger, delta);
+        }
+    }
+    let mut pending: Vec<usize> = (0..members.len())
+        .filter(|&i| {
+            finals[i]
+                .as_ref()
+                .map_or(true, |session| session.outcome.is_err())
+        })
+        .collect();
+    while !pending.is_empty() && round <= config.retries {
+        // Journal-before-effect: the round's roster is durable before any
+        // of its state transitions happen, so a crash mid-round resumes
+        // from the previous round boundary, never a half-applied one.
+        if let Some(rec) = recorder {
+            rec.round_start(round, &pending);
+        }
         for &i in &pending {
             attempts[i] += 1;
             part_outcomes[i].clear();
         }
+        // Ledger snapshots bracket the round so its deltas can be
+        // journaled (ledgers are monotonic, so deltas replay exactly).
+        let snapshots: Vec<(CostReport, CostReport)> = if recorder.is_some() {
+            pending
+                .iter()
+                .map(|&i| (sup_ledgers[i].report(), part_ledgers[i].report()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let roster: Vec<(usize, &MemberSpec<'_, H>, Domain)> = pending
             .iter()
             .map(|&i| (i, &members[i], shares[i]))
@@ -446,9 +559,9 @@ where
             &part_ledgers,
             config,
             round,
+            recorder,
         )?;
         total_sessions += roster.len() as u64;
-        fault_events.extend(output.events);
         for ((orig, _, _), session) in roster.iter().zip(output.sessions) {
             total_bytes += session.link.bytes_sent + session.link.bytes_received;
             finals[*orig] = Some(session);
@@ -456,6 +569,24 @@ where
         for (roster_index, result) in output.part_results {
             part_outcomes[roster[roster_index].0].push(result);
         }
+        if let Some(rec) = recorder {
+            for (slot, &i) in pending.iter().enumerate() {
+                let (sup_before, part_before) = &snapshots[slot];
+                rec.member_state(
+                    i,
+                    &report_delta(&sup_ledgers[i].report(), sup_before),
+                    &report_delta(&part_ledgers[i].report(), part_before),
+                    &part_outcomes[i],
+                );
+            }
+            // The commit marker: a round is replayed on resume only once
+            // its RoundEnd record is on disk.
+            rec.round_end(round, &output.events);
+            if let Some(reason) = rec.failure() {
+                return Err(SchemeError::Journal { reason });
+            }
+        }
+        fault_events.extend(output.events);
         pending = roster
             .iter()
             .filter(|(orig, _, _)| {
@@ -522,12 +653,18 @@ where
         .flat_map(|m| m.outcome.reports.iter().cloned())
         .collect();
     reports.sort_by_key(|r| r.input);
-    Ok(FleetSummary {
+    let summary = FleetSummary {
         members,
         reports,
         throughput,
         fault_events,
-    })
+    };
+    if let Some(rec) = recorder {
+        // The attestation: journal the digest the campaign is about to
+        // report, then seal the record chain under it.
+        rec.finish(&summary_digest(&summary))?;
+    }
+    Ok(summary)
 }
 
 /// What one engine round over one roster produced.
@@ -586,6 +723,7 @@ impl GridTask for SlotTask<'_> {
 /// [`FaultyEndpoint`] drawing its schedule from
 /// [`chaos_link_id`]`(round, slot)` — and multiplexes the sessions over
 /// the configured transport.
+#[allow(clippy::too_many_arguments)] // private plumbing under run_mixed_fleet_inner
 fn run_fleet_round<H, T, S>(
     task: &T,
     screener: &S,
@@ -594,6 +732,7 @@ fn run_fleet_round<H, T, S>(
     part_ledgers: &[CostLedger],
     config: &MixedFleetConfig,
     round: u32,
+    recorder: Option<&CampaignRecorder>,
 ) -> Result<RoundOutput, SchemeError>
 where
     H: HashFunction,
@@ -607,6 +746,12 @@ where
     };
     if let Some(deadline) = config.deadline {
         engine = engine.with_deadline(deadline);
+    }
+    if let Some(rec) = recorder {
+        // The engine journals one Settled record per session as the round
+        // completes; registration order below == roster order, which is
+        // what lets resume map Settled records back to members.
+        engine.with_recorder(rec);
     }
     // Task ids are one global counter across the roster's slots, so
     // single-slot member `i` of a full-fleet round keeps task id `i`.

@@ -84,7 +84,7 @@ use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 use crate::ParticipantStorage;
 
 /// What a completed supervisor session decided.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionOutcome {
     /// The accept/reject decision.
     pub verdict: Verdict,

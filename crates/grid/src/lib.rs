@@ -50,7 +50,7 @@ mod message;
 pub mod runtime;
 mod transport;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, BackoffPolicy};
 pub use behaviour::{
     CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
 };

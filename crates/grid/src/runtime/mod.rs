@@ -58,7 +58,7 @@ pub use fault::{
 };
 pub use scheduler::{GridScheduler, GridTask, TaskPoll};
 
-use crate::{duplex, Broker, Endpoint, RelayStats};
+use crate::{duplex, BackoffPolicy, Broker, Endpoint, RelayStats};
 use std::time::{Duration, Instant};
 
 /// Configuration of one [`run_brokered`] / [`run_brokered_tasks`] round.
@@ -67,12 +67,15 @@ use std::time::{Duration, Instant};
 ///
 /// ```
 /// use ugc_grid::runtime::{FaultPlan, RuntimeOptions};
+/// use ugc_grid::BackoffPolicy;
 ///
 /// let options = RuntimeOptions::default()
 ///     .with_fault(FaultPlan::chaos(7))
 ///     .with_link_id_base(1 << 32)
-///     .with_workers(4);
+///     .with_workers(4)
+///     .with_backoff(BackoffPolicy::new(1, 100));
 /// assert_eq!(options.workers, Some(4));
+/// assert_eq!(options.backoff.cap_micros, 100);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeOptions {
@@ -90,6 +93,10 @@ pub struct RuntimeOptions {
     /// `w` OS threads, which poll-driven [`GridTask`]s tolerate at any
     /// value.
     pub workers: Option<usize>,
+    /// Idle-backoff ladder shape for the scheduler's worker pool (first
+    /// sleep rung and cap); the default is the historical
+    /// 10 µs → 100 µs → 1 ms ladder.
+    pub backoff: BackoffPolicy,
 }
 
 impl RuntimeOptions {
@@ -112,6 +119,15 @@ impl RuntimeOptions {
     #[must_use]
     pub const fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Reshapes the worker pool's idle-backoff ladder. Purely a
+    /// latency/CPU trade-off: backoff timing never feeds verdicts,
+    /// schedules or byte counts, so any policy preserves digests.
+    #[must_use]
+    pub const fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
         self
     }
 }
@@ -164,7 +180,7 @@ where
 {
     assert!(n > 0, "runtime needs at least one participant");
     let plan = options.fault.unwrap_or(FaultPlan::quiet(0));
-    let scheduler = GridScheduler::new(options.workers.unwrap_or(n));
+    let scheduler = GridScheduler::new(options.workers.unwrap_or(n)).with_backoff(options.backoff);
     // ugc-lint: allow(wall-clock): reporting-only — feeds RuntimeReport.wall, never a verdict or schedule
     let started = Instant::now();
     let (sup_endpoint, broker_up) = duplex();

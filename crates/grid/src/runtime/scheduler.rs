@@ -81,7 +81,7 @@
 //! assert!(done.iter().all(|t| t.left == 0));
 //! ```
 
-use crate::Backoff;
+use crate::{Backoff, BackoffPolicy};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -144,6 +144,7 @@ impl<T> RunQueue<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridScheduler {
     workers: usize,
+    backoff: BackoffPolicy,
 }
 
 impl Default for GridScheduler {
@@ -160,7 +161,17 @@ impl GridScheduler {
     pub const fn new(workers: usize) -> Self {
         GridScheduler {
             workers: if workers == 0 { 1 } else { workers },
+            backoff: BackoffPolicy::new(10, 1_000),
         }
+    }
+
+    /// Reshapes the idle-backoff ladder the pool's workers climb while
+    /// the ready queue is dry. Timing-only: scheduling order and results
+    /// are unaffected.
+    #[must_use]
+    pub const fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
     }
 
     /// One worker per available core — the default for campaigns whose
@@ -205,7 +216,7 @@ impl GridScheduler {
         let pool = self.workers.min(count);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..pool)
-                .map(|_| scope.spawn(|| worker_loop(&queue, &progress)))
+                .map(|_| scope.spawn(|| worker_loop(&queue, &progress, self.backoff)))
                 .collect();
             for handle in handles {
                 handle.join().expect("scheduler worker panicked");
@@ -226,8 +237,12 @@ fn lock<T>(queue: &Mutex<RunQueue<T>>) -> MutexGuard<'_, RunQueue<T>> {
 /// One worker: pop a ready task, poll it outside the lock, act on the
 /// verdict; when the ready queue is dry, climb the backoff ladder and
 /// re-queue the parked list.
-fn worker_loop<T: GridTask>(queue: &Mutex<RunQueue<T>>, progress: &AtomicU64) {
-    let mut backoff = Backoff::new();
+fn worker_loop<T: GridTask>(
+    queue: &Mutex<RunQueue<T>>,
+    progress: &AtomicU64,
+    policy: BackoffPolicy,
+) {
+    let mut backoff = Backoff::with_policy(policy);
     let mut seen = progress.load(Ordering::Acquire);
     loop {
         let job = {

@@ -1,0 +1,272 @@
+//! `ugc-journal` — the crash-durable write-ahead campaign journal.
+//!
+//! A campaign that runs for days *will* lose its supervisor process
+//! mid-flight; the journal is what makes that survivable without
+//! sacrificing the replay invariant. It is a deliberately small format:
+//! an append-only file of length-framed, CRC-checked records (the same
+//! codec discipline as `ugc_grid::codec`), plus a chained SHA-256
+//! attestation digest over every payload, so a resumed supervisor can
+//! prove the journal it replayed is exactly the journal the dead
+//! process wrote.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [8-byte magic "UGCJRNL1"][u32 version]            file header
+//! [u32 len][u32 crc32(payload)][payload]            frame, repeated
+//! [u32 len][u32 crc32][ "UGCSEAL\0" u64 n  d32 ]    optional seal frame
+//! ```
+//!
+//! All integers are little-endian. The chain digest is
+//! `d_0 = SHA-256(magic || version)`, `d_i = SHA-256(d_{i-1} || payload_i)`
+//! over the non-seal records in order; the seal frame pins the record
+//! count and final digest, and [`verify_journal`] recomputes the chain
+//! and checks it. A torn tail — a partial frame from a crash mid-write —
+//! is never an error on read: [`read_journal`] stops at the first
+//! malformed frame and reports it as [`TailStatus::Torn`], and
+//! [`JournalWriter::resume`] truncates it away.
+//!
+//! Crashes are injected deterministically: a [`CrashPlan`] (the journal
+//! sibling of `ugc_grid`'s `FaultPlan`) refuses the Nth armed append
+//! with [`JournalError::KillPoint`] and poisons the writer, so a test or
+//! CI job can kill a campaign at an exact, seed-reproducible record
+//! boundary and prove the resumed run bit-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use ugc_journal::{read_journal, CrashPlan, JournalWriter, TailStatus};
+//!
+//! let path = std::env::temp_dir().join("ugc-journal-doc.wal");
+//! let mut writer = JournalWriter::create(&path).unwrap();
+//! writer.append(b"\x01hello").unwrap();
+//! writer.append(b"\x02world").unwrap();
+//! let digest = writer.seal().unwrap();
+//!
+//! let journal = read_journal(&path).unwrap();
+//! assert_eq!(journal.records.len(), 2);
+//! assert_eq!(journal.tail, TailStatus::Clean);
+//! assert_eq!(journal.seal.unwrap().digest, digest);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;
+
+pub use wire::{
+    read_journal, verify_journal, JournalWriter, RawRecord, ReadJournal, Seal, TailStatus,
+    FRAME_HEADER_BYTES, MAGIC, MAX_RECORD_LEN, VERSION,
+};
+
+use std::fmt;
+
+/// Everything that can go wrong writing, reading or verifying a journal.
+///
+/// Torn tails are deliberately *not* here: a partial last record is the
+/// expected aftermath of a crash and surfaces as [`TailStatus::Torn`],
+/// not as an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An OS-level I/O failure (open, write, flush, truncate).
+    Io {
+        /// What the journal was doing when the OS said no.
+        context: &'static str,
+        /// The OS error, stringified.
+        reason: String,
+    },
+    /// The file is not a journal (bad magic) or a version this build
+    /// cannot read.
+    NotAJournal {
+        /// Why the header was rejected.
+        reason: String,
+    },
+    /// The journal body is structurally invalid in a way torn-tail
+    /// recovery must not paper over (e.g. fewer intact records than a
+    /// resume was told to keep).
+    Corrupt {
+        /// Byte offset of the problem.
+        offset: u64,
+        /// What was wrong there.
+        reason: String,
+    },
+    /// A record payload exceeded [`MAX_RECORD_LEN`].
+    TooLarge {
+        /// The offending payload length.
+        declared: u64,
+    },
+    /// The armed [`CrashPlan`] killed the writer at this (1-based) armed
+    /// append. Every later append fails the same way: a killed campaign
+    /// stays killed until it is resumed from disk.
+    KillPoint {
+        /// Which armed append was refused.
+        record: u64,
+    },
+    /// An append was attempted after [`JournalWriter::seal`].
+    Sealed,
+    /// Verification requires a seal and the journal has none.
+    Unsealed,
+    /// The seal does not match the journal contents.
+    AttestationMismatch {
+        /// Which part of the attestation disagreed.
+        reason: String,
+    },
+    /// The payload handed to [`JournalWriter::append`] is not a legal
+    /// record (empty, or it impersonates the seal frame).
+    InvalidRecord {
+        /// Why the payload was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { context, reason } => write!(f, "journal I/O failed ({context}): {reason}"),
+            Self::NotAJournal { reason } => write!(f, "not a ugc journal: {reason}"),
+            Self::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+            Self::TooLarge { declared } => write!(
+                f,
+                "record of {declared} bytes exceeds the {MAX_RECORD_LEN}-byte limit"
+            ),
+            Self::KillPoint { record } => {
+                write!(f, "killed at journal record {record} (injected kill point)")
+            }
+            Self::Sealed => write!(f, "journal is sealed; no further records may be appended"),
+            Self::Unsealed => write!(f, "journal has no attestation seal"),
+            Self::AttestationMismatch { reason } => {
+                write!(f, "journal attestation mismatch: {reason}")
+            }
+            Self::InvalidRecord { reason } => write!(f, "invalid journal record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// SplitMix64 — the same seed-expansion mix as `ugc_grid`'s fault
+/// machinery, duplicated here so the journal crate stays dependency-light.
+const fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic kill schedule for the journal writer — the crash
+/// sibling of `ugc_grid::runtime::FaultPlan`.
+///
+/// Once a plan is armed on a [`JournalWriter`], the Nth armed append
+/// (1-based) is refused with [`JournalError::KillPoint`] before any
+/// bytes reach the file, and the writer is poisoned: the campaign loop
+/// sees the failure at a byte-exact, seed-reproducible record boundary.
+///
+/// ```
+/// use ugc_journal::CrashPlan;
+///
+/// assert_eq!(CrashPlan::never().kill_record(), None);
+/// assert_eq!(CrashPlan::at(3).kill_record(), Some(3));
+/// // Seeded plans land on a record in 1..=span, pure function of seed.
+/// let plan = CrashPlan::seeded(42, 10);
+/// assert_eq!(plan.kill_record(), CrashPlan::seeded(42, 10).kill_record());
+/// assert!((1..=10).contains(&plan.kill_record().unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    kill_at: u64,
+}
+
+impl CrashPlan {
+    /// Never kill: the writer runs to completion.
+    #[must_use]
+    pub const fn never() -> Self {
+        Self { kill_at: 0 }
+    }
+
+    /// Kill the `record`-th armed append (1-based). `at(0)` is
+    /// [`CrashPlan::never`].
+    #[must_use]
+    pub const fn at(record: u64) -> Self {
+        Self { kill_at: record }
+    }
+
+    /// A seeded kill point somewhere in `1..=span` — a pure function of
+    /// `seed`, so the same seed reproduces the same crash.
+    #[must_use]
+    pub const fn seeded(seed: u64, span: u64) -> Self {
+        let span = if span == 0 { 1 } else { span };
+        Self {
+            kill_at: 1 + mix64(seed) % span,
+        }
+    }
+
+    /// The 1-based armed append this plan kills, if any.
+    #[must_use]
+    pub const fn kill_record(self) -> Option<u64> {
+        match self.kill_at {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Whether the `append_index`-th armed append (1-based) dies here.
+    pub(crate) const fn kills(self, append_index: u64) -> bool {
+        self.kill_at != 0 && append_index == self.kill_at
+    }
+}
+
+impl Default for CrashPlan {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_plan_never_kills_nothing() {
+        let plan = CrashPlan::never();
+        assert_eq!(plan.kill_record(), None);
+        for i in 0..100 {
+            assert!(!plan.kills(i));
+        }
+        assert_eq!(CrashPlan::default(), plan);
+        assert_eq!(CrashPlan::at(0), plan);
+    }
+
+    #[test]
+    fn crash_plan_at_kills_exactly_once() {
+        let plan = CrashPlan::at(5);
+        let killed: Vec<u64> = (1..=10).filter(|&i| plan.kills(i)).collect();
+        assert_eq!(killed, vec![5]);
+    }
+
+    #[test]
+    fn seeded_crash_plan_is_deterministic_and_in_span() {
+        for seed in 0..64 {
+            let a = CrashPlan::seeded(seed, 17);
+            let b = CrashPlan::seeded(seed, 17);
+            assert_eq!(a, b);
+            let record = a.kill_record().expect("seeded plans always kill");
+            assert!((1..=17).contains(&record), "record {record} out of span");
+        }
+    }
+
+    #[test]
+    fn seeded_crash_plan_spreads_across_span() {
+        let hits: std::collections::BTreeSet<u64> = (0..256)
+            .map(|seed| CrashPlan::seeded(seed, 8).kill_record().unwrap())
+            .collect();
+        assert_eq!(hits.len(), 8, "256 seeds must cover a span of 8");
+    }
+
+    #[test]
+    fn seeded_zero_span_still_kills_first_record() {
+        assert_eq!(CrashPlan::seeded(9, 0).kill_record(), Some(1));
+    }
+}

@@ -213,6 +213,29 @@ let n = declared as usize;
 }
 
 #[test]
+fn journal_files_are_codec_paths_for_lossy_casts() {
+    // The write-ahead journal is a wire format: a truncating cast while
+    // decoding a record is exactly the bug the lossy-cast rule exists
+    // for, so journal-named files must be inside the rule's scope.
+    let src = "let keep = declared_records as u32;";
+    let report = lint_source("src/journal.rs", src);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, Rule::LossyCast);
+    // A reasoned annotation suppresses it, recording the justification.
+    let suppressed = r#"
+// ugc-lint: allow(lossy-cast): record count is bounded by MAX_RECORD_LEN framing
+let keep = declared_records as u32;
+"#;
+    let report = lint_source("crates/journal/src/wire.rs", suppressed);
+    assert_eq!(report.findings, vec![]);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, Rule::LossyCast);
+    // Widening casts in journal paths stay clean, annotation-free.
+    let widen = "let total = kept as u64;";
+    assert_eq!(lint_source("src/journal.rs", widen).findings, vec![]);
+}
+
+#[test]
 fn unsafe_code_detected() {
     let src = r#"
 fn peek(p: *const u8) -> u8 {

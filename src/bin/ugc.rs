@@ -13,8 +13,10 @@
 
 #![forbid(unsafe_code)]
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
+use ugc_journal::{verify_journal, CrashPlan};
 use uncheatable_grid::core::analysis::{
     cheat_success_probability, detection_probability, required_sample_size,
 };
@@ -23,12 +25,14 @@ use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
 use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
 use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
 use uncheatable_grid::core::{
-    run_mixed_fleet, FleetScheme, FleetTransport, MemberSpec, MixedFleetConfig, Parallelism,
-    ParticipantStorage, RoundOutcome, VerificationScheme,
+    run_durable_fleet, run_mixed_fleet, summary_digest, CampaignHeader, DurableCampaign,
+    FleetScheme, FleetTransport, MemberSpec, MixedFleetConfig, Parallelism, ParticipantStorage,
+    RoundOutcome, VerificationScheme,
 };
+use uncheatable_grid::grid::codec::{get_bytes, get_u64, put_bytes, put_u64};
 use uncheatable_grid::grid::runtime::{FaultPlan, GridScheduler};
 use uncheatable_grid::grid::{
-    CheatSelection, FaultEvent, HonestWorker, SemiHonestCheater, WorkerBehaviour,
+    CheatSelection, FaultEvent, GridError, HonestWorker, SemiHonestCheater, WorkerBehaviour,
 };
 use uncheatable_grid::hash::Sha256;
 use uncheatable_grid::task::workloads::{
@@ -47,6 +51,7 @@ commands:
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
               [--scheme <cbs|ni-cbs|naive|ringer>] [--broker] [--workers <w>]
               [--threads <k>] [--chaos <seed>] [--churn]
+              [--journal <path>] [--kill-at <r>] [--resume] [--verify-journal]
   lint        [--json] [--root <dir>]             audit the workspace for determinism hazards
   help                                            this message
 
@@ -61,6 +66,16 @@ seeded message duplication/reordering/latency on every participant link,
 and --churn adds participant crash/restart churn — failed sessions are
 reassigned, and the whole campaign replays bit-identically from the
 seed at any worker count.
+
+--journal <path> makes the campaign crash-durable: every round is
+written ahead to a checksummed journal before the supervisor acts on
+it, so a killed run picks up with `ugc fleet --journal <path> --resume`
+(the campaign flags live in the journal header, so --resume accepts
+none) and finishes with verdicts, attempts, cost ledgers, fault log
+and summary digest bit-identical to a run that was never interrupted.
+--kill-at <r> crashes the supervisor deterministically at the r-th
+campaign journal record (exit code 2), and --verify-journal checks a
+finished journal's seal and prints its attestation digest.
 
 lint statically audits every non-vendored .rs file for the hazards that
 would break bit-identical replay (wall-clock reads, HashMap iteration,
@@ -423,16 +438,123 @@ fn cmd_run(mut args: Args<'_>) -> Result<(), String> {
     Ok(())
 }
 
+/// The campaign-defining `fleet` flags. Journaled campaigns encode these
+/// into the header's app blob, so `--resume` rebuilds the identical
+/// campaign — task, roster, chaos plan, deadline, retry budget — from
+/// the journal alone, with no flags needed and none accepted.
+struct FleetParams {
+    participants: u64,
+    cheaters: u64,
+    n: u64,
+    m: u64,
+    seed: u64,
+    scheme: String,
+    broker: bool,
+    churn: bool,
+    chaos_seed: Option<u64>,
+}
+
+/// Version tag of the app-blob layout (bump on any change).
+const FLEET_PARAMS_VERSION: u64 = 1;
+
+impl FleetParams {
+    fn from_args(args: &mut Args<'_>) -> Result<Self, String> {
+        let participants: u64 = args.value("--participants", 4)?;
+        // --threads is the historical alias from the thread-per-participant
+        // runtime: the participant count, under its old name.
+        let participants: u64 = args.value("--threads", participants)?;
+        Ok(FleetParams {
+            participants,
+            cheaters: args.value("--cheaters", 1)?,
+            n: args.value("--n", 4096)?,
+            m: args.value("--m", 25)?,
+            seed: args.value("--seed", 7)?,
+            scheme: args.value("--scheme", "cbs".into())?,
+            broker: args.flag("--broker"),
+            churn: args.flag("--churn"),
+            chaos_seed: args.opt("--chaos")?,
+        })
+    }
+
+    /// Encodes the params as the journal header's app blob.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, FLEET_PARAMS_VERSION);
+        put_u64(&mut buf, self.participants);
+        put_u64(&mut buf, self.cheaters);
+        put_u64(&mut buf, self.n);
+        put_u64(&mut buf, self.m);
+        put_u64(&mut buf, self.seed);
+        put_bytes(&mut buf, self.scheme.as_bytes());
+        put_u64(&mut buf, u64::from(self.broker));
+        put_u64(&mut buf, u64::from(self.churn));
+        match self.chaos_seed {
+            None => put_u64(&mut buf, 0),
+            Some(seed) => {
+                put_u64(&mut buf, 1);
+                put_u64(&mut buf, seed);
+            }
+        }
+        buf
+    }
+
+    /// Decodes an app blob written by [`encode`](Self::encode).
+    fn decode(blob: &[u8]) -> Result<Self, String> {
+        let err = |e: GridError| format!("journal app blob: {e}");
+        let mut buf = blob;
+        let version = get_u64(&mut buf, "app blob version").map_err(err)?;
+        if version != FLEET_PARAMS_VERSION {
+            return Err(format!(
+                "journal app blob version {version} (this build reads {FLEET_PARAMS_VERSION}); \
+                 the journal was not written by `ugc fleet`"
+            ));
+        }
+        let participants = get_u64(&mut buf, "app participants").map_err(err)?;
+        let cheaters = get_u64(&mut buf, "app cheaters").map_err(err)?;
+        let n = get_u64(&mut buf, "app n").map_err(err)?;
+        let m = get_u64(&mut buf, "app m").map_err(err)?;
+        let seed = get_u64(&mut buf, "app seed").map_err(err)?;
+        let scheme = String::from_utf8(get_bytes(&mut buf, "app scheme").map_err(err)?)
+            .map_err(|_| "journal app blob: scheme name is not UTF-8".to_string())?;
+        let broker = get_u64(&mut buf, "app broker flag").map_err(err)? != 0;
+        let churn = get_u64(&mut buf, "app churn flag").map_err(err)? != 0;
+        let chaos_seed = match get_u64(&mut buf, "app chaos presence").map_err(err)? {
+            0 => None,
+            _ => Some(get_u64(&mut buf, "app chaos seed").map_err(err)?),
+        };
+        if !buf.is_empty() {
+            return Err(format!(
+                "journal app blob has {} trailing byte(s)",
+                buf.len()
+            ));
+        }
+        Ok(FleetParams {
+            participants,
+            cheaters,
+            n,
+            m,
+            seed,
+            scheme,
+            broker,
+            churn,
+            chaos_seed,
+        })
+    }
+}
+
+fn cmd_verify_journal(path: &Path) -> Result<(), String> {
+    let seal = verify_journal(path).map_err(|e| format!("journal verification failed: {e}"))?;
+    println!("journal {}: sealed and intact", path.display());
+    println!("records:     {}", seal.records);
+    println!("attestation: {}", seal.digest_hex());
+    Ok(())
+}
+
 fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
-    let participants: usize = args.value("--participants", 4)?;
-    // --threads is the historical alias from the thread-per-participant
-    // runtime: the participant count, under its old name.
-    let participants: usize = args.value("--threads", participants)?;
-    let cheaters: usize = args.value("--cheaters", 1)?;
-    let n: u64 = args.value("--n", 4096)?;
-    let m: usize = args.value("--m", 25)?;
-    let seed: u64 = args.value("--seed", 7)?;
-    let scheme_name: String = args.value("--scheme", "cbs".into())?;
+    let journal_path: Option<String> = args.raw("--journal")?.map(str::to_owned);
+    let verify = args.flag("--verify-journal");
+    let resume = args.flag("--resume");
+    let kill_at: Option<u64> = args.opt("--kill-at")?;
     // --workers w multiplexes all participants over a w-thread scheduler
     // pool (0 = one per available core); absent, every participant gets
     // its own OS thread. Verdicts and fault logs are identical either
@@ -444,14 +566,75 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
             w
         }
     });
-    let transport = if args.flag("--broker") {
+
+    if verify {
+        let Some(path) = journal_path else {
+            return Err(
+                "--verify-journal requires --journal <path> (the journal to verify)".into(),
+            );
+        };
+        if resume || kill_at.is_some() || workers.is_some() {
+            return Err(
+                "--verify-journal only checks an existing journal; it cannot be combined \
+                 with --resume, --kill-at or --workers"
+                    .into(),
+            );
+        }
+        args.finish().map_err(|e| {
+            format!(
+                "--verify-journal only checks an existing journal; drop the campaign flags ({e})"
+            )
+        })?;
+        return cmd_verify_journal(Path::new(&path));
+    }
+    if resume && journal_path.is_none() {
+        return Err("--resume requires --journal <path> (the journal to resume from)".into());
+    }
+    if kill_at.is_some() && journal_path.is_none() {
+        return Err("--kill-at requires --journal <path> (there is no journal to crash)".into());
+    }
+    let crash = match kill_at {
+        Some(record) => CrashPlan::at(record),
+        None => CrashPlan::never(),
+    };
+
+    // A resumed campaign is defined by its journal header, a fresh one by
+    // its flags — mutually exclusive, so a resume can never silently
+    // diverge from what the journal recorded.
+    let (params, resumed) = if resume {
+        args.finish().map_err(|e| {
+            format!(
+                "--resume rebuilds the campaign from the journal; drop the campaign flags ({e})"
+            )
+        })?;
+        let path = journal_path.as_deref().expect("validated above");
+        let (campaign, report) =
+            DurableCampaign::resume(Path::new(path), crash).map_err(|e| e.to_string())?;
+        let params = FleetParams::decode(&campaign.header().app)?;
+        (params, Some((campaign, report)))
+    } else {
+        let params = FleetParams::from_args(&mut args)?;
+        args.finish()?;
+        (params, None)
+    };
+
+    if params.cheaters > params.participants {
+        return Err("more cheaters than participants".into());
+    }
+    let participants = usize::try_from(params.participants)
+        .map_err(|_| "participant count exceeds this platform's usize".to_string())?;
+    let cheaters = usize::try_from(params.cheaters)
+        .map_err(|_| "cheater count exceeds this platform's usize".to_string())?;
+    let m = usize::try_from(params.m)
+        .map_err(|_| "sample count exceeds this platform's usize".to_string())?;
+    let (n, seed) = (params.n, params.seed);
+    let scheme_name = params.scheme.as_str();
+    let (churn, chaos_seed) = (params.churn, params.chaos_seed);
+    let transport = if params.broker {
         FleetTransport::Brokered
     } else {
         FleetTransport::Direct
     };
-    let churn = args.flag("--churn");
-    let chaos_seed: Option<u64> = args.opt("--chaos")?;
-    args.finish()?;
     let chaos = if chaos_seed.is_some() || churn {
         let mut plan = FaultPlan::chaos(chaos_seed.unwrap_or(1));
         if churn {
@@ -461,10 +644,7 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
     } else {
         None
     };
-    if cheaters > participants {
-        return Err("more cheaters than participants".into());
-    }
-    let scheme = match scheme_name.as_str() {
+    let scheme = match scheme_name {
         "cbs" => FleetScheme::Cbs {
             samples: m,
             report_audit: 0,
@@ -519,23 +699,48 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
     // 10 s floor so huge `--n` runs are not killed mid-compute.
     let deadline =
         Duration::from_secs(10) + Duration::from_micros(2 * n.div_ceil(participants.max(1) as u64));
-    let summary = run_mixed_fleet(
-        &task,
-        &screener,
-        Domain::try_new(0, n).map_err(|e| e.to_string())?,
-        &members,
-        &MixedFleetConfig {
-            transport,
-            chaos,
-            deadline: chaos.map(|_| deadline),
-            retries: if chaos.is_some() { 5 } else { 0 },
-            storage: ParticipantStorage::Full,
-            parallelism: Parallelism::default(),
-            envelope: false,
-            workers,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let domain = Domain::try_new(0, n).map_err(|e| e.to_string())?;
+    let config = MixedFleetConfig {
+        transport,
+        chaos,
+        deadline: chaos.map(|_| deadline),
+        retries: if chaos.is_some() { 5 } else { 0 },
+        storage: ParticipantStorage::Full,
+        parallelism: Parallelism::default(),
+        envelope: false,
+        workers,
+    };
+    let outcome = match (&journal_path, resumed) {
+        (None, _) => run_mixed_fleet(&task, &screener, domain, &members, &config),
+        (Some(path), None) => {
+            let header = CampaignHeader::for_campaign(&members, domain, &config, params.encode());
+            let mut campaign = DurableCampaign::create(Path::new(path), header, crash)
+                .map_err(|e| e.to_string())?;
+            run_durable_fleet(&task, &screener, domain, &members, &config, &mut campaign)
+        }
+        (Some(_), Some((mut campaign, report))) => {
+            if let Some(reason) = &report.torn {
+                println!("warning: journal tail truncated: {reason}");
+            }
+            println!(
+                "resumed: {} committed round(s) replayed ({} record(s) kept, {} dropped)",
+                report.rounds_replayed, report.records_kept, report.records_dropped
+            );
+            run_durable_fleet(&task, &screener, domain, &members, &config, &mut campaign)
+        }
+    };
+    let summary = match outcome {
+        Ok(summary) => summary,
+        Err(e) if kill_at.is_some() && e.to_string().contains("injected kill point") => {
+            // The crash the caller asked for: report where it hit and how
+            // to pick the campaign back up, with a distinct exit code so
+            // harnesses can tell "killed as requested" from real failures.
+            println!("campaign aborted: {e}");
+            println!("resume with: ugc fleet --journal <path> --resume");
+            std::process::exit(2);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let execution = match workers {
         Some(w) => format!("{participants} participants on {w} scheduler workers"),
         None => format!("{participants} threads"),
@@ -585,5 +790,18 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
         "password found: {:?}",
         summary.reports.first().map(|r| r.input)
     );
+    // The replay digest: everything digest-relevant (verdicts, attempts,
+    // ledgers, fault log), wall clock excluded — identical for the same
+    // campaign at any worker count, with or without a crash and resume.
+    println!("digest: {}", summary_digest(&summary));
+    if let Some(path) = &journal_path {
+        let seal = verify_journal(Path::new(path))
+            .map_err(|e| format!("journal failed post-run verification: {e}"))?;
+        println!(
+            "journal: {path} sealed ({} records, attestation {})",
+            seal.records,
+            seal.digest_hex()
+        );
+    }
     Ok(())
 }

@@ -359,6 +359,158 @@ fn lint_unknown_flag_prints_usage_and_fails() {
 }
 
 #[test]
+fn fleet_resume_without_journal_fails() {
+    // --resume without --journal is a flag error: usage hint, nonzero
+    // exit, no campaign run.
+    let out = ugc(&["fleet", "--resume"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume requires --journal"), "{err}");
+    assert!(err.contains("usage: ugc"), "{err}");
+}
+
+#[test]
+fn fleet_kill_at_requires_journal() {
+    let out = ugc(&["fleet", "--kill-at", "3"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--kill-at requires --journal"), "{err}");
+    assert!(err.contains("usage: ugc"), "{err}");
+}
+
+#[test]
+fn fleet_verify_journal_rejects_campaign_flags() {
+    // --verify-journal only checks a journal; mixing it with campaign
+    // flags (or --resume / --workers) must fail with a usage hint.
+    let out = ugc(&[
+        "fleet",
+        "--journal",
+        "x.wal",
+        "--verify-journal",
+        "--participants",
+        "3",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--verify-journal"), "{err}");
+    assert!(err.contains("usage: ugc"), "{err}");
+    let out = ugc(&[
+        "fleet",
+        "--journal",
+        "x.wal",
+        "--verify-journal",
+        "--resume",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot be combined"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // And without --journal there is nothing to verify.
+    let out = ugc(&["fleet", "--verify-journal"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--verify-journal requires --journal"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn fleet_resume_rejects_campaign_flags() {
+    let out = ugc(&["fleet", "--journal", "x.wal", "--resume", "--n", "512"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("drop the campaign flags"), "{err}");
+    assert!(err.contains("--n 512"), "{err}");
+}
+
+#[test]
+fn fleet_journal_kill_resume_reproduces_digest() {
+    // The durable-campaign walkthrough, end to end through the CLI: a
+    // journaled run killed mid-campaign resumes to the same digest (and
+    // the same per-participant lines) as a run that was never journaled,
+    // and the sealed journal passes attestation.
+    let journal = std::env::temp_dir().join(format!("ugc-cli-journal-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let path = journal.to_str().expect("temp path is UTF-8");
+    let base = [
+        "fleet",
+        "--participants",
+        "3",
+        "--cheaters",
+        "1",
+        "--n",
+        "384",
+        "--m",
+        "20",
+        "--chaos",
+        "7",
+    ];
+    let stable = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.starts_with("  participant") || l.starts_with("digest:"))
+            .map(str::to_owned)
+            .collect()
+    };
+
+    let reference = ugc(&base);
+    assert!(reference.status.success());
+    assert!(
+        stdout(&reference).contains("digest: "),
+        "{}",
+        stdout(&reference)
+    );
+
+    let killed = ugc(&[&base[..], &["--journal", path, "--kill-at", "4"]].concat());
+    assert_eq!(
+        killed.status.code(),
+        Some(2),
+        "an injected kill point must exit 2, not fail generically: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(
+        stdout(&killed).contains("campaign aborted"),
+        "{}",
+        stdout(&killed)
+    );
+
+    // --resume takes no campaign flags: the journal header carries them.
+    let resumed = ugc(&["fleet", "--journal", path, "--resume"]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(
+        stdout(&resumed).contains("resumed: "),
+        "{}",
+        stdout(&resumed)
+    );
+    assert!(stdout(&resumed).contains("sealed"), "{}", stdout(&resumed));
+    assert_eq!(
+        stable(&reference),
+        stable(&resumed),
+        "a killed-and-resumed campaign must reproduce the uninterrupted digest"
+    );
+
+    let verified = ugc(&["fleet", "--journal", path, "--verify-journal"]);
+    assert!(
+        verified.status.success(),
+        "{}",
+        String::from_utf8_lossy(&verified.stderr)
+    );
+    assert!(
+        stdout(&verified).contains("attestation: "),
+        "{}",
+        stdout(&verified)
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
 fn fleet_workers_zero_picks_available_cores() {
     let out = ugc(&[
         "fleet",

@@ -1,0 +1,322 @@
+//! Crash-resume equivalence: a journaled campaign killed at *any*
+//! record and resumed must converge to the same verdicts, attempts,
+//! cost ledgers, fault log and summary digest as a run that was never
+//! interrupted — for all five schemes, over both transports, across
+//! chaos seeds, at kill points from the first record to the last.
+//!
+//! This is the tentpole property of the write-ahead journal: rounds are
+//! journaled before the supervisor acts on them and applied on resume
+//! only when their commit marker made it to disk, so a crash can lose
+//! in-flight work but never change what the campaign concludes.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use ugc_journal::{read_journal, CrashPlan};
+use uncheatable_grid::core::scheme::cbs::CbsScheme;
+use uncheatable_grid::core::scheme::double_check::DoubleCheckScheme;
+use uncheatable_grid::core::scheme::naive::NaiveScheme;
+use uncheatable_grid::core::scheme::ni_cbs::NiCbsScheme;
+use uncheatable_grid::core::scheme::ringer::RingerScheme;
+use uncheatable_grid::core::{
+    run_durable_fleet, run_mixed_fleet, summary_digest, CampaignHeader, DurableCampaign,
+    FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig, ResumeReport, SchemeError,
+};
+use uncheatable_grid::grid::runtime::FaultPlan;
+use uncheatable_grid::grid::{
+    CheatSelection, HonestWorker, MaliciousWorker, SemiHonestCheater, WorkerBehaviour,
+};
+use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::task::workloads::PasswordSearch;
+use uncheatable_grid::task::{AcceptAllScreener, Domain, ZeroGuesser};
+
+/// A collision-free journal path under the OS temp dir (process id plus
+/// a monotonic counter — no wall clock, no ambient randomness).
+fn journal_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ugc-crash-resume-{}-{tag}-{n}.wal",
+        std::process::id()
+    ))
+}
+
+/// How one campaign run touches the journal.
+enum Mode<'a> {
+    /// No journal at all — the plain `run_mixed_fleet` reference.
+    Plain,
+    /// Fresh journal at this path, armed with this crash plan.
+    Create(&'a Path, CrashPlan),
+    /// Resume the journal at this path.
+    Resume(&'a Path, CrashPlan),
+}
+
+/// One member per scheme plus a lazy and a malicious CBS member — 7
+/// members over 8 participant slots, covering every scheme's dialogue
+/// shape — run under chaos-with-churn so the campaign spans multiple
+/// reassignment rounds.
+fn campaign(
+    chaos_seed: u64,
+    transport: FleetTransport,
+    mode: Mode<'_>,
+) -> Result<(FleetSummary, Option<ResumeReport>), SchemeError> {
+    let task = PasswordSearch::with_hidden_password(7, 3);
+    let screener = AcceptAllScreener;
+    let honest = HonestWorker;
+    let lazy = SemiHonestCheater::new(0.2, CheatSelection::Scattered, ZeroGuesser::new(4), 9);
+    let malicious = MaliciousWorker::new(1.0, 5);
+    let cbs = CbsScheme {
+        samples: 16,
+        seed: chaos_seed ^ 11,
+        report_audit: 2,
+    };
+    let ni = NiCbsScheme {
+        samples: 16,
+        g_iterations: 2,
+        report_audit: 0,
+        audit_seed: chaos_seed ^ 13,
+    };
+    let naive = NaiveScheme {
+        samples: 16,
+        seed: chaos_seed ^ 14,
+    };
+    let ringer = RingerScheme {
+        ringers: 6,
+        seed: chaos_seed ^ 15,
+    };
+    let double_check = DoubleCheckScheme;
+    let specs: Vec<MemberSpec<'_, Sha256>> = vec![
+        MemberSpec {
+            scheme: &cbs,
+            behaviours: vec![&honest as &dyn WorkerBehaviour],
+        },
+        MemberSpec {
+            scheme: &ni,
+            behaviours: vec![&honest],
+        },
+        MemberSpec {
+            scheme: &naive,
+            behaviours: vec![&honest],
+        },
+        MemberSpec {
+            scheme: &ringer,
+            behaviours: vec![&honest],
+        },
+        MemberSpec {
+            scheme: &double_check,
+            behaviours: vec![&honest, &honest],
+        },
+        MemberSpec {
+            scheme: &cbs,
+            behaviours: vec![&lazy],
+        },
+        MemberSpec {
+            scheme: &cbs,
+            behaviours: vec![&malicious],
+        },
+    ];
+    let domain = Domain::new(0, specs.len() as u64 * 64);
+    let config = MixedFleetConfig {
+        transport,
+        chaos: Some(FaultPlan::chaos(chaos_seed).with_churn(150)),
+        deadline: Some(Duration::from_secs(20)),
+        retries: 8,
+        ..MixedFleetConfig::default()
+    };
+    match mode {
+        Mode::Plain => {
+            run_mixed_fleet(&task, &screener, domain, &specs, &config).map(|s| (s, None))
+        }
+        Mode::Create(path, crash) => {
+            let header =
+                CampaignHeader::for_campaign(&specs, domain, &config, b"crash-resume".to_vec());
+            let mut campaign = DurableCampaign::create(path, header, crash)?;
+            run_durable_fleet(&task, &screener, domain, &specs, &config, &mut campaign)
+                .map(|s| (s, None))
+        }
+        Mode::Resume(path, crash) => {
+            let (mut campaign, report) = DurableCampaign::resume(path, crash)?;
+            run_durable_fleet(&task, &screener, domain, &specs, &config, &mut campaign)
+                .map(|s| (s, Some(report)))
+        }
+    }
+}
+
+/// Runs the campaign with a kill at record `kill`, asserts the kill
+/// fired, resumes, and returns the resumed digest plus the report.
+fn kill_then_resume(
+    chaos_seed: u64,
+    transport: FleetTransport,
+    kill: u64,
+    path: &Path,
+) -> (String, ResumeReport) {
+    match campaign(
+        chaos_seed,
+        transport,
+        Mode::Create(path, CrashPlan::at(kill)),
+    ) {
+        Ok(_) => panic!("kill at record {kill} never fired"),
+        Err(SchemeError::Journal { reason }) => {
+            assert!(reason.contains("injected kill point"), "{reason}");
+        }
+        Err(other) => panic!("kill at record {kill} surfaced as {other}"),
+    }
+    let (resumed, report) = campaign(
+        chaos_seed,
+        transport,
+        Mode::Resume(path, CrashPlan::never()),
+    )
+    .expect("the resumed campaign completes");
+    (
+        summary_digest(&resumed),
+        report.expect("resume mode yields a report"),
+    )
+}
+
+/// The full matrix: both transports × three chaos seeds × kill points
+/// {first record, mid-campaign, last record}. Every cell must resume to
+/// the uninterrupted run's digest.
+#[test]
+fn kill_and_resume_converges_at_every_matrix_point() {
+    for transport in [FleetTransport::Direct, FleetTransport::Brokered] {
+        for chaos_seed in [0xC4A05u64, 0x5EED5, 42] {
+            let ref_path = journal_path("ref");
+            let (reference, _) = campaign(
+                chaos_seed,
+                transport,
+                Mode::Create(&ref_path, CrashPlan::never()),
+            )
+            .expect("the uninterrupted campaign completes");
+            let reference = summary_digest(&reference);
+            let records = read_journal(&ref_path)
+                .expect("the sealed journal reads back")
+                .records
+                .len() as u64;
+            let _ = std::fs::remove_file(&ref_path);
+            // The header is written before the crash plan arms, so kill
+            // points count campaign records: 1 is the first round-start,
+            // `records - 1` is the final Finished append.
+            let last = records - 1;
+            for kill in [1, last / 2, last] {
+                let path = journal_path("kill");
+                let (digest, _) = kill_then_resume(chaos_seed, transport, kill, &path);
+                assert_eq!(
+                    digest, reference,
+                    "{transport:?} seed {chaos_seed:#x}: resume after a kill at record \
+                     {kill}/{records} diverged from the uninterrupted run"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+/// Journaling itself must not perturb the campaign: the durable run and
+/// the plain `run_mixed_fleet` produce the same digest.
+#[test]
+fn journaling_does_not_change_the_digest() {
+    let (plain, _) =
+        campaign(42, FleetTransport::Brokered, Mode::Plain).expect("the plain campaign completes");
+    let path = journal_path("overhead");
+    let (journaled, _) = campaign(
+        42,
+        FleetTransport::Brokered,
+        Mode::Create(&path, CrashPlan::never()),
+    )
+    .expect("the journaled campaign completes");
+    assert_eq!(summary_digest(&plain), summary_digest(&journaled));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A crash can also tear the file mid-frame (power loss during a
+/// write). Resume must truncate the torn tail with a warning — never an
+/// error — and still converge to the uninterrupted digest.
+#[test]
+fn torn_tail_is_truncated_with_a_warning_and_converges() {
+    use std::io::Write as _;
+    let chaos_seed = 0x7EA4;
+    let ref_path = journal_path("torn-ref");
+    let (reference, _) = campaign(
+        chaos_seed,
+        FleetTransport::Brokered,
+        Mode::Create(&ref_path, CrashPlan::never()),
+    )
+    .expect("the uninterrupted campaign completes");
+    let reference = summary_digest(&reference);
+    let records = read_journal(&ref_path)
+        .expect("the sealed journal reads back")
+        .records
+        .len() as u64;
+    let _ = std::fs::remove_file(&ref_path);
+
+    // Kill two-thirds in, then smear garbage over the tail: a torn
+    // frame on top of an unsealed journal.
+    let path = journal_path("torn");
+    let kill = (records - 1) * 2 / 3;
+    match campaign(
+        chaos_seed,
+        FleetTransport::Brokered,
+        Mode::Create(&path, CrashPlan::at(kill)),
+    ) {
+        Ok(_) => panic!("kill at record {kill} never fired"),
+        Err(SchemeError::Journal { .. }) => {}
+        Err(other) => panic!("kill surfaced as {other}"),
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("the killed journal exists");
+    file.write_all(b"\x99torn-frame-garbage")
+        .expect("garbage appends");
+    drop(file);
+
+    let (resumed, report) = campaign(
+        chaos_seed,
+        FleetTransport::Brokered,
+        Mode::Resume(&path, CrashPlan::never()),
+    )
+    .expect("a torn tail is a warning, not an error");
+    let report = report.expect("resume mode yields a report");
+    assert!(
+        report.torn.is_some(),
+        "the garbage tail must be reported: {report:?}"
+    );
+    assert_eq!(
+        summary_digest(&resumed),
+        reference,
+        "torn-tail resume diverged from the uninterrupted run"
+    );
+    // The continuation re-sealed the truncated journal.
+    assert!(read_journal(&path)
+        .expect("the resumed journal reads back")
+        .seal
+        .is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resuming a journal whose campaign already finished is read-only: the
+/// replay alone rebuilds the summary, and its digest matches the one
+/// sealed into the Finished record.
+#[test]
+fn sealed_journal_resumes_read_only_to_the_same_digest() {
+    let path = journal_path("sealed");
+    let (finished, _) = campaign(
+        42,
+        FleetTransport::Direct,
+        Mode::Create(&path, CrashPlan::never()),
+    )
+    .expect("the campaign completes");
+    let finished = summary_digest(&finished);
+    let (resumed, report) = campaign(
+        42,
+        FleetTransport::Direct,
+        Mode::Resume(&path, CrashPlan::never()),
+    )
+    .expect("a sealed journal resumes read-only");
+    let report = report.expect("resume mode yields a report");
+    assert!(report.sealed);
+    assert_eq!(report.finished_digest.as_deref(), Some(finished.as_str()));
+    assert!(report.rounds_replayed > 0, "{report:?}");
+    assert_eq!(summary_digest(&resumed), finished);
+    let _ = std::fs::remove_file(&path);
+}
