@@ -1,20 +1,23 @@
 //! Records the performance baseline: runs the workloads behind the six
 //! criterion benches plus the PR 2 serial-vs-parallel comparisons, the
 //! PR 3 session-engine workloads, the PR 4 chaos-soak campaign, the
-//! PR 5 scheduler-scale campaign (1000 participants on a 4-worker
-//! pool) and the PR 7 journal-overhead comparison (the same fleet with
-//! and without the write-ahead campaign journal), and writes the
-//! measurements to a JSON file so the perf trajectory can be compared
-//! across PRs.
+//! PR 5 scheduler-scale campaign (1000 participants on a fixed pool),
+//! the PR 7 journal-overhead comparison (the same fleet with and
+//! without the write-ahead campaign journal) and the PR 8 hot-path
+//! workloads (`steal_scale`: the 1000-slot campaign across work-stealing
+//! pool sizes; `hash_blocks`: the multi-block one-shot digest kernel vs
+//! the streaming state), and writes the measurements to a JSON file so
+//! the perf trajectory can be compared across PRs.
 //!
 //! Every serial/parallel pair is checked for **bit-identical output**
 //! (roots, Monte-Carlo counts), the engine-over-broker round is checked
 //! bit-identical to the legacy in-process round (verdict, bytes,
 //! ledgers), the chaos soak is checked to replay bit-identically from
 //! its seed, and the scheduler-scale campaign is checked bit-identical
-//! between a 1-worker and a 4-worker pool; any divergence fails the run
-//! with a non-zero exit code, which is what the CI quick-mode step keys
-//! off.
+//! across worker counts {1, 4, 8} *and* work-stealing seeds (the PR 8
+//! stealing scheduler must keep every digest bit in place no matter
+//! which worker wins which task); any divergence fails the run with a
+//! non-zero exit code, which is what the CI quick-mode step keys off.
 //!
 //! `--compare BASELINE.json` is the **trajectory gate**: workloads shared
 //! with the baseline file must not regress more than 2× (the build fails
@@ -22,7 +25,7 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr7.json`; `--compare PATH` enables the gate).
+//! `BENCH_pr8.json`; `--compare PATH` enables the gate).
 
 #![forbid(unsafe_code)]
 
@@ -175,8 +178,9 @@ fn run_soak(n_per_member: u64) -> FleetSummary {
 /// schemes cycling, honest workers, seeded churn — multiplexed over a
 /// fixed [`GridScheduler`](ugc_grid::runtime::GridScheduler) pool behind
 /// the broker. The thread-per-participant runtime could never run this;
-/// the scheduler runs it on any pool size with a bit-identical outcome.
-fn run_scheduler_scale(workers: usize) -> FleetSummary {
+/// the work-stealing scheduler (PR 8) runs it on any pool size — and
+/// under any steal-seed victim order — with a bit-identical outcome.
+fn run_scheduler_scale(workers: usize, steal_seed: u64) -> FleetSummary {
     const SLOTS: usize = 1000;
     const SHARE: u64 = 8;
     let task = PasswordSearch::with_hidden_password(0x5CA1_E50A, 3);
@@ -234,6 +238,7 @@ fn run_scheduler_scale(workers: usize) -> FleetSummary {
             chaos: Some(FaultPlan::chaos(0x5CA1_E50A).with_churn(40)),
             retries: 8,
             workers: Some(workers),
+            steal_seed,
             ..MixedFleetConfig::default()
         },
     )
@@ -261,7 +266,7 @@ fn soak_digest(summary: &FleetSummary) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr7.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -412,6 +417,50 @@ fn main() {
     entries.push(Entry {
         name: "hash_throughput/sha256",
         ns_per_op: time(|| black_box(Sha256::digest(&hash_data))),
+    });
+
+    // --- PR 8 kernel workload: the multi-block one-shot digest (every
+    // full block compressed straight out of the input slice) vs the
+    // streaming state driven in 61-byte chunks, which forces the
+    // per-block staging copy on every block. The two must agree bit for
+    // bit; the speedup is what block-at-once scheduling buys.
+    let streaming_sha256 = |data: &[u8]| {
+        let mut st = Sha256::new_state();
+        for piece in data.chunks(61) {
+            Sha256::update(&mut st, piece);
+        }
+        Sha256::finalize(st)
+    };
+    if Sha256::digest(&hash_data) != streaming_sha256(&hash_data) {
+        eprintln!("DIVERGENCE: sha256 multi-block one-shot != streaming state");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "hash_blocks/sha256_multiblock",
+        ns_per_op: time(|| black_box(Sha256::digest(&hash_data))),
+    });
+    entries.push(Entry {
+        name: "hash_blocks/sha256_streaming",
+        ns_per_op: time(|| black_box(streaming_sha256(&hash_data))),
+    });
+    let md5_streaming = |data: &[u8]| {
+        let mut st = Md5::new_state();
+        for piece in data.chunks(61) {
+            Md5::update(&mut st, piece);
+        }
+        Md5::finalize(st)
+    };
+    if Md5::digest(&hash_data) != md5_streaming(&hash_data) {
+        eprintln!("DIVERGENCE: md5 multi-block one-shot != streaming state");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "hash_blocks/md5_multiblock",
+        ns_per_op: time(|| black_box(Md5::digest(&hash_data))),
+    });
+    entries.push(Entry {
+        name: "hash_blocks/md5_streaming",
+        ns_per_op: time(|| black_box(md5_streaming(&hash_data))),
     });
     let proof_tree = MerkleTree::<Sha256>::build(&leaves(proof_n)).unwrap();
     let proof_root = proof_tree.root();
@@ -598,15 +647,23 @@ fn main() {
         ns_per_op: time(|| black_box(run_soak(soak_n))),
     });
 
-    // --- PR 5 tentpole: the event-driven scheduler at scale. A thousand
-    // participant slots multiplexed over a 4-worker pool; the outcome
-    // must be bit-identical to a 1-worker pool (worker count is
-    // scheduling, never semantics), and its wall-clock is the
-    // scale baseline CI tracks.
-    let scale = run_scheduler_scale(4);
-    if soak_digest(&scale) != soak_digest(&run_scheduler_scale(1)) {
-        eprintln!("DIVERGENCE: scheduler-scale campaign differs between 1 and 4 workers");
-        divergence = true;
+    // --- PR 5/PR 8 tentpole: the work-stealing scheduler at scale. A
+    // thousand participant slots multiplexed over a fixed pool; the
+    // outcome must be bit-identical at every worker count {1, 4, 8}
+    // *and* under every work-stealing victim order (both are
+    // scheduling, never semantics). The 4-worker wall-clock is the
+    // scale baseline CI tracks; the steal_scale sweep shows how the
+    // per-worker run queues scale with the pool.
+    let scale = run_scheduler_scale(4, 0);
+    let scale_reference = soak_digest(&scale);
+    for (workers, steal_seed) in [(1usize, 0u64), (8, 0), (4, 0xDEAD_BEEF), (8, u64::MAX)] {
+        if soak_digest(&run_scheduler_scale(workers, steal_seed)) != scale_reference {
+            eprintln!(
+                "DIVERGENCE: scheduler-scale campaign at {workers} workers \
+                 (steal seed {steal_seed:#x}) differs from 4 workers (seed 0)"
+            );
+            divergence = true;
+        }
     }
     if scale.members.iter().any(|m| !m.outcome.accepted) {
         eprintln!("DIVERGENCE: an honest scheduler-scale participant was rejected");
@@ -614,7 +671,15 @@ fn main() {
     }
     entries.push(Entry {
         name: "engine/scheduler_scale_1000x4",
-        ns_per_op: time(|| black_box(run_scheduler_scale(4))),
+        ns_per_op: time(|| black_box(run_scheduler_scale(4, 0))),
+    });
+    entries.push(Entry {
+        name: "engine/steal_scale_1000x1",
+        ns_per_op: time(|| black_box(run_scheduler_scale(1, 0))),
+    });
+    entries.push(Entry {
+        name: "engine/steal_scale_1000x8",
+        ns_per_op: time(|| black_box(run_scheduler_scale(8, 0))),
     });
 
     let ratio = |num: &str, den: &str| -> f64 {
@@ -674,6 +739,19 @@ fn main() {
                 "engine/direct_fleet_x4",
             ),
         ),
+        (
+            "hash_multiblock_over_streaming",
+            ratio(
+                "hash_blocks/sha256_streaming",
+                "hash_blocks/sha256_multiblock",
+            ),
+        ),
+        // How the per-worker run queues scale: the 1000-slot campaign on
+        // 8 stealing workers vs a single worker.
+        (
+            "steal_scale_8_workers_over_1",
+            ratio("engine/steal_scale_1000x1", "engine/steal_scale_1000x8"),
+        ),
     ];
 
     println!();
@@ -688,7 +766,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(json, "  \"pr\": 8,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

@@ -534,9 +534,10 @@ fn get_event(buf: &mut &[u8]) -> Result<FaultEvent, SchemeError> {
 /// picking up: the fleet shape, the domain, and every digest-relevant
 /// knob of [`MixedFleetConfig`].
 ///
-/// Execution-only knobs (`parallelism`, `workers`) are deliberately
-/// absent: digests are invariant under them, so a campaign journaled on a
-/// 4-worker box resumes correctly on a 64-worker one. The opaque
+/// Execution-only knobs (`parallelism`, `workers`, `steal_seed`) are
+/// deliberately absent: digests are invariant under them, so a campaign
+/// journaled on a 4-worker box resumes correctly on a 64-worker one —
+/// under any work-stealing order. The opaque
 /// [`app`](Self::app) blob carries whatever the CLI (or any embedder)
 /// needs to rebuild its own task/fleet objects from the journal alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1198,7 +1199,14 @@ impl DurableCampaign {
                     }
                     state.total_sessions += roster.len() as u64;
                     for (member, outcome, link) in staged_settled.drain(..) {
-                        state.total_bytes += link.bytes_sent + link.bytes_received;
+                        // Mirrors the live loop: failed attempts are
+                        // excluded from the byte total (their truncated
+                        // traffic is a pump-timing race, not replayable
+                        // state), so a resumed campaign reproduces the
+                        // uninterrupted run's digest exactly.
+                        if outcome.is_ok() {
+                            state.total_bytes += link.bytes_sent + link.bytes_received;
+                        }
                         state.finals[member] = Some(SessionResult { outcome, link });
                     }
                     for (member, sup_delta, part_delta, part_results) in staged_states.drain(..) {

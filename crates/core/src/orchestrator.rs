@@ -24,7 +24,7 @@ use crate::scheme::naive::NaiveScheme;
 use crate::scheme::ni_cbs::NiCbsScheme;
 use crate::scheme::ringer::RingerScheme;
 use crate::session::{
-    drive_participant, step_participant, ParticipantContext, ParticipantSession, SessionPoll,
+    drive_participant, step_participant_batch, ParticipantContext, ParticipantSession, SessionPoll,
     SupervisorContext, VerificationScheme,
 };
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
@@ -139,7 +139,10 @@ pub struct FleetSummary {
     pub members: Vec<FleetMember>,
     /// Screened reports from *accepted* participants only, in input order.
     pub reports: Vec<ScreenReport>,
-    /// Wall-clock throughput of the whole run (all attempts, all rounds).
+    /// Wall-clock throughput of the whole run. `sessions` counts every
+    /// attempt (including retried ones); `bytes` counts only attempts
+    /// that settled successfully, so it replays bit-identically (see
+    /// [`Throughput::bytes`]).
     pub throughput: Throughput,
     /// Every fault injected by the configured [`FaultPlan`], sorted —
     /// identical across replays of the same seed.
@@ -231,6 +234,12 @@ pub struct MixedFleetConfig {
     /// bit-identical at any setting (`tests/scheduler_equivalence.rs`);
     /// only the thread count changes.
     pub workers: Option<usize>,
+    /// Seed for the scheduler's work-stealing victim order (used only
+    /// when [`workers`](Self::workers) is set). Scheduling-only: any
+    /// seed produces identical verdicts, fault logs and byte counts —
+    /// the knob exists so tests and the bench divergence gate can
+    /// *prove* that invariant, not to tune throughput.
+    pub steal_seed: u64,
 }
 
 impl Default for MixedFleetConfig {
@@ -244,6 +253,7 @@ impl Default for MixedFleetConfig {
             deadline: None,
             retries: 0,
             workers: None,
+            steal_seed: 0,
         }
     }
 }
@@ -563,7 +573,18 @@ where
         )?;
         total_sessions += roster.len() as u64;
         for ((orig, _, _), session) in roster.iter().zip(output.sessions) {
-            total_bytes += session.link.bytes_sent + session.link.bytes_received;
+            // Only settled (successful) attempts count toward the byte
+            // total. A failed attempt's traffic is cut off mid-protocol
+            // by its death: how many in-flight messages the supervisor
+            // managed to charge before the broker's Gone NACK reached it
+            // is a pump-timing race, not a function of the seed — most
+            // visibly for double-check members, where the NACK for one
+            // participant races mail still in flight from its live
+            // sibling. Excluding failed attempts keeps `bytes` a replay
+            // digest; `sessions` still counts every attempt.
+            if session.outcome.is_ok() {
+                total_bytes += session.link.bytes_sent + session.link.bytes_received;
+            }
             finals[*orig] = Some(session);
         }
         for (roster_index, result) in output.part_results {
@@ -677,6 +698,13 @@ struct RoundOutput {
     events: Vec<FaultEvent>,
 }
 
+/// How many inbound messages one scheduler poll may drain from a slot's
+/// queue before handing the worker back. Batching amortises the
+/// run-queue round trip over a burst of queued mail; the value is purely
+/// a latency/fairness trade-off — digests are identical at any budget
+/// (`step_participant_batch` is a loop over the single stepper).
+const STEP_BATCH_BUDGET: usize = 8;
+
 /// One participant slot as a poll-driven task on the grid scheduler's
 /// run-queue: the session state machine plus its fault-decorated link.
 /// Completion drops the link immediately, so the broker pump — and a
@@ -705,7 +733,7 @@ impl GridTask for SlotTask<'_> {
         let Some(link) = self.link.as_ref() else {
             return TaskPoll::Complete;
         };
-        match step_participant(link, self.session.as_mut()) {
+        match step_participant_batch(link, self.session.as_mut(), STEP_BATCH_BUDGET) {
             SessionPoll::Progress => TaskPoll::Progress,
             SessionPoll::Idle => TaskPoll::Idle,
             SessionPoll::Complete(result) => {
@@ -827,7 +855,8 @@ where
         FleetTransport::Brokered => {
             let options = RuntimeOptions::default()
                 .with_fault(plan)
-                .with_link_id_base(chaos_link_id(round, 0));
+                .with_link_id_base(chaos_link_id(round, 0))
+                .with_steal_seed(config.steal_seed);
             match config.workers {
                 Some(workers) => {
                     let options = options.with_workers(workers);
@@ -876,7 +905,7 @@ where
             let logs: Vec<FaultLog> = links.iter().map(FaultyEndpoint::log).collect();
             let (sessions, part_results) = match config.workers {
                 Some(workers) => {
-                    let scheduler = GridScheduler::new(workers);
+                    let scheduler = GridScheduler::new(workers).with_steal_seed(config.steal_seed);
                     let tasks: Vec<SlotTask<'_>> = links
                         .drain(..)
                         .enumerate()

@@ -332,6 +332,42 @@ pub fn step_participant<L: GridLink + ?Sized>(
     }
 }
 
+/// Advances a participant session by up to `budget` inbound messages in
+/// one call — the batched face of [`step_participant`], so one scheduler
+/// dispatch (and one trip through the link's lock and fault decorator
+/// per message, but only one run-queue round trip) drains a whole burst
+/// of queued mail instead of bouncing the task through the run queue
+/// once per message.
+///
+/// The batch is a plain loop over [`step_participant`]: each message is
+/// received, fed to the session and answered in exactly the order the
+/// single-step driver would use, so fault-schedule draws, ledgers and
+/// verdicts are bit-identical to `budget == 1` (property-tested in this
+/// module and in `tests/scheduler_equivalence.rs`). The call returns
+/// early on [`SessionPoll::Idle`] (queue drained; `Progress` instead if
+/// the batch consumed at least one message first, so the scheduler
+/// re-polls before parking) or [`SessionPoll::Complete`].
+///
+/// # Panics
+///
+/// Panics if `budget` is zero — a zero-message step could neither make
+/// progress nor legitimately report `Idle`.
+pub fn step_participant_batch<L: GridLink + ?Sized>(
+    endpoint: &L,
+    session: &mut (dyn ParticipantSession + '_),
+    budget: usize,
+) -> SessionPoll {
+    assert!(budget > 0, "batched step needs a non-zero message budget");
+    for consumed in 0..budget {
+        match step_participant(endpoint, session) {
+            SessionPoll::Progress => {}
+            SessionPoll::Idle if consumed > 0 => return SessionPoll::Progress,
+            terminal => return terminal,
+        }
+    }
+    SessionPoll::Progress
+}
+
 /// Runs a participant session to completion over a blocking link — a raw
 /// [`Endpoint`] or any [`GridLink`] decorator (e.g. the fault-injecting
 /// [`FaultyEndpoint`](ugc_grid::FaultyEndpoint) of the chaos runtime).
@@ -425,5 +461,141 @@ fn recv_any(endpoints: &[&Endpoint]) -> Result<(usize, Message), SchemeError> {
         // Peers are computing; escalate from spinning to coarse sleeps
         // instead of burning a core.
         backoff.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::cbs::CbsScheme;
+    use ugc_grid::{duplex, HonestWorker, LinkStats};
+    use ugc_hash::Sha256;
+    use ugc_task::workloads::PasswordSearch;
+
+    /// Runs one honest CBS round with the participant advanced by
+    /// `step`, returning the supervisor's outcome and the participant
+    /// link's traffic counters.
+    fn cbs_round_with_stepper(
+        step: &dyn Fn(&Endpoint, &mut (dyn ParticipantSession + '_)) -> SessionPoll,
+    ) -> (SessionOutcome, LinkStats) {
+        let task = PasswordSearch::with_hidden_password(1, 42);
+        let screener = task.match_screener();
+        let scheme = CbsScheme {
+            samples: 12,
+            seed: 7,
+            report_audit: 0,
+        };
+        let (sup_ep, part_ep) = duplex();
+        std::thread::scope(|scope| {
+            let supervisor = scope.spawn(|| {
+                let mut session = VerificationScheme::<Sha256>::supervisor_session(
+                    &scheme,
+                    SupervisorContext {
+                        task: &task,
+                        screener: &screener,
+                        domain: ugc_task::Domain::new(0, 128),
+                        task_ids: vec![1],
+                        ledger: CostLedger::new(),
+                    },
+                );
+                drive_supervisor(&[&sup_ep], session.as_mut()).unwrap()
+            });
+            let mut session = VerificationScheme::<Sha256>::participant_session(
+                &scheme,
+                ParticipantContext {
+                    task: &task,
+                    screener: &screener,
+                    behaviour: &HonestWorker,
+                    storage: crate::ParticipantStorage::Full,
+                    parallelism: Parallelism::serial(),
+                    ledger: CostLedger::new(),
+                },
+            );
+            loop {
+                match step(&part_ep, session.as_mut()) {
+                    SessionPoll::Complete(result) => {
+                        assert!(result.unwrap(), "honest participant must be accepted");
+                        break;
+                    }
+                    SessionPoll::Progress => {}
+                    SessionPoll::Idle => std::thread::yield_now(),
+                }
+            }
+            let stats = part_ep.stats();
+            (supervisor.join().unwrap(), stats)
+        })
+    }
+
+    #[test]
+    fn batched_step_matches_single_step_exactly() {
+        let (single_outcome, single_stats) =
+            cbs_round_with_stepper(&|ep, session| step_participant(ep, session));
+        assert!(single_outcome.verdict.is_accepted());
+        assert_eq!(single_outcome.reports.len(), 1);
+        for budget in [1usize, 2, 4, 64] {
+            let (outcome, stats) = cbs_round_with_stepper(&move |ep, session| {
+                step_participant_batch(ep, session, budget)
+            });
+            assert_eq!(outcome, single_outcome, "budget {budget}");
+            assert_eq!(stats, single_stats, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn batch_budget_one_is_single_step() {
+        // With budget 1 the batch wrapper must be *literally* the single
+        // stepper: an empty queue reports Idle, never Progress.
+        let (_sup, part_ep) = duplex();
+        let task = PasswordSearch::with_hidden_password(1, 3);
+        let screener = task.match_screener();
+        let scheme = CbsScheme {
+            samples: 4,
+            seed: 1,
+            report_audit: 0,
+        };
+        let mut session = VerificationScheme::<Sha256>::participant_session(
+            &scheme,
+            ParticipantContext {
+                task: &task,
+                screener: &screener,
+                behaviour: &HonestWorker,
+                storage: crate::ParticipantStorage::Full,
+                parallelism: Parallelism::serial(),
+                ledger: CostLedger::new(),
+            },
+        );
+        assert!(matches!(
+            step_participant_batch(&part_ep, session.as_mut(), 1),
+            SessionPoll::Idle
+        ));
+        assert!(matches!(
+            step_participant_batch(&part_ep, session.as_mut(), 8),
+            SessionPoll::Idle
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero message budget")]
+    fn zero_budget_batch_panics() {
+        let (_sup, part_ep) = duplex();
+        let task = PasswordSearch::with_hidden_password(1, 3);
+        let screener = task.match_screener();
+        let scheme = CbsScheme {
+            samples: 4,
+            seed: 1,
+            report_audit: 0,
+        };
+        let mut session = VerificationScheme::<Sha256>::participant_session(
+            &scheme,
+            ParticipantContext {
+                task: &task,
+                screener: &screener,
+                behaviour: &HonestWorker,
+                storage: crate::ParticipantStorage::Full,
+                parallelism: Parallelism::serial(),
+                ledger: CostLedger::new(),
+            },
+        );
+        let _ = step_participant_batch(&part_ep, session.as_mut(), 0);
     }
 }

@@ -248,44 +248,64 @@ impl Broker {
     /// when momentarily idle. Messages addressed to an
     /// already-disconnected peer are dropped (the task NACKed), as a real
     /// store-and-forward broker would drop mail for a dead host; once the
-    /// supervisor is gone, undeliverable inward mail is likewise dropped
-    /// by returning — which closes the participant links and lets blocked
-    /// participants observe the disconnect.
+    /// supervisor is gone, undeliverable inward mail is likewise dropped —
+    /// and once the outward queue is drained too, the pump returns, which
+    /// closes the participant links and lets blocked participants observe
+    /// the disconnect.
     ///
     /// This is the pump a session engine runs on its own thread while it
     /// multiplexes sessions over the supervisor link.
     #[must_use]
     pub fn pump_until_closed(mut self) -> RelayStats {
-        let mut supervisor_closed = false;
+        // The supervisor hanging up is observed separately per direction,
+        // and the two sightings mean different things. Outward:
+        // `try_relay_outward` reports `Disconnected` only once the
+        // supervisor's queue is fully drained (a channel reports closure
+        // only when empty), so nothing can still need relaying down.
+        // Inward: a failed supervisor send says replies have nowhere to
+        // go — but verdicts the engine queued *before* hanging up may
+        // still be waiting on the outward side, and abandoning them would
+        // make each participant's final inbound message (and with it the
+        // fault log) a race between the engine's last sends and the
+        // round's teardown. So the inward sighting silences only the
+        // inward direction; the pump keeps draining outward until that
+        // side reports closure itself.
+        let mut outward_drained = false;
+        let mut inward_dead = false;
         let mut backoff = Backoff::new();
         loop {
             let mut progress = false;
-            if !supervisor_closed {
+            if !outward_drained {
                 match self.try_relay_outward() {
                     Ok(true) => progress = true,
                     Ok(false) => {}
-                    Err(GridError::Disconnected) => supervisor_closed = true,
+                    Err(GridError::Disconnected) => outward_drained = true,
                     // Unroutable mail is dropped, not fatal.
                     Err(_) => progress = true,
                 }
             }
-            match self.try_relay_inward() {
-                Ok(Some(_)) => progress = true,
-                Ok(None) => {}
-                Err(GridError::Disconnected) => {
-                    // Supervisor gone: inward mail has nowhere to go.
-                    supervisor_closed = true;
+            if !inward_dead {
+                match self.try_relay_inward() {
+                    Ok(Some(_)) => progress = true,
+                    Ok(None) => {}
+                    Err(GridError::Disconnected) => {
+                        // Supervisor gone: inward mail has nowhere to go.
+                        inward_dead = true;
+                    }
+                    Err(_) => progress = true,
                 }
-                Err(_) => progress = true,
             }
             if progress {
                 backoff.reset();
             } else {
-                // With the supervisor gone and the queues drained, nothing
-                // the broker could still relay is deliverable: exiting
-                // drops the participant links, which is what unblocks any
-                // participant still waiting on an orphaned session.
-                if supervisor_closed {
+                // With the supervisor gone and its outward queue drained,
+                // nothing the broker could still relay is deliverable:
+                // exiting drops the participant links, which is what
+                // unblocks any participant still waiting on an orphaned
+                // session. (Once the outward side reports closure, the
+                // next inward attempt fails its send and the loop falls
+                // through to here.)
+                if outward_drained {
                     return self.stats;
                 }
                 // Long idle (peers are computing): escalate from spinning

@@ -120,7 +120,11 @@ pub struct Throughput {
     /// Verification sessions completed (attempts, including retried
     /// ones).
     pub sessions: u64,
-    /// Supervisor-side bytes moved (sent + received, all attempts).
+    /// Supervisor-side bytes moved (sent + received) by attempts that
+    /// settled successfully. Failed attempts are excluded: their traffic
+    /// is cut off mid-protocol by the failure, and how much of it the
+    /// supervisor observed before the cut is a scheduling race — the
+    /// successful-attempt total is the part that replays bit-identically.
     pub bytes: u64,
 }
 

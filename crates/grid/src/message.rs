@@ -56,6 +56,18 @@ impl SampleProof {
         }
     }
 
+    /// Exact encoded size in bytes, without encoding.
+    fn encoded_len(&self) -> usize {
+        8 + (8 + self.leaf_value.len())
+            + (8 + self.leaf_sibling.len())
+            + 8
+            + self
+                .digest_siblings
+                .iter()
+                .map(|d| 8 + d.len())
+                .sum::<usize>()
+    }
+
     fn decode(buf: &mut &[u8]) -> Result<Self, GridError> {
         let index = get_u64(buf, "proof.index")?;
         let leaf_value = get_bytes(buf, "proof.leaf_value")?;
@@ -192,33 +204,43 @@ const TAG_SESSION: u8 = 11;
 const TAG_GONE: u8 = 12;
 
 impl Message {
-    /// Encodes the message to its wire form.
+    /// Encodes the message to its wire form in one exact-capacity
+    /// allocation (sized by [`encoded_len`](Self::encoded_len)).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the message's wire form to `buf` — the zero-alloc hot
+    /// path. Callers that reuse a buffer (or assemble an envelope around
+    /// a payload, like [`Message::Session`]) pay no allocation here
+    /// beyond whatever growth `buf` itself needs.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Message::Assign(a) => {
                 buf.push(TAG_ASSIGN);
-                put_u64(&mut buf, a.task_id);
-                put_u64(&mut buf, a.domain.start());
-                put_u64(&mut buf, a.domain.len());
+                put_u64(buf, a.task_id);
+                put_u64(buf, a.domain.start());
+                put_u64(buf, a.domain.len());
             }
             Message::Commit { task_id, root } => {
                 buf.push(TAG_COMMIT);
-                put_u64(&mut buf, *task_id);
-                put_bytes(&mut buf, root);
+                put_u64(buf, *task_id);
+                put_bytes(buf, root);
             }
             Message::Challenge { task_id, samples } => {
                 buf.push(TAG_CHALLENGE);
-                put_u64(&mut buf, *task_id);
-                put_u64_list(&mut buf, samples);
+                put_u64(buf, *task_id);
+                put_u64_list(buf, samples);
             }
             Message::Proofs { task_id, proofs } => {
                 buf.push(TAG_PROOFS);
-                put_u64(&mut buf, *task_id);
-                put_u64(&mut buf, proofs.len() as u64);
+                put_u64(buf, *task_id);
+                put_u64(buf, proofs.len() as u64);
                 for p in proofs {
-                    p.encode(&mut buf);
+                    p.encode(buf);
                 }
             }
             Message::CommitAndProofs {
@@ -227,11 +249,11 @@ impl Message {
                 proofs,
             } => {
                 buf.push(TAG_COMMIT_AND_PROOFS);
-                put_u64(&mut buf, *task_id);
-                put_bytes(&mut buf, root);
-                put_u64(&mut buf, proofs.len() as u64);
+                put_u64(buf, *task_id);
+                put_bytes(buf, root);
+                put_u64(buf, proofs.len() as u64);
                 for p in proofs {
-                    p.encode(&mut buf);
+                    p.encode(buf);
                 }
             }
             Message::AllResults {
@@ -240,35 +262,35 @@ impl Message {
                 data,
             } => {
                 buf.push(TAG_ALL_RESULTS);
-                put_u64(&mut buf, *task_id);
-                put_u32(&mut buf, *leaf_width);
-                put_bytes(&mut buf, data);
+                put_u64(buf, *task_id);
+                put_u32(buf, *leaf_width);
+                put_bytes(buf, data);
             }
             Message::Reports { task_id, reports } => {
                 buf.push(TAG_REPORTS);
-                put_u64(&mut buf, *task_id);
-                put_u64(&mut buf, reports.len() as u64);
+                put_u64(buf, *task_id);
+                put_u64(buf, reports.len() as u64);
                 for (input, payload) in reports {
-                    put_u64(&mut buf, *input);
-                    put_bytes(&mut buf, payload);
+                    put_u64(buf, *input);
+                    put_bytes(buf, payload);
                 }
             }
             Message::RingerChallenge { task_id, ringers } => {
                 buf.push(TAG_RINGER_CHALLENGE);
-                put_u64(&mut buf, *task_id);
-                put_u64(&mut buf, ringers.len() as u64);
+                put_u64(buf, *task_id);
+                put_u64(buf, ringers.len() as u64);
                 for r in ringers {
-                    put_bytes(&mut buf, r);
+                    put_bytes(buf, r);
                 }
             }
             Message::RingerFound { task_id, inputs } => {
                 buf.push(TAG_RINGER_FOUND);
-                put_u64(&mut buf, *task_id);
-                put_u64_list(&mut buf, inputs);
+                put_u64(buf, *task_id);
+                put_u64_list(buf, inputs);
             }
             Message::Verdict { task_id, accepted } => {
                 buf.push(TAG_VERDICT);
-                put_u64(&mut buf, *task_id);
+                put_u64(buf, *task_id);
                 buf.push(u8::from(*accepted));
             }
             Message::Session {
@@ -280,15 +302,51 @@ impl Message {
                     "session envelopes must not nest"
                 );
                 buf.push(TAG_SESSION);
-                put_u64(&mut buf, *session_id);
-                buf.extend_from_slice(&payload.encode());
+                put_u64(buf, *session_id);
+                // Zero-alloc envelope: the payload encodes straight into
+                // the same buffer instead of via a nested Vec.
+                payload.encode_into(buf);
             }
             Message::Gone { task_id } => {
                 buf.push(TAG_GONE);
-                put_u64(&mut buf, *task_id);
+                put_u64(buf, *task_id);
             }
         }
-        buf
+    }
+
+    /// Exact encoded size in bytes, computed without encoding — what
+    /// [`encode`](Self::encode) pre-allocates and what
+    /// [`wire_len`](Self::wire_len) charges.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Message::Assign(_) => 24,
+            Message::Commit { root, .. } => 8 + (8 + root.len()),
+            Message::Challenge { samples, .. } => 8 + 8 + 8 * samples.len(),
+            Message::Proofs { proofs, .. } => {
+                8 + 8 + proofs.iter().map(SampleProof::encoded_len).sum::<usize>()
+            }
+            Message::CommitAndProofs { root, proofs, .. } => {
+                8 + (8 + root.len())
+                    + 8
+                    + proofs.iter().map(SampleProof::encoded_len).sum::<usize>()
+            }
+            Message::AllResults { data, .. } => 8 + 4 + (8 + data.len()),
+            Message::Reports { reports, .. } => {
+                8 + 8
+                    + reports
+                        .iter()
+                        .map(|(_, payload)| 8 + (8 + payload.len()))
+                        .sum::<usize>()
+            }
+            Message::RingerChallenge { ringers, .. } => {
+                8 + 8 + ringers.iter().map(|r| 8 + r.len()).sum::<usize>()
+            }
+            Message::RingerFound { inputs, .. } => 8 + 8 + 8 * inputs.len(),
+            Message::Verdict { .. } => 8 + 1,
+            Message::Session { payload, .. } => 8 + payload.encoded_len(),
+            Message::Gone { .. } => 8,
+        }
     }
 
     /// Decodes a message from its wire form.
@@ -430,10 +488,11 @@ impl Message {
         })
     }
 
-    /// Encoded size in bytes (what the transport will charge).
+    /// Encoded size in bytes (what the transport will charge), computed
+    /// without allocating.
     #[must_use]
     pub fn wire_len(&self) -> u64 {
-        self.encode().len() as u64
+        self.encoded_len() as u64
     }
 
     /// The task this message concerns (an envelope answers for its
@@ -717,6 +776,32 @@ mod tests {
         for msg in all_messages() {
             assert_eq!(msg.wire_len(), msg.encode().len() as u64);
         }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_variant() {
+        // encode() pre-allocates encoded_len() bytes; if the computed
+        // size ever drifted from the actual encoding, either byte
+        // accounting (wire_len) or the exact-capacity claim would lie.
+        for msg in all_messages() {
+            let encoded = msg.encode();
+            assert_eq!(msg.encoded_len(), encoded.len(), "{msg:?}");
+            assert_eq!(encoded.capacity(), encoded.len(), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_without_rewriting() {
+        // The zero-alloc path appends to whatever is already in the
+        // buffer, so a caller can reuse one Vec across frames.
+        let mut buf = vec![0xAA, 0xBB];
+        let msg = Message::Verdict {
+            task_id: 9,
+            accepted: true,
+        };
+        msg.encode_into(&mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(&buf[2..], msg.encode().as_slice());
     }
 
     #[test]

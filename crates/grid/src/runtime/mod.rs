@@ -97,6 +97,12 @@ pub struct RuntimeOptions {
     /// sleep rung and cap); the default is the historical
     /// 10 µs → 100 µs → 1 ms ladder.
     pub backoff: BackoffPolicy,
+    /// Seed for the scheduler's work-stealing victim order.
+    /// Scheduling-only: any seed produces identical verdicts, fault logs
+    /// and byte counts (property-tested in
+    /// `tests/scheduler_equivalence.rs`), so this knob exists to prove
+    /// that invariant, not to tune throughput.
+    pub steal_seed: u64,
 }
 
 impl RuntimeOptions {
@@ -128,6 +134,14 @@ impl RuntimeOptions {
     #[must_use]
     pub const fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
         self.backoff = policy;
+        self
+    }
+
+    /// Seeds the scheduler's work-stealing victim order. Scheduling-only:
+    /// digests are identical under any seed.
+    #[must_use]
+    pub const fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
         self
     }
 }
@@ -180,7 +194,9 @@ where
 {
     assert!(n > 0, "runtime needs at least one participant");
     let plan = options.fault.unwrap_or(FaultPlan::quiet(0));
-    let scheduler = GridScheduler::new(options.workers.unwrap_or(n)).with_backoff(options.backoff);
+    let scheduler = GridScheduler::new(options.workers.unwrap_or(n))
+        .with_backoff(options.backoff)
+        .with_steal_seed(options.steal_seed);
     // ugc-lint: allow(wall-clock): reporting-only — feeds RuntimeReport.wall, never a verdict or schedule
     let started = Instant::now();
     let (sup_endpoint, broker_up) = duplex();

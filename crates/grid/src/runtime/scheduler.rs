@@ -1,5 +1,6 @@
 //! Cooperative participant scheduler: many poll-driven tasks over a
-//! fixed pool of OS threads.
+//! fixed pool of OS threads, with per-worker run queues and work
+//! stealing.
 //!
 //! The thread-per-participant runtime of PR 4 caps a campaign at however
 //! many OS threads the host tolerates — tens, not the "huge pool of
@@ -10,40 +11,61 @@
 //! [`GridScheduler`] multiplexes thousands of them over `workers` OS
 //! threads (default: one per available core).
 //!
+//! PR 5's scheduler funnelled every pop and push through one shared
+//! round-robin queue, so at scale the workers spent their time fighting
+//! over a single mutex. The current design shards that state per
+//! worker:
+//!
 //! ```text
-//!              ┌───────────── GridScheduler ─────────────┐
-//!   ready ──▶  │ [task 17] [task 4] [task 952] …         │  round-robin
-//!              │     ▲  pop / poll() / push  ▲           │  run-queue
-//!              │  ┌──┴───┐  ┌──────┐     ┌───┴──┐        │
-//!              │  │ wkr 0│  │ wkr 1│  …  │ wkr W│        │  fixed pool
-//!              │  └──────┘  └──────┘     └──────┘        │
-//!   parked ──▶ │ [task 3] [task 89] …  (re-queued when   │  idle tasks
-//!              │  the ready queue drains, after a shared │
-//!              │  exponential backoff)                   │
-//!              └─────────────────────────────────────────┘
+//!            ┌──────────────── GridScheduler ────────────────┐
+//!            │  wkr 0             wkr 1        …  wkr W      │
+//!            │ ┌────────┐       ┌────────┐      ┌────────┐   │
+//!   ready ─▶ │ │[t17][t4]│◀──── │[t952]… │      │[t31]…  │   │  per-worker
+//!            │ └───▲────┘ steal └────────┘      └────────┘   │  run queues
+//!            │     │ local pop (front);                      │
+//!            │     │ steals take the back half               │
+//!   parked ─▶│ [t3][t89]…  (re-queued in one batch per       │  idle tasks
+//!            │  worker — on that worker's progress or its    │
+//!            │  next idle sweep, after a shared exponential  │
+//!            │  backoff)                                     │
+//!            └───────────────────────────────────────────────┘
 //! ```
 //!
 //! Scheduling policy, in full:
 //!
-//! * **Ready queue** — tasks that reported [`TaskPoll::Progress`] cycle
-//!   round-robin through a FIFO; no task can starve another.
+//! * **Per-worker ready queues** — tasks are dealt round-robin across
+//!   the workers up front; each worker pops its own queue from the
+//!   front (FIFO, so no task on a queue can starve another on the same
+//!   queue), uncontended while every worker has local work.
+//! * **Work stealing** — a worker whose queue runs dry picks a victim
+//!   in a *seeded* pseudo-random order (SplitMix64 over the scheduler's
+//!   [`steal seed`](GridScheduler::with_steal_seed), worker index and
+//!   sweep count — no ambient RNG, so a replay walks the same victim
+//!   sequence) and steals the back half of the victim's ready queue in
+//!   one lock acquisition. Scheduling-only: verdicts, fault logs and
+//!   byte counts are interleaving-independent by construction, so the
+//!   steal order can never reach a digest.
 //! * **Parked list** — a task that reported [`TaskPoll::Idle`] (nothing
-//!   to receive right now) is set aside so it stops consuming a worker.
-//! * **Wake-up** — any completed poll that made progress re-queues the
-//!   parked list (new traffic may have arrived for anyone); when every
-//!   task is parked, workers wait on the shared exponential
-//!   [`Backoff`] ladder (yield → 10 µs → 100 µs → 1 ms)
-//!   before re-queueing, so a fully idle pool costs ~zero CPU while a
-//!   busy one reacts in nanoseconds.
+//!   to receive right now) is set aside on the polling worker's parked
+//!   list so it stops consuming a worker.
+//! * **Wake-up, batched per worker** — when a worker makes progress (or
+//!   completes a task), it re-queues *its own* parked list in a single
+//!   batch under one lock; an idle worker does the same after each
+//!   backoff sweep. Parked tasks re-enter that worker's ready queue and
+//!   can be stolen from there like any other work. When every task is
+//!   parked, workers wait on the shared exponential [`Backoff`] ladder
+//!   (yield → 10 µs → 100 µs → 1 ms), so a fully idle pool costs ~zero
+//!   CPU while a busy one reacts in nanoseconds.
 //! * **Completion** — [`TaskPoll::Complete`] removes the task; the run
 //!   ends when none remain, and [`GridScheduler::run`] hands every task
 //!   back in its original order so callers can harvest results.
 //!
-//! Determinism: the scheduler adds no randomness of its own, and the
-//! fault-injection layer keys every decision on per-link sequence
-//! numbers, so a campaign's fault log and verdicts are identical at any
-//! worker count — property-tested in `tests/scheduler_equivalence.rs`
-//! and `tests/scale_soak.rs` at `workers ∈ {1, 4, participants}`.
+//! Determinism: the scheduler's only pseudo-randomness is the seeded
+//! steal order, and the fault-injection layer keys every decision on
+//! per-link sequence numbers, so a campaign's fault log and verdicts
+//! are identical at any worker count *and any steal seed* —
+//! property-tested in `tests/scheduler_equivalence.rs` and
+//! `tests/scale_soak.rs` at `workers ∈ {1, 4, 8, participants}`.
 //!
 //! # Example
 //!
@@ -83,7 +105,7 @@
 
 use crate::{Backoff, BackoffPolicy};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// What one [`GridTask::poll`] call accomplished.
@@ -113,38 +135,66 @@ pub trait GridTask: Send {
     fn poll(&mut self) -> TaskPoll;
 }
 
-/// Shared run-queue state: which tasks are runnable, which are parked,
-/// which are done.
-struct RunQueue<T> {
-    /// Runnable tasks, polled round-robin (FIFO), tagged with their
-    /// original index.
+/// One worker's shard of the run-queue state. The owner pops `ready`
+/// from the front; thieves split off its back half. `parked` is only
+/// ever touched by the worker that owns the shard.
+struct LocalQueue<T> {
+    /// Runnable tasks tagged with their original index.
     ready: VecDeque<(usize, T)>,
-    /// Tasks that had nothing to do on their last poll; re-queued on the
-    /// pool's next wake-up.
+    /// Tasks that had nothing to do on their last poll; re-queued in one
+    /// batch on this worker's next progress or idle sweep.
     parked: Vec<(usize, T)>,
+}
+
+/// State shared by the whole pool.
+struct Pool<T> {
+    /// One run-queue shard per worker.
+    locals: Vec<Mutex<LocalQueue<T>>>,
     /// Completed tasks, parked at their original index.
-    finished: Vec<Option<T>>,
+    finished: Mutex<Vec<Option<T>>>,
     /// Tasks not yet complete (including any currently inside a worker's
     /// `poll` call).
-    remaining: usize,
+    remaining: AtomicUsize,
+    /// Bumped on every poll that made progress (or completed a task):
+    /// sleeping workers compare generations to reset their backoff the
+    /// moment the pool is busy again.
+    progress: AtomicU64,
 }
 
-impl<T> RunQueue<T> {
-    /// Moves every parked task back onto the ready queue.
-    fn requeue_parked(&mut self) {
-        let parked = std::mem::take(&mut self.parked);
-        self.ready.extend(parked);
-    }
+/// One SplitMix64 step — the steal-order generator. Seeded and
+/// self-contained (no ambient RNG), so every replay of a campaign walks
+/// the identical victim sequence.
+fn next_steal(rng: &mut u64) -> u64 {
+    *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *rng;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-/// A cooperative scheduler multiplexing [`GridTask`]s over a fixed pool
-/// of OS threads.
+/// The seeded per-worker steal-order state: deterministic for a given
+/// `(steal_seed, worker)` pair, distinct across workers so they do not
+/// all mob the same victim.
+fn steal_rng(steal_seed: u64, worker: usize) -> u64 {
+    steal_seed ^ (worker as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Which victim a steal sweep starts from: a seeded offset into the
+/// `others` workers that are not the thief. The narrowing cast is safe:
+/// the modulus is a worker count, far below `u32::MAX`.
+fn steal_start(rng: &mut u64, others: usize) -> usize {
+    (next_steal(rng) % others as u64) as usize
+}
+
+/// A cooperative work-stealing scheduler multiplexing [`GridTask`]s over
+/// a fixed pool of OS threads.
 ///
 /// See the [module docs](self) for the scheduling policy and an example.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridScheduler {
     workers: usize,
     backoff: BackoffPolicy,
+    steal_seed: u64,
 }
 
 impl Default for GridScheduler {
@@ -162,15 +212,27 @@ impl GridScheduler {
         GridScheduler {
             workers: if workers == 0 { 1 } else { workers },
             backoff: BackoffPolicy::new(10, 1_000),
+            steal_seed: 0,
         }
     }
 
     /// Reshapes the idle-backoff ladder the pool's workers climb while
-    /// the ready queue is dry. Timing-only: scheduling order and results
-    /// are unaffected.
+    /// their ready queues are dry. Timing-only: scheduling order and
+    /// results are unaffected.
     #[must_use]
     pub const fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
         self.backoff = policy;
+        self
+    }
+
+    /// Seeds the pseudo-random (SplitMix64) victim order workers walk
+    /// when they steal. Scheduling-only: any seed yields the same task
+    /// results, fault logs and byte counts — property-tested in
+    /// `tests/scheduler_equivalence.rs` — so this knob exists to *prove*
+    /// that, not to tune anything.
+    #[must_use]
+    pub const fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
         self
     }
 
@@ -187,12 +249,20 @@ impl GridScheduler {
         self.workers
     }
 
+    /// The configured steal-order seed.
+    #[must_use]
+    pub const fn steal_seed(&self) -> u64 {
+        self.steal_seed
+    }
+
     /// Runs every task to [`TaskPoll::Complete`], returning the tasks in
     /// their original order so callers can harvest per-task results.
     ///
     /// The pool spawns `min(workers, tasks.len())` scoped threads; the
-    /// calling thread only coordinates. Panics in a task's `poll`
-    /// propagate as a panic here (the run cannot meaningfully continue).
+    /// calling thread only coordinates. Tasks are dealt round-robin
+    /// across the workers' ready queues up front; imbalance is repaired
+    /// by stealing. Panics in a task's `poll` propagate as a panic here
+    /// (the run cannot meaningfully continue).
     ///
     /// # Panics
     ///
@@ -203,26 +273,34 @@ impl GridScheduler {
             return tasks;
         }
         let count = tasks.len();
-        let queue = Mutex::new(RunQueue {
-            ready: tasks.into_iter().enumerate().collect(),
-            parked: Vec::new(),
-            finished: (0..count).map(|_| None).collect(),
-            remaining: count,
-        });
-        // Bumped on every poll that made progress (or completed a task):
-        // sleeping workers compare generations to reset their backoff the
-        // moment the pool is busy again.
-        let progress = AtomicU64::new(0);
-        let pool = self.workers.min(count);
+        let workers = self.workers.min(count);
+        let mut locals: Vec<LocalQueue<T>> = (0..workers)
+            .map(|_| LocalQueue {
+                ready: VecDeque::new(),
+                parked: Vec::new(),
+            })
+            .collect();
+        for (index, task) in tasks.into_iter().enumerate() {
+            locals[index % workers].ready.push_back((index, task));
+        }
+        let pool = Pool {
+            locals: locals.into_iter().map(Mutex::new).collect(),
+            finished: Mutex::new((0..count).map(|_| None).collect()),
+            remaining: AtomicUsize::new(count),
+            progress: AtomicU64::new(0),
+        };
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..pool)
-                .map(|_| scope.spawn(|| worker_loop(&queue, &progress, self.backoff)))
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let pool = &pool;
+                    scope.spawn(move || worker_loop(pool, me, self.steal_seed, self.backoff))
+                })
                 .collect();
             for handle in handles {
                 handle.join().expect("scheduler worker panicked");
             }
         });
-        let finished = queue.into_inner().expect("run queue poisoned").finished;
+        let finished = pool.finished.into_inner().expect("finished list poisoned");
         finished
             .into_iter()
             .map(|t| t.expect("every task completed"))
@@ -230,65 +308,100 @@ impl GridScheduler {
     }
 }
 
-fn lock<T>(queue: &Mutex<RunQueue<T>>) -> MutexGuard<'_, RunQueue<T>> {
+fn lock<T>(queue: &Mutex<LocalQueue<T>>) -> MutexGuard<'_, LocalQueue<T>> {
     queue.lock().expect("run queue poisoned")
 }
 
-/// One worker: pop a ready task, poll it outside the lock, act on the
-/// verdict; when the ready queue is dry, climb the backoff ladder and
-/// re-queue the parked list.
-fn worker_loop<T: GridTask>(
-    queue: &Mutex<RunQueue<T>>,
-    progress: &AtomicU64,
-    policy: BackoffPolicy,
-) {
-    let mut backoff = Backoff::with_policy(policy);
-    let mut seen = progress.load(Ordering::Acquire);
-    loop {
-        let job = {
-            let mut q = lock(queue);
-            if q.remaining == 0 {
-                return;
+/// Moves the worker's whole parked list back onto its ready queue in one
+/// batch (one lock acquisition) — the batched wake-up.
+fn requeue_parked<T>(q: &mut LocalQueue<T>) {
+    let parked = std::mem::take(&mut q.parked);
+    q.ready.extend(parked);
+}
+
+/// Attempts to steal work for worker `me`: walks the other workers in a
+/// seeded pseudo-random order and splits off the back half of the first
+/// non-empty ready queue found. Returns one task to run now; the rest of
+/// the batch lands on `me`'s own queue.
+fn steal<T>(pool: &Pool<T>, me: usize, rng: &mut u64) -> Option<(usize, T)> {
+    let n = pool.locals.len();
+    if n <= 1 {
+        return None;
+    }
+    let start = steal_start(rng, n - 1);
+    for step in 0..n - 1 {
+        let victim = (me + 1 + (start + step) % (n - 1)) % n;
+        let mut grabbed = {
+            let mut q = lock(&pool.locals[victim]);
+            let len = q.ready.len();
+            if len == 0 {
+                continue;
             }
-            q.ready.pop_front()
+            q.ready.split_off(len - len.div_ceil(2))
+        };
+        let first = grabbed.pop_front().expect("steal batch is non-empty");
+        if !grabbed.is_empty() {
+            lock(&pool.locals[me]).ready.extend(grabbed);
+        }
+        return Some(first);
+    }
+    None
+}
+
+/// One worker: pop the local ready queue (stealing when it runs dry),
+/// poll the task outside any lock, act on the verdict; when no work is
+/// reachable anywhere, climb the backoff ladder and re-queue the local
+/// parked list in one batch.
+fn worker_loop<T: GridTask>(pool: &Pool<T>, me: usize, steal_seed: u64, policy: BackoffPolicy) {
+    let mut backoff = Backoff::with_policy(policy);
+    let mut seen = pool.progress.load(Ordering::Acquire);
+    let mut rng = steal_rng(steal_seed, me);
+    loop {
+        if pool.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let job = {
+            let popped = lock(&pool.locals[me]).ready.pop_front();
+            match popped {
+                Some(job) => Some(job),
+                None => steal(pool, me, &mut rng),
+            }
         };
         let Some((index, mut task)) = job else {
-            // Every task is parked or inside another worker. Wait on the
-            // shared ladder (resetting if the pool made progress since we
-            // last looked), then wake the parked list for a fresh sweep.
-            let now = progress.load(Ordering::Acquire);
+            // Nothing runnable anywhere visible. Wait on the shared
+            // ladder (resetting if the pool made progress since we last
+            // looked), then wake our parked batch for a fresh sweep.
+            let now = pool.progress.load(Ordering::Acquire);
             if now != seen {
                 seen = now;
                 backoff.reset();
             }
             backoff.wait();
-            let mut q = lock(queue);
-            if q.remaining == 0 {
-                return;
-            }
-            q.requeue_parked();
+            requeue_parked(&mut lock(&pool.locals[me]));
             continue;
         };
         match task.poll() {
             TaskPoll::Progress => {
-                progress.fetch_add(1, Ordering::Release);
+                pool.progress.fetch_add(1, Ordering::Release);
                 backoff.reset();
-                let mut q = lock(queue);
+                let mut q = lock(&pool.locals[me]);
                 q.ready.push_back((index, task));
-                // Progress usually means traffic flowed: give parked
-                // tasks a chance to see their share of it.
-                q.requeue_parked();
+                // Progress usually means traffic flowed: wake this
+                // worker's parked batch so they see their share of it.
+                requeue_parked(&mut q);
             }
             TaskPoll::Idle => {
-                lock(queue).parked.push((index, task));
+                lock(&pool.locals[me]).parked.push((index, task));
             }
             TaskPoll::Complete => {
-                progress.fetch_add(1, Ordering::Release);
+                pool.progress.fetch_add(1, Ordering::Release);
                 backoff.reset();
-                let mut q = lock(queue);
-                q.finished[index] = Some(task);
-                q.remaining -= 1;
-                q.requeue_parked();
+                {
+                    let mut done = pool.finished.lock().expect("finished list poisoned");
+                    done[index] = Some(task);
+                }
+                pool.remaining.fetch_sub(1, Ordering::AcqRel);
+                requeue_parked(&mut lock(&pool.locals[me]));
             }
         }
     }
@@ -395,6 +508,41 @@ mod tests {
     }
 
     #[test]
+    fn dependency_chain_crosses_worker_queues() {
+        // The same dependency chain, but spread over more workers than
+        // tasks-with-work at any instant: completing it requires parked
+        // tasks on one worker's shard to be woken while other workers
+        // sit idle — the cross-shard steal/requeue interplay.
+        struct Waiter<'a> {
+            done: &'a AtomicUsize,
+            needs: usize,
+        }
+        impl GridTask for Waiter<'_> {
+            fn poll(&mut self) -> TaskPoll {
+                if self.needs == 0 {
+                    self.done.fetch_add(1, Ordering::SeqCst);
+                    return TaskPoll::Complete;
+                }
+                if self.done.load(Ordering::SeqCst) >= self.needs {
+                    self.needs = 0;
+                    return TaskPoll::Progress;
+                }
+                TaskPoll::Idle
+            }
+        }
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<Waiter<'_>> = (0..24)
+            .map(|i| Waiter {
+                done: &done,
+                needs: i,
+            })
+            .collect();
+        let finished = GridScheduler::new(8).run(tasks);
+        assert_eq!(finished.len(), 24);
+        assert_eq!(done.load(Ordering::SeqCst), 24);
+    }
+
+    #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(GridScheduler::new(0).workers(), 1);
         let in_flight = AtomicUsize::new(0);
@@ -419,5 +567,57 @@ mod tests {
             GridScheduler::default().workers(),
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         );
+    }
+
+    #[test]
+    fn steal_order_is_deterministic_per_seed_and_worker() {
+        // The victim sequence is a pure function of (steal_seed, worker):
+        // replaying the same seed walks the same victims, different seeds
+        // or workers walk different ones (no ambient entropy anywhere).
+        let sequence = |seed: u64, worker: usize| -> Vec<usize> {
+            let mut rng = steal_rng(seed, worker);
+            (0..64).map(|_| steal_start(&mut rng, 7)).collect()
+        };
+        assert_eq!(sequence(0x5EED, 0), sequence(0x5EED, 0));
+        assert_eq!(sequence(0x5EED, 3), sequence(0x5EED, 3));
+        assert_ne!(sequence(0x5EED, 0), sequence(0x5EED, 1));
+        assert_ne!(sequence(0x5EED, 0), sequence(0xBEEF, 0));
+        // Every start stays inside the victim range.
+        assert!(sequence(0x5EED, 2).iter().all(|&s| s < 7));
+    }
+
+    #[test]
+    fn steal_seed_never_changes_results() {
+        // The steal order decides who runs what where — never what any
+        // task computes. Same tasks, different seeds, identical results.
+        let run = |seed: u64| -> Vec<u32> {
+            let in_flight = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            let tasks: Vec<Step<'_>> = (0..200)
+                .map(|i| Step {
+                    steps: i % 11,
+                    in_flight: &in_flight,
+                    peak: &peak,
+                })
+                .collect();
+            GridScheduler::new(4)
+                .with_steal_seed(seed)
+                .run(tasks)
+                .iter()
+                .map(|t| t.steps)
+                .collect()
+        };
+        let reference = run(0);
+        for seed in [1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(reference, run(seed), "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_steal_seed() {
+        let scheduler = GridScheduler::new(4).with_steal_seed(42);
+        assert_eq!(scheduler.steal_seed(), 42);
+        assert_eq!(scheduler.workers(), 4);
+        assert_eq!(GridScheduler::new(4).steal_seed(), 0);
     }
 }

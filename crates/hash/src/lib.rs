@@ -110,6 +110,11 @@ pub trait HashFunction: Clone + Send + Sync + 'static {
     fn finalize(state: Self::State) -> Self::Digest;
 
     /// Hashes a single byte string.
+    ///
+    /// [`Md5`], [`Sha1`] and [`Sha256`] override the default streaming
+    /// implementation with a multi-block kernel that compresses every
+    /// full block straight out of `data` (no staging copy) and pads the
+    /// tail on the stack.
     fn digest(data: &[u8]) -> Self::Digest {
         let mut st = Self::new_state();
         Self::update(&mut st, data);

@@ -73,6 +73,18 @@ fn compress(h: &mut [u32; 4], block: &[u8; 64]) {
     h[3] = h[3].wrapping_add(d);
 }
 
+/// Multi-block compression kernel: feeds every full 64-byte block of
+/// `data` to [`compress`] directly from the input slice — no per-block
+/// staging copy, one dispatch for the whole run — and returns the
+/// unconsumed tail (`< 64` bytes).
+fn compress_blocks<'a>(h: &mut [u32; 4], data: &'a [u8]) -> &'a [u8] {
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        compress(h, block.try_into().expect("64-byte block"));
+    }
+    blocks.remainder()
+}
+
 /// Serialises the working state into the little-endian digest.
 fn digest_from_words(h: &[u32; 4]) -> [u8; 16] {
     let mut out = [0u8; 16];
@@ -122,12 +134,7 @@ impl Md5State {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
-        }
+        data = compress_blocks(&mut self.h, data);
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
             self.buf_len = data.len();
@@ -187,6 +194,22 @@ impl HashFunction for Md5 {
         state.complete()
     }
 
+    /// One-shot multi-block fast path: every full block is compressed
+    /// straight out of `data` (no streaming-state staging copy) and the
+    /// padded tail — at most two blocks — is assembled on the stack.
+    fn digest(data: &[u8]) -> [u8; 16] {
+        let mut h = IV;
+        let tail = compress_blocks(&mut h, data);
+        let mut buf = [0u8; 128];
+        buf[..tail.len()].copy_from_slice(tail);
+        buf[tail.len()] = 0x80;
+        let end = if tail.len() < 56 { 64 } else { 128 };
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        buf[end - 8..end].copy_from_slice(&bit_len.to_le_bytes());
+        compress_blocks(&mut h, &buf[..end]);
+        digest_from_words(&h)
+    }
+
     /// Merkle inner-node fast path; see [`Sha256::digest_pair`](crate::Sha256)
     /// — identical layout with MD5's compression, IV and little-endian
     /// length.
@@ -202,10 +225,7 @@ impl HashFunction for Md5 {
         let end = if total < 56 { 64 } else { 128 };
         buf[end - 8..end].copy_from_slice(&((total as u64) * 8).to_le_bytes());
         let mut h = IV;
-        compress(&mut h, buf[..64].try_into().expect("64-byte block"));
-        if end == 128 {
-            compress(&mut h, buf[64..].try_into().expect("64-byte block"));
-        }
+        compress_blocks(&mut h, &buf[..end]);
         digest_from_words(&h)
     }
 
@@ -297,6 +317,18 @@ mod tests {
     fn million_a() {
         let data = vec![b'a'; 1_000_000];
         assert_eq!(md5_hex(&data), "7707d6ae4e027c70eea2a935c2296f21");
+    }
+
+    #[test]
+    fn multi_block_oneshot_matches_streaming_state() {
+        for len in (0usize..=260).chain([1000, 4096, 65537]) {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 249) as u8).collect();
+            let mut st = Md5::new_state();
+            for piece in data.chunks(61) {
+                Md5::update(&mut st, piece);
+            }
+            assert_eq!(Md5::finalize(st), Md5::digest(&data), "len {len}");
+        }
     }
 
     #[test]

@@ -57,6 +57,18 @@ fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
     h[4] = h[4].wrapping_add(e);
 }
 
+/// Multi-block compression kernel: feeds every full 64-byte block of
+/// `data` to [`compress`] directly from the input slice — no per-block
+/// staging copy, one dispatch for the whole run — and returns the
+/// unconsumed tail (`< 64` bytes).
+fn compress_blocks<'a>(h: &mut [u32; 5], data: &'a [u8]) -> &'a [u8] {
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        compress(h, block.try_into().expect("64-byte block"));
+    }
+    blocks.remainder()
+}
+
 /// Serialises the working state into the big-endian digest.
 fn digest_from_words(h: &[u32; 5]) -> [u8; 20] {
     let mut out = [0u8; 20];
@@ -105,12 +117,7 @@ impl Sha1State {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
-        }
+        data = compress_blocks(&mut self.h, data);
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
             self.buf_len = data.len();
@@ -168,6 +175,22 @@ impl HashFunction for Sha1 {
         state.complete()
     }
 
+    /// One-shot multi-block fast path: every full block is compressed
+    /// straight out of `data` (no streaming-state staging copy) and the
+    /// padded tail — at most two blocks — is assembled on the stack.
+    fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = IV;
+        let tail = compress_blocks(&mut h, data);
+        let mut buf = [0u8; 128];
+        buf[..tail.len()].copy_from_slice(tail);
+        buf[tail.len()] = 0x80;
+        let end = if tail.len() < 56 { 64 } else { 128 };
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        buf[end - 8..end].copy_from_slice(&bit_len.to_be_bytes());
+        compress_blocks(&mut h, &buf[..end]);
+        digest_from_words(&h)
+    }
+
     /// Merkle inner-node fast path; see [`Sha256::digest_pair`](crate::Sha256)
     /// — identical layout with SHA-1's compression and IV.
     fn digest_pair(a: &[u8], b: &[u8]) -> [u8; 20] {
@@ -182,10 +205,7 @@ impl HashFunction for Sha1 {
         let end = if total < 56 { 64 } else { 128 };
         buf[end - 8..end].copy_from_slice(&((total as u64) * 8).to_be_bytes());
         let mut h = IV;
-        compress(&mut h, buf[..64].try_into().expect("64-byte block"));
-        if end == 128 {
-            compress(&mut h, buf[64..].try_into().expect("64-byte block"));
-        }
+        compress_blocks(&mut h, &buf[..end]);
         digest_from_words(&h)
     }
 
@@ -261,6 +281,18 @@ mod tests {
             let mut st = Sha1::new_state();
             Sha1::update(&mut st, &data[..len / 3]);
             Sha1::update(&mut st, &data[len / 3..]);
+            assert_eq!(Sha1::finalize(st), Sha1::digest(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn multi_block_oneshot_matches_streaming_state() {
+        for len in (0usize..=260).chain([1000, 4096, 65537]) {
+            let data: Vec<u8> = (0..len).map(|i| (i * 29 % 253) as u8).collect();
+            let mut st = Sha1::new_state();
+            for piece in data.chunks(61) {
+                Sha1::update(&mut st, piece);
+            }
             assert_eq!(Sha1::finalize(st), Sha1::digest(&data), "len {len}");
         }
     }

@@ -88,6 +88,18 @@ fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
     h[7] = h[7].wrapping_add(hh);
 }
 
+/// Multi-block compression kernel: feeds every full 64-byte block of
+/// `data` to [`compress`] directly from the input slice — no per-block
+/// staging copy, one dispatch for the whole run — and returns the
+/// unconsumed tail (`< 64` bytes).
+fn compress_blocks<'a>(h: &mut [u32; 8], data: &'a [u8]) -> &'a [u8] {
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        compress(h, block.try_into().expect("64-byte block"));
+    }
+    blocks.remainder()
+}
+
 /// Serialises the working state into the big-endian digest.
 fn digest_from_words(h: &[u32; 8]) -> [u8; 32] {
     let mut out = [0u8; 32];
@@ -136,12 +148,7 @@ impl Sha256State {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
-        }
+        data = compress_blocks(&mut self.h, data);
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
             self.buf_len = data.len();
@@ -199,6 +206,22 @@ impl HashFunction for Sha256 {
         state.complete()
     }
 
+    /// One-shot multi-block fast path: every full block is compressed
+    /// straight out of `data` (no streaming-state staging copy) and the
+    /// padded tail — at most two blocks — is assembled on the stack.
+    fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = IV;
+        let tail = compress_blocks(&mut h, data);
+        let mut buf = [0u8; 128];
+        buf[..tail.len()].copy_from_slice(tail);
+        buf[tail.len()] = 0x80;
+        let end = if tail.len() < 56 { 64 } else { 128 };
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        buf[end - 8..end].copy_from_slice(&bit_len.to_be_bytes());
+        compress_blocks(&mut h, &buf[..end]);
+        digest_from_words(&h)
+    }
+
     /// Merkle inner-node fast path: `a || b` plus its padding is assembled
     /// directly on the stack (at most two blocks for a total of ≤ 119
     /// bytes), skipping the streaming state entirely.
@@ -215,10 +238,7 @@ impl HashFunction for Sha256 {
         let end = if total < 56 { 64 } else { 128 };
         buf[end - 8..end].copy_from_slice(&((total as u64) * 8).to_be_bytes());
         let mut h = IV;
-        compress(&mut h, buf[..64].try_into().expect("64-byte block"));
-        if end == 128 {
-            compress(&mut h, buf[64..].try_into().expect("64-byte block"));
-        }
+        compress_blocks(&mut h, &buf[..end]);
         digest_from_words(&h)
     }
 
@@ -312,6 +332,22 @@ mod tests {
     #[test]
     fn digest_pair_is_concatenation() {
         assert_eq!(Sha256::digest_pair(b"a", b"bc"), Sha256::digest(b"abc"));
+    }
+
+    #[test]
+    fn multi_block_oneshot_matches_streaming_state() {
+        // The one-shot digest compresses whole blocks straight from the
+        // input; the streaming state buffers unaligned pieces. Both must
+        // agree at every length around the block and padding boundaries
+        // and far beyond them.
+        for len in (0usize..=260).chain([1000, 4096, 65536, 65537]) {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let mut st = Sha256::new_state();
+            for piece in data.chunks(61) {
+                Sha256::update(&mut st, piece);
+            }
+            assert_eq!(Sha256::finalize(st), Sha256::digest(&data), "len {len}");
+        }
     }
 
     #[test]

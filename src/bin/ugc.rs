@@ -50,7 +50,7 @@ commands:
               [--n <inputs>] [--m <samples>] [--cheat <ratio>] [--partial <level>] [--seed <s>]
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
               [--scheme <cbs|ni-cbs|naive|ringer>] [--broker] [--workers <w>]
-              [--threads <k>] [--chaos <seed>] [--churn]
+              [--steal-seed <s>] [--threads <k>] [--chaos <seed>] [--churn]
               [--journal <path>] [--kill-at <r>] [--resume] [--verify-journal]
   lint        [--json] [--root <dir>]             audit the workspace for determinism hazards
   help                                            this message
@@ -60,7 +60,9 @@ engine; --broker relays all sessions through a GRACE-style grid broker
 over a single supervisor link (verdicts are identical either way).
 --workers <w> multiplexes all participants as poll-driven state machines
 over a fixed pool of w OS threads (w = 0 picks one per available core);
-without it each participant gets its own OS thread. --threads sets the
+without it each participant gets its own OS thread. --steal-seed <s>
+seeds the pool's work-stealing victim order — scheduling-only, any seed
+reproduces the identical campaign. --threads sets the
 participant count (same as --participants), --chaos <seed> injects
 seeded message duplication/reordering/latency on every participant link,
 and --churn adds participant crash/restart churn — failed sessions are
@@ -566,6 +568,10 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
             w
         }
     });
+    // --steal-seed s seeds the pool's work-stealing victim order — a
+    // scheduling-only knob: any seed reproduces the identical campaign
+    // (verdicts, fault log, byte counts).
+    let steal_seed: u64 = args.opt("--steal-seed")?.unwrap_or(0);
 
     if verify {
         let Some(path) = journal_path else {
@@ -709,6 +715,7 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
         parallelism: Parallelism::default(),
         envelope: false,
         workers,
+        steal_seed,
     };
     let outcome = match (&journal_path, resumed) {
         (None, _) => run_mixed_fleet(&task, &screener, domain, &members, &config),

@@ -2,13 +2,17 @@
 //! model must be bit-identical to the PR 4 thread-per-participant
 //! runtime — same seed and chaos plan in, same `FaultLog`, verdicts and
 //! `CostLedger` axes out — for all five schemes, over both transports,
-//! at any worker-pool size.
+//! at any worker-pool size *and any work-stealing seed*.
 //!
 //! This is the replay-digest property the event-driven refactor rests
 //! on: fault decisions are a pure function of `(seed, link, direction,
 //! seq)` and each link carries exactly one session's protocol sequence,
-//! so no interleaving — OS threads or a 4-worker run-queue — can change
-//! what any participant observes.
+//! so no interleaving — OS threads, a 4-worker run-queue, or a stolen
+//! batch landing on another worker's queue — can change what any
+//! participant observes. The work-stealing victim order (PR 8) and the
+//! batched message stepping it schedules are exercised here explicitly:
+//! sweeping `steal_seed` permutes which worker polls which session
+//! without moving a single digest bit.
 
 use std::time::Duration;
 use uncheatable_grid::core::scheme::cbs::CbsScheme;
@@ -135,6 +139,15 @@ fn members<'a>(
 }
 
 fn campaign(chaos_seed: u64, transport: FleetTransport, workers: Option<usize>) -> FleetSummary {
+    campaign_stealing(chaos_seed, transport, workers, 0)
+}
+
+fn campaign_stealing(
+    chaos_seed: u64,
+    transport: FleetTransport,
+    workers: Option<usize>,
+    steal_seed: u64,
+) -> FleetSummary {
     let task = PasswordSearch::with_hidden_password(7, 3);
     let screener = AcceptAllScreener;
     let honest = HonestWorker;
@@ -155,6 +168,7 @@ fn campaign(chaos_seed: u64, transport: FleetTransport, workers: Option<usize>) 
             deadline: Some(Duration::from_secs(20)),
             retries: 8,
             workers,
+            steal_seed,
             ..MixedFleetConfig::default()
         },
     )
@@ -189,12 +203,42 @@ fn brokered_scheduler_matches_thread_per_participant_at_any_pool_size() {
 fn direct_scheduler_matches_thread_per_participant() {
     let chaos_seed = 0xD12EC7;
     let reference = digest(&campaign(chaos_seed, FleetTransport::Direct, None));
-    for workers in [1, 4] {
+    for workers in [1, 4, 8] {
         let scheduled = digest(&campaign(chaos_seed, FleetTransport::Direct, Some(workers)));
         assert_eq!(
             reference, scheduled,
             "{workers}-worker scheduler diverged over direct links"
         );
+    }
+}
+
+/// The PR 8 property: the work-stealing victim order is scheduling-only.
+/// Sweeping the steal seed at several pool sizes — over both transports —
+/// permutes which worker polls which session (and which stolen batches
+/// land where) without moving a digest bit relative to the
+/// thread-per-participant reference.
+#[test]
+fn steal_seed_never_reaches_digests() {
+    for (chaos_seed, transport) in [
+        (0xC4A05u64, FleetTransport::Brokered),
+        (0xD12EC7, FleetTransport::Direct),
+    ] {
+        let reference = digest(&campaign(chaos_seed, transport, None));
+        for workers in [1, 4, 8] {
+            for steal_seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+                let stolen = digest(&campaign_stealing(
+                    chaos_seed,
+                    transport,
+                    Some(workers),
+                    steal_seed,
+                ));
+                assert_eq!(
+                    reference, stolen,
+                    "{transport:?} seed {chaos_seed:#x}: {workers} workers with steal \
+                     seed {steal_seed:#x} diverged from the thread-per-participant runtime"
+                );
+            }
+        }
     }
 }
 
