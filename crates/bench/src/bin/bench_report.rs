@@ -6,8 +6,10 @@
 //! without the write-ahead campaign journal) and the PR 8 hot-path
 //! workloads (`steal_scale`: the 1000-slot campaign across work-stealing
 //! pool sizes; `hash_blocks`: the multi-block one-shot digest kernel vs
-//! the streaming state), and writes the measurements to a JSON file so
-//! the perf trajectory can be compared across PRs.
+//! the streaming state), the PR 9 `wire_overhead` comparison (the same
+//! campaign over the in-process broker vs the framed TCP wire protocol
+//! on loopback), and writes the measurements to a JSON file so the perf
+//! trajectory can be compared across PRs.
 //!
 //! Every serial/parallel pair is checked for **bit-identical output**
 //! (roots, Monte-Carlo counts), the engine-over-broker round is checked
@@ -25,7 +27,7 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr8.json`; `--compare PATH` enables the gate).
+//! `BENCH_pr9.json`; `--compare PATH` enables the gate).
 
 #![forbid(unsafe_code)]
 
@@ -39,8 +41,9 @@ use ugc_core::scheme::naive::NaiveScheme;
 use ugc_core::scheme::ni_cbs::NiCbsScheme;
 use ugc_core::scheme::ringer::RingerScheme;
 use ugc_core::{
-    run_durable_fleet, run_mixed_fleet, CampaignHeader, DurableCampaign, FleetSummary,
-    FleetTransport, MemberSpec, MixedFleetConfig, ParticipantStorage, VerificationScheme,
+    run_durable_fleet, run_mixed_fleet, summary_digest, CampaignHeader, DurableCampaign,
+    FleetSummary, FleetTransport, MemberSpec, MixedFleetConfig, ParticipantStorage,
+    VerificationScheme,
 };
 use ugc_grid::runtime::FaultPlan;
 use ugc_grid::{CostLedger, HonestWorker, WorkerBehaviour};
@@ -54,6 +57,8 @@ use ugc_sim::{
 };
 use ugc_task::workloads::PasswordSearch;
 use ugc_task::{ComputeTask, Domain};
+use uncheatable_grid::campaign::{CampaignPlan, FleetParams};
+use uncheatable_grid::netgrid;
 
 /// One measured workload.
 struct Entry {
@@ -266,7 +271,7 @@ fn soak_digest(summary: &FleetSummary) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr9.json");
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -682,6 +687,53 @@ fn main() {
         ns_per_op: time(|| black_box(run_scheduler_scale(8, 0))),
     });
 
+    // --- PR 9 tentpole: what the framed TCP wire protocol costs. The
+    // same CBS campaign twice — once over the in-process broker, once
+    // over a loopback grid (`GridServer` + joiner threads around real
+    // TCP sockets, the path `ugc broker serve` / `participant join` /
+    // `fleet --connect` runs). The digests must be bit-identical (the
+    // wire is execution layout, never campaign identity), and the pair
+    // of entries is the per-campaign price of leaving the process.
+    let wire_params = FleetParams {
+        participants: 3,
+        cheaters: 1,
+        n: if quick { 240 } else { 960 },
+        m: 8,
+        seed: 11,
+        scheme: "cbs".into(),
+        transport: FleetTransport::Brokered,
+        churn: false,
+        chaos_seed: None,
+    };
+    let wire_brokered = || {
+        let plan = CampaignPlan::new(wire_params.clone()).expect("wire plan");
+        let members = plan.members();
+        run_mixed_fleet(
+            plan.task(),
+            plan.screener(),
+            plan.domain(),
+            &members,
+            &plan.mixed_config(None, 0),
+        )
+        .expect("in-process brokered campaign")
+    };
+    let wire_remote =
+        || netgrid::run_remote_campaign(&wire_params, 2).expect("loopback-TCP campaign");
+    let wire_local_summary = wire_brokered();
+    let wire_remote_summary = wire_remote();
+    if summary_digest(&wire_local_summary) != summary_digest(&wire_remote_summary) {
+        eprintln!("DIVERGENCE: loopback-TCP campaign digest != in-process brokered digest");
+        divergence = true;
+    }
+    entries.push(Entry {
+        name: "wire_overhead/brokered_inprocess",
+        ns_per_op: time(|| black_box(wire_brokered())),
+    });
+    entries.push(Entry {
+        name: "wire_overhead/remote_loopback",
+        ns_per_op: time(|| black_box(wire_remote())),
+    });
+
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
             entries
@@ -752,6 +804,15 @@ fn main() {
             "steal_scale_8_workers_over_1",
             ratio("engine/steal_scale_1000x1", "engine/steal_scale_1000x8"),
         ),
+        // >1 is the wire's cost per campaign: the same fleet over
+        // loopback TCP vs the in-process broker.
+        (
+            "wire_overhead_remote_over_brokered",
+            ratio(
+                "wire_overhead/remote_loopback",
+                "wire_overhead/brokered_inprocess",
+            ),
+        ),
     ];
 
     println!();
@@ -766,7 +827,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -823,6 +884,25 @@ fn main() {
             .iter()
             .map(|m| u64::from(m.attempts))
             .sum::<u64>()
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"wire_overhead\": {{");
+    let _ = writeln!(json, "    \"participants\": 3,");
+    let _ = writeln!(json, "    \"joiner_processes\": 2,");
+    let _ = writeln!(
+        json,
+        "    \"brokered_sessions_per_sec\": {:.1},",
+        wire_local_summary.throughput.sessions_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"remote_sessions_per_sec\": {:.1},",
+        wire_remote_summary.throughput.sessions_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"digests_bit_identical\": {}",
+        summary_digest(&wire_local_summary) == summary_digest(&wire_remote_summary)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"scheduler_scale\": {{");

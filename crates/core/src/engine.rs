@@ -34,7 +34,7 @@ use crate::session::{SessionOutcome, SupervisorSession};
 use crate::SchemeError;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use ugc_grid::{Backoff, Endpoint, GridError, LinkStats, Message, FRAME_HEADER_BYTES};
+use ugc_grid::{Backoff, Endpoint, GridError, GridLink, LinkStats, Message, FRAME_HEADER_BYTES};
 
 /// What the engine's transport delivered on one receive.
 #[derive(Debug)]
@@ -74,20 +74,24 @@ pub trait EngineTransport {
     fn try_recv(&mut self) -> Result<Option<EngineEvent>, GridError>;
 }
 
-/// A broker-mediated transport is just the supervisor's single endpoint:
-/// the broker on the far side routes by session/task id and NACKs tasks
-/// whose participant hung up with [`Message::Gone`].
-impl EngineTransport for Endpoint {
+/// Any shared [`GridLink`] is a valid engine transport: a relay on the
+/// far side (the in-process [`Broker`](ugc_grid::Broker), or the
+/// `ugc broker serve` process over a [`TcpLink`](ugc_grid::TcpLink))
+/// routes by session/task id and NACKs tasks whose participant hung up
+/// with [`Message::Gone`]. The routing id is ignored on send — routing
+/// is the relay's job.
+impl<L: GridLink> EngineTransport for L {
     fn send(&mut self, _routing_id: u64, msg: &Message) -> Result<u64, GridError> {
-        Endpoint::send_counted(self, msg)
+        self.send_counted(msg)
     }
 
     fn recv(&mut self) -> Result<EngineEvent, GridError> {
-        Endpoint::recv_counted(self).map(|(msg, charged)| EngineEvent::Message(msg, charged))
+        self.recv_counted()
+            .map(|(msg, charged)| EngineEvent::Message(msg, charged))
     }
 
     fn try_recv(&mut self) -> Result<Option<EngineEvent>, GridError> {
-        match Endpoint::try_recv_counted(self) {
+        match self.try_recv_counted() {
             Ok((msg, charged)) => Ok(Some(EngineEvent::Message(msg, charged))),
             Err(GridError::Empty) => Ok(None),
             Err(e) => Err(e),

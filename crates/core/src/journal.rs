@@ -175,6 +175,16 @@ fn put_grid_error(buf: &mut Vec<u8>, e: &GridError) {
         }
         GridError::Disconnected => put_u8(buf, 4),
         GridError::Empty => put_u8(buf, 5),
+        GridError::TornFrame { expected, got } => {
+            put_u8(buf, 6);
+            put_u64(buf, expected);
+            put_u64(buf, got);
+        }
+        GridError::HandshakeMismatch { ours, theirs } => {
+            put_u8(buf, 7);
+            put_u32(buf, ours);
+            put_u32(buf, theirs);
+        }
     }
 }
 
@@ -194,6 +204,14 @@ fn get_grid_error(buf: &mut &[u8]) -> Result<GridError, SchemeError> {
         },
         4 => GridError::Disconnected,
         5 => GridError::Empty,
+        6 => GridError::TornFrame {
+            expected: get_u64(buf, "grid error expected")?,
+            got: get_u64(buf, "grid error got")?,
+        },
+        7 => GridError::HandshakeMismatch {
+            ours: get_u32(buf, "grid error ours")?,
+            theirs: get_u32(buf, "grid error theirs")?,
+        },
         tag => return Err(bad(format!("unknown grid error tag {tag}"))),
     })
 }
@@ -343,7 +361,7 @@ fn get_link(buf: &mut &[u8]) -> Result<LinkStats, SchemeError> {
     })
 }
 
-fn put_report(buf: &mut Vec<u8>, report: &CostReport) {
+pub(crate) fn put_report(buf: &mut Vec<u8>, report: &CostReport) {
     put_u64(buf, report.f_evals);
     put_u64(buf, report.hash_ops);
     put_u64(buf, report.hash_wall_ops);
@@ -351,7 +369,7 @@ fn put_report(buf: &mut Vec<u8>, report: &CostReport) {
     put_u64(buf, report.verify_ops);
 }
 
-fn get_report(buf: &mut &[u8]) -> Result<CostReport, SchemeError> {
+pub(crate) fn get_report(buf: &mut &[u8]) -> Result<CostReport, SchemeError> {
     Ok(CostReport {
         f_evals: get_u64(buf, "cost f_evals")?,
         hash_ops: get_u64(buf, "cost hash_ops")?,
@@ -404,7 +422,7 @@ fn get_session_result(buf: &mut &[u8]) -> Result<Result<SessionOutcome, SchemeEr
     })
 }
 
-fn put_part_result(buf: &mut Vec<u8>, result: &Result<bool, SchemeError>) {
+pub(crate) fn put_part_result(buf: &mut Vec<u8>, result: &Result<bool, SchemeError>) {
     match result {
         Ok(found) => {
             put_u8(buf, 1);
@@ -417,7 +435,7 @@ fn put_part_result(buf: &mut Vec<u8>, result: &Result<bool, SchemeError>) {
     }
 }
 
-fn get_part_result(buf: &mut &[u8]) -> Result<Result<bool, SchemeError>, SchemeError> {
+pub(crate) fn get_part_result(buf: &mut &[u8]) -> Result<Result<bool, SchemeError>, SchemeError> {
     Ok(match get_u8(buf, "participant result tag")? {
         1 => Ok(get_u8(buf, "participant result flag")? != 0),
         0 => Err(get_scheme_error(buf)?),
@@ -550,7 +568,15 @@ pub struct CampaignHeader {
     pub domain: Domain,
     /// Participant tree storage mode.
     pub storage: ParticipantStorage,
-    /// Transport the sessions multiplex over.
+    /// The *digest class* of the transport the sessions multiplex over,
+    /// as its canonical representative
+    /// ([`TransportKind::digest_canonical`](crate::TransportKind::digest_canonical)):
+    /// `Direct`, or `Brokered` for both relayed transports. `Remote` and
+    /// `Brokered` share a class because the relay semantics — and hence
+    /// the digests — are identical, so a campaign journaled against an
+    /// in-process broker legally resumes over a real `ugc broker serve`
+    /// grid (and vice versa). Socket addresses and process layout are
+    /// execution-only and never reach the header.
     pub transport: FleetTransport,
     /// Whether messages ride in session envelopes.
     pub envelope: bool,
@@ -578,7 +604,7 @@ impl CampaignHeader {
             member_slots: members.iter().map(|m| m.behaviours.len() as u64).collect(),
             domain,
             storage: config.storage,
-            transport: config.transport,
+            transport: config.transport.digest_canonical(),
             envelope: config.envelope,
             chaos: config.chaos,
             deadline: config.deadline,
@@ -600,13 +626,7 @@ fn encode_header(header: &CampaignHeader) -> Vec<u8> {
             put_u32(&mut buf, subtree_height);
         }
     }
-    put_u8(
-        &mut buf,
-        match header.transport {
-            FleetTransport::Direct => 0,
-            FleetTransport::Brokered => 1,
-        },
-    );
+    put_u8(&mut buf, header.transport.digest_class());
     put_u8(&mut buf, u8::from(header.envelope));
     match header.chaos {
         None => put_u8(&mut buf, 0),
@@ -1362,6 +1382,46 @@ mod tests {
             };
             assert_eq!(decoded, header);
         }
+    }
+
+    #[test]
+    fn header_transport_is_digest_class_not_backend_identity() {
+        use crate::orchestrator::FleetScheme;
+        use ugc_grid::HonestWorker;
+        let scheme = FleetScheme::Naive { samples: 4 }.instantiate::<Sha256>(1);
+        let behaviour = HonestWorker;
+        let members = [MemberSpec::<'_, Sha256> {
+            scheme: scheme.as_ref(),
+            behaviours: vec![&behaviour],
+        }];
+        let domain = Domain::new(0, 64);
+        let header = |transport| {
+            CampaignHeader::for_campaign(
+                &members,
+                domain,
+                &MixedFleetConfig {
+                    transport,
+                    ..MixedFleetConfig::default()
+                },
+                vec![1],
+            )
+        };
+        // Brokered and Remote share a digest class (identical relay
+        // semantics → identical digests), so their headers are equal and
+        // --resume across that backend change is legal...
+        assert_eq!(
+            header(FleetTransport::Brokered),
+            header(FleetTransport::Remote)
+        );
+        assert_eq!(
+            header(FleetTransport::Remote).transport,
+            FleetTransport::Brokered
+        );
+        // ...while Direct is a distinct class, so that resume is refused.
+        assert_ne!(
+            header(FleetTransport::Direct),
+            header(FleetTransport::Remote)
+        );
     }
 
     #[test]

@@ -15,11 +15,13 @@
 //! code path either way, and bit-identical verdicts, byte counts and cost
 //! ledgers to the historical one-thread-pair-per-round implementation.
 
-use crate::engine::{DirectTransport, SessionEngine, SessionResult};
+use crate::backend::{InProcessBackend, OpenRound, RoundSpec, TransportBackend};
+use crate::engine::{SessionEngine, SessionResult};
 use crate::journal::{
     charge_report, report_delta, summary_digest, CampaignHeader, CampaignRecorder, DurableCampaign,
 };
 use crate::scheme::cbs::CbsScheme;
+use crate::scheme::double_check::DoubleCheckScheme;
 use crate::scheme::naive::NaiveScheme;
 use crate::scheme::ni_cbs::NiCbsScheme;
 use crate::scheme::ringer::RingerScheme;
@@ -30,10 +32,11 @@ use crate::session::{
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use std::time::{Duration, Instant};
 use ugc_grid::runtime::{
-    run_brokered, run_brokered_tasks, FaultEvent, FaultLog, FaultPlan, FaultyEndpoint,
-    GridScheduler, GridTask, RuntimeOptions, TaskPoll,
+    FaultEvent, FaultLog, FaultPlan, FaultyEndpoint, GridScheduler, GridTask, TaskPoll,
 };
-use ugc_grid::{duplex, CostLedger, CostReport, Throughput, WorkerBehaviour};
+use ugc_grid::{CostLedger, CostReport, Throughput, WorkerBehaviour};
+
+pub use crate::backend::FleetTransport;
 use ugc_hash::HashFunction;
 use ugc_merkle::Parallelism;
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
@@ -69,6 +72,9 @@ pub enum FleetScheme {
         /// Ringers planted per participant.
         ringers: usize,
     },
+    /// The double-check baseline (module table, row 1): assign the share
+    /// twice and compare — two participant slots per member.
+    DoubleCheck,
 }
 
 impl FleetScheme {
@@ -98,6 +104,16 @@ impl FleetScheme {
             }),
             FleetScheme::Naive { samples } => Box::new(NaiveScheme { samples, seed }),
             FleetScheme::Ringer { ringers } => Box::new(RingerScheme { ringers, seed }),
+            FleetScheme::DoubleCheck => Box::new(DoubleCheckScheme),
+        }
+    }
+
+    /// How many participant slots one member of this scheme fills.
+    #[must_use]
+    pub fn slots(self) -> usize {
+        match self {
+            FleetScheme::DoubleCheck => 2,
+            _ => 1,
         }
     }
 }
@@ -187,18 +203,6 @@ impl FleetSummary {
     pub fn verdict_of(&self, i: usize) -> Option<&Verdict> {
         self.members.get(i).map(|m| &m.outcome.verdict)
     }
-}
-
-/// How a fleet round moves its messages.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub enum FleetTransport {
-    /// One in-memory link per participant, polled by the engine.
-    #[default]
-    Direct,
-    /// One shared supervisor link into a relaying GRACE-style
-    /// [`Broker`](ugc_grid::Broker) that fans out to the participants
-    /// (Section 4's deployment); the broker pump runs on its own thread.
-    Brokered,
 }
 
 /// Configuration of a mixed-scheme fleet round (see [`run_mixed_fleet`]).
@@ -315,6 +319,12 @@ where
 /// either over per-participant links or through a relaying broker.
 /// Verdicts and ledgers are identical either way.
 ///
+/// Deprecated in favour of setting
+/// [`MixedFleetConfig::transport`] and calling [`run_mixed_fleet`] (or
+/// [`run_mixed_fleet_on`] with a connected backend): transport is
+/// configuration, not a separate entry point. Kept as a thin wrapper for
+/// existing callers.
+///
 /// # Errors
 ///
 /// As [`run_fleet`].
@@ -400,7 +410,38 @@ where
     T: ComputeTask,
     S: Screener,
 {
-    run_mixed_fleet_inner(task, screener, domain, members, config, None)
+    let mut backend = InProcessBackend::new(config.transport);
+    run_mixed_fleet_inner(task, screener, domain, members, config, None, &mut backend)
+}
+
+/// [`run_mixed_fleet`] over an explicit [`TransportBackend`] — how a
+/// campaign runs across OS processes: connect a
+/// [`RemoteGridBackend`](crate::RemoteGridBackend) to a `ugc broker
+/// serve` relay and pass it here. The round loop, verdicts, ledgers and
+/// summary digest are the same code and the same bits as the in-process
+/// backends.
+///
+/// # Errors
+///
+/// Everything [`run_mixed_fleet`] can raise, plus
+/// [`SchemeError::InvalidConfig`] when `config.transport` disagrees with
+/// `backend.kind()` or the backend cannot serve the configuration (a
+/// remote backend given a chaos plan or a multi-round retry budget it
+/// ends up needing).
+pub fn run_mixed_fleet_on<H, T, S>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    members: &[MemberSpec<'_, H>],
+    config: &MixedFleetConfig,
+    backend: &mut dyn TransportBackend,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
+    run_mixed_fleet_inner(task, screener, domain, members, config, None, backend)
 }
 
 /// [`run_mixed_fleet`] with a write-ahead journal: every state transition
@@ -435,6 +476,41 @@ where
     T: ComputeTask,
     S: Screener,
 {
+    let mut backend = InProcessBackend::new(config.transport);
+    run_durable_fleet_on(
+        task,
+        screener,
+        domain,
+        members,
+        config,
+        campaign,
+        &mut backend,
+    )
+}
+
+/// [`run_durable_fleet`] over an explicit [`TransportBackend`]. Because
+/// the journaled header stores the transport's *digest class* (see
+/// [`CampaignHeader`]), a campaign journaled against the in-process
+/// broker may resume over a remote grid — and vice versa — while a
+/// direct-transport journal refuses both.
+///
+/// # Errors
+///
+/// As [`run_durable_fleet`] and [`run_mixed_fleet_on`].
+pub fn run_durable_fleet_on<H, T, S>(
+    task: &T,
+    screener: &S,
+    domain: Domain,
+    members: &[MemberSpec<'_, H>],
+    config: &MixedFleetConfig,
+    campaign: &mut DurableCampaign,
+    backend: &mut dyn TransportBackend,
+) -> Result<FleetSummary, SchemeError>
+where
+    H: HashFunction,
+    T: ComputeTask,
+    S: Screener,
+{
     let expected =
         CampaignHeader::for_campaign(members, domain, config, campaign.header().app.clone());
     if &expected != campaign.header() {
@@ -447,7 +523,15 @@ where
             ),
         });
     }
-    run_mixed_fleet_inner(task, screener, domain, members, config, Some(campaign))
+    run_mixed_fleet_inner(
+        task,
+        screener,
+        domain,
+        members,
+        config,
+        Some(campaign),
+        backend,
+    )
 }
 
 fn run_mixed_fleet_inner<H, T, S>(
@@ -457,12 +541,18 @@ fn run_mixed_fleet_inner<H, T, S>(
     members: &[MemberSpec<'_, H>],
     config: &MixedFleetConfig,
     durable: Option<&mut DurableCampaign>,
+    backend: &mut dyn TransportBackend,
 ) -> Result<FleetSummary, SchemeError>
 where
     H: HashFunction,
     T: ComputeTask,
     S: Screener,
 {
+    if config.transport != backend.kind() {
+        return Err(SchemeError::InvalidConfig {
+            reason: "config.transport disagrees with the connected backend",
+        });
+    }
     if members.is_empty() {
         return Err(SchemeError::InvalidConfig {
             reason: "fleet must contain at least one participant",
@@ -570,6 +660,7 @@ where
             config,
             round,
             recorder,
+            backend,
         )?;
         total_sessions += roster.len() as u64;
         for ((orig, _, _), session) in roster.iter().zip(output.sessions) {
@@ -747,10 +838,12 @@ impl GridTask for SlotTask<'_> {
 
 /// Runs one engine round for `roster` (a subset of the fleet, on
 /// reassignment rounds): registers one supervisor session per entry,
-/// spawns one participant thread per slot — each behind a
-/// [`FaultyEndpoint`] drawing its schedule from
-/// [`chaos_link_id`]`(round, slot)` — and multiplexes the sessions over
-/// the configured transport.
+/// asks the backend to open the round's transport, drives any local
+/// participant slots — each behind a [`FaultyEndpoint`] drawing its
+/// schedule from [`chaos_link_id`]`(round, slot)` — and multiplexes the
+/// supervisor sessions over the engine side the backend produced.
+/// Remote backends open with no local slots; their participants run in
+/// other processes and report back as [`SlotReport`](crate::SlotReport)s.
 #[allow(clippy::too_many_arguments)] // private plumbing under run_mixed_fleet_inner
 fn run_fleet_round<H, T, S>(
     task: &T,
@@ -761,6 +854,7 @@ fn run_fleet_round<H, T, S>(
     config: &MixedFleetConfig,
     round: u32,
     recorder: Option<&CampaignRecorder>,
+    backend: &mut dyn TransportBackend,
 ) -> Result<RoundOutput, SchemeError>
 where
     H: HashFunction,
@@ -800,20 +894,12 @@ where
     }
 
     // Global slot order (the broker hands assignment k to participant k,
-    // so order is load-bearing for the Brokered transport).
+    // so order is load-bearing for the relayed transports).
     let slot_table: Vec<(usize, usize)> = roster
         .iter()
         .enumerate()
         .flat_map(|(r, (_, member, _))| (0..member.behaviours.len()).map(move |s| (r, s)))
         .collect();
-    // Chaos-free runs use the quiet plan rather than a separate
-    // undecorated code path: the decorator's transparency at zero rates
-    // is property-tested (grid/tests/fault_properties.rs), and its cost —
-    // one uncontended lock plus four integer mixes per message — is noise
-    // next to encode+channel work (the PR 4 trajectory gate measured the
-    // engine fleet workloads at ≤1.0x of the undecorated PR 3 baseline).
-    // One code path means the soak exercises exactly what production runs.
-    let plan = config.chaos.unwrap_or(FaultPlan::quiet(0));
 
     // One session factory for both transports and both execution models:
     // build the slot's participant state machine, tagged with its roster
@@ -851,110 +937,98 @@ where
         }
     };
 
-    match config.transport {
-        FleetTransport::Brokered => {
-            let options = RuntimeOptions::default()
-                .with_fault(plan)
-                .with_link_id_base(chaos_link_id(round, 0))
-                .with_steal_seed(config.steal_seed);
-            match config.workers {
-                Some(workers) => {
-                    let options = options.with_workers(workers);
-                    let report = run_brokered_tasks(
-                        slot_table.len(),
-                        &options,
-                        make_task,
-                        |mut endpoint| engine.run(&mut endpoint),
-                    );
-                    Ok(RoundOutput {
-                        sessions: report.supervisor,
-                        part_results: report
-                            .participants
-                            .into_iter()
-                            .map(SlotTask::into_result)
-                            .collect(),
-                        events: report.events,
-                    })
-                }
-                None => {
-                    let report = run_brokered(
-                        slot_table.len(),
-                        &options,
-                        |global_slot, link| drive_slot(global_slot, &link),
-                        |mut endpoint| engine.run(&mut endpoint),
-                    );
-                    Ok(RoundOutput {
-                        sessions: report.supervisor,
-                        part_results: report.participants,
-                        events: report.events,
-                    })
-                }
-            }
+    // One flat routing id per global slot — what a Direct backend
+    // registers each supervisor-side endpoint under; relayed backends
+    // route by message ids and only need the count.
+    let flat_routing: Vec<u64> = slot_table.iter().map(|&(r, s)| routing_ids[r][s]).collect();
+    let OpenRound {
+        mut engine_side,
+        local_links,
+        fault_logs,
+        pump,
+    } = backend.open_round(&RoundSpec {
+        round,
+        routing_ids: &flat_routing,
+        chaos: config.chaos,
+    })?;
+
+    let (sessions, part_results) = if local_links.is_empty() {
+        // Remote: the participants live in other OS processes. Run the
+        // engine, then collect their slot reports over the still-open
+        // connection — the ledger charges and outcomes that in-process
+        // participants share directly.
+        let sessions = engine.run(&mut engine_side);
+        let reports = backend.close_round(slot_table.len())?;
+        drop(engine_side);
+        let mut part_results = Vec::with_capacity(reports.len());
+        for report in reports {
+            let slot = usize::try_from(report.slot)
+                .ok()
+                .filter(|s| *s < slot_table.len())
+                .ok_or(SchemeError::InvalidConfig {
+                    reason: "remote peer reported an unknown participant slot",
+                })?;
+            let (r, _) = slot_table[slot];
+            let (orig, _, _) = roster[r];
+            charge_report(&part_ledgers[orig], &report.costs);
+            part_results.push((r, report.outcome));
         }
-        FleetTransport::Direct => {
-            let mut transport = DirectTransport::new();
-            let mut links = Vec::with_capacity(slot_table.len());
-            for (global_slot, (r, s)) in slot_table.iter().enumerate() {
-                let (sup_side, part_side) = duplex();
-                transport.add_endpoint(sup_side, [routing_ids[*r][*s]]);
-                links.push(FaultyEndpoint::new(
-                    part_side,
-                    plan.link(chaos_link_id(round, global_slot)),
-                ));
+        (sessions, part_results)
+    } else {
+        match config.workers {
+            Some(workers) => {
+                let scheduler = GridScheduler::new(workers).with_steal_seed(config.steal_seed);
+                let tasks: Vec<SlotTask<'_>> = local_links
+                    .into_iter()
+                    .enumerate()
+                    .map(|(global_slot, link)| make_task(global_slot, link))
+                    .collect();
+                let (sessions, tasks) = std::thread::scope(|scope| {
+                    let pool = scope.spawn(move || scheduler.run(tasks));
+                    let sessions = engine.run(&mut engine_side);
+                    // Close the supervisor side so chaos-stalled
+                    // participants observe the hang-up instead of parking
+                    // forever (and so a broker pump winds down).
+                    drop(engine_side);
+                    (sessions, pool.join().expect("scheduler pool panicked"))
+                });
+                (
+                    sessions,
+                    tasks.into_iter().map(SlotTask::into_result).collect(),
+                )
             }
-            let logs: Vec<FaultLog> = links.iter().map(FaultyEndpoint::log).collect();
-            let (sessions, part_results) = match config.workers {
-                Some(workers) => {
-                    let scheduler = GridScheduler::new(workers).with_steal_seed(config.steal_seed);
-                    let tasks: Vec<SlotTask<'_>> = links
-                        .drain(..)
-                        .enumerate()
-                        .map(|(global_slot, link)| make_task(global_slot, link))
-                        .collect();
-                    let (sessions, tasks) = std::thread::scope(|scope| {
-                        let pool = scope.spawn(move || scheduler.run(tasks));
-                        let sessions = engine.run(&mut transport);
-                        // Close the supervisor sides so chaos-stalled
-                        // participants observe the hang-up instead of
-                        // parking forever.
-                        drop(transport);
-                        (sessions, pool.join().expect("scheduler pool panicked"))
-                    });
-                    (
-                        sessions,
-                        tasks.into_iter().map(SlotTask::into_result).collect(),
-                    )
-                }
-                None => std::thread::scope(|scope| {
-                    let drive_slot = &drive_slot;
-                    let handles: Vec<_> = links
-                        .drain(..)
-                        .enumerate()
-                        .map(|(global_slot, link)| {
-                            scope.spawn(move || drive_slot(global_slot, &link))
-                        })
-                        .collect();
-                    let sessions = engine.run(&mut transport);
-                    // Close the supervisor sides so chaos-stalled
-                    // participants observe the hang-up instead of blocking
-                    // forever.
-                    drop(transport);
-                    let part_results: Vec<(usize, Result<bool, SchemeError>)> = handles
-                        .into_iter()
-                        .map(|h| h.join().expect("fleet participant panicked"))
-                        .collect();
-                    (sessions, part_results)
-                }),
-            };
-            let mut events: Vec<FaultEvent> = logs.iter().flat_map(FaultLog::snapshot).collect();
-            events.sort_unstable();
-            Ok(RoundOutput {
-                sessions,
-                part_results,
-                events,
-            })
+            None => std::thread::scope(|scope| {
+                let drive_slot = &drive_slot;
+                let handles: Vec<_> = local_links
+                    .into_iter()
+                    .enumerate()
+                    .map(|(global_slot, link)| scope.spawn(move || drive_slot(global_slot, &link)))
+                    .collect();
+                let sessions = engine.run(&mut engine_side);
+                // Close the supervisor side so chaos-stalled participants
+                // observe the hang-up instead of blocking forever (and so
+                // a broker pump winds down).
+                drop(engine_side);
+                let part_results: Vec<(usize, Result<bool, SchemeError>)> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet participant panicked"))
+                    .collect();
+                (sessions, part_results)
+            }),
         }
+    };
+    if let Some(pump) = pump {
+        // Relay counters are diagnostics only; the round's books come
+        // from the engine-side link stats and the shared ledgers.
+        let _ = pump.join().expect("broker pump panicked");
     }
+    let mut events: Vec<FaultEvent> = fault_logs.iter().flat_map(FaultLog::snapshot).collect();
+    events.sort_unstable();
+    Ok(RoundOutput {
+        sessions,
+        part_results,
+        events,
+    })
 }
 
 /// Outcome of a multi-round campaign (see [`run_campaign`]).

@@ -19,7 +19,7 @@
 //! message sequence. Inward relay is round-robin fair: a rotating cursor
 //! guarantees no chatty participant can starve another.
 
-use crate::{Backoff, Endpoint, GridError, Message};
+use crate::{Backoff, Endpoint, GridError, GridLink, Message};
 use std::collections::BTreeMap;
 
 /// Relay statistics for a broker run.
@@ -39,9 +39,9 @@ pub struct RelayStats {
 /// learns which participant served which task (the paper's "GRB hides the
 /// participants" property).
 #[derive(Debug)]
-pub struct Broker {
-    supervisor: Endpoint,
-    participants: Vec<Endpoint>,
+pub struct Broker<L: GridLink = Endpoint> {
+    supervisor: L,
+    participants: Vec<L>,
     /// routing id → participant index; ordered so route iteration (the
     /// death-NACK sweep) is deterministic by construction.
     routes: BTreeMap<u64, usize>,
@@ -54,14 +54,18 @@ pub struct Broker {
     stats: RelayStats,
 }
 
-impl Broker {
+impl<L: GridLink> Broker<L> {
     /// Creates a broker with its supervisor-side link and participant links.
+    ///
+    /// The broker is generic over the link type: the in-process runtime
+    /// relays between [`Endpoint`]s, while `ugc broker serve` runs the
+    /// identical relay over [`TcpLink`](crate::TcpLink)s.
     ///
     /// # Panics
     ///
     /// Panics if no participants are supplied.
     #[must_use]
-    pub fn new(supervisor: Endpoint, participants: Vec<Endpoint>) -> Self {
+    pub fn new(supervisor: L, participants: Vec<L>) -> Self {
         assert!(
             !participants.is_empty(),
             "broker needs at least one participant"
@@ -82,6 +86,17 @@ impl Broker {
     #[must_use]
     pub fn participant_count(&self) -> usize {
         self.participants.len()
+    }
+
+    /// Adds a freshly connected participant (a late joiner or a
+    /// reconnect) as a round-robin target for future assignments, and
+    /// returns its index. Tasks NACKed when a predecessor died are *not*
+    /// replayed — the supervisor's retry round reassigns them, which is
+    /// how reconnect-with-NACK composes with [`Message::Gone`].
+    pub fn add_participant(&mut self, link: L) -> usize {
+        self.participants.push(link);
+        self.closed.push(false);
+        self.participants.len() - 1
     }
 
     /// Relay statistics so far.

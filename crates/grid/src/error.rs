@@ -29,6 +29,23 @@ pub enum GridError {
     Disconnected,
     /// No message is currently available (non-blocking receive).
     Empty,
+    /// A socket closed mid-frame: the header declared more payload than
+    /// ever arrived. The wire analogue of the journal's torn tail —
+    /// expected after a peer process dies, never silently swallowed.
+    TornFrame {
+        /// Bytes the frame header declared.
+        expected: u64,
+        /// Bytes actually received before the stream ended.
+        got: u64,
+    },
+    /// The peer speaks a different wire-protocol version (or is not a
+    /// grid peer at all).
+    HandshakeMismatch {
+        /// The protocol version this build speaks.
+        ours: u32,
+        /// The version (or garbage) the peer announced.
+        theirs: u32,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -46,6 +63,15 @@ impl fmt::Display for GridError {
             }
             GridError::Disconnected => write!(f, "peer endpoint disconnected"),
             GridError::Empty => write!(f, "no message available"),
+            GridError::TornFrame { expected, got } => {
+                write!(f, "torn frame: {expected} bytes declared, {got} received")
+            }
+            GridError::HandshakeMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "handshake mismatch: we speak wire protocol {ours}, peer announced {theirs}"
+                )
+            }
         }
     }
 }
@@ -69,6 +95,18 @@ mod tests {
         assert_eq!(
             GridError::Disconnected.to_string(),
             "peer endpoint disconnected"
+        );
+        assert_eq!(
+            GridError::TornFrame {
+                expected: 64,
+                got: 10
+            }
+            .to_string(),
+            "torn frame: 64 bytes declared, 10 received"
+        );
+        assert_eq!(
+            GridError::HandshakeMismatch { ours: 1, theirs: 9 }.to_string(),
+            "handshake mismatch: we speak wire protocol 1, peer announced 9"
         );
     }
 

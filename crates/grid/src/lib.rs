@@ -22,6 +22,9 @@
 //! * [`runtime`] — the thread-per-participant runtime: one OS thread per
 //!   participant behind the broker, each link optionally decorated with
 //!   seeded, bit-replayable fault injection ([`FaultPlan`]).
+//! * [`wire`] / [`tcp`] — the cross-process backend: the same frames over
+//!   real sockets, charged identically to the in-memory links so a
+//!   campaign spanning OS processes produces bit-identical digests.
 //!
 //! # Examples
 //!
@@ -48,7 +51,9 @@ mod error;
 mod ledger;
 mod message;
 pub mod runtime;
+pub mod tcp;
 mod transport;
+pub mod wire;
 
 pub use backoff::{Backoff, BackoffPolicy};
 pub use behaviour::{
@@ -59,4 +64,5 @@ pub use error::GridError;
 pub use ledger::{CostLedger, CostReport, Throughput};
 pub use message::{Assignment, Message, SampleProof};
 pub use runtime::{FaultEvent, FaultPlan, FaultyEndpoint, GridScheduler, GridTask, TaskPoll};
+pub use tcp::{ControlHandle, TcpLink};
 pub use transport::{duplex, Endpoint, GridLink, LinkStats, FRAME_HEADER_BYTES};

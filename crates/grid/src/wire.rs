@@ -1,0 +1,478 @@
+//! Length-framed socket wire protocol.
+//!
+//! Everything the grid sends between OS processes travels as
+//! `[u32 len LE][payload]` frames over a byte stream. Bit 31 of the
+//! length word marks a *control* frame (handshakes, participant cost
+//! reports) — grid plumbing that is never charged to a session's byte
+//! account. Data frames carry exactly one encoded [`Message`] as their
+//! payload, so a data frame's physical wire cost is
+//! `Message::wire_len() + FRAME_HEADER_BYTES` — the same figure the
+//! in-process transport already charges. That identity is what makes
+//! cross-process summary digests bit-identical to in-process ones.
+//!
+//! Stream ends are classified like the journal's tail: an EOF on a frame
+//! boundary is a clean disconnect ([`read_frame`] returns `Ok(None)`),
+//! while an EOF mid-frame is a torn frame and surfaces as the typed
+//! [`GridError::TornFrame`] — expected after a peer process dies, never
+//! silently swallowed.
+//!
+//! [`Message`]: crate::Message
+
+use crate::codec::{get_bytes, get_u32, put_bytes, put_u32};
+use crate::GridError;
+use std::io::{ErrorKind, Read, Write};
+
+/// Protocol version spoken by this build; bumped on any frame or
+/// handshake layout change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Magic prefix opening every handshake payload, so a non-grid peer is
+/// rejected before any length field is trusted.
+pub const WIRE_MAGIC: [u8; 8] = *b"UGCGRID\0";
+
+/// Largest payload a frame may declare (matches the codec's
+/// [`MAX_FIELD_LEN`](crate::codec::MAX_FIELD_LEN) guard).
+pub const MAX_FRAME_LEN: u64 = crate::codec::MAX_FIELD_LEN;
+
+/// Bit 31 of the length word: set for control frames. Payload lengths
+/// are capped at [`MAX_FRAME_LEN`] (`1 << 30`), so the bit is always
+/// free.
+const CONTROL_BIT: u32 = 1 << 31;
+
+/// Peer role announced in a [`Hello`].
+pub const ROLE_PARTICIPANT: u8 = 0;
+/// Peer role announced in a [`Hello`].
+pub const ROLE_SUPERVISOR: u8 = 1;
+
+/// One frame off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// An encoded [`Message`](crate::Message); charged to the session.
+    Data(Vec<u8>),
+    /// Grid plumbing (handshake, cost report); never charged.
+    Control(Vec<u8>),
+}
+
+impl Frame {
+    /// The frame's payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            Frame::Data(p) | Frame::Control(p) => p,
+        }
+    }
+}
+
+/// Writes one frame to `w`.
+///
+/// # Errors
+///
+/// [`GridError::LengthOverflow`] if the payload exceeds
+/// [`MAX_FRAME_LEN`]; [`GridError::Disconnected`] if the underlying
+/// stream fails.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), GridError> {
+    let payload = frame.payload();
+    let len = payload.len() as u64;
+    if len > MAX_FRAME_LEN {
+        return Err(GridError::LengthOverflow { declared: len });
+    }
+    // ugc-lint: allow(lossy-cast): bounded above by MAX_FRAME_LEN (1<<30), fits u32
+    let mut word = len as u32;
+    if matches!(frame, Frame::Control(_)) {
+        word |= CONTROL_BIT;
+    }
+    w.write_all(&word.to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|_| GridError::Disconnected)
+}
+
+/// Reads from `r` until `buf` is full or the stream ends; returns how
+/// many bytes were filled.
+fn read_into<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, GridError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(GridError::Disconnected),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame from `r`.
+///
+/// Returns `Ok(None)` on a clean close (EOF exactly on a frame
+/// boundary).
+///
+/// # Errors
+///
+/// [`GridError::TornFrame`] if the stream ends mid-frame,
+/// [`GridError::LengthOverflow`] if the header declares more than
+/// [`MAX_FRAME_LEN`] bytes, [`GridError::Disconnected`] on stream
+/// failure.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, GridError> {
+    let mut header = [0u8; 4];
+    let got = read_into(r, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < header.len() {
+        return Err(GridError::TornFrame {
+            expected: header.len() as u64,
+            got: got as u64,
+        });
+    }
+    let word = u32::from_le_bytes(header);
+    let control = word & CONTROL_BIT != 0;
+    let len = u64::from(word & !CONTROL_BIT);
+    if len > MAX_FRAME_LEN {
+        return Err(GridError::LengthOverflow { declared: len });
+    }
+    // ugc-lint: allow(lossy-cast): bounded above by MAX_FRAME_LEN (1<<30), well inside usize on every supported platform
+    let mut payload = vec![0u8; len as usize];
+    let got = read_into(r, &mut payload)?;
+    if (got as u64) < len {
+        return Err(GridError::TornFrame {
+            expected: len,
+            got: got as u64,
+        });
+    }
+    Ok(Some(if control {
+        Frame::Control(payload)
+    } else {
+        Frame::Data(payload)
+    }))
+}
+
+/// First handshake frame, sent by whoever dialed in.
+///
+/// A supervisor's `params` carry the campaign parameter blob (the same
+/// bytes the journal header records as the application identity); the
+/// broker relays them verbatim to every participant so all processes
+/// rebuild the identical fleet. Participants send empty `params`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// [`ROLE_PARTICIPANT`] or [`ROLE_SUPERVISOR`].
+    pub role: u8,
+    /// Campaign identity blob (supervisor) or empty (participant).
+    pub params: Vec<u8>,
+}
+
+/// Broker's handshake reply once the grid is assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Welcome {
+    /// This peer's index among the broker's peers of its role.
+    pub peer_index: u32,
+    /// How many participant processes the broker is relaying for.
+    pub peer_count: u32,
+    /// The supervisor's campaign parameter blob, relayed verbatim
+    /// (empty in the supervisor's own welcome).
+    pub params: Vec<u8>,
+}
+
+fn put_preamble(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&WIRE_MAGIC);
+    put_u32(buf, WIRE_VERSION);
+}
+
+/// Checks magic + version; on success leaves `buf` past the preamble.
+fn get_preamble(buf: &mut &[u8]) -> Result<(), GridError> {
+    if buf.len() < WIRE_MAGIC.len() || buf[..WIRE_MAGIC.len()] != WIRE_MAGIC {
+        return Err(GridError::HandshakeMismatch {
+            ours: WIRE_VERSION,
+            theirs: 0,
+        });
+    }
+    *buf = &buf[WIRE_MAGIC.len()..];
+    let version = get_u32(buf, "handshake version")?;
+    if version != WIRE_VERSION {
+        return Err(GridError::HandshakeMismatch {
+            ours: WIRE_VERSION,
+            theirs: version,
+        });
+    }
+    Ok(())
+}
+
+impl Hello {
+    /// Encodes this hello as a control-frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_preamble(&mut buf);
+        buf.push(self.role);
+        put_bytes(&mut buf, &self.params);
+        buf
+    }
+
+    /// Decodes a control-frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::HandshakeMismatch`] on a bad magic or foreign
+    /// version; codec errors on truncation.
+    pub fn decode(payload: &[u8]) -> Result<Self, GridError> {
+        let mut buf = payload;
+        get_preamble(&mut buf)?;
+        let (&role, rest) = buf.split_first().ok_or(GridError::UnexpectedEof {
+            context: "hello role",
+        })?;
+        buf = rest;
+        let params = get_bytes(&mut buf, "hello params")?;
+        if !buf.is_empty() {
+            return Err(GridError::TrailingBytes {
+                remaining: buf.len(),
+            });
+        }
+        Ok(Hello { role, params })
+    }
+}
+
+impl Welcome {
+    /// Encodes this welcome as a control-frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_preamble(&mut buf);
+        put_u32(&mut buf, self.peer_index);
+        put_u32(&mut buf, self.peer_count);
+        put_bytes(&mut buf, &self.params);
+        buf
+    }
+
+    /// Decodes a control-frame payload.
+    ///
+    /// # Errors
+    ///
+    /// As [`Hello::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, GridError> {
+        let mut buf = payload;
+        get_preamble(&mut buf)?;
+        let peer_index = get_u32(&mut buf, "welcome index")?;
+        let peer_count = get_u32(&mut buf, "welcome count")?;
+        let params = get_bytes(&mut buf, "welcome params")?;
+        if !buf.is_empty() {
+            return Err(GridError::TrailingBytes {
+                remaining: buf.len(),
+            });
+        }
+        Ok(Welcome {
+            peer_index,
+            peer_count,
+            params,
+        })
+    }
+}
+
+/// Writes a handshake hello as a control frame.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn send_hello<W: Write>(w: &mut W, hello: &Hello) -> Result<(), GridError> {
+    write_frame(w, &Frame::Control(hello.encode()))
+}
+
+/// Reads a handshake hello.
+///
+/// # Errors
+///
+/// [`GridError::Disconnected`] if the peer hung up first,
+/// [`GridError::HandshakeMismatch`] if the first frame is not a valid
+/// hello, plus [`read_frame`]'s errors.
+pub fn recv_hello<R: Read>(r: &mut R) -> Result<Hello, GridError> {
+    match read_frame(r)? {
+        Some(Frame::Control(payload)) => Hello::decode(&payload),
+        Some(Frame::Data(_)) => Err(GridError::HandshakeMismatch {
+            ours: WIRE_VERSION,
+            theirs: 0,
+        }),
+        None => Err(GridError::Disconnected),
+    }
+}
+
+/// Writes a handshake welcome as a control frame.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn send_welcome<W: Write>(w: &mut W, welcome: &Welcome) -> Result<(), GridError> {
+    write_frame(w, &Frame::Control(welcome.encode()))
+}
+
+/// Reads a handshake welcome.
+///
+/// # Errors
+///
+/// As [`recv_hello`].
+pub fn recv_welcome<R: Read>(r: &mut R) -> Result<Welcome, GridError> {
+    match read_frame(r)? {
+        Some(Frame::Control(payload)) => Welcome::decode(&payload),
+        Some(Frame::Data(_)) => Err(GridError::HandshakeMismatch {
+            ours: WIRE_VERSION,
+            theirs: 0,
+        }),
+        None => Err(GridError::Disconnected),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame).unwrap();
+        let mut cursor = Cursor::new(buf);
+        read_frame(&mut cursor).unwrap().unwrap()
+    }
+
+    #[test]
+    fn data_frame_roundtrip() {
+        let frame = Frame::Data(vec![1, 2, 3, 4, 5]);
+        assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn control_frame_roundtrip() {
+        let frame = Frame::Control(vec![9; 100]);
+        assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let frame = Frame::Data(Vec::new());
+        assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn data_frame_wire_cost_is_the_charged_cost() {
+        // The digest identity hinges on this: a data frame's physical
+        // bytes equal payload + FRAME_HEADER_BYTES, nothing more.
+        let payload = vec![7u8; 33];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Data(payload.clone())).unwrap();
+        assert_eq!(
+            buf.len() as u64,
+            payload.len() as u64 + crate::FRAME_HEADER_BYTES
+        );
+    }
+
+    #[test]
+    fn clean_eof_on_frame_boundary() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Data(vec![1, 2, 3])).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).unwrap().is_some());
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn every_truncation_point_is_torn_or_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Data(vec![5; 10])).unwrap();
+        for cut in 0..buf.len() {
+            let mut cursor = Cursor::new(&buf[..cut]);
+            let result = read_frame(&mut cursor);
+            if cut == 0 {
+                assert_eq!(result, Ok(None), "cut {cut}");
+            } else {
+                assert!(
+                    matches!(result, Err(GridError::TornFrame { .. })),
+                    "cut {cut}: {result:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        // ugc-lint: allow(lossy-cast): (1<<30)+1 fits u32; this deliberately forges a hostile header
+        let word = (MAX_FRAME_LEN + 1) as u32;
+        let mut cursor = Cursor::new(word.to_le_bytes().to_vec());
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(GridError::LengthOverflow {
+                declared: MAX_FRAME_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let hello = Hello {
+            role: ROLE_SUPERVISOR,
+            params: b"campaign blob".to_vec(),
+        };
+        let decoded = Hello::decode(&hello.encode()).unwrap();
+        assert_eq!(decoded, hello);
+    }
+
+    #[test]
+    fn welcome_roundtrip() {
+        let welcome = Welcome {
+            peer_index: 3,
+            peer_count: 8,
+            params: b"campaign blob".to_vec(),
+        };
+        let decoded = Welcome::decode(&welcome.encode()).unwrap();
+        assert_eq!(decoded, welcome);
+    }
+
+    #[test]
+    fn foreign_version_is_a_typed_mismatch() {
+        let hello = Hello {
+            role: ROLE_PARTICIPANT,
+            params: Vec::new(),
+        };
+        let mut payload = hello.encode();
+        // Corrupt the version word (bytes 8..12, little-endian).
+        payload[8] = 0xEE;
+        let err = Hello::decode(&payload).unwrap_err();
+        assert!(matches!(
+            err,
+            GridError::HandshakeMismatch {
+                ours: WIRE_VERSION,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn garbage_magic_is_a_typed_mismatch() {
+        assert_eq!(
+            Hello::decode(b"HTTP/1.1 200 OK\r\n"),
+            Err(GridError::HandshakeMismatch {
+                ours: WIRE_VERSION,
+                theirs: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn handshake_over_stream() {
+        let mut buf = Vec::new();
+        let hello = Hello {
+            role: ROLE_SUPERVISOR,
+            params: vec![1, 2, 3],
+        };
+        send_hello(&mut buf, &hello).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(recv_hello(&mut cursor).unwrap(), hello);
+    }
+
+    #[test]
+    fn data_frame_during_handshake_is_a_mismatch() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Data(vec![1])).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            recv_hello(&mut cursor),
+            Err(GridError::HandshakeMismatch { .. })
+        ));
+    }
+}

@@ -161,7 +161,7 @@ const AMBIENT_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_
 #[must_use]
 pub fn is_codec_path(path: &str) -> bool {
     let file = path.rsplit('/').next().unwrap_or(path);
-    ["codec", "message", "ledger", "wire", "journal"]
+    ["codec", "message", "ledger", "wire", "journal", "tcp"]
         .iter()
         .any(|stem| file.contains(stem))
 }

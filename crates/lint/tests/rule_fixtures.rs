@@ -236,6 +236,45 @@ let keep = declared_records as u32;
 }
 
 #[test]
+fn tcp_files_are_codec_paths_for_lossy_casts() {
+    // The TCP transport (PR 9) splices `[len][payload]` frames off a raw
+    // byte stream: a truncating cast on a declared length is exactly the
+    // codec bug class, so tcp-named files are inside the rule's scope.
+    let src = "let len = header_word as usize;";
+    let report = lint_source("crates/grid/src/tcp.rs", src);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, Rule::LossyCast);
+    // A reasoned annotation suppresses it, recording the justification.
+    let suppressed = r#"
+// ugc-lint: allow(lossy-cast): bounded above by MAX_FRAME_LEN framing
+let len = header_word as usize;
+"#;
+    let report = lint_source("crates/grid/src/tcp.rs", suppressed);
+    assert_eq!(report.findings, vec![]);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, Rule::LossyCast);
+}
+
+#[test]
+fn bounded_waiting_is_not_a_wall_clock_read() {
+    // The wire layer waits with timeouts (report patience, connect retry
+    // pauses) without ever *reading* a clock into program state. Pin
+    // that the idiom stays invisible to the wall-clock rule — it matches
+    // clock reads (Instant::now / SystemTime::now), not bounded blocking.
+    let src = r#"
+fn pump(rx: &Receiver<Vec<u8>>) {
+    let frame = rx.recv_timeout(Duration::from_secs(30));
+    std::thread::sleep(Duration::from_millis(250));
+}
+"#;
+    assert_eq!(
+        lint_source("crates/grid/src/tcp.rs", src).findings,
+        vec![],
+        "bounded waits must not register as wall-clock reads"
+    );
+}
+
+#[test]
 fn seeded_steal_order_is_not_ambient_rng() {
     // The work-stealing scheduler's victim order (PR 8) is a SplitMix64
     // walk from an explicit seed — pure arithmetic, no entropy source.

@@ -15,8 +15,8 @@
 
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Duration;
 use ugc_journal::{verify_journal, CrashPlan};
+use uncheatable_grid::campaign::{CampaignPlan, FleetParams};
 use uncheatable_grid::core::analysis::{
     cheat_success_probability, detection_probability, required_sample_size,
 };
@@ -25,16 +25,17 @@ use uncheatable_grid::core::scheme::naive::{run_naive, NaiveConfig};
 use uncheatable_grid::core::scheme::ni_cbs::{run_ni_cbs, NiCbsConfig};
 use uncheatable_grid::core::scheme::ringer::{run_ringer, RingerConfig};
 use uncheatable_grid::core::{
-    run_durable_fleet, run_mixed_fleet, summary_digest, CampaignHeader, DurableCampaign,
-    FleetScheme, FleetTransport, MemberSpec, MixedFleetConfig, Parallelism, ParticipantStorage,
-    RoundOutcome, VerificationScheme,
+    run_durable_fleet, run_mixed_fleet, run_mixed_fleet_on, summary_digest, CampaignHeader,
+    DurableCampaign, FleetSummary, FleetTransport, ParticipantStorage, RemoteGridBackend,
+    RoundOutcome,
 };
-use uncheatable_grid::grid::codec::{get_bytes, get_u64, put_bytes, put_u64};
-use uncheatable_grid::grid::runtime::{FaultPlan, GridScheduler};
+use uncheatable_grid::grid::runtime::GridScheduler;
+use uncheatable_grid::grid::tcp::handshake_supervisor;
 use uncheatable_grid::grid::{
-    CheatSelection, FaultEvent, GridError, HonestWorker, SemiHonestCheater, WorkerBehaviour,
+    CheatSelection, FaultEvent, HonestWorker, SemiHonestCheater, WorkerBehaviour,
 };
 use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::netgrid::{self, GridServer};
 use uncheatable_grid::task::workloads::{
     DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal,
 };
@@ -49,15 +50,32 @@ commands:
   run         --scheme <cbs|ni-cbs|naive|ringer> --workload <password|seti|docking|primes>
               [--n <inputs>] [--m <samples>] [--cheat <ratio>] [--partial <level>] [--seed <s>]
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
-              [--scheme <cbs|ni-cbs|naive|ringer>] [--broker] [--workers <w>]
+              [--scheme <cbs|ni-cbs|naive|ringer|double-check>]
+              [--transport <direct|brokered>] [--workers <w>]
               [--steal-seed <s>] [--threads <k>] [--chaos <seed>] [--churn]
               [--journal <path>] [--kill-at <r>] [--resume] [--verify-journal]
+              [--connect <host:port>]
+  broker serve --listen <host:port> [--participants <p>]
+                                                  relay a cross-process campaign
+  participant join <host:port>                    serve slots for a remote campaign
   lint        [--json] [--root <dir>]             audit the workspace for determinism hazards
   help                                            this message
 
 The fleet runs every member as a concurrent session of one multiplexing
-engine; --broker relays all sessions through a GRACE-style grid broker
-over a single supervisor link (verdicts are identical either way).
+engine. --transport picks how its messages move: direct (the default;
+one in-memory link per participant) or brokered (all sessions relayed
+through a GRACE-style grid broker over a single supervisor link) —
+verdicts and digests are identical either way. --broker is the
+deprecated spelling of --transport brokered.
+
+--connect <host:port> runs the same campaign over a real grid: a
+`ugc broker serve` process relays between this supervisor and
+`ugc participant join` processes over length-framed TCP, and the
+printed digest is bit-identical to the in-process brokered run of the
+same flags. A --connect campaign cannot inject chaos (--chaos/--churn:
+fault schedules are keyed by in-process link identity) and cannot
+journal (--journal/--resume/--kill-at are in-process flags).
+
 --workers <w> multiplexes all participants as poll-driven state machines
 over a fixed pool of w OS threads (w = 0 picks one per available core);
 without it each participant gets its own OS thread. --steal-seed <s>
@@ -146,6 +164,18 @@ impl<'a> Args<'a> {
         Ok(self.opt(key)?.unwrap_or(default))
     }
 
+    /// The first unconsumed non-flag argument (e.g. the address in
+    /// `participant join <host:port>`), or `None`.
+    fn positional(&mut self) -> Option<&'a str> {
+        for (i, arg) in self.argv.iter().enumerate() {
+            if !self.used[i] && !arg.starts_with("--") {
+                self.used[i] = true;
+                return Some(arg.as_str());
+            }
+        }
+        None
+    }
+
     /// A bare `--flag` (consumed if present).
     fn flag(&mut self, key: &str) -> bool {
         match self.argv.iter().position(|a| a == key) {
@@ -184,6 +214,20 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("detection") => cmd_detection(Args::new(&args[1..])),
         Some("run") => cmd_run(Args::new(&args[1..])),
         Some("fleet") => cmd_fleet(Args::new(&args[1..])),
+        Some("broker") => match args.get(1).map(String::as_str) {
+            Some("serve") => cmd_broker_serve(Args::new(&args[2..])),
+            other => Err(format!(
+                "unknown broker subcommand {:?}; try `ugc broker serve`",
+                other.unwrap_or("")
+            )),
+        },
+        Some("participant") => match args.get(1).map(String::as_str) {
+            Some("join") => cmd_participant_join(Args::new(&args[2..])),
+            other => Err(format!(
+                "unknown participant subcommand {:?}; try `ugc participant join <host:port>`",
+                other.unwrap_or("")
+            )),
+        },
         Some("lint") => cmd_lint(Args::new(&args[1..])),
         Some("help") | None => {
             println!("{USAGE}");
@@ -440,108 +484,63 @@ fn cmd_run(mut args: Args<'_>) -> Result<(), String> {
     Ok(())
 }
 
-/// The campaign-defining `fleet` flags. Journaled campaigns encode these
-/// into the header's app blob, so `--resume` rebuilds the identical
-/// campaign — task, roster, chaos plan, deadline, retry budget — from
-/// the journal alone, with no flags needed and none accepted.
-struct FleetParams {
-    participants: u64,
-    cheaters: u64,
-    n: u64,
-    m: u64,
-    seed: u64,
-    scheme: String,
-    broker: bool,
-    churn: bool,
-    chaos_seed: Option<u64>,
+/// Parses the campaign-defining `fleet` flags *except* the transport
+/// selection (the `--connect` path forces [`FleetTransport::Remote`]
+/// and must reject the in-process transport flags instead of parsing
+/// them).
+fn base_fleet_params(args: &mut Args<'_>) -> Result<FleetParams, String> {
+    let participants: u64 = args.value("--participants", 4)?;
+    // --threads is the historical alias from the thread-per-participant
+    // runtime: the participant count, under its old name.
+    let participants: u64 = args.value("--threads", participants)?;
+    Ok(FleetParams {
+        participants,
+        cheaters: args.value("--cheaters", 1)?,
+        n: args.value("--n", 4096)?,
+        m: args.value("--m", 25)?,
+        seed: args.value("--seed", 7)?,
+        scheme: args.value("--scheme", "cbs".into())?,
+        transport: FleetTransport::Direct,
+        churn: args.flag("--churn"),
+        chaos_seed: args.opt("--chaos")?,
+    })
 }
 
-/// Version tag of the app-blob layout (bump on any change).
-const FLEET_PARAMS_VERSION: u64 = 1;
-
-impl FleetParams {
-    fn from_args(args: &mut Args<'_>) -> Result<Self, String> {
-        let participants: u64 = args.value("--participants", 4)?;
-        // --threads is the historical alias from the thread-per-participant
-        // runtime: the participant count, under its old name.
-        let participants: u64 = args.value("--threads", participants)?;
-        Ok(FleetParams {
-            participants,
-            cheaters: args.value("--cheaters", 1)?,
-            n: args.value("--n", 4096)?,
-            m: args.value("--m", 25)?,
-            seed: args.value("--seed", 7)?,
-            scheme: args.value("--scheme", "cbs".into())?,
-            broker: args.flag("--broker"),
-            churn: args.flag("--churn"),
-            chaos_seed: args.opt("--chaos")?,
-        })
-    }
-
-    /// Encodes the params as the journal header's app blob.
-    fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
-        put_u64(&mut buf, FLEET_PARAMS_VERSION);
-        put_u64(&mut buf, self.participants);
-        put_u64(&mut buf, self.cheaters);
-        put_u64(&mut buf, self.n);
-        put_u64(&mut buf, self.m);
-        put_u64(&mut buf, self.seed);
-        put_bytes(&mut buf, self.scheme.as_bytes());
-        put_u64(&mut buf, u64::from(self.broker));
-        put_u64(&mut buf, u64::from(self.churn));
-        match self.chaos_seed {
-            None => put_u64(&mut buf, 0),
-            Some(seed) => {
-                put_u64(&mut buf, 1);
-                put_u64(&mut buf, seed);
-            }
+/// Parses the one transport-selection knob: `--transport
+/// direct|brokered`, with `--broker` kept as a deprecated alias for
+/// `--transport brokered` (a stderr hint nudges scripts over; combining
+/// the two spellings is an error rather than a guess).
+fn transport_from_args(args: &mut Args<'_>) -> Result<FleetTransport, String> {
+    let transport: Option<String> = args.opt("--transport")?;
+    let broker = args.flag("--broker");
+    match (transport.as_deref(), broker) {
+        (Some(t), true) => Err(format!(
+            "--broker conflicts with --transport {t}; --broker is a deprecated alias for \
+             --transport brokered — drop it"
+        )),
+        (Some("direct"), false) => Ok(FleetTransport::Direct),
+        (Some("brokered"), false) => Ok(FleetTransport::Brokered),
+        (Some(other), false) => Err(format!(
+            "unknown transport {other:?} (expected direct or brokered; cross-process \
+             campaigns use `ugc fleet --connect <host:port>`)"
+        )),
+        (None, true) => {
+            eprintln!(
+                "warning: --broker is deprecated; use --transport brokered \
+                 (same campaign, same digest)"
+            );
+            Ok(FleetTransport::Brokered)
         }
-        buf
+        (None, false) => Ok(FleetTransport::Direct),
     }
+}
 
-    /// Decodes an app blob written by [`encode`](Self::encode).
-    fn decode(blob: &[u8]) -> Result<Self, String> {
-        let err = |e: GridError| format!("journal app blob: {e}");
-        let mut buf = blob;
-        let version = get_u64(&mut buf, "app blob version").map_err(err)?;
-        if version != FLEET_PARAMS_VERSION {
-            return Err(format!(
-                "journal app blob version {version} (this build reads {FLEET_PARAMS_VERSION}); \
-                 the journal was not written by `ugc fleet`"
-            ));
-        }
-        let participants = get_u64(&mut buf, "app participants").map_err(err)?;
-        let cheaters = get_u64(&mut buf, "app cheaters").map_err(err)?;
-        let n = get_u64(&mut buf, "app n").map_err(err)?;
-        let m = get_u64(&mut buf, "app m").map_err(err)?;
-        let seed = get_u64(&mut buf, "app seed").map_err(err)?;
-        let scheme = String::from_utf8(get_bytes(&mut buf, "app scheme").map_err(err)?)
-            .map_err(|_| "journal app blob: scheme name is not UTF-8".to_string())?;
-        let broker = get_u64(&mut buf, "app broker flag").map_err(err)? != 0;
-        let churn = get_u64(&mut buf, "app churn flag").map_err(err)? != 0;
-        let chaos_seed = match get_u64(&mut buf, "app chaos presence").map_err(err)? {
-            0 => None,
-            _ => Some(get_u64(&mut buf, "app chaos seed").map_err(err)?),
-        };
-        if !buf.is_empty() {
-            return Err(format!(
-                "journal app blob has {} trailing byte(s)",
-                buf.len()
-            ));
-        }
-        Ok(FleetParams {
-            participants,
-            cheaters,
-            n,
-            m,
-            seed,
-            scheme,
-            broker,
-            churn,
-            chaos_seed,
-        })
-    }
+/// The full in-process `fleet` flag set: base params plus transport.
+fn fleet_params_from_args(args: &mut Args<'_>) -> Result<FleetParams, String> {
+    let transport = transport_from_args(args)?;
+    let mut params = base_fleet_params(args)?;
+    params.transport = transport;
+    Ok(params)
 }
 
 fn cmd_verify_journal(path: &Path) -> Result<(), String> {
@@ -553,6 +552,7 @@ fn cmd_verify_journal(path: &Path) -> Result<(), String> {
 }
 
 fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
+    let connect: Option<String> = args.raw("--connect")?.map(str::to_owned);
     let journal_path: Option<String> = args.raw("--journal")?.map(str::to_owned);
     let verify = args.flag("--verify-journal");
     let resume = args.flag("--resume");
@@ -572,6 +572,31 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
     // scheduling-only knob: any seed reproduces the identical campaign
     // (verdicts, fault log, byte counts).
     let steal_seed: u64 = args.opt("--steal-seed")?.unwrap_or(0);
+
+    if let Some(addr) = connect {
+        if journal_path.is_some() || verify || resume || kill_at.is_some() {
+            return Err(
+                "--connect runs the campaign over a live grid; the crash-durability flags \
+                 (--journal, --verify-journal, --resume, --kill-at) apply only to in-process \
+                 campaigns"
+                    .into(),
+            );
+        }
+        if args.raw("--transport")?.is_some() || args.flag("--broker") {
+            return Err("--connect implies the remote transport; drop --transport/--broker".into());
+        }
+        let mut params = base_fleet_params(&mut args)?;
+        args.finish()?;
+        if params.chaos_seed.is_some() || params.churn {
+            return Err(
+                "--connect cannot inject chaos: --chaos/--churn fault schedules are keyed by \
+                 in-process link identity (run them with --transport brokered instead)"
+                    .into(),
+            );
+        }
+        params.transport = FleetTransport::Remote;
+        return cmd_fleet_connect(&addr, &params, workers, steal_seed);
+    }
 
     if verify {
         let Some(path) = journal_path else {
@@ -619,111 +644,23 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
         let params = FleetParams::decode(&campaign.header().app)?;
         (params, Some((campaign, report)))
     } else {
-        let params = FleetParams::from_args(&mut args)?;
+        let params = fleet_params_from_args(&mut args)?;
         args.finish()?;
         (params, None)
     };
 
-    if params.cheaters > params.participants {
-        return Err("more cheaters than participants".into());
-    }
-    let participants = usize::try_from(params.participants)
-        .map_err(|_| "participant count exceeds this platform's usize".to_string())?;
-    let cheaters = usize::try_from(params.cheaters)
-        .map_err(|_| "cheater count exceeds this platform's usize".to_string())?;
-    let m = usize::try_from(params.m)
-        .map_err(|_| "sample count exceeds this platform's usize".to_string())?;
-    let (n, seed) = (params.n, params.seed);
-    let scheme_name = params.scheme.as_str();
-    let (churn, chaos_seed) = (params.churn, params.chaos_seed);
-    let transport = if params.broker {
-        FleetTransport::Brokered
-    } else {
-        FleetTransport::Direct
-    };
-    let chaos = if chaos_seed.is_some() || churn {
-        let mut plan = FaultPlan::chaos(chaos_seed.unwrap_or(1));
-        if churn {
-            plan = plan.with_churn(200);
-        }
-        Some(plan)
-    } else {
-        None
-    };
-    let scheme = match scheme_name {
-        "cbs" => FleetScheme::Cbs {
-            samples: m,
-            report_audit: 0,
-        },
-        "ni-cbs" => FleetScheme::NiCbs {
-            samples: m,
-            g_iterations: 1,
-            report_audit: 0,
-        },
-        "naive" => FleetScheme::Naive { samples: m },
-        "ringer" => FleetScheme::Ringer { ringers: m },
-        other => return Err(format!("unknown scheme {other:?}")),
-    };
-    let task = PasswordSearch::with_hidden_password(seed, n / 3);
-    let screener = task.match_screener();
-    let honest = HonestWorker;
-    let cheater = SemiHonestCheater::new(
-        0.5,
-        CheatSelection::Scattered,
-        ZeroGuesser::new(seed ^ 0xf1ee),
-        seed,
-    );
-    // One scheme instance per member, each with the same derived seed
-    // `run_fleet_over` would have used — the chaos path needs the
-    // MemberSpec form so the fault plan, deadline and retry budget ride
-    // along in MixedFleetConfig.
-    let schemes: Vec<Box<dyn VerificationScheme<Sha256>>> = (0..participants)
-        .map(|i| {
-            scheme.instantiate::<Sha256>(
-                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(i as u64),
-            )
-        })
-        .collect();
-    let members: Vec<MemberSpec<'_, Sha256>> = schemes
-        .iter()
-        .enumerate()
-        .map(|(i, scheme)| MemberSpec {
-            scheme: scheme.as_ref(),
-            behaviours: vec![if i < cheaters {
-                &cheater as &dyn WorkerBehaviour
-            } else {
-                &honest as &dyn WorkerBehaviour
-            }],
-        })
-        .collect();
-    // The inactivity deadline is a hang-guard, not a pace-setter: the
-    // engine's clock only resets on received messages, and a participant
-    // legitimately spends its whole share evaluating f before it says
-    // anything. Scale the allowance with the share size (generously — a
-    // password-search f-eval plus tree hashing is ~1 µs) on top of a
-    // 10 s floor so huge `--n` runs are not killed mid-compute.
-    let deadline =
-        Duration::from_secs(10) + Duration::from_micros(2 * n.div_ceil(participants.max(1) as u64));
-    let domain = Domain::try_new(0, n).map_err(|e| e.to_string())?;
-    let config = MixedFleetConfig {
-        transport,
-        chaos,
-        deadline: chaos.map(|_| deadline),
-        retries: if chaos.is_some() { 5 } else { 0 },
-        storage: ParticipantStorage::Full,
-        parallelism: Parallelism::default(),
-        envelope: false,
-        workers,
-        steal_seed,
-    };
+    let plan = CampaignPlan::new(params.clone())?;
+    let members = plan.members();
+    let config = plan.mixed_config(workers, steal_seed);
+    let domain = plan.domain();
+    let (task, screener) = (plan.task(), plan.screener());
     let outcome = match (&journal_path, resumed) {
-        (None, _) => run_mixed_fleet(&task, &screener, domain, &members, &config),
+        (None, _) => run_mixed_fleet(task, screener, domain, &members, &config),
         (Some(path), None) => {
             let header = CampaignHeader::for_campaign(&members, domain, &config, params.encode());
             let mut campaign = DurableCampaign::create(Path::new(path), header, crash)
                 .map_err(|e| e.to_string())?;
-            run_durable_fleet(&task, &screener, domain, &members, &config, &mut campaign)
+            run_durable_fleet(task, screener, domain, &members, &config, &mut campaign)
         }
         (Some(_), Some((mut campaign, report))) => {
             if let Some(reason) = &report.torn {
@@ -733,7 +670,7 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
                 "resumed: {} committed round(s) replayed ({} record(s) kept, {} dropped)",
                 report.rounds_replayed, report.records_kept, report.records_dropped
             );
-            run_durable_fleet(&task, &screener, domain, &members, &config, &mut campaign)
+            run_durable_fleet(task, screener, domain, &members, &config, &mut campaign)
         }
     };
     let summary = match outcome {
@@ -748,15 +685,70 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
         }
         Err(e) => return Err(e.to_string()),
     };
+    print_fleet_summary(&summary, &params, workers);
+    if let Some(path) = &journal_path {
+        let seal = verify_journal(Path::new(path))
+            .map_err(|e| format!("journal failed post-run verification: {e}"))?;
+        println!(
+            "journal: {path} sealed ({} records, attestation {})",
+            seal.records,
+            seal.digest_hex()
+        );
+    }
+    Ok(())
+}
+
+/// `ugc fleet --connect`: the supervisor half of a cross-process
+/// campaign, run against a live `ugc broker serve` grid over TCP. Same
+/// campaign expansion, same engine, different backend — which is why the
+/// printed digest matches the in-process run bit-for-bit.
+fn cmd_fleet_connect(
+    addr: &str,
+    params: &FleetParams,
+    workers: Option<usize>,
+    steal_seed: u64,
+) -> Result<(), String> {
+    let plan = CampaignPlan::new(params.clone())?;
+    let stream = netgrid::connect(addr)?;
+    let (link, welcome) = handshake_supervisor(stream, &params.encode())
+        .map_err(|e| format!("handshake with {addr}: {e}"))?;
+    println!(
+        "connected to grid at {addr}: {} remote participant process(es)",
+        welcome.peer_count
+    );
+    let mut backend = RemoteGridBackend::new(link);
+    let members = plan.members();
+    let config = plan.mixed_config(workers, steal_seed);
+    let summary = run_mixed_fleet_on(
+        plan.task(),
+        plan.screener(),
+        plan.domain(),
+        &members,
+        &config,
+        &mut backend,
+    )
+    .map_err(|e| e.to_string())?;
+    print_fleet_summary(&summary, params, workers);
+    Ok(())
+}
+
+/// The end-of-campaign report shared by every fleet path: execution
+/// shape, transport, per-member verdicts, reassignments, chaos stats,
+/// throughput, and the replay digest.
+fn print_fleet_summary(summary: &FleetSummary, params: &FleetParams, workers: Option<usize>) {
+    let participants = params.participants;
+    let scheme_name = params.scheme.as_str();
     let execution = match workers {
         Some(w) => format!("{participants} participants on {w} scheduler workers"),
         None => format!("{participants} threads"),
     };
     println!(
-        "fleet of {execution} over {n} inputs via {}: {} accepted, {} rejected",
-        match transport {
+        "fleet of {execution} over {} inputs via {}: {} accepted, {} rejected",
+        params.n,
+        match params.transport {
             FleetTransport::Direct => format!("direct links ({scheme_name})"),
             FleetTransport::Brokered => format!("the grid broker ({scheme_name})"),
+            FleetTransport::Remote => format!("the remote grid broker ({scheme_name})"),
         },
         summary.accepted(),
         summary.rejected()
@@ -777,7 +769,7 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
     for share in summary.shares_to_reassign() {
         println!("  reassign {share}");
     }
-    if let Some(plan) = chaos {
+    if let Some(plan) = params.chaos() {
         let count =
             |pred: fn(&FaultEvent) -> bool| summary.fault_events.iter().filter(|e| pred(e)).count();
         println!(
@@ -799,16 +791,44 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
     );
     // The replay digest: everything digest-relevant (verdicts, attempts,
     // ledgers, fault log), wall clock excluded — identical for the same
-    // campaign at any worker count, with or without a crash and resume.
-    println!("digest: {}", summary_digest(&summary));
-    if let Some(path) = &journal_path {
-        let seal = verify_journal(Path::new(path))
-            .map_err(|e| format!("journal failed post-run verification: {e}"))?;
-        println!(
-            "journal: {path} sealed ({} records, attestation {})",
-            seal.records,
-            seal.digest_hex()
-        );
-    }
+    // campaign at any worker count, over any transport, with or without
+    // a crash and resume.
+    println!("digest: {}", summary_digest(summary));
+}
+
+/// `ugc broker serve`: bind a listener, assemble the roster (N
+/// participant processes plus one supervisor), then relay the campaign
+/// until the supervisor closes its side.
+fn cmd_broker_serve(mut args: Args<'_>) -> Result<(), String> {
+    let listen: String = args.value("--listen", "127.0.0.1:9400".into())?;
+    let participants: usize = args.value("--participants", 2)?;
+    args.finish()?;
+    let server = GridServer::bind(&listen, participants)?;
+    println!(
+        "broker listening on {} for {participants} participant(s) and a supervisor",
+        server.local_addr()?
+    );
+    let outcome = server.run()?;
+    println!(
+        "grid relay closed: {} participant process(es) served, {} outward / {} inward message(s)",
+        outcome.joined, outcome.relay.outward, outcome.relay.inward
+    );
+    Ok(())
+}
+
+/// `ugc participant join`: connect to a broker, receive the campaign
+/// params in the handshake, and serve participant slots until the
+/// campaign ends.
+fn cmd_participant_join(mut args: Args<'_>) -> Result<(), String> {
+    let addr = args
+        .positional()
+        .ok_or_else(|| "participant join requires the broker address (host:port)".to_string())?
+        .to_owned();
+    args.finish()?;
+    let outcome = netgrid::join(&addr)?;
+    println!(
+        "participant {} done: {} slot(s) served",
+        outcome.peer_index, outcome.slots_served
+    );
     Ok(())
 }

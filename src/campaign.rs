@@ -1,0 +1,483 @@
+//! The `ugc fleet` campaign, as data: parameters and the plan they
+//! deterministically expand into.
+//!
+//! [`FleetParams`] is the versioned, codec-stable record of everything
+//! that defines a fleet campaign — roster shape, workload size, scheme,
+//! seed, transport, chaos. It travels in two places: the write-ahead
+//! journal's header app blob (so `ugc fleet --resume` rebuilds the
+//! identical campaign from the journal alone) and the wire handshake's
+//! `Welcome` payload (so a `ugc participant join` process in another OS
+//! process expands the *same* plan the supervisor runs — same task, same
+//! derived scheme seeds, same cheater roster — which is what makes a
+//! cross-process campaign's digest bit-identical to the in-process run).
+//!
+//! [`CampaignPlan`] is that expansion: the task, screener, behaviours
+//! and per-member scheme instances, plus the slot arithmetic shared by
+//! the supervisor (which numbers sessions) and a join process (which
+//! demultiplexes them by task id).
+
+use std::time::Duration;
+use ugc_core::{
+    FleetScheme, MemberSpec, MixedFleetConfig, Parallelism, ParticipantContext, ParticipantSession,
+    ParticipantStorage, TransportKind, VerificationScheme,
+};
+use ugc_grid::codec::{get_bytes, get_u64, put_bytes, put_u64};
+use ugc_grid::runtime::FaultPlan;
+use ugc_grid::{
+    CheatSelection, CostLedger, GridError, HonestWorker, SemiHonestCheater, WorkerBehaviour,
+};
+use ugc_hash::Sha256;
+use ugc_task::workloads::PasswordSearch;
+use ugc_task::{Domain, MatchScreener, ZeroGuesser};
+
+/// Version tag of the [`FleetParams`] codec layout (bump on any change).
+/// Version 1 was the pre-transport layout with a bare `--broker` bool;
+/// version 2 records the full [`TransportKind`].
+pub const FLEET_PARAMS_VERSION: u64 = 2;
+
+/// The campaign-defining `fleet` parameters. Journaled campaigns encode
+/// these into the header's app blob, so `--resume` rebuilds the
+/// identical campaign — task, roster, chaos plan, deadline, retry
+/// budget — from the journal alone; `ugc broker serve` forwards them in
+/// the handshake `Welcome`, so join processes expand the identical
+/// plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetParams {
+    /// Fleet size (members, not slots — double-check runs two slots per
+    /// member).
+    pub participants: u64,
+    /// How many members (the first `cheaters` of the roster) run the
+    /// semi-honest cheater behaviour.
+    pub cheaters: u64,
+    /// Domain size: inputs 0..n, split evenly across members.
+    pub n: u64,
+    /// Samples (CBS/NI-CBS/naive) or ringers per member.
+    pub m: u64,
+    /// Base seed; member `i` gets a derived scheme seed.
+    pub seed: u64,
+    /// Scheme name as the CLI spells it (`cbs`, `ni-cbs`, `naive`,
+    /// `ringer`, `double-check`).
+    pub scheme: String,
+    /// How the fleet's messages move — the one transport-selection knob.
+    pub transport: TransportKind,
+    /// Whether the chaos plan adds participant crash/restart churn.
+    pub churn: bool,
+    /// Seeded fault injection on every participant link (`None` runs
+    /// clean).
+    pub chaos_seed: Option<u64>,
+}
+
+impl FleetParams {
+    /// Encodes the params as a versioned blob (journal header app blob
+    /// and handshake `Welcome` payload share this layout).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, FLEET_PARAMS_VERSION);
+        put_u64(&mut buf, self.participants);
+        put_u64(&mut buf, self.cheaters);
+        put_u64(&mut buf, self.n);
+        put_u64(&mut buf, self.m);
+        put_u64(&mut buf, self.seed);
+        put_bytes(&mut buf, self.scheme.as_bytes());
+        put_u64(
+            &mut buf,
+            match self.transport {
+                TransportKind::Direct => 0,
+                TransportKind::Brokered => 1,
+                TransportKind::Remote => 2,
+            },
+        );
+        put_u64(&mut buf, u64::from(self.churn));
+        match self.chaos_seed {
+            None => put_u64(&mut buf, 0),
+            Some(seed) => {
+                put_u64(&mut buf, 1);
+                put_u64(&mut buf, seed);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a blob written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on a truncated, trailing-bytes or
+    /// foreign-version blob (version 1 journals predate the transport
+    /// field and are refused rather than guessed at).
+    pub fn decode(blob: &[u8]) -> Result<Self, String> {
+        let err = |e: GridError| format!("campaign params blob: {e}");
+        let mut buf = blob;
+        let version = get_u64(&mut buf, "params blob version").map_err(err)?;
+        if version != FLEET_PARAMS_VERSION {
+            return Err(format!(
+                "campaign params blob version {version} (this build reads \
+                 {FLEET_PARAMS_VERSION}); re-run the campaign with this `ugc` build"
+            ));
+        }
+        let participants = get_u64(&mut buf, "params participants").map_err(err)?;
+        let cheaters = get_u64(&mut buf, "params cheaters").map_err(err)?;
+        let n = get_u64(&mut buf, "params n").map_err(err)?;
+        let m = get_u64(&mut buf, "params m").map_err(err)?;
+        let seed = get_u64(&mut buf, "params seed").map_err(err)?;
+        let scheme = String::from_utf8(get_bytes(&mut buf, "params scheme").map_err(err)?)
+            .map_err(|_| "campaign params blob: scheme name is not UTF-8".to_string())?;
+        let transport = match get_u64(&mut buf, "params transport").map_err(err)? {
+            0 => TransportKind::Direct,
+            1 => TransportKind::Brokered,
+            2 => TransportKind::Remote,
+            other => {
+                return Err(format!(
+                    "campaign params blob: unknown transport tag {other}"
+                ))
+            }
+        };
+        let churn = get_u64(&mut buf, "params churn flag").map_err(err)? != 0;
+        let chaos_seed = match get_u64(&mut buf, "params chaos presence").map_err(err)? {
+            0 => None,
+            _ => Some(get_u64(&mut buf, "params chaos seed").map_err(err)?),
+        };
+        if !buf.is_empty() {
+            return Err(format!(
+                "campaign params blob has {} trailing byte(s)",
+                buf.len()
+            ));
+        }
+        Ok(FleetParams {
+            participants,
+            cheaters,
+            n,
+            m,
+            seed,
+            scheme,
+            transport,
+            churn,
+            chaos_seed,
+        })
+    }
+
+    /// The [`FleetScheme`] this campaign runs.
+    ///
+    /// # Errors
+    ///
+    /// An unknown scheme name.
+    pub fn fleet_scheme(&self) -> Result<FleetScheme, String> {
+        let m = usize::try_from(self.m)
+            .map_err(|_| "sample count exceeds this platform's usize".to_string())?;
+        Ok(match self.scheme.as_str() {
+            "cbs" => FleetScheme::Cbs {
+                samples: m,
+                report_audit: 0,
+            },
+            "ni-cbs" => FleetScheme::NiCbs {
+                samples: m,
+                g_iterations: 1,
+                report_audit: 0,
+            },
+            "naive" => FleetScheme::Naive { samples: m },
+            "ringer" => FleetScheme::Ringer { ringers: m },
+            "double-check" => FleetScheme::DoubleCheck,
+            other => return Err(format!("unknown scheme {other:?}")),
+        })
+    }
+
+    /// The seeded chaos plan, when the params ask for one.
+    #[must_use]
+    pub fn chaos(&self) -> Option<FaultPlan> {
+        if self.chaos_seed.is_some() || self.churn {
+            let mut plan = FaultPlan::chaos(self.chaos_seed.unwrap_or(1));
+            if self.churn {
+                plan = plan.with_churn(200);
+            }
+            Some(plan)
+        } else {
+            None
+        }
+    }
+}
+
+/// A [`FleetParams`] expansion: everything `run_mixed_fleet` needs on
+/// the supervisor side, and everything a join process needs to build the
+/// participant half of any slot. Both sides expanding the same params
+/// must agree bit-for-bit — the derived scheme seeds, the cheater
+/// roster, the hidden password — which is why the expansion lives here,
+/// once, instead of being duplicated per process.
+pub struct CampaignPlan {
+    params: FleetParams,
+    scheme: FleetScheme,
+    task: PasswordSearch,
+    screener: MatchScreener,
+    honest: HonestWorker,
+    cheater: SemiHonestCheater<ZeroGuesser>,
+    schemes: Vec<Box<dyn VerificationScheme<Sha256>>>,
+    participants: usize,
+    cheaters: usize,
+    domain: Domain,
+}
+
+impl CampaignPlan {
+    /// Expands `params` into the runnable plan.
+    ///
+    /// # Errors
+    ///
+    /// Inconsistent params: more cheaters than participants, counts
+    /// exceeding `usize`, an unknown scheme name, an empty domain.
+    pub fn new(params: FleetParams) -> Result<Self, String> {
+        if params.cheaters > params.participants {
+            return Err("more cheaters than participants".into());
+        }
+        let participants = usize::try_from(params.participants)
+            .map_err(|_| "participant count exceeds this platform's usize".to_string())?;
+        let cheaters = usize::try_from(params.cheaters)
+            .map_err(|_| "cheater count exceeds this platform's usize".to_string())?;
+        let scheme = params.fleet_scheme()?;
+        let seed = params.seed;
+        let task = PasswordSearch::with_hidden_password(seed, params.n / 3);
+        let screener = task.match_screener();
+        let cheater = SemiHonestCheater::new(
+            0.5,
+            CheatSelection::Scattered,
+            ZeroGuesser::new(seed ^ 0xf1ee),
+            seed,
+        );
+        // One scheme instance per member, each with the derived seed
+        // `run_fleet_over` would have used.
+        let schemes: Vec<Box<dyn VerificationScheme<Sha256>>> = (0..participants)
+            .map(|i| {
+                scheme.instantiate::<Sha256>(
+                    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        let domain = Domain::try_new(0, params.n).map_err(|e| e.to_string())?;
+        Ok(CampaignPlan {
+            params,
+            scheme,
+            task,
+            screener,
+            honest: HonestWorker,
+            cheater,
+            schemes,
+            participants,
+            cheaters,
+            domain,
+        })
+    }
+
+    /// The params this plan expanded from.
+    #[must_use]
+    pub fn params(&self) -> &FleetParams {
+        &self.params
+    }
+
+    /// The compute task every member evaluates.
+    #[must_use]
+    pub fn task(&self) -> &PasswordSearch {
+        &self.task
+    }
+
+    /// The screener defining "results of interest".
+    #[must_use]
+    pub fn screener(&self) -> &MatchScreener {
+        &self.screener
+    }
+
+    /// The full input domain (members get even shares of it).
+    #[must_use]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Participant slots per member (2 for double-check, 1 otherwise).
+    #[must_use]
+    pub fn slots_per_member(&self) -> usize {
+        self.scheme.slots()
+    }
+
+    /// Total participant slots across the fleet — the global-slot (and
+    /// task-id) space of a full-fleet round.
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.participants * self.slots_per_member()
+    }
+
+    /// The fleet roster: one [`MemberSpec`] per member, the first
+    /// `cheaters` of them running the semi-honest cheater on every slot.
+    #[must_use]
+    pub fn members(&self) -> Vec<MemberSpec<'_, Sha256>> {
+        self.schemes
+            .iter()
+            .enumerate()
+            .map(|(i, scheme)| MemberSpec {
+                scheme: scheme.as_ref(),
+                behaviours: vec![
+                    if i < self.cheaters {
+                        &self.cheater as &dyn WorkerBehaviour
+                    } else {
+                        &self.honest as &dyn WorkerBehaviour
+                    };
+                    self.slots_per_member()
+                ],
+            })
+            .collect()
+    }
+
+    /// The per-session inactivity deadline `ugc fleet` arms on chaotic
+    /// runs: a hang-guard, not a pace-setter — generous enough that a
+    /// member legitimately spending its whole share evaluating `f` is
+    /// never killed mid-compute.
+    #[must_use]
+    pub fn deadline(&self) -> Duration {
+        Duration::from_secs(10)
+            + Duration::from_micros(
+                2 * self
+                    .params
+                    .n
+                    .div_ceil(u64::try_from(self.participants.max(1)).unwrap_or(1)),
+            )
+    }
+
+    /// The [`MixedFleetConfig`] for this campaign. `workers` and
+    /// `steal_seed` are execution-only knobs (scheduling, never
+    /// digests); everything digest-relevant comes from the params.
+    #[must_use]
+    pub fn mixed_config(&self, workers: Option<usize>, steal_seed: u64) -> MixedFleetConfig {
+        let chaos = self.params.chaos();
+        MixedFleetConfig {
+            transport: self.params.transport,
+            chaos,
+            deadline: chaos.map(|_| self.deadline()),
+            retries: if chaos.is_some() { 5 } else { 0 },
+            storage: ParticipantStorage::Full,
+            parallelism: Parallelism::default(),
+            envelope: false,
+            workers,
+            steal_seed,
+        }
+    }
+
+    /// Builds the participant-side state machine for one global slot —
+    /// what a `ugc participant join` process runs when the broker hands
+    /// it that slot's assignment. Task ids are the global slot counter
+    /// (`run_fleet_round` numbers slots 0.. across the roster), so a
+    /// join process can demultiplex purely by
+    /// [`Message::task_id`](ugc_grid::Message::task_id).
+    ///
+    /// # Errors
+    ///
+    /// A slot outside this campaign's `0..total_slots()` space.
+    pub fn participant_session(
+        &self,
+        global_slot: u64,
+        ledger: CostLedger,
+    ) -> Result<Box<dyn ParticipantSession + '_>, String> {
+        let spm = u64::try_from(self.slots_per_member()).map_err(|_| "slot width".to_string())?;
+        let member = usize::try_from(global_slot / spm)
+            .ok()
+            .filter(|m| *m < self.participants)
+            .ok_or_else(|| {
+                format!(
+                    "slot {global_slot} is outside this campaign's {} slot(s)",
+                    self.total_slots()
+                )
+            })?;
+        let behaviour: &dyn WorkerBehaviour = if member < self.cheaters {
+            &self.cheater
+        } else {
+            &self.honest
+        };
+        Ok(
+            self.schemes[member].participant_session(ParticipantContext {
+                task: &self.task,
+                screener: &self.screener,
+                behaviour,
+                storage: ParticipantStorage::Full,
+                parallelism: Parallelism::default(),
+                ledger,
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FleetParams {
+        FleetParams {
+            participants: 3,
+            cheaters: 1,
+            n: 300,
+            m: 10,
+            seed: 7,
+            scheme: "cbs".into(),
+            transport: TransportKind::Brokered,
+            churn: false,
+            chaos_seed: None,
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_all_transports() {
+        for transport in [
+            TransportKind::Direct,
+            TransportKind::Brokered,
+            TransportKind::Remote,
+        ] {
+            for chaos_seed in [None, Some(9)] {
+                let p = FleetParams {
+                    transport,
+                    chaos_seed,
+                    churn: chaos_seed.is_some(),
+                    ..params()
+                };
+                assert_eq!(FleetParams::decode(&p.encode()).unwrap(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn params_reject_foreign_version_and_trailing_bytes() {
+        let mut v1 = Vec::new();
+        put_u64(&mut v1, 1);
+        let err = FleetParams::decode(&v1).unwrap_err();
+        assert!(err.contains("version 1"), "unhelpful error: {err}");
+
+        let mut blob = params().encode();
+        blob.push(0);
+        let err = FleetParams::decode(&blob).unwrap_err();
+        assert!(err.contains("trailing"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn plan_rejects_bad_rosters() {
+        let p = FleetParams {
+            cheaters: 4,
+            ..params()
+        };
+        let err = CampaignPlan::new(p).err().expect("bad roster");
+        assert!(err.contains("cheaters"), "unhelpful error: {err}");
+        let p = FleetParams {
+            scheme: "quantum".into(),
+            ..params()
+        };
+        let err = CampaignPlan::new(p).err().expect("bad scheme");
+        assert!(err.contains("unknown scheme"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn double_check_doubles_the_slot_space() {
+        let plan = CampaignPlan::new(FleetParams {
+            scheme: "double-check".into(),
+            ..params()
+        })
+        .unwrap();
+        assert_eq!(plan.slots_per_member(), 2);
+        assert_eq!(plan.total_slots(), 6);
+        assert_eq!(plan.members()[0].behaviours.len(), 2);
+        assert!(plan.participant_session(5, CostLedger::default()).is_ok());
+        assert!(plan.participant_session(6, CostLedger::default()).is_err());
+    }
+}

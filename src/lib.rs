@@ -55,6 +55,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
+pub mod netgrid;
+
 pub use ugc_core as core;
 pub use ugc_grid as grid;
 pub use ugc_hash as hash;

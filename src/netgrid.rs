@@ -1,0 +1,468 @@
+//! The cross-process grid: `ugc broker serve`, `ugc participant join`
+//! and `ugc fleet --connect`, over the length-framed TCP wire protocol.
+//!
+//! Three processes cooperate, mirroring the paper's GRACE deployment
+//! exactly — the supervisor talks only to the broker, never to
+//! participants:
+//!
+//! * [`GridServer`] (`ugc broker serve`) accepts one supervisor and N
+//!   participant connections, completes the versioned handshake, then
+//!   runs the *same* [`Broker`] relay the in-process brokered transport
+//!   uses — over [`TcpLink`]s instead of in-memory endpoints — plus a
+//!   control-plane sweep forwarding participant [`SlotReport`]s up.
+//! * [`join`] (`ugc participant join`) dials in, learns the campaign
+//!   from the handshake [`Welcome`], expands the identical
+//!   [`CampaignPlan`] the supervisor runs, and serves every slot the
+//!   broker round-robins to it, demultiplexing purely by task id.
+//! * [`run_remote_campaign`] wires all three together over loopback in
+//!   one process — the harness `tests/wire_equivalence.rs` and the
+//!   `wire_overhead` benchmark use to prove a cross-process campaign's
+//!   digest is bit-identical to the in-process run.
+//!
+//! Reconnect semantics: the server keeps accepting after the roster is
+//! complete; a late joiner becomes a fresh round-robin target. Tasks
+//! orphaned by a died participant were already NACKed to the supervisor
+//! with [`Message::Gone`](ugc_grid::Message) — they are *not* replayed
+//! to the newcomer, the supervisor's retry round reassigns them.
+
+use crate::campaign::{CampaignPlan, FleetParams};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+use ugc_core::{
+    run_mixed_fleet_on, FleetSummary, ParticipantSession, RemoteGridBackend, SlotReport,
+    TransportKind,
+};
+use ugc_grid::tcp::{handshake_participant, handshake_supervisor};
+use ugc_grid::wire::{recv_hello, send_welcome, Hello, Welcome, ROLE_PARTICIPANT, ROLE_SUPERVISOR};
+use ugc_grid::{
+    Backoff, Broker, ControlHandle, CostLedger, GridError, GridLink, RelayStats, TcpLink,
+};
+
+/// How many times [`connect`] retries a refused dial before giving up.
+/// With [`CONNECT_PAUSE`] between attempts this tolerates ~10 s of the
+/// server not being up yet — `ugc participant join` is routinely started
+/// before `ugc broker serve` finishes binding.
+const CONNECT_ATTEMPTS: u32 = 40;
+/// Pause between dial attempts (a fixed schedule, not wall-clock-read
+/// based: retry behaviour is execution-only and never enters a digest).
+const CONNECT_PAUSE: Duration = Duration::from_millis(250);
+/// How long the server waits for a connection's [`Hello`] before
+/// dropping it (a liveness guard against port scanners and half-open
+/// dials wedging the roster phase).
+const HELLO_PATIENCE: Duration = Duration::from_secs(10);
+
+/// Dials `addr`, retrying while the server is still coming up.
+///
+/// # Errors
+///
+/// The last I/O error once the retry schedule is exhausted.
+pub fn connect(addr: &str) -> Result<TcpStream, String> {
+    let mut last: Option<io::Error> = None;
+    for _ in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(CONNECT_PAUSE);
+            }
+        }
+    }
+    Err(match last {
+        Some(e) => format!("could not connect to {addr}: {e}"),
+        None => format!("could not connect to {addr}"),
+    })
+}
+
+/// What a completed [`GridServer::run`] relayed.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOutcome {
+    /// Message counts the broker relayed in each direction.
+    pub relay: RelayStats,
+    /// Participant processes welcomed over the server's lifetime
+    /// (roster plus late joiners/reconnects).
+    pub joined: usize,
+}
+
+/// What a completed [`join`] served.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOutcome {
+    /// This process's index among the broker's participants.
+    pub peer_index: u32,
+    /// Participant slots this process ran to completion (reported via
+    /// [`SlotReport`] control frames).
+    pub slots_served: u64,
+}
+
+/// Receives a connection's [`Hello`] under [`HELLO_PATIENCE`], leaving
+/// the stream in blocking mode afterwards (the [`TcpLink`] reader thread
+/// needs plain blocking reads).
+fn accept_hello(mut stream: TcpStream) -> Result<(TcpStream, Hello), GridError> {
+    stream
+        .set_read_timeout(Some(HELLO_PATIENCE))
+        .map_err(|_| GridError::Disconnected)?;
+    let hello = recv_hello(&mut stream)?;
+    stream
+        .set_read_timeout(None)
+        .map_err(|_| GridError::Disconnected)?;
+    Ok((stream, hello))
+}
+
+/// The `ugc broker serve` process: a [`Broker`] relay over real
+/// sockets.
+///
+/// Two-phase construction — [`bind`](Self::bind) then
+/// [`run`](Self::run) — so a caller binding port 0 can read the
+/// OS-assigned address from [`local_addr`](Self::local_addr) before the
+/// server blocks.
+pub struct GridServer {
+    listener: TcpListener,
+    participants: usize,
+}
+
+impl GridServer {
+    /// Binds the listen address. `participants` is the number of
+    /// participant *processes* the roster waits for — independent of
+    /// the campaign's fleet size, since the broker round-robins any
+    /// number of slots across however many processes joined (the
+    /// paper's "the GRB hides the participants": digests never depend
+    /// on which process hosts which slot).
+    ///
+    /// # Errors
+    ///
+    /// An unbindable address, or a zero participant count.
+    pub fn bind(listen: &str, participants: usize) -> Result<Self, String> {
+        if participants == 0 {
+            return Err("a grid needs at least one participant process".into());
+        }
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+        Ok(GridServer {
+            listener,
+            participants,
+        })
+    }
+
+    /// The bound address (the OS-assigned one when binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// The socket is gone.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("listener address unavailable: {e}"))
+    }
+
+    /// Assembles the grid and relays the campaign to completion:
+    /// accepts until the roster (N participants + 1 supervisor) is
+    /// complete, welcomes everyone — participants receive the
+    /// supervisor's campaign params, so the grid assembling is also the
+    /// campaign reaching every process — then pumps the broker until
+    /// the supervisor hangs up and all queued traffic is drained.
+    /// Late connections during the campaign are handshaken and added as
+    /// fresh round-robin targets (reconnect-with-NACK).
+    ///
+    /// # Errors
+    ///
+    /// Accept/handshake failures during roster assembly (the pump phase
+    /// instead drops misbehaving connections, as a relay must).
+    pub fn run(self) -> Result<ServeOutcome, String> {
+        // Roster phase: blocking accept until one supervisor and
+        // `participants` participant processes have said hello.
+        let mut part_streams: Vec<TcpStream> = Vec::new();
+        let mut supervisor: Option<(TcpStream, Vec<u8>)> = None;
+        while part_streams.len() < self.participants || supervisor.is_none() {
+            let (stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| format!("accept failed: {e}"))?;
+            match accept_hello(stream) {
+                Ok((stream, hello)) if hello.role == ROLE_PARTICIPANT => {
+                    if part_streams.len() < self.participants {
+                        part_streams.push(stream);
+                    }
+                    // A surplus participant waits in the accept queue of
+                    // the pump phase? No — it already said hello, so it
+                    // is simply dropped; it may redial and join late.
+                }
+                Ok((stream, hello)) if hello.role == ROLE_SUPERVISOR && supervisor.is_none() => {
+                    supervisor = Some((stream, hello.params));
+                }
+                // A second supervisor, an unknown role, or a handshake
+                // failure: drop the connection and keep assembling.
+                Ok(_) | Err(_) => {}
+            }
+        }
+        let (mut sup_stream, sup_params) =
+            supervisor.expect("roster loop exits only with a supervisor");
+        let peer_count = u32::try_from(self.participants)
+            .map_err(|_| "participant count exceeds the wire's u32".to_string())?;
+
+        // Welcome phase: participants first (each learns the campaign
+        // params), supervisor last — its welcome doubles as "the grid is
+        // assembled, start assigning".
+        let mut part_links: Vec<TcpLink> = Vec::new();
+        let mut part_controls: Vec<ControlHandle> = Vec::new();
+        for (i, mut stream) in part_streams.into_iter().enumerate() {
+            let welcome = Welcome {
+                peer_index: u32::try_from(i).unwrap_or(u32::MAX),
+                peer_count,
+                params: sup_params.clone(),
+            };
+            send_welcome(&mut stream, &welcome)
+                .map_err(|e| format!("participant {i} welcome failed: {e}"))?;
+            let link = TcpLink::from_stream(stream);
+            part_controls.push(link.control_handle());
+            part_links.push(link);
+        }
+        send_welcome(
+            &mut sup_stream,
+            &Welcome {
+                peer_index: 0,
+                peer_count,
+                params: Vec::new(),
+            },
+        )
+        .map_err(|e| format!("supervisor welcome failed: {e}"))?;
+        let sup_link = TcpLink::from_stream(sup_stream);
+        let sup_control = sup_link.control_handle();
+        let mut broker = Broker::new(sup_link, part_links);
+        let mut joined = self.participants;
+
+        // Pump phase: the in-process `pump_until_closed` loop (same exit
+        // protocol — see that method's comment) with two additions only a
+        // cross-process relay needs: a control-plane sweep forwarding
+        // participant SlotReports up, and a non-blocking accept so late
+        // joiners/reconnects become fresh round-robin targets.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener mode change failed: {e}"))?;
+        let mut outward_drained = false;
+        let mut inward_dead = false;
+        let mut backoff = Backoff::new();
+        loop {
+            let mut progress = false;
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if let Ok((mut stream, hello)) = accept_hello(stream) {
+                        if hello.role == ROLE_PARTICIPANT {
+                            let welcome = Welcome {
+                                peer_index: u32::try_from(broker.participant_count())
+                                    .unwrap_or(u32::MAX),
+                                peer_count,
+                                params: sup_params.clone(),
+                            };
+                            if send_welcome(&mut stream, &welcome).is_ok() {
+                                let link = TcpLink::from_stream(stream);
+                                part_controls.push(link.control_handle());
+                                broker.add_participant(link);
+                                joined += 1;
+                                progress = true;
+                            }
+                        }
+                        // A mid-campaign supervisor dial is dropped: the
+                        // campaign already has one.
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                // Transient accept errors are not the relay's problem.
+                Err(_) => {}
+            }
+            if !outward_drained {
+                match broker.try_relay_outward() {
+                    Ok(true) => progress = true,
+                    Ok(false) => {}
+                    Err(GridError::Disconnected) => outward_drained = true,
+                    // Unroutable mail is dropped, not fatal.
+                    Err(_) => progress = true,
+                }
+            }
+            if !inward_dead {
+                match broker.try_relay_inward() {
+                    Ok(Some(_)) => progress = true,
+                    Ok(None) => {}
+                    Err(GridError::Disconnected) => inward_dead = true,
+                    Err(_) => progress = true,
+                }
+            }
+            // Control sweep: slot reports ride the uncharged control
+            // plane, exactly like the in-process ledger clones ride
+            // outside the message flow.
+            for control in &part_controls {
+                while let Ok(Some(payload)) = control.try_recv() {
+                    let _ = sup_control.send(payload);
+                    progress = true;
+                }
+            }
+            if progress {
+                backoff.reset();
+            } else if outward_drained {
+                // Supervisor gone and its queue drained: returning drops
+                // every participant link, which is what tells the join
+                // processes the campaign is over.
+                return Ok(ServeOutcome {
+                    relay: broker.stats(),
+                    joined,
+                });
+            } else {
+                backoff.wait();
+            }
+        }
+    }
+}
+
+/// The `ugc participant join` process body: dials the broker, expands
+/// the campaign from the handshake, and serves every slot the broker
+/// hands this process until the campaign ends (the broker dropping the
+/// link).
+///
+/// # Errors
+///
+/// Connection/handshake failure, a params blob this build cannot read,
+/// or a transport error other than the end-of-campaign disconnect.
+pub fn join(addr: &str) -> Result<JoinOutcome, String> {
+    let stream = connect(addr)?;
+    let (link, welcome) =
+        handshake_participant(stream).map_err(|e| format!("handshake with {addr} failed: {e}"))?;
+    let params = FleetParams::decode(&welcome.params)?;
+    let plan = CampaignPlan::new(params)?;
+    let slots_served = serve_slots(&link, &plan)?;
+    Ok(JoinOutcome {
+        peer_index: welcome.peer_index,
+        slots_served,
+    })
+}
+
+/// Runs participant sessions for every slot the broker routes to this
+/// link, demultiplexing by task id (the orchestrator numbers slots with
+/// one global counter, so a message's task id *is* its global slot).
+/// Each completed slot's costs and outcome go back as a [`SlotReport`]
+/// control frame; its ledger is fresh per slot, so the report is a pure
+/// delta the supervisor sums into the member's ledger — the same
+/// additive counters an in-process member's slots share directly.
+fn serve_slots(link: &TcpLink, plan: &CampaignPlan) -> Result<u64, String> {
+    let control = link.control_handle();
+    // BTreeMap, not HashMap: slot teardown order must never depend on
+    // unspecified iteration order (the ugc-lint unordered-iter rule).
+    let mut live: BTreeMap<u64, (Box<dyn ParticipantSession + '_>, CostLedger)> = BTreeMap::new();
+    let mut served = 0u64;
+    loop {
+        let msg = match link.recv() {
+            Ok(msg) => msg,
+            // The broker dropping the link is the normal end of campaign.
+            Err(GridError::Disconnected) => break,
+            Err(e) => return Err(format!("grid link failed: {e}")),
+        };
+        let slot = msg.task_id();
+        if let std::collections::btree_map::Entry::Vacant(entry) = live.entry(slot) {
+            let ledger = CostLedger::new();
+            let session = plan.participant_session(slot, ledger.clone())?;
+            entry.insert((session, ledger));
+        }
+        let (session, ledger) = live.get_mut(&slot).expect("inserted above");
+        match session.on_message(msg) {
+            Ok(replies) => {
+                let mut peer_gone = false;
+                for reply in replies {
+                    match link.send(&reply) {
+                        Ok(_) => {}
+                        Err(GridError::Disconnected) => {
+                            peer_gone = true;
+                            break;
+                        }
+                        Err(e) => return Err(format!("grid link failed: {e}")),
+                    }
+                }
+                if peer_gone {
+                    break;
+                }
+                if let Some(accepted) = session.finished() {
+                    let report = SlotReport {
+                        slot,
+                        costs: ledger.report(),
+                        outcome: Ok(accepted),
+                    };
+                    // A send failure means the campaign tore down first;
+                    // the exit path is the recv disconnect above.
+                    let _ = control.send(report.encode());
+                    live.remove(&slot);
+                    served += 1;
+                }
+            }
+            Err(e) => {
+                let report = SlotReport {
+                    slot,
+                    costs: ledger.report(),
+                    outcome: Err(e),
+                };
+                let _ = control.send(report.encode());
+                live.remove(&slot);
+                served += 1;
+            }
+        }
+    }
+    Ok(served)
+}
+
+/// Runs a full cross-process-shaped campaign over loopback TCP in one
+/// process: a [`GridServer`] on port 0, `joiners` participant threads
+/// running [`join`], and the supervisor inline on the calling thread
+/// over a [`RemoteGridBackend`] — returning its [`FleetSummary`], whose
+/// digest must be bit-identical to the in-process brokered run of the
+/// same params.
+///
+/// # Errors
+///
+/// Any phase failing; chaos params are refused up front (the remote
+/// backend cannot inject faults).
+pub fn run_remote_campaign(params: &FleetParams, joiners: usize) -> Result<FleetSummary, String> {
+    if params.chaos().is_some() {
+        return Err(
+            "a cross-process campaign cannot inject chaos: fault schedules are \
+                    keyed by link id, and which process hosts which link is execution \
+                    layout that digests must not depend on"
+                .into(),
+        );
+    }
+    let mut params = params.clone();
+    params.transport = TransportKind::Remote;
+    let server = GridServer::bind("127.0.0.1:0", joiners)?;
+    let addr = server.local_addr()?.to_string();
+    let serve = std::thread::spawn(move || server.run());
+    let join_handles: Vec<_> = (0..joiners)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || join(&addr))
+        })
+        .collect();
+
+    let plan = CampaignPlan::new(params.clone())?;
+    let stream = connect(&addr)?;
+    let (link, _welcome) =
+        handshake_supervisor(stream, &params.encode()).map_err(|e| format!("handshake: {e}"))?;
+    let mut backend = RemoteGridBackend::new(link);
+    let members = plan.members();
+    let summary = run_mixed_fleet_on(
+        plan.task(),
+        plan.screener(),
+        plan.domain(),
+        &members,
+        &plan.mixed_config(None, 0),
+        &mut backend,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // The supervisor link died with the backend's round; the serve pump
+    // observes the hang-up, drains, and drops the participant links,
+    // which ends every joiner.
+    for (i, handle) in join_handles.into_iter().enumerate() {
+        handle
+            .join()
+            .map_err(|_| format!("joiner {i} panicked"))?
+            .map_err(|e| format!("joiner {i}: {e}"))?;
+    }
+    serve.join().map_err(|_| "server panicked".to_string())??;
+    Ok(summary)
+}

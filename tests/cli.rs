@@ -510,6 +510,251 @@ fn fleet_journal_kill_resume_reproduces_digest() {
     let _ = std::fs::remove_file(&journal);
 }
 
+fn digest_line(out: &Output) -> String {
+    stdout(out)
+        .lines()
+        .find(|l| l.starts_with("digest: "))
+        .unwrap_or_else(|| panic!("no digest line in:\n{}", stdout(out)))
+        .to_owned()
+}
+
+#[test]
+fn fleet_transport_brokered_equals_deprecated_broker_flag() {
+    let base = [
+        "fleet",
+        "--participants",
+        "3",
+        "--cheaters",
+        "1",
+        "--n",
+        "240",
+        "--m",
+        "8",
+    ];
+    let spelled = ugc(&[&base[..], &["--transport", "brokered"]].concat());
+    let deprecated = ugc(&[&base[..], &["--broker"]].concat());
+    assert!(spelled.status.success());
+    assert!(deprecated.status.success());
+    // Same campaign, same digest — the alias changes nothing but stderr.
+    assert_eq!(digest_line(&spelled), digest_line(&deprecated));
+    assert!(
+        String::from_utf8_lossy(&deprecated.stderr).contains("--broker is deprecated"),
+        "the alias must hint at the new spelling: {}",
+        String::from_utf8_lossy(&deprecated.stderr)
+    );
+    assert!(String::from_utf8_lossy(&spelled.stderr).is_empty());
+}
+
+#[test]
+fn fleet_transport_flag_matrix() {
+    // Unknown transport value: error names the flag and the remote path.
+    let out = ugc(&["fleet", "--transport", "carrier-pigeon"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown transport"), "{err}");
+    assert!(err.contains("--connect"), "{err}");
+
+    // Mixing the old and new spellings is a conflict, not a guess.
+    let out = ugc(&["fleet", "--transport", "brokered", "--broker"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("conflicts"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A dangling --transport must not silently default.
+    let out = ugc(&["fleet", "--transport"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("requires a value"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn fleet_connect_flag_matrix() {
+    // --connect excludes every journal flag.
+    for extra in [
+        &["--journal", "/tmp/x.wal"][..],
+        &["--resume"][..],
+        &["--kill-at", "3"][..],
+        &["--verify-journal"][..],
+    ] {
+        let out = ugc(&[&["fleet", "--connect", "127.0.0.1:1"][..], extra].concat());
+        assert!(!out.status.success(), "--connect with {extra:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("crash-durability"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // --connect implies the remote transport; picking another is an error.
+    for extra in [&["--transport", "direct"][..], &["--broker"][..]] {
+        let out = ugc(&[&["fleet", "--connect", "127.0.0.1:1"][..], extra].concat());
+        assert!(!out.status.success(), "--connect with {extra:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("implies the remote transport"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Chaos is keyed by in-process link identity; refuse it remotely.
+    for extra in [&["--chaos", "7"][..], &["--churn"][..]] {
+        let out = ugc(&[&["fleet", "--connect", "127.0.0.1:1"][..], extra].concat());
+        assert!(!out.status.success(), "--connect with {extra:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("cannot inject chaos"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn broker_serve_flag_matrix() {
+    let out = ugc(&["broker"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown broker subcommand"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = ugc(&["broker", "relay"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("broker serve"));
+
+    let out = ugc(&["broker", "serve", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unrecognized"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Zero participants can never assemble a grid; refuse up front.
+    let out = ugc(&[
+        "broker",
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--participants",
+        "0",
+    ]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn participant_join_flag_matrix() {
+    let out = ugc(&["participant"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown participant subcommand"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = ugc(&["participant", "join"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("requires the broker address"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = ugc(&["participant", "join", "127.0.0.1:9", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrecognized"));
+}
+
+#[test]
+fn cross_process_campaign_digest_matches_in_process() {
+    // The full three-process walkthrough, through the real binaries: a
+    // serve process, two join processes, and a --connect supervisor,
+    // whose printed digest must equal the in-process brokered run.
+    use std::io::BufRead;
+
+    let campaign = [
+        "--participants",
+        "3",
+        "--cheaters",
+        "1",
+        "--n",
+        "240",
+        "--m",
+        "8",
+        "--scheme",
+        "double-check",
+    ];
+    let reference = ugc(&[&["fleet"][..], &campaign, &["--transport", "brokered"]].concat());
+    assert!(reference.status.success());
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_ugc"))
+        .args([
+            "broker",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--participants",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // The first stdout line announces the actual bound address.
+    let mut first_line = String::new();
+    let mut serve_out = std::io::BufReader::new(serve.stdout.take().expect("serve stdout"));
+    serve_out
+        .read_line(&mut first_line)
+        .expect("serve announces its address");
+    let addr = first_line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable serve banner: {first_line:?}"))
+        .to_owned();
+
+    let joins: Vec<_> = (0..2)
+        .map(|_| {
+            Command::new(env!("CARGO_BIN_EXE_ugc"))
+                .args(["participant", "join", &addr])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("join spawns")
+        })
+        .collect();
+
+    let connected = ugc(&[&["fleet", "--connect", &addr][..], &campaign].concat());
+    assert!(
+        connected.status.success(),
+        "{}",
+        String::from_utf8_lossy(&connected.stderr)
+    );
+    assert!(
+        stdout(&connected).contains("remote grid broker"),
+        "{}",
+        stdout(&connected)
+    );
+    assert_eq!(
+        digest_line(&reference),
+        digest_line(&connected),
+        "cross-process digest diverged:\nin-process:\n{}\nremote:\n{}",
+        stdout(&reference),
+        stdout(&connected)
+    );
+
+    for join in joins {
+        let out = join.wait_with_output().expect("join exits");
+        assert!(out.status.success());
+        assert!(stdout(&out).contains("slot(s) served"), "{}", stdout(&out));
+    }
+    assert!(serve.wait().expect("serve exits").success());
+}
+
 #[test]
 fn fleet_workers_zero_picks_available_cores() {
     let out = ugc(&[

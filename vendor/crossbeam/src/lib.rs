@@ -41,6 +41,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait expired with nothing queued.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
     #[derive(Debug)]
     struct State<T> {
         queue: VecDeque<T>,
@@ -139,6 +148,42 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues the next message, blocking at most `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] if the wait expired with nothing
+        /// queued, [`RecvTimeoutError::Disconnected`] if the queue is
+        /// drained and every sender is gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                // A single bounded wait per probe: a spurious or racing
+                // wakeup re-checks the queue, and an expired wait reports
+                // Timeout even if the condvar woke early-but-empty — the
+                // contract is "at most timeout", not a deadline clock.
+                let (guard, wait) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, timeout)
+                    .expect("channel poisoned");
+                state = guard;
+                if wait.timed_out() {
+                    return match state.queue.pop_front() {
+                        Some(value) => Ok(value),
+                        None if state.senders == 0 => Err(RecvTimeoutError::Disconnected),
+                        None => Err(RecvTimeoutError::Timeout),
+                    };
+                }
             }
         }
 
