@@ -8,7 +8,9 @@
 //! pool sizes; `hash_blocks`: the multi-block one-shot digest kernel vs
 //! the streaming state), the PR 9 `wire_overhead` comparison (the same
 //! campaign over the in-process broker vs the framed TCP wire protocol
-//! on loopback), and writes the measurements to a JSON file so the perf
+//! on loopback), the PR 10 `hash_lanes`/`merkle_lanes` comparisons
+//! (message-parallel multi-lane digest kernels vs scalar dispatch of the
+//! same batches), and writes the measurements to a JSON file so the perf
 //! trajectory can be compared across PRs.
 //!
 //! Every serial/parallel pair is checked for **bit-identical output**
@@ -27,7 +29,7 @@
 //!
 //! Run: `cargo run --release -p ugc-bench --bin bench_report`
 //! (`--quick` shrinks sizes for CI; `--out PATH` overrides
-//! `BENCH_pr9.json`; `--compare PATH` enables the gate).
+//! `BENCH_pr10.json`; `--compare PATH` enables the gate).
 
 #![forbid(unsafe_code)]
 
@@ -48,7 +50,8 @@ use ugc_core::{
 use ugc_grid::runtime::FaultPlan;
 use ugc_grid::{CostLedger, HonestWorker, WorkerBehaviour};
 use ugc_hash::{
-    streaming_digest_iterated, streaming_digest_pair, HashFunction, IteratedHash, Md5, Sha256,
+    digest_batch, digest_iterated_batch, streaming_digest_iterated, streaming_digest_pair,
+    HashFunction, IteratedHash, LaneWidth, Md5, Sha256,
 };
 use ugc_journal::CrashPlan;
 use ugc_merkle::{MerkleTree, Parallelism, PartialMerkleTree, StreamingBuilder};
@@ -271,7 +274,7 @@ fn soak_digest(summary: &FleetSummary) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_pr9.json");
+    let mut out_path = String::from("BENCH_pr10.json");
     let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -467,6 +470,101 @@ fn main() {
         name: "hash_blocks/md5_streaming",
         ns_per_op: time(|| black_box(md5_streaming(&hash_data))),
     });
+    // --- PR 10 tentpole: message-parallel lane kernels. A batch of
+    // independent messages hashed through the 8-wide transposed
+    // compression state vs one-at-a-time scalar dispatch of the same
+    // batch (LaneWidth::Scalar), for the two shapes the stack actually
+    // runs hot: iterated MD5 chains (PasswordSearch's `MD5^w`) and
+    // one-shot SHA-256 batches (Merkle leaf levels). Every width must
+    // produce bit-identical digests.
+    let lane_seeds: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i ^ 0x5A; 16]).collect();
+    let lane_seed_refs: Vec<&[u8]> = lane_seeds.iter().map(|s| s.as_slice()).collect();
+    let lane_k: u64 = if quick { 200 } else { 1000 };
+    let lane_msgs: Vec<Vec<u8>> = (0..if quick { 512usize } else { 4096 })
+        .map(|i| {
+            (0..64)
+                .map(|j| (i.wrapping_mul(31) ^ j).to_le_bytes()[0])
+                .collect()
+        })
+        .collect();
+    let lane_msg_refs: Vec<&[u8]> = lane_msgs.iter().map(|m| m.as_slice()).collect();
+    for width in [LaneWidth::X4, LaneWidth::X8] {
+        if digest_iterated_batch::<Md5>(&lane_seed_refs, lane_k, width)
+            != digest_iterated_batch::<Md5>(&lane_seed_refs, lane_k, LaneWidth::Scalar)
+        {
+            eprintln!("DIVERGENCE: md5 iterated lane batch at {width} != scalar");
+            divergence = true;
+        }
+        if digest_batch::<Sha256>(&lane_msg_refs, width)
+            != digest_batch::<Sha256>(&lane_msg_refs, LaneWidth::Scalar)
+        {
+            eprintln!("DIVERGENCE: sha256 lane batch at {width} != scalar");
+            divergence = true;
+        }
+    }
+    entries.push(Entry {
+        name: "hash_lanes/md5_iter_scalar",
+        ns_per_op: time(|| {
+            black_box(digest_iterated_batch::<Md5>(
+                &lane_seed_refs,
+                lane_k,
+                LaneWidth::Scalar,
+            ))
+        }),
+    });
+    entries.push(Entry {
+        name: "hash_lanes/md5_iter_x4",
+        ns_per_op: time(|| {
+            black_box(digest_iterated_batch::<Md5>(
+                &lane_seed_refs,
+                lane_k,
+                LaneWidth::X4,
+            ))
+        }),
+    });
+    entries.push(Entry {
+        name: "hash_lanes/md5_iter_x8",
+        ns_per_op: time(|| {
+            black_box(digest_iterated_batch::<Md5>(
+                &lane_seed_refs,
+                lane_k,
+                LaneWidth::X8,
+            ))
+        }),
+    });
+    entries.push(Entry {
+        name: "hash_lanes/sha256_batch_scalar",
+        ns_per_op: time(|| black_box(digest_batch::<Sha256>(&lane_msg_refs, LaneWidth::Scalar))),
+    });
+    entries.push(Entry {
+        name: "hash_lanes/sha256_batch_x8",
+        ns_per_op: time(|| black_box(digest_batch::<Sha256>(&lane_msg_refs, LaneWidth::X8))),
+    });
+
+    // The same knob one layer up: a serial Merkle build whose levels go
+    // through the lane kernels vs the scalar pair digest. Roots must be
+    // bit-identical at every width (and to the plain build above).
+    let lane_tree_leaves = leaves(if quick { 1 << 10 } else { 1 << 14 });
+    let lane_root = |width: LaneWidth| {
+        MerkleTree::<Sha256>::build_with(&lane_tree_leaves, Parallelism::serial(), width)
+            .unwrap()
+            .root()
+    };
+    for width in [LaneWidth::X4, LaneWidth::X8] {
+        if lane_root(width) != lane_root(LaneWidth::Scalar) {
+            eprintln!("DIVERGENCE: merkle root at lane width {width} != scalar");
+            divergence = true;
+        }
+    }
+    entries.push(Entry {
+        name: "merkle_lanes/sha256_build_scalar",
+        ns_per_op: time(|| black_box(lane_root(LaneWidth::Scalar))),
+    });
+    entries.push(Entry {
+        name: "merkle_lanes/sha256_build_x8",
+        ns_per_op: time(|| black_box(lane_root(LaneWidth::X8))),
+    });
+
     let proof_tree = MerkleTree::<Sha256>::build(&leaves(proof_n)).unwrap();
     let proof_root = proof_tree.root();
     let proof_leaf = proof_tree.leaf(proof_n / 3).unwrap().to_vec();
@@ -713,7 +811,7 @@ fn main() {
             plan.screener(),
             plan.domain(),
             &members,
-            &plan.mixed_config(None, 0),
+            &plan.mixed_config(None, 0, LaneWidth::default()),
         )
         .expect("in-process brokered campaign")
     };
@@ -798,6 +896,25 @@ fn main() {
                 "hash_blocks/sha256_multiblock",
             ),
         ),
+        // PR 10: what message-parallel lanes buy on hash-bound batches.
+        (
+            "hash_lanes_md5_iter_x8_over_scalar",
+            ratio("hash_lanes/md5_iter_scalar", "hash_lanes/md5_iter_x8"),
+        ),
+        (
+            "hash_lanes_sha256_batch_x8_over_scalar",
+            ratio(
+                "hash_lanes/sha256_batch_scalar",
+                "hash_lanes/sha256_batch_x8",
+            ),
+        ),
+        (
+            "merkle_lanes_build_x8_over_scalar",
+            ratio(
+                "merkle_lanes/sha256_build_scalar",
+                "merkle_lanes/sha256_build_x8",
+            ),
+        ),
         // How the per-worker run queues scale: the 1000-slot campaign on
         // 8 stealing workers vs a single worker.
         (
@@ -827,7 +944,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"ugc-bench-baseline/v1\",");
-    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"pr\": 10,");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

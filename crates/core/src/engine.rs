@@ -578,7 +578,7 @@ mod tests {
     use crate::{ParticipantStorage, Verdict};
     use ugc_grid::{duplex, CostLedger, HonestWorker};
     use ugc_hash::Sha256;
-    use ugc_merkle::Parallelism;
+    use ugc_merkle::{LaneWidth, Parallelism};
     use ugc_task::workloads::PasswordSearch;
     use ugc_task::Domain;
 
@@ -626,6 +626,7 @@ mod tests {
                             behaviour: &HonestWorker,
                             storage: ParticipantStorage::Full,
                             parallelism: Parallelism::serial(),
+                            lanes: LaneWidth::default(),
                             ledger: CostLedger::new(),
                         },
                     );
@@ -692,6 +693,7 @@ mod tests {
                         behaviour: &HonestWorker,
                         storage: ParticipantStorage::Full,
                         parallelism: Parallelism::serial(),
+                        lanes: LaneWidth::default(),
                         ledger: CostLedger::new(),
                     },
                 );
@@ -763,6 +765,7 @@ mod tests {
                         behaviour: &HonestWorker,
                         storage: ParticipantStorage::Full,
                         parallelism: Parallelism::serial(),
+                        lanes: LaneWidth::default(),
                         ledger: CostLedger::new(),
                     },
                 );

@@ -552,10 +552,11 @@ fn get_event(buf: &mut &[u8]) -> Result<FaultEvent, SchemeError> {
 /// picking up: the fleet shape, the domain, and every digest-relevant
 /// knob of [`MixedFleetConfig`].
 ///
-/// Execution-only knobs (`parallelism`, `workers`, `steal_seed`) are
-/// deliberately absent: digests are invariant under them, so a campaign
-/// journaled on a 4-worker box resumes correctly on a 64-worker one —
-/// under any work-stealing order. The opaque
+/// Execution-only knobs (`parallelism`, `workers`, `steal_seed`,
+/// `lanes`) are deliberately absent: digests are invariant under them,
+/// so a campaign journaled on a 4-worker box resumes correctly on a
+/// 64-worker one — under any work-stealing order and any digest lane
+/// width. The opaque
 /// [`app`](Self::app) blob carries whatever the CLI (or any embedder)
 /// needs to rebuild its own task/fleet objects from the journal alone.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -85,4 +85,4 @@ pub use session::{
 // The thread-count knob behind every parallel path (tree builds here, the
 // Monte-Carlo shards in `ugc-sim`); re-exported so scheme users need not
 // depend on `ugc-merkle` directly.
-pub use ugc_merkle::Parallelism;
+pub use ugc_merkle::{LaneWidth, Parallelism};

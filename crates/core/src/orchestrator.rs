@@ -38,7 +38,7 @@ use ugc_grid::{CostLedger, CostReport, Throughput, WorkerBehaviour};
 
 pub use crate::backend::FleetTransport;
 use ugc_hash::HashFunction;
-use ugc_merkle::Parallelism;
+use ugc_merkle::{LaneWidth, Parallelism};
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 /// Which verification scheme a fleet round (or one member of a mixed
@@ -212,6 +212,10 @@ pub struct MixedFleetConfig {
     pub storage: ParticipantStorage,
     /// Per-participant tree-build parallelism.
     pub parallelism: Parallelism,
+    /// Per-participant message-parallel digest lane width. Execution-only:
+    /// digests, verdicts and ledgers are bit-identical at any setting, so
+    /// it is excluded from the durable campaign parameter blob.
+    pub lanes: LaneWidth,
     /// Transport the engine multiplexes the sessions over.
     pub transport: FleetTransport,
     /// Wrap every message in a [`Message::Session`](ugc_grid::Message)
@@ -251,6 +255,7 @@ impl Default for MixedFleetConfig {
         MixedFleetConfig {
             storage: ParticipantStorage::Full,
             parallelism: Parallelism::default(),
+            lanes: LaneWidth::default(),
             transport: FleetTransport::Direct,
             envelope: false,
             chaos: None,
@@ -913,6 +918,7 @@ where
             behaviour: member.behaviours[s],
             storage: config.storage,
             parallelism: config.parallelism,
+            lanes: config.lanes,
             ledger: part_ledgers[*orig].clone(),
         });
         (r, session)

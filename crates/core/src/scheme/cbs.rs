@@ -28,7 +28,7 @@ use crate::session::{
 use crate::{ParticipantStorage, RoundOutcome, SchemeError, Verdict};
 use ugc_grid::{duplex, Assignment, CostLedger, Endpoint, Message, SampleProof, WorkerBehaviour};
 use ugc_hash::HashFunction;
-use ugc_merkle::{MerkleTree, Parallelism, PartialMerkleTree};
+use ugc_merkle::{LaneWidth, MerkleTree, Parallelism, PartialMerkleTree};
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 /// Below this many leaves a parallel tree build is not worth the thread
@@ -80,15 +80,18 @@ impl<H: HashFunction> ParticipantTree<H> {
         leaves: &[Vec<u8>],
         storage: ParticipantStorage,
         parallelism: Parallelism,
+        lanes: LaneWidth,
         ledger: &CostLedger,
     ) -> Result<Self, SchemeError> {
         match storage {
             ParticipantStorage::Full => {
-                let tree = if parallelism.get() > 1 && leaves.len() >= PARALLEL_BUILD_MIN_LEAVES {
-                    MerkleTree::build_parallel(leaves, parallelism)?
+                let threads = if parallelism.get() > 1 && leaves.len() >= PARALLEL_BUILD_MIN_LEAVES
+                {
+                    parallelism
                 } else {
-                    MerkleTree::build(leaves)?
+                    Parallelism::serial()
                 };
+                let tree = MerkleTree::build_with(leaves, threads, lanes)?;
                 ledger.charge_hash_parallel(tree.hash_ops(), tree.hash_ops_wall());
                 Ok(ParticipantTree::Full(tree))
             }
@@ -331,6 +334,7 @@ pub(crate) struct CbsParticipantSession<'a, H: HashFunction> {
     behaviour: &'a dyn WorkerBehaviour,
     storage: ParticipantStorage,
     parallelism: Parallelism,
+    lanes: LaneWidth,
     ledger: CostLedger,
     state: PartState<H>,
     reports_sent: usize,
@@ -344,6 +348,7 @@ impl<'a, H: HashFunction> CbsParticipantSession<'a, H> {
             behaviour: ctx.behaviour,
             storage: ctx.storage,
             parallelism: ctx.parallelism,
+            lanes: ctx.lanes,
             ledger: ctx.ledger,
             state: PartState::AwaitAssign,
             reports_sent: 0,
@@ -376,6 +381,7 @@ impl<H: HashFunction> ParticipantSession for CbsParticipantSession<'_, H> {
                     &leaves,
                     self.storage,
                     self.parallelism,
+                    self.lanes,
                     &self.ledger,
                 )?;
                 if matches!(self.storage, ParticipantStorage::Partial { .. }) {
@@ -486,6 +492,7 @@ where
         behaviour,
         storage,
         Parallelism::default(),
+        LaneWidth::default(),
         ledger,
     )
 }
@@ -496,12 +503,13 @@ where
 /// scheme's [`ParticipantSession`] and drives it to completion with
 /// blocking receives (Assign → Commit → Challenge → Proofs → Verdict).
 /// All computation costs are charged to `ledger`; the commitment tree
-/// builds with up to `parallelism` threads (bit-identical to the serial
-/// build).
+/// builds with up to `parallelism` threads and the digest lane width
+/// `lanes` (bit-identical to the serial scalar build at any setting).
 ///
 /// # Errors
 ///
 /// Transport failures, malformed peer messages, or Merkle errors.
+#[allow(clippy::too_many_arguments)]
 pub fn participant_cbs_with<H, T, S, B>(
     endpoint: &Endpoint,
     task: &T,
@@ -509,6 +517,7 @@ pub fn participant_cbs_with<H, T, S, B>(
     behaviour: &B,
     storage: ParticipantStorage,
     parallelism: Parallelism,
+    lanes: LaneWidth,
     ledger: &CostLedger,
 ) -> Result<ParticipantRun, SchemeError>
 where
@@ -523,6 +532,7 @@ where
         behaviour,
         storage,
         parallelism,
+        lanes,
         ledger: ledger.clone(),
     });
     let accepted = drive_participant(endpoint, &mut session)?;
@@ -655,6 +665,7 @@ where
         behaviour,
         storage,
         Parallelism::default(),
+        LaneWidth::default(),
         config,
     )
 }
@@ -662,12 +673,14 @@ where
 /// Runs a complete interactive CBS round in-process: supervisor on the
 /// calling thread, participant on a scoped thread, duplex link between
 /// them. The participant's commitment tree builds with up to
-/// `parallelism` threads. Returns full cost and traffic accounting.
+/// `parallelism` threads and the digest lane width `lanes`. Returns full
+/// cost and traffic accounting.
 ///
 /// # Errors
 ///
 /// Propagates the supervisor's error if both sides fail (the participant's
 /// failure is almost always a consequence).
+#[allow(clippy::too_many_arguments)]
 pub fn run_cbs_with<H, T, S, B>(
     task: &T,
     screener: &S,
@@ -675,6 +688,7 @@ pub fn run_cbs_with<H, T, S, B>(
     behaviour: &B,
     storage: ParticipantStorage,
     parallelism: Parallelism,
+    lanes: LaneWidth,
     config: &CbsConfig,
 ) -> Result<RoundOutcome, SchemeError>
 where
@@ -699,6 +713,7 @@ where
                 behaviour,
                 storage,
                 parallelism,
+                lanes,
                 &thread_ledger,
             )
         });
@@ -881,6 +896,7 @@ mod tests {
             &HonestWorker,
             ParticipantStorage::Full,
             Parallelism::serial(),
+            LaneWidth::default(),
             &config(8, 3),
         )
         .unwrap();
@@ -891,6 +907,7 @@ mod tests {
             &HonestWorker,
             ParticipantStorage::Full,
             Parallelism::threads(4),
+            LaneWidth::default(),
             &config(8, 3),
         )
         .unwrap();
@@ -909,6 +926,47 @@ mod tests {
             parallel.participant_costs.hash_wall_ops,
             parallel.participant_costs.hash_ops
         );
+    }
+
+    #[test]
+    fn lane_width_does_not_change_verdict_or_costs() {
+        // LaneWidth is execution-only: accounting and verdict are
+        // identical at every width, serial or parallel.
+        let task = PasswordSearch::with_hidden_password(4, 17);
+        let screener = task.match_screener();
+        let reference = run_cbs_with::<Sha256, _, _, _>(
+            &task,
+            &screener,
+            Domain::new(0, 300),
+            &HonestWorker,
+            ParticipantStorage::Full,
+            Parallelism::serial(),
+            LaneWidth::Scalar,
+            &config(8, 3),
+        )
+        .unwrap();
+        for lanes in [LaneWidth::X4, LaneWidth::X8] {
+            let outcome = run_cbs_with::<Sha256, _, _, _>(
+                &task,
+                &screener,
+                Domain::new(0, 300),
+                &HonestWorker,
+                ParticipantStorage::Full,
+                Parallelism::serial(),
+                lanes,
+                &config(8, 3),
+            )
+            .unwrap();
+            assert_eq!(outcome.verdict, reference.verdict, "lanes {lanes}");
+            assert_eq!(
+                outcome.participant_costs, reference.participant_costs,
+                "lanes {lanes}"
+            );
+            assert_eq!(
+                outcome.supervisor_link, reference.supervisor_link,
+                "lanes {lanes}"
+            );
+        }
     }
 
     #[test]

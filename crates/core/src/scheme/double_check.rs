@@ -227,6 +227,7 @@ where
         behaviour,
         storage: crate::ParticipantStorage::Full,
         parallelism: ugc_merkle::Parallelism::serial(),
+        lanes: ugc_merkle::LaneWidth::default(),
         ledger: ledger.clone(),
     });
     drive_participant(endpoint, &mut session)

@@ -26,7 +26,7 @@ use ugc_grid::{
     WorkerBehaviour,
 };
 use ugc_hash::{HashFunction, IteratedHash};
-use ugc_merkle::{MerkleTree, Parallelism};
+use ugc_merkle::{LaneWidth, MerkleTree, Parallelism};
 use ugc_task::{ComputeTask, Domain, Guesser, ScreenReport, Screener};
 
 /// Non-interactive CBS parameters.
@@ -97,6 +97,7 @@ impl<H: HashFunction> VerificationScheme<H> for NiCbsScheme {
             behaviour: ctx.behaviour,
             storage: ctx.storage,
             parallelism: ctx.parallelism,
+            lanes: ctx.lanes,
             ledger: ctx.ledger,
             state: PartState::AwaitAssign,
             _hash: core::marker::PhantomData,
@@ -231,6 +232,7 @@ struct NiCbsParticipantSession<'a, H: HashFunction> {
     behaviour: &'a dyn WorkerBehaviour,
     storage: ParticipantStorage,
     parallelism: Parallelism,
+    lanes: LaneWidth,
     ledger: CostLedger,
     state: PartState,
     _hash: core::marker::PhantomData<H>,
@@ -258,6 +260,7 @@ impl<H: HashFunction> ParticipantSession for NiCbsParticipantSession<'_, H> {
                     &leaves,
                     self.storage,
                     self.parallelism,
+                    self.lanes,
                     &self.ledger,
                 )?;
                 if matches!(self.storage, ParticipantStorage::Partial { .. }) {
@@ -353,6 +356,7 @@ where
         behaviour,
         storage,
         Parallelism::default(),
+        LaneWidth::default(),
         config,
         ledger,
     )
@@ -375,6 +379,7 @@ pub fn participant_ni_cbs_with<H, T, S, B>(
     behaviour: &B,
     storage: ParticipantStorage,
     parallelism: Parallelism,
+    lanes: LaneWidth,
     config: &NiCbsConfig,
     ledger: &CostLedger,
 ) -> Result<bool, SchemeError>
@@ -398,6 +403,7 @@ where
             behaviour,
             storage,
             parallelism,
+            lanes,
             ledger: ledger.clone(),
         },
     );
@@ -472,17 +478,20 @@ where
         behaviour,
         storage,
         Parallelism::default(),
+        LaneWidth::default(),
         config,
     )
 }
 
 /// Runs a complete NI-CBS round in-process (supervisor + scoped-thread
 /// participant over a duplex link); the participant's commitment tree
-/// builds with up to `parallelism` threads.
+/// builds with up to `parallelism` threads and the digest lane width
+/// `lanes`.
 ///
 /// # Errors
 ///
 /// Propagates the supervisor's error if both sides fail.
+#[allow(clippy::too_many_arguments)]
 pub fn run_ni_cbs_with<H, T, S, B>(
     task: &T,
     screener: &S,
@@ -490,6 +499,7 @@ pub fn run_ni_cbs_with<H, T, S, B>(
     behaviour: &B,
     storage: ParticipantStorage,
     parallelism: Parallelism,
+    lanes: LaneWidth,
     config: &NiCbsConfig,
 ) -> Result<RoundOutcome, SchemeError>
 where
@@ -514,6 +524,7 @@ where
                 behaviour,
                 storage,
                 parallelism,
+                lanes,
                 config,
                 &thread_ledger,
             )

@@ -117,13 +117,13 @@ impl SupervisorSession for RingerSupervisorSession<'_> {
             let i = rng.random_range(0..self.domain.len());
             secret_inputs.insert(self.domain.input(i).expect("sample within domain"));
         }
-        let mut ringer_values: Vec<Vec<u8>> = secret_inputs
-            .iter()
-            .map(|&x| {
-                self.ledger.charge_f(self.task.unit_cost());
-                self.task.compute(x)
-            })
-            .collect();
+        // Batch the precomputation through the task's lane kernels (a
+        // hash-bound task hashes all ringers together); the charge is one
+        // unit cost per input, identical to scalar evaluation.
+        let inputs: Vec<u64> = secret_inputs.iter().copied().collect();
+        self.ledger
+            .charge_f(self.task.unit_cost() * inputs.len() as u64);
+        let mut ringer_values: Vec<Vec<u8>> = self.task.compute_batch(&inputs);
         // Sort the values so their order leaks nothing about input order.
         ringer_values.sort();
         self.state = SupState::AwaitFound { secret_inputs };

@@ -36,7 +36,7 @@
 //!     drive_participant, drive_supervisor, ParticipantContext, SupervisorContext,
 //!     VerificationScheme,
 //! };
-//! use ugc_core::{ParticipantStorage, Parallelism};
+//! use ugc_core::{LaneWidth, ParticipantStorage, Parallelism};
 //! use ugc_grid::{duplex, CostLedger, HonestWorker};
 //! use ugc_hash::Sha256;
 //! use ugc_task::{workloads::PasswordSearch, Domain};
@@ -55,6 +55,7 @@
 //!                 behaviour: &HonestWorker,
 //!                 storage: ParticipantStorage::Full,
 //!                 parallelism: Parallelism::serial(),
+//!                 lanes: LaneWidth::default(),
 //!                 ledger: CostLedger::new(),
 //!             });
 //!         drive_participant(&part_ep, session.as_mut())
@@ -78,7 +79,7 @@ use crate::error::message_kind;
 use crate::{SchemeError, Verdict};
 use ugc_grid::{Backoff, CostLedger, Endpoint, GridError, GridLink, Message, WorkerBehaviour};
 use ugc_hash::HashFunction;
-use ugc_merkle::Parallelism;
+use ugc_merkle::{LaneWidth, Parallelism};
 use ugc_task::{ComputeTask, Domain, ScreenReport, Screener};
 
 use crate::ParticipantStorage;
@@ -195,6 +196,9 @@ pub struct ParticipantContext<'a> {
     pub storage: ParticipantStorage,
     /// Tree-build parallelism (bit-identical results at any setting).
     pub parallelism: Parallelism,
+    /// Message-parallel digest lane width for tree builds and sample
+    /// hashing (bit-identical results at any setting).
+    pub lanes: LaneWidth,
     /// Participant-side cost accounting (clones share counters).
     pub ledger: CostLedger,
 }
@@ -508,6 +512,7 @@ mod tests {
                     behaviour: &HonestWorker,
                     storage: crate::ParticipantStorage::Full,
                     parallelism: Parallelism::serial(),
+                    lanes: LaneWidth::default(),
                     ledger: CostLedger::new(),
                 },
             );
@@ -561,6 +566,7 @@ mod tests {
                 behaviour: &HonestWorker,
                 storage: crate::ParticipantStorage::Full,
                 parallelism: Parallelism::serial(),
+                lanes: LaneWidth::default(),
                 ledger: CostLedger::new(),
             },
         );
@@ -593,6 +599,7 @@ mod tests {
                 behaviour: &HonestWorker,
                 storage: crate::ParticipantStorage::Full,
                 parallelism: Parallelism::serial(),
+                lanes: LaneWidth::default(),
                 ledger: CostLedger::new(),
             },
         );

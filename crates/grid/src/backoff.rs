@@ -117,6 +117,14 @@ impl Backoff {
         self.step = 0;
     }
 
+    /// Whether the next sweep would still spin-yield (the loop has not
+    /// been idle long enough to start sleeping). Lets callers observe
+    /// the ladder state without advancing it.
+    #[must_use]
+    pub fn is_hot(&self) -> bool {
+        self.step < YIELD_SWEEPS
+    }
+
     /// Advances the schedule one idle sweep and returns what the sweep
     /// should do: `None` means spin-yield, `Some(d)` means sleep `d`.
     /// The returned durations climb the policy's ladder and then hold at
@@ -171,6 +179,19 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(backoff.pause(), Some(Duration::from_millis(1)));
         }
+    }
+
+    #[test]
+    fn is_hot_tracks_the_yield_phase_without_advancing_it() {
+        let mut backoff = Backoff::new();
+        assert!(backoff.is_hot());
+        for _ in 0..YIELD_SWEEPS {
+            assert!(backoff.is_hot(), "observation must not advance the ladder");
+            let _ = backoff.pause();
+        }
+        assert!(!backoff.is_hot(), "past the yield phase the loop sleeps");
+        backoff.reset();
+        assert!(backoff.is_hot());
     }
 
     #[test]

@@ -380,10 +380,17 @@ fn worker_loop<T: GridTask>(pool: &Pool<T>, me: usize, steal_seed: u64, policy: 
             requeue_parked(&mut lock(&pool.locals[me]));
             continue;
         };
-        match task.poll() {
+        let verdict = task.poll();
+        if matches!(verdict, TaskPoll::Progress | TaskPoll::Complete) {
+            // The single productive-verdict site: publish the pool-wide
+            // progress epoch and return this worker's ladder to the hot
+            // state exactly once per poll, whatever the verdict arm does
+            // with the task afterwards.
+            pool.progress.fetch_add(1, Ordering::Release);
+            backoff.reset();
+        }
+        match verdict {
             TaskPoll::Progress => {
-                pool.progress.fetch_add(1, Ordering::Release);
-                backoff.reset();
                 let mut q = lock(&pool.locals[me]);
                 q.ready.push_back((index, task));
                 // Progress usually means traffic flowed: wake this
@@ -394,8 +401,6 @@ fn worker_loop<T: GridTask>(pool: &Pool<T>, me: usize, steal_seed: u64, policy: 
                 lock(&pool.locals[me]).parked.push((index, task));
             }
             TaskPoll::Complete => {
-                pool.progress.fetch_add(1, Ordering::Release);
-                backoff.reset();
                 {
                     let mut done = pool.finished.lock().expect("finished list poisoned");
                     done[index] = Some(task);
@@ -611,6 +616,47 @@ mod tests {
         for seed in [1, 0xDEAD_BEEF, u64::MAX] {
             assert_eq!(reference, run(seed), "seed {seed:#x}");
         }
+    }
+
+    #[test]
+    fn progress_epoch_ticks_once_per_productive_poll() {
+        // Drive worker_loop directly over a scripted pool: the shared
+        // progress epoch must advance exactly once per Progress/Complete
+        // verdict (the single hoisted productive-verdict site) and never
+        // on Idle polls.
+        struct Scripted {
+            verdicts: Vec<TaskPoll>,
+        }
+        impl GridTask for Scripted {
+            fn poll(&mut self) -> TaskPoll {
+                self.verdicts.pop().unwrap_or(TaskPoll::Complete)
+            }
+        }
+        // Popped back-to-front: 3 Idle sweeps, then Progress, Progress,
+        // Complete — 3 productive polls out of 6.
+        let script = vec![
+            TaskPoll::Complete,
+            TaskPoll::Progress,
+            TaskPoll::Progress,
+            TaskPoll::Idle,
+            TaskPoll::Idle,
+            TaskPoll::Idle,
+        ];
+        let mut ready = VecDeque::new();
+        ready.push_back((0usize, Scripted { verdicts: script }));
+        let pool = Pool {
+            locals: vec![Mutex::new(LocalQueue {
+                ready,
+                parked: Vec::new(),
+            })],
+            finished: Mutex::new(vec![None]),
+            remaining: AtomicUsize::new(1),
+            progress: AtomicU64::new(0),
+        };
+        worker_loop(&pool, 0, 0, BackoffPolicy::default());
+        assert_eq!(pool.progress.load(Ordering::Acquire), 3);
+        assert_eq!(pool.remaining.load(Ordering::Acquire), 0);
+        assert!(pool.finished.lock().unwrap()[0].is_some());
     }
 
     #[test]

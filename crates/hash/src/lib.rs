@@ -35,11 +35,13 @@
 
 pub mod hex;
 mod iterated;
+mod lanes;
 mod md5;
 mod sha1;
 mod sha256;
 
 pub use iterated::{HashChain, IteratedHash};
+pub use lanes::{digest_batch, digest_iterated_batch, digest_pairs, LaneKernel, LaneWidth};
 pub use md5::Md5;
 pub use sha1::Sha1;
 pub use sha256::Sha256;
@@ -147,6 +149,23 @@ pub trait HashFunction: Clone + Send + Sync + 'static {
     /// Panics if `iterations == 0` (`H^0` would be the identity).
     fn digest_iterated(input: &[u8], iterations: u64) -> Self::Digest {
         streaming_digest_iterated::<Self>(input, iterations)
+    }
+
+    /// Digests four independent two-segment messages (`a ‖ b` each) in
+    /// one dispatch.
+    ///
+    /// [`Md5`], [`Sha1`] and [`Sha256`] override the default scalar loop
+    /// with transposed message-parallel kernels (see [`LaneKernel`]);
+    /// results are bit-identical to four [`digest_pair`](Self::digest_pair)
+    /// calls at any width.
+    fn digest_lanes_4(msgs: &[(&[u8], &[u8]); 4]) -> [Self::Digest; 4] {
+        core::array::from_fn(|l| Self::digest_pair(msgs[l].0, msgs[l].1))
+    }
+
+    /// Digests eight independent two-segment messages in one dispatch;
+    /// see [`digest_lanes_4`](Self::digest_lanes_4).
+    fn digest_lanes_8(msgs: &[(&[u8], &[u8]); 8]) -> [Self::Digest; 8] {
+        core::array::from_fn(|l| Self::digest_pair(msgs[l].0, msgs[l].1))
     }
 
     /// Converts a digest into a `u64` by reading its first 8 bytes

@@ -7,15 +7,18 @@
 
 use crate::HashFunction;
 
-const S: [u32; 64] = [
+/// RFC 1321 per-round left-rotation amounts (shared with the transposed
+/// lane kernels in `crate::lanes`).
+pub(crate) const S: [u32; 64] = [
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
     5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
     4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
     6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
 ];
 
+/// RFC 1321 sine-derived round constants.
 #[rustfmt::skip]
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee,
     0xf57c_0faf, 0x4787_c62a, 0xa830_4613, 0xfd46_9501,
     0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be,
@@ -35,10 +38,10 @@ const K: [u32; 64] = [
 ];
 
 /// RFC 1321 initial state.
-const IV: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+pub(crate) const IV: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
 
 /// One MD5 compression round over a single 64-byte block.
-fn compress(h: &mut [u32; 4], block: &[u8; 64]) {
+pub(crate) fn compress(h: &mut [u32; 4], block: &[u8; 64]) {
     let mut m = [0u32; 16];
     for (i, word) in m.iter_mut().enumerate() {
         *word = u32::from_le_bytes([
@@ -86,7 +89,7 @@ fn compress_blocks<'a>(h: &mut [u32; 4], data: &'a [u8]) -> &'a [u8] {
 }
 
 /// Serialises the working state into the little-endian digest.
-fn digest_from_words(h: &[u32; 4]) -> [u8; 16] {
+pub(crate) fn digest_from_words(h: &[u32; 4]) -> [u8; 16] {
     let mut out = [0u8; 16];
     for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
         chunk.copy_from_slice(&word.to_le_bytes());
@@ -251,6 +254,16 @@ impl HashFunction for Md5 {
             digest = digest_from_words(&h);
         }
         digest
+    }
+
+    /// Four-message transposed lane kernel; see [`crate::LaneKernel`].
+    fn digest_lanes_4(msgs: &[(&[u8], &[u8]); 4]) -> [[u8; 16]; 4] {
+        crate::lanes::md5_digest_lanes(msgs)
+    }
+
+    /// Eight-message transposed lane kernel; see [`crate::LaneKernel`].
+    fn digest_lanes_8(msgs: &[(&[u8], &[u8]); 8]) -> [[u8; 16]; 8] {
+        crate::lanes::md5_digest_lanes(msgs)
     }
 }
 

@@ -7,8 +7,9 @@
 
 use crate::HashFunction;
 
-/// FIPS 180-4 initial hash value.
-const IV: [u32; 5] = [
+/// FIPS 180-4 initial hash value (shared with the transposed lane
+/// kernels in `crate::lanes`).
+pub(crate) const IV: [u32; 5] = [
     0x6745_2301,
     0xefcd_ab89,
     0x98ba_dcfe,
@@ -17,7 +18,7 @@ const IV: [u32; 5] = [
 ];
 
 /// One SHA-1 compression round over a single 64-byte block.
-fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
+pub(crate) fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
     let mut w = [0u32; 80];
     for (i, word) in w.iter_mut().take(16).enumerate() {
         *word = u32::from_be_bytes([
@@ -70,7 +71,7 @@ fn compress_blocks<'a>(h: &mut [u32; 5], data: &'a [u8]) -> &'a [u8] {
 }
 
 /// Serialises the working state into the big-endian digest.
-fn digest_from_words(h: &[u32; 5]) -> [u8; 20] {
+pub(crate) fn digest_from_words(h: &[u32; 5]) -> [u8; 20] {
     let mut out = [0u8; 20];
     for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
         chunk.copy_from_slice(&word.to_be_bytes());
@@ -230,6 +231,16 @@ impl HashFunction for Sha1 {
             digest = digest_from_words(&h);
         }
         digest
+    }
+
+    /// Four-message transposed lane kernel; see [`crate::LaneKernel`].
+    fn digest_lanes_4(msgs: &[(&[u8], &[u8]); 4]) -> [[u8; 20]; 4] {
+        crate::lanes::sha1_digest_lanes(msgs)
+    }
+
+    /// Eight-message transposed lane kernel; see [`crate::LaneKernel`].
+    fn digest_lanes_8(msgs: &[(&[u8], &[u8]); 8]) -> [[u8; 20]; 8] {
+        crate::lanes::sha1_digest_lanes(msgs)
     }
 }
 

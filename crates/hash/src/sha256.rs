@@ -6,8 +6,10 @@
 
 use crate::HashFunction;
 
+/// FIPS 180-4 round constants (shared with the transposed lane kernels
+/// in `crate::lanes`).
 #[rustfmt::skip]
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a_2f98, 0x7137_4491, 0xb5c0_fbcf, 0xe9b5_dba5,
     0x3956_c25b, 0x59f1_11f1, 0x923f_82a4, 0xab1c_5ed5,
     0xd807_aa98, 0x1283_5b01, 0x2431_85be, 0x550c_7dc3,
@@ -27,7 +29,7 @@ const K: [u32; 64] = [
 ];
 
 /// FIPS 180-4 initial hash value.
-const IV: [u32; 8] = [
+pub(crate) const IV: [u32; 8] = [
     0x6a09_e667,
     0xbb67_ae85,
     0x3c6e_f372,
@@ -39,7 +41,7 @@ const IV: [u32; 8] = [
 ];
 
 /// One SHA-256 compression round over a single 64-byte block.
-fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
+pub(crate) fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
     let mut w = [0u32; 64];
     for (i, word) in w.iter_mut().take(16).enumerate() {
         *word = u32::from_be_bytes([
@@ -101,7 +103,7 @@ fn compress_blocks<'a>(h: &mut [u32; 8], data: &'a [u8]) -> &'a [u8] {
 }
 
 /// Serialises the working state into the big-endian digest.
-fn digest_from_words(h: &[u32; 8]) -> [u8; 32] {
+pub(crate) fn digest_from_words(h: &[u32; 8]) -> [u8; 32] {
     let mut out = [0u8; 32];
     for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
         chunk.copy_from_slice(&word.to_be_bytes());
@@ -264,6 +266,16 @@ impl HashFunction for Sha256 {
             digest = digest_from_words(&h);
         }
         digest
+    }
+
+    /// Four-message transposed lane kernel; see [`crate::LaneKernel`].
+    fn digest_lanes_4(msgs: &[(&[u8], &[u8]); 4]) -> [[u8; 32]; 4] {
+        crate::lanes::sha256_digest_lanes(msgs)
+    }
+
+    /// Eight-message transposed lane kernel; see [`crate::LaneKernel`].
+    fn digest_lanes_8(msgs: &[(&[u8], &[u8]); 8]) -> [[u8; 32]; 8] {
+        crate::lanes::sha256_digest_lanes(msgs)
     }
 }
 

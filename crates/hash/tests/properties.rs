@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use ugc_hash::{
-    hex, streaming_digest_iterated, streaming_digest_pair, Algorithm, HashChain, HashFunction,
-    IteratedHash, Md5, Sha1, Sha256,
+    digest_batch, digest_iterated_batch, digest_pairs, hex, streaming_digest_iterated,
+    streaming_digest_pair, Algorithm, HashChain, HashFunction, IteratedHash, LaneWidth, Md5, Sha1,
+    Sha256,
 };
 
 fn chunked_digest<H: HashFunction>(data: &[u8], cuts: &[usize]) -> H::Digest {
@@ -124,5 +125,79 @@ proptest! {
     fn digest_to_u64_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
         let d = Sha256::digest(&data);
         prop_assert_eq!(Sha256::digest_to_u64(&d), Sha256::digest_to_u64(&d));
+    }
+
+    #[test]
+    fn lane_batch_equals_scalar_every_width(
+        // Lengths up to 140 cross the one-/two-block padding boundaries
+        // (55/56, 119/120); batch sizes up to 9 cover the fully-scalar,
+        // 4-wide-plus-tail and 8-wide-plus-tail dispatch shapes.
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..140), 0..10),
+    ) {
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        for width in LaneWidth::ALL {
+            prop_assert_eq!(
+                digest_batch::<Md5>(&refs, width),
+                msgs.iter().map(|m| Md5::digest(m)).collect::<Vec<_>>(),
+                "md5 {}", width
+            );
+            prop_assert_eq!(
+                digest_batch::<Sha1>(&refs, width),
+                msgs.iter().map(|m| Sha1::digest(m)).collect::<Vec<_>>(),
+                "sha1 {}", width
+            );
+            prop_assert_eq!(
+                digest_batch::<Sha256>(&refs, width),
+                msgs.iter().map(|m| Sha256::digest(m)).collect::<Vec<_>>(),
+                "sha256 {}", width
+            );
+        }
+    }
+
+    #[test]
+    fn lane_pairs_equal_scalar_pair_digest(
+        pairs in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..80),
+             proptest::collection::vec(any::<u8>(), 0..80)),
+            0..10),
+    ) {
+        let refs: Vec<(&[u8], &[u8])> =
+            pairs.iter().map(|(a, b)| (a.as_slice(), b.as_slice())).collect();
+        for width in LaneWidth::ALL {
+            prop_assert_eq!(
+                digest_pairs::<Sha256>(&refs, width),
+                pairs.iter().map(|(a, b)| Sha256::digest_pair(a, b)).collect::<Vec<_>>(),
+                "{}", width
+            );
+        }
+    }
+
+    #[test]
+    fn lane_iterated_batch_equals_scalar_chains(
+        seeds in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..10),
+        k in 1u64..16,
+    ) {
+        let refs: Vec<&[u8]> = seeds.iter().map(|s| s.as_slice()).collect();
+        for width in LaneWidth::ALL {
+            prop_assert_eq!(
+                digest_iterated_batch::<Md5>(&refs, k, width),
+                seeds.iter().map(|s| Md5::digest_iterated(s, k)).collect::<Vec<_>>(),
+                "{}", width
+            );
+        }
+    }
+
+    #[test]
+    fn lane_order_is_independent(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 8..9),
+    ) {
+        // Lane i's digest depends only on message i: reversing the batch
+        // exactly reverses the outputs.
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let forward = digest_batch::<Sha1>(&refs, LaneWidth::X8);
+        let reversed_refs: Vec<&[u8]> = refs.iter().rev().copied().collect();
+        let mut reversed = digest_batch::<Sha1>(&reversed_refs, LaneWidth::X8);
+        reversed.reverse();
+        prop_assert_eq!(forward, reversed);
     }
 }

@@ -157,13 +157,17 @@ const AMBIENT_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_
 
 /// Whether `path` is a codec/ledger path, where the [`Rule::LossyCast`]
 /// rule applies (truncation there diverges wire bytes or replay digests
-/// across platforms).
+/// across platforms). The multi-lane digest kernels (`lanes`) count:
+/// they feed Merkle commitments and campaign digests, so a truncating
+/// cast there corrupts replay identity exactly like a codec would.
 #[must_use]
 pub fn is_codec_path(path: &str) -> bool {
     let file = path.rsplit('/').next().unwrap_or(path);
-    ["codec", "message", "ledger", "wire", "journal", "tcp"]
-        .iter()
-        .any(|stem| file.contains(stem))
+    [
+        "codec", "message", "ledger", "wire", "journal", "tcp", "lanes",
+    ]
+    .iter()
+    .any(|stem| file.contains(stem))
 }
 
 /// A parsed `ugc-lint: allow(<rule>): <reason>` annotation.

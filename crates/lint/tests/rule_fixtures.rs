@@ -236,6 +236,33 @@ let keep = declared_records as u32;
 }
 
 #[test]
+fn lane_kernel_files_are_codec_paths_for_lossy_casts() {
+    // The multi-lane digest kernels (PR 10) feed Merkle commitments and
+    // campaign digests: a truncating cast while packing message words
+    // or padding lengths corrupts replay identity exactly like a wire
+    // codec would, so lanes-named files are inside the rule's scope.
+    let src = "let word = lane_word as u32;";
+    let report = lint_source("crates/hash/src/lanes.rs", src);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, Rule::LossyCast);
+    // A reasoned annotation suppresses it, recording the justification.
+    let suppressed = r#"
+// ugc-lint: allow(lossy-cast): block index is bounded by padded_blocks
+let word = lane_word as u32;
+"#;
+    let report = lint_source("crates/hash/src/lanes.rs", suppressed);
+    assert_eq!(report.findings, vec![]);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, Rule::LossyCast);
+    // Widening casts in lane kernels stay clean, annotation-free.
+    let widen = "let bits = 8 * total as u64;";
+    assert_eq!(
+        lint_source("crates/hash/src/lanes.rs", widen).findings,
+        vec![]
+    );
+}
+
+#[test]
 fn tcp_files_are_codec_paths_for_lossy_casts() {
     // The TCP transport (PR 9) splices `[len][payload]` frames off a raw
     // byte stream: a truncating cast on a declared length is exactly the

@@ -71,6 +71,7 @@ pub use persist::PersistError;
 pub use proof::MerkleProof;
 pub use streaming::StreamingBuilder;
 pub use tree::MerkleTree;
+pub use ugc_hash::LaneWidth;
 
 /// Rounds `n` up to the padded leaf count used by every tree in this crate:
 /// the next power of two, and at least 2.

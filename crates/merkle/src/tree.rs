@@ -2,7 +2,40 @@
 
 use crate::parallel::subtree_chunks;
 use crate::{padded_leaf_count, MerkleError, MerkleProof, Parallelism};
-use ugc_hash::{HashFunction, Sha256};
+use ugc_hash::{HashFunction, LaneWidth, Sha256};
+
+/// Hashes `out.len()` two-segment pairs produced by `pair(j)` into
+/// `out[j]`: full groups of 8 (then 4) go through the transposed
+/// message-parallel lane kernels, the ragged tail through the scalar
+/// `digest_pair` fast path. Bit-identical to per-pair hashing at any
+/// width — the nodes of one tree level never depend on each other.
+fn hash_pairs_level<'a, H: HashFunction>(
+    out: &mut [H::Digest],
+    pair: impl Fn(usize) -> (&'a [u8], &'a [u8]),
+    lanes: LaneWidth,
+) {
+    let n = out.len();
+    let mut j = 0;
+    if lanes.lanes() >= 8 {
+        while j + 8 <= n {
+            let msgs: [(&[u8], &[u8]); 8] = core::array::from_fn(|l| pair(j + l));
+            out[j..j + 8].copy_from_slice(&H::digest_lanes_8(&msgs));
+            j += 8;
+        }
+    }
+    if lanes.lanes() >= 4 {
+        while j + 4 <= n {
+            let msgs: [(&[u8], &[u8]); 4] = core::array::from_fn(|l| pair(j + l));
+            out[j..j + 4].copy_from_slice(&H::digest_lanes_4(&msgs));
+            j += 4;
+        }
+    }
+    while j < n {
+        let (a, b) = pair(j);
+        out[j] = H::digest_pair(a, b);
+        j += 1;
+    }
+}
 
 /// A complete binary Merkle tree whose leaves are raw computation results.
 ///
@@ -64,9 +97,7 @@ impl<H: HashFunction> MerkleTree<H> {
     /// * [`MerkleError::ZeroLeafWidth`] if leaves are zero-length.
     /// * [`MerkleError::MixedLeafWidth`] if leaves differ in width.
     pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> Result<Self, MerkleError> {
-        let mut tree = Self::copy_leaves(leaves)?;
-        tree.hash_all();
-        Ok(tree)
+        Self::build_with(leaves, Parallelism::serial(), LaneWidth::default())
     }
 
     /// Builds the same tree as [`build`](Self::build) using up to
@@ -101,8 +132,44 @@ impl<H: HashFunction> MerkleTree<H> {
         leaves: &[L],
         parallelism: Parallelism,
     ) -> Result<Self, MerkleError> {
+        Self::build_with(leaves, parallelism, LaneWidth::default())
+    }
+
+    /// Builds the same tree as [`build`](Self::build) with both execution
+    /// knobs explicit: up to `parallelism` worker threads *and* the
+    /// message-parallel lane width used inside each worker (or the single
+    /// thread). Neither knob changes any digest — `hash_ops` and every
+    /// node are bit-identical to the serial scalar build.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ugc_merkle::{LaneWidth, MerkleTree, Parallelism};
+    /// use ugc_hash::Sha256;
+    ///
+    /// let leaves: Vec<[u8; 8]> = (0u64..100).map(|x| x.to_le_bytes()).collect();
+    /// let scalar: MerkleTree<Sha256> =
+    ///     MerkleTree::build_with(&leaves, Parallelism::serial(), LaneWidth::Scalar)?;
+    /// let laned: MerkleTree<Sha256> =
+    ///     MerkleTree::build_with(&leaves, Parallelism::threads(4), LaneWidth::X8)?;
+    /// assert_eq!(scalar.root(), laned.root());
+    /// # Ok::<(), ugc_merkle::MerkleError>(())
+    /// ```
+    pub fn build_with<L: AsRef<[u8]>>(
+        leaves: &[L],
+        parallelism: Parallelism,
+        lanes: LaneWidth,
+    ) -> Result<Self, MerkleError> {
         let mut tree = Self::copy_leaves(leaves)?;
-        tree.hash_all_parallel(parallelism.get());
+        if parallelism.get() > 1 {
+            tree.hash_all_parallel(parallelism.get(), lanes);
+        } else {
+            tree.hash_all(lanes);
+        }
         Ok(tree)
     }
 
@@ -184,27 +251,50 @@ impl<H: HashFunction> MerkleTree<H> {
             hash_ops: 0,
             hash_ops_wall: 0,
         };
-        tree.hash_all();
+        tree.hash_all(LaneWidth::default());
         Ok(tree)
     }
 
-    /// Recomputes every internal digest from the leaf data.
-    fn hash_all(&mut self) {
+    /// Recomputes every internal digest from the leaf data, lane-batching
+    /// each level (the nodes of a level are mutually independent).
+    fn hash_all(&mut self, lanes: LaneWidth) {
         let padded = self.padded as usize;
         // Heap slot 0 is a placeholder; fill with the digest of nothing.
         let mut nodes: Vec<H::Digest> = vec![H::digest(&[]); padded];
         let mut ops = 0u64;
+        let width = self.leaf_width;
+        let leaves = &self.leaves;
         // Bottom internal level hashes raw leaf pairs.
-        for t in 0..padded / 2 {
-            let a = self.leaf_slice(2 * t);
-            let b = self.leaf_slice(2 * t + 1);
-            nodes[padded / 2 + t] = H::digest_pair(a, b);
-            ops += 1;
+        {
+            let (_, bottom) = nodes.split_at_mut(padded / 2);
+            hash_pairs_level::<H>(
+                bottom,
+                |t| {
+                    let off = 2 * t * width;
+                    (
+                        &leaves[off..off + width],
+                        &leaves[off + width..off + 2 * width],
+                    )
+                },
+                lanes,
+            );
+            ops += self.padded / 2;
         }
-        // Upper levels hash digest pairs.
-        for i in (1..padded / 2).rev() {
-            nodes[i] = H::digest_pair(nodes[2 * i].as_ref(), nodes[2 * i + 1].as_ref());
-            ops += 1;
+        // Upper levels hash digest pairs, one level at a time: the level
+        // of `size` nodes at heap [size, 2·size) reads its children from
+        // [2·size, 4·size).
+        let mut size = padded / 4;
+        while size >= 1 {
+            let (lo, hi) = nodes.split_at_mut(2 * size);
+            let hi = &hi[..];
+            let (_, level) = lo.split_at_mut(size);
+            hash_pairs_level::<H>(
+                level,
+                |j| (hi[2 * j].as_ref(), hi[2 * j + 1].as_ref()),
+                lanes,
+            );
+            ops += size as u64;
+            size /= 2;
         }
         self.nodes = nodes;
         self.hash_ops = ops;
@@ -215,11 +305,11 @@ impl<H: HashFunction> MerkleTree<H> {
     /// one power-of-two subtree of the padded leaf row per worker, then a
     /// serial fold of the top `log(workers)` levels. Digests are
     /// bit-identical to the serial pass.
-    fn hash_all_parallel(&mut self, threads: usize) {
+    fn hash_all_parallel(&mut self, threads: usize, lanes: LaneWidth) {
         let padded = self.padded as usize;
         let chunks = subtree_chunks(threads, self.padded) as usize;
         if chunks <= 1 {
-            self.hash_all();
+            self.hash_all(lanes);
             return;
         }
         let chunk = padded / chunks; // leaves per subtree; power of two ≥ 2
@@ -230,23 +320,38 @@ impl<H: HashFunction> MerkleTree<H> {
                 .map(|t| {
                     scope.spawn(move |_| {
                         // Local binary heap over this worker's subtree:
-                        // index 0 unused, subtree root at 1.
+                        // index 0 unused, subtree root at 1. Each level is
+                        // lane-batched exactly like the serial pass.
                         let mut local: Vec<H::Digest> = vec![H::digest(&[]); chunk];
-                        let mut ops = 0u64;
                         let base = t * chunk;
-                        for s in 0..chunk / 2 {
-                            let off = (base + 2 * s) * width;
-                            let a = &leaves[off..off + width];
-                            let b = &leaves[off + width..off + 2 * width];
-                            local[chunk / 2 + s] = H::digest_pair(a, b);
-                            ops += 1;
+                        {
+                            let (_, bottom) = local.split_at_mut(chunk / 2);
+                            hash_pairs_level::<H>(
+                                bottom,
+                                |s| {
+                                    let off = (base + 2 * s) * width;
+                                    (
+                                        &leaves[off..off + width],
+                                        &leaves[off + width..off + 2 * width],
+                                    )
+                                },
+                                lanes,
+                            );
                         }
-                        for i in (1..chunk / 2).rev() {
-                            local[i] =
-                                H::digest_pair(local[2 * i].as_ref(), local[2 * i + 1].as_ref());
-                            ops += 1;
+                        let mut size = chunk / 4;
+                        while size >= 1 {
+                            let (lo, hi) = local.split_at_mut(2 * size);
+                            let hi = &hi[..];
+                            let (_, level) = lo.split_at_mut(size);
+                            hash_pairs_level::<H>(
+                                level,
+                                |j| (hi[2 * j].as_ref(), hi[2 * j + 1].as_ref()),
+                                lanes,
+                            );
+                            size /= 2;
                         }
-                        (local, ops)
+                        // One hash per internal node of the subtree.
+                        (local, (chunk - 1) as u64)
                     })
                 })
                 .collect();
@@ -608,6 +713,46 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn lane_width_is_bit_identical_at_any_setting() {
+        // LaneWidth is an execution knob: every node digest and both op
+        // counters must match the scalar serial build at any combination
+        // of lane width and thread count.
+        for n in [1u64, 2, 3, 5, 16, 33, 100, 257] {
+            let ls = leaves(n);
+            let reference: MerkleTree<Sha256> =
+                MerkleTree::build_with(&ls, crate::Parallelism::serial(), LaneWidth::Scalar)
+                    .unwrap();
+            for lanes in LaneWidth::ALL {
+                for threads in [1usize, 3, 4] {
+                    let tree: MerkleTree<Sha256> =
+                        MerkleTree::build_with(&ls, crate::Parallelism::threads(threads), lanes)
+                            .unwrap();
+                    for i in 1..reference.padded_leaf_count() {
+                        assert_eq!(
+                            reference.node_digest(i),
+                            tree.node_digest(i),
+                            "n={n} lanes={lanes} threads={threads} node={i}"
+                        );
+                    }
+                    assert_eq!(reference.hash_ops(), tree.hash_ops(), "n={n} lanes={lanes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_width_is_bit_identical_for_md5() {
+        let ls = leaves(100);
+        let scalar: MerkleTree<Md5> =
+            MerkleTree::build_with(&ls, crate::Parallelism::serial(), LaneWidth::Scalar).unwrap();
+        for lanes in [LaneWidth::X4, LaneWidth::X8] {
+            let laned: MerkleTree<Md5> =
+                MerkleTree::build_with(&ls, crate::Parallelism::serial(), lanes).unwrap();
+            assert_eq!(scalar.root(), laned.root(), "lanes={lanes}");
         }
     }
 

@@ -8,7 +8,7 @@ use ugc_core::scheme::cbs::{run_cbs_with, CbsConfig, CbsScheme};
 use ugc_core::session::{
     drive_participant, ParticipantContext, SupervisorContext, VerificationScheme,
 };
-use ugc_core::{Parallelism, ParticipantStorage};
+use ugc_core::{LaneWidth, Parallelism, ParticipantStorage};
 use ugc_grid::{duplex, Broker, CheatSelection, CostLedger, SemiHonestCheater};
 use ugc_hash::Sha256;
 use ugc_task::workloads::PasswordSearch;
@@ -380,6 +380,7 @@ fn run_brokered_batch(exp: &DetectionExperiment, trials: core::ops::Range<u32>) 
                         storage: ParticipantStorage::Full,
                         // Serial builds: parallelism lives at the batch level.
                         parallelism: Parallelism::serial(),
+                        lanes: LaneWidth::default(),
                         ledger: CostLedger::new(),
                     },
                 );
@@ -424,6 +425,9 @@ fn run_protocol_trial(exp: &DetectionExperiment, t: u32) -> bool {
         &cheater,
         ParticipantStorage::Full,
         Parallelism::serial(),
+        // Lane-batched tree builds and sample hashing: bit-identical to
+        // scalar, so estimates are unchanged at any width.
+        LaneWidth::default(),
         &config,
     )
     .expect("in-process CBS round must not fail")

@@ -123,6 +123,13 @@ impl<T: ComputeTask> ComputeTask for CountingTask<T> {
         self.inner.compute(x)
     }
 
+    fn compute_batch(&self, xs: &[u64]) -> Vec<Vec<u8>> {
+        // One tick per input, exactly as the scalar path counts, so
+        // batched and unbatched runs report identical evaluation totals.
+        self.counter.add(xs.len() as u64);
+        self.inner.compute_batch(xs)
+    }
+
     fn verify(&self, x: u64, claimed: &[u8]) -> bool {
         // Verification cost is tracked by the caller's ledger, not the
         // evaluation counter: cheap verifiers do not evaluate f.
@@ -188,6 +195,17 @@ mod tests {
             }
         });
         assert_eq!(counter.get(), 4000);
+    }
+
+    #[test]
+    fn batch_counts_one_tick_per_input() {
+        let t = CountingTask::new(Echo);
+        let xs: Vec<u64> = (0..13).collect();
+        let batched = t.compute_batch(&xs);
+        assert_eq!(t.evaluations(), 13);
+        let scalar: Vec<Vec<u8>> = xs.iter().map(|&x| t.compute(x)).collect();
+        assert_eq!(batched, scalar);
+        assert_eq!(t.evaluations(), 26);
     }
 
     #[test]

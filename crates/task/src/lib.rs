@@ -74,6 +74,18 @@ pub trait ComputeTask: Send + Sync {
     /// [`output_width`](Self::output_width) bytes.
     fn compute(&self, x: u64) -> Vec<u8>;
 
+    /// Evaluates `f` on a batch of independent inputs, returning one
+    /// encoded output per input, in order.
+    ///
+    /// The default loops over [`compute`](Self::compute); hash-bound tasks
+    /// override it to run several inputs through a message-parallel digest
+    /// kernel (e.g. [`workloads::PasswordSearch`] over MD5 lanes). The
+    /// outputs must be byte-identical to per-input `compute` calls —
+    /// batching is an execution detail, never a semantic one.
+    fn compute_batch(&self, xs: &[u64]) -> Vec<Vec<u8>> {
+        xs.iter().map(|&x| self.compute(x)).collect()
+    }
+
     /// Checks whether `claimed` equals `f(x)`.
     ///
     /// The default recomputes `f`; tasks with asymmetric verification
@@ -107,6 +119,9 @@ impl<T: ComputeTask + ?Sized> ComputeTask for &T {
     fn compute(&self, x: u64) -> Vec<u8> {
         (**self).compute(x)
     }
+    fn compute_batch(&self, xs: &[u64]) -> Vec<Vec<u8>> {
+        (**self).compute_batch(xs)
+    }
     fn verify(&self, x: u64, claimed: &[u8]) -> bool {
         (**self).verify(x, claimed)
     }
@@ -128,6 +143,9 @@ impl<T: ComputeTask + ?Sized> ComputeTask for Box<T> {
     fn compute(&self, x: u64) -> Vec<u8> {
         (**self).compute(x)
     }
+    fn compute_batch(&self, xs: &[u64]) -> Vec<Vec<u8>> {
+        (**self).compute_batch(xs)
+    }
     fn verify(&self, x: u64, claimed: &[u8]) -> bool {
         (**self).verify(x, claimed)
     }
@@ -148,6 +166,9 @@ impl<T: ComputeTask + ?Sized> ComputeTask for std::sync::Arc<T> {
     }
     fn compute(&self, x: u64) -> Vec<u8> {
         (**self).compute(x)
+    }
+    fn compute_batch(&self, xs: &[u64]) -> Vec<Vec<u8>> {
+        (**self).compute_batch(xs)
     }
     fn verify(&self, x: u64, claimed: &[u8]) -> bool {
         (**self).verify(x, claimed)

@@ -7,7 +7,7 @@
 //! baseline-comparison workload.
 
 use crate::{ComputeTask, MatchScreener};
-use ugc_hash::{HashFunction, Md5};
+use ugc_hash::{digest_iterated_batch, HashFunction, LaneWidth, Md5};
 
 /// Keyed password-hash search over a `u64` key space.
 ///
@@ -97,6 +97,30 @@ impl ComputeTask for PasswordSearch {
         Self::digest(self.salt, x, self.work_factor).to_vec()
     }
 
+    /// Batch evaluation through the MD5 message-parallel lane kernels:
+    /// each candidate's `salt ‖ x` material hashes in a lane of the
+    /// transposed compression state, and the `MD5^w` re-hash chain steps
+    /// all lanes together. Byte-identical to per-input [`compute`]
+    /// (`f(x) = H^w(salt ‖ x)` either way).
+    ///
+    /// [`compute`]: Self::compute
+    fn compute_batch(&self, xs: &[u64]) -> Vec<Vec<u8>> {
+        let materials: Vec<[u8; 16]> = xs
+            .iter()
+            .map(|&x| {
+                let mut material = [0u8; 16];
+                material[..8].copy_from_slice(&self.salt.to_le_bytes());
+                material[8..].copy_from_slice(&x.to_le_bytes());
+                material
+            })
+            .collect();
+        let seeds: Vec<&[u8]> = materials.iter().map(|m| m.as_slice()).collect();
+        digest_iterated_batch::<Md5>(&seeds, u64::from(self.work_factor), LaneWidth::default())
+            .into_iter()
+            .map(|d| d.to_vec())
+            .collect()
+    }
+
     fn unit_cost(&self) -> u64 {
         u64::from(self.work_factor)
     }
@@ -158,6 +182,34 @@ mod tests {
     fn output_width_matches_md5() {
         let task = PasswordSearch::with_hidden_password(1, 1);
         assert_eq!(task.compute(0).len(), task.output_width());
+    }
+
+    #[test]
+    fn compute_batch_matches_compute() {
+        for work_factor in [1u32, 2, 5] {
+            let task = PasswordSearch::with_work_factor(11, 3, work_factor);
+            for n in [0usize, 1, 3, 4, 7, 8, 9, 17] {
+                let xs: Vec<u64> = (0..n as u64).map(|x| x.wrapping_mul(0x1234_5677)).collect();
+                let batched = task.compute_batch(&xs);
+                let scalar: Vec<Vec<u8>> = xs.iter().map(|&x| task.compute(x)).collect();
+                assert_eq!(batched, scalar, "w={work_factor} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_batch_override_survives_indirection() {
+        // The blanket impls must forward compute_batch, or a trait object
+        // silently falls back to the scalar default.
+        let task = PasswordSearch::with_hidden_password(4, 9);
+        let xs: Vec<u64> = (0..9).collect();
+        let expected = task.compute_batch(&xs);
+        let by_ref: &dyn ComputeTask = &task;
+        assert_eq!(by_ref.compute_batch(&xs), expected);
+        let boxed: Box<dyn ComputeTask> = Box::new(task.clone());
+        assert_eq!(boxed.compute_batch(&xs), expected);
+        let arc: std::sync::Arc<dyn ComputeTask> = std::sync::Arc::new(task);
+        assert_eq!(arc.compute_batch(&xs), expected);
     }
 
     #[test]

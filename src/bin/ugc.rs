@@ -34,7 +34,7 @@ use uncheatable_grid::grid::tcp::handshake_supervisor;
 use uncheatable_grid::grid::{
     CheatSelection, FaultEvent, HonestWorker, SemiHonestCheater, WorkerBehaviour,
 };
-use uncheatable_grid::hash::Sha256;
+use uncheatable_grid::hash::{LaneWidth, Sha256};
 use uncheatable_grid::netgrid::{self, GridServer};
 use uncheatable_grid::task::workloads::{
     DrugScreening, PasswordSearch, PrimalitySearch, SetiSignal,
@@ -52,7 +52,8 @@ commands:
   fleet       [--participants <k>] [--cheaters <c>] [--n <inputs>] [--m <samples>] [--seed <s>]
               [--scheme <cbs|ni-cbs|naive|ringer|double-check>]
               [--transport <direct|brokered>] [--workers <w>]
-              [--steal-seed <s>] [--threads <k>] [--chaos <seed>] [--churn]
+              [--steal-seed <s>] [--lanes <scalar|x4|x8>]
+              [--threads <k>] [--chaos <seed>] [--churn]
               [--journal <path>] [--kill-at <r>] [--resume] [--verify-journal]
               [--connect <host:port>]
   broker serve --listen <host:port> [--participants <p>]
@@ -80,7 +81,10 @@ journal (--journal/--resume/--kill-at are in-process flags).
 over a fixed pool of w OS threads (w = 0 picks one per available core);
 without it each participant gets its own OS thread. --steal-seed <s>
 seeds the pool's work-stealing victim order — scheduling-only, any seed
-reproduces the identical campaign. --threads sets the
+reproduces the identical campaign. --lanes picks the message-parallel
+digest kernel width for participant tree builds (x8 default; scalar
+disables lane batching) — digests are bit-identical at any width, so
+this is purely a speed knob. --threads sets the
 participant count (same as --participants), --chaos <seed> injects
 seeded message duplication/reordering/latency on every participant link,
 and --churn adds participant crash/restart churn — failed sessions are
@@ -572,6 +576,14 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
     // scheduling-only knob: any seed reproduces the identical campaign
     // (verdicts, fault log, byte counts).
     let steal_seed: u64 = args.opt("--steal-seed")?.unwrap_or(0);
+    // --lanes picks the message-parallel digest kernel width — a pure
+    // speed knob: digests, verdicts and journals are bit-identical at
+    // any setting, so it never reaches the campaign params.
+    let lanes: LaneWidth = match args.raw("--lanes")? {
+        None => LaneWidth::default(),
+        Some(s) => LaneWidth::parse(s)
+            .ok_or_else(|| format!("--lanes {s:?}: expected scalar, x4 or x8"))?,
+    };
 
     if let Some(addr) = connect {
         if journal_path.is_some() || verify || resume || kill_at.is_some() {
@@ -595,7 +607,7 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
             );
         }
         params.transport = FleetTransport::Remote;
-        return cmd_fleet_connect(&addr, &params, workers, steal_seed);
+        return cmd_fleet_connect(&addr, &params, workers, steal_seed, lanes);
     }
 
     if verify {
@@ -651,7 +663,7 @@ fn cmd_fleet(mut args: Args<'_>) -> Result<(), String> {
 
     let plan = CampaignPlan::new(params.clone())?;
     let members = plan.members();
-    let config = plan.mixed_config(workers, steal_seed);
+    let config = plan.mixed_config(workers, steal_seed, lanes);
     let domain = plan.domain();
     let (task, screener) = (plan.task(), plan.screener());
     let outcome = match (&journal_path, resumed) {
@@ -707,6 +719,7 @@ fn cmd_fleet_connect(
     params: &FleetParams,
     workers: Option<usize>,
     steal_seed: u64,
+    lanes: LaneWidth,
 ) -> Result<(), String> {
     let plan = CampaignPlan::new(params.clone())?;
     let stream = netgrid::connect(addr)?;
@@ -718,7 +731,7 @@ fn cmd_fleet_connect(
     );
     let mut backend = RemoteGridBackend::new(link);
     let members = plan.members();
-    let config = plan.mixed_config(workers, steal_seed);
+    let config = plan.mixed_config(workers, steal_seed, lanes);
     let summary = run_mixed_fleet_on(
         plan.task(),
         plan.screener(),

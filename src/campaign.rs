@@ -18,8 +18,8 @@
 
 use std::time::Duration;
 use ugc_core::{
-    FleetScheme, MemberSpec, MixedFleetConfig, Parallelism, ParticipantContext, ParticipantSession,
-    ParticipantStorage, TransportKind, VerificationScheme,
+    FleetScheme, LaneWidth, MemberSpec, MixedFleetConfig, Parallelism, ParticipantContext,
+    ParticipantSession, ParticipantStorage, TransportKind, VerificationScheme,
 };
 use ugc_grid::codec::{get_bytes, get_u64, put_bytes, put_u64};
 use ugc_grid::runtime::FaultPlan;
@@ -339,11 +339,17 @@ impl CampaignPlan {
             )
     }
 
-    /// The [`MixedFleetConfig`] for this campaign. `workers` and
-    /// `steal_seed` are execution-only knobs (scheduling, never
-    /// digests); everything digest-relevant comes from the params.
+    /// The [`MixedFleetConfig`] for this campaign. `workers`,
+    /// `steal_seed` and `lanes` are execution-only knobs (scheduling and
+    /// digest-kernel width, never digests); everything digest-relevant
+    /// comes from the params.
     #[must_use]
-    pub fn mixed_config(&self, workers: Option<usize>, steal_seed: u64) -> MixedFleetConfig {
+    pub fn mixed_config(
+        &self,
+        workers: Option<usize>,
+        steal_seed: u64,
+        lanes: LaneWidth,
+    ) -> MixedFleetConfig {
         let chaos = self.params.chaos();
         MixedFleetConfig {
             transport: self.params.transport,
@@ -352,6 +358,7 @@ impl CampaignPlan {
             retries: if chaos.is_some() { 5 } else { 0 },
             storage: ParticipantStorage::Full,
             parallelism: Parallelism::default(),
+            lanes,
             envelope: false,
             workers,
             steal_seed,
@@ -395,6 +402,9 @@ impl CampaignPlan {
                 behaviour,
                 storage: ParticipantStorage::Full,
                 parallelism: Parallelism::default(),
+                // A join process picks its own lane width locally; the
+                // knob never affects digests, so default is always safe.
+                lanes: LaneWidth::default(),
                 ledger,
             }),
         )

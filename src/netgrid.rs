@@ -449,7 +449,7 @@ pub fn run_remote_campaign(params: &FleetParams, joiners: usize) -> Result<Fleet
         plan.screener(),
         plan.domain(),
         &members,
-        &plan.mixed_config(None, 0),
+        &plan.mixed_config(None, 0, ugc_core::LaneWidth::default()),
         &mut backend,
     )
     .map_err(|e| e.to_string())?;

@@ -48,7 +48,7 @@ fn brokered_digest(p: &FleetParams) -> String {
         plan.screener(),
         plan.domain(),
         &members,
-        &plan.mixed_config(None, 0),
+        &plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
     )
     .expect("in-process brokered campaign");
     summary_digest(&summary)
@@ -94,7 +94,7 @@ fn brokered_journal_resumes_over_a_real_grid_with_identical_digest() {
         let header = uncheatable_grid::core::CampaignHeader::for_campaign(
             &members,
             plan.domain(),
-            &plan.mixed_config(None, 0),
+            &plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
             p.encode(),
         );
         let mut campaign =
@@ -104,7 +104,7 @@ fn brokered_journal_resumes_over_a_real_grid_with_identical_digest() {
             plan.screener(),
             plan.domain(),
             &members,
-            &plan.mixed_config(None, 0),
+            &plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
             &mut campaign,
         )
         .expect_err("the armed kill point must fire");
@@ -143,7 +143,7 @@ fn brokered_journal_resumes_over_a_real_grid_with_identical_digest() {
         remote_plan.screener(),
         remote_plan.domain(),
         &members,
-        &remote_plan.mixed_config(None, 0),
+        &remote_plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
         &mut campaign,
         &mut backend,
     )
@@ -175,7 +175,7 @@ fn direct_journal_refuses_a_different_digest_class() {
         let header = uncheatable_grid::core::CampaignHeader::for_campaign(
             &members,
             plan.domain(),
-            &plan.mixed_config(None, 0),
+            &plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
             p.encode(),
         );
         let mut campaign =
@@ -185,7 +185,7 @@ fn direct_journal_refuses_a_different_digest_class() {
             plan.screener(),
             plan.domain(),
             &members,
-            &plan.mixed_config(None, 0),
+            &plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
             &mut campaign,
         );
     }
@@ -201,7 +201,7 @@ fn direct_journal_refuses_a_different_digest_class() {
         wrong_plan.screener(),
         wrong_plan.domain(),
         &members,
-        &wrong_plan.mixed_config(None, 0),
+        &wrong_plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
         &mut campaign,
     )
     .expect_err("digest classes differ; the resume must be refused");
@@ -245,7 +245,7 @@ fn dead_join_process_fails_typed_not_hanging() {
             plan.screener(),
             plan.domain(),
             &members,
-            &plan.mixed_config(None, 0),
+            &plan.mixed_config(None, 0, uncheatable_grid::hash::LaneWidth::default()),
             &mut backend,
         );
         tx.send(result.map(|s| summary_digest(&s))).ok();
